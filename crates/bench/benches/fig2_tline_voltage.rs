@@ -1,0 +1,48 @@
+//! Fig. 2 — voltage-driven nonlinear transmission line (QLDAE with `D₁`).
+//!
+//! Benchmarks the two pipeline stages of the experiment: building the
+//! associated-transform projection and transiently simulating the resulting
+//! ROM (the full-model simulation is included as the reference cost).
+//! The default size is scaled down so `cargo bench` stays fast; set
+//! `VAMOR_BENCH_PAPER_SIZE=1` to run the paper's 100-stage instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vamor_circuits::TransmissionLine;
+use vamor_core::{AssocReducer, MomentSpec};
+use vamor_sim::{simulate, IntegrationMethod, SinePulse, TransientOptions};
+
+fn stages() -> usize {
+    if std::env::var("VAMOR_BENCH_PAPER_SIZE").is_ok() {
+        100
+    } else {
+        40
+    }
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let line = TransmissionLine::voltage_driven(stages()).expect("circuit");
+    let full = line.qldae();
+    let spec = MomentSpec::paper_default();
+    let rom = AssocReducer::new(spec).reduce(full).expect("reduction");
+    let input = SinePulse::damped(0.02, 0.3, 0.05);
+    let opts = TransientOptions::new(0.0, 30.0, 0.02)
+        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+
+    let mut group = c.benchmark_group("fig2_tline_voltage");
+    group.sample_size(10);
+    group.bench_function("projection_build_proposed", |b| {
+        b.iter(|| AssocReducer::new(spec).reduce(black_box(full)).unwrap().order())
+    });
+    group.bench_function("transient_full_model", |b| {
+        b.iter(|| simulate(black_box(full), &input, &opts).unwrap().stats.steps)
+    });
+    group.bench_function("transient_proposed_rom", |b| {
+        b.iter(|| simulate(black_box(rom.system()), &input, &opts).unwrap().stats.steps)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

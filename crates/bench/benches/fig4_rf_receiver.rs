@@ -1,0 +1,60 @@
+//! Fig. 4 — MISO RF receiver (signal + interferer): proposed versus NORM
+//! reduction and the repeated-transient cost of the two ROMs.
+//!
+//! Set `VAMOR_BENCH_PAPER_SIZE=1` for the paper's 173-state instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vamor_circuits::RfReceiver;
+use vamor_core::{AssocReducer, MomentSpec, NormReducer};
+use vamor_sim::{simulate, IntegrationMethod, MultiChannel, SinePulse, TransientOptions};
+
+fn sections() -> usize {
+    if std::env::var("VAMOR_BENCH_PAPER_SIZE").is_ok() {
+        86
+    } else {
+        20
+    }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let rx = RfReceiver::new(sections()).expect("circuit");
+    let full = rx.qldae();
+    let spec = MomentSpec::paper_default();
+    let proposed = AssocReducer::new(spec).reduce(full).expect("proposed reduction");
+    let baseline = NormReducer::new(spec).reduce(full).expect("norm reduction");
+    let input = || {
+        MultiChannel::new(vec![
+            Box::new(SinePulse::damped(0.3, 0.06, 0.05)),
+            Box::new(SinePulse::new(0.12, 0.11)),
+        ])
+    };
+    let opts = TransientOptions::new(0.0, 20.0, 0.02)
+        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+
+    let mut group = c.benchmark_group("fig4_rf_receiver");
+    group.sample_size(10);
+    group.bench_function("projection_build_proposed", |b| {
+        b.iter(|| AssocReducer::new(spec).reduce(black_box(full)).unwrap().order())
+    });
+    group.bench_function("projection_build_norm", |b| {
+        b.iter(|| NormReducer::new(spec).reduce(black_box(full)).unwrap().order())
+    });
+    group.bench_function("transient_full_model", |b| {
+        let u = input();
+        b.iter(|| simulate(black_box(full), &u, &opts).unwrap().stats.steps)
+    });
+    group.bench_function("transient_proposed_rom", |b| {
+        let u = input();
+        b.iter(|| simulate(black_box(proposed.system()), &u, &opts).unwrap().stats.steps)
+    });
+    group.bench_function("transient_norm_rom", |b| {
+        let u = input();
+        b.iter(|| simulate(black_box(baseline.system()), &u, &opts).unwrap().stats.steps)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

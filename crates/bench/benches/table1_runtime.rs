@@ -1,0 +1,87 @@
+//! Table 1 — runtime comparison between the proposed associated-transform
+//! reduction and NORM, for both pipeline stages ("Arnoldi" = projection
+//! build, "ODE solve" = transient simulation) on the §3.2 and §3.3 examples.
+//!
+//! The Criterion groups mirror the table rows; absolute numbers are machine
+//! dependent, the paper's *shape* (proposed projection build slower, proposed
+//! ROM transient substantially faster) is what should reproduce. Use
+//! `VAMOR_BENCH_PAPER_SIZE=1` for the paper-sized systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vamor_circuits::{RfReceiver, TransmissionLine};
+use vamor_core::{AssocReducer, MomentSpec, NormReducer};
+use vamor_sim::{simulate, IntegrationMethod, MultiChannel, SinePulse, TransientOptions};
+
+fn paper_size() -> bool {
+    std::env::var("VAMOR_BENCH_PAPER_SIZE").is_ok()
+}
+
+fn bench_section_3_2(c: &mut Criterion) {
+    let stages = if paper_size() { 70 } else { 30 };
+    let line = TransmissionLine::current_driven(stages).expect("circuit");
+    let full = line.qldae();
+    let spec = MomentSpec::paper_default();
+    let proposed = AssocReducer::new(spec).reduce(full).expect("proposed");
+    let baseline = NormReducer::new(spec).reduce(full).expect("norm");
+    let input = SinePulse::damped(0.5, 0.4, 0.08);
+    let opts = TransientOptions::new(0.0, 30.0, 0.02)
+        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+
+    let mut group = c.benchmark_group("table1_sect32");
+    group.sample_size(10);
+    group.bench_function("arnoldi_proposed", |b| {
+        b.iter(|| AssocReducer::new(spec).reduce(black_box(full)).unwrap().order())
+    });
+    group.bench_function("arnoldi_norm", |b| {
+        b.iter(|| NormReducer::new(spec).reduce(black_box(full)).unwrap().order())
+    });
+    group.bench_function("ode_solve_original", |b| {
+        b.iter(|| simulate(black_box(full), &input, &opts).unwrap().stats.steps)
+    });
+    group.bench_function("ode_solve_proposed_rom", |b| {
+        b.iter(|| simulate(black_box(proposed.system()), &input, &opts).unwrap().stats.steps)
+    });
+    group.bench_function("ode_solve_norm_rom", |b| {
+        b.iter(|| simulate(black_box(baseline.system()), &input, &opts).unwrap().stats.steps)
+    });
+    group.finish();
+}
+
+fn bench_section_3_3(c: &mut Criterion) {
+    let sections = if paper_size() { 86 } else { 20 };
+    let rx = RfReceiver::new(sections).expect("circuit");
+    let full = rx.qldae();
+    let spec = MomentSpec::paper_default();
+    let proposed = AssocReducer::new(spec).reduce(full).expect("proposed");
+    let baseline = NormReducer::new(spec).reduce(full).expect("norm");
+    let input = MultiChannel::new(vec![
+        Box::new(SinePulse::damped(0.3, 0.06, 0.05)),
+        Box::new(SinePulse::new(0.12, 0.11)),
+    ]);
+    let opts = TransientOptions::new(0.0, 20.0, 0.02)
+        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+
+    let mut group = c.benchmark_group("table1_sect33");
+    group.sample_size(10);
+    group.bench_function("arnoldi_proposed", |b| {
+        b.iter(|| AssocReducer::new(spec).reduce(black_box(full)).unwrap().order())
+    });
+    group.bench_function("arnoldi_norm", |b| {
+        b.iter(|| NormReducer::new(spec).reduce(black_box(full)).unwrap().order())
+    });
+    group.bench_function("ode_solve_original", |b| {
+        b.iter(|| simulate(black_box(full), &input, &opts).unwrap().stats.steps)
+    });
+    group.bench_function("ode_solve_proposed_rom", |b| {
+        b.iter(|| simulate(black_box(proposed.system()), &input, &opts).unwrap().stats.steps)
+    });
+    group.bench_function("ode_solve_norm_rom", |b| {
+        b.iter(|| simulate(black_box(baseline.system()), &input, &opts).unwrap().stats.steps)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_section_3_2, bench_section_3_3);
+criterion_main!(benches);

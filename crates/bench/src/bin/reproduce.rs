@@ -1,0 +1,204 @@
+//! Reproduces the tables and figures of the DAC 2012 paper and prints them as
+//! ASCII series / tables.
+//!
+//! ```text
+//! cargo run --release -p vamor-bench --bin reproduce -- all
+//! cargo run --release -p vamor-bench --bin reproduce -- fig3 table1 --small
+//! ```
+//!
+//! By default the paper-sized systems are used (100-stage line, 70-state
+//! line, 173-state receiver, 102-state varistor circuit). `--small` runs
+//! scaled-down instances for a quick smoke test.
+
+use std::process::ExitCode;
+
+use vamor_bench::{
+    fig2_voltage_line, fig3_current_line, fig4_rf_receiver, fig5_varistor,
+    scaling_subspace_dims, TransientComparison,
+};
+
+struct Sizes {
+    fig2_stages: usize,
+    fig3_stages: usize,
+    fig4_sections: usize,
+    fig5_ladder: usize,
+    dt: f64,
+}
+
+impl Sizes {
+    fn paper() -> Self {
+        Sizes { fig2_stages: 100, fig3_stages: 70, fig4_sections: 86, fig5_ladder: 98, dt: 0.01 }
+    }
+
+    fn small() -> Self {
+        Sizes { fig2_stages: 24, fig3_stages: 20, fig4_sections: 12, fig5_ladder: 16, dt: 0.02 }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let mut which: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|a| a.as_str()).collect();
+    if which.is_empty() || which.contains(&"all") {
+        which = vec!["fig2", "fig3", "fig4", "fig5", "table1", "scaling"];
+    }
+    let sizes = if small { Sizes::small() } else { Sizes::paper() };
+
+    let mut table1_rows: Vec<(String, TransientComparison)> = Vec::new();
+    for experiment in &which {
+        let outcome = match *experiment {
+            "fig2" => fig2_voltage_line(sizes.fig2_stages, sizes.dt).map(|c| {
+                print_figure("Fig. 2", &c);
+                None
+            }),
+            "fig3" => fig3_current_line(sizes.fig3_stages, sizes.dt).map(|c| {
+                print_figure("Fig. 3", &c);
+                Some(("Sect 3.2 Ex. (transmission line)".to_string(), c))
+            }),
+            "fig4" => fig4_rf_receiver(sizes.fig4_sections, sizes.dt).map(|c| {
+                print_figure("Fig. 4", &c);
+                Some(("Sect 3.3 Ex. (RF receiver)".to_string(), c))
+            }),
+            "fig5" => fig5_varistor(sizes.fig5_ladder, sizes.dt).map(|c| {
+                print_figure("Fig. 5", &c);
+                None
+            }),
+            "table1" => {
+                // Table 1 is assembled from the fig3/fig4 runs; run them if the
+                // user asked only for the table.
+                if !which.contains(&"fig3") {
+                    match fig3_current_line(sizes.fig3_stages, sizes.dt) {
+                        Ok(c) => table1_rows.push(("Sect 3.2 Ex. (transmission line)".into(), c)),
+                        Err(e) => {
+                            eprintln!("table1: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if !which.contains(&"fig4") {
+                    match fig4_rf_receiver(sizes.fig4_sections, sizes.dt) {
+                        Ok(c) => table1_rows.push(("Sect 3.3 Ex. (RF receiver)".into(), c)),
+                        Err(e) => {
+                            eprintln!("table1: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                Ok(None)
+            }
+            "scaling" => {
+                let stages = if small { 16 } else { 40 };
+                match scaling_subspace_dims(stages, &[1, 2, 3, 4]) {
+                    Ok(rows) => {
+                        println!("\n== Projection-size scaling (Section 4 remark) ==");
+                        println!(
+                            "{:>3} | {:>14} {:>14} | {:>14} {:>14}",
+                            "k",
+                            "proposed dim",
+                            "candidates",
+                            "NORM dim",
+                            "candidates"
+                        );
+                        for r in rows {
+                            println!(
+                                "{:>3} | {:>14} {:>14} | {:>14} {:>14}",
+                                r.k,
+                                r.proposed_dim,
+                                r.proposed_candidates,
+                                r.norm_dim,
+                                r.norm_candidates
+                            );
+                        }
+                        Ok(None)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            other => {
+                eprintln!("unknown experiment '{other}' (expected fig2..fig5, table1, scaling, all)");
+                return ExitCode::FAILURE;
+            }
+        };
+        match outcome {
+            Ok(Some(row)) => table1_rows.push(row),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("{experiment}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if which.contains(&"table1") || !table1_rows.is_empty() {
+        print_table1(&table1_rows);
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_figure(label: &str, cmp: &TransientComparison) {
+    println!("\n== {label}: {} ==", cmp.name);
+    println!(
+        "full order {} -> proposed ROM order {}{}",
+        cmp.full_order,
+        cmp.proposed_order,
+        cmp.norm_order.map(|n| format!(" (NORM ROM order {n})")).unwrap_or_default()
+    );
+    println!(
+        "max relative error: proposed {:.3e}{}",
+        cmp.max_error_proposed(),
+        cmp.max_error_norm().map(|e| format!(", NORM {e:.3e}")).unwrap_or_default()
+    );
+    println!("transient response (downsampled):");
+    println!(
+        "{:>8} {:>14} {:>14}{}",
+        "t",
+        "original",
+        "proposed ROM",
+        if cmp.y_norm.is_some() { format!("{:>14}", "NORM ROM") } else { String::new() }
+    );
+    let step = (cmp.times.len() / 16).max(1);
+    let err = cmp.relative_error_proposed();
+    for i in (0..cmp.times.len()).step_by(step) {
+        let norm_col = cmp.y_norm.as_ref().map(|y| format!("{:>14.6e}", y[i])).unwrap_or_default();
+        println!(
+            "{:>8.3} {:>14.6e} {:>14.6e}{}   (rel err {:.2e})",
+            cmp.times[i], cmp.y_full[i], cmp.y_proposed[i], norm_col, err[i]
+        );
+    }
+}
+
+fn print_table1(rows: &[(String, TransientComparison)]) {
+    if rows.is_empty() {
+        return;
+    }
+    println!("\n== Table 1: runtime comparison (wall-clock seconds on this machine) ==");
+    println!(
+        "{:<36} {:>12} {:>12} {:>12}",
+        "", "Original", "Proposed", "NORM"
+    );
+    for (label, cmp) in rows {
+        println!("{label}");
+        println!(
+            "{:<36} {:>12} {:>12.3} {:>12.3}",
+            "  projection build (\"Arnoldi\")",
+            "-",
+            cmp.timings.reduce_proposed.as_secs_f64(),
+            cmp.timings.reduce_norm.as_secs_f64()
+        );
+        println!(
+            "{:<36} {:>12.3} {:>12.3} {:>12.3}",
+            "  transient solve (\"ODE solve\")",
+            cmp.timings.sim_full.as_secs_f64(),
+            cmp.timings.sim_proposed.as_secs_f64(),
+            cmp.timings.sim_norm.as_secs_f64()
+        );
+        println!(
+            "{:<36} {:>12} {:>12} {:>12}",
+            "  reduced order",
+            cmp.full_order,
+            cmp.proposed_order,
+            cmp.norm_order.map(|n| n.to_string()).unwrap_or_else(|| "-".into())
+        );
+    }
+}

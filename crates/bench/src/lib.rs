@@ -1,0 +1,22 @@
+//! # vamor-bench
+//!
+//! Reproduction harness for the evaluation section of the DAC 2012 paper.
+//! Every table and figure has a corresponding experiment function here; the
+//! `reproduce` binary prints the series/rows and the Criterion benches time
+//! the two pipeline stages the paper reports (projection construction and
+//! repeated transient simulation).
+//!
+//! | Paper artefact | Function |
+//! |---|---|
+//! | Fig. 2 (voltage-driven line, with `D₁`)        | [`experiments::fig2_voltage_line`] |
+//! | Fig. 3 + Table 1 rows "Sect 3.2" (current line) | [`experiments::fig3_current_line`] |
+//! | Fig. 4 + Table 1 rows "Sect 3.3" (MISO receiver)| [`experiments::fig4_rf_receiver`] |
+//! | Fig. 5 (ZnO varistor, cubic ODE)               | [`experiments::fig5_varistor`] |
+//! | §4 size-scaling remark                          | [`experiments::scaling_subspace_dims`] |
+
+pub mod experiments;
+
+pub use experiments::{
+    fig2_voltage_line, fig3_current_line, fig4_rf_receiver, fig5_varistor,
+    scaling_subspace_dims, ExperimentError, ScalingRow, Timings, TransientComparison,
+};

@@ -1,0 +1,118 @@
+//! Diode models and their quadratic-linearization.
+
+/// The exponential diode used by the paper's transmission-line benchmark,
+/// `i_D(v) = e^{40 v} − 1`, together with its quadratic-linearized form.
+///
+/// The DAC 2012 experiments state that the diode characteristic "has been
+/// quadratic-linearized"; [`DiodeModel`] captures the Taylor truncation
+/// `i_D(v) ≈ g₁ v + g₂ v²` around the zero-bias operating point that turns
+/// the node equations into an exact QLDAE in the node voltages. The exact
+/// exponential is kept around for evaluating the modelling error of that
+/// truncation.
+///
+/// ```
+/// use vamor_circuits::DiodeModel;
+/// let d = DiodeModel::paper_default();
+/// assert_eq!(d.g1(), 40.0);
+/// assert_eq!(d.g2(), 800.0);
+/// assert!((d.current_exact(0.01) - d.current_quadratic(0.01)).abs() < 2e-2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeModel {
+    /// Exponential slope `α` in `i = e^{α v} − 1`.
+    alpha: f64,
+}
+
+impl DiodeModel {
+    /// Creates a diode model `i = e^{α v} − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not strictly positive.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "diode slope must be positive");
+        DiodeModel { alpha }
+    }
+
+    /// The paper's diode: `i = e^{40 v} − 1`.
+    pub fn paper_default() -> Self {
+        DiodeModel { alpha: 40.0 }
+    }
+
+    /// The exponential slope `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Linear Taylor coefficient `g₁ = α` (small-signal conductance).
+    pub fn g1(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Quadratic Taylor coefficient `g₂ = α²/2`.
+    pub fn g2(&self) -> f64 {
+        self.alpha * self.alpha / 2.0
+    }
+
+    /// Exact exponential diode current.
+    pub fn current_exact(&self, v: f64) -> f64 {
+        (self.alpha * v).exp() - 1.0
+    }
+
+    /// Quadratic-linearized diode current `g₁ v + g₂ v²`.
+    pub fn current_quadratic(&self, v: f64) -> f64 {
+        self.g1() * v + self.g2() * v * v
+    }
+
+    /// Relative truncation error of the quadratic model at voltage `v`
+    /// (zero when the exact current vanishes).
+    pub fn truncation_error(&self, v: f64) -> f64 {
+        let exact = self.current_exact(v);
+        if exact == 0.0 {
+            return 0.0;
+        }
+        ((exact - self.current_quadratic(v)) / exact).abs()
+    }
+}
+
+impl Default for DiodeModel {
+    fn default() -> Self {
+        DiodeModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taylor_coefficients_match_derivatives() {
+        let d = DiodeModel::new(40.0);
+        let h = 1e-7;
+        let d1 = (d.current_exact(h) - d.current_exact(-h)) / (2.0 * h);
+        assert!((d1 - d.g1()).abs() < 1e-3);
+        let d2 = (d.current_exact(h) - 2.0 * d.current_exact(0.0) + d.current_exact(-h)) / (h * h);
+        assert!((d2 / 2.0 - d.g2()).abs() < 1.0);
+    }
+
+    #[test]
+    fn quadratic_model_is_accurate_for_small_signals() {
+        let d = DiodeModel::paper_default();
+        assert!(d.truncation_error(0.005) < 0.07);
+        assert!(d.truncation_error(0.02) < 0.3);
+        // and degrades for large signals, as expected
+        assert!(d.truncation_error(0.2) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_slope_is_rejected() {
+        let _ = DiodeModel::new(0.0);
+    }
+
+    #[test]
+    fn default_is_paper_model() {
+        assert_eq!(DiodeModel::default(), DiodeModel::paper_default());
+        assert_eq!(DiodeModel::default().alpha(), 40.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Nonlinear transmission line circuits (paper §3.1 and §3.2).
+
+use vamor_linalg::Matrix;
+use vamor_system::{Qldae, QldaeBuilder, SystemError};
+
+use crate::diode::DiodeModel;
+
+/// The diode-loaded RC transmission line of the paper's Fig. 2(a).
+///
+/// Topology (all resistors and capacitors equal to 1, as in the paper):
+///
+/// * `n` nodes, each with a unit capacitor to ground;
+/// * a unit resistor and a diode in parallel between consecutive nodes;
+/// * a unit resistor and a diode from node 1 to ground;
+/// * a unit load resistor from the last node to ground;
+/// * the source attaches to node 1 — either a current source (Norton form,
+///   §3.2, no `D₁` term) or a voltage source behind a unit resistance and the
+///   first diode (Thevenin form, §3.1, which produces the bilinear `D₁ x u`
+///   coupling through the diode's quadratic term).
+///
+/// The diodes (`i_D = e^{40 v} − 1`) are quadratic-linearized
+/// (`i_D ≈ 40 v + 800 v²`, see [`DiodeModel`]), so the node equations are an
+/// exact QLDAE in the `n` node voltages. The pure `u²` forcing produced by
+/// the source-side diode in the voltage-driven variant does not fit the
+/// QLDAE template (Eq. 2 of the paper) and is dropped; it is second-order
+/// small for the weak excitations used in the experiments.
+#[derive(Debug, Clone)]
+pub struct TransmissionLine {
+    qldae: Qldae,
+    stages: usize,
+    voltage_driven: bool,
+    diode: DiodeModel,
+}
+
+impl TransmissionLine {
+    /// Builds the voltage-driven line of §3.1 (`D₁ ≠ 0`). `stages` is the
+    /// number of nodes / state variables (the paper uses 100).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `stages < 2`.
+    pub fn voltage_driven(stages: usize) -> Result<Self, SystemError> {
+        Self::build(stages, true, DiodeModel::paper_default())
+    }
+
+    /// Builds the current-driven line of §3.2 (no `D₁` term). The paper's
+    /// instance has 70 states.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `stages < 2`.
+    pub fn current_driven(stages: usize) -> Result<Self, SystemError> {
+        Self::build(stages, false, DiodeModel::paper_default())
+    }
+
+    /// Builds a line with a custom diode model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `stages < 2`.
+    pub fn with_diode(
+        stages: usize,
+        voltage_driven: bool,
+        diode: DiodeModel,
+    ) -> Result<Self, SystemError> {
+        Self::build(stages, voltage_driven, diode)
+    }
+
+    fn build(stages: usize, voltage_driven: bool, diode: DiodeModel) -> Result<Self, SystemError> {
+        if stages < 2 {
+            return Err(SystemError::Invalid(format!(
+                "transmission line needs at least 2 stages, got {stages}"
+            )));
+        }
+        let n = stages;
+        let g1d = diode.g1();
+        let g2d = diode.g2();
+        let mut b = QldaeBuilder::new(n, 1);
+
+        // Helper closures are not usable with the move-style builder, so the
+        // stamps are written out explicitly.
+        //
+        // Conductance stamp between node i and node j (resistor + quadratic
+        // diode from i to j): current  g·(v_i − v_j) + g2·(v_i − v_j)²  leaves
+        // node i and enters node j.
+        let stamp_branch = |builder: QldaeBuilder, i: usize, j: usize, lin: f64, quad: f64| {
+            // Linear part.
+            let builder = builder
+                .g1_entry(i, i, -lin)
+                .g1_entry(i, j, lin)
+                .g1_entry(j, i, lin)
+                .g1_entry(j, j, -lin);
+            // Quadratic part: (v_i − v_j)² = v_i² − 2 v_i v_j + v_j².
+            builder
+                .g2_entry(i, i, i, -quad)
+                .g2_entry(i, i, j, 2.0 * quad)
+                .g2_entry(i, j, j, -quad)
+                .g2_entry(j, i, i, quad)
+                .g2_entry(j, i, j, -2.0 * quad)
+                .g2_entry(j, j, j, quad)
+        };
+
+        // Inter-node branches: unit resistor (conductance 1) in parallel with
+        // a diode (g1, g2).
+        for k in 0..(n - 1) {
+            b = stamp_branch(b, k, k + 1, 1.0 + g1d, g2d);
+        }
+
+        // Node 1 to ground: unit resistor plus diode.
+        b = b.g1_entry(0, 0, -(1.0 + g1d)).g2_entry(0, 0, 0, -g2d);
+        // Last node load resistor.
+        b = b.g1_entry(n - 1, n - 1, -1.0);
+
+        if voltage_driven {
+            // Thevenin source: voltage u behind a unit resistor and the input
+            // diode, attached at node 1. The branch current is
+            //   (1 + g1)(u − v_1) + g2 (u − v_1)²
+            // whose state-dependent part stamps into G1, the u·v_1 cross term
+            // into D1 and the pure u term into b. The u² forcing is dropped
+            // (see the type-level documentation).
+            b = b
+                .g1_entry(0, 0, -(1.0 + g1d))
+                .g2_entry(0, 0, 0, g2d)
+                .d1_entry(0, 0, 0, -2.0 * g2d)
+                .b_entry(0, 0, 1.0 + g1d);
+            // Output: far-end node voltage.
+            b = b.output_state(n - 1);
+        } else {
+            // Norton source: current u injected into node 1.
+            b = b.b_entry(0, 0, 1.0);
+            // Output: input node voltage (the classic observable for this
+            // benchmark).
+            b = b.output_state(0);
+        }
+
+        let qldae = b.build()?;
+        Ok(TransmissionLine { qldae, stages, voltage_driven, diode })
+    }
+
+    /// The assembled QLDAE system.
+    pub fn qldae(&self) -> &Qldae {
+        &self.qldae
+    }
+
+    /// Number of stages (= number of states).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// True for the §3.1 voltage-driven variant.
+    pub fn is_voltage_driven(&self) -> bool {
+        self.voltage_driven
+    }
+
+    /// The diode model used for the quadratic-linearization.
+    pub fn diode(&self) -> DiodeModel {
+        self.diode
+    }
+
+    /// The linear conductance matrix `G₁` (borrowed from the QLDAE).
+    pub fn g1(&self) -> &Matrix {
+        self.qldae.g1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vamor_linalg::{eigenvalues, Vector};
+    use vamor_system::PolynomialStateSpace;
+
+    #[test]
+    fn sizes_and_d1_presence_match_the_paper_variants() {
+        let v = TransmissionLine::voltage_driven(10).unwrap();
+        assert_eq!(v.qldae().order(), 10);
+        assert!(v.qldae().has_d1());
+        assert!(v.is_voltage_driven());
+        let c = TransmissionLine::current_driven(12).unwrap();
+        assert_eq!(c.qldae().order(), 12);
+        assert!(!c.qldae().has_d1());
+        assert!(!c.is_voltage_driven());
+        assert!(TransmissionLine::current_driven(1).is_err());
+    }
+
+    #[test]
+    fn linear_part_is_stable_and_symmetric() {
+        let line = TransmissionLine::current_driven(20).unwrap();
+        let g1 = line.g1();
+        // The conductance matrix of an RC ladder is symmetric negative definite.
+        assert!((g1 - &g1.transpose()).max_abs() < 1e-12);
+        let eig = eigenvalues(g1).unwrap();
+        assert!(eig.is_hurwitz());
+        assert!(eig.values().iter().all(|z| z.im.abs() < 1e-9));
+    }
+
+    #[test]
+    fn voltage_driven_linear_part_is_stable() {
+        let line = TransmissionLine::voltage_driven(15).unwrap();
+        assert!(eigenvalues(line.g1()).unwrap().is_hurwitz());
+    }
+
+    #[test]
+    fn origin_is_an_equilibrium_and_kcl_balances() {
+        let line = TransmissionLine::current_driven(8).unwrap();
+        let zero = Vector::zeros(8);
+        assert!(line.qldae().rhs(&zero, &[0.0]).norm_inf() < 1e-14);
+
+        // With zero input and a uniform voltage profile, current only flows
+        // through the grounded elements at node 1 and the load at node n.
+        let x = Vector::filled(8, 0.01);
+        let dx = line.qldae().rhs(&x, &[0.0]);
+        for k in 1..7 {
+            assert!(dx[k].abs() < 1e-12, "interior node {k} should carry no net current");
+        }
+        assert!(dx[0] < 0.0, "grounded node discharges");
+        assert!(dx[7] < 0.0, "load node discharges");
+    }
+
+    #[test]
+    fn nonlinearity_rectifies_the_response() {
+        // The quadratic diode term makes positive excursions discharge faster
+        // than negative ones: f(x) + f(-x) != 0.
+        let line = TransmissionLine::current_driven(6).unwrap();
+        let x = Vector::filled(6, 0.02);
+        let minus_x = x.scaled(-1.0);
+        let asym = &line.qldae().rhs(&x, &[0.0]) + &line.qldae().rhs(&minus_x, &[0.0]);
+        assert!(asym.norm_inf() > 1e-6);
+    }
+
+    #[test]
+    fn d1_term_couples_input_to_first_node_only() {
+        let line = TransmissionLine::voltage_driven(9).unwrap();
+        let d1 = &line.qldae().d1()[0];
+        assert!(d1.nnz() >= 1);
+        for (i, j, _) in d1.iter() {
+            assert_eq!((i, j), (0, 0));
+        }
+        // And the input feeds node 1 only.
+        let b = line.qldae().b();
+        assert!(b[(0, 0)] > 0.0);
+        for i in 1..9 {
+            assert_eq!(b[(i, 0)], 0.0);
+        }
+    }
+
+    #[test]
+    fn custom_diode_changes_the_quadratic_strength() {
+        let weak = TransmissionLine::with_diode(6, false, DiodeModel::new(10.0)).unwrap();
+        let strong = TransmissionLine::with_diode(6, false, DiodeModel::new(40.0)).unwrap();
+        assert!(strong.qldae().g2().norm_fro() > weak.qldae().g2().norm_fro());
+        assert_eq!(weak.diode().alpha(), 10.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the model order reduction engines.
+
+use std::fmt;
+
+use vamor_linalg::LinalgError;
+use vamor_system::SystemError;
+
+/// Error returned by the reduction engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MorError {
+    /// Invalid reduction request (zero moments everywhere, bad expansion
+    /// point, empty projection, ...).
+    Invalid(String),
+    /// The projection basis degenerated (all candidate vectors deflated).
+    EmptyProjection,
+    /// An underlying linear-algebra operation failed (singular `G₁`,
+    /// unsolvable Sylvester equation, ...).
+    Linalg(LinalgError),
+    /// Construction of the reduced system failed.
+    System(SystemError),
+}
+
+impl fmt::Display for MorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MorError::Invalid(msg) => write!(f, "invalid reduction request: {msg}"),
+            MorError::EmptyProjection => write!(f, "projection basis is empty after deflation"),
+            MorError::Linalg(e) => write!(f, "linear algebra error during reduction: {e}"),
+            MorError::System(e) => write!(f, "system construction error during reduction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MorError::Linalg(e) => Some(e),
+            MorError::System(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MorError {
+    fn from(e: LinalgError) -> Self {
+        MorError::Linalg(e)
+    }
+}
+
+impl From<SystemError> for MorError {
+    fn from(e: SystemError) -> Self {
+        MorError::System(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: MorError = LinalgError::Singular("g1".into()).into();
+        assert!(e.to_string().contains("g1"));
+        let e: MorError = SystemError::Invalid("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+        assert!(MorError::EmptyProjection.to_string().contains("empty"));
+        assert!(std::error::Error::source(&MorError::Invalid("x".into())).is_none());
+    }
+}

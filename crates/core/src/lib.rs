@@ -1,0 +1,56 @@
+//! # vamor-core
+//!
+//! The paper's contribution: **nonlinear model order reduction via associated
+//! transforms of high-order Volterra transfer functions** (Zhang, Liu, Wang,
+//! Fong, Wong — DAC 2012), together with the NORM-style multivariate
+//! moment-matching baseline it is compared against.
+//!
+//! The flow is:
+//!
+//! 1. describe the weakly/strongly nonlinear circuit as a QLDAE
+//!    (`vamor-system` / `vamor-circuits`);
+//! 2. the association of variables collapses each multivariate Volterra
+//!    kernel `Hₙ(s₁,…,sₙ)` into a single-`s` transfer function with an
+//!    explicit linear realization ([`assoc`], [`operators`], [`bigsmall`]);
+//! 3. Krylov/moment vectors of those single-`s` functions are orthonormalized
+//!    into one projection matrix and the QLDAE is projected
+//!    ([`AssocReducer`], [`project`]);
+//! 4. the same moment orders matched with multivariate expansions give the
+//!    NORM baseline ([`NormReducer`]) whose subspace grows as `O(k₂³ + k₃⁴)`
+//!    instead of `O(k₂ + k₃)`.
+//!
+//! ```
+//! use vamor_circuits::TransmissionLine;
+//! use vamor_core::{AssocReducer, MomentSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let line = TransmissionLine::current_driven(35)?; // the paper's 70-state case, scaled down
+//! let rom = AssocReducer::new(MomentSpec::new(4, 2, 1)).reduce(line.qldae())?;
+//! println!("reduced {} -> {}", 35, rom.order());
+//! assert!(rom.order() < 10);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod assoc;
+pub mod bigsmall;
+mod error;
+pub mod norm;
+pub mod operators;
+pub mod project;
+pub mod reduce;
+pub mod volterra;
+
+pub use assoc::{AssocMomentGenerator, CubicAssocMomentGenerator};
+pub use bigsmall::solve_sylvester_big_small;
+pub use error::MorError;
+pub use norm::NormReducer;
+pub use operators::{BlockH2Op, KronSumOp2, ShiftedSolveOp};
+pub use project::{project_cubic, project_qldae};
+pub use reduce::{
+    AssocReducer, MomentSpec, ReducedCubicOde, ReducedQldae, ReductionStats,
+};
+pub use volterra::VolterraKernels;
+
+/// Result alias for reduction routines.
+pub type Result<T> = std::result::Result<T, MorError>;

@@ -1,0 +1,318 @@
+//! The NORM baseline: projection onto multivariate Volterra moment spaces.
+//!
+//! NORM (Li & Pileggi, DAC 2003 / TCAD 2005) matches the moments of the
+//! *multivariate* transfer functions `H₂(s₁,s₂)`, `H₃(s₁,s₂,s₃)` directly.
+//! Every mixed moment direction contributes its own candidate vector, so the
+//! subspace for `k₂` second-order and `k₃` third-order moments grows like
+//! `O(k₂³)` and `O(k₃⁴)` — the "dimensionality curse" the associated
+//! transform removes. This module implements that baseline so the paper's
+//! size and runtime comparisons (Table 1, Figs. 3–4) can be reproduced.
+
+use vamor_linalg::{kron_vec, LuDecomposition, OrthoBasis, Vector};
+use vamor_system::Qldae;
+
+use crate::error::MorError;
+use crate::project::project_qldae;
+use crate::reduce::{MomentSpec, ReducedQldae, ReductionStats};
+use crate::Result;
+
+/// The multivariate moment-matching (NORM-style) reducer used as the paper's
+/// baseline.
+///
+/// ```
+/// use vamor_circuits::TransmissionLine;
+/// use vamor_core::{AssocReducer, MomentSpec, NormReducer};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let line = TransmissionLine::current_driven(30)?;
+/// let spec = MomentSpec::new(4, 2, 1);
+/// let proposed = AssocReducer::new(spec).reduce(line.qldae())?;
+/// let baseline = NormReducer::new(spec).reduce(line.qldae())?;
+/// // Same moment orders, but the multivariate baseline needs a larger basis.
+/// assert!(baseline.order() >= proposed.order());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NormReducer {
+    spec: MomentSpec,
+    deflation_tol: f64,
+}
+
+impl NormReducer {
+    /// Creates a baseline reducer for the given moment specification.
+    pub fn new(spec: MomentSpec) -> Self {
+        NormReducer { spec, deflation_tol: OrthoBasis::DEFAULT_TOL }
+    }
+
+    /// Overrides the deflation tolerance.
+    pub fn with_deflation_tol(mut self, tol: f64) -> Self {
+        self.deflation_tol = tol;
+        self
+    }
+
+    /// The moment specification.
+    pub fn spec(&self) -> MomentSpec {
+        self.spec
+    }
+
+    /// Number of candidate vectors the multivariate expansion generates for a
+    /// single-input system (before deflation): `k₁` first-order directions,
+    /// `O(k₂³)` second-order directions and `O(k₃⁴)` third-order directions.
+    pub fn candidate_count(&self, num_inputs: usize) -> usize {
+        let k1 = self.spec.k1;
+        let k2 = self.spec.k2;
+        let k3 = self.spec.k3;
+        // Second order: indices (p, a, b) with p + a + b <= k2 - 1.
+        let second = if k2 == 0 { 0 } else { compositions_upto(3, k2 - 1) };
+        // Third order: indices (p, a) plus a second-order tuple, total degree
+        // <= k3 - 1 (two variants: A ⊗ H2 and H2 ⊗ A, plus a D1 chain).
+        let third = if k3 == 0 { 0 } else { 2 * compositions_upto(5, k3 - 1) + compositions_upto(4, k3 - 1) };
+        num_inputs * (k1 + second + third) * if num_inputs > 1 { num_inputs } else { 1 }
+    }
+
+    /// Reduces a QLDAE with multivariate moment matching.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `G₁` is singular or every candidate deflates.
+    pub fn reduce(&self, qldae: &Qldae) -> Result<ReducedQldae> {
+        if self.spec.total() == 0 {
+            return Err(MorError::Invalid("at least one moment must be requested".into()));
+        }
+        let n = qldae.g1().rows();
+        let num_inputs = qldae.b().cols();
+        let g1_lu = qldae.g1().lu().map_err(MorError::Linalg)?;
+        let mut basis = OrthoBasis::with_tolerance(n, self.deflation_tol);
+        let mut stats = ReductionStats::default();
+
+        // First-order chains A_a = G1^{-(a+1)} b per input.
+        let max_chain = self.spec.k1.max(self.spec.k2).max(self.spec.k3).max(1);
+        let mut chains: Vec<Vec<Vector>> = Vec::with_capacity(num_inputs);
+        for input in 0..num_inputs {
+            let mut chain = Vec::with_capacity(max_chain);
+            let mut v = qldae.b().col(input);
+            for _ in 0..max_chain {
+                v = g1_lu.solve(&v).map_err(MorError::Linalg)?;
+                chain.push(v.clone());
+            }
+            chains.push(chain);
+        }
+
+        for chain in &chains {
+            for v in chain.iter().take(self.spec.k1) {
+                stats.h1_candidates += 1;
+                basis.insert(v.clone()).map_err(MorError::Linalg)?;
+            }
+        }
+
+        // Second-order multivariate directions.
+        let mut h2_directions: Vec<(usize, Vector)> = Vec::new();
+        if self.spec.k2 > 0 {
+            let k2 = self.spec.k2;
+            for (ia, chain_a) in chains.iter().enumerate() {
+                for chain_b in chains.iter() {
+                    for a in 0..k2 {
+                        for b in 0..k2 {
+                            if a + b + 1 > k2 {
+                                continue;
+                            }
+                            let seed = qldae.g2().matvec(&kron_vec(&chain_a[a], &chain_b[b]));
+                            let degree = a + b;
+                            self.push_resolvent_chain(
+                                &g1_lu,
+                                seed,
+                                k2 - 1 - degree,
+                                degree,
+                                &mut h2_directions,
+                                &mut basis,
+                                &mut stats.h2_candidates,
+                            )?;
+                        }
+                    }
+                }
+                // Bilinear D1 chains.
+                if let Some(d1) = qldae.d1().get(ia) {
+                    if d1.nnz() > 0 {
+                        for a in 0..k2 {
+                            let seed = d1.matvec(&chains[ia][a]);
+                            self.push_resolvent_chain(
+                                &g1_lu,
+                                seed,
+                                k2 - 1 - a,
+                                a,
+                                &mut h2_directions,
+                                &mut basis,
+                                &mut stats.h2_candidates,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Third-order multivariate directions: combine first-order chains with
+        // the second-order directions (both Kronecker orders), plus D1 chains
+        // on the second-order directions.
+        if self.spec.k3 > 0 {
+            let k3 = self.spec.k3;
+            for (ia, chain_a) in chains.iter().enumerate() {
+                for a in 0..k3.min(chain_a.len()) {
+                    for (deg2, dir2) in &h2_directions {
+                        if a + deg2 + 1 > k3 {
+                            continue;
+                        }
+                        let degree = a + deg2;
+                        for seed in [
+                            qldae.g2().matvec(&kron_vec(&chain_a[a], dir2)),
+                            qldae.g2().matvec(&kron_vec(dir2, &chain_a[a])),
+                        ] {
+                            let mut sink = Vec::new();
+                            self.push_resolvent_chain(
+                                &g1_lu,
+                                seed,
+                                k3 - 1 - degree,
+                                degree,
+                                &mut sink,
+                                &mut basis,
+                                &mut stats.h3_candidates,
+                            )?;
+                        }
+                    }
+                }
+                if let Some(d1) = qldae.d1().get(ia) {
+                    if d1.nnz() > 0 {
+                        for (deg2, dir2) in &h2_directions {
+                            if deg2 + 1 > k3 {
+                                continue;
+                            }
+                            let seed = d1.matvec(dir2);
+                            let mut sink = Vec::new();
+                            self.push_resolvent_chain(
+                                &g1_lu,
+                                seed,
+                                k3 - 1 - deg2,
+                                *deg2,
+                                &mut sink,
+                                &mut basis,
+                                &mut stats.h3_candidates,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+
+        if basis.is_empty() {
+            return Err(MorError::EmptyProjection);
+        }
+        stats.deflated = basis.deflated_count();
+        stats.projection_dim = basis.len();
+        let v = basis.to_matrix().map_err(MorError::Linalg)?;
+        let system = project_qldae(qldae, &v)?;
+        Ok(ReducedQldae::from_parts(system, v, stats))
+    }
+
+    /// Applies `G₁⁻¹` repeatedly (`1 + extra` times) to `seed`, inserting every
+    /// iterate into the basis and recording it (with its total degree) for use
+    /// by the next Volterra order.
+    #[allow(clippy::too_many_arguments)]
+    fn push_resolvent_chain(
+        &self,
+        g1_lu: &LuDecomposition,
+        seed: Vector,
+        extra: usize,
+        base_degree: usize,
+        directions: &mut Vec<(usize, Vector)>,
+        basis: &mut OrthoBasis,
+        counter: &mut usize,
+    ) -> Result<()> {
+        let mut v = seed;
+        for p in 0..=extra {
+            v = g1_lu.solve(&v).map_err(MorError::Linalg)?;
+            *counter += 1;
+            basis.insert(v.clone()).map_err(MorError::Linalg)?;
+            directions.push((base_degree + p, v.clone()));
+        }
+        Ok(())
+    }
+}
+
+/// Number of tuples of `k` non-negative integers with sum at most `max_sum`
+/// (used only for the size estimate in [`NormReducer::candidate_count`]).
+fn compositions_upto(k: usize, max_sum: usize) -> usize {
+    // C(max_sum + k, k)
+    let mut num = 1usize;
+    for i in 1..=k {
+        num = num * (max_sum + i) / i;
+    }
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::AssocReducer;
+    use crate::volterra::VolterraKernels;
+    use vamor_linalg::Complex;
+    use vamor_system::QldaeBuilder;
+
+    fn chain_qldae(n: usize) -> Qldae {
+        let mut b = QldaeBuilder::new(n, 1);
+        for i in 0..n {
+            b = b.g1_entry(i, i, -(1.0 + 0.2 * i as f64));
+            if i + 1 < n {
+                b = b.g1_entry(i, i + 1, 0.4).g1_entry(i + 1, i, 0.3);
+            }
+        }
+        b = b.g2_entry(0, 0, 1, 0.3).g2_entry(n - 1, 0, 0, -0.2).g2_entry(1, 2, 2, 0.1);
+        b.b_entry(0, 0, 1.0).output_state(n - 1).build().unwrap()
+    }
+
+    #[test]
+    fn norm_subspace_is_larger_than_associated_subspace() {
+        let q = chain_qldae(12);
+        let spec = MomentSpec::new(3, 2, 1);
+        let proposed = AssocReducer::new(spec).reduce(&q).unwrap();
+        let baseline = NormReducer::new(spec).reduce(&q).unwrap();
+        assert!(baseline.order() >= proposed.order());
+        assert!(
+            baseline.stats().total_candidates() > proposed.stats().total_candidates(),
+            "NORM should generate more candidate vectors ({} vs {})",
+            baseline.stats().total_candidates(),
+            proposed.stats().total_candidates()
+        );
+    }
+
+    #[test]
+    fn norm_rom_matches_first_and_second_order_kernels_near_dc() {
+        let q = chain_qldae(8);
+        let rom = NormReducer::new(MomentSpec::new(3, 2, 1)).reduce(&q).unwrap();
+        let full = VolterraKernels::new(&q, 0).unwrap();
+        let red = VolterraKernels::new(rom.system(), 0).unwrap();
+        let s1 = Complex::new(0.0, 0.05);
+        let s2 = Complex::new(0.01, 0.02);
+        let a1 = full.output_h1(s1).unwrap();
+        let b1 = red.output_h1(s1).unwrap();
+        assert!((a1 - b1).abs() < 1e-4 * (1.0 + a1.abs()));
+        let a2 = full.output_h2(s1, s2).unwrap();
+        let b2 = red.output_h2(s1, s2).unwrap();
+        assert!((a2 - b2).abs() < 1e-3 * (1.0 + a2.abs()));
+    }
+
+    #[test]
+    fn candidate_count_grows_much_faster_than_linear() {
+        let reducer_small = NormReducer::new(MomentSpec::new(2, 2, 2));
+        let reducer_large = NormReducer::new(MomentSpec::new(4, 4, 4));
+        let small = reducer_small.candidate_count(1);
+        let large = reducer_large.candidate_count(1);
+        // Doubling the moment orders must blow the count up by far more than 2x.
+        assert!(large > 4 * small, "expected super-linear growth: {small} -> {large}");
+        assert_eq!(reducer_small.spec().k1, 2);
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        let q = chain_qldae(4);
+        assert!(NormReducer::new(MomentSpec::new(0, 0, 0)).reduce(&q).is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! Structured operators for the associated-transform realizations.
+//!
+//! The single-`s` realizations of the associated transfer functions involve
+//! the matrices
+//!
+//! * `G₁ ⊕ G₁` (dimension `n²`), and
+//! * `G̃₂ = [[G₁, G₂], [0, G₁ ⊕ G₁]]` (dimension `n + n²`, Eq. 17 of the
+//!   paper),
+//!
+//! which must never be formed explicitly. Both are exposed here through the
+//! [`ShiftedSolveOp`] trait — the minimal interface (`apply`, real/complex
+//! shifted solves) required by the moment recursions and by the
+//! big-left/small-right Sylvester solver in [`crate::bigsmall`].
+
+use vamor_linalg::{
+    Complex, CsrMatrix, LuDecomposition, Matrix, SylvesterSolver, Vector, ZMatrix, ZVector,
+};
+
+use crate::error::MorError;
+use crate::Result;
+
+/// A square operator supporting application and shifted solves
+/// `(Op + σI) x = r` with real or complex shifts.
+pub trait ShiftedSolveOp {
+    /// Operator dimension.
+    fn dim(&self) -> usize;
+
+    /// Applies the operator.
+    fn apply(&self, x: &Vector) -> Vector;
+
+    /// Solves `(Op + σ I) x = rhs` for a real shift `σ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shifted operator is singular or the dimensions
+    /// mismatch.
+    fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> Result<Vector>;
+
+    /// Solves `(Op + λ I) x = rhs` for a complex shift `λ` and complex
+    /// right-hand side `rhs = re + i·im`, returning `(x_re, x_im)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shifted operator is singular or the dimensions
+    /// mismatch.
+    fn solve_shifted_complex(
+        &self,
+        lambda: Complex,
+        re: &Vector,
+        im: &Vector,
+    ) -> Result<(Vector, Vector)>;
+}
+
+/// Reshapes a length-`rows*cols` vector into a `rows x cols` matrix
+/// (column-major), panicking on mismatch. Internal helper.
+fn unvec(x: &Vector, rows: usize, cols: usize) -> Matrix {
+    vamor_linalg::kron::unvec(x, rows, cols).expect("internal reshape mismatch")
+}
+
+fn vec_of(m: &Matrix) -> Vector {
+    vamor_linalg::kron::vec_of(m)
+}
+
+/// The Kronecker sum `A ⊕ A` of a square matrix with itself, with cached
+/// Schur machinery for shifted solves. Used for `G₁ ⊕ G₁` (and its transpose
+/// when solving for the decoupling matrix `Π` of Eq. 18).
+#[derive(Debug, Clone)]
+pub struct KronSumOp2 {
+    a: Matrix,
+    solver: SylvesterSolver,
+    n: usize,
+}
+
+impl KronSumOp2 {
+    /// Builds the operator for `A ⊕ A`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `a` is not square or its Schur factorization
+    /// fails.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(MorError::Invalid(format!(
+                "kronecker sum operand must be square, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let solver = SylvesterSolver::new(a, &a.transpose()).map_err(MorError::Linalg)?;
+        Ok(KronSumOp2 { a: a.clone(), solver, n: a.rows() })
+    }
+
+    /// The factor `A`.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+}
+
+impl ShiftedSolveOp for KronSumOp2 {
+    fn dim(&self) -> usize {
+        self.n * self.n
+    }
+
+    fn apply(&self, x: &Vector) -> Vector {
+        let xm = unvec(x, self.n, self.n);
+        let mut y = self.a.matmul(&xm);
+        y.axpy(1.0, &xm.matmul(&self.a.transpose()));
+        vec_of(&y)
+    }
+
+    fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> Result<Vector> {
+        // (A ⊕ A + σI) x = rhs  <=>  (A + σI) X + X Aᵀ = unvec(rhs).
+        let r = unvec(rhs, self.n, self.n);
+        let x = self.solver.solve_shifted(sigma, &r).map_err(MorError::Linalg)?;
+        Ok(vec_of(&x))
+    }
+
+    fn solve_shifted_complex(
+        &self,
+        lambda: Complex,
+        re: &Vector,
+        im: &Vector,
+    ) -> Result<(Vector, Vector)> {
+        let r_re = unvec(re, self.n, self.n);
+        let r_im = unvec(im, self.n, self.n);
+        let (x_re, x_im) =
+            self.solver.solve_shifted_complex(lambda, &r_re, &r_im).map_err(MorError::Linalg)?;
+        Ok((vec_of(&x_re), vec_of(&x_im)))
+    }
+}
+
+/// The block realization matrix `G̃₂ = [[G₁, G₂], [0, G₁ ⊕ G₁]]` of the
+/// associated second-order transfer function (Eq. 17), as a structured
+/// operator of dimension `n + n²`.
+#[derive(Debug, Clone)]
+pub struct BlockH2Op {
+    g1: Matrix,
+    g2: CsrMatrix,
+    kron: KronSumOp2,
+    g1_lu: LuDecomposition,
+    n: usize,
+}
+
+impl BlockH2Op {
+    /// Builds the operator from the QLDAE coefficient matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `G₁` is singular (required for the `σ = 0`
+    /// expansion used throughout) or the shapes mismatch.
+    pub fn new(g1: &Matrix, g2: &CsrMatrix) -> Result<Self> {
+        let n = g1.rows();
+        if g2.rows() != n || g2.cols() != n * n {
+            return Err(MorError::Invalid(format!(
+                "G2 must be {n}x{}, got {}x{}",
+                n * n,
+                g2.rows(),
+                g2.cols()
+            )));
+        }
+        let kron = KronSumOp2::new(g1)?;
+        let g1_lu = g1.lu().map_err(MorError::Linalg)?;
+        Ok(BlockH2Op { g1: g1.clone(), g2: g2.clone(), kron, g1_lu, n })
+    }
+
+    /// The state dimension `n` of the underlying QLDAE.
+    pub fn state_dim(&self) -> usize {
+        self.n
+    }
+
+    /// Splits a block vector into its `(top, bottom)` halves.
+    fn split(&self, x: &Vector) -> (Vector, Vector) {
+        (x.slice(0, self.n), x.slice(self.n, self.n + self.n * self.n))
+    }
+
+    /// Builds the input vector `b̃₂ = [D₁ b; b ⊗ b]` of the realization for a
+    /// given input column `b` and optional bilinear term `D₁ b`.
+    pub fn btilde(&self, b: &Vector, d1b: Option<&Vector>) -> Vector {
+        let top = match d1b {
+            Some(v) => v.clone(),
+            None => Vector::zeros(self.n),
+        };
+        top.concat(&vamor_linalg::kron_vec(b, b))
+    }
+
+    /// Applies the output map `c̃₂ = [Iₙ 0]` (keeps the first `n` entries).
+    pub fn apply_ctilde(&self, x: &Vector) -> Vector {
+        x.slice(0, self.n)
+    }
+}
+
+impl ShiftedSolveOp for BlockH2Op {
+    fn dim(&self) -> usize {
+        self.n + self.n * self.n
+    }
+
+    fn apply(&self, x: &Vector) -> Vector {
+        let (v1, v2) = self.split(x);
+        let mut top = self.g1.matvec(&v1);
+        top.axpy(1.0, &self.g2.matvec(&v2));
+        let bottom = self.kron.apply(&v2);
+        top.concat(&bottom)
+    }
+
+    fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> Result<Vector> {
+        let (r1, r2) = self.split(rhs);
+        // Bottom block first: (G1⊕G1 + σI) v2 = r2.
+        let v2 = self.kron.solve_shifted(sigma, &r2)?;
+        // Top block: (G1 + σI) v1 = r1 − G2 v2.
+        let mut top_rhs = r1.clone();
+        top_rhs.axpy(-1.0, &self.g2.matvec(&v2));
+        let v1 = if sigma == 0.0 {
+            self.g1_lu.solve(&top_rhs).map_err(MorError::Linalg)?
+        } else {
+            let mut shifted = self.g1.clone();
+            for i in 0..self.n {
+                shifted[(i, i)] += sigma;
+            }
+            shifted.solve(&top_rhs).map_err(MorError::Linalg)?
+        };
+        Ok(v1.concat(&v2))
+    }
+
+    fn solve_shifted_complex(
+        &self,
+        lambda: Complex,
+        re: &Vector,
+        im: &Vector,
+    ) -> Result<(Vector, Vector)> {
+        let (r1_re, r2_re) = self.split(re);
+        let (r1_im, r2_im) = self.split(im);
+        let (v2_re, v2_im) = self.kron.solve_shifted_complex(lambda, &r2_re, &r2_im)?;
+        // Top block complex solve: (G1 + λ I) v1 = r1 − G2 v2.
+        let mut rhs = ZVector::zeros(self.n);
+        let g2v_re = self.g2.matvec(&v2_re);
+        let g2v_im = self.g2.matvec(&v2_im);
+        for i in 0..self.n {
+            rhs[i] = Complex::new(r1_re[i] - g2v_re[i], r1_im[i] - g2v_im[i]);
+        }
+        let mut zm = ZMatrix::from_real(&self.g1);
+        for i in 0..self.n {
+            zm[(i, i)] += lambda;
+        }
+        let v1 = zm.solve(&rhs).map_err(MorError::Linalg)?;
+        Ok((v1.real().concat(&v2_re), v1.imag().concat(&v2_im)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vamor_linalg::{kron_sum, CooMatrix};
+
+    fn stable(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let mut m = Matrix::from_fn(n, n, |_, _| next() * 0.6);
+        for i in 0..n {
+            m[(i, i)] -= 1.5 + 0.2 * i as f64;
+        }
+        m
+    }
+
+    fn sparse_g2(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n * n);
+        coo.push(0, 0, 0.4);
+        coo.push(1, n + 1, -0.3);
+        if n > 2 {
+            coo.push(2, 2 * n, 0.2);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn kron_sum_op_matches_dense() {
+        let a = stable(4, 3);
+        let op = KronSumOp2::new(&a).unwrap();
+        let dense = kron_sum(&a, &a);
+        let x = Vector::from_fn(16, |i| (i as f64 * 0.37).sin());
+        assert!((&op.apply(&x) - &dense.matvec(&x)).norm_inf() < 1e-12);
+        // Shifted solve.
+        let sigma = 0.8;
+        let y = op.solve_shifted(sigma, &x).unwrap();
+        let mut shifted = dense.clone();
+        for i in 0..16 {
+            shifted[(i, i)] += sigma;
+        }
+        assert!((&shifted.matvec(&y) - &x).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn kron_sum_complex_shift_residual_is_small() {
+        let a = stable(3, 9);
+        let op = KronSumOp2::new(&a).unwrap();
+        let dense = kron_sum(&a, &a);
+        let lambda = Complex::new(0.4, 1.1);
+        let re = Vector::from_fn(9, |i| i as f64 - 4.0);
+        let im = Vector::from_fn(9, |i| 0.5 * i as f64);
+        let (x_re, x_im) = op.solve_shifted_complex(lambda, &re, &im).unwrap();
+        // Residual: (M + λI)(x_re + i x_im) − (re + i im).
+        let mut res_re = dense.matvec(&x_re);
+        res_re.axpy(lambda.re, &x_re);
+        res_re.axpy(-lambda.im, &x_im);
+        res_re.axpy(-1.0, &re);
+        let mut res_im = dense.matvec(&x_im);
+        res_im.axpy(lambda.re, &x_im);
+        res_im.axpy(lambda.im, &x_re);
+        res_im.axpy(-1.0, &im);
+        assert!(res_re.norm_inf() < 1e-9, "re residual {}", res_re.norm_inf());
+        assert!(res_im.norm_inf() < 1e-9, "im residual {}", res_im.norm_inf());
+    }
+
+    #[test]
+    fn block_h2_op_matches_dense_block_matrix() {
+        let n = 3;
+        let g1 = stable(n, 5);
+        let g2 = sparse_g2(n);
+        let op = BlockH2Op::new(&g1, &g2).unwrap();
+        assert_eq!(op.dim(), n + n * n);
+        // Dense G̃2.
+        let mut dense = Matrix::zeros(n + n * n, n + n * n);
+        dense.set_block(0, 0, &g1);
+        dense.set_block(0, n, &g2.to_dense());
+        dense.set_block(n, n, &kron_sum(&g1, &g1));
+        let x = Vector::from_fn(op.dim(), |i| ((i * 7 % 5) as f64) - 2.0);
+        assert!((&op.apply(&x) - &dense.matvec(&x)).norm_inf() < 1e-12);
+        // Real shifted solve.
+        let sigma = 0.3;
+        let y = op.solve_shifted(sigma, &x).unwrap();
+        let mut shifted = dense.clone();
+        for i in 0..op.dim() {
+            shifted[(i, i)] += sigma;
+        }
+        assert!((&shifted.matvec(&y) - &x).norm_inf() < 1e-9);
+        // Zero-shift solve uses the cached LU path.
+        let y0 = op.solve_shifted(0.0, &x).unwrap();
+        assert!((&dense.matvec(&y0) - &x).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn block_h2_complex_shift_residual_is_small() {
+        let n = 3;
+        // Give G1 a complex eigenvalue pair to make the test representative.
+        let mut g1 = stable(n, 13);
+        g1[(0, 1)] += 1.5;
+        g1[(1, 0)] -= 1.5;
+        let g2 = sparse_g2(n);
+        let op = BlockH2Op::new(&g1, &g2).unwrap();
+        let mut dense = Matrix::zeros(n + n * n, n + n * n);
+        dense.set_block(0, 0, &g1);
+        dense.set_block(0, n, &g2.to_dense());
+        dense.set_block(n, n, &kron_sum(&g1, &g1));
+        let lambda = Complex::new(0.2, 0.9);
+        let re = Vector::from_fn(op.dim(), |i| (i as f64 * 0.11).cos());
+        let im = Vector::from_fn(op.dim(), |i| (i as f64 * 0.07).sin());
+        let (x_re, x_im) = op.solve_shifted_complex(lambda, &re, &im).unwrap();
+        let mut res_re = dense.matvec(&x_re);
+        res_re.axpy(lambda.re, &x_re);
+        res_re.axpy(-lambda.im, &x_im);
+        res_re.axpy(-1.0, &re);
+        let mut res_im = dense.matvec(&x_im);
+        res_im.axpy(lambda.re, &x_im);
+        res_im.axpy(lambda.im, &x_re);
+        res_im.axpy(-1.0, &im);
+        assert!(res_re.norm_inf() < 1e-9);
+        assert!(res_im.norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn btilde_and_ctilde_layout() {
+        let n = 2;
+        let g1 = stable(n, 21);
+        let g2 = CooMatrix::new(n, n * n).to_csr();
+        let op = BlockH2Op::new(&g1, &g2).unwrap();
+        let b = Vector::from_slice(&[1.0, 2.0]);
+        let d1b = Vector::from_slice(&[5.0, 6.0]);
+        let bt = op.btilde(&b, Some(&d1b));
+        assert_eq!(bt.len(), 6);
+        assert_eq!(bt.as_slice()[..2], [5.0, 6.0]);
+        assert_eq!(bt.as_slice()[2..], [1.0, 2.0, 2.0, 4.0]);
+        let bt0 = op.btilde(&b, None);
+        assert_eq!(bt0.as_slice()[..2], [0.0, 0.0]);
+        assert_eq!(op.apply_ctilde(&bt).as_slice(), &[5.0, 6.0]);
+        assert_eq!(op.state_dim(), 2);
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        let g1 = stable(3, 2);
+        let g2 = CooMatrix::new(3, 5).to_csr();
+        assert!(BlockH2Op::new(&g1, &g2).is_err());
+        assert!(KronSumOp2::new(&Matrix::zeros(2, 3)).is_err());
+    }
+}

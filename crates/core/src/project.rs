@@ -1,0 +1,252 @@
+//! Galerkin projection of polynomial systems onto an orthonormal basis.
+
+use vamor_linalg::{CooMatrix, CsrMatrix, Matrix, Vector};
+use vamor_system::{CubicOde, Qldae};
+
+use crate::error::MorError;
+use crate::Result;
+
+/// Projects a QLDAE onto the column space of `V` (`n × q`, orthonormal
+/// columns):
+///
+/// ```text
+/// G₁ᵣ = Vᵀ G₁ V,   G₂ᵣ = Vᵀ G₂ (V ⊗ V),   D₁ᵣ = Vᵀ D₁ V,
+/// Bᵣ = Vᵀ B,       Cᵣ = C V.
+/// ```
+///
+/// The reduced quadratic coupling is assembled column-by-column through the
+/// Kronecker-structured product `G₂ (v_p ⊗ v_q)` so the `n × n²` matrix is
+/// never densified.
+///
+/// # Errors
+///
+/// Returns [`MorError::Invalid`] if `V` has the wrong row count or more
+/// columns than rows, and propagates construction errors of the reduced
+/// system.
+pub fn project_qldae(qldae: &Qldae, v: &Matrix) -> Result<Qldae> {
+    let n = qldae.g1().rows();
+    validate_basis(v, n)?;
+    let q = v.cols();
+
+    let g1r = v.transpose().matmul(&qldae.g1().matmul(v));
+    let br = v.transpose().matmul(qldae.b());
+    let cr = qldae.c().matmul(v);
+
+    // Reduced quadratic term.
+    let mut g2r = CooMatrix::new(q, q * q);
+    let columns: Vec<Vector> = (0..q).map(|j| v.col(j)).collect();
+    for (p, vp) in columns.iter().enumerate() {
+        for (r, vr) in columns.iter().enumerate() {
+            let col = qldae.g2().matvec_kron(vp, vr);
+            let reduced = v.matvec_transpose(&col);
+            for i in 0..q {
+                if reduced[i] != 0.0 {
+                    g2r.push(i, p * q + r, reduced[i]);
+                }
+            }
+        }
+    }
+
+    // Reduced bilinear terms.
+    let mut d1r = Vec::with_capacity(qldae.d1().len());
+    for dk in qldae.d1() {
+        let dense = dk.to_dense();
+        let reduced = v.transpose().matmul(&dense.matmul(v));
+        d1r.push(CsrMatrix::from_dense(&reduced, 0.0));
+    }
+
+    Qldae::new(g1r, g2r.to_csr(), d1r, br, cr).map_err(MorError::System)
+}
+
+/// Projects a cubic ODE onto the column space of `V`:
+/// `G₃ᵣ = Vᵀ G₃ (V ⊗ V ⊗ V)` (and `G₂ᵣ` analogously when present).
+///
+/// # Errors
+///
+/// Same contract as [`project_qldae`].
+pub fn project_cubic(ode: &CubicOde, v: &Matrix) -> Result<CubicOde> {
+    let n = ode.g1().rows();
+    validate_basis(v, n)?;
+    let q = v.cols();
+
+    let g1r = v.transpose().matmul(&ode.g1().matmul(v));
+    let br = v.transpose().matmul(ode.b());
+    let cr = ode.c().matmul(v);
+    let columns: Vec<Vector> = (0..q).map(|j| v.col(j)).collect();
+
+    let g2r = match ode.g2() {
+        Some(g2) => {
+            let mut coo = CooMatrix::new(q, q * q);
+            for (p, vp) in columns.iter().enumerate() {
+                for (r, vr) in columns.iter().enumerate() {
+                    let col = g2.matvec_kron(vp, vr);
+                    let reduced = v.matvec_transpose(&col);
+                    for i in 0..q {
+                        if reduced[i] != 0.0 {
+                            coo.push(i, p * q + r, reduced[i]);
+                        }
+                    }
+                }
+            }
+            Some(coo.to_csr())
+        }
+        None => None,
+    };
+
+    let mut g3r = CooMatrix::new(q, q * q * q);
+    for (p, vp) in columns.iter().enumerate() {
+        for (r, vr) in columns.iter().enumerate() {
+            for (s, vs) in columns.iter().enumerate() {
+                let col = cubic_matvec_kron(ode.g3(), vp, vr, vs);
+                let reduced = v.matvec_transpose(&col);
+                for i in 0..q {
+                    if reduced[i] != 0.0 {
+                        g3r.push(i, p * q * q + r * q + s, reduced[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    CubicOde::new(g1r, g2r, g3r.to_csr(), br, cr).map_err(MorError::System)
+}
+
+/// `G₃ (x ⊗ y ⊗ z)` without materializing the Kronecker product.
+pub fn cubic_matvec_kron(g3: &CsrMatrix, x: &Vector, y: &Vector, z: &Vector) -> Vector {
+    let n = x.len();
+    debug_assert_eq!(g3.cols(), n * n * n, "cubic_matvec_kron: dimension mismatch");
+    let mut out = Vector::zeros(g3.rows());
+    for (i, col, g) in g3.iter() {
+        let p = col / (n * n);
+        let q = (col / n) % n;
+        let r = col % n;
+        out[i] += g * x[p] * y[q] * z[r];
+    }
+    out
+}
+
+fn validate_basis(v: &Matrix, n: usize) -> Result<()> {
+    if v.rows() != n {
+        return Err(MorError::Invalid(format!(
+            "projection basis has {} rows, expected {n}",
+            v.rows()
+        )));
+    }
+    if v.cols() == 0 || v.cols() > n {
+        return Err(MorError::Invalid(format!(
+            "projection basis has {} columns for an order-{n} system",
+            v.cols()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vamor_linalg::{kron_vec, OrthoBasis};
+    use vamor_system::{PolynomialStateSpace, QldaeBuilder};
+
+    fn toy_qldae() -> Qldae {
+        QldaeBuilder::new(3, 1)
+            .g1_entry(0, 0, -1.0)
+            .g1_entry(1, 1, -2.0)
+            .g1_entry(2, 2, -3.0)
+            .g1_entry(0, 1, 0.5)
+            .g2_entry(0, 1, 2, 0.7)
+            .g2_entry(2, 0, 0, -0.4)
+            .d1_entry(0, 1, 0, 0.2)
+            .b_entry(0, 0, 1.0)
+            .b_entry(1, 0, 0.3)
+            .output_state(2)
+            .build()
+            .unwrap()
+    }
+
+    fn identity_basis(n: usize) -> Matrix {
+        Matrix::identity(n)
+    }
+
+    #[test]
+    fn projection_with_identity_basis_is_lossless() {
+        let q = toy_qldae();
+        let reduced = project_qldae(&q, &identity_basis(3)).unwrap();
+        let x = Vector::from_slice(&[0.3, -0.2, 0.5]);
+        let u = [0.7];
+        assert!((&q.rhs(&x, &u) - &reduced.rhs(&x, &u)).norm_inf() < 1e-12);
+        assert!((&q.output(&x) - &reduced.output(&x)).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn projected_rhs_is_galerkin_consistent() {
+        // For any x_r, the reduced RHS equals Vᵀ f(V x_r) restricted to
+        // quadratic + linear terms (the Galerkin identity for polynomial
+        // systems).
+        let q = toy_qldae();
+        let mut basis = OrthoBasis::new(3);
+        basis.insert(Vector::from_slice(&[1.0, 1.0, 0.0])).unwrap();
+        basis.insert(Vector::from_slice(&[0.0, 1.0, 1.0])).unwrap();
+        let v = basis.to_matrix().unwrap();
+        let reduced = project_qldae(&q, &v).unwrap();
+        let xr = Vector::from_slice(&[0.4, -0.3]);
+        let u = [0.25];
+        let x_full = v.matvec(&xr);
+        let expected = v.matvec_transpose(&q.rhs(&x_full, &u));
+        let got = reduced.rhs(&xr, &u);
+        assert!((&expected - &got).norm_inf() < 1e-12);
+        // Output consistency.
+        assert!((&q.output(&x_full) - &reduced.output(&xr)).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn cubic_projection_is_galerkin_consistent() {
+        let n = 3;
+        let g1 = Matrix::from_rows(&[&[-1.0, 0.0, 0.2], &[0.0, -2.0, 0.0], &[0.0, 0.3, -1.5]])
+            .unwrap();
+        let mut g3 = CooMatrix::new(n, n * n * n);
+        g3.push(0, 0, 0.4);
+        g3.push(1, 14, -0.2);
+        g3.push(2, 5, 0.1);
+        let ode = CubicOde::new(
+            g1,
+            None,
+            g3.to_csr(),
+            Matrix::from_rows(&[&[1.0], &[0.0], &[0.5]]).unwrap(),
+            Matrix::from_rows(&[&[0.0, 0.0, 1.0]]).unwrap(),
+        )
+        .unwrap();
+        let mut basis = OrthoBasis::new(3);
+        basis.insert(Vector::from_slice(&[1.0, 0.5, 0.0])).unwrap();
+        basis.insert(Vector::from_slice(&[0.0, 0.5, 1.0])).unwrap();
+        let v = basis.to_matrix().unwrap();
+        let reduced = project_cubic(&ode, &v).unwrap();
+        let xr = Vector::from_slice(&[0.2, -0.6]);
+        let x_full = v.matvec(&xr);
+        let expected = v.matvec_transpose(&ode.rhs(&x_full, &[0.1]));
+        let got = reduced.rhs(&xr, &[0.1]);
+        assert!((&expected - &got).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn cubic_matvec_kron_matches_explicit_kron() {
+        let n = 2;
+        let mut g3 = CooMatrix::new(n, n * n * n);
+        g3.push(0, 3, 2.0);
+        g3.push(1, 6, -1.5);
+        g3.push(1, 0, 0.5);
+        let g3 = g3.to_csr();
+        let x = Vector::from_slice(&[1.0, -2.0]);
+        let y = Vector::from_slice(&[0.5, 3.0]);
+        let z = Vector::from_slice(&[-1.0, 0.25]);
+        let explicit = g3.matvec(&kron_vec(&x, &kron_vec(&y, &z)));
+        let structured = cubic_matvec_kron(&g3, &x, &y, &z);
+        assert!((&explicit - &structured).norm_inf() < 1e-14);
+    }
+
+    #[test]
+    fn invalid_bases_are_rejected() {
+        let q = toy_qldae();
+        assert!(project_qldae(&q, &Matrix::zeros(2, 1)).is_err());
+        assert!(project_qldae(&q, &Matrix::zeros(3, 4)).is_err());
+    }
+}

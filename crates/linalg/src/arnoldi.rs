@@ -1,0 +1,190 @@
+//! Arnoldi iteration over abstract linear operators.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::op::LinearOp;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Result of an Arnoldi iteration: an orthonormal Krylov basis `V` and the
+/// (rectangular) upper Hessenberg matrix `H` such that `A V_k = V_{k+1} H`.
+#[derive(Debug, Clone)]
+pub struct ArnoldiResult {
+    /// Orthonormal basis vectors `v_1, …, v_m` (and `v_{m+1}` unless the
+    /// iteration broke down).
+    pub basis: Vec<Vector>,
+    /// The `(m+1) x m` (or `m x m` on breakdown) Hessenberg matrix.
+    pub hessenberg: Matrix,
+    /// True if the iteration terminated early because the Krylov space is
+    /// invariant ("happy breakdown").
+    pub breakdown: bool,
+}
+
+impl ArnoldiResult {
+    /// Number of Krylov directions generated (columns of `H`).
+    pub fn steps(&self) -> usize {
+        self.hessenberg.cols()
+    }
+
+    /// The orthonormal basis truncated to the Krylov space dimension (drops
+    /// the trailing `v_{m+1}` vector when present).
+    pub fn krylov_basis(&self) -> &[Vector] {
+        &self.basis[..self.steps()]
+    }
+}
+
+/// Runs `steps` Arnoldi iterations of the operator `op` started from `start`.
+///
+/// The returned basis spans `span{b, A b, …, A^{m-1} b}` where `b` is the
+/// normalized start vector, which is exactly the moment space used for
+/// projection-based moment matching.
+///
+/// # Errors
+///
+/// * [`LinalgError::InvalidArgument`] if `steps == 0` or the start vector is
+///   zero / non-finite.
+/// * [`LinalgError::DimensionMismatch`] if `start.len() != op.dim()`.
+///
+/// ```
+/// use vamor_linalg::{arnoldi, DenseOp, Matrix, Vector};
+/// # fn main() -> Result<(), vamor_linalg::LinalgError> {
+/// let a = Matrix::from_diagonal(&[1.0, 2.0, 3.0]);
+/// let op = DenseOp::new(a);
+/// let res = arnoldi(&op, &Vector::from_slice(&[1.0, 1.0, 1.0]), 3)?;
+/// assert_eq!(res.steps(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn arnoldi(op: &dyn LinearOp, start: &Vector, steps: usize) -> Result<ArnoldiResult> {
+    if steps == 0 {
+        return Err(LinalgError::InvalidArgument("arnoldi: steps must be positive".into()));
+    }
+    if start.len() != op.dim() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "arnoldi: start vector of length {} for operator of dimension {}",
+            start.len(),
+            op.dim()
+        )));
+    }
+    let mut v0 = start.clone();
+    v0.normalize_mut().map_err(|_| {
+        LinalgError::InvalidArgument("arnoldi: start vector must be nonzero and finite".into())
+    })?;
+
+    let max_steps = steps.min(op.dim());
+    let mut basis: Vec<Vector> = vec![v0];
+    let mut h = Matrix::zeros(max_steps + 1, max_steps);
+    let mut breakdown = false;
+    let mut completed = 0;
+
+    for j in 0..max_steps {
+        let mut w = op.apply(&basis[j]);
+        // Modified Gram-Schmidt with one re-orthogonalization pass.
+        for _ in 0..2 {
+            for (i, vi) in basis.iter().enumerate() {
+                let coeff = vi.dot(&w);
+                if coeff != 0.0 {
+                    w.axpy(-coeff, vi);
+                    h[(i, j)] += coeff;
+                }
+            }
+        }
+        let norm = w.norm2();
+        completed = j + 1;
+        if norm <= f64::EPSILON * 100.0 {
+            breakdown = true;
+            break;
+        }
+        h[(j + 1, j)] = norm;
+        w.scale_mut(1.0 / norm);
+        basis.push(w);
+    }
+
+    // Trim H to the number of completed steps.
+    let rows = if breakdown { completed } else { completed + 1 };
+    let hess = h.submatrix(0, rows, 0, completed);
+    Ok(ArnoldiResult { basis, hessenberg: hess, breakdown })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::DenseOp;
+
+    fn test_matrix(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        Matrix::from_fn(n, n, |_, _| next())
+    }
+
+    #[test]
+    fn arnoldi_relation_holds() {
+        let n = 8;
+        let a = test_matrix(n, 5);
+        let op = DenseOp::new(a.clone());
+        let b = Vector::from_fn(n, |i| (i + 1) as f64);
+        let m = 5;
+        let res = arnoldi(&op, &b, m).unwrap();
+        assert_eq!(res.steps(), m);
+        assert!(!res.breakdown);
+        // A V_m = V_{m+1} H.
+        let v_m = Matrix::from_columns(&res.basis[..m]).unwrap();
+        let v_mp1 = Matrix::from_columns(&res.basis).unwrap();
+        let left = a.matmul(&v_m);
+        let right = v_mp1.matmul(&res.hessenberg);
+        assert!((&left - &right).max_abs() < 1e-10);
+        // Orthonormal basis.
+        let gram = v_mp1.transpose().matmul(&v_mp1);
+        assert!((&gram - &Matrix::identity(m + 1)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn krylov_space_contains_power_iterates() {
+        let n = 6;
+        let a = test_matrix(n, 17);
+        let op = DenseOp::new(a.clone());
+        let b = Vector::from_fn(n, |i| 1.0 + i as f64);
+        let m = 4;
+        let res = arnoldi(&op, &b, m).unwrap();
+        // b, Ab, A²b, A³b must all lie in span(V_m).
+        let mut basis = crate::orth::OrthoBasis::new(n);
+        for v in res.krylov_basis() {
+            basis.insert(v.clone()).unwrap();
+        }
+        let mut x = b.clone();
+        for _ in 0..m {
+            assert!(basis.residual_norm(&x) < 1e-8 * x.norm2());
+            x = a.matvec(&x);
+        }
+    }
+
+    #[test]
+    fn happy_breakdown_on_invariant_subspace() {
+        // Start vector is an eigenvector: the Krylov space has dimension 1.
+        let a = Matrix::from_diagonal(&[2.0, 3.0, 4.0]);
+        let op = DenseOp::new(a);
+        let res = arnoldi(&op, &Vector::from_slice(&[1.0, 0.0, 0.0]), 3).unwrap();
+        assert!(res.breakdown);
+        assert_eq!(res.steps(), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let op = DenseOp::new(Matrix::identity(3));
+        assert!(arnoldi(&op, &Vector::zeros(3), 2).is_err());
+        assert!(arnoldi(&op, &Vector::from_slice(&[1.0, 0.0]), 2).is_err());
+        assert!(arnoldi(&op, &Vector::from_slice(&[1.0, 0.0, 0.0]), 0).is_err());
+    }
+
+    #[test]
+    fn steps_are_capped_at_dimension() {
+        let op = DenseOp::new(test_matrix(3, 9));
+        let res = arnoldi(&op, &Vector::from_slice(&[1.0, 2.0, 3.0]), 10).unwrap();
+        assert!(res.steps() <= 3);
+    }
+}

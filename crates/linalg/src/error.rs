@@ -1,0 +1,59 @@
+//! Error type shared by all `vamor-linalg` routines.
+
+use std::fmt;
+
+/// Error returned by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands have incompatible dimensions.
+    ///
+    /// The payload describes the operation and the offending shapes.
+    DimensionMismatch(String),
+    /// A matrix that must be square is not.
+    NotSquare { rows: usize, cols: usize },
+    /// A factorization encountered an (numerically) singular matrix.
+    Singular(String),
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NotConverged { algorithm: &'static str, iterations: usize },
+    /// Invalid argument (empty matrix, non-positive tolerance, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::Singular(msg) => write!(f, "singular matrix: {msg}"),
+            LinalgError::NotConverged { algorithm, iterations } => {
+                write!(f, "{algorithm} did not converge in {iterations} iterations")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::NotSquare { rows: 3, cols: 4 };
+        assert_eq!(e.to_string(), "matrix must be square, got 3x4");
+        let e = LinalgError::Singular("zero pivot at column 2".into());
+        assert!(e.to_string().contains("zero pivot"));
+        let e = LinalgError::NotConverged { algorithm: "qr iteration", iterations: 30 };
+        assert!(e.to_string().contains("qr iteration"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,193 @@
+//! Householder reduction to upper Hessenberg form.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Orthogonal reduction `A = Q H Qᵀ` with `H` upper Hessenberg.
+///
+/// This is the first stage of the real Schur decomposition and is also useful
+/// on its own for cheap repeated shifted solves.
+///
+/// ```
+/// use vamor_linalg::{HessenbergDecomposition, Matrix};
+/// # fn main() -> Result<(), vamor_linalg::LinalgError> {
+/// let a = Matrix::from_fn(4, 4, |i, j| ((i * 7 + j * 3) % 5) as f64);
+/// let hess = HessenbergDecomposition::new(&a)?;
+/// let back = hess.q().matmul(hess.h()).matmul(&hess.q().transpose());
+/// assert!((&back - &a).max_abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HessenbergDecomposition {
+    q: Matrix,
+    h: Matrix,
+}
+
+impl HessenbergDecomposition {
+    /// Reduces the square matrix `a` to Hessenberg form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] if `a` is not square or
+    /// [`LinalgError::InvalidArgument`] if it is empty.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::InvalidArgument("hessenberg of empty matrix".into()));
+        }
+        let mut h = a.clone();
+        let mut q = Matrix::identity(n);
+        if n <= 2 {
+            return Ok(HessenbergDecomposition { q, h });
+        }
+
+        for k in 0..(n - 2) {
+            // Householder vector annihilating H[k+2.., k].
+            let mut norm_x = 0.0;
+            for i in (k + 1)..n {
+                norm_x += h[(i, k)] * h[(i, k)];
+            }
+            let norm_x = norm_x.sqrt();
+            if norm_x == 0.0 {
+                continue;
+            }
+            let mut v = Vector::zeros(n);
+            let alpha = if h[(k + 1, k)] >= 0.0 { -norm_x } else { norm_x };
+            for i in (k + 1)..n {
+                v[i] = h[(i, k)];
+            }
+            v[k + 1] -= alpha;
+            let vnorm = v.norm2();
+            if vnorm == 0.0 {
+                continue;
+            }
+            v.scale_mut(1.0 / vnorm);
+
+            // H <- P H with P = I - 2 v vᵀ  (affects rows k+1..n).
+            for j in 0..n {
+                let mut dot = 0.0;
+                for i in (k + 1)..n {
+                    dot += v[i] * h[(i, j)];
+                }
+                if dot != 0.0 {
+                    for i in (k + 1)..n {
+                        h[(i, j)] -= 2.0 * dot * v[i];
+                    }
+                }
+            }
+            // H <- H P (affects columns k+1..n).
+            for i in 0..n {
+                let mut dot = 0.0;
+                for j in (k + 1)..n {
+                    dot += h[(i, j)] * v[j];
+                }
+                if dot != 0.0 {
+                    for j in (k + 1)..n {
+                        h[(i, j)] -= 2.0 * dot * v[j];
+                    }
+                }
+            }
+            // Q <- Q P.
+            for i in 0..n {
+                let mut dot = 0.0;
+                for j in (k + 1)..n {
+                    dot += q[(i, j)] * v[j];
+                }
+                if dot != 0.0 {
+                    for j in (k + 1)..n {
+                        q[(i, j)] -= 2.0 * dot * v[j];
+                    }
+                }
+            }
+            // Clean the annihilated entries.
+            h[(k + 1, k)] = alpha;
+            for i in (k + 2)..n {
+                h[(i, k)] = 0.0;
+            }
+        }
+        Ok(HessenbergDecomposition { q, h })
+    }
+
+    /// The orthogonal factor `Q`.
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper Hessenberg factor `H`.
+    pub fn h(&self) -> &Matrix {
+        &self.h
+    }
+
+    /// Consumes the decomposition and returns `(Q, H)`.
+    pub fn into_parts(self) -> (Matrix, Matrix) {
+        (self.q, self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        Matrix::from_fn(n, n, |_, _| next())
+    }
+
+    #[test]
+    fn reduction_preserves_similarity() {
+        for n in [1, 2, 3, 6, 11] {
+            let a = test_matrix(n, n as u64 * 13 + 1);
+            let hess = HessenbergDecomposition::new(&a).unwrap();
+            let back = hess.q().matmul(hess.h()).matmul(&hess.q().transpose());
+            assert!((&back - &a).max_abs() < 1e-11, "n={n}");
+            let qtq = hess.q().transpose().matmul(hess.q());
+            assert!((&qtq - &Matrix::identity(n)).max_abs() < 1e-12, "Q orthogonal, n={n}");
+        }
+    }
+
+    #[test]
+    fn result_is_upper_hessenberg() {
+        let a = test_matrix(8, 99);
+        let hess = HessenbergDecomposition::new(&a).unwrap();
+        for i in 0..8usize {
+            for j in 0..i.saturating_sub(1) {
+                assert!(
+                    hess.h()[(i, j)].abs() < 1e-13,
+                    "entry ({i},{j}) = {} should be zero",
+                    hess.h()[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(3, 4);
+        assert!(HessenbergDecomposition::new(&a).is_err());
+    }
+
+    #[test]
+    fn hessenberg_of_hessenberg_is_unchanged_in_structure() {
+        // A matrix already in Hessenberg form keeps zero fill below the
+        // first subdiagonal.
+        let a = Matrix::from_fn(5, 5, |i, j| if j + 1 >= i { (i + j + 1) as f64 } else { 0.0 });
+        let hess = HessenbergDecomposition::new(&a).unwrap();
+        for i in 0..5usize {
+            for j in 0..i.saturating_sub(1) {
+                assert!(hess.h()[(i, j)].abs() < 1e-13);
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Kronecker product and Kronecker sum algebra.
+//!
+//! The associated-transform MOR flow manipulates operators such as
+//! `G₁ ⊕ G₁ = G₁ ⊗ I + I ⊗ G₁` whose explicit form is `n² × n²`. This module
+//! provides both the explicit (small-scale / test) constructions and the
+//! *structured* operator [`KronSumOp`] that applies and solves with the
+//! Kronecker sum using only `n × n` storage, which is what the production
+//! reduction path uses.
+//!
+//! ## Conventions
+//!
+//! `vec(·)` stacks matrix **columns** (column-major), so the fundamental
+//! identity is `(A ⊗ B) vec(X) = vec(B X Aᵀ)` and consequently
+//! `(A ⊕ B) vec(X) = vec(B X + X Aᵀ)` for `X` of shape `rows(B) × rows(A)`.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::op::LinearOp;
+use crate::sylvester::SylvesterSolver;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Explicit Kronecker product `A ⊗ B`.
+///
+/// Intended for tests and small problems; the result has
+/// `A.rows()*B.rows()` rows and `A.cols()*B.cols()` columns.
+///
+/// ```
+/// use vamor_linalg::{kron, Matrix};
+/// let a = Matrix::identity(2);
+/// let b = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 3.0]]).unwrap();
+/// let k = kron(&a, &b);
+/// assert_eq!(k.shape(), (4, 4));
+/// assert_eq!(k[(2, 2)], 0.0);
+/// assert_eq!(k[(3, 2)], 2.0);
+/// ```
+pub fn kron(a: &Matrix, b: &Matrix) -> Matrix {
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    let mut out = Matrix::zeros(ar * br, ac * bc);
+    for i in 0..ar {
+        for j in 0..ac {
+            let aij = a[(i, j)];
+            if aij == 0.0 {
+                continue;
+            }
+            for p in 0..br {
+                for q in 0..bc {
+                    out[(i * br + p, j * bc + q)] = aij * b[(p, q)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Explicit Kronecker sum `A ⊕ B = A ⊗ I + I ⊗ B` for square `A`, `B`.
+///
+/// # Panics
+///
+/// Panics if either matrix is not square.
+pub fn kron_sum(a: &Matrix, b: &Matrix) -> Matrix {
+    assert!(a.is_square() && b.is_square(), "kron_sum requires square matrices");
+    let mut out = kron(a, &Matrix::identity(b.rows()));
+    let other = kron(&Matrix::identity(a.rows()), b);
+    out.axpy(1.0, &other);
+    out
+}
+
+/// Kronecker product of two vectors: `(a ⊗ b)[i*len(b)+j] = a[i] * b[j]`.
+///
+/// ```
+/// use vamor_linalg::{kron_vec, Vector};
+/// let a = Vector::from_slice(&[1.0, 2.0]);
+/// let b = Vector::from_slice(&[10.0, 20.0]);
+/// assert_eq!(kron_vec(&a, &b).as_slice(), &[10.0, 20.0, 20.0, 40.0]);
+/// ```
+pub fn kron_vec(a: &Vector, b: &Vector) -> Vector {
+    let mut out = Vector::zeros(a.len() * b.len());
+    for i in 0..a.len() {
+        let ai = a[i];
+        if ai == 0.0 {
+            continue;
+        }
+        for j in 0..b.len() {
+            out[i * b.len() + j] = ai * b[j];
+        }
+    }
+    out
+}
+
+/// Column-major `vec(X)`.
+pub fn vec_of(x: &Matrix) -> Vector {
+    let (r, c) = x.shape();
+    Vector::from_fn(r * c, |k| x[(k % r, k / r)])
+}
+
+/// Inverse of [`vec_of`]: reshapes a vector of length `rows*cols` into a
+/// `rows x cols` matrix using column-major ordering.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if the length does not match.
+pub fn unvec(x: &Vector, rows: usize, cols: usize) -> Result<Matrix> {
+    if x.len() != rows * cols {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "unvec: vector of length {} cannot be reshaped to {rows}x{cols}",
+            x.len()
+        )));
+    }
+    Ok(Matrix::from_fn(rows, cols, |i, j| x[j * rows + i]))
+}
+
+/// Structured operator for the Kronecker sum `A ⊕ B` of two square matrices.
+///
+/// `apply` and `solve` act on length `rows(A)*rows(B)` vectors without ever
+/// forming the explicit Kronecker sum. Solves are Bartels–Stewart Sylvester
+/// solves and reuse cached Schur factorizations, so repeated applications
+/// (as in moment generation) cost `O(n³)` each instead of `O(n⁶)`.
+///
+/// ```
+/// use vamor_linalg::{kron_sum, KronSumOp, LinearOp, Matrix, Vector};
+/// # fn main() -> Result<(), vamor_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[-2.0, 1.0], &[0.0, -1.0]])?;
+/// let op = KronSumOp::new(&a, &a)?;
+/// let x = Vector::from_fn(4, |i| i as f64 + 1.0);
+/// let dense = kron_sum(&a, &a);
+/// assert!((&op.apply(&x) - &dense.matvec(&x)).norm_inf() < 1e-12);
+/// let y = op.solve(&x)?;
+/// assert!((&dense.matvec(&y) - &x).norm_inf() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KronSumOp {
+    a: Matrix,
+    b: Matrix,
+    /// Solver for `B X + X Aᵀ = C` (the `vec`-space image of `A ⊕ B`).
+    solver: SylvesterSolver,
+}
+
+impl KronSumOp {
+    /// Builds the structured operator for `A ⊕ B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either matrix is not square or a Schur
+    /// factorization fails.
+    pub fn new(a: &Matrix, b: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        if !b.is_square() {
+            return Err(LinalgError::NotSquare { rows: b.rows(), cols: b.cols() });
+        }
+        let solver = SylvesterSolver::new(b, &a.transpose())?;
+        Ok(KronSumOp { a: a.clone(), b: b.clone(), solver })
+    }
+
+    /// Dimension of the (implicit) square operator.
+    pub fn dim(&self) -> usize {
+        self.a.rows() * self.b.rows()
+    }
+
+    /// Applies `(A ⊕ B) x` using the identity `vec(B X + X Aᵀ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn apply_vec(&self, x: &Vector) -> Vector {
+        let nb = self.b.rows();
+        let na = self.a.rows();
+        let xm = unvec(x, nb, na).expect("kron sum apply: length mismatch");
+        let mut y = self.b.matmul(&xm);
+        y.axpy(1.0, &xm.matmul(&self.a.transpose()));
+        vec_of(&y)
+    }
+
+    /// Solves `(A ⊕ B) y = x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying Sylvester equation is singular
+    /// (i.e. `λ_i(A) + λ_j(B) = 0` for some pair) or the dimensions mismatch.
+    pub fn solve(&self, x: &Vector) -> Result<Vector> {
+        let nb = self.b.rows();
+        let na = self.a.rows();
+        let xm = unvec(x, nb, na)?;
+        let y = self.solver.solve(&xm)?;
+        Ok(vec_of(&y))
+    }
+
+    /// Solves `(σ I − (A ⊕ B)) y = x`, the shifted resolvent solve used when
+    /// expanding associated transfer functions at a non-zero point `σ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shifted equation is singular or the dimensions
+    /// mismatch.
+    pub fn solve_shifted_resolvent(&self, sigma: f64, x: &Vector) -> Result<Vector> {
+        let nb = self.b.rows();
+        let na = self.a.rows();
+        let xm = unvec(x, nb, na)?;
+        // (σI − A⊕B) y = x  <=>  (B − σI) Y + Y Aᵀ = −X.
+        let y = self.solver.solve_shifted(-sigma, &xm.scaled(-1.0))?;
+        Ok(vec_of(&y))
+    }
+
+    /// The left factor `A`.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The right factor `B`.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Access to the cached Sylvester solver (`B X + X Aᵀ = C`).
+    pub fn sylvester(&self) -> &SylvesterSolver {
+        &self.solver
+    }
+}
+
+impl LinearOp for KronSumOp {
+    fn dim(&self) -> usize {
+        self.dim()
+    }
+
+    fn apply(&self, x: &Vector) -> Vector {
+        self.apply_vec(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(seed: u64, n: usize) -> Matrix {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut m = Matrix::from_fn(n, n, |_, _| next());
+        for i in 0..n {
+            m[(i, i)] -= 2.0; // keep it stable / well separated from singularity
+        }
+        m
+    }
+
+    #[test]
+    fn kron_of_identities_is_identity() {
+        let k = kron(&Matrix::identity(3), &Matrix::identity(2));
+        assert_eq!(k, Matrix::identity(6));
+    }
+
+    #[test]
+    fn mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = small(1, 2);
+        let b = small(2, 3);
+        let c = small(3, 2);
+        let d = small(4, 3);
+        let left = kron(&a, &b).matmul(&kron(&c, &d));
+        let right = kron(&a.matmul(&c), &b.matmul(&d));
+        assert!((&left - &right).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec_identity_holds() {
+        // (A ⊗ B) vec(X) = vec(B X Aᵀ)
+        let a = small(5, 3);
+        let b = small(6, 2);
+        let x = Matrix::from_fn(2, 3, |i, j| (i + 2 * j) as f64 + 0.5);
+        let lhs = kron(&a, &b).matvec(&vec_of(&x));
+        let rhs = vec_of(&b.matmul(&x).matmul(&a.transpose()));
+        assert!((&lhs - &rhs).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn kron_vec_matches_matrix_kron() {
+        let a = Vector::from_slice(&[1.0, -2.0, 3.0]);
+        let b = Vector::from_slice(&[4.0, 5.0]);
+        let am = Matrix::from_columns(&[a.clone()]).unwrap();
+        let bm = Matrix::from_columns(&[b.clone()]).unwrap();
+        let kv = kron_vec(&a, &b);
+        let km = kron(&am, &bm);
+        for i in 0..kv.len() {
+            assert_eq!(kv[i], km[(i, 0)]);
+        }
+    }
+
+    #[test]
+    fn unvec_round_trips() {
+        let x = Matrix::from_fn(3, 4, |i, j| (i * 10 + j) as f64);
+        let v = vec_of(&x);
+        let back = unvec(&v, 3, 4).unwrap();
+        assert_eq!(back, x);
+        assert!(unvec(&v, 4, 4).is_err());
+    }
+
+    #[test]
+    fn kron_sum_matches_dense_and_solves() {
+        let a = small(7, 3);
+        let b = small(8, 2);
+        let op = KronSumOp::new(&a, &b).unwrap();
+        let dense = kron_sum(&a, &b);
+        assert_eq!(op.dim(), 6);
+        let x = Vector::from_fn(6, |i| (i as f64).cos());
+        assert!((&op.apply(&x) - &dense.matvec(&x)).norm_inf() < 1e-12);
+        let y = op.solve(&x).unwrap();
+        assert!((&dense.matvec(&y) - &x).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn shifted_resolvent_solve_matches_dense() {
+        let a = small(11, 3);
+        let op = KronSumOp::new(&a, &a).unwrap();
+        let dense = kron_sum(&a, &a);
+        let sigma = 0.7;
+        let x = Vector::from_fn(9, |i| (i as f64 + 1.0).sin());
+        let y = op.solve_shifted_resolvent(sigma, &x).unwrap();
+        let mut shifted = dense.scaled(-1.0);
+        for i in 0..9 {
+            shifted[(i, i)] += sigma;
+        }
+        assert!((&shifted.matvec(&y) - &x).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvalues_of_kron_sum_are_pairwise_sums() {
+        let a = Matrix::from_diagonal(&[-1.0, -3.0]);
+        let b = Matrix::from_diagonal(&[-2.0, -5.0]);
+        let ks = kron_sum(&a, &b);
+        let eig = crate::eig::eigenvalues(&ks).unwrap();
+        let mut got: Vec<f64> = eig.values().iter().map(|z| z.re).collect();
+        got.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let mut expect = vec![-3.0, -6.0, -5.0, -8.0];
+        expect.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-10);
+        }
+    }
+}

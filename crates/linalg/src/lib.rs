@@ -1,0 +1,73 @@
+//! # vamor-linalg
+//!
+//! Self-contained dense and sparse linear algebra for the `vamor` workspace.
+//!
+//! The crate intentionally has **no external math dependencies**: every
+//! factorization used by the associated-transform model order reduction flow
+//! is implemented here, including the less common pieces EDA-style MOR needs:
+//!
+//! * dense [`Matrix`] / [`Vector`] arithmetic, [`LuDecomposition`] and
+//!   Householder [`QrDecomposition`],
+//! * complex scalars ([`Complex`]) and complex dense solves ([`ZMatrix`]),
+//! * Hessenberg reduction and the real [`SchurDecomposition`] (Francis
+//!   double-shift QR) with eigenvalue extraction,
+//! * Sylvester / Lyapunov solvers (Bartels–Stewart) in real and
+//!   complex-shifted forms ([`sylvester`]),
+//! * Kronecker product / Kronecker sum algebra with *structured* operators
+//!   that never form the \(n^2 \times n^2\) matrices ([`kron`]),
+//! * Krylov machinery: modified Gram–Schmidt orthonormalization with
+//!   deflation ([`orth`]), Arnoldi iteration over abstract linear operators
+//!   ([`arnoldi`], [`op`]),
+//! * sparse CSR matrices and GMRES ([`sparse`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use vamor_linalg::{Matrix, Vector};
+//!
+//! # fn main() -> Result<(), vamor_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let b = Vector::from_slice(&[1.0, 2.0]);
+//! let x = a.lu()?.solve(&b)?;
+//! let r = &a.matvec(&x) - &b;
+//! assert!(r.norm2() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arnoldi;
+pub mod complex;
+pub mod eig;
+pub mod error;
+pub mod hessenberg;
+pub mod kron;
+pub mod lu;
+pub mod matrix;
+pub mod op;
+pub mod orth;
+pub mod qr;
+pub mod schur;
+pub mod sparse;
+pub mod sylvester;
+pub mod vector;
+pub mod zmatrix;
+
+pub use arnoldi::{arnoldi, ArnoldiResult};
+pub use complex::Complex;
+pub use eig::{eigenvalues, Eigenvalues};
+pub use error::LinalgError;
+pub use hessenberg::HessenbergDecomposition;
+pub use kron::{kron, kron_sum, kron_vec, KronSumOp};
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use op::{DenseOp, LinearOp, ShiftedInverseOp};
+pub use orth::OrthoBasis;
+pub use qr::QrDecomposition;
+pub use schur::SchurDecomposition;
+pub use sparse::{CooMatrix, CsrMatrix};
+pub use sylvester::{solve_lyapunov, solve_sylvester, SylvesterSolver};
+pub use vector::Vector;
+pub use zmatrix::{ZMatrix, ZVector};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

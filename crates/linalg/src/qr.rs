@@ -1,0 +1,234 @@
+//! Householder QR decomposition and least-squares solves.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Householder QR decomposition `A = Q R` of an `m x n` matrix with `m >= n`.
+///
+/// `Q` is returned in its *thin* form (`m x n`, orthonormal columns) and `R`
+/// is `n x n` upper triangular.
+///
+/// ```
+/// use vamor_linalg::{Matrix, Vector};
+/// # fn main() -> Result<(), vamor_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let qr = a.qr()?;
+/// let x = qr.solve_least_squares(&Vector::from_slice(&[1.0, 2.0, 3.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl QrDecomposition {
+    /// Factors `a` (requires `a.rows() >= a.cols()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `a.rows() < a.cols()` and
+    /// [`LinalgError::InvalidArgument`] if `a` is empty.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::InvalidArgument("qr of empty matrix".into()));
+        }
+        if m < n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "qr requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        // Work on a copy; accumulate Householder reflectors applied to an
+        // m x m identity truncated to the first n columns at the end.
+        let mut r_full = a.clone();
+        // Store reflectors v_k (length m, zeros above k).
+        let mut reflectors: Vec<Vector> = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Build the Householder vector for column k below the diagonal.
+            let mut norm_x = 0.0;
+            for i in k..m {
+                norm_x += r_full[(i, k)] * r_full[(i, k)];
+            }
+            let norm_x = norm_x.sqrt();
+            let mut v = Vector::zeros(m);
+            if norm_x == 0.0 {
+                // Column already zero below diagonal; use an identity reflector.
+                reflectors.push(v);
+                continue;
+            }
+            let alpha = if r_full[(k, k)] >= 0.0 { -norm_x } else { norm_x };
+            for i in k..m {
+                v[i] = r_full[(i, k)];
+            }
+            v[k] -= alpha;
+            let vnorm = v.norm2();
+            if vnorm == 0.0 {
+                reflectors.push(Vector::zeros(m));
+                continue;
+            }
+            v.scale_mut(1.0 / vnorm);
+            // Apply H = I - 2 v vᵀ to the remaining columns.
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r_full[(i, j)];
+                }
+                for i in k..m {
+                    r_full[(i, j)] -= 2.0 * dot * v[i];
+                }
+            }
+            reflectors.push(v);
+        }
+
+        // Thin Q: apply reflectors in reverse order to the first n columns of I.
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q[(j, j)] = 1.0;
+        }
+        for k in (0..n).rev() {
+            let v = &reflectors[k];
+            if v.norm2() == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * q[(i, j)];
+                }
+                for i in k..m {
+                    q[(i, j)] -= 2.0 * dot * v[i];
+                }
+            }
+        }
+
+        let r = r_full.submatrix(0, n, 0, n);
+        Ok(QrDecomposition { q, r })
+    }
+
+    /// The thin orthonormal factor `Q` (`m x n`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper triangular factor `R` (`n x n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != A.rows()` and
+    /// [`LinalgError::Singular`] if `R` has a zero diagonal entry (rank
+    /// deficient `A`).
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector> {
+        let (m, n) = self.q.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "least squares: rhs has length {}, expected {m}",
+                b.len()
+            )));
+        }
+        // x = R⁻¹ Qᵀ b
+        let qtb = self.q.matvec_transpose(b);
+        let mut x = qtb;
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.r[(i, j)] * x[j];
+            }
+            let rii = self.r[(i, i)];
+            if rii == 0.0 {
+                return Err(LinalgError::Singular(format!("rank-deficient R at column {i}")));
+            }
+            x[i] = acc / rii;
+        }
+        Ok(x)
+    }
+
+    /// Numerical rank of `A`: the number of diagonal entries of `R` above
+    /// `tol * max_diag`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let n = self.r.cols();
+        let max_diag = (0..n).map(|i| self.r[(i, i)].abs()).fold(0.0_f64, f64::max);
+        if max_diag == 0.0 {
+            return 0;
+        }
+        (0..n).filter(|&i| self.r[(i, i)].abs() > tol * max_diag).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        assert!((a - b).max_abs() < tol, "matrices differ by {}", (a - b).max_abs());
+    }
+
+    #[test]
+    fn qr_reconstructs_the_matrix() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[1.0, 3.0, -2.0],
+            &[0.0, 1.0, 1.0],
+            &[4.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let qr = a.qr().unwrap();
+        assert_close(&qr.q().matmul(qr.r()), &a, 1e-12);
+        // Q has orthonormal columns.
+        let qtq = qr.q().transpose().matmul(qr.q());
+        assert_close(&qtq, &Matrix::identity(3), 1e-12);
+        // R is upper triangular.
+        for i in 0..3 {
+            for j in 0..i {
+                assert!(qr.r()[(i, j)].abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_fits_a_line() {
+        // Fit y = 2 + 3 t on noisy-free samples.
+        let ts = [0.0, 1.0, 2.0, 3.0];
+        let a = Matrix::from_fn(4, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b = Vector::from_fn(4, |i| 2.0 + 3.0 * ts[i]);
+        let x = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_matrices_are_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.qr(), Err(LinalgError::DimensionMismatch(_))));
+    }
+
+    #[test]
+    fn rank_detects_dependent_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = a.qr().unwrap();
+        assert_eq!(qr.rank(1e-10), 1);
+        assert!(qr.solve_least_squares(&Vector::zeros(3)).is_err() || qr.rank(1e-10) == 1);
+        let b = Matrix::identity(3);
+        assert_eq!(b.qr().unwrap().rank(1e-10), 3);
+    }
+
+    #[test]
+    fn square_solve_via_qr_matches_lu() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap();
+        let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let x_qr = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        let x_lu = a.lu().unwrap().solve(&b).unwrap();
+        assert!((&x_qr - &x_lu).norm_inf() < 1e-11);
+    }
+}

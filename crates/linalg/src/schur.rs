@@ -1,0 +1,506 @@
+//! Real Schur decomposition via the Francis implicit double-shift QR
+//! iteration.
+
+use crate::complex::Complex;
+use crate::error::LinalgError;
+use crate::hessenberg::HessenbergDecomposition;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// A diagonal block of the real Schur form.
+///
+/// Blocks are either `1x1` (a real eigenvalue) or `2x2` (a complex-conjugate
+/// eigenvalue pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchurBlock {
+    /// Row/column index at which the block starts.
+    pub start: usize,
+    /// Block size: 1 or 2.
+    pub size: usize,
+}
+
+/// Real Schur decomposition `A = Q T Qᵀ` with orthogonal `Q` and upper
+/// quasi-triangular `T` (1×1 and 2×2 diagonal blocks).
+///
+/// The decomposition is the workhorse behind the Bartels–Stewart
+/// Sylvester/Lyapunov solvers in [`crate::sylvester`], which in turn implement
+/// the structured Kronecker-sum solves of the associated-transform MOR flow.
+///
+/// ```
+/// use vamor_linalg::{Matrix, SchurDecomposition};
+/// # fn main() -> Result<(), vamor_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]])?; // rotation: eigenvalues ±i
+/// let schur = SchurDecomposition::new(&a)?;
+/// let eig = schur.eigenvalues();
+/// assert!((eig[0].im.abs() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SchurDecomposition {
+    q: Matrix,
+    t: Matrix,
+    blocks: Vec<SchurBlock>,
+}
+
+impl SchurDecomposition {
+    /// Computes the real Schur form of the square matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NotConverged`] if the QR iteration fails to converge
+    ///   (extremely rare for finite input).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let hess = HessenbergDecomposition::new(a)?;
+        let (mut q, mut t) = hess.into_parts();
+        francis_qr(&mut t, &mut q)?;
+        standardize_blocks(&mut t, &mut q);
+        let blocks = scan_blocks(&t);
+        Ok(SchurDecomposition { q, t, blocks })
+    }
+
+    /// The orthogonal factor `Q`.
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The quasi-upper-triangular factor `T`.
+    pub fn t(&self) -> &Matrix {
+        &self.t
+    }
+
+    /// The diagonal block structure of `T`, in order.
+    pub fn blocks(&self) -> &[SchurBlock] {
+        &self.blocks
+    }
+
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.t.rows()
+    }
+
+    /// Eigenvalues read off the diagonal blocks of `T`, in block order.
+    pub fn eigenvalues(&self) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(self.dim());
+        for b in &self.blocks {
+            if b.size == 1 {
+                out.push(Complex::from_real(self.t[(b.start, b.start)]));
+            } else {
+                let i = b.start;
+                let a = self.t[(i, i)];
+                let bq = self.t[(i, i + 1)];
+                let c = self.t[(i + 1, i)];
+                let d = self.t[(i + 1, i + 1)];
+                let mean = 0.5 * (a + d);
+                let disc = 0.25 * (a - d) * (a - d) + bq * c;
+                let imag = (-disc).max(0.0).sqrt();
+                out.push(Complex::new(mean, imag));
+                out.push(Complex::new(mean, -imag));
+            }
+        }
+        out
+    }
+
+    /// Transforms a vector into Schur coordinates: `Qᵀ x`.
+    pub fn to_schur_coords(&self, x: &crate::Vector) -> crate::Vector {
+        self.q.matvec_transpose(x)
+    }
+
+    /// Transforms a vector back from Schur coordinates: `Q y`.
+    pub fn from_schur_coords(&self, y: &crate::Vector) -> crate::Vector {
+        self.q.matvec(y)
+    }
+}
+
+/// Householder reflector data for a 3-vector: returns the normalized `v` and
+/// whether a reflection is actually needed.
+fn house3(x: f64, y: f64, z: f64) -> Option<[f64; 3]> {
+    let norm = (x * x + y * y + z * z).sqrt();
+    if norm == 0.0 || (y == 0.0 && z == 0.0) {
+        return None;
+    }
+    let alpha = if x >= 0.0 { -norm } else { norm };
+    let mut v = [x - alpha, y, z];
+    let vnorm = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    if vnorm == 0.0 {
+        return None;
+    }
+    v[0] /= vnorm;
+    v[1] /= vnorm;
+    v[2] /= vnorm;
+    Some(v)
+}
+
+/// Givens rotation `(c, s)` such that `[c s; -s c] [x; y] = [r; 0]`.
+fn givens(x: f64, y: f64) -> Option<(f64, f64)> {
+    if y == 0.0 {
+        return None;
+    }
+    let r = x.hypot(y);
+    Some((x / r, y / r))
+}
+
+/// In-place Francis double-shift QR iteration on an upper Hessenberg matrix
+/// `h`, accumulating the orthogonal transformations into `q`.
+fn francis_qr(h: &mut Matrix, q: &mut Matrix) -> Result<()> {
+    let n = h.rows();
+    if n <= 2 {
+        return Ok(());
+    }
+    let eps = f64::EPSILON;
+    let max_iter_per_eig = 60;
+    let mut m = n - 1;
+    let mut iter = 0usize;
+    let mut guard = 0usize;
+    let guard_limit = 200 * n * max_iter_per_eig;
+
+    loop {
+        guard += 1;
+        if guard > guard_limit {
+            return Err(LinalgError::NotConverged { algorithm: "francis qr", iterations: guard });
+        }
+        // Find the start `l` of the active block ending at `m`.
+        let mut l = m;
+        while l > 0 {
+            let s = h[(l - 1, l - 1)].abs() + h[(l, l)].abs();
+            let s = if s == 0.0 { 1.0 } else { s };
+            if h[(l, l - 1)].abs() <= eps * s {
+                h[(l, l - 1)] = 0.0;
+                break;
+            }
+            l -= 1;
+        }
+
+        if l == m {
+            // 1x1 block converged.
+            if m == 0 {
+                break;
+            }
+            m -= 1;
+            iter = 0;
+            continue;
+        }
+        if l + 1 == m {
+            // 2x2 block converged.
+            if m <= 1 {
+                break;
+            }
+            m -= 2;
+            iter = 0;
+            continue;
+        }
+
+        iter += 1;
+        if iter > max_iter_per_eig {
+            return Err(LinalgError::NotConverged {
+                algorithm: "francis qr",
+                iterations: iter,
+            });
+        }
+
+        // Double shift from the trailing 2x2 block (or an exceptional shift).
+        let (shift_s, shift_t) = if iter % 11 == 0 {
+            let w = h[(m, m - 1)].abs() + h[(m - 1, m - 2)].abs();
+            (1.5 * w, w * w)
+        } else {
+            let hmm = h[(m, m)];
+            let hm1 = h[(m - 1, m - 1)];
+            (hm1 + hmm, hm1 * hmm - h[(m - 1, m)] * h[(m, m - 1)])
+        };
+
+        // First column of (H² - sH + tI) e₁ restricted to the active block.
+        let mut x = h[(l, l)] * h[(l, l)] + h[(l, l + 1)] * h[(l + 1, l)] - shift_s * h[(l, l)]
+            + shift_t;
+        let mut y = h[(l + 1, l)] * (h[(l, l)] + h[(l + 1, l + 1)] - shift_s);
+        let mut z = h[(l + 1, l)] * h[(l + 2, l + 1)];
+
+        for k in l..=(m - 2) {
+            if let Some(v) = house3(x, y, z) {
+                let col_start = if k > l { k - 1 } else { l };
+                // Left: rows k..k+2, columns col_start..n.
+                for j in col_start..n {
+                    let dot = v[0] * h[(k, j)] + v[1] * h[(k + 1, j)] + v[2] * h[(k + 2, j)];
+                    if dot != 0.0 {
+                        h[(k, j)] -= 2.0 * dot * v[0];
+                        h[(k + 1, j)] -= 2.0 * dot * v[1];
+                        h[(k + 2, j)] -= 2.0 * dot * v[2];
+                    }
+                }
+                // Right: columns k..k+2, rows 0..=min(k+3, m).
+                let row_end = (k + 3).min(m);
+                for i in 0..=row_end {
+                    let dot = v[0] * h[(i, k)] + v[1] * h[(i, k + 1)] + v[2] * h[(i, k + 2)];
+                    if dot != 0.0 {
+                        h[(i, k)] -= 2.0 * dot * v[0];
+                        h[(i, k + 1)] -= 2.0 * dot * v[1];
+                        h[(i, k + 2)] -= 2.0 * dot * v[2];
+                    }
+                }
+                // Accumulate into Q: columns k..k+2, all rows.
+                for i in 0..n {
+                    let dot = v[0] * q[(i, k)] + v[1] * q[(i, k + 1)] + v[2] * q[(i, k + 2)];
+                    if dot != 0.0 {
+                        q[(i, k)] -= 2.0 * dot * v[0];
+                        q[(i, k + 1)] -= 2.0 * dot * v[1];
+                        q[(i, k + 2)] -= 2.0 * dot * v[2];
+                    }
+                }
+            }
+            x = h[(k + 1, k)];
+            y = h[(k + 2, k)];
+            z = if k + 3 <= m { h[(k + 3, k)] } else { 0.0 };
+        }
+
+        // Final 2-row rotation annihilating the last bulge entry.
+        if let Some((c, s)) = givens(x, y) {
+            let col_start = m - 2;
+            for j in col_start..n {
+                let t1 = h[(m - 1, j)];
+                let t2 = h[(m, j)];
+                h[(m - 1, j)] = c * t1 + s * t2;
+                h[(m, j)] = -s * t1 + c * t2;
+            }
+            for i in 0..=m {
+                let t1 = h[(i, m - 1)];
+                let t2 = h[(i, m)];
+                h[(i, m - 1)] = c * t1 + s * t2;
+                h[(i, m)] = -s * t1 + c * t2;
+            }
+            for i in 0..n {
+                let t1 = q[(i, m - 1)];
+                let t2 = q[(i, m)];
+                q[(i, m - 1)] = c * t1 + s * t2;
+                q[(i, m)] = -s * t1 + c * t2;
+            }
+        }
+
+        // Hygiene: entries more than one position below the diagonal within
+        // the active block are numerically zero by construction; force them.
+        for i in (l + 2)..=m {
+            for j in l..(i - 1) {
+                h[(i, j)] = 0.0;
+            }
+        }
+    }
+
+    // Global hygiene after convergence.
+    for i in 2..n {
+        for j in 0..(i - 1) {
+            h[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Rotates 2x2 diagonal blocks with *real* eigenvalues into upper triangular
+/// form so that remaining 2x2 blocks always carry complex-conjugate pairs.
+fn standardize_blocks(t: &mut Matrix, q: &mut Matrix) {
+    let n = t.rows();
+    let mut i = 0;
+    while i + 1 < n {
+        if t[(i + 1, i)] == 0.0 {
+            i += 1;
+            continue;
+        }
+        let a = t[(i, i)];
+        let b = t[(i, i + 1)];
+        let c = t[(i + 1, i)];
+        let d = t[(i + 1, i + 1)];
+        let disc = 0.25 * (a - d) * (a - d) + b * c;
+        if disc < 0.0 {
+            // Genuine complex pair; leave the block as is.
+            i += 2;
+            continue;
+        }
+        // Real eigenvalues: rotate so the block becomes upper triangular.
+        let sq = disc.sqrt();
+        let mean = 0.5 * (a + d);
+        // Pick the eigenvalue farther from `a` for a better conditioned
+        // eigenvector, then form it from the first row of (A - lambda I).
+        let lambda = if (mean + sq - a).abs() > (mean - sq - a).abs() { mean + sq } else { mean - sq };
+        // Eigenvector w satisfies (a - lambda) w0 + b w1 = 0 and
+        // c w0 + (d - lambda) w1 = 0; pick the better-scaled expression.
+        let (w0, w1) = if b.abs() + (a - lambda).abs() >= c.abs() + (d - lambda).abs() {
+            (b, lambda - a)
+        } else {
+            (lambda - d, c)
+        };
+        let norm = w0.hypot(w1);
+        if norm == 0.0 {
+            i += 2;
+            continue;
+        }
+        let cs = w0 / norm;
+        let sn = w1 / norm;
+        // Apply G = [cs -sn; sn cs] as similarity: T <- Gᵀ T G, Q <- Q G.
+        for j in 0..n {
+            let t1 = t[(i, j)];
+            let t2 = t[(i + 1, j)];
+            t[(i, j)] = cs * t1 + sn * t2;
+            t[(i + 1, j)] = -sn * t1 + cs * t2;
+        }
+        for r in 0..n {
+            let t1 = t[(r, i)];
+            let t2 = t[(r, i + 1)];
+            t[(r, i)] = cs * t1 + sn * t2;
+            t[(r, i + 1)] = -sn * t1 + cs * t2;
+        }
+        for r in 0..n {
+            let q1 = q[(r, i)];
+            let q2 = q[(r, i + 1)];
+            q[(r, i)] = cs * q1 + sn * q2;
+            q[(r, i + 1)] = -sn * q1 + cs * q2;
+        }
+        t[(i + 1, i)] = 0.0;
+        i += 1;
+    }
+}
+
+/// Determines the 1x1/2x2 diagonal block layout of a quasi-triangular matrix.
+fn scan_blocks(t: &Matrix) -> Vec<SchurBlock> {
+    let n = t.rows();
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if i + 1 < n && t[(i + 1, i)] != 0.0 {
+            blocks.push(SchurBlock { start: i, size: 2 });
+            i += 2;
+        } else {
+            blocks.push(SchurBlock { start: i, size: 1 });
+            i += 1;
+        }
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        Matrix::from_fn(n, n, |_, _| next())
+    }
+
+    fn check_schur(a: &Matrix, tol: f64) -> SchurDecomposition {
+        let s = SchurDecomposition::new(a).unwrap();
+        let n = a.rows();
+        // Similarity: Q T Qᵀ = A.
+        let back = s.q().matmul(s.t()).matmul(&s.q().transpose());
+        assert!((&back - a).max_abs() < tol, "reconstruction error {}", (&back - a).max_abs());
+        // Orthogonality.
+        let qtq = s.q().transpose().matmul(s.q());
+        assert!((&qtq - &Matrix::identity(n)).max_abs() < 1e-10);
+        // Quasi-triangular structure.
+        for i in 0..n {
+            for j in 0..i.saturating_sub(1) {
+                assert!(s.t()[(i, j)].abs() < 1e-9, "T[{i},{j}] = {}", s.t()[(i, j)]);
+            }
+        }
+        // Blocks tile the diagonal.
+        let total: usize = s.blocks().iter().map(|b| b.size).sum();
+        assert_eq!(total, n);
+        s
+    }
+
+    #[test]
+    fn random_matrices_of_various_sizes() {
+        for n in [1, 2, 3, 4, 5, 8, 13, 20] {
+            let a = test_matrix(n, 1000 + n as u64);
+            let scale = a.max_abs().max(1.0);
+            check_schur(&a, 1e-8 * scale * n as f64);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_exact() {
+        let a = Matrix::from_diagonal(&[3.0, -1.0, 2.5, 7.0]);
+        let s = SchurDecomposition::new(&a).unwrap();
+        let mut eig: Vec<f64> = s.eigenvalues().iter().map(|z| z.re).collect();
+        eig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect = [-1.0, 2.5, 3.0, 7.0];
+        for (e, x) in eig.iter().zip(expect.iter()) {
+            assert!((e - x).abs() < 1e-12);
+        }
+        assert!(s.eigenvalues().iter().all(|z| z.im == 0.0));
+    }
+
+    #[test]
+    fn rotation_matrix_gives_complex_pair() {
+        let theta = 0.7_f64;
+        let a = Matrix::from_rows(&[&[theta.cos(), -theta.sin()], &[theta.sin(), theta.cos()]])
+            .unwrap();
+        let s = check_schur(&a, 1e-12);
+        let eig = s.eigenvalues();
+        assert_eq!(eig.len(), 2);
+        assert!((eig[0].re - theta.cos()).abs() < 1e-12);
+        assert!((eig[0].im.abs() - theta.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalue_sum_matches_trace_and_product_matches_det() {
+        for n in [3, 5, 9] {
+            let a = test_matrix(n, 77 + n as u64);
+            let s = SchurDecomposition::new(&a).unwrap();
+            let eig = s.eigenvalues();
+            let sum: Complex = eig.iter().cloned().sum();
+            assert!((sum.re - a.trace()).abs() < 1e-8, "trace mismatch for n={n}");
+            assert!(sum.im.abs() < 1e-8);
+            let det = a.lu().map(|lu| lu.det()).unwrap_or(0.0);
+            let prod = eig.iter().fold(Complex::ONE, |p, &z| p * z);
+            assert!((prod.re - det).abs() < 1e-6 * det.abs().max(1.0), "det mismatch for n={n}");
+        }
+    }
+
+    #[test]
+    fn companion_matrix_of_known_polynomial() {
+        // x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3)
+        let a = Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]])
+            .unwrap();
+        let s = SchurDecomposition::new(&a).unwrap();
+        let mut eig: Vec<f64> = s.eigenvalues().iter().map(|z| z.re).collect();
+        eig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (e, x) in eig.iter().zip([1.0, 2.0, 3.0].iter()) {
+            assert!((e - x).abs() < 1e-8, "eigenvalue {e} vs {x}");
+        }
+    }
+
+    #[test]
+    fn stable_rc_ladder_matrix_has_negative_real_eigenvalues() {
+        // Tridiagonal -2/1 ladder: all eigenvalues real and negative.
+        let n = 12;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                -2.0
+            } else if i.abs_diff(j) == 1 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let s = check_schur(&a, 1e-10);
+        for z in s.eigenvalues() {
+            assert!(z.re < 0.0);
+            assert!(z.im.abs() < 1e-9);
+        }
+        // All blocks are 1x1 after standardization.
+        assert!(s.blocks().iter().all(|b| b.size == 1));
+    }
+
+    #[test]
+    fn defective_jordan_block_converges() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 2.0, 1.0], &[0.0, 0.0, 2.0]]).unwrap();
+        let s = check_schur(&a, 1e-10);
+        for z in s.eigenvalues() {
+            assert!((z.re - 2.0).abs() < 1e-7);
+            assert!(z.im.abs() < 1e-7);
+        }
+    }
+}

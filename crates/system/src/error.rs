@@ -1,0 +1,57 @@
+//! Error type for system construction and evaluation.
+
+use std::fmt;
+
+use vamor_linalg::LinalgError;
+
+/// Error returned when constructing or evaluating a state-space system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// Matrices passed to a constructor have inconsistent shapes.
+    Dimension(String),
+    /// A semantic constraint is violated (e.g. empty system, singular
+    /// descriptor matrix).
+    Invalid(String),
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Dimension(msg) => write!(f, "dimension error: {msg}"),
+            SystemError::Invalid(msg) => write!(f, "invalid system: {msg}"),
+            SystemError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SystemError::Dimension("G1 is 3x4".into());
+        assert!(e.to_string().contains("G1 is 3x4"));
+        let e = SystemError::Linalg(LinalgError::Singular("pivot".into()));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SystemError::Invalid("empty".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SystemError>();
+    }
+}

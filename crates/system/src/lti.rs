@@ -1,0 +1,210 @@
+//! Linear time-invariant systems.
+
+use vamor_linalg::{Complex, Matrix, Vector, ZMatrix, ZVector};
+
+use crate::error::SystemError;
+use crate::Result;
+
+/// A linear time-invariant system `ẋ = A x + B u`, `y = C x`.
+///
+/// Used for the first-order Volterra kernel `H₁(s) = C (sI − A)⁻¹ B` and as
+/// the linearization of the polynomial systems around the origin.
+///
+/// ```
+/// use vamor_linalg::{Complex, Matrix};
+/// use vamor_system::LtiSystem;
+/// # fn main() -> Result<(), vamor_system::SystemError> {
+/// let sys = LtiSystem::new(
+///     Matrix::from_rows(&[&[-1.0]])?,
+///     Matrix::from_rows(&[&[1.0]])?,
+///     Matrix::from_rows(&[&[1.0]])?,
+/// )?;
+/// let h = sys.transfer_function(Complex::new(0.0, 1.0))?;
+/// assert!((h[(0, 0)].abs() - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LtiSystem {
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+}
+
+impl LtiSystem {
+    /// Creates an LTI system, validating shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Dimension`] on shape mismatches and
+    /// [`SystemError::Invalid`] for an empty state space.
+    pub fn new(a: Matrix, b: Matrix, c: Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(SystemError::Dimension(format!(
+                "state matrix A must be square, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(SystemError::Invalid("LTI system must have at least one state".into()));
+        }
+        if b.rows() != n {
+            return Err(SystemError::Dimension(format!(
+                "input matrix B has {} rows, expected {n}",
+                b.rows()
+            )));
+        }
+        if c.cols() != n {
+            return Err(SystemError::Dimension(format!(
+                "output matrix C has {} columns, expected {n}",
+                c.cols()
+            )));
+        }
+        Ok(LtiSystem { a, b, c })
+    }
+
+    /// Number of states.
+    pub fn order(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// The state matrix `A`.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The input matrix `B`.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// The output matrix `C`.
+    pub fn c(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// Evaluates the transfer matrix `H(s) = C (sI − A)⁻¹ B` at the complex
+    /// frequency `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `sI − A` is singular at the requested frequency.
+    pub fn transfer_function(&self, s: Complex) -> Result<ZMatrix> {
+        let n = self.order();
+        let resolvent = ZMatrix::shifted_identity_minus(s, &self.a);
+        let mut h = ZMatrix::zeros(self.num_outputs(), self.num_inputs());
+        for k in 0..self.num_inputs() {
+            let bk = ZVector::from_real(&self.b.col(k));
+            let x = resolvent.solve(&bk).map_err(SystemError::Linalg)?;
+            for p in 0..self.num_outputs() {
+                let mut acc = Complex::ZERO;
+                for i in 0..n {
+                    acc += Complex::from_real(self.c[(p, i)]) * x[i];
+                }
+                h[(p, k)] = acc;
+            }
+        }
+        Ok(h)
+    }
+
+    /// True if all eigenvalues of `A` have a negative real part.
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigenvalue computation failures.
+    pub fn is_stable(&self) -> Result<bool> {
+        Ok(vamor_linalg::eigenvalues(&self.a).map_err(SystemError::Linalg)?.is_hurwitz())
+    }
+
+    /// DC gain `−C A⁻¹ B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `A` is singular (the system has a pole at zero).
+    pub fn dc_gain(&self) -> Result<Matrix> {
+        let ainv_b = self.a.lu().map_err(SystemError::Linalg)?.solve_matrix(&self.b)?;
+        Ok(self.c.matmul(&ainv_b).scaled(-1.0))
+    }
+
+    /// Right-hand side `A x + B u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions of `x` or `u` do not match the system.
+    pub fn rhs(&self, x: &Vector, u: &[f64]) -> Vector {
+        assert_eq!(u.len(), self.num_inputs(), "lti rhs: wrong input count");
+        let mut dx = self.a.matvec(x);
+        for (k, &uk) in u.iter().enumerate() {
+            if uk != 0.0 {
+                dx.axpy(uk, &self.b.col(k));
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc_filter() -> LtiSystem {
+        // Two-pole RC filter.
+        LtiSystem::new(
+            Matrix::from_rows(&[&[-2.0, 1.0], &[1.0, -2.0]]).unwrap(),
+            Matrix::from_rows(&[&[1.0], &[0.0]]).unwrap(),
+            Matrix::from_rows(&[&[0.0, 1.0]]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_are_validated() {
+        let a = Matrix::identity(2);
+        assert!(LtiSystem::new(Matrix::zeros(2, 3), Matrix::zeros(2, 1), Matrix::zeros(1, 2))
+            .is_err());
+        assert!(LtiSystem::new(a.clone(), Matrix::zeros(3, 1), Matrix::zeros(1, 2)).is_err());
+        assert!(LtiSystem::new(a, Matrix::zeros(2, 1), Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn transfer_function_and_dc_gain_agree_at_zero() {
+        let sys = rc_filter();
+        let h0 = sys.transfer_function(Complex::ZERO).unwrap();
+        let dc = sys.dc_gain().unwrap();
+        assert!((h0[(0, 0)].re - dc[(0, 0)]).abs() < 1e-12);
+        assert!(h0[(0, 0)].im.abs() < 1e-15);
+        // DC gain of this divider is 1/3.
+        assert!((dc[(0, 0)] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_and_rhs() {
+        let sys = rc_filter();
+        assert!(sys.is_stable().unwrap());
+        assert_eq!(sys.order(), 2);
+        assert_eq!(sys.num_inputs(), 1);
+        assert_eq!(sys.num_outputs(), 1);
+        let dx = sys.rhs(&Vector::from_slice(&[1.0, 0.0]), &[2.0]);
+        assert_eq!(dx.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn high_frequency_response_rolls_off() {
+        let sys = rc_filter();
+        let low = sys.transfer_function(Complex::new(0.0, 0.01)).unwrap()[(0, 0)].abs();
+        let high = sys.transfer_function(Complex::new(0.0, 100.0)).unwrap()[(0, 0)].abs();
+        assert!(high < low / 100.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! The polynomial state-space interface shared by full and reduced models.
+
+use vamor_linalg::{Matrix, Vector};
+
+/// A polynomial (linear + quadratic + cubic + bilinear-input) state-space
+/// system
+///
+/// ```text
+/// ẋ = G₁ x + G₂ (x ⊗ x) + G₃ (x ⊗ x ⊗ x) + Σ_k D₁ᵏ x u_k + B u,
+/// y = C x,
+/// ```
+///
+/// where any of the higher-order terms may be absent. Both the original
+/// circuit models and the projected reduced-order models implement this
+/// trait, so the transient simulator treats them uniformly.
+pub trait PolynomialStateSpace {
+    /// Number of states.
+    fn order(&self) -> usize;
+
+    /// Number of inputs.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of outputs.
+    fn num_outputs(&self) -> usize;
+
+    /// Right-hand side `f(x, u)` of `ẋ = f(x, u)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len() != self.order()` or
+    /// `u.len() != self.num_inputs()`.
+    fn rhs(&self, x: &Vector, u: &[f64]) -> Vector;
+
+    /// Jacobian `∂f/∂x` evaluated at `(x, u)`, used by implicit integrators.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on dimension mismatch, as for
+    /// [`PolynomialStateSpace::rhs`].
+    fn jacobian_x(&self, x: &Vector, u: &[f64]) -> Matrix;
+
+    /// Output map `y = C x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len() != self.order()`.
+    fn output(&self, x: &Vector) -> Vector;
+}

@@ -1,0 +1,43 @@
+//! Quickstart: reduce a nonlinear transmission line with the
+//! associated-transform method and compare transient responses.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vamor::circuits::TransmissionLine;
+use vamor::core::{AssocReducer, MomentSpec};
+use vamor::sim::{max_relative_error, simulate, IntegrationMethod, SinePulse, TransientOptions};
+use vamor::system::PolynomialStateSpace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the benchmark circuit: a 35-stage nonlinear transmission line
+    //    (current-driven, so the QLDAE has no bilinear D1 term).
+    let line = TransmissionLine::current_driven(35)?;
+    let full = line.qldae();
+    println!("full model order: {}", full.order());
+
+    // 2. Reduce it: match 4 moments of H1(s), 2 of the associated H2(s) and
+    //    1 of the associated H3(s).
+    let reducer = AssocReducer::new(MomentSpec::new(4, 2, 1));
+    let rom = reducer.reduce(full)?;
+    println!(
+        "reduced model order: {} ({} candidate vectors, {} deflated)",
+        rom.order(),
+        rom.stats().total_candidates(),
+        rom.stats().deflated
+    );
+
+    // 3. Simulate both models with the same excitation and compare.
+    let input = SinePulse::damped(0.5, 0.4, 0.08);
+    let opts = TransientOptions::new(0.0, 30.0, 0.01)
+        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let y_full = simulate(full, &input, &opts)?.output_channel(0);
+    let y_rom = simulate(rom.system(), &input, &opts)?.output_channel(0);
+
+    let err = max_relative_error(&y_full, &y_rom);
+    println!("maximum relative output error over the transient: {err:.3e}");
+    assert!(err < 0.05, "reduced model should track the full model");
+    println!("quickstart finished successfully");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Paper §3.1/§3.2 scenario: the nonlinear transmission line, voltage-driven
+//! (with the bilinear `D₁` term) and current-driven (without it), reduced with
+//! the associated-transform method and with the NORM baseline.
+//!
+//! ```text
+//! cargo run --release --example transmission_line            # paper sizes
+//! cargo run --release --example transmission_line -- 24 20   # custom sizes
+//! ```
+
+use vamor::circuits::TransmissionLine;
+use vamor::core::{AssocReducer, MomentSpec, NormReducer};
+use vamor::sim::{
+    max_relative_error, simulate, IntegrationMethod, SinePulse, TransientOptions,
+};
+use vamor::system::PolynomialStateSpace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let voltage_stages: usize = args.first().map(|s| s.parse()).transpose()?.unwrap_or(100);
+    let current_stages: usize = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(70);
+    let spec = MomentSpec::paper_default();
+
+    // --- §3.1: voltage-driven line, QLDAE with D1 ------------------------
+    println!("== voltage-driven line ({voltage_stages} stages, QLDAE with D1) ==");
+    let line = TransmissionLine::voltage_driven(voltage_stages)?;
+    let rom = AssocReducer::new(spec).reduce(line.qldae())?;
+    println!("  reduced order: {} (paper: 13 for 100 stages)", rom.order());
+    let input = SinePulse::damped(0.02, 0.3, 0.05);
+    let opts = TransientOptions::new(0.0, 30.0, 0.01)
+        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let y_full = simulate(line.qldae(), &input, &opts)?.output_channel(0);
+    let y_rom = simulate(rom.system(), &input, &opts)?.output_channel(0);
+    println!("  max relative error: {:.3e}", max_relative_error(&y_full, &y_rom));
+
+    // --- §3.2: current-driven line, no D1, proposed vs NORM ---------------
+    println!("== current-driven line ({current_stages} stages, no D1) ==");
+    let line = TransmissionLine::current_driven(current_stages)?;
+    let proposed = AssocReducer::new(spec).reduce(line.qldae())?;
+    let baseline = NormReducer::new(spec).reduce(line.qldae())?;
+    println!(
+        "  proposed order {} from {} candidates; NORM order {} from {} candidates",
+        proposed.order(),
+        proposed.stats().total_candidates(),
+        baseline.order(),
+        baseline.stats().total_candidates()
+    );
+    let input = SinePulse::damped(0.5, 0.4, 0.08);
+    let y_full = simulate(line.qldae(), &input, &opts)?.output_channel(0);
+    let y_prop = simulate(proposed.system(), &input, &opts)?.output_channel(0);
+    let y_norm = simulate(baseline.system(), &input, &opts)?.output_channel(0);
+    println!("  full order: {}", line.qldae().order());
+    println!("  proposed ROM max relative error: {:.3e}", max_relative_error(&y_full, &y_prop));
+    println!("  NORM ROM max relative error:     {:.3e}", max_relative_error(&y_full, &y_norm));
+    Ok(())
+}
