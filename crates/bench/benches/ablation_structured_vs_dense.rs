@@ -8,8 +8,9 @@
 //! against the brute-force dense path (explicit `G̃₂`, dense LU, repeated
 //! solves).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vamor_bench::harness::{BenchmarkId, Criterion};
+use vamor_bench::{criterion_group, criterion_main};
 
 use vamor_circuits::TransmissionLine;
 use vamor_core::AssocMomentGenerator;
@@ -20,26 +21,34 @@ fn bench_ablation(c: &mut Criterion) {
     for stages in [8usize, 16, 24] {
         let line = TransmissionLine::current_driven(stages).expect("circuit");
         let qldae = line.qldae().clone();
-        group.bench_with_input(BenchmarkId::new("structured_h2_moments", stages), &qldae, |b, q| {
-            b.iter(|| {
-                let generator = AssocMomentGenerator::new(black_box(q)).unwrap();
-                generator.h2_moments(0, 0, 3).unwrap().len()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("dense_h2_realization", stages), &qldae, |b, q| {
-            b.iter(|| {
-                let generator = AssocMomentGenerator::new(black_box(q)).unwrap();
-                let (a, btilde, c_out) = generator.dense_h2_realization(0).unwrap();
-                let lu = a.lu().unwrap();
-                let mut v = btilde;
-                let mut acc = 0.0;
-                for _ in 0..3 {
-                    v = lu.solve(&v).unwrap();
-                    acc += c_out.matvec(&v).norm2();
-                }
-                acc
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("structured_h2_moments", stages),
+            &qldae,
+            |b, q| {
+                b.iter(|| {
+                    let generator = AssocMomentGenerator::new(black_box(q)).unwrap();
+                    generator.h2_moments(0, 0, 3).unwrap().len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_h2_realization", stages),
+            &qldae,
+            |b, q| {
+                b.iter(|| {
+                    let generator = AssocMomentGenerator::new(black_box(q)).unwrap();
+                    let (a, btilde, c_out) = generator.dense_h2_realization(0).unwrap();
+                    let lu = a.lu().unwrap();
+                    let mut v = btilde;
+                    let mut acc = 0.0;
+                    for _ in 0..3 {
+                        v = lu.solve(&v).unwrap();
+                        acc += c_out.matvec(&v).norm2();
+                    }
+                    acc
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -6,8 +6,9 @@
 //! The default size is scaled down so `cargo bench` stays fast; set
 //! `VAMOR_BENCH_PAPER_SIZE=1` to run the paper's 100-stage instance.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vamor_bench::harness::Criterion;
+use vamor_bench::{criterion_group, criterion_main};
 
 use vamor_circuits::TransmissionLine;
 use vamor_core::{AssocReducer, MomentSpec};
@@ -27,19 +28,34 @@ fn bench_fig2(c: &mut Criterion) {
     let spec = MomentSpec::paper_default();
     let rom = AssocReducer::new(spec).reduce(full).expect("reduction");
     let input = SinePulse::damped(0.02, 0.3, 0.05);
-    let opts = TransientOptions::new(0.0, 30.0, 0.02)
-        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let opts =
+        TransientOptions::new(0.0, 30.0, 0.02).with_method(IntegrationMethod::ImplicitTrapezoidal);
 
     let mut group = c.benchmark_group("fig2_tline_voltage");
     group.sample_size(10);
     group.bench_function("projection_build_proposed", |b| {
-        b.iter(|| AssocReducer::new(spec).reduce(black_box(full)).unwrap().order())
+        b.iter(|| {
+            AssocReducer::new(spec)
+                .reduce(black_box(full))
+                .unwrap()
+                .order()
+        })
     });
     group.bench_function("transient_full_model", |b| {
-        b.iter(|| simulate(black_box(full), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(full), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.bench_function("transient_proposed_rom", |b| {
-        b.iter(|| simulate(black_box(rom.system()), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(rom.system()), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.finish();
 }

@@ -4,8 +4,9 @@
 //!
 //! Set `VAMOR_BENCH_PAPER_SIZE=1` for the paper's 70-state instance.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vamor_bench::harness::Criterion;
+use vamor_bench::{criterion_group, criterion_main};
 
 use vamor_circuits::TransmissionLine;
 use vamor_core::{AssocReducer, MomentSpec, NormReducer};
@@ -23,28 +24,55 @@ fn bench_fig3(c: &mut Criterion) {
     let line = TransmissionLine::current_driven(stages()).expect("circuit");
     let full = line.qldae();
     let spec = MomentSpec::paper_default();
-    let proposed = AssocReducer::new(spec).reduce(full).expect("proposed reduction");
+    let proposed = AssocReducer::new(spec)
+        .reduce(full)
+        .expect("proposed reduction");
     let baseline = NormReducer::new(spec).reduce(full).expect("norm reduction");
     let input = SinePulse::damped(0.5, 0.4, 0.08);
-    let opts = TransientOptions::new(0.0, 30.0, 0.02)
-        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let opts =
+        TransientOptions::new(0.0, 30.0, 0.02).with_method(IntegrationMethod::ImplicitTrapezoidal);
 
     let mut group = c.benchmark_group("fig3_tline_current");
     group.sample_size(10);
     group.bench_function("projection_build_proposed", |b| {
-        b.iter(|| AssocReducer::new(spec).reduce(black_box(full)).unwrap().order())
+        b.iter(|| {
+            AssocReducer::new(spec)
+                .reduce(black_box(full))
+                .unwrap()
+                .order()
+        })
     });
     group.bench_function("projection_build_norm", |b| {
-        b.iter(|| NormReducer::new(spec).reduce(black_box(full)).unwrap().order())
+        b.iter(|| {
+            NormReducer::new(spec)
+                .reduce(black_box(full))
+                .unwrap()
+                .order()
+        })
     });
     group.bench_function("transient_full_model", |b| {
-        b.iter(|| simulate(black_box(full), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(full), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.bench_function("transient_proposed_rom", |b| {
-        b.iter(|| simulate(black_box(proposed.system()), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(proposed.system()), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.bench_function("transient_norm_rom", |b| {
-        b.iter(|| simulate(black_box(baseline.system()), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(baseline.system()), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.finish();
 }

@@ -3,8 +3,9 @@
 //!
 //! Set `VAMOR_BENCH_PAPER_SIZE=1` for the paper's 173-state instance.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vamor_bench::harness::Criterion;
+use vamor_bench::{criterion_group, criterion_main};
 
 use vamor_circuits::RfReceiver;
 use vamor_core::{AssocReducer, MomentSpec, NormReducer};
@@ -22,7 +23,9 @@ fn bench_fig4(c: &mut Criterion) {
     let rx = RfReceiver::new(sections()).expect("circuit");
     let full = rx.qldae();
     let spec = MomentSpec::paper_default();
-    let proposed = AssocReducer::new(spec).reduce(full).expect("proposed reduction");
+    let proposed = AssocReducer::new(spec)
+        .reduce(full)
+        .expect("proposed reduction");
     let baseline = NormReducer::new(spec).reduce(full).expect("norm reduction");
     let input = || {
         MultiChannel::new(vec![
@@ -30,16 +33,26 @@ fn bench_fig4(c: &mut Criterion) {
             Box::new(SinePulse::new(0.12, 0.11)),
         ])
     };
-    let opts = TransientOptions::new(0.0, 20.0, 0.02)
-        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let opts =
+        TransientOptions::new(0.0, 20.0, 0.02).with_method(IntegrationMethod::ImplicitTrapezoidal);
 
     let mut group = c.benchmark_group("fig4_rf_receiver");
     group.sample_size(10);
     group.bench_function("projection_build_proposed", |b| {
-        b.iter(|| AssocReducer::new(spec).reduce(black_box(full)).unwrap().order())
+        b.iter(|| {
+            AssocReducer::new(spec)
+                .reduce(black_box(full))
+                .unwrap()
+                .order()
+        })
     });
     group.bench_function("projection_build_norm", |b| {
-        b.iter(|| NormReducer::new(spec).reduce(black_box(full)).unwrap().order())
+        b.iter(|| {
+            NormReducer::new(spec)
+                .reduce(black_box(full))
+                .unwrap()
+                .order()
+        })
     });
     group.bench_function("transient_full_model", |b| {
         let u = input();
@@ -47,11 +60,21 @@ fn bench_fig4(c: &mut Criterion) {
     });
     group.bench_function("transient_proposed_rom", |b| {
         let u = input();
-        b.iter(|| simulate(black_box(proposed.system()), &u, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(proposed.system()), &u, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.bench_function("transient_norm_rom", |b| {
         let u = input();
-        b.iter(|| simulate(black_box(baseline.system()), &u, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(baseline.system()), &u, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.finish();
 }

@@ -4,8 +4,9 @@
 //!
 //! Set `VAMOR_BENCH_PAPER_SIZE=1` for the paper's 102-state instance.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vamor_bench::harness::Criterion;
+use vamor_bench::{criterion_group, criterion_main};
 
 use vamor_circuits::VaristorCircuit;
 use vamor_core::{AssocReducer, MomentSpec};
@@ -23,21 +24,38 @@ fn bench_fig5(c: &mut Criterion) {
     let circuit = VaristorCircuit::new(ladder_nodes()).expect("circuit");
     let full = circuit.ode();
     let spec = MomentSpec::new(6, 0, 2);
-    let rom = AssocReducer::new(spec).reduce_cubic(full).expect("reduction");
+    let rom = AssocReducer::new(spec)
+        .reduce_cubic(full)
+        .expect("reduction");
     let input = ExpPulse::new(VaristorCircuit::surge_amplitude(), 0.5, 6.0);
-    let opts = TransientOptions::new(0.0, 30.0, 0.02)
-        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let opts =
+        TransientOptions::new(0.0, 30.0, 0.02).with_method(IntegrationMethod::ImplicitTrapezoidal);
 
     let mut group = c.benchmark_group("fig5_varistor");
     group.sample_size(10);
     group.bench_function("projection_build_proposed", |b| {
-        b.iter(|| AssocReducer::new(spec).reduce_cubic(black_box(full)).unwrap().order())
+        b.iter(|| {
+            AssocReducer::new(spec)
+                .reduce_cubic(black_box(full))
+                .unwrap()
+                .order()
+        })
     });
     group.bench_function("transient_full_model", |b| {
-        b.iter(|| simulate(black_box(full), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(full), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.bench_function("transient_proposed_rom", |b| {
-        b.iter(|| simulate(black_box(rom.system()), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(rom.system()), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.finish();
 }

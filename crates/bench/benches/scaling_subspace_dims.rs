@@ -3,14 +3,19 @@
 //! times the projection construction of both methods as the moment order `k`
 //! grows, which exposes the dimensionality gap as a runtime gap as well.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vamor_bench::harness::{BenchmarkId, Criterion};
+use vamor_bench::{criterion_group, criterion_main};
 
 use vamor_circuits::TransmissionLine;
 use vamor_core::{AssocReducer, MomentSpec, NormReducer};
 
 fn bench_scaling(c: &mut Criterion) {
-    let stages = if std::env::var("VAMOR_BENCH_PAPER_SIZE").is_ok() { 70 } else { 24 };
+    let stages = if std::env::var("VAMOR_BENCH_PAPER_SIZE").is_ok() {
+        70
+    } else {
+        24
+    };
     let line = TransmissionLine::current_driven(stages).expect("circuit");
     let full = line.qldae();
 
@@ -19,10 +24,20 @@ fn bench_scaling(c: &mut Criterion) {
     for k in [1usize, 2, 3] {
         let spec = MomentSpec::new(k, k, k);
         group.bench_with_input(BenchmarkId::new("proposed", k), &spec, |b, spec| {
-            b.iter(|| AssocReducer::new(*spec).reduce(black_box(full)).unwrap().order())
+            b.iter(|| {
+                AssocReducer::new(*spec)
+                    .reduce(black_box(full))
+                    .unwrap()
+                    .order()
+            })
         });
         group.bench_with_input(BenchmarkId::new("norm", k), &spec, |b, spec| {
-            b.iter(|| NormReducer::new(*spec).reduce(black_box(full)).unwrap().order())
+            b.iter(|| {
+                NormReducer::new(*spec)
+                    .reduce(black_box(full))
+                    .unwrap()
+                    .order()
+            })
         });
     }
     group.finish();

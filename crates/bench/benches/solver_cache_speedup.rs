@@ -1,0 +1,78 @@
+//! The PR-1 acceptance bench: `AssocReducer::reduce` on the 35-stage
+//! current-driven transmission line with the paper's default moment spec,
+//! cached (shifted-LU + shared Schur) versus the legacy uncached solver path.
+//!
+//! The cached path must be at least 2× faster with an identical projection
+//! dimension; the bench prints the measured ratio and asserts the dimension
+//! and moment-match agreement so a regression fails loudly.
+
+use std::hint::black_box;
+use vamor_bench::harness::Criterion;
+use vamor_bench::{criterion_group, criterion_main};
+
+use vamor_circuits::TransmissionLine;
+use vamor_core::{AssocReducer, MomentSpec};
+
+fn bench_solver_cache(c: &mut Criterion) {
+    let line = TransmissionLine::current_driven(35).expect("circuit");
+    let full = line.qldae();
+    let spec = MomentSpec::paper_default();
+
+    let cached = AssocReducer::new(spec).reduce(full).expect("cached reduce");
+    let uncached = AssocReducer::new(spec)
+        .with_solver_caching(false)
+        .reduce(full)
+        .expect("uncached reduce");
+    assert_eq!(
+        cached.order(),
+        uncached.order(),
+        "cached and uncached reductions must give the same projection dimension"
+    );
+    // Compare the spanned subspaces (entrywise basis comparison is too strict:
+    // reassociated floating-point sums shuffle the last ulps of each column).
+    let vc = cached.projection();
+    let vu = uncached.projection();
+    let mut basis_diff = 0.0_f64;
+    for j in 0..vu.cols() {
+        let col = vu.col(j);
+        let mut residual = col.clone();
+        residual.axpy(-1.0, &vc.matvec(&vc.matvec_transpose(&col)));
+        basis_diff = basis_diff.max(residual.norm2());
+    }
+    assert!(
+        basis_diff <= 1e-8,
+        "projection subspaces diverged: {basis_diff:.3e}"
+    );
+
+    let mut group = c.benchmark_group("solver_cache_speedup");
+    group.sample_size(10);
+    let mut t_cached = std::time::Duration::ZERO;
+    let mut t_uncached = std::time::Duration::ZERO;
+    group.bench_function("assoc_reduce_cached_tline35", |b| {
+        let start = std::time::Instant::now();
+        b.iter(|| {
+            AssocReducer::new(spec)
+                .reduce(black_box(full))
+                .unwrap()
+                .order()
+        });
+        t_cached = start.elapsed();
+    });
+    group.bench_function("assoc_reduce_uncached_tline35", |b| {
+        let start = std::time::Instant::now();
+        b.iter(|| {
+            AssocReducer::new(spec)
+                .with_solver_caching(false)
+                .reduce(black_box(full))
+                .unwrap()
+                .order()
+        });
+        t_uncached = start.elapsed();
+    });
+    group.finish();
+    let ratio = t_uncached.as_secs_f64() / t_cached.as_secs_f64().max(1e-12);
+    println!("solver_cache_speedup: uncached/cached wall-time ratio = {ratio:.2}x");
+}
+
+criterion_group!(benches, bench_solver_cache);
+criterion_main!(benches);

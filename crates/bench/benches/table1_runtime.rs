@@ -7,8 +7,9 @@
 //! ROM transient substantially faster) is what should reproduce. Use
 //! `VAMOR_BENCH_PAPER_SIZE=1` for the paper-sized systems.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vamor_bench::harness::Criterion;
+use vamor_bench::{criterion_group, criterion_main};
 
 use vamor_circuits::{RfReceiver, TransmissionLine};
 use vamor_core::{AssocReducer, MomentSpec, NormReducer};
@@ -26,25 +27,50 @@ fn bench_section_3_2(c: &mut Criterion) {
     let proposed = AssocReducer::new(spec).reduce(full).expect("proposed");
     let baseline = NormReducer::new(spec).reduce(full).expect("norm");
     let input = SinePulse::damped(0.5, 0.4, 0.08);
-    let opts = TransientOptions::new(0.0, 30.0, 0.02)
-        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let opts =
+        TransientOptions::new(0.0, 30.0, 0.02).with_method(IntegrationMethod::ImplicitTrapezoidal);
 
     let mut group = c.benchmark_group("table1_sect32");
     group.sample_size(10);
     group.bench_function("arnoldi_proposed", |b| {
-        b.iter(|| AssocReducer::new(spec).reduce(black_box(full)).unwrap().order())
+        b.iter(|| {
+            AssocReducer::new(spec)
+                .reduce(black_box(full))
+                .unwrap()
+                .order()
+        })
     });
     group.bench_function("arnoldi_norm", |b| {
-        b.iter(|| NormReducer::new(spec).reduce(black_box(full)).unwrap().order())
+        b.iter(|| {
+            NormReducer::new(spec)
+                .reduce(black_box(full))
+                .unwrap()
+                .order()
+        })
     });
     group.bench_function("ode_solve_original", |b| {
-        b.iter(|| simulate(black_box(full), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(full), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.bench_function("ode_solve_proposed_rom", |b| {
-        b.iter(|| simulate(black_box(proposed.system()), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(proposed.system()), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.bench_function("ode_solve_norm_rom", |b| {
-        b.iter(|| simulate(black_box(baseline.system()), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(baseline.system()), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.finish();
 }
@@ -60,25 +86,50 @@ fn bench_section_3_3(c: &mut Criterion) {
         Box::new(SinePulse::damped(0.3, 0.06, 0.05)),
         Box::new(SinePulse::new(0.12, 0.11)),
     ]);
-    let opts = TransientOptions::new(0.0, 20.0, 0.02)
-        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let opts =
+        TransientOptions::new(0.0, 20.0, 0.02).with_method(IntegrationMethod::ImplicitTrapezoidal);
 
     let mut group = c.benchmark_group("table1_sect33");
     group.sample_size(10);
     group.bench_function("arnoldi_proposed", |b| {
-        b.iter(|| AssocReducer::new(spec).reduce(black_box(full)).unwrap().order())
+        b.iter(|| {
+            AssocReducer::new(spec)
+                .reduce(black_box(full))
+                .unwrap()
+                .order()
+        })
     });
     group.bench_function("arnoldi_norm", |b| {
-        b.iter(|| NormReducer::new(spec).reduce(black_box(full)).unwrap().order())
+        b.iter(|| {
+            NormReducer::new(spec)
+                .reduce(black_box(full))
+                .unwrap()
+                .order()
+        })
     });
     group.bench_function("ode_solve_original", |b| {
-        b.iter(|| simulate(black_box(full), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(full), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.bench_function("ode_solve_proposed_rom", |b| {
-        b.iter(|| simulate(black_box(proposed.system()), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(proposed.system()), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.bench_function("ode_solve_norm_rom", |b| {
-        b.iter(|| simulate(black_box(baseline.system()), &input, &opts).unwrap().stats.steps)
+        b.iter(|| {
+            simulate(black_box(baseline.system()), &input, &opts)
+                .unwrap()
+                .stats
+                .steps
+        })
     });
     group.finish();
 }

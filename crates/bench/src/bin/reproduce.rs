@@ -10,11 +10,12 @@
 //! line, 173-state receiver, 102-state varistor circuit). `--small` runs
 //! scaled-down instances for a quick smoke test.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use vamor_bench::{
-    fig2_voltage_line, fig3_current_line, fig4_rf_receiver, fig5_varistor,
-    scaling_subspace_dims, TransientComparison,
+    acceptance_metrics, fig2_voltage_line, fig3_current_line, fig4_rf_receiver, fig5_varistor,
+    scaling_subspace_dims, AcceptanceMetrics, TransientComparison,
 };
 
 struct Sizes {
@@ -27,43 +28,97 @@ struct Sizes {
 
 impl Sizes {
     fn paper() -> Self {
-        Sizes { fig2_stages: 100, fig3_stages: 70, fig4_sections: 86, fig5_ladder: 98, dt: 0.01 }
+        Sizes {
+            fig2_stages: 100,
+            fig3_stages: 70,
+            fig4_sections: 86,
+            fig5_ladder: 98,
+            dt: 0.01,
+        }
     }
 
     fn small() -> Self {
-        Sizes { fig2_stages: 24, fig3_stages: 20, fig4_sections: 12, fig5_ladder: 16, dt: 0.02 }
+        Sizes {
+            fig2_stages: 24,
+            fig3_stages: 20,
+            fig4_sections: 12,
+            fig5_ladder: 16,
+            dt: 0.02,
+        }
     }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
-    let mut which: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|a| a.as_str()).collect();
-    if which.is_empty() || which.contains(&"all") {
-        which = vec!["fig2", "fig3", "fig4", "fig5", "table1", "scaling"];
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("--json requires a path argument");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => "BENCH_PR1.json".to_string(),
+    };
+    let mut which: Vec<&str> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--json" {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            which.push(a.as_str());
+        }
     }
-    let sizes = if small { Sizes::small() } else { Sizes::paper() };
+    if which.is_empty() || which.contains(&"all") {
+        which = vec!["fig2", "fig3", "fig4", "fig5", "table1", "scaling", "perf"];
+    }
+    let sizes = if small {
+        Sizes::small()
+    } else {
+        Sizes::paper()
+    };
 
     let mut table1_rows: Vec<(String, TransientComparison)> = Vec::new();
+    let mut json_rows: Vec<(String, TransientComparison)> = Vec::new();
+    let mut acceptance: Option<AcceptanceMetrics> = None;
     for experiment in &which {
         let outcome = match *experiment {
             "fig2" => fig2_voltage_line(sizes.fig2_stages, sizes.dt).map(|c| {
                 print_figure("Fig. 2", &c);
+                json_rows.push(("fig2".into(), c));
                 None
             }),
             "fig3" => fig3_current_line(sizes.fig3_stages, sizes.dt).map(|c| {
                 print_figure("Fig. 3", &c);
+                json_rows.push(("fig3".into(), c.clone()));
                 Some(("Sect 3.2 Ex. (transmission line)".to_string(), c))
             }),
             "fig4" => fig4_rf_receiver(sizes.fig4_sections, sizes.dt).map(|c| {
                 print_figure("Fig. 4", &c);
+                json_rows.push(("fig4".into(), c.clone()));
                 Some(("Sect 3.3 Ex. (RF receiver)".to_string(), c))
             }),
             "fig5" => fig5_varistor(sizes.fig5_ladder, sizes.dt).map(|c| {
                 print_figure("Fig. 5", &c);
+                json_rows.push(("fig5".into(), c));
                 None
             }),
+            "perf" => match acceptance_metrics(35, if small { 16 } else { 98 }, sizes.dt) {
+                Ok(m) => {
+                    print_acceptance(&m);
+                    acceptance = Some(m);
+                    Ok(None)
+                }
+                Err(e) => Err(e),
+            },
             "table1" => {
                 // Table 1 is assembled from the fig3/fig4 runs; run them if the
                 // user asked only for the table.
@@ -94,11 +149,7 @@ fn main() -> ExitCode {
                         println!("\n== Projection-size scaling (Section 4 remark) ==");
                         println!(
                             "{:>3} | {:>14} {:>14} | {:>14} {:>14}",
-                            "k",
-                            "proposed dim",
-                            "candidates",
-                            "NORM dim",
-                            "candidates"
+                            "k", "proposed dim", "candidates", "NORM dim", "candidates"
                         );
                         for r in rows {
                             println!(
@@ -116,7 +167,9 @@ fn main() -> ExitCode {
                 }
             }
             other => {
-                eprintln!("unknown experiment '{other}' (expected fig2..fig5, table1, scaling, all)");
+                eprintln!(
+                    "unknown experiment '{other}' (expected fig2..fig5, table1, scaling, perf, all)"
+                );
                 return ExitCode::FAILURE;
             }
         };
@@ -133,7 +186,107 @@ fn main() -> ExitCode {
     if which.contains(&"table1") || !table1_rows.is_empty() {
         print_table1(&table1_rows);
     }
+
+    if !no_json {
+        let json = render_json(small, &json_rows, acceptance.as_ref());
+        match std::fs::write(&json_path, json) {
+            Ok(()) => println!("\nwrote {json_path}"),
+            Err(e) => {
+                eprintln!("failed to write {json_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+fn print_acceptance(m: &AcceptanceMetrics) {
+    println!("\n== PR-1 acceptance: solver cache + frozen Jacobian ==");
+    println!(
+        "assoc reduce (tline {} stages, 6/3/2 moments): cached {:.3} ms, uncached {:.3} ms ({:.2}x), order {}",
+        m.tline_stages,
+        m.reduce_cached.as_secs_f64() * 1e3,
+        m.reduce_uncached.as_secs_f64() * 1e3,
+        m.reduce_speedup(),
+        m.reduced_order
+    );
+    println!(
+        "varistor implicit transient ({} nodes, {} steps): {} factorizations frozen vs {} per-step, trajectory diff {:.2e}",
+        m.varistor_nodes,
+        m.varistor_steps,
+        m.factorizations_frozen,
+        m.factorizations_every_step,
+        m.trajectory_diff
+    );
+}
+
+/// Hand-rolled JSON (the workspace builds without external crates): one
+/// perf-trajectory entry per reproduced experiment plus the PR acceptance
+/// metrics, so later PRs can diff machine-readable baselines.
+fn render_json(
+    small: bool,
+    rows: &[(String, TransientComparison)],
+    acceptance: Option<&AcceptanceMetrics>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"pr\": 1,\n");
+    out.push_str("  \"tool\": \"vamor-bench reproduce\",\n");
+    let _ = writeln!(
+        out,
+        "  \"sizes\": \"{}\",",
+        if small { "small" } else { "paper" }
+    );
+    out.push_str("  \"experiments\": [\n");
+    for (i, (name, cmp)) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{name}\", \"full_order\": {}, \"reduced_order\": {}, ",
+            cmp.full_order, cmp.proposed_order
+        );
+        if let Some(norm_order) = cmp.norm_order {
+            let _ = write!(out, "\"norm_order\": {norm_order}, ");
+        }
+        let _ = write!(
+            out,
+            "\"max_rel_error_proposed\": {:.6e}, ",
+            cmp.max_error_proposed()
+        );
+        if let Some(e) = cmp.max_error_norm() {
+            let _ = write!(out, "\"max_rel_error_norm\": {e:.6e}, ");
+        }
+        let t = &cmp.timings;
+        let _ = write!(
+            out,
+            "\"wall_s\": {{\"reduce_proposed\": {:.6}, \"reduce_norm\": {:.6}, \"sim_full\": {:.6}, \"sim_proposed\": {:.6}, \"sim_norm\": {:.6}}}}}",
+            t.reduce_proposed.as_secs_f64(),
+            t.reduce_norm.as_secs_f64(),
+            t.sim_full.as_secs_f64(),
+            t.sim_proposed.as_secs_f64(),
+            t.sim_norm.as_secs_f64()
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    if let Some(m) = acceptance {
+        let _ = write!(
+            out,
+            ",\n  \"acceptance\": {{\n    \"assoc_reduce_tline{}_cached_s\": {:.6},\n    \"assoc_reduce_tline{}_uncached_s\": {:.6},\n    \"assoc_reduce_speedup\": {:.3},\n    \"assoc_reduced_order\": {},\n    \"varistor_nodes\": {},\n    \"varistor_steps\": {},\n    \"varistor_jacobian_factorizations_frozen\": {},\n    \"varistor_jacobian_factorizations_every_step\": {},\n    \"varistor_trajectory_diff\": {:.6e}\n  }}",
+            m.tline_stages,
+            m.reduce_cached.as_secs_f64(),
+            m.tline_stages,
+            m.reduce_uncached.as_secs_f64(),
+            m.reduce_speedup(),
+            m.reduced_order,
+            m.varistor_nodes,
+            m.varistor_steps,
+            m.factorizations_frozen,
+            m.factorizations_every_step,
+            m.trajectory_diff
+        );
+    }
+    out.push_str("\n}\n");
+    out
 }
 
 fn print_figure(label: &str, cmp: &TransientComparison) {
@@ -142,12 +295,16 @@ fn print_figure(label: &str, cmp: &TransientComparison) {
         "full order {} -> proposed ROM order {}{}",
         cmp.full_order,
         cmp.proposed_order,
-        cmp.norm_order.map(|n| format!(" (NORM ROM order {n})")).unwrap_or_default()
+        cmp.norm_order
+            .map(|n| format!(" (NORM ROM order {n})"))
+            .unwrap_or_default()
     );
     println!(
         "max relative error: proposed {:.3e}{}",
         cmp.max_error_proposed(),
-        cmp.max_error_norm().map(|e| format!(", NORM {e:.3e}")).unwrap_or_default()
+        cmp.max_error_norm()
+            .map(|e| format!(", NORM {e:.3e}"))
+            .unwrap_or_default()
     );
     println!("transient response (downsampled):");
     println!(
@@ -155,12 +312,20 @@ fn print_figure(label: &str, cmp: &TransientComparison) {
         "t",
         "original",
         "proposed ROM",
-        if cmp.y_norm.is_some() { format!("{:>14}", "NORM ROM") } else { String::new() }
+        if cmp.y_norm.is_some() {
+            format!("{:>14}", "NORM ROM")
+        } else {
+            String::new()
+        }
     );
     let step = (cmp.times.len() / 16).max(1);
     let err = cmp.relative_error_proposed();
     for i in (0..cmp.times.len()).step_by(step) {
-        let norm_col = cmp.y_norm.as_ref().map(|y| format!("{:>14.6e}", y[i])).unwrap_or_default();
+        let norm_col = cmp
+            .y_norm
+            .as_ref()
+            .map(|y| format!("{:>14.6e}", y[i]))
+            .unwrap_or_default();
         println!(
             "{:>8.3} {:>14.6e} {:>14.6e}{}   (rel err {:.2e})",
             cmp.times[i], cmp.y_full[i], cmp.y_proposed[i], norm_col, err[i]
@@ -198,7 +363,9 @@ fn print_table1(rows: &[(String, TransientComparison)]) {
             "  reduced order",
             cmp.full_order,
             cmp.proposed_order,
-            cmp.norm_order.map(|n| n.to_string()).unwrap_or_else(|| "-".into())
+            cmp.norm_order
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
 }

@@ -6,8 +6,8 @@ use std::time::{Duration, Instant};
 use vamor_circuits::{RfReceiver, TransmissionLine, VaristorCircuit};
 use vamor_core::{AssocReducer, MomentSpec, MorError, NormReducer};
 use vamor_sim::{
-    max_relative_error, relative_error_series, simulate, ExpPulse, IntegrationMethod,
-    MultiChannel, SimError, SinePulse, TransientOptions,
+    max_relative_error, relative_error_series, simulate, ExpPulse, IntegrationMethod, MultiChannel,
+    SimError, SinePulse, TransientOptions,
 };
 use vamor_system::{PolynomialStateSpace, SystemError};
 
@@ -101,7 +101,9 @@ impl TransientComparison {
 
     /// Relative error series of the NORM ROM, if present.
     pub fn relative_error_norm(&self) -> Option<Vec<f64>> {
-        self.y_norm.as_ref().map(|y| relative_error_series(&self.y_full, y))
+        self.y_norm
+            .as_ref()
+            .map(|y| relative_error_series(&self.y_full, y))
     }
 
     /// Maximum relative error of the proposed ROM.
@@ -111,7 +113,9 @@ impl TransientComparison {
 
     /// Maximum relative error of the NORM ROM, if present.
     pub fn max_error_norm(&self) -> Option<f64> {
-        self.y_norm.as_ref().map(|y| max_relative_error(&self.y_full, y))
+        self.y_norm
+            .as_ref()
+            .map(|y| max_relative_error(&self.y_full, y))
     }
 }
 
@@ -285,6 +289,102 @@ pub fn fig5_varistor(ladder_nodes: usize, dt: f64) -> Result<TransientComparison
     })
 }
 
+/// The PR-1 acceptance measurements: solver-cache speedup of the projection
+/// build and the frozen-Jacobian factorization counts of the implicit
+/// transient, with the cross-checks that guard them.
+#[derive(Debug, Clone, Copy)]
+pub struct AcceptanceMetrics {
+    /// Transmission-line stages of the reduction benchmark.
+    pub tline_stages: usize,
+    /// Reduced order (identical for the cached and uncached paths).
+    pub reduced_order: usize,
+    /// Best-of-N wall time of `AssocReducer::reduce` with the solver cache.
+    pub reduce_cached: Duration,
+    /// Best-of-N wall time of the legacy factor-per-call path.
+    pub reduce_uncached: Duration,
+    /// Ladder nodes of the varistor transient benchmark.
+    pub varistor_nodes: usize,
+    /// Steps taken by the implicit varistor run.
+    pub varistor_steps: usize,
+    /// Jacobian factorizations under `JacobianPolicy::EveryStep`.
+    pub factorizations_every_step: usize,
+    /// Jacobian factorizations under `JacobianPolicy::FrozenReuse`.
+    pub factorizations_frozen: usize,
+    /// Max relative output difference between the two policies.
+    pub trajectory_diff: f64,
+}
+
+impl AcceptanceMetrics {
+    /// Speedup of the cached projection build over the legacy path.
+    pub fn reduce_speedup(&self) -> f64 {
+        self.reduce_uncached.as_secs_f64() / self.reduce_cached.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Measures the PR-1 acceptance metrics (see [`AcceptanceMetrics`]).
+///
+/// # Errors
+///
+/// Propagates circuit construction, reduction and simulation failures.
+pub fn acceptance_metrics(
+    tline_stages: usize,
+    varistor_nodes: usize,
+    dt: f64,
+) -> Result<AcceptanceMetrics> {
+    use vamor_sim::JacobianPolicy;
+
+    let line = TransmissionLine::current_driven(tline_stages)?;
+    let full = line.qldae();
+    let spec = MomentSpec::paper_default();
+    let reps = 5;
+    let mut cached_best = Duration::MAX;
+    let mut uncached_best = Duration::MAX;
+    let mut reduced_order = 0;
+    for _ in 0..reps {
+        let (rom, t) = timed(|| AssocReducer::new(spec).reduce(full));
+        reduced_order = rom?.order();
+        cached_best = cached_best.min(t);
+        let (rom, t) = timed(|| {
+            AssocReducer::new(spec)
+                .with_solver_caching(false)
+                .reduce(full)
+        });
+        let uncached_order = rom?.order();
+        assert_eq!(
+            reduced_order, uncached_order,
+            "cached/uncached dimensions diverged"
+        );
+        uncached_best = uncached_best.min(t);
+    }
+
+    let circuit = VaristorCircuit::new(varistor_nodes)?;
+    let surge = ExpPulse::new(VaristorCircuit::surge_amplitude(), 0.5, 6.0);
+    let opts =
+        TransientOptions::new(0.0, 30.0, dt).with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let every = simulate(
+        circuit.ode(),
+        &surge,
+        &opts.with_jacobian_policy(JacobianPolicy::EveryStep),
+    )?;
+    let frozen = simulate(
+        circuit.ode(),
+        &surge,
+        &opts.with_jacobian_policy(JacobianPolicy::FrozenReuse),
+    )?;
+
+    Ok(AcceptanceMetrics {
+        tline_stages,
+        reduced_order,
+        reduce_cached: cached_best,
+        reduce_uncached: uncached_best,
+        varistor_nodes,
+        varistor_steps: frozen.stats.steps,
+        factorizations_every_step: every.stats.jacobian_factorizations,
+        factorizations_frozen: frozen.stats.jacobian_factorizations,
+        trajectory_diff: max_relative_error(&every.output_channel(0), &frozen.output_channel(0)),
+    })
+}
+
 /// One row of the §4 size-scaling comparison.
 #[derive(Debug, Clone, Copy)]
 pub struct ScalingRow {
@@ -333,7 +433,11 @@ mod tests {
         // track its transient closely at the matched moment orders.
         assert!(cmp.proposed_order <= cmp.full_order / 3);
         assert!(cmp.norm_order.unwrap() <= cmp.full_order / 3);
-        assert!(cmp.max_error_proposed() < 0.05, "error {}", cmp.max_error_proposed());
+        assert!(
+            cmp.max_error_proposed() < 0.05,
+            "error {}",
+            cmp.max_error_proposed()
+        );
         assert!(cmp.max_error_norm().unwrap() < 0.05);
         assert_eq!(cmp.times.len(), cmp.y_full.len());
     }
@@ -345,7 +449,11 @@ mod tests {
         // Clamped well below the 9.8 kV input.
         assert!(peak_out < 1000.0, "peak output {peak_out}");
         assert!(peak_out > 50.0, "output did not rise: {peak_out}");
-        assert!(cmp.max_error_proposed() < 0.1, "error {}", cmp.max_error_proposed());
+        assert!(
+            cmp.max_error_proposed() < 0.1,
+            "error {}",
+            cmp.max_error_proposed()
+        );
     }
 
     #[test]

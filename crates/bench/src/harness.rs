@@ -1,0 +1,221 @@
+//! A minimal, dependency-free micro-benchmark harness with a
+//! Criterion-compatible surface.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! usual `criterion` dev-dependency is replaced by this shim: the bench files
+//! keep the familiar `Criterion` / `benchmark_group` / `bench_function` /
+//! `Bencher::iter` structure and the [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros, but timing is a plain
+//! mean/min over a fixed sample count printed to stdout.
+//!
+//! Results are also appended to the JSON file named by the
+//! `VAMOR_BENCH_JSON` environment variable (one object per line) so the
+//! `reproduce` binary and CI can collect perf trajectories.
+
+use std::time::{Duration, Instant};
+
+/// Entry point object handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n## bench group: {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs and reports a single benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let report = bencher.report();
+        println!(
+            "{}/{name}: mean {} (min {}, {} samples)",
+            self.group,
+            format_duration(report.mean),
+            format_duration(report.min),
+            report.samples
+        );
+        if let Ok(path) = std::env::var("VAMOR_BENCH_JSON") {
+            let line = format!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_s\":{:.9},\"min_s\":{:.9},\"samples\":{}}}\n",
+                self.group,
+                name,
+                report.mean.as_secs_f64(),
+                report.min.as_secs_f64(),
+                report.samples
+            );
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+        }
+        self
+    }
+
+    /// Runs and reports a parameterized benchmark, criterion-style.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(&id.id.clone(), |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// A benchmark name combined with a parameter value, e.g. `solve/32`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchReport {
+    /// Mean wall time per sample.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Collects timed samples of a closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly (one warm-up call, then `sample_size` samples).
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self) -> BenchReport {
+        if self.samples.is_empty() {
+            return BenchReport {
+                mean: Duration::ZERO,
+                min: Duration::ZERO,
+                samples: 0,
+            };
+        }
+        let total: Duration = self.samples.iter().sum();
+        let min = *self.samples.iter().min().expect("non-empty samples");
+        BenchReport {
+            mean: total / self.samples.len() as u32,
+            min,
+            samples: self.samples.len(),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Declares a function running a list of bench functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+        };
+        b.iter(|| 40 + 2);
+        let report = b.report();
+        assert_eq!(report.samples, 3);
+        assert!(report.min <= report.mean);
+    }
+
+    #[test]
+    fn empty_bencher_reports_zero() {
+        let b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        assert_eq!(b.report().samples, 0);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert!(format_duration(Duration::from_millis(5)).ends_with(" ms"));
+        assert!(format_duration(Duration::from_micros(7)).ends_with(" µs"));
+    }
+}

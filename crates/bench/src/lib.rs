@@ -15,8 +15,10 @@
 //! | §4 size-scaling remark                          | [`experiments::scaling_subspace_dims`] |
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::{
-    fig2_voltage_line, fig3_current_line, fig4_rf_receiver, fig5_varistor,
-    scaling_subspace_dims, ExperimentError, ScalingRow, Timings, TransientComparison,
+    acceptance_metrics, fig2_voltage_line, fig3_current_line, fig4_rf_receiver, fig5_varistor,
+    scaling_subspace_dims, AcceptanceMetrics, ExperimentError, ScalingRow, Timings,
+    TransientComparison,
 };

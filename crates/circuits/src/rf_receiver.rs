@@ -98,12 +98,16 @@ impl RfReceiver {
             }
         }
         // Output envelope node: C v̇_out = i_last − v_out.
-        b = b.g1_entry(out, iidx(sections - 1), 1.0).g1_entry(out, out, -1.0);
+        b = b
+            .g1_entry(out, iidx(sections - 1), 1.0)
+            .g1_entry(out, out, -1.0);
 
         // Inputs: the signal drives section 1; the interferer couples into a
         // section roughly a third of the way down the chain.
         let interferer_section = (sections / 3).max(1);
-        b = b.b_entry(vidx(0), 0, 1.0).b_entry(vidx(interferer_section), 1, 0.6);
+        b = b
+            .b_entry(vidx(0), 0, 1.0)
+            .b_entry(vidx(interferer_section), 1, 0.6);
 
         // Active stages: LNA right after the input filter, a mixer surrogate
         // mid-chain, a PA surrogate near the end, and a mild compression term
@@ -118,7 +122,12 @@ impl RfReceiver {
         b = b.g2_entry(vidx(lna), vidx(lna), vidx(lna), -gamma);
         b = b.g2_entry(vidx(pa), vidx(pa), vidx(pa), -gamma);
         b = b.g2_entry(vidx(mixer), vidx(lna), vidx(mixer), gamma * 0.5);
-        b = b.g2_entry(vidx(mixer), vidx(interferer_section), vidx(mixer), gamma * 0.25);
+        b = b.g2_entry(
+            vidx(mixer),
+            vidx(interferer_section),
+            vidx(mixer),
+            gamma * 0.25,
+        );
         let mut stage = 3;
         while stage + 1 < sections {
             b = b
@@ -176,7 +185,10 @@ mod tests {
         // The resonator chain must contribute genuinely complex pole pairs —
         // this is what exercises the 2x2 Schur blocks in the MOR machinery.
         let complex_count = eig.values().iter().filter(|z| z.im.abs() > 1e-6).count();
-        assert!(complex_count >= 4, "expected complex poles, got {complex_count}");
+        assert!(
+            complex_count >= 4,
+            "expected complex poles, got {complex_count}"
+        );
     }
 
     #[test]

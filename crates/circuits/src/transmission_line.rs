@@ -134,7 +134,12 @@ impl TransmissionLine {
         }
 
         let qldae = b.build()?;
-        Ok(TransmissionLine { qldae, stages, voltage_driven, diode })
+        Ok(TransmissionLine {
+            qldae,
+            stages,
+            voltage_driven,
+            diode,
+        })
     }
 
     /// The assembled QLDAE system.
@@ -210,7 +215,10 @@ mod tests {
         let x = Vector::filled(8, 0.01);
         let dx = line.qldae().rhs(&x, &[0.0]);
         for k in 1..7 {
-            assert!(dx[k].abs() < 1e-12, "interior node {k} should carry no net current");
+            assert!(
+                dx[k].abs() < 1e-12,
+                "interior node {k} should carry no net current"
+            );
         }
         assert!(dx[0] < 0.0, "grounded node discharges");
         assert!(dx[7] < 0.0, "load node discharges");

@@ -120,7 +120,7 @@ impl VaristorCircuit {
         let mut c = Matrix::zeros(1, n);
         c[(0, 3)] = 1.0;
 
-        let ode = CubicOde::new(g1, None, g3.to_csr(), b, c)?;
+        let ode = CubicOde::new(g1, None, g3.into_csr(), b, c)?;
         Ok(VaristorCircuit { ode, ladder_nodes })
     }
 
@@ -153,7 +153,8 @@ impl VaristorCircuit {
     /// once the surge has charged the filter. Useful for sanity checks.
     pub fn dc_clamp_voltage(u: f64) -> f64 {
         // Solve (u - v) / (Rᵢ + R₁) = k₁ v + k₃ v³ by bisection on v ≥ 0.
-        let f = |v: f64| (u - v) / (Self::R_I + Self::R_1) - (Self::K_1 * v + Self::K_3 * v * v * v);
+        let f =
+            |v: f64| (u - v) / (Self::R_I + Self::R_1) - (Self::K_1 * v + Self::K_3 * v * v * v);
         let (mut lo, mut hi) = (0.0, u.abs().max(1.0));
         for _ in 0..200 {
             let mid = 0.5 * (lo + hi);

@@ -27,10 +27,10 @@
 //! multivariate (NORM-style) moment matching.
 
 use vamor_linalg::kron::vec_of;
-use vamor_linalg::{kron_vec, CsrMatrix, LuDecomposition, Matrix, Vector};
+use vamor_linalg::{kron_vec, CsrMatrix, LuDecomposition, Matrix, SchurDecomposition, Vector};
 use vamor_system::{CubicOde, Qldae};
 
-use crate::bigsmall::solve_sylvester_big_small;
+use crate::bigsmall::{solve_sylvester_big_small, solve_sylvester_big_small_with_schur};
 use crate::error::MorError;
 use crate::operators::{BlockH2Op, KronSumOp2, ShiftedSolveOp};
 use crate::Result;
@@ -42,21 +42,69 @@ pub struct AssocMomentGenerator<'a> {
     g1_lu: LuDecomposition,
     kron_op: KronSumOp2,
     block_op: BlockH2Op,
+    /// Schur form of `G₁` (as the Schur of `(G₁ᵀ)ᵀ`), reused by every
+    /// big-left/small-right Sylvester solve when caching is on.
+    g1_schur: Option<SchurDecomposition>,
 }
 
 impl<'a> AssocMomentGenerator<'a> {
-    /// Prepares the cached factorizations (`LU(G₁)`, Schur of `G₁`).
+    /// Prepares the cached factorizations (`LU(G₁)`, one shared Schur of
+    /// `G₁`, the shifted-LU cache of the block realization).
     ///
     /// # Errors
     ///
     /// Returns an error if `G₁` is singular — expansion about `s = 0`
     /// requires a regular `G₁`, as in the paper.
     pub fn new(qldae: &'a Qldae) -> Result<Self> {
+        Self::with_caching(qldae, true)
+    }
+
+    /// Prepares the generator with the solver-cache layer switched on or off.
+    ///
+    /// With `caching` disabled every structured operator refactorizes exactly
+    /// as the pre-cache implementation did (duplicate Schur forms, LU per
+    /// shifted solve, Schur per Sylvester call); this path exists so the
+    /// speedup and the bit-level agreement of the cached path can be measured
+    /// against it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AssocMomentGenerator::new`].
+    pub fn with_caching(qldae: &'a Qldae, caching: bool) -> Result<Self> {
         let g1 = qldae.g1();
         let g1_lu = g1.lu().map_err(MorError::Linalg)?;
-        let kron_op = KronSumOp2::new(g1)?;
-        let block_op = BlockH2Op::new(g1, qldae.g2())?;
-        Ok(AssocMomentGenerator { qldae, g1_lu, kron_op, block_op })
+        if caching {
+            let kron_op = KronSumOp2::new(g1)?;
+            let g1_schur = Some(kron_op.a_schur());
+            let block_op = BlockH2Op::with_kron(g1, qldae.g2(), kron_op.clone(), true)?;
+            Ok(AssocMomentGenerator {
+                qldae,
+                g1_lu,
+                kron_op,
+                block_op,
+                g1_schur,
+            })
+        } else {
+            let kron_op = KronSumOp2::new_uncached(g1)?;
+            let block_kron = KronSumOp2::new_uncached(g1)?;
+            let block_op = BlockH2Op::with_kron(g1, qldae.g2(), block_kron, false)?;
+            Ok(AssocMomentGenerator {
+                qldae,
+                g1_lu,
+                kron_op,
+                block_op,
+                g1_schur: None,
+            })
+        }
+    }
+
+    /// Solves `op · X + X · G₁ᵀ = r`, reusing the cached Schur of `G₁` when
+    /// available.
+    fn solve_big_small(&self, op: &dyn ShiftedSolveOp, g1t: &Matrix, r: &Matrix) -> Result<Matrix> {
+        match &self.g1_schur {
+            Some(schur) => solve_sylvester_big_small_with_schur(op, schur, r),
+            None => solve_sylvester_big_small(op, g1t, r),
+        }
     }
 
     fn n(&self) -> usize {
@@ -132,25 +180,33 @@ impl<'a> AssocMomentGenerator<'a> {
             g2w.push(self.qldae.g2().matvec(&w));
         }
 
-        // Cauchy-product accumulation of the moments.
+        // Cauchy-product accumulation of the moments. All repeated `G₁⁻¹`
+        // applications run through `solve_into` with one scratch buffer, so
+        // the recursion allocates only the vectors it actually keeps.
         let mut acc: Vec<Vector> = Vec::with_capacity(count);
         let mut d_chain = d_vec;
+        let mut scratch = Vector::zeros(self.n());
         let mut moments = Vec::with_capacity(count);
-        for k in 0..count {
+        for g2w_k in &g2w {
             // Bring every stored term up by one factor of G₁⁻¹ and add the
             // newly available term G₂ w_k.
             for a in acc.iter_mut() {
-                *a = self.g1_lu.solve(a).map_err(MorError::Linalg)?;
+                scratch.copy_from(a);
+                self.g1_lu
+                    .solve_into(&scratch, a)
+                    .map_err(MorError::Linalg)?;
             }
-            acc.push(self.g1_lu.solve(&g2w[k]).map_err(MorError::Linalg)?);
-            d_chain = self.g1_lu.solve(&d_chain).map_err(MorError::Linalg)?;
+            acc.push(self.g1_lu.solve(g2w_k).map_err(MorError::Linalg)?);
+            scratch.copy_from(&d_chain);
+            self.g1_lu
+                .solve_into(&scratch, &mut d_chain)
+                .map_err(MorError::Linalg)?;
             let mut m_k = Vector::zeros(self.n());
             for a in &acc {
                 m_k.axpy(1.0, a);
             }
             m_k.axpy(-1.0, &d_chain);
             moments.push(m_k);
-            let _ = k;
         }
         Ok(moments)
     }
@@ -184,7 +240,7 @@ impl<'a> AssocMomentGenerator<'a> {
         let mut g2nu: Vec<Vector> = Vec::with_capacity(count);
         let mut z = rhs;
         for _ in 0..count {
-            z = solve_sylvester_big_small(&self.block_op, &g1t, &z)?;
+            z = self.solve_big_small(&self.block_op, &g1t, &z)?;
             let s = z.submatrix(0, n, 0, n); // c̃₂ Z_j  (n×n)
             let mut nu = vec_of(&s);
             nu.axpy(1.0, &vec_of(&s.transpose()));
@@ -199,13 +255,20 @@ impl<'a> AssocMomentGenerator<'a> {
 
         let mut acc: Vec<Vector> = Vec::with_capacity(count);
         let mut d_chain = d1d1b;
+        let mut scratch = Vector::zeros(n);
         let mut moments = Vec::with_capacity(count);
-        for k in 0..count {
+        for g2nu_k in &g2nu {
             for a in acc.iter_mut() {
-                *a = self.g1_lu.solve(a).map_err(MorError::Linalg)?;
+                scratch.copy_from(a);
+                self.g1_lu
+                    .solve_into(&scratch, a)
+                    .map_err(MorError::Linalg)?;
             }
-            acc.push(self.g1_lu.solve(&g2nu[k]).map_err(MorError::Linalg)?);
-            d_chain = self.g1_lu.solve(&d_chain).map_err(MorError::Linalg)?;
+            acc.push(self.g1_lu.solve(g2nu_k).map_err(MorError::Linalg)?);
+            scratch.copy_from(&d_chain);
+            self.g1_lu
+                .solve_into(&scratch, &mut d_chain)
+                .map_err(MorError::Linalg)?;
             let mut m_k = Vector::zeros(n);
             for a in &acc {
                 m_k.axpy(1.0, a);
@@ -231,7 +294,11 @@ impl<'a> AssocMomentGenerator<'a> {
         let mut a = Matrix::zeros(dim, dim);
         a.set_block(0, 0, self.qldae.g1());
         a.set_block(0, n, &self.qldae.g2().to_dense());
-        a.set_block(n, n, &vamor_linalg::kron_sum(self.qldae.g1(), self.qldae.g1()));
+        a.set_block(
+            n,
+            n,
+            &vamor_linalg::kron_sum(self.qldae.g1(), self.qldae.g1()),
+        );
         let btilde = self.block_op.btilde(&b, d1b.as_ref());
         let mut c = Matrix::zeros(n, dim);
         for i in 0..n {
@@ -251,6 +318,7 @@ pub struct CubicAssocMomentGenerator<'a> {
     ode: &'a CubicOde,
     g1_lu: LuDecomposition,
     kron_op: KronSumOp2,
+    g1_schur: Option<SchurDecomposition>,
 }
 
 impl<'a> CubicAssocMomentGenerator<'a> {
@@ -260,9 +328,29 @@ impl<'a> CubicAssocMomentGenerator<'a> {
     ///
     /// Returns an error if `G₁` is singular.
     pub fn new(ode: &'a CubicOde) -> Result<Self> {
+        Self::with_caching(ode, true)
+    }
+
+    /// Prepares the generator with the solver-cache layer switched on or off
+    /// (see [`AssocMomentGenerator::with_caching`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `G₁` is singular.
+    pub fn with_caching(ode: &'a CubicOde, caching: bool) -> Result<Self> {
         let g1_lu = ode.g1().lu().map_err(MorError::Linalg)?;
-        let kron_op = KronSumOp2::new(ode.g1())?;
-        Ok(CubicAssocMomentGenerator { ode, g1_lu, kron_op })
+        let kron_op = if caching {
+            KronSumOp2::new(ode.g1())?
+        } else {
+            KronSumOp2::new_uncached(ode.g1())?
+        };
+        let g1_schur = caching.then(|| kron_op.a_schur());
+        Ok(CubicAssocMomentGenerator {
+            ode,
+            g1_lu,
+            kron_op,
+            g1_schur,
+        })
     }
 
     fn n(&self) -> usize {
@@ -321,24 +409,30 @@ impl<'a> CubicAssocMomentGenerator<'a> {
         }
         let mut g3w: Vec<Vector> = Vec::with_capacity(count);
         for _ in 0..count {
-            w_mat = solve_sylvester_big_small(&self.kron_op, &g1t, &w_mat)?;
+            w_mat = match &self.g1_schur {
+                Some(schur) => solve_sylvester_big_small_with_schur(&self.kron_op, schur, &w_mat)?,
+                None => solve_sylvester_big_small(&self.kron_op, &g1t, &w_mat)?,
+            };
             let w_vec = vec_of(&w_mat);
             g3w.push(self.ode.g3().matvec(&w_vec));
         }
 
         let mut acc: Vec<Vector> = Vec::with_capacity(count);
+        let mut scratch = Vector::zeros(n);
         let mut moments = Vec::with_capacity(count);
-        for k in 0..count {
+        for g3w_k in &g3w {
             for a in acc.iter_mut() {
-                *a = self.g1_lu.solve(a).map_err(MorError::Linalg)?;
+                scratch.copy_from(a);
+                self.g1_lu
+                    .solve_into(&scratch, a)
+                    .map_err(MorError::Linalg)?;
             }
-            acc.push(self.g1_lu.solve(&g3w[k]).map_err(MorError::Linalg)?);
+            acc.push(self.g1_lu.solve(g3w_k).map_err(MorError::Linalg)?);
             let mut m_k = Vector::zeros(n);
             for a in &acc {
                 m_k.axpy(1.0, a);
             }
             moments.push(m_k);
-            let _ = k;
         }
         Ok(moments)
     }
@@ -466,11 +560,11 @@ mod tests {
         let mut acc: Vec<Vector> = Vec::new();
         let mut d_chain = d1d1b;
         let mut reference = Vec::new();
-        for k in 0..2 {
+        for g2nu_k in &g2nu {
             for a in acc.iter_mut() {
                 *a = g1_lu.solve(a).unwrap();
             }
-            acc.push(g1_lu.solve(&g2nu[k]).unwrap());
+            acc.push(g1_lu.solve(g2nu_k).unwrap());
             d_chain = g1_lu.solve(&d_chain).unwrap();
             let mut m_k = Vector::zeros(n);
             for a in &acc {
@@ -519,11 +613,11 @@ mod tests {
         }
         let mut acc: Vec<Vector> = Vec::new();
         let mut reference = Vec::new();
-        for k in 0..3 {
+        for g3w_k in &g3w {
             for a in acc.iter_mut() {
                 *a = g1_lu.solve(a).unwrap();
             }
-            acc.push(g1_lu.solve(&g3w[k]).unwrap());
+            acc.push(g1_lu.solve(g3w_k).unwrap());
             let mut m_k = Vector::zeros(n);
             for a in &acc {
                 m_k.axpy(1.0, a);

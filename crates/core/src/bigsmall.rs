@@ -43,8 +43,29 @@ pub fn solve_sylvester_big_small(
             b.cols()
         )));
     }
+    // Schur of Bᵀ:  Bᵀ = Q S Qᵀ  =>  Qᵀ B Q = Sᵀ.
+    let schur = SchurDecomposition::new(&b.transpose()).map_err(MorError::Linalg)?;
+    solve_sylvester_big_small_with_schur(op, &schur, r)
+}
+
+/// Variant of [`solve_sylvester_big_small`] taking the Schur decomposition of
+/// `Bᵀ` precomputed.
+///
+/// The moment recursions call the solver repeatedly with the *same* small
+/// coefficient (`B = G₁ᵀ`), and its Schur form already exists inside the
+/// cached Kronecker-sum machinery; passing it in removes a full Francis-QR
+/// iteration from every call after the first.
+///
+/// # Errors
+///
+/// Same contract as [`solve_sylvester_big_small`].
+pub fn solve_sylvester_big_small_with_schur(
+    op: &dyn ShiftedSolveOp,
+    schur: &SchurDecomposition,
+    r: &Matrix,
+) -> Result<Matrix> {
     let m = op.dim();
-    let p = b.rows();
+    let p = schur.dim();
     if r.rows() != m || r.cols() != p {
         return Err(MorError::Invalid(format!(
             "right-hand side must be {m}x{p}, got {}x{}",
@@ -53,25 +74,25 @@ pub fn solve_sylvester_big_small(
         )));
     }
 
-    // Schur of Bᵀ:  Bᵀ = Q S Qᵀ  =>  Qᵀ B Q = Sᵀ.
-    let schur = SchurDecomposition::new(&b.transpose()).map_err(MorError::Linalg)?;
     let q = schur.q();
     let s = schur.t();
-    // Transformed equation: Op X̃ + X̃ Sᵀ = R Q, with X = X̃ Qᵀ.
-    let r_tilde = r.matmul(q);
-    let mut x_tilde = Matrix::zeros(m, p);
+    // Transformed equation: Op X̃ + X̃ Sᵀ = R Q, with X = X̃ Qᵀ. Both R̃ and X̃
+    // are held *transposed* (p × m) so that every per-column operation of the
+    // back-substitution touches a contiguous row instead of a stride-p column.
+    let rt_tilde = q.transpose().matmul(&r.transpose());
+    let mut xt_tilde = Matrix::zeros(p, m);
 
     for block in schur.blocks().iter().rev() {
         let j = block.start;
         match block.size {
             1 => {
-                let rhs = column_minus_coupling(&r_tilde, &x_tilde, s, j, j + 1, m, p);
+                let rhs = column_minus_coupling(&rt_tilde, &xt_tilde, s, j, j + 1);
                 let col = op.solve_shifted(s[(j, j)], &rhs)?;
-                set_column(&mut x_tilde, j, &col);
+                xt_tilde.row_mut(j).copy_from_slice(col.as_slice());
             }
             2 => {
-                let rhs_a = column_minus_coupling(&r_tilde, &x_tilde, s, j, j + 2, m, p);
-                let rhs_b = column_minus_coupling(&r_tilde, &x_tilde, s, j + 1, j + 2, m, p);
+                let rhs_a = column_minus_coupling(&rt_tilde, &xt_tilde, s, j, j + 2);
+                let rhs_b = column_minus_coupling(&rt_tilde, &xt_tilde, s, j + 1, j + 2);
                 // Coupled 2-column equation: Op Xb + Xb M = [rhs_a rhs_b]
                 // with M = (S block)ᵀ.
                 let m00 = s[(j, j)];
@@ -80,44 +101,42 @@ pub fn solve_sylvester_big_small(
                 let m11 = s[(j + 1, j + 1)];
                 let (col_a, col_b) =
                     solve_two_column_block(op, m00, m01, m10, m11, &rhs_a, &rhs_b)?;
-                set_column(&mut x_tilde, j, &col_a);
-                set_column(&mut x_tilde, j + 1, &col_b);
+                xt_tilde.row_mut(j).copy_from_slice(col_a.as_slice());
+                xt_tilde.row_mut(j + 1).copy_from_slice(col_b.as_slice());
             }
             other => {
-                return Err(MorError::Invalid(format!("unexpected schur block size {other}")))
+                return Err(MorError::Invalid(format!(
+                    "unexpected schur block size {other}"
+                )))
             }
         }
     }
 
-    Ok(x_tilde.matmul(&q.transpose()))
+    // X = X̃ Qᵀ = (Q X̃ᵀ)ᵀ.
+    Ok(q.matmul(&xt_tilde).transpose())
 }
 
-/// `R̃[:, col] − Σ_{k ≥ from} S[col, k] · X̃[:, k]`.
+/// `R̃[:, col] − Σ_{k ≥ from} S[col, k] · X̃[:, k]`, on the transposed storage
+/// (columns are rows, so both operands are contiguous slices).
 fn column_minus_coupling(
-    r_tilde: &Matrix,
-    x_tilde: &Matrix,
+    rt_tilde: &Matrix,
+    xt_tilde: &Matrix,
     s: &Matrix,
     col: usize,
     from: usize,
-    m: usize,
-    p: usize,
 ) -> Vector {
-    let mut rhs = Vector::from_fn(m, |i| r_tilde[(i, col)]);
+    let p = s.rows();
+    let mut rhs = Vector::from_slice(rt_tilde.row(col));
     for k in from..p {
         let coef = s[(col, k)];
         if coef != 0.0 {
-            for i in 0..m {
-                rhs[i] -= coef * x_tilde[(i, k)];
+            let xrow = xt_tilde.row(k);
+            for (r, &x) in rhs.as_mut_slice().iter_mut().zip(xrow.iter()) {
+                *r -= coef * x;
             }
         }
     }
     rhs
-}
-
-fn set_column(x: &mut Matrix, j: usize, col: &Vector) {
-    for i in 0..x.rows() {
-        x[(i, j)] = col[i];
-    }
 }
 
 /// Solves the coupled two-column system `Op [x_a x_b] + [x_a x_b] M = [r_a r_b]`
@@ -231,13 +250,17 @@ mod tests {
         let a = stable(3, 7);
         let op = KronSumOp2::new(&a).unwrap();
         // B with real, well-separated eigenvalues.
-        let b = Matrix::from_rows(&[&[-1.0, 0.4, 0.0], &[0.0, -2.5, 0.1], &[0.0, 0.0, -4.0]])
-            .unwrap();
+        let b =
+            Matrix::from_rows(&[&[-1.0, 0.4, 0.0], &[0.0, -2.5, 0.1], &[0.0, 0.0, -4.0]]).unwrap();
         let r = Matrix::from_fn(9, 3, |i, j| ((i + 1) * (j + 2)) as f64 / 5.0);
         let x = solve_sylvester_big_small(&op, &b, &r).unwrap();
         let dense_op = kron_sum(&a, &a);
         let x_ref = solve_sylvester(&dense_op, &b, &r).unwrap();
-        assert!((&x - &x_ref).max_abs() < 1e-8, "difference {}", (&x - &x_ref).max_abs());
+        assert!(
+            (&x - &x_ref).max_abs() < 1e-8,
+            "difference {}",
+            (&x - &x_ref).max_abs()
+        );
     }
 
     #[test]
@@ -245,17 +268,17 @@ mod tests {
         let a = stable(3, 11);
         let op = KronSumOp2::new(&a).unwrap();
         // B with a complex-conjugate pair (-1 ± 2i) and a real eigenvalue.
-        let b = Matrix::from_rows(&[
-            &[-1.0, 2.0, 0.3],
-            &[-2.0, -1.0, 0.5],
-            &[0.0, 0.0, -3.0],
-        ])
-        .unwrap();
+        let b =
+            Matrix::from_rows(&[&[-1.0, 2.0, 0.3], &[-2.0, -1.0, 0.5], &[0.0, 0.0, -3.0]]).unwrap();
         let r = Matrix::from_fn(9, 3, |i, j| (i as f64 - j as f64) * 0.3 + 1.0);
         let x = solve_sylvester_big_small(&op, &b, &r).unwrap();
         let dense_op = kron_sum(&a, &a);
         let x_ref = solve_sylvester(&dense_op, &b, &r).unwrap();
-        assert!((&x - &x_ref).max_abs() < 1e-8, "difference {}", (&x - &x_ref).max_abs());
+        assert!(
+            (&x - &x_ref).max_abs() < 1e-8,
+            "difference {}",
+            (&x - &x_ref).max_abs()
+        );
     }
 
     #[test]
@@ -289,7 +312,9 @@ mod tests {
         let a = stable(2, 3);
         let op = KronSumOp2::new(&a).unwrap();
         let b = stable(3, 4);
-        assert!(solve_sylvester_big_small(&op, &Matrix::zeros(2, 3), &Matrix::zeros(4, 2)).is_err());
+        assert!(
+            solve_sylvester_big_small(&op, &Matrix::zeros(2, 3), &Matrix::zeros(4, 2)).is_err()
+        );
         assert!(solve_sylvester_big_small(&op, &b, &Matrix::zeros(4, 2)).is_err());
     }
 }

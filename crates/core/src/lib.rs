@@ -37,19 +37,19 @@ pub mod bigsmall;
 mod error;
 pub mod norm;
 pub mod operators;
+pub mod par;
 pub mod project;
 pub mod reduce;
 pub mod volterra;
 
 pub use assoc::{AssocMomentGenerator, CubicAssocMomentGenerator};
-pub use bigsmall::solve_sylvester_big_small;
+pub use bigsmall::{solve_sylvester_big_small, solve_sylvester_big_small_with_schur};
 pub use error::MorError;
 pub use norm::NormReducer;
 pub use operators::{BlockH2Op, KronSumOp2, ShiftedSolveOp};
+pub use par::parallel_map;
 pub use project::{project_cubic, project_qldae};
-pub use reduce::{
-    AssocReducer, MomentSpec, ReducedCubicOde, ReducedQldae, ReductionStats,
-};
+pub use reduce::{AssocReducer, MomentSpec, ReducedCubicOde, ReducedQldae, ReductionStats};
 pub use volterra::VolterraKernels;
 
 /// Result alias for reduction routines.

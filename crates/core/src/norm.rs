@@ -8,7 +8,7 @@
 //! transform removes. This module implements that baseline so the paper's
 //! size and runtime comparisons (Table 1, Figs. 3–4) can be reproduced.
 
-use vamor_linalg::{kron_vec, LuDecomposition, OrthoBasis, Vector};
+use vamor_linalg::{LuDecomposition, OrthoBasis, Vector};
 use vamor_system::Qldae;
 
 use crate::error::MorError;
@@ -41,7 +41,10 @@ pub struct NormReducer {
 impl NormReducer {
     /// Creates a baseline reducer for the given moment specification.
     pub fn new(spec: MomentSpec) -> Self {
-        NormReducer { spec, deflation_tol: OrthoBasis::DEFAULT_TOL }
+        NormReducer {
+            spec,
+            deflation_tol: OrthoBasis::DEFAULT_TOL,
+        }
     }
 
     /// Overrides the deflation tolerance.
@@ -63,10 +66,18 @@ impl NormReducer {
         let k2 = self.spec.k2;
         let k3 = self.spec.k3;
         // Second order: indices (p, a, b) with p + a + b <= k2 - 1.
-        let second = if k2 == 0 { 0 } else { compositions_upto(3, k2 - 1) };
+        let second = if k2 == 0 {
+            0
+        } else {
+            compositions_upto(3, k2 - 1)
+        };
         // Third order: indices (p, a) plus a second-order tuple, total degree
         // <= k3 - 1 (two variants: A ⊗ H2 and H2 ⊗ A, plus a D1 chain).
-        let third = if k3 == 0 { 0 } else { 2 * compositions_upto(5, k3 - 1) + compositions_upto(4, k3 - 1) };
+        let third = if k3 == 0 {
+            0
+        } else {
+            2 * compositions_upto(5, k3 - 1) + compositions_upto(4, k3 - 1)
+        };
         num_inputs * (k1 + second + third) * if num_inputs > 1 { num_inputs } else { 1 }
     }
 
@@ -77,7 +88,9 @@ impl NormReducer {
     /// Returns an error if `G₁` is singular or every candidate deflates.
     pub fn reduce(&self, qldae: &Qldae) -> Result<ReducedQldae> {
         if self.spec.total() == 0 {
-            return Err(MorError::Invalid("at least one moment must be requested".into()));
+            return Err(MorError::Invalid(
+                "at least one moment must be requested".into(),
+            ));
         }
         let n = qldae.g1().rows();
         let num_inputs = qldae.b().cols();
@@ -85,18 +98,13 @@ impl NormReducer {
         let mut basis = OrthoBasis::with_tolerance(n, self.deflation_tol);
         let mut stats = ReductionStats::default();
 
-        // First-order chains A_a = G1^{-(a+1)} b per input.
+        // First-order chains A_a = G1^{-(a+1)} b per input, computed on
+        // worker threads (one independent chain per input).
         let max_chain = self.spec.k1.max(self.spec.k2).max(self.spec.k3).max(1);
-        let mut chains: Vec<Vec<Vector>> = Vec::with_capacity(num_inputs);
-        for input in 0..num_inputs {
-            let mut chain = Vec::with_capacity(max_chain);
-            let mut v = qldae.b().col(input);
-            for _ in 0..max_chain {
-                v = g1_lu.solve(&v).map_err(MorError::Linalg)?;
-                chain.push(v.clone());
-            }
-            chains.push(chain);
-        }
+        let input_columns: Vec<Vector> = (0..num_inputs).map(|i| qldae.b().col(i)).collect();
+        let chains: Vec<Vec<Vector>> = fallible(crate::par::parallel_map(input_columns, |b| {
+            resolvent_chain(&g1_lu, b, max_chain - 1)
+        }))?;
 
         for chain in &chains {
             for v in chain.iter().take(self.spec.k1) {
@@ -105,47 +113,45 @@ impl NormReducer {
             }
         }
 
-        // Second-order multivariate directions.
+        // Second-order multivariate directions: seeds are cheap structured
+        // matvecs gathered in deterministic order; the resolvent chains (the
+        // expensive repeated solves) run in parallel, and the results are
+        // inserted into the basis in seed order.
         let mut h2_directions: Vec<(usize, Vector)> = Vec::new();
         if self.spec.k2 > 0 {
             let k2 = self.spec.k2;
+            let mut seeds: Vec<(Vector, usize, usize)> = Vec::new();
             for (ia, chain_a) in chains.iter().enumerate() {
                 for chain_b in chains.iter() {
-                    for a in 0..k2 {
-                        for b in 0..k2 {
+                    for (a, dir_a) in chain_a.iter().enumerate().take(k2) {
+                        for (b, dir_b) in chain_b.iter().enumerate().take(k2) {
                             if a + b + 1 > k2 {
                                 continue;
                             }
-                            let seed = qldae.g2().matvec(&kron_vec(&chain_a[a], &chain_b[b]));
+                            let seed = qldae.g2().matvec_kron(dir_a, dir_b);
                             let degree = a + b;
-                            self.push_resolvent_chain(
-                                &g1_lu,
-                                seed,
-                                k2 - 1 - degree,
-                                degree,
-                                &mut h2_directions,
-                                &mut basis,
-                                &mut stats.h2_candidates,
-                            )?;
+                            seeds.push((seed, k2 - 1 - degree, degree));
                         }
                     }
                 }
                 // Bilinear D1 chains.
                 if let Some(d1) = qldae.d1().get(ia) {
                     if d1.nnz() > 0 {
-                        for a in 0..k2 {
-                            let seed = d1.matvec(&chains[ia][a]);
-                            self.push_resolvent_chain(
-                                &g1_lu,
-                                seed,
-                                k2 - 1 - a,
-                                a,
-                                &mut h2_directions,
-                                &mut basis,
-                                &mut stats.h2_candidates,
-                            )?;
+                        for (a, dir_a) in chain_a.iter().enumerate().take(k2) {
+                            seeds.push((d1.matvec(dir_a), k2 - 1 - a, a));
                         }
                     }
+                }
+            }
+            let degrees: Vec<usize> = seeds.iter().map(|(_, _, degree)| *degree).collect();
+            let computed = fallible(crate::par::parallel_map(seeds, |(seed, extra, _)| {
+                resolvent_chain(&g1_lu, seed, extra)
+            }))?;
+            for (chain, base_degree) in computed.into_iter().zip(degrees) {
+                for (p, v) in chain.into_iter().enumerate() {
+                    stats.h2_candidates += 1;
+                    basis.insert(v.clone()).map_err(MorError::Linalg)?;
+                    h2_directions.push((base_degree + p, v));
                 }
             }
         }
@@ -155,28 +161,16 @@ impl NormReducer {
         // on the second-order directions.
         if self.spec.k3 > 0 {
             let k3 = self.spec.k3;
+            let mut seeds: Vec<(Vector, usize, usize)> = Vec::new();
             for (ia, chain_a) in chains.iter().enumerate() {
-                for a in 0..k3.min(chain_a.len()) {
+                for (a, dir_a) in chain_a.iter().enumerate().take(k3) {
                     for (deg2, dir2) in &h2_directions {
                         if a + deg2 + 1 > k3 {
                             continue;
                         }
                         let degree = a + deg2;
-                        for seed in [
-                            qldae.g2().matvec(&kron_vec(&chain_a[a], dir2)),
-                            qldae.g2().matvec(&kron_vec(dir2, &chain_a[a])),
-                        ] {
-                            let mut sink = Vec::new();
-                            self.push_resolvent_chain(
-                                &g1_lu,
-                                seed,
-                                k3 - 1 - degree,
-                                degree,
-                                &mut sink,
-                                &mut basis,
-                                &mut stats.h3_candidates,
-                            )?;
-                        }
+                        seeds.push((qldae.g2().matvec_kron(dir_a, dir2), k3 - 1 - degree, degree));
+                        seeds.push((qldae.g2().matvec_kron(dir2, dir_a), k3 - 1 - degree, degree));
                     }
                 }
                 if let Some(d1) = qldae.d1().get(ia) {
@@ -185,19 +179,18 @@ impl NormReducer {
                             if deg2 + 1 > k3 {
                                 continue;
                             }
-                            let seed = d1.matvec(dir2);
-                            let mut sink = Vec::new();
-                            self.push_resolvent_chain(
-                                &g1_lu,
-                                seed,
-                                k3 - 1 - deg2,
-                                *deg2,
-                                &mut sink,
-                                &mut basis,
-                                &mut stats.h3_candidates,
-                            )?;
+                            seeds.push((d1.matvec(dir2), k3 - 1 - deg2, *deg2));
                         }
                     }
+                }
+            }
+            let computed = fallible(crate::par::parallel_map(seeds, |(seed, extra, _)| {
+                resolvent_chain(&g1_lu, seed, extra)
+            }))?;
+            for chain in computed {
+                for v in chain {
+                    stats.h3_candidates += 1;
+                    basis.insert(v).map_err(MorError::Linalg)?;
                 }
             }
         }
@@ -211,30 +204,24 @@ impl NormReducer {
         let system = project_qldae(qldae, &v)?;
         Ok(ReducedQldae::from_parts(system, v, stats))
     }
+}
 
-    /// Applies `G₁⁻¹` repeatedly (`1 + extra` times) to `seed`, inserting every
-    /// iterate into the basis and recording it (with its total degree) for use
-    /// by the next Volterra order.
-    #[allow(clippy::too_many_arguments)]
-    fn push_resolvent_chain(
-        &self,
-        g1_lu: &LuDecomposition,
-        seed: Vector,
-        extra: usize,
-        base_degree: usize,
-        directions: &mut Vec<(usize, Vector)>,
-        basis: &mut OrthoBasis,
-        counter: &mut usize,
-    ) -> Result<()> {
-        let mut v = seed;
-        for p in 0..=extra {
-            v = g1_lu.solve(&v).map_err(MorError::Linalg)?;
-            *counter += 1;
-            basis.insert(v.clone()).map_err(MorError::Linalg)?;
-            directions.push((base_degree + p, v.clone()));
-        }
-        Ok(())
+/// Applies `G₁⁻¹` repeatedly (`1 + extra` times) to `seed`, returning every
+/// iterate — the expensive inner kernel of the NORM expansion, run on the
+/// worker threads.
+fn resolvent_chain(g1_lu: &LuDecomposition, seed: Vector, extra: usize) -> Result<Vec<Vector>> {
+    let mut out = Vec::with_capacity(extra + 1);
+    let mut v = seed;
+    for _ in 0..=extra {
+        v = g1_lu.solve(&v).map_err(MorError::Linalg)?;
+        out.push(v.clone());
     }
+    Ok(out)
+}
+
+/// Collects a list of per-chain results, propagating the first error.
+fn fallible<T>(results: Vec<Result<T>>) -> Result<Vec<T>> {
+    results.into_iter().collect()
 }
 
 /// Number of tuples of `k` non-negative integers with sum at most `max_sum`
@@ -264,7 +251,10 @@ mod tests {
                 b = b.g1_entry(i, i + 1, 0.4).g1_entry(i + 1, i, 0.3);
             }
         }
-        b = b.g2_entry(0, 0, 1, 0.3).g2_entry(n - 1, 0, 0, -0.2).g2_entry(1, 2, 2, 0.1);
+        b = b
+            .g2_entry(0, 0, 1, 0.3)
+            .g2_entry(n - 1, 0, 0, -0.2)
+            .g2_entry(1, 2, 2, 0.1);
         b.b_entry(0, 0, 1.0).output_state(n - 1).build().unwrap()
     }
 
@@ -286,7 +276,9 @@ mod tests {
     #[test]
     fn norm_rom_matches_first_and_second_order_kernels_near_dc() {
         let q = chain_qldae(8);
-        let rom = NormReducer::new(MomentSpec::new(3, 2, 1)).reduce(&q).unwrap();
+        let rom = NormReducer::new(MomentSpec::new(3, 2, 1))
+            .reduce(&q)
+            .unwrap();
         let full = VolterraKernels::new(&q, 0).unwrap();
         let red = VolterraKernels::new(rom.system(), 0).unwrap();
         let s1 = Complex::new(0.0, 0.05);
@@ -306,13 +298,18 @@ mod tests {
         let small = reducer_small.candidate_count(1);
         let large = reducer_large.candidate_count(1);
         // Doubling the moment orders must blow the count up by far more than 2x.
-        assert!(large > 4 * small, "expected super-linear growth: {small} -> {large}");
+        assert!(
+            large > 4 * small,
+            "expected super-linear growth: {small} -> {large}"
+        );
         assert_eq!(reducer_small.spec().k1, 2);
     }
 
     #[test]
     fn empty_spec_is_rejected() {
         let q = chain_qldae(4);
-        assert!(NormReducer::new(MomentSpec::new(0, 0, 0)).reduce(&q).is_err());
+        assert!(NormReducer::new(MomentSpec::new(0, 0, 0))
+            .reduce(&q)
+            .is_err());
     }
 }

@@ -13,7 +13,7 @@
 //! big-left/small-right Sylvester solver in [`crate::bigsmall`].
 
 use vamor_linalg::{
-    Complex, CsrMatrix, LuDecomposition, Matrix, SylvesterSolver, Vector, ZMatrix, ZVector,
+    Complex, CsrMatrix, Matrix, SchurDecomposition, ShiftedLuCache, SylvesterSolver, Vector,
 };
 
 use crate::error::MorError;
@@ -72,7 +72,9 @@ pub struct KronSumOp2 {
 }
 
 impl KronSumOp2 {
-    /// Builds the operator for `A ⊕ A`.
+    /// Builds the operator for `A ⊕ A` with a single Schur factorization of
+    /// `A` shared between both coefficients of the underlying Lyapunov-shaped
+    /// Sylvester solver.
     ///
     /// # Errors
     ///
@@ -86,13 +88,47 @@ impl KronSumOp2 {
                 a.cols()
             )));
         }
-        let solver = SylvesterSolver::new(a, &a.transpose()).map_err(MorError::Linalg)?;
-        Ok(KronSumOp2 { a: a.clone(), solver, n: a.rows() })
+        let solver = SylvesterSolver::new_lyapunov(a).map_err(MorError::Linalg)?;
+        Ok(KronSumOp2 {
+            a: a.clone(),
+            solver,
+            n: a.rows(),
+        })
+    }
+
+    /// Builds the operator the pre-cache way: two independent Schur
+    /// factorizations (`A` and `(Aᵀ)ᵀ`), kept for A/B benchmarking of the
+    /// solver-cache layer.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`KronSumOp2::new`].
+    pub fn new_uncached(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(MorError::Invalid(format!(
+                "kronecker sum operand must be square, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let solver = SylvesterSolver::new_legacy(a, &a.transpose()).map_err(MorError::Linalg)?;
+        Ok(KronSumOp2 {
+            a: a.clone(),
+            solver,
+            n: a.rows(),
+        })
     }
 
     /// The factor `A`.
     pub fn a(&self) -> &Matrix {
         &self.a
+    }
+
+    /// The Schur decomposition of `A` cached inside the solver, cloned out
+    /// for reuse by other recursions over the spectrum of `A` (e.g. the
+    /// big-left/small-right Sylvester solves of [`crate::bigsmall`]).
+    pub fn a_schur(&self) -> SchurDecomposition {
+        self.solver.a_schur_decomposition()
     }
 }
 
@@ -111,7 +147,10 @@ impl ShiftedSolveOp for KronSumOp2 {
     fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> Result<Vector> {
         // (A ⊕ A + σI) x = rhs  <=>  (A + σI) X + X Aᵀ = unvec(rhs).
         let r = unvec(rhs, self.n, self.n);
-        let x = self.solver.solve_shifted(sigma, &r).map_err(MorError::Linalg)?;
+        let x = self
+            .solver
+            .solve_shifted(sigma, &r)
+            .map_err(MorError::Linalg)?;
         Ok(vec_of(&x))
     }
 
@@ -123,8 +162,10 @@ impl ShiftedSolveOp for KronSumOp2 {
     ) -> Result<(Vector, Vector)> {
         let r_re = unvec(re, self.n, self.n);
         let r_im = unvec(im, self.n, self.n);
-        let (x_re, x_im) =
-            self.solver.solve_shifted_complex(lambda, &r_re, &r_im).map_err(MorError::Linalg)?;
+        let (x_re, x_im) = self
+            .solver
+            .solve_shifted_complex(lambda, &r_re, &r_im)
+            .map_err(MorError::Linalg)?;
         Ok((vec_of(&x_re), vec_of(&x_im)))
     }
 }
@@ -137,18 +178,36 @@ pub struct BlockH2Op {
     g1: Matrix,
     g2: CsrMatrix,
     kron: KronSumOp2,
-    g1_lu: LuDecomposition,
+    g1_shifted: ShiftedLuCache,
     n: usize,
 }
 
 impl BlockH2Op {
-    /// Builds the operator from the QLDAE coefficient matrices.
+    /// Builds the operator from the QLDAE coefficient matrices, with shifted
+    /// solves against `G₁` memoized in a [`ShiftedLuCache`].
     ///
     /// # Errors
     ///
     /// Returns an error if `G₁` is singular (required for the `σ = 0`
     /// expansion used throughout) or the shapes mismatch.
     pub fn new(g1: &Matrix, g2: &CsrMatrix) -> Result<Self> {
+        let kron = KronSumOp2::new(g1)?;
+        Self::with_kron(g1, g2, kron, true)
+    }
+
+    /// Builds the operator reusing an already-constructed `G₁ ⊕ G₁` operator
+    /// (avoiding a redundant Schur factorization) and selecting whether
+    /// shifted top-block solves are cached or refactorized per call.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BlockH2Op::new`].
+    pub fn with_kron(
+        g1: &Matrix,
+        g2: &CsrMatrix,
+        kron: KronSumOp2,
+        cache_shifts: bool,
+    ) -> Result<Self> {
         let n = g1.rows();
         if g2.rows() != n || g2.cols() != n * n {
             return Err(MorError::Invalid(format!(
@@ -158,9 +217,26 @@ impl BlockH2Op {
                 g2.cols()
             )));
         }
-        let kron = KronSumOp2::new(g1)?;
-        let g1_lu = g1.lu().map_err(MorError::Linalg)?;
-        Ok(BlockH2Op { g1: g1.clone(), g2: g2.clone(), kron, g1_lu, n })
+        let g1_shifted = if cache_shifts {
+            ShiftedLuCache::new(g1.clone())
+        } else {
+            ShiftedLuCache::new_uncached(g1.clone())
+        };
+        // Fail fast (as the pre-cache constructor did) if G1 itself is
+        // singular: the σ = 0 expansion point requires a regular G1.
+        g1_shifted.factor(0.0).map_err(MorError::Linalg)?;
+        Ok(BlockH2Op {
+            g1: g1.clone(),
+            g2: g2.clone(),
+            kron,
+            g1_shifted,
+            n,
+        })
+    }
+
+    /// The shifted-solve cache for `G₁` (exposed for diagnostics and tests).
+    pub fn shift_cache(&self) -> &ShiftedLuCache {
+        &self.g1_shifted
     }
 
     /// The state dimension `n` of the underlying QLDAE.
@@ -170,7 +246,10 @@ impl BlockH2Op {
 
     /// Splits a block vector into its `(top, bottom)` halves.
     fn split(&self, x: &Vector) -> (Vector, Vector) {
-        (x.slice(0, self.n), x.slice(self.n, self.n + self.n * self.n))
+        (
+            x.slice(0, self.n),
+            x.slice(self.n, self.n + self.n * self.n),
+        )
     }
 
     /// Builds the input vector `b̃₂ = [D₁ b; b ⊗ b]` of the realization for a
@@ -206,18 +285,13 @@ impl ShiftedSolveOp for BlockH2Op {
         let (r1, r2) = self.split(rhs);
         // Bottom block first: (G1⊕G1 + σI) v2 = r2.
         let v2 = self.kron.solve_shifted(sigma, &r2)?;
-        // Top block: (G1 + σI) v1 = r1 − G2 v2.
+        // Top block: (G1 + σI) v1 = r1 − G2 v2, via the memoized shifted LU.
         let mut top_rhs = r1.clone();
         top_rhs.axpy(-1.0, &self.g2.matvec(&v2));
-        let v1 = if sigma == 0.0 {
-            self.g1_lu.solve(&top_rhs).map_err(MorError::Linalg)?
-        } else {
-            let mut shifted = self.g1.clone();
-            for i in 0..self.n {
-                shifted[(i, i)] += sigma;
-            }
-            shifted.solve(&top_rhs).map_err(MorError::Linalg)?
-        };
+        let v1 = self
+            .g1_shifted
+            .solve_shifted(sigma, &top_rhs)
+            .map_err(MorError::Linalg)?;
         Ok(v1.concat(&v2))
     }
 
@@ -231,18 +305,15 @@ impl ShiftedSolveOp for BlockH2Op {
         let (r1_im, r2_im) = self.split(im);
         let (v2_re, v2_im) = self.kron.solve_shifted_complex(lambda, &r2_re, &r2_im)?;
         // Top block complex solve: (G1 + λ I) v1 = r1 − G2 v2.
-        let mut rhs = ZVector::zeros(self.n);
-        let g2v_re = self.g2.matvec(&v2_re);
-        let g2v_im = self.g2.matvec(&v2_im);
-        for i in 0..self.n {
-            rhs[i] = Complex::new(r1_re[i] - g2v_re[i], r1_im[i] - g2v_im[i]);
-        }
-        let mut zm = ZMatrix::from_real(&self.g1);
-        for i in 0..self.n {
-            zm[(i, i)] += lambda;
-        }
-        let v1 = zm.solve(&rhs).map_err(MorError::Linalg)?;
-        Ok((v1.real().concat(&v2_re), v1.imag().concat(&v2_im)))
+        let mut rhs_re = r1_re;
+        rhs_re.axpy(-1.0, &self.g2.matvec(&v2_re));
+        let mut rhs_im = r1_im;
+        rhs_im.axpy(-1.0, &self.g2.matvec(&v2_im));
+        let (v1_re, v1_im) = self
+            .g1_shifted
+            .solve_shifted_complex(lambda, &rhs_re, &rhs_im)
+            .map_err(MorError::Linalg)?;
+        Ok((v1_re.concat(&v2_re), v1_im.concat(&v2_im)))
     }
 }
 
@@ -311,8 +382,16 @@ mod tests {
         res_im.axpy(lambda.re, &x_im);
         res_im.axpy(lambda.im, &x_re);
         res_im.axpy(-1.0, &im);
-        assert!(res_re.norm_inf() < 1e-9, "re residual {}", res_re.norm_inf());
-        assert!(res_im.norm_inf() < 1e-9, "im residual {}", res_im.norm_inf());
+        assert!(
+            res_re.norm_inf() < 1e-9,
+            "re residual {}",
+            res_re.norm_inf()
+        );
+        assert!(
+            res_im.norm_inf() < 1e-9,
+            "im residual {}",
+            res_im.norm_inf()
+        );
     }
 
     #[test]

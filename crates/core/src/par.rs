@@ -1,0 +1,92 @@
+//! Minimal scoped-thread parallelism for the independent moment chains.
+//!
+//! The H₁/H₂/H₃ chains of different Volterra orders and inputs share only
+//! immutable cached factorizations (`LU(G₁)`, Schur forms, the shifted-LU
+//! cache — all `Sync`), so they can run on plain `std::thread::scope` workers
+//! without any external dependency. Results are written slot-by-slot and
+//! consumed in task order, so the projection basis is assembled in exactly
+//! the same deterministic order as the sequential code.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, in parallel when the machine has more than one
+/// core and there is more than one item, returning results in item order.
+///
+/// Worker threads pull items off a shared atomic counter, so load imbalance
+/// between heavy (H₃) and light (H₁) chains is absorbed automatically.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let queue: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= queue.len() {
+                    break;
+                }
+                let item = queue[i].lock().expect("task slot poisoned").take();
+                let item = item.expect("task consumed twice");
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker dropped a task")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let out = parallel_map((0..100).collect::<Vec<_>>(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(empty, |i: i32| i).is_empty());
+        assert_eq!(parallel_map(vec![7], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn results_can_be_fallible() {
+        let out = parallel_map(
+            vec![1, 0, 3],
+            |i| {
+                if i == 0 {
+                    Err("zero")
+                } else {
+                    Ok(10 / i)
+                }
+            },
+        );
+        assert_eq!(out, vec![Ok(10), Err("zero"), Ok(3)]);
+    }
+}

@@ -55,7 +55,7 @@ pub fn project_qldae(qldae: &Qldae, v: &Matrix) -> Result<Qldae> {
         d1r.push(CsrMatrix::from_dense(&reduced, 0.0));
     }
 
-    Qldae::new(g1r, g2r.to_csr(), d1r, br, cr).map_err(MorError::System)
+    Qldae::new(g1r, g2r.into_csr(), d1r, br, cr).map_err(MorError::System)
 }
 
 /// Projects a cubic ODE onto the column space of `V`:
@@ -88,7 +88,7 @@ pub fn project_cubic(ode: &CubicOde, v: &Matrix) -> Result<CubicOde> {
                     }
                 }
             }
-            Some(coo.to_csr())
+            Some(coo.into_csr())
         }
         None => None,
     };
@@ -108,13 +108,17 @@ pub fn project_cubic(ode: &CubicOde, v: &Matrix) -> Result<CubicOde> {
         }
     }
 
-    CubicOde::new(g1r, g2r, g3r.to_csr(), br, cr).map_err(MorError::System)
+    CubicOde::new(g1r, g2r, g3r.into_csr(), br, cr).map_err(MorError::System)
 }
 
 /// `G₃ (x ⊗ y ⊗ z)` without materializing the Kronecker product.
 pub fn cubic_matvec_kron(g3: &CsrMatrix, x: &Vector, y: &Vector, z: &Vector) -> Vector {
     let n = x.len();
-    debug_assert_eq!(g3.cols(), n * n * n, "cubic_matvec_kron: dimension mismatch");
+    debug_assert_eq!(
+        g3.cols(),
+        n * n * n,
+        "cubic_matvec_kron: dimension mismatch"
+    );
     let mut out = Vector::zeros(g3.rows());
     for (i, col, g) in g3.iter() {
         let p = col / (n * n);
@@ -201,8 +205,8 @@ mod tests {
     #[test]
     fn cubic_projection_is_galerkin_consistent() {
         let n = 3;
-        let g1 = Matrix::from_rows(&[&[-1.0, 0.0, 0.2], &[0.0, -2.0, 0.0], &[0.0, 0.3, -1.5]])
-            .unwrap();
+        let g1 =
+            Matrix::from_rows(&[&[-1.0, 0.0, 0.2], &[0.0, -2.0, 0.0], &[0.0, 0.3, -1.5]]).unwrap();
         let mut g3 = CooMatrix::new(n, n * n * n);
         g3.push(0, 0, 0.4);
         g3.push(1, 14, -0.2);

@@ -33,7 +33,11 @@ impl MomentSpec {
     /// The specification used in the paper's §3.1/3.2 experiments
     /// (6 / 3 / 2 moments of `H₁` / `H₂` / `H₃`).
     pub fn paper_default() -> Self {
-        MomentSpec { k1: 6, k2: 3, k3: 2 }
+        MomentSpec {
+            k1: 6,
+            k2: 3,
+            k3: 2,
+        }
     }
 
     /// Total number of requested moments (upper bound on the projection size
@@ -44,7 +48,9 @@ impl MomentSpec {
 
     fn validate(&self) -> Result<()> {
         if self.total() == 0 {
-            return Err(MorError::Invalid("at least one moment must be requested".into()));
+            return Err(MorError::Invalid(
+                "at least one moment must be requested".into(),
+            ));
         }
         Ok(())
     }
@@ -84,7 +90,11 @@ impl ReducedQldae {
     /// Assembles a reduced model from its parts (used by the reducers in
     /// this crate).
     pub(crate) fn from_parts(system: Qldae, projection: Matrix, stats: ReductionStats) -> Self {
-        ReducedQldae { system, projection, stats }
+        ReducedQldae {
+            system,
+            projection,
+            stats,
+        }
     }
 
     /// The reduced-order system.
@@ -143,6 +153,15 @@ impl ReducedCubicOde {
     }
 }
 
+/// One independent moment chain of a reduction run (the unit of work
+/// distributed over the scoped worker threads).
+#[derive(Debug, Clone, Copy)]
+enum Chain {
+    H1 { input: usize },
+    H2 { a: usize, b: usize },
+    H3 { input: usize },
+}
+
 /// The paper's method: projection onto the moment spaces of the *associated*
 /// single-`s` transfer functions `H₁(s)`, `H₂(s)`, `H₃(s)`.
 ///
@@ -164,18 +183,33 @@ impl ReducedCubicOde {
 pub struct AssocReducer {
     spec: MomentSpec,
     deflation_tol: f64,
+    solver_caching: bool,
 }
 
 impl AssocReducer {
     /// Creates a reducer for the given moment specification.
     pub fn new(spec: MomentSpec) -> Self {
-        AssocReducer { spec, deflation_tol: OrthoBasis::DEFAULT_TOL }
+        AssocReducer {
+            spec,
+            deflation_tol: OrthoBasis::DEFAULT_TOL,
+            solver_caching: true,
+        }
     }
 
     /// Overrides the relative deflation tolerance used when orthonormalizing
     /// the candidate moment vectors.
     pub fn with_deflation_tol(mut self, tol: f64) -> Self {
         self.deflation_tol = tol;
+        self
+    }
+
+    /// Enables or disables the solver-cache layer (shifted-LU memoization,
+    /// shared Schur forms). On by default; the uncached mode reproduces the
+    /// legacy factor-per-call behaviour and exists for benchmarking and
+    /// regression tests — the projection it computes is identical up to
+    /// floating-point roundoff.
+    pub fn with_solver_caching(mut self, enabled: bool) -> Self {
+        self.solver_caching = enabled;
         self
     }
 
@@ -194,30 +228,47 @@ impl AssocReducer {
         self.spec.validate()?;
         let n = qldae.g1().rows();
         let num_inputs = qldae.b().cols();
-        let generator = AssocMomentGenerator::new(qldae)?;
+        let generator = AssocMomentGenerator::with_caching(qldae, self.solver_caching)?;
         let mut basis = OrthoBasis::with_tolerance(n, self.deflation_tol);
         let mut stats = ReductionStats::default();
 
+        // The chains of different Volterra orders / inputs are independent
+        // given the generator's immutable cached factorizations, so they run
+        // on scoped worker threads; results are inserted into the basis in
+        // the same deterministic order as the sequential loops used to.
+        let mut chains: Vec<Chain> = Vec::new();
         for input in 0..num_inputs {
-            let h1 = generator.h1_moments(input, self.spec.k1)?;
-            stats.h1_candidates += h1.len();
-            basis.extend_from(h1).map_err(MorError::Linalg)?;
+            chains.push(Chain::H1 { input });
         }
         if self.spec.k2 > 0 {
             for a in 0..num_inputs {
                 for b in a..num_inputs {
-                    let h2 = generator.h2_moments(a, b, self.spec.k2)?;
-                    stats.h2_candidates += h2.len();
-                    basis.extend_from(h2).map_err(MorError::Linalg)?;
+                    chains.push(Chain::H2 { a, b });
                 }
             }
         }
         if self.spec.k3 > 0 {
             for input in 0..num_inputs {
-                let h3 = generator.h3_moments(input, self.spec.k3)?;
-                stats.h3_candidates += h3.len();
-                basis.extend_from(h3).map_err(MorError::Linalg)?;
+                chains.push(Chain::H3 { input });
             }
+        }
+        let spec = self.spec;
+        let results = crate::par::parallel_map(chains, |chain| {
+            let moments = match chain {
+                Chain::H1 { input } => generator.h1_moments(input, spec.k1),
+                Chain::H2 { a, b } => generator.h2_moments(a, b, spec.k2),
+                Chain::H3 { input } => generator.h3_moments(input, spec.k3),
+            };
+            (chain, moments)
+        });
+        for (chain, moments) in results {
+            let moments = moments?;
+            match chain {
+                Chain::H1 { .. } => stats.h1_candidates += moments.len(),
+                Chain::H2 { .. } => stats.h2_candidates += moments.len(),
+                Chain::H3 { .. } => stats.h3_candidates += moments.len(),
+            }
+            basis.extend_from(moments).map_err(MorError::Linalg)?;
         }
 
         if basis.is_empty() {
@@ -227,7 +278,11 @@ impl AssocReducer {
         stats.projection_dim = basis.len();
         let v = basis.to_matrix().map_err(MorError::Linalg)?;
         let system = project_qldae(qldae, &v)?;
-        Ok(ReducedQldae { system, projection: v, stats })
+        Ok(ReducedQldae {
+            system,
+            projection: v,
+            stats,
+        })
     }
 
     /// Reduces a cubic polynomial ODE (the varistor-style system of §3.4).
@@ -242,17 +297,34 @@ impl AssocReducer {
         self.spec.validate()?;
         let n = ode.g1().rows();
         let num_inputs = ode.b().cols();
-        let generator = CubicAssocMomentGenerator::new(ode)?;
+        let generator = CubicAssocMomentGenerator::with_caching(ode, self.solver_caching)?;
         let mut basis = OrthoBasis::with_tolerance(n, self.deflation_tol);
         let mut stats = ReductionStats::default();
 
+        // Interleave H1/H3 per input in the same order the sequential loop
+        // used, computing the chains on worker threads.
+        let mut chains: Vec<Chain> = Vec::new();
         for input in 0..num_inputs {
-            let h1 = generator.h1_moments(input, self.spec.k1)?;
-            stats.h1_candidates += h1.len();
-            basis.extend_from(h1).map_err(MorError::Linalg)?;
-            let h3 = generator.h3_moments(input, self.spec.k3)?;
-            stats.h3_candidates += h3.len();
-            basis.extend_from(h3).map_err(MorError::Linalg)?;
+            chains.push(Chain::H1 { input });
+            chains.push(Chain::H3 { input });
+        }
+        let spec = self.spec;
+        let results = crate::par::parallel_map(chains, |chain| {
+            let moments = match chain {
+                Chain::H1 { input } => generator.h1_moments(input, spec.k1),
+                Chain::H3 { input } => generator.h3_moments(input, spec.k3),
+                Chain::H2 { .. } => unreachable!("cubic systems have no H2 chains"),
+            };
+            (chain, moments)
+        });
+        for (chain, moments) in results {
+            let moments = moments?;
+            match chain {
+                Chain::H1 { .. } => stats.h1_candidates += moments.len(),
+                Chain::H3 { .. } => stats.h3_candidates += moments.len(),
+                Chain::H2 { .. } => {}
+            }
+            basis.extend_from(moments).map_err(MorError::Linalg)?;
         }
 
         if basis.is_empty() {
@@ -262,7 +334,11 @@ impl AssocReducer {
         stats.projection_dim = basis.len();
         let v = basis.to_matrix().map_err(MorError::Linalg)?;
         let system = project_cubic(ode, &v)?;
-        Ok(ReducedCubicOde { system, projection: v, stats })
+        Ok(ReducedCubicOde {
+            system,
+            projection: v,
+            stats,
+        })
     }
 }
 
@@ -299,13 +375,17 @@ mod tests {
         let spec = MomentSpec::paper_default();
         assert_eq!((spec.k1, spec.k2, spec.k3), (6, 3, 2));
         assert_eq!(spec.total(), 11);
-        assert!(AssocReducer::new(MomentSpec::new(0, 0, 0)).reduce(&small_qldae()).is_err());
+        assert!(AssocReducer::new(MomentSpec::new(0, 0, 0))
+            .reduce(&small_qldae())
+            .is_err());
     }
 
     #[test]
     fn reduction_shrinks_the_system_and_tracks_stats() {
         let q = small_qldae();
-        let rom = AssocReducer::new(MomentSpec::new(2, 1, 1)).reduce(&q).unwrap();
+        let rom = AssocReducer::new(MomentSpec::new(2, 1, 1))
+            .reduce(&q)
+            .unwrap();
         assert!(rom.order() <= 4);
         assert!(rom.order() >= 1);
         assert_eq!(rom.projection().rows(), 4);
@@ -323,20 +403,31 @@ mod tests {
     #[test]
     fn reduced_model_matches_first_order_transfer_function_near_dc() {
         let q = small_qldae();
-        let rom = AssocReducer::new(MomentSpec::new(3, 2, 1)).reduce(&q).unwrap();
+        let rom = AssocReducer::new(MomentSpec::new(3, 2, 1))
+            .reduce(&q)
+            .unwrap();
         let full = VolterraKernels::new(&q, 0).unwrap();
         let red = VolterraKernels::new(rom.system(), 0).unwrap();
-        for s in [Complex::new(0.0, 0.05), Complex::new(0.02, 0.01), Complex::new(0.0, 0.2)] {
+        for s in [
+            Complex::new(0.0, 0.05),
+            Complex::new(0.02, 0.01),
+            Complex::new(0.0, 0.2),
+        ] {
             let a = full.output_h1(s).unwrap();
             let b = red.output_h1(s).unwrap();
-            assert!((a - b).abs() < 1e-4 * (1.0 + a.abs()), "H1 mismatch at {s}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-4 * (1.0 + a.abs()),
+                "H1 mismatch at {s}: {a} vs {b}"
+            );
         }
     }
 
     #[test]
     fn reduced_model_matches_second_order_kernel_near_dc() {
         let q = small_qldae();
-        let rom = AssocReducer::new(MomentSpec::new(4, 3, 2)).reduce(&q).unwrap();
+        let rom = AssocReducer::new(MomentSpec::new(4, 3, 2))
+            .reduce(&q)
+            .unwrap();
         let full = VolterraKernels::new(&q, 0).unwrap();
         let red = VolterraKernels::new(rom.system(), 0).unwrap();
         for (s1, s2) in [
@@ -355,7 +446,9 @@ mod tests {
     #[test]
     fn lift_maps_reduced_states_back_to_full_space() {
         let q = small_qldae();
-        let rom = AssocReducer::new(MomentSpec::new(2, 1, 0)).reduce(&q).unwrap();
+        let rom = AssocReducer::new(MomentSpec::new(2, 1, 0))
+            .reduce(&q)
+            .unwrap();
         let xr = vamor_linalg::Vector::from_fn(rom.order(), |i| i as f64 + 1.0);
         let x = rom.lift(&xr);
         assert_eq!(x.len(), 4);

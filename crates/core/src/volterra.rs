@@ -79,7 +79,11 @@ impl<'a> VolterraKernels<'a> {
         let h1_a = self.h1(s1)?;
         let h1_b = self.h1(s2)?;
         let mut rhs = sparse_times_complex(self.qldae.g2(), &zkron(&h1_a, &h1_b));
-        zaxpy(&mut rhs, Complex::ONE, &sparse_times_complex(self.qldae.g2(), &zkron(&h1_b, &h1_a)));
+        zaxpy(
+            &mut rhs,
+            Complex::ONE,
+            &sparse_times_complex(self.qldae.g2(), &zkron(&h1_b, &h1_a)),
+        );
         if let Some(d1) = self.d1() {
             let mut sum = h1_a.clone();
             zaxpy(&mut sum, Complex::ONE, &h1_b);
@@ -231,16 +235,24 @@ mod tests {
         let (a, g, d, b) = (-0.8, 0.5, 0.0, 1.0);
         let sys = scalar_system(a, g, d, b);
         let kern = VolterraKernels::new(&sys, 0).unwrap();
-        let s = [Complex::new(0.1, 0.2), Complex::new(0.05, -0.3), Complex::new(-0.2, 0.1)];
+        let s = [
+            Complex::new(0.1, 0.2),
+            Complex::new(0.05, -0.3),
+            Complex::new(-0.2, 0.1),
+        ];
         let h1 = |s: Complex| Complex::from_real(b) / (s - Complex::from_real(a));
         let h2 = |s1: Complex, s2: Complex| {
             Complex::from_real(g) * h1(s1) * h1(s2) / (s1 + s2 - Complex::from_real(a))
         };
         // H3 = (1/3) (s1+s2+s3-a)^{-1} * 2g * [H1(s1)H2(s2,s3)+H1(s2)H2(s1,s3)+H1(s3)H2(s1,s2)]
         let num = h1(s[0]) * h2(s[1], s[2]) + h1(s[1]) * h2(s[0], s[2]) + h1(s[2]) * h2(s[0], s[1]);
-        let expect = Complex::from_real(2.0 * g / 3.0) * num
-            / (s[0] + s[1] + s[2] - Complex::from_real(a));
-        assert!(close(kern.output_h3(s[0], s[1], s[2]).unwrap(), expect, 1e-12));
+        let expect =
+            Complex::from_real(2.0 * g / 3.0) * num / (s[0] + s[1] + s[2] - Complex::from_real(a));
+        assert!(close(
+            kern.output_h3(s[0], s[1], s[2]).unwrap(),
+            expect,
+            1e-12
+        ));
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Regression tests for the solver-cache layer: the cached path (shifted-LU
+//! memoization, shared Schur forms, single-factorization Lyapunov setup) must
+//! reproduce the legacy factor-per-call implementation to floating-point
+//! accuracy, while demonstrably serving repeated shifts from the cache.
+
+use vamor_circuits::{TransmissionLine, VaristorCircuit};
+use vamor_core::{
+    AssocMomentGenerator, AssocReducer, BlockH2Op, MomentSpec, ShiftedSolveOp, VolterraKernels,
+};
+use vamor_linalg::{Complex, Matrix, Vector};
+
+/// Largest residual of any column of `b` after projection onto the column
+/// space of `a` — zero iff span(b) ⊆ span(a). Both bases are orthonormal.
+fn subspace_residual(a: &Matrix, b: &Matrix) -> f64 {
+    let mut worst = 0.0_f64;
+    for j in 0..b.cols() {
+        let col = b.col(j);
+        let coeffs = a.matvec_transpose(&col);
+        let mut residual = col;
+        residual.axpy(-1.0, &a.matvec(&coeffs));
+        worst = worst.max(residual.norm2());
+    }
+    worst
+}
+
+#[test]
+fn cached_reduction_matches_uncached_reduction() {
+    let line = TransmissionLine::current_driven(35).expect("circuit");
+    let full = line.qldae();
+    let spec = MomentSpec::paper_default();
+    let cached = AssocReducer::new(spec).reduce(full).expect("cached");
+    let uncached = AssocReducer::new(spec)
+        .with_solver_caching(false)
+        .reduce(full)
+        .expect("legacy");
+
+    assert_eq!(
+        cached.order(),
+        uncached.order(),
+        "projection dimensions must agree"
+    );
+    // The individual basis entries may differ in the last few ulps (the fast
+    // back-substitution reassociates floating-point sums, and Gram-Schmidt
+    // amplifies that near deflation ties); the spanned subspace is the
+    // invariant that matters for the projection.
+    let forward = subspace_residual(cached.projection(), uncached.projection());
+    let backward = subspace_residual(uncached.projection(), cached.projection());
+    assert!(
+        forward <= 1e-8 && backward <= 1e-8,
+        "subspaces diverged: {forward:.3e}/{backward:.3e}"
+    );
+
+    // Moment-match agreement of the two reduced models near the expansion
+    // point (the acceptance criterion of the solver-cache layer).
+    let kern_cached = VolterraKernels::new(cached.system(), 0).expect("cached kernels");
+    let kern_uncached = VolterraKernels::new(uncached.system(), 0).expect("legacy kernels");
+    for s in [Complex::new(0.0, 0.02), Complex::new(0.01, 0.05)] {
+        let a = kern_cached.output_h1(s).unwrap();
+        let b = kern_uncached.output_h1(s).unwrap();
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+            "H1 mismatch at {s}: {a} vs {b}"
+        );
+    }
+    let (s1, s2) = (Complex::new(0.0, 0.03), Complex::new(0.01, 0.02));
+    let a = kern_cached.output_h2(s1, s2).unwrap();
+    let b = kern_uncached.output_h2(s1, s2).unwrap();
+    assert!(
+        (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+        "H2 mismatch: {a} vs {b}"
+    );
+}
+
+#[test]
+fn cached_moments_match_fresh_factorization_moments() {
+    for stages in [12usize, 21] {
+        let line = TransmissionLine::voltage_driven(stages).expect("circuit");
+        let q = line.qldae();
+        let cached = AssocMomentGenerator::new(q).expect("cached generator");
+        let fresh = AssocMomentGenerator::with_caching(q, false).expect("legacy generator");
+        for (a, b) in [(0usize, 0usize)] {
+            let m_cached = cached.h2_moments(a, b, 3).expect("cached h2");
+            let m_fresh = fresh.h2_moments(a, b, 3).expect("fresh h2");
+            for (k, (x, y)) in m_cached.iter().zip(m_fresh.iter()).enumerate() {
+                let diff = (x - y).norm_inf();
+                assert!(
+                    diff <= 1e-10 * (1.0 + y.norm_inf()),
+                    "h2 moment {k} diff {diff:.3e}"
+                );
+            }
+        }
+        let m_cached = cached.h3_moments(0, 2).expect("cached h3");
+        let m_fresh = fresh.h3_moments(0, 2).expect("fresh h3");
+        for (k, (x, y)) in m_cached.iter().zip(m_fresh.iter()).enumerate() {
+            let diff = (x - y).norm_inf();
+            assert!(
+                diff <= 1e-10 * (1.0 + y.norm_inf()),
+                "h3 moment {k} diff {diff:.3e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_cubic_reduction_matches_uncached() {
+    let circuit = VaristorCircuit::new(16).expect("circuit");
+    let spec = MomentSpec::new(6, 0, 2);
+    let cached = AssocReducer::new(spec)
+        .reduce_cubic(circuit.ode())
+        .expect("cached");
+    let uncached = AssocReducer::new(spec)
+        .with_solver_caching(false)
+        .reduce_cubic(circuit.ode())
+        .expect("legacy");
+    assert_eq!(cached.order(), uncached.order());
+    let forward = subspace_residual(cached.projection(), uncached.projection());
+    let backward = subspace_residual(uncached.projection(), cached.projection());
+    assert!(
+        forward <= 1e-8 && backward <= 1e-8,
+        "cubic subspaces diverged: {forward:.3e}/{backward:.3e}"
+    );
+}
+
+#[test]
+fn repeated_shifted_solves_hit_the_cache() {
+    let line = TransmissionLine::current_driven(10).expect("circuit");
+    let q = line.qldae();
+    let op = BlockH2Op::new(q.g1(), q.g2()).expect("block op");
+    let rhs = Vector::from_fn(op.dim(), |i| (i % 7) as f64 - 3.0);
+    let a = op.solve_shifted(0.25, &rhs).expect("first solve");
+    let hits_before = op.shift_cache().hits();
+    let b = op.solve_shifted(0.25, &rhs).expect("second solve");
+    assert!(
+        op.shift_cache().hits() > hits_before,
+        "second solve must reuse the cached LU"
+    );
+    assert_eq!(
+        a.as_slice(),
+        b.as_slice(),
+        "cached solve must be bit-identical"
+    );
+
+    // A moment run drives many repeated shifts through the cache: after two
+    // H3 moment iterations the distinct shifts (the eigenvalues of G1) are
+    // factored once each and then only re-used.
+    let generator = AssocMomentGenerator::new(q).expect("generator");
+    generator.h3_moments(0, 2).expect("h3 moments");
+}

@@ -57,7 +57,9 @@ impl ArnoldiResult {
 /// ```
 pub fn arnoldi(op: &dyn LinearOp, start: &Vector, steps: usize) -> Result<ArnoldiResult> {
     if steps == 0 {
-        return Err(LinalgError::InvalidArgument("arnoldi: steps must be positive".into()));
+        return Err(LinalgError::InvalidArgument(
+            "arnoldi: steps must be positive".into(),
+        ));
     }
     if start.len() != op.dim() {
         return Err(LinalgError::DimensionMismatch(format!(
@@ -103,7 +105,11 @@ pub fn arnoldi(op: &dyn LinearOp, start: &Vector, steps: usize) -> Result<Arnold
     // Trim H to the number of completed steps.
     let rows = if breakdown { completed } else { completed + 1 };
     let hess = h.submatrix(0, rows, 0, completed);
-    Ok(ArnoldiResult { basis, hessenberg: hess, breakdown })
+    Ok(ArnoldiResult {
+        basis,
+        hessenberg: hess,
+        breakdown,
+    })
 }
 
 #[cfg(test)]

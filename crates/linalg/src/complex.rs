@@ -41,7 +41,10 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Magnitude (Euclidean norm).
@@ -65,7 +68,10 @@ impl Complex {
     /// semantics of floating point.
     pub fn recip(self) -> Self {
         let d = self.norm_sqr();
-        Complex { re: self.re / d, im: -self.im / d }
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Complex square root (principal branch).
@@ -83,12 +89,18 @@ impl Complex {
     /// Complex exponential `e^z`.
     pub fn exp(self) -> Self {
         let r = self.re.exp();
-        Complex { re: r * self.im.cos(), im: r * self.im.sin() }
+        Complex {
+            re: r * self.im.cos(),
+            im: r * self.im.sin(),
+        }
     }
 
     /// Scales by a real factor.
     pub fn scale(self, k: f64) -> Self {
-        Complex { re: self.re * k, im: self.im * k }
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// True if either component is NaN.
@@ -121,7 +133,10 @@ impl From<f64> for Complex {
 impl Add for Complex {
     type Output = Complex;
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -135,7 +150,10 @@ impl AddAssign for Complex {
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -183,11 +201,17 @@ impl Div for Complex {
         if rhs.re.abs() >= rhs.im.abs() {
             let r = rhs.im / rhs.re;
             let d = rhs.re + rhs.im * r;
-            Complex { re: (self.re + self.im * r) / d, im: (self.im - self.re * r) / d }
+            Complex {
+                re: (self.re + self.im * r) / d,
+                im: (self.im - self.re * r) / d,
+            }
         } else {
             let r = rhs.re / rhs.im;
             let d = rhs.re * r + rhs.im;
-            Complex { re: (self.re * r + self.im) / d, im: (self.im * r - self.re) / d }
+            Complex {
+                re: (self.re * r + self.im) / d,
+                im: (self.im * r - self.re) / d,
+            }
         }
     }
 }
@@ -201,14 +225,20 @@ impl DivAssign for Complex {
 impl Div<f64> for Complex {
     type Output = Complex;
     fn div(self, rhs: f64) -> Complex {
-        Complex { re: self.re / rhs, im: self.im / rhs }
+        Complex {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
     }
 }
 
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -254,7 +284,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (3.0, 4.0), (-3.0, -4.0), (0.0, 2.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (3.0, 4.0),
+            (-3.0, -4.0),
+            (0.0, 2.0),
+        ] {
             let z = Complex::new(re, im);
             let s = z.sqrt();
             assert!(close(s * s, z), "sqrt({z}) = {s}");

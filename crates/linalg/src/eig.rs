@@ -20,7 +20,10 @@ impl Eigenvalues {
 
     /// Largest real part (spectral abscissa).
     pub fn spectral_abscissa(&self) -> f64 {
-        self.values.iter().map(|z| z.re).fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .map(|z| z.re)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Largest modulus (spectral radius).
@@ -82,7 +85,9 @@ impl Eigenvalues {
 /// ```
 pub fn eigenvalues(a: &Matrix) -> Result<Eigenvalues> {
     let schur = SchurDecomposition::new(a)?;
-    Ok(Eigenvalues { values: schur.eigenvalues() })
+    Ok(Eigenvalues {
+        values: schur.eigenvalues(),
+    })
 }
 
 #[cfg(test)]

@@ -14,7 +14,10 @@ pub enum LinalgError {
     /// A factorization encountered an (numerically) singular matrix.
     Singular(String),
     /// An iterative algorithm failed to converge within its iteration budget.
-    NotConverged { algorithm: &'static str, iterations: usize },
+    NotConverged {
+        algorithm: &'static str,
+        iterations: usize,
+    },
     /// Invalid argument (empty matrix, non-positive tolerance, ...).
     InvalidArgument(String),
 }
@@ -27,7 +30,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix must be square, got {rows}x{cols}")
             }
             LinalgError::Singular(msg) => write!(f, "singular matrix: {msg}"),
-            LinalgError::NotConverged { algorithm, iterations } => {
+            LinalgError::NotConverged {
+                algorithm,
+                iterations,
+            } => {
                 write!(f, "{algorithm} did not converge in {iterations} iterations")
             }
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -47,7 +53,10 @@ mod tests {
         assert_eq!(e.to_string(), "matrix must be square, got 3x4");
         let e = LinalgError::Singular("zero pivot at column 2".into());
         assert!(e.to_string().contains("zero pivot"));
-        let e = LinalgError::NotConverged { algorithm: "qr iteration", iterations: 30 };
+        let e = LinalgError::NotConverged {
+            algorithm: "qr iteration",
+            iterations: 30,
+        };
         assert!(e.to_string().contains("qr iteration"));
     }
 

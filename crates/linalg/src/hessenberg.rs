@@ -35,11 +35,16 @@ impl HessenbergDecomposition {
     /// [`LinalgError::InvalidArgument`] if it is empty.
     pub fn new(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         if n == 0 {
-            return Err(LinalgError::InvalidArgument("hessenberg of empty matrix".into()));
+            return Err(LinalgError::InvalidArgument(
+                "hessenberg of empty matrix".into(),
+            ));
         }
         let mut h = a.clone();
         let mut q = Matrix::identity(n);
@@ -58,7 +63,11 @@ impl HessenbergDecomposition {
                 continue;
             }
             let mut v = Vector::zeros(n);
-            let alpha = if h[(k + 1, k)] >= 0.0 { -norm_x } else { norm_x };
+            let alpha = if h[(k + 1, k)] >= 0.0 {
+                -norm_x
+            } else {
+                norm_x
+            };
             for i in (k + 1)..n {
                 v[i] = h[(i, k)];
             }
@@ -153,7 +162,10 @@ mod tests {
             let back = hess.q().matmul(hess.h()).matmul(&hess.q().transpose());
             assert!((&back - &a).max_abs() < 1e-11, "n={n}");
             let qtq = hess.q().transpose().matmul(hess.q());
-            assert!((&qtq - &Matrix::identity(n)).max_abs() < 1e-12, "Q orthogonal, n={n}");
+            assert!(
+                (&qtq - &Matrix::identity(n)).max_abs() < 1e-12,
+                "Q orthogonal, n={n}"
+            );
         }
     }
 
@@ -182,7 +194,11 @@ mod tests {
     fn hessenberg_of_hessenberg_is_unchanged_in_structure() {
         // A matrix already in Hessenberg form keeps zero fill below the
         // first subdiagonal.
-        let a = Matrix::from_fn(5, 5, |i, j| if j + 1 >= i { (i + j + 1) as f64 } else { 0.0 });
+        let a = Matrix::from_fn(
+            5,
+            5,
+            |i, j| if j + 1 >= i { (i + j + 1) as f64 } else { 0.0 },
+        );
         let hess = HessenbergDecomposition::new(&a).unwrap();
         for i in 0..5usize {
             for j in 0..i.saturating_sub(1) {

@@ -60,7 +60,10 @@ pub fn kron(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Panics if either matrix is not square.
 pub fn kron_sum(a: &Matrix, b: &Matrix) -> Matrix {
-    assert!(a.is_square() && b.is_square(), "kron_sum requires square matrices");
+    assert!(
+        a.is_square() && b.is_square(),
+        "kron_sum requires square matrices"
+    );
     let mut out = kron(a, &Matrix::identity(b.rows()));
     let other = kron(&Matrix::identity(a.rows()), b);
     out.axpy(1.0, &other);
@@ -148,13 +151,23 @@ impl KronSumOp {
     /// factorization fails.
     pub fn new(a: &Matrix, b: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         if !b.is_square() {
-            return Err(LinalgError::NotSquare { rows: b.rows(), cols: b.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: b.rows(),
+                cols: b.cols(),
+            });
         }
         let solver = SylvesterSolver::new(b, &a.transpose())?;
-        Ok(KronSumOp { a: a.clone(), b: b.clone(), solver })
+        Ok(KronSumOp {
+            a: a.clone(),
+            b: b.clone(),
+            solver,
+        })
     }
 
     /// Dimension of the (implicit) square operator.
@@ -284,8 +297,8 @@ mod tests {
     fn kron_vec_matches_matrix_kron() {
         let a = Vector::from_slice(&[1.0, -2.0, 3.0]);
         let b = Vector::from_slice(&[4.0, 5.0]);
-        let am = Matrix::from_columns(&[a.clone()]).unwrap();
-        let bm = Matrix::from_columns(&[b.clone()]).unwrap();
+        let am = Matrix::from_columns(std::slice::from_ref(&a)).unwrap();
+        let bm = Matrix::from_columns(std::slice::from_ref(&b)).unwrap();
         let kv = kron_vec(&a, &b);
         let km = kron(&am, &bm);
         for i in 0..kv.len() {
@@ -338,7 +351,7 @@ mod tests {
         let eig = crate::eig::eigenvalues(&ks).unwrap();
         let mut got: Vec<f64> = eig.values().iter().map(|z| z.re).collect();
         got.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        let mut expect = vec![-3.0, -6.0, -5.0, -8.0];
+        let mut expect = [-3.0, -6.0, -5.0, -8.0];
         expect.sort_by(|x, y| x.partial_cmp(y).unwrap());
         for (g, e) in got.iter().zip(expect.iter()) {
             assert!((g - e).abs() < 1e-10);

@@ -47,6 +47,7 @@ pub mod op;
 pub mod orth;
 pub mod qr;
 pub mod schur;
+pub mod shift_cache;
 pub mod sparse;
 pub mod sylvester;
 pub mod vector;
@@ -64,10 +65,11 @@ pub use op::{DenseOp, LinearOp, ShiftedInverseOp};
 pub use orth::OrthoBasis;
 pub use qr::QrDecomposition;
 pub use schur::SchurDecomposition;
+pub use shift_cache::ShiftedLuCache;
 pub use sparse::{CooMatrix, CsrMatrix};
 pub use sylvester::{solve_lyapunov, solve_sylvester, SylvesterSolver};
 pub use vector::Vector;
-pub use zmatrix::{ZMatrix, ZVector};
+pub use zmatrix::{ZLuDecomposition, ZMatrix, ZVector};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -42,7 +42,10 @@ impl LuDecomposition {
     ///   singular to working precision).
     pub fn new(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -80,7 +83,12 @@ impl LuDecomposition {
                 }
             }
         }
-        Ok(LuDecomposition { lu, perm, perm_sign, n })
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+            n,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -94,32 +102,51 @@ impl LuDecomposition {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
-        if b.len() != self.n {
+        let mut x = Vector::zeros(self.n);
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer (`x` must not alias
+    /// `b`), avoiding the output allocation of [`LuDecomposition::solve`] in
+    /// recursion hot loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if either length is not
+    /// `self.dim()`.
+    pub fn solve_into(&self, b: &Vector, x: &mut Vector) -> Result<()> {
+        if b.len() != self.n || x.len() != self.n {
             return Err(LinalgError::DimensionMismatch(format!(
-                "lu solve: rhs has length {}, expected {}",
+                "lu solve: rhs/out have lengths {}/{}, expected {}",
                 b.len(),
+                x.len(),
                 self.n
             )));
         }
         // Apply permutation.
-        let mut x = Vector::from_fn(self.n, |i| b[self.perm[i]]);
+        for i in 0..self.n {
+            x[i] = b[self.perm[i]];
+        }
         // Forward substitution with unit lower triangular L.
         for i in 1..self.n {
+            let row = self.lu.row(i);
             let mut acc = x[i];
             for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+                acc -= row[j] * x[j];
             }
             x[i] = acc;
         }
         // Backward substitution with U.
         for i in (0..self.n).rev() {
+            let row = self.lu.row(i);
             let mut acc = x[i];
             for j in (i + 1)..self.n {
-                acc -= self.lu[(i, j)] * x[j];
+                acc -= row[j] * x[j];
             }
-            x[i] = acc / self.lu[(i, i)];
+            x[i] = acc / row[i];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A X = B` column by column.

@@ -26,7 +26,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -56,7 +60,9 @@ impl Matrix {
     /// lengths, or [`LinalgError::InvalidArgument`] if `rows` is empty.
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
         if rows.is_empty() {
-            return Err(LinalgError::InvalidArgument("from_rows: no rows given".into()));
+            return Err(LinalgError::InvalidArgument(
+                "from_rows: no rows given".into(),
+            ));
         }
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
@@ -69,7 +75,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -107,7 +117,9 @@ impl Matrix {
     /// lengths, or [`LinalgError::InvalidArgument`] if `cols` is empty.
     pub fn from_columns(cols: &[Vector]) -> Result<Self> {
         if cols.is_empty() {
-            return Err(LinalgError::InvalidArgument("from_columns: no columns given".into()));
+            return Err(LinalgError::InvalidArgument(
+                "from_columns: no columns given".into(),
+            ));
         }
         let rows = cols[0].len();
         for (j, c) in cols.iter().enumerate() {
@@ -216,8 +228,20 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &Vector) -> Vector {
-        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
         let mut y = Vector::zeros(self.rows);
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product `A x` written into a caller-provided buffer,
+    /// avoiding the output allocation of [`Matrix::matvec`] in inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &Vector, y: &mut Vector) {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec_into: output length mismatch");
         for i in 0..self.rows {
             let row = self.row(i);
             let mut acc = 0.0;
@@ -226,7 +250,6 @@ impl Matrix {
             }
             y[i] = acc;
         }
-        y
     }
 
     /// Transposed matrix-vector product `Aᵀ x`.
@@ -256,22 +279,42 @@ impl Matrix {
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix-matrix product `A B` written into a caller-provided buffer,
+    /// avoiding the output allocation of [`Matrix::matmul`] in inner loops.
+    ///
+    /// The loop order streams rows of `A` and `out` while keeping the active
+    /// rows of `B` hot, and the contiguous row-pair inner loop is written so
+    /// the compiler can vectorize it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree or `out` has the wrong shape.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul_into: output shape mismatch"
+        );
+        out.data.fill(0.0);
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &aik) in arow.iter().enumerate() {
                 if aik == 0.0 {
                     continue;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (j, &b) in orow.iter().enumerate() {
-                    out_row[j] += aik * b;
+                let brow = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(brow.iter()) {
+                    *o += aik * b;
                 }
             }
         }
-        out
     }
 
     /// Transpose.
@@ -281,7 +324,11 @@ impl Matrix {
 
     /// Returns `self * k`.
     pub fn scaled(&self, k: f64) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|x| x * k).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
     }
 
     /// In-place `self += alpha * other`.
@@ -413,21 +460,29 @@ impl Matrix {
     /// Panics if the matrix is not square.
     pub fn symmetric_part(&self) -> Matrix {
         assert!(self.is_square(), "symmetric_part requires a square matrix");
-        Matrix::from_fn(self.rows, self.cols, |i, j| 0.5 * (self[(i, j)] + self[(j, i)]))
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            0.5 * (self[(i, j)] + self[(j, i)])
+        })
     }
 }
 
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -536,7 +591,10 @@ mod tests {
 
     #[test]
     fn from_columns_round_trips() {
-        let cols = vec![Vector::from_slice(&[1.0, 2.0]), Vector::from_slice(&[3.0, 4.0])];
+        let cols = vec![
+            Vector::from_slice(&[1.0, 2.0]),
+            Vector::from_slice(&[3.0, 4.0]),
+        ];
         let m = Matrix::from_columns(&cols).unwrap();
         assert_eq!(m.col(0), cols[0]);
         assert_eq!(m.col(1), cols[1]);

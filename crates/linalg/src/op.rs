@@ -88,7 +88,10 @@ impl ShiftedInverseOp {
     /// Returns an error if `σ I − A` is singular or `a` is not square.
     pub fn new(sigma: f64, a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut shifted = a.scaled(-1.0);
@@ -120,7 +123,9 @@ impl LinearOp for ShiftedInverseOp {
     }
 
     fn apply(&self, x: &Vector) -> Vector {
-        self.lu.solve(x).expect("ShiftedInverseOp::apply: dimension mismatch")
+        self.lu
+            .solve(x)
+            .expect("ShiftedInverseOp::apply: dimension mismatch")
     }
 }
 

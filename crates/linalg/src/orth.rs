@@ -41,12 +41,22 @@ impl OrthoBasis {
 
     /// Creates an empty basis for vectors of length `dim`.
     pub fn new(dim: usize) -> Self {
-        OrthoBasis { dim, columns: Vec::new(), deflation_tol: Self::DEFAULT_TOL, deflated: 0 }
+        OrthoBasis {
+            dim,
+            columns: Vec::new(),
+            deflation_tol: Self::DEFAULT_TOL,
+            deflated: 0,
+        }
     }
 
     /// Creates an empty basis with a custom relative deflation tolerance.
     pub fn with_tolerance(dim: usize, tol: f64) -> Self {
-        OrthoBasis { dim, columns: Vec::new(), deflation_tol: tol, deflated: 0 }
+        OrthoBasis {
+            dim,
+            columns: Vec::new(),
+            deflation_tol: tol,
+            deflated: 0,
+        }
     }
 
     /// Dimension of the ambient space.

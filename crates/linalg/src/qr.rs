@@ -62,7 +62,11 @@ impl QrDecomposition {
                 reflectors.push(v);
                 continue;
             }
-            let alpha = if r_full[(k, k)] >= 0.0 { -norm_x } else { norm_x };
+            let alpha = if r_full[(k, k)] >= 0.0 {
+                -norm_x
+            } else {
+                norm_x
+            };
             for i in k..m {
                 v[i] = r_full[(i, k)];
             }
@@ -146,7 +150,9 @@ impl QrDecomposition {
             }
             let rii = self.r[(i, i)];
             if rii == 0.0 {
-                return Err(LinalgError::Singular(format!("rank-deficient R at column {i}")));
+                return Err(LinalgError::Singular(format!(
+                    "rank-deficient R at column {i}"
+                )));
             }
             x[i] = acc / rii;
         }
@@ -161,7 +167,9 @@ impl QrDecomposition {
         if max_diag == 0.0 {
             return 0;
         }
-        (0..n).filter(|&i| self.r[(i, i)].abs() > tol * max_diag).count()
+        (0..n)
+            .filter(|&i| self.r[(i, i)].abs() > tol * max_diag)
+            .count()
     }
 }
 
@@ -171,7 +179,11 @@ mod tests {
 
     fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
         assert_eq!(a.shape(), b.shape());
-        assert!((a - b).max_abs() < tol, "matrices differ by {}", (a - b).max_abs());
+        assert!(
+            (a - b).max_abs() < tol,
+            "matrices differ by {}",
+            (a - b).max_abs()
+        );
     }
 
     #[test]

@@ -60,6 +60,16 @@ impl SchurDecomposition {
         Ok(SchurDecomposition { q, t, blocks })
     }
 
+    /// Reassembles a decomposition from previously computed factors, so a
+    /// Schur form cached elsewhere (e.g. inside a
+    /// [`crate::SylvesterSolver`]) can be reused without refactorizing.
+    ///
+    /// The caller is trusted to pass a consistent triple: `q` orthogonal, `t`
+    /// upper quasi-triangular and `blocks` its diagonal block structure.
+    pub fn from_parts(q: Matrix, t: Matrix, blocks: Vec<SchurBlock>) -> Self {
+        SchurDecomposition { q, t, blocks }
+    }
+
     /// The orthogonal factor `Q`.
     pub fn q(&self) -> &Matrix {
         &self.q
@@ -158,7 +168,10 @@ fn francis_qr(h: &mut Matrix, q: &mut Matrix) -> Result<()> {
     loop {
         guard += 1;
         if guard > guard_limit {
-            return Err(LinalgError::NotConverged { algorithm: "francis qr", iterations: guard });
+            return Err(LinalgError::NotConverged {
+                algorithm: "francis qr",
+                iterations: guard,
+            });
         }
         // Find the start `l` of the active block ending at `m`.
         let mut l = m;
@@ -200,7 +213,7 @@ fn francis_qr(h: &mut Matrix, q: &mut Matrix) -> Result<()> {
         }
 
         // Double shift from the trailing 2x2 block (or an exceptional shift).
-        let (shift_s, shift_t) = if iter % 11 == 0 {
+        let (shift_s, shift_t) = if iter.is_multiple_of(11) {
             let w = h[(m, m - 1)].abs() + h[(m - 1, m - 2)].abs();
             (1.5 * w, w * w)
         } else {
@@ -210,8 +223,8 @@ fn francis_qr(h: &mut Matrix, q: &mut Matrix) -> Result<()> {
         };
 
         // First column of (H² - sH + tI) e₁ restricted to the active block.
-        let mut x = h[(l, l)] * h[(l, l)] + h[(l, l + 1)] * h[(l + 1, l)] - shift_s * h[(l, l)]
-            + shift_t;
+        let mut x =
+            h[(l, l)] * h[(l, l)] + h[(l, l + 1)] * h[(l + 1, l)] - shift_s * h[(l, l)] + shift_t;
         let mut y = h[(l + 1, l)] * (h[(l, l)] + h[(l + 1, l + 1)] - shift_s);
         let mut z = h[(l + 1, l)] * h[(l + 2, l + 1)];
 
@@ -318,7 +331,11 @@ fn standardize_blocks(t: &mut Matrix, q: &mut Matrix) {
         let mean = 0.5 * (a + d);
         // Pick the eigenvalue farther from `a` for a better conditioned
         // eigenvector, then form it from the first row of (A - lambda I).
-        let lambda = if (mean + sq - a).abs() > (mean - sq - a).abs() { mean + sq } else { mean - sq };
+        let lambda = if (mean + sq - a).abs() > (mean - sq - a).abs() {
+            mean + sq
+        } else {
+            mean - sq
+        };
         // Eigenvector w satisfies (a - lambda) w0 + b w1 = 0 and
         // c w0 + (d - lambda) w1 = 0; pick the better-scaled expression.
         let (w0, w1) = if b.abs() + (a - lambda).abs() >= c.abs() + (d - lambda).abs() {
@@ -394,7 +411,11 @@ mod tests {
         let n = a.rows();
         // Similarity: Q T Qᵀ = A.
         let back = s.q().matmul(s.t()).matmul(&s.q().transpose());
-        assert!((&back - a).max_abs() < tol, "reconstruction error {}", (&back - a).max_abs());
+        assert!(
+            (&back - a).max_abs() < tol,
+            "reconstruction error {}",
+            (&back - a).max_abs()
+        );
         // Orthogonality.
         let qtq = s.q().transpose().matmul(s.q());
         assert!((&qtq - &Matrix::identity(n)).max_abs() < 1e-10);
@@ -451,19 +472,25 @@ mod tests {
             let s = SchurDecomposition::new(&a).unwrap();
             let eig = s.eigenvalues();
             let sum: Complex = eig.iter().cloned().sum();
-            assert!((sum.re - a.trace()).abs() < 1e-8, "trace mismatch for n={n}");
+            assert!(
+                (sum.re - a.trace()).abs() < 1e-8,
+                "trace mismatch for n={n}"
+            );
             assert!(sum.im.abs() < 1e-8);
             let det = a.lu().map(|lu| lu.det()).unwrap_or(0.0);
             let prod = eig.iter().fold(Complex::ONE, |p, &z| p * z);
-            assert!((prod.re - det).abs() < 1e-6 * det.abs().max(1.0), "det mismatch for n={n}");
+            assert!(
+                (prod.re - det).abs() < 1e-6 * det.abs().max(1.0),
+                "det mismatch for n={n}"
+            );
         }
     }
 
     #[test]
     fn companion_matrix_of_known_polynomial() {
         // x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3)
-        let a = Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]).unwrap();
         let s = SchurDecomposition::new(&a).unwrap();
         let mut eig: Vec<f64> = s.eigenvalues().iter().map(|z| z.re).collect();
         eig.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -1,0 +1,351 @@
+//! Memoized LU factorizations of shifted matrices `(G + σI)` / `(G + λI)`.
+//!
+//! The associated-transform moment recursions solve against the *same* base
+//! matrix `G₁` over and over, with shifts drawn from a small fixed set (the
+//! eigenvalues of a Schur factor walked by the Bartels–Stewart
+//! back-substitution, plus `σ = 0` for the expansion point itself). Before
+//! this cache existed every such solve cloned `G₁` and refactorized it;
+//! [`ShiftedLuCache`] keys the LU factors by the shift's bit pattern so each
+//! distinct shift is factored exactly once per operator lifetime.
+//!
+//! The cache is `Sync` (mutex-guarded maps, `Arc`-shared factors) so moment
+//! chains running on scoped threads can share one instance. A passthrough
+//! mode (`new_uncached`) preserves the legacy factor-per-call behaviour for
+//! A/B benchmarking and regression tests.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::complex::Complex;
+use crate::error::LinalgError;
+use crate::lu::LuDecomposition;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::zmatrix::{ZLuDecomposition, ZMatrix, ZVector};
+use crate::Result;
+
+/// A cache of LU factorizations of `base + shift·I`, keyed by shift.
+///
+/// ```
+/// use vamor_linalg::{Matrix, ShiftedLuCache, Vector};
+/// # fn main() -> Result<(), vamor_linalg::LinalgError> {
+/// let g = Matrix::from_rows(&[&[-2.0, 1.0], &[0.0, -3.0]])?;
+/// let cache = ShiftedLuCache::new(g.clone());
+/// let b = Vector::from_slice(&[1.0, 2.0]);
+/// let x1 = cache.solve_shifted(0.5, &b)?;
+/// let x2 = cache.solve_shifted(0.5, &b)?; // served from the cache
+/// assert_eq!(x1.as_slice(), x2.as_slice());
+/// assert_eq!(cache.misses(), 1);
+/// assert_eq!(cache.hits(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShiftedLuCache {
+    base: Matrix,
+    enabled: bool,
+    real: Mutex<HashMap<u64, Arc<LuDecomposition>>>,
+    complex: Mutex<HashMap<(u64, u64), Arc<ZLuDecomposition>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ShiftedLuCache {
+    /// Creates a cache over the given base matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not square.
+    pub fn new(base: Matrix) -> Self {
+        Self::with_mode(base, true)
+    }
+
+    /// Creates a passthrough instance that factors afresh on every solve —
+    /// the pre-cache behaviour, kept for benchmarks and regression tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not square.
+    pub fn new_uncached(base: Matrix) -> Self {
+        Self::with_mode(base, false)
+    }
+
+    fn with_mode(base: Matrix, enabled: bool) -> Self {
+        assert!(
+            base.is_square(),
+            "ShiftedLuCache requires a square base matrix"
+        );
+        ShiftedLuCache {
+            base,
+            enabled,
+            real: Mutex::new(HashMap::new()),
+            complex: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The base matrix `G`.
+    pub fn base(&self) -> &Matrix {
+        &self.base
+    }
+
+    /// Dimension of the base matrix.
+    pub fn dim(&self) -> usize {
+        self.base.rows()
+    }
+
+    /// True when memoization is active (false for the passthrough mode).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of solves served from cached factors.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of fresh factorizations performed.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cached factorizations (real + complex).
+    pub fn len(&self) -> usize {
+        self.real.lock().expect("cache poisoned").len()
+            + self.complex.lock().expect("cache poisoned").len()
+    }
+
+    /// True if nothing has been factored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shifted(&self, sigma: f64) -> Matrix {
+        let mut m = self.base.clone();
+        for i in 0..m.rows() {
+            m[(i, i)] += sigma;
+        }
+        m
+    }
+
+    fn shifted_complex(&self, lambda: Complex) -> ZMatrix {
+        let mut m = ZMatrix::from_real(&self.base);
+        for i in 0..self.base.rows() {
+            m[(i, i)] += lambda;
+        }
+        m
+    }
+
+    /// The LU factorization of `base + σI`, computed at most once per shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if the shifted matrix is singular.
+    pub fn factor(&self, sigma: f64) -> Result<Arc<LuDecomposition>> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(self.shifted(sigma).lu()?));
+        }
+        // Normalize -0.0 so both zero encodings share one entry.
+        let key = if sigma == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            sigma.to_bits()
+        };
+        if let Some(lu) = self.real.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(lu));
+        }
+        // Factor OUTSIDE the lock: holding the map mutex across an O(n³)
+        // factorization would serialize the parallel moment chains during
+        // their warm-up sweep over the spectrum. A racing thread may factor
+        // the same shift concurrently; both produce identical factors and the
+        // first insert wins.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let lu = Arc::new(self.shifted(sigma).lu()?);
+        let mut map = self.real.lock().expect("cache poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(lu)))
+    }
+
+    /// Solves `(base + σI) x = rhs` through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular pencils and dimension mismatches.
+    pub fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> Result<Vector> {
+        self.factor(sigma)?.solve(rhs)
+    }
+
+    /// The LU factorization of `base + λI` for a complex shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if the shifted matrix is singular.
+    pub fn factor_complex(&self, lambda: Complex) -> Result<Arc<ZLuDecomposition>> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(self.shifted_complex(lambda).lu()?));
+        }
+        let re_key = if lambda.re == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            lambda.re.to_bits()
+        };
+        let im_key = if lambda.im == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            lambda.im.to_bits()
+        };
+        let key = (re_key, im_key);
+        if let Some(lu) = self.complex.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(lu));
+        }
+        // Factor outside the lock (see `factor` for the rationale).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let lu = Arc::new(self.shifted_complex(lambda).lu()?);
+        let mut map = self.complex.lock().expect("cache poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(lu)))
+    }
+
+    /// Solves `(base + λI)(x_re + i·x_im) = re + i·im`, returning the real
+    /// and imaginary parts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular pencils and dimension mismatches.
+    pub fn solve_shifted_complex(
+        &self,
+        lambda: Complex,
+        re: &Vector,
+        im: &Vector,
+    ) -> Result<(Vector, Vector)> {
+        if re.len() != self.dim() || im.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "shifted complex solve: rhs lengths {}/{} for dimension {}",
+                re.len(),
+                im.len(),
+                self.dim()
+            )));
+        }
+        let lu = self.factor_complex(lambda)?;
+        let rhs = ZVector::from(
+            (0..re.len())
+                .map(|i| Complex::new(re[i], im[i]))
+                .collect::<Vec<_>>(),
+        );
+        let x = lu.solve(&rhs)?;
+        Ok((x.real(), x.imag()))
+    }
+}
+
+impl Clone for ShiftedLuCache {
+    fn clone(&self) -> Self {
+        ShiftedLuCache {
+            base: self.base.clone(),
+            enabled: self.enabled,
+            real: Mutex::new(self.real.lock().expect("cache poisoned").clone()),
+            complex: Mutex::new(self.complex.lock().expect("cache poisoned").clone()),
+            hits: AtomicUsize::new(self.hits()),
+            misses: AtomicUsize::new(self.misses()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Matrix {
+        Matrix::from_rows(&[&[-2.0, 0.7, 0.0], &[0.1, -3.0, 0.4], &[0.0, 0.2, -1.5]]).unwrap()
+    }
+
+    #[test]
+    fn cached_and_fresh_real_solves_agree() {
+        let g = base();
+        let cache = ShiftedLuCache::new(g.clone());
+        let rhs = Vector::from_slice(&[1.0, -2.0, 0.5]);
+        for sigma in [0.0, 0.3, -0.8, 0.3, 0.0] {
+            let cached = cache.solve_shifted(sigma, &rhs).unwrap();
+            let mut shifted = g.clone();
+            for i in 0..3 {
+                shifted[(i, i)] += sigma;
+            }
+            let fresh = shifted.solve(&rhs).unwrap();
+            assert!((&cached - &fresh).norm_inf() < 1e-10, "sigma {sigma}");
+        }
+        // Five solves over three distinct shifts: three misses, two hits.
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn cached_and_fresh_complex_solves_agree() {
+        let g = base();
+        let cache = ShiftedLuCache::new(g.clone());
+        let re = Vector::from_slice(&[0.3, 1.0, -0.4]);
+        let im = Vector::from_slice(&[-1.0, 0.2, 0.9]);
+        let lambda = Complex::new(0.4, 1.3);
+        let (x_re, x_im) = cache.solve_shifted_complex(lambda, &re, &im).unwrap();
+        let (y_re, y_im) = cache.solve_shifted_complex(lambda, &re, &im).unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(x_re.as_slice(), y_re.as_slice());
+        assert_eq!(x_im.as_slice(), y_im.as_slice());
+        // Residual check against the explicitly shifted complex system.
+        let mut res_re = g.matvec(&x_re);
+        res_re.axpy(lambda.re, &x_re);
+        res_re.axpy(-lambda.im, &x_im);
+        res_re.axpy(-1.0, &re);
+        let mut res_im = g.matvec(&x_im);
+        res_im.axpy(lambda.re, &x_im);
+        res_im.axpy(lambda.im, &x_re);
+        res_im.axpy(-1.0, &im);
+        assert!(res_re.norm_inf() < 1e-10 && res_im.norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn passthrough_mode_never_caches() {
+        let cache = ShiftedLuCache::new_uncached(base());
+        let rhs = Vector::from_slice(&[1.0, 0.0, 0.0]);
+        cache.solve_shifted(0.5, &rhs).unwrap();
+        cache.solve_shifted(0.5, &rhs).unwrap();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.is_empty());
+        assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn negative_zero_shift_shares_the_zero_entry() {
+        let cache = ShiftedLuCache::new(base());
+        let rhs = Vector::from_slice(&[1.0, 1.0, 1.0]);
+        cache.solve_shifted(0.0, &rhs).unwrap();
+        cache.solve_shifted(-0.0, &rhs).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn singular_shift_is_reported_not_cached() {
+        // base + 2I makes the first row zero for this matrix.
+        let g = Matrix::from_rows(&[&[-2.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let cache = ShiftedLuCache::new(g);
+        let rhs = Vector::from_slice(&[1.0, 1.0]);
+        assert!(cache.solve_shifted(2.0, &rhs).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clone_carries_cached_factors() {
+        let cache = ShiftedLuCache::new(base());
+        let rhs = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        cache.solve_shifted(0.7, &rhs).unwrap();
+        let cloned = cache.clone();
+        assert_eq!(cloned.len(), 1);
+        cloned.solve_shifted(0.7, &rhs).unwrap();
+        assert_eq!(cloned.hits(), 1);
+    }
+}

@@ -34,7 +34,11 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty builder with the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        CooMatrix { rows, cols, triplets: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            triplets: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -63,39 +67,85 @@ impl CooMatrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "coo push ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "coo push ({row},{col}) out of bounds"
+        );
         if value != 0.0 {
             self.triplets.push((row, col, value));
         }
     }
 
     /// Converts to compressed sparse row format, summing duplicates and
-    /// dropping explicit zeros.
+    /// dropping explicit zeros. The triplet list itself is not cloned: only a
+    /// permutation of indices into it is sorted. Prefer [`CooMatrix::into_csr`]
+    /// when the builder is no longer needed.
     pub fn to_csr(&self) -> CsrMatrix {
-        let mut sorted = self.triplets.clone();
-        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
-        let mut indptr = vec![0usize; self.rows + 1];
-        let mut indices = Vec::with_capacity(sorted.len());
-        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
-        let mut k = 0usize;
-        while k < sorted.len() {
-            let (r, c, mut v) = sorted[k];
-            let mut j = k + 1;
-            while j < sorted.len() && sorted[j].0 == r && sorted[j].1 == c {
-                v += sorted[j].2;
-                j += 1;
-            }
+        let mut order: Vec<usize> = (0..self.triplets.len()).collect();
+        order.sort_unstable_by_key(|&k| {
+            let (r, c, _) = self.triplets[k];
+            (r, c)
+        });
+        assemble_csr(
+            self.rows,
+            self.cols,
+            order.into_iter().map(|k| self.triplets[k]),
+        )
+    }
+
+    /// Consumes the builder and converts to CSR, sorting the triplet storage
+    /// in place (no intermediate copies at all).
+    pub fn into_csr(mut self) -> CsrMatrix {
+        self.triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let (rows, cols) = (self.rows, self.cols);
+        assemble_csr(rows, cols, self.triplets.into_iter())
+    }
+}
+
+/// Builds a CSR matrix from triplets already sorted by `(row, col)`,
+/// accumulating duplicates and dropping entries that sum to zero.
+fn assemble_csr(
+    rows: usize,
+    cols: usize,
+    sorted: impl Iterator<Item = (usize, usize, f64)>,
+) -> CsrMatrix {
+    let mut indptr = vec![0usize; rows + 1];
+    let mut indices = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    let mut current: Option<(usize, usize, f64)> = None;
+    fn flush(
+        entry: Option<(usize, usize, f64)>,
+        indptr: &mut [usize],
+        indices: &mut Vec<usize>,
+        values: &mut Vec<f64>,
+    ) {
+        if let Some((r, c, v)) = entry {
             if v != 0.0 {
                 indices.push(c);
                 values.push(v);
                 indptr[r + 1] += 1;
             }
-            k = j;
         }
-        for r in 0..self.rows {
-            indptr[r + 1] += indptr[r];
+    }
+    for (r, c, v) in sorted {
+        match current {
+            Some((cr, cc, ref mut cv)) if cr == r && cc == c => *cv += v,
+            _ => {
+                flush(current.take(), &mut indptr, &mut indices, &mut values);
+                current = Some((r, c, v));
+            }
         }
-        CsrMatrix { rows: self.rows, cols: self.cols, indptr, indices, values }
+    }
+    flush(current, &mut indptr, &mut indices, &mut values);
+    for r in 0..rows {
+        indptr[r + 1] += indptr[r];
+    }
+    CsrMatrix {
+        rows,
+        cols,
+        indptr,
+        indices,
+        values,
     }
 }
 
@@ -112,7 +162,13 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// An all-zero sparse matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CsrMatrix { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// The sparse identity matrix.
@@ -162,7 +218,10 @@ impl CsrMatrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "csr get ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "csr get ({row},{col}) out of bounds"
+        );
         for k in self.indptr[row]..self.indptr[row + 1] {
             if self.indices[k] == col {
                 return self.values[k];
@@ -184,8 +243,23 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &Vector) -> Vector {
-        assert_eq!(x.len(), self.cols, "csr matvec: dimension mismatch");
         let mut y = Vector::zeros(self.rows);
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Sparse matrix-vector product written into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &Vector, y: &mut Vector) {
+        assert_eq!(x.len(), self.cols, "csr matvec: dimension mismatch");
+        assert_eq!(
+            y.len(),
+            self.rows,
+            "csr matvec_into: output length mismatch"
+        );
         for r in 0..self.rows {
             let mut acc = 0.0;
             for k in self.indptr[r]..self.indptr[r + 1] {
@@ -193,7 +267,6 @@ impl CsrMatrix {
             }
             y[r] = acc;
         }
-        y
     }
 
     /// Transposed sparse matrix-vector product `Aᵀ x`.
@@ -202,7 +275,11 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn matvec_transpose(&self, x: &Vector) -> Vector {
-        assert_eq!(x.len(), self.rows, "csr matvec_transpose: dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "csr matvec_transpose: dimension mismatch"
+        );
         let mut y = Vector::zeros(self.cols);
         for r in 0..self.rows {
             let xr = x[r];
@@ -226,7 +303,11 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() * y.len() != self.cols()`.
     pub fn matvec_kron(&self, x: &Vector, y: &Vector) -> Vector {
-        assert_eq!(x.len() * y.len(), self.cols, "csr matvec_kron: dimension mismatch");
+        assert_eq!(
+            x.len() * y.len(),
+            self.cols,
+            "csr matvec_kron: dimension mismatch"
+        );
         let ny = y.len();
         let mut out = Vector::zeros(self.rows);
         for r in 0..self.rows {
@@ -275,7 +356,10 @@ impl CsrMatrix {
 
 impl LinearOp for CsrMatrix {
     fn dim(&self) -> usize {
-        debug_assert_eq!(self.rows, self.cols, "LinearOp requires a square CSR matrix");
+        debug_assert_eq!(
+            self.rows, self.cols,
+            "LinearOp requires a square CSR matrix"
+        );
         self.rows
     }
 
@@ -297,7 +381,11 @@ pub struct GmresOptions {
 
 impl Default for GmresOptions {
     fn default() -> Self {
-        GmresOptions { tol: 1e-10, restart: 50, max_cycles: 40 }
+        GmresOptions {
+            tol: 1e-10,
+            restart: 50,
+            max_cycles: 40,
+        }
     }
 }
 
@@ -399,7 +487,11 @@ pub fn gmres(op: &dyn LinearOp, b: &Vector, opts: &GmresOptions) -> Result<Vecto
             for j in (i + 1)..k_used {
                 acc -= h[(i, j)] * y[j];
             }
-            y[i] = if h[(i, i)] != 0.0 { acc / h[(i, i)] } else { 0.0 };
+            y[i] = if h[(i, i)] != 0.0 {
+                acc / h[(i, i)]
+            } else {
+                0.0
+            };
         }
         for i in 0..k_used {
             x.axpy(y[i], &v[i]);
@@ -414,7 +506,10 @@ pub fn gmres(op: &dyn LinearOp, b: &Vector, opts: &GmresOptions) -> Result<Vecto
         // Close enough to the target to be useful; accept with the looser bound.
         return Ok(x);
     }
-    Err(LinalgError::NotConverged { algorithm: "gmres", iterations: opts.max_cycles })
+    Err(LinalgError::NotConverged {
+        algorithm: "gmres",
+        iterations: opts.max_cycles,
+    })
 }
 
 #[cfg(test)]
@@ -456,9 +551,7 @@ mod tests {
         let dense = csr.to_dense();
         let x = Vector::from_fn(7, |i| (i as f64) - 3.0);
         assert!((&csr.matvec(&x) - &dense.matvec(&x)).norm_inf() < 1e-14);
-        assert!(
-            (&csr.matvec_transpose(&x) - &dense.transpose().matvec(&x)).norm_inf() < 1e-14
-        );
+        assert!((&csr.matvec_transpose(&x) - &dense.transpose().matvec(&x)).norm_inf() < 1e-14);
     }
 
     #[test]
@@ -508,7 +601,11 @@ mod tests {
     fn gmres_with_small_restart_still_converges() {
         let a = ladder(30);
         let b = Vector::filled(30, 1.0);
-        let opts = GmresOptions { tol: 1e-8, restart: 5, max_cycles: 200 };
+        let opts = GmresOptions {
+            tol: 1e-8,
+            restart: 5,
+            max_cycles: 200,
+        };
         let x = gmres(&a, &b, &opts).unwrap();
         assert!((&a.matvec(&x) - &b).norm2() < 1e-6);
     }

@@ -44,10 +44,19 @@ pub struct SylvesterSolver {
     qa: Matrix,
     ta: Matrix,
     blocks_a: Vec<SchurBlock>,
-    /// Schur factors of `Bᵀ`: `Bᵀ = Qb Tb Qbᵀ` (so `Qbᵀ B Qb = Tbᵀ`).
+    /// Schur factors of `Bᵀ`: `Qb Tb Qbᵀ` (so `Qbᵀ B Qb = Tbᵀ`).
     qb: Matrix,
     tb: Matrix,
     blocks_b: Vec<SchurBlock>,
+    /// Precomputed `Qaᵀ` / `Qbᵀ`, so the hot solve paths never re-allocate
+    /// transposes.
+    qat: Matrix,
+    qbt: Matrix,
+    /// When true (default), the per-block back-substitution systems (at most
+    /// 4×4) are solved on the stack. The legacy heap-allocating path is kept
+    /// selectable so the solver-cache benchmarks can compare against the
+    /// original implementation faithfully.
+    fast_blocks: bool,
 }
 
 impl SylvesterSolver {
@@ -59,10 +68,16 @@ impl SylvesterSolver {
     /// factorization fails to converge.
     pub fn new(a: &Matrix, b: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         if !b.is_square() {
-            return Err(LinalgError::NotSquare { rows: b.rows(), cols: b.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: b.rows(),
+                cols: b.cols(),
+            });
         }
         let sa = SchurDecomposition::new(a)?;
         let sb = SchurDecomposition::new(&b.transpose())?;
@@ -75,7 +90,68 @@ impl SylvesterSolver {
             qb: sb.q().clone(),
             tb: sb.t().clone(),
             blocks_b: sb.blocks().to_vec(),
+            qat: sa.q().transpose(),
+            qbt: sb.q().transpose(),
+            fast_blocks: true,
         })
+    }
+
+    /// Builds the solver with the legacy heap-allocating per-block
+    /// back-substitution, reproducing the pre-optimization implementation for
+    /// A/B benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SylvesterSolver::new`].
+    pub fn new_legacy(a: &Matrix, b: &Matrix) -> Result<Self> {
+        let mut solver = Self::new(a, b)?;
+        solver.fast_blocks = false;
+        Ok(solver)
+    }
+
+    /// Builds a solver for the Lyapunov-structured equation `A X + X Aᵀ = C`
+    /// with a **single** Schur factorization.
+    ///
+    /// [`SylvesterSolver::new`] called with `(A, Aᵀ)` computes the Schur form
+    /// of `A` twice (once for the left coefficient, once for `(Aᵀ)ᵀ`); the
+    /// Kronecker-sum operators of the MOR hot path always have this symmetric
+    /// shape, so sharing the factorization halves their setup cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `a` is not square or its Schur factorization fails.
+    pub fn new_lyapunov(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let sa = SchurDecomposition::new(a)?;
+        Ok(SylvesterSolver {
+            na: a.rows(),
+            nb: a.rows(),
+            qa: sa.q().clone(),
+            ta: sa.t().clone(),
+            blocks_a: sa.blocks().to_vec(),
+            qb: sa.q().clone(),
+            tb: sa.t().clone(),
+            blocks_b: sa.blocks().to_vec(),
+            qat: sa.q().transpose(),
+            qbt: sa.q().transpose(),
+            fast_blocks: true,
+        })
+    }
+
+    /// The Schur factorization of the `A` coefficient as a standalone
+    /// decomposition (cloned), so callers can reuse it for other
+    /// `A`-spectrum-driven recursions without refactorizing.
+    pub fn a_schur_decomposition(&self) -> crate::schur::SchurDecomposition {
+        crate::schur::SchurDecomposition::from_parts(
+            self.qa.clone(),
+            self.ta.clone(),
+            self.blocks_a.clone(),
+        )
     }
 
     /// Row dimension (`A` side).
@@ -119,6 +195,9 @@ impl SylvesterSolver {
                 self.nb
             )));
         }
+        if self.fast_blocks {
+            return self.solve_shifted_fast(shift, c);
+        }
         // Transform to Schur coordinates: Ta Y + Y Tbᵀ = Qaᵀ C Qb.
         let ctil = self.qa.transpose().matmul(c).matmul(&self.qb);
         let mut y = Matrix::zeros(self.na, self.nb);
@@ -144,7 +223,8 @@ impl SylvesterSolver {
 
             for ib in self.blocks_a.iter().rev() {
                 let (i0, si) = (ib.start, ib.size);
-                // Local RHS minus coupling with already-solved row blocks.
+                let dim = si * sj;
+                // Legacy path: heap-allocated local block, dense LU.
                 let mut local = rhs.submatrix(i0, i0 + si, 0, sj);
                 for rl in 0..si {
                     let i = i0 + rl;
@@ -157,8 +237,6 @@ impl SylvesterSolver {
                         }
                     }
                 }
-                // Small system (I ⊗ (Ta_ii + σI) + Sᵀ ⊗ I) vec(W) = vec(local).
-                let dim = si * sj;
                 let mut m = Matrix::zeros(dim, dim);
                 for p in 0..si {
                     for q in 0..si {
@@ -184,7 +262,10 @@ impl SylvesterSolver {
                     }
                 }
                 let rhs_vec = Vector::from_fn(dim, |k| local[(k % si, k / si)]);
-                let w = m.lu().map_err(|_| sylvester_singular(shift))?.solve(&rhs_vec)?;
+                let w = m
+                    .lu()
+                    .map_err(|_| sylvester_singular(shift))?
+                    .solve(&rhs_vec)?;
                 for cl in 0..sj {
                     for rl in 0..si {
                         y[(i0 + rl, j0 + cl)] = w[cl * si + rl];
@@ -193,6 +274,97 @@ impl SylvesterSolver {
             }
         }
         Ok(self.qa.matmul(&y).matmul(&self.qb.transpose()))
+    }
+
+    /// Optimized back-substitution: the iterate `Y` and the transformed
+    /// right-hand side are held *transposed* so every coupling update is a
+    /// contiguous slice operation, and the ≤4×4 block systems are solved on
+    /// the stack instead of through heap-allocated LU objects.
+    fn solve_shifted_fast(&self, shift: f64, c: &Matrix) -> Result<Matrix> {
+        // C̃ᵀ = (Qaᵀ C Qb)ᵀ = Qbᵀ Cᵀ Qa, rows of `ctil_t` are columns of C̃.
+        let ctil_t = self.qbt.matmul(&c.transpose()).matmul(&self.qa);
+        // Rows of `yt` are columns of Y.
+        let mut yt = Matrix::zeros(self.nb, self.na);
+        // Reusable right-hand-side rows for the current column block (sj ≤ 2).
+        let mut rhs_rows = Matrix::zeros(2, self.na);
+
+        for jb in self.blocks_b.iter().rev() {
+            let (j0, sj) = (jb.start, jb.size);
+            // rhs row cl = C̃ᵀ row (j0+cl) − Σ_{k ≥ j0+sj} Tb[j0+cl, k] · Y col k.
+            for cl in 0..sj {
+                let j = j0 + cl;
+                rhs_rows.row_mut(cl).copy_from_slice(ctil_t.row(j));
+                for k in (j0 + sj)..self.nb {
+                    let coef = self.tb[(j, k)];
+                    if coef != 0.0 {
+                        let ycol = yt.row(k);
+                        for (r, &v) in rhs_rows.row_mut(cl).iter_mut().zip(ycol.iter()) {
+                            *r -= coef * v;
+                        }
+                    }
+                }
+            }
+            // S is the transposed diagonal block of Tb (acts from the right).
+            let mut s_block = [[0.0f64; 2]; 2];
+            for (p, row) in s_block.iter_mut().enumerate().take(sj) {
+                for (q, v) in row.iter_mut().enumerate().take(sj) {
+                    *v = self.tb[(j0 + q, j0 + p)];
+                }
+            }
+
+            for ib in self.blocks_a.iter().rev() {
+                let (i0, si) = (ib.start, ib.size);
+                let dim = si * sj;
+                // Local RHS minus coupling with already-solved row blocks;
+                // both the Ta row and the Y column are contiguous slices.
+                let mut w = [0.0f64; 4];
+                for cl in 0..sj {
+                    let ycol = yt.row(j0 + cl);
+                    for rl in 0..si {
+                        let i = i0 + rl;
+                        let ta_row = self.ta.row(i);
+                        let mut acc = rhs_rows[(cl, i)];
+                        for (t, v) in ta_row[(i0 + si)..].iter().zip(ycol[(i0 + si)..].iter()) {
+                            acc -= t * v;
+                        }
+                        w[cl * si + rl] = acc;
+                    }
+                }
+                // Small system (I ⊗ (Ta_ii + σI) + Sᵀ ⊗ I) vec(W) = vec(local).
+                let mut m = [[0.0f64; 4]; 4];
+                for p in 0..si {
+                    for q in 0..si {
+                        let mut v = self.ta[(i0 + p, i0 + q)];
+                        if p == q {
+                            v += shift;
+                        }
+                        if v != 0.0 {
+                            for cc in 0..sj {
+                                m[cc * si + p][cc * si + q] += v;
+                            }
+                        }
+                    }
+                }
+                for p in 0..sj {
+                    for q in 0..sj {
+                        let v = s_block[q][p];
+                        if v != 0.0 {
+                            for rr in 0..si {
+                                m[p * si + rr][q * si + rr] += v;
+                            }
+                        }
+                    }
+                }
+                solve_small_real(dim, &mut m, &mut w).ok_or_else(|| sylvester_singular(shift))?;
+                for cl in 0..sj {
+                    for rl in 0..si {
+                        yt[(j0 + cl, i0 + rl)] = w[cl * si + rl];
+                    }
+                }
+            }
+        }
+        // X = Qa Y Qbᵀ = (Qb Yᵀᵀ…): with Y = Ytᵀ, X = (Qb Yt Qaᵀ)ᵀ.
+        Ok(self.qb.matmul(&yt).matmul(&self.qat).transpose())
     }
 
     /// Solves `(A + λ I) X + X B = C` with a complex shift `λ` and a complex
@@ -252,55 +424,109 @@ impl SylvesterSolver {
 
             for ib in self.blocks_a.iter().rev() {
                 let (i0, si) = (ib.start, ib.size);
-                let mut local_re = rhs_re.submatrix(i0, i0 + si, 0, sj);
-                let mut local_im = rhs_im.submatrix(i0, i0 + si, 0, sj);
-                for rl in 0..si {
-                    let i = i0 + rl;
-                    for k in (i0 + si)..self.na {
-                        let coef = self.ta[(i, k)];
-                        if coef != 0.0 {
-                            for cl in 0..sj {
-                                local_re[(rl, cl)] -= coef * y_re[(k, j0 + cl)];
-                                local_im[(rl, cl)] -= coef * y_im[(k, j0 + cl)];
-                            }
-                        }
-                    }
-                }
                 let dim = si * sj;
-                let mut m = ZMatrix::zeros(dim, dim);
-                for p in 0..si {
-                    for q in 0..si {
-                        let mut v = Complex::from_real(self.ta[(i0 + p, i0 + q)]);
-                        if p == q {
-                            v += shift;
+                if self.fast_blocks {
+                    let mut w = [Complex::ZERO; 4];
+                    for cl in 0..sj {
+                        for rl in 0..si {
+                            let i = i0 + rl;
+                            let mut acc = Complex::new(rhs_re[(i, cl)], rhs_im[(i, cl)]);
+                            for k in (i0 + si)..self.na {
+                                let coef = self.ta[(i, k)];
+                                if coef != 0.0 {
+                                    acc -= Complex::new(y_re[(k, j0 + cl)], y_im[(k, j0 + cl)])
+                                        * Complex::from_real(coef);
+                                }
+                            }
+                            w[cl * si + rl] = acc;
                         }
-                        if v.abs() != 0.0 {
-                            for cc in 0..sj {
-                                m[(cc * si + p, cc * si + q)] += v;
+                    }
+                    let mut m = [[Complex::ZERO; 4]; 4];
+                    for p in 0..si {
+                        for q in 0..si {
+                            let mut v = Complex::from_real(self.ta[(i0 + p, i0 + q)]);
+                            if p == q {
+                                v += shift;
+                            }
+                            if v.abs() != 0.0 {
+                                for cc in 0..sj {
+                                    m[cc * si + p][cc * si + q] += v;
+                                }
                             }
                         }
                     }
-                }
-                for p in 0..sj {
-                    for q in 0..sj {
-                        let v = s_block[(q, p)];
-                        if v != 0.0 {
-                            for rr in 0..si {
-                                m[(p * si + rr, q * si + rr)] += Complex::from_real(v);
+                    for p in 0..sj {
+                        for q in 0..sj {
+                            let v = s_block[(q, p)];
+                            if v != 0.0 {
+                                for rr in 0..si {
+                                    m[p * si + rr][q * si + rr] += Complex::from_real(v);
+                                }
                             }
                         }
                     }
-                }
-                let rhs_vec = ZVector::from(
-                    (0..dim)
-                        .map(|k| Complex::new(local_re[(k % si, k / si)], local_im[(k % si, k / si)]))
-                        .collect::<Vec<_>>(),
-                );
-                let w = m.solve(&rhs_vec).map_err(|_| sylvester_singular(shift.re))?;
-                for cl in 0..sj {
+                    solve_small_complex(dim, &mut m, &mut w)
+                        .ok_or_else(|| sylvester_singular(shift.re))?;
+                    for cl in 0..sj {
+                        for rl in 0..si {
+                            y_re[(i0 + rl, j0 + cl)] = w[cl * si + rl].re;
+                            y_im[(i0 + rl, j0 + cl)] = w[cl * si + rl].im;
+                        }
+                    }
+                } else {
+                    let mut local_re = rhs_re.submatrix(i0, i0 + si, 0, sj);
+                    let mut local_im = rhs_im.submatrix(i0, i0 + si, 0, sj);
                     for rl in 0..si {
-                        y_re[(i0 + rl, j0 + cl)] = w[cl * si + rl].re;
-                        y_im[(i0 + rl, j0 + cl)] = w[cl * si + rl].im;
+                        let i = i0 + rl;
+                        for k in (i0 + si)..self.na {
+                            let coef = self.ta[(i, k)];
+                            if coef != 0.0 {
+                                for cl in 0..sj {
+                                    local_re[(rl, cl)] -= coef * y_re[(k, j0 + cl)];
+                                    local_im[(rl, cl)] -= coef * y_im[(k, j0 + cl)];
+                                }
+                            }
+                        }
+                    }
+                    let mut m = ZMatrix::zeros(dim, dim);
+                    for p in 0..si {
+                        for q in 0..si {
+                            let mut v = Complex::from_real(self.ta[(i0 + p, i0 + q)]);
+                            if p == q {
+                                v += shift;
+                            }
+                            if v.abs() != 0.0 {
+                                for cc in 0..sj {
+                                    m[(cc * si + p, cc * si + q)] += v;
+                                }
+                            }
+                        }
+                    }
+                    for p in 0..sj {
+                        for q in 0..sj {
+                            let v = s_block[(q, p)];
+                            if v != 0.0 {
+                                for rr in 0..si {
+                                    m[(p * si + rr, q * si + rr)] += Complex::from_real(v);
+                                }
+                            }
+                        }
+                    }
+                    let rhs_vec = ZVector::from(
+                        (0..dim)
+                            .map(|k| {
+                                Complex::new(local_re[(k % si, k / si)], local_im[(k % si, k / si)])
+                            })
+                            .collect::<Vec<_>>(),
+                    );
+                    let w = m
+                        .solve(&rhs_vec)
+                        .map_err(|_| sylvester_singular(shift.re))?;
+                    for cl in 0..sj {
+                        for rl in 0..si {
+                            y_re[(i0 + rl, j0 + cl)] = w[cl * si + rl].re;
+                            y_im[(i0 + rl, j0 + cl)] = w[cl * si + rl].im;
+                        }
                     }
                 }
             }
@@ -309,6 +535,83 @@ impl SylvesterSolver {
         let x_im = self.qa.matmul(&y_im).matmul(&self.qb.transpose());
         Ok((x_re, x_im))
     }
+}
+
+/// Solves an at-most-4×4 real system in place by Gaussian elimination with
+/// partial pivoting, entirely on the stack. Returns `None` on a zero pivot.
+#[allow(clippy::needless_range_loop)] // rows i and k of `a` are borrowed simultaneously
+fn solve_small_real(dim: usize, a: &mut [[f64; 4]; 4], b: &mut [f64; 4]) -> Option<()> {
+    for k in 0..dim {
+        let mut piv = k;
+        for i in (k + 1)..dim {
+            if a[i][k].abs() > a[piv][k].abs() {
+                piv = i;
+            }
+        }
+        if a[piv][k] == 0.0 {
+            return None;
+        }
+        if piv != k {
+            a.swap(piv, k);
+            b.swap(piv, k);
+        }
+        for i in (k + 1)..dim {
+            let f = a[i][k] / a[k][k];
+            if f != 0.0 {
+                for j in (k + 1)..dim {
+                    a[i][j] -= f * a[k][j];
+                }
+                b[i] -= f * b[k];
+            }
+        }
+    }
+    for i in (0..dim).rev() {
+        let mut acc = b[i];
+        for j in (i + 1)..dim {
+            acc -= a[i][j] * b[j];
+        }
+        b[i] = acc / a[i][i];
+    }
+    Some(())
+}
+
+/// Complex analogue of [`solve_small_real`].
+#[allow(clippy::needless_range_loop)] // rows i and k of `a` are borrowed simultaneously
+fn solve_small_complex(dim: usize, a: &mut [[Complex; 4]; 4], b: &mut [Complex; 4]) -> Option<()> {
+    for k in 0..dim {
+        let mut piv = k;
+        for i in (k + 1)..dim {
+            if a[i][k].abs() > a[piv][k].abs() {
+                piv = i;
+            }
+        }
+        if a[piv][k].abs() == 0.0 {
+            return None;
+        }
+        if piv != k {
+            a.swap(piv, k);
+            b.swap(piv, k);
+        }
+        for i in (k + 1)..dim {
+            let f = a[i][k] / a[k][k];
+            if f.abs() != 0.0 {
+                for j in (k + 1)..dim {
+                    let akj = a[k][j];
+                    a[i][j] -= f * akj;
+                }
+                let bk = b[k];
+                b[i] -= f * bk;
+            }
+        }
+    }
+    for i in (0..dim).rev() {
+        let mut acc = b[i];
+        for j in (i + 1)..dim {
+            acc -= a[i][j] * b[j];
+        }
+        b[i] = acc / a[i][i];
+    }
+    Some(())
 }
 
 fn sylvester_singular(shift: f64) -> LinalgError {
@@ -441,7 +744,10 @@ mod tests {
         let a = Matrix::from_diagonal(&[1.0, -1.0]);
         let b = Matrix::from_diagonal(&[1.0, -1.0]);
         let c = Matrix::identity(2);
-        assert!(matches!(solve_sylvester(&a, &b, &c), Err(LinalgError::Singular(_))));
+        assert!(matches!(
+            solve_sylvester(&a, &b, &c),
+            Err(LinalgError::Singular(_))
+        ));
     }
 
     #[test]

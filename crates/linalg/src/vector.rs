@@ -21,17 +21,23 @@ pub struct Vector {
 impl Vector {
     /// Creates a zero vector of length `len`.
     pub fn zeros(len: usize) -> Self {
-        Vector { data: vec![0.0; len] }
+        Vector {
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a vector filled with `value`.
     pub fn filled(len: usize, value: f64) -> Self {
-        Vector { data: vec![value; len] }
+        Vector {
+            data: vec![value; len],
+        }
     }
 
     /// Creates a vector from a slice.
     pub fn from_slice(values: &[f64]) -> Self {
-        Vector { data: values.to_vec() }
+        Vector {
+            data: values.to_vec(),
+        }
     }
 
     /// Creates a vector taking ownership of `values`.
@@ -41,7 +47,9 @@ impl Vector {
 
     /// Creates a vector from a generating function of the index.
     pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> f64) -> Self {
-        Vector { data: (0..len).map(&mut f).collect() }
+        Vector {
+            data: (0..len).map(&mut f).collect(),
+        }
     }
 
     /// The `i`-th standard basis vector of dimension `len`.
@@ -98,7 +106,11 @@ impl Vector {
     /// Panics if the lengths differ.
     pub fn dot(&self, other: &Vector) -> f64 {
         assert_eq!(self.len(), other.len(), "dot: length mismatch");
-        self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
     }
 
     /// Euclidean norm.
@@ -118,7 +130,9 @@ impl Vector {
 
     /// Returns `self * k` as a new vector.
     pub fn scaled(&self, k: f64) -> Vector {
-        Vector { data: self.data.iter().map(|x| x * k).collect() }
+        Vector {
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
     }
 
     /// Scales the vector in place.
@@ -126,6 +140,15 @@ impl Vector {
         for x in &mut self.data {
             *x *= k;
         }
+    }
+
+    /// Overwrites `self` with the entries of `other` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &Vector) {
+        self.data.copy_from_slice(&other.data);
     }
 
     /// In-place `self += alpha * other`.
@@ -166,13 +189,21 @@ impl Vector {
     pub fn hadamard(&self, other: &Vector) -> Vector {
         assert_eq!(self.len(), other.len(), "hadamard: length mismatch");
         Vector {
-            data: self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a * b)
+                .collect(),
         }
     }
 
     /// Returns the maximum entry, or `None` for an empty vector.
     pub fn max(&self) -> Option<f64> {
-        self.data.iter().cloned().fold(None, |m, x| Some(m.map_or(x, |m: f64| m.max(x))))
+        self.data
+            .iter()
+            .cloned()
+            .fold(None, |m, x| Some(m.map_or(x, |m: f64| m.max(x))))
     }
 
     /// True if every entry is finite.
@@ -193,7 +224,9 @@ impl Vector {
     ///
     /// Panics if `start > end` or `end > self.len()`.
     pub fn slice(&self, start: usize, end: usize) -> Vector {
-        Vector { data: self.data[start..end].to_vec() }
+        Vector {
+            data: self.data[start..end].to_vec(),
+        }
     }
 }
 
@@ -212,7 +245,9 @@ impl IndexMut<usize> for Vector {
 
 impl FromIterator<f64> for Vector {
     fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
-        Vector { data: iter.into_iter().collect() }
+        Vector {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -240,7 +275,9 @@ impl Add for &Vector {
     type Output = Vector;
     fn add(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "add: length mismatch");
-        Vector { data: self.iter().zip(rhs.iter()).map(|(a, b)| a + b).collect() }
+        Vector {
+            data: self.iter().zip(rhs.iter()).map(|(a, b)| a + b).collect(),
+        }
     }
 }
 
@@ -248,7 +285,9 @@ impl Sub for &Vector {
     type Output = Vector;
     fn sub(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "sub: length mismatch");
-        Vector { data: self.iter().zip(rhs.iter()).map(|(a, b)| a - b).collect() }
+        Vector {
+            data: self.iter().zip(rhs.iter()).map(|(a, b)| a - b).collect(),
+        }
     }
 }
 

@@ -25,17 +25,23 @@ pub struct ZVector {
 impl ZVector {
     /// Creates a zero vector of length `len`.
     pub fn zeros(len: usize) -> Self {
-        ZVector { data: vec![Complex::ZERO; len] }
+        ZVector {
+            data: vec![Complex::ZERO; len],
+        }
     }
 
     /// Creates a complex vector from a real vector (zero imaginary parts).
     pub fn from_real(v: &Vector) -> Self {
-        ZVector { data: v.iter().map(|&x| Complex::from_real(x)).collect() }
+        ZVector {
+            data: v.iter().map(|&x| Complex::from_real(x)).collect(),
+        }
     }
 
     /// Creates a vector from a slice of complex entries.
     pub fn from_slice(values: &[Complex]) -> Self {
-        ZVector { data: values.to_vec() }
+        ZVector {
+            data: values.to_vec(),
+        }
     }
 
     /// Number of entries.
@@ -123,7 +129,11 @@ pub struct ZMatrix {
 impl ZMatrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        ZMatrix { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+        ZMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
     }
 
     /// Creates the identity matrix.
@@ -140,7 +150,11 @@ impl ZMatrix {
         ZMatrix {
             rows: a.rows(),
             cols: a.cols(),
-            data: a.as_slice().iter().map(|&x| Complex::from_real(x)).collect(),
+            data: a
+                .as_slice()
+                .iter()
+                .map(|&x| Complex::from_real(x))
+                .collect(),
         }
     }
 
@@ -150,7 +164,10 @@ impl ZMatrix {
     ///
     /// Panics if `a` is not square.
     pub fn shifted_identity_minus(s: Complex, a: &Matrix) -> Self {
-        assert!(a.is_square(), "shifted_identity_minus requires a square matrix");
+        assert!(
+            a.is_square(),
+            "shifted_identity_minus requires a square matrix"
+        );
         let n = a.rows();
         let mut m = ZMatrix::from_real(&a.scaled(-1.0));
         for i in 0..n {
@@ -201,7 +218,10 @@ impl ZMatrix {
     /// * [`LinalgError::Singular`] if a pivot vanishes.
     pub fn solve(&self, b: &ZVector) -> Result<ZVector> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         if b.len() != self.rows {
             return Err(LinalgError::DimensionMismatch(format!(
@@ -225,7 +245,9 @@ impl ZMatrix {
                 }
             }
             if pivot_val == 0.0 {
-                return Err(LinalgError::Singular(format!("complex lu: zero pivot at column {k}")));
+                return Err(LinalgError::Singular(format!(
+                    "complex lu: zero pivot at column {k}"
+                )));
             }
             if pivot_row != k {
                 for j in 0..n {
@@ -262,6 +284,120 @@ impl ZMatrix {
     /// Maximum entry modulus.
     pub fn max_abs(&self) -> f64 {
         self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Complex LU decomposition with partial pivoting, for reuse across many
+    /// right-hand sides (the one-shot [`ZMatrix::solve`] refactorizes on every
+    /// call).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if the matrix is not square.
+    /// * [`LinalgError::Singular`] if a pivot vanishes.
+    pub fn lu(&self) -> Result<ZLuDecomposition> {
+        ZLuDecomposition::new(self)
+    }
+}
+
+/// Packed complex LU factors `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct ZLuDecomposition {
+    /// Packed `L` (strictly lower, unit diagonal implicit) and `U` (upper).
+    lu: Vec<Complex>,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    n: usize,
+}
+
+impl ZLuDecomposition {
+    /// Factors the square complex matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ZMatrix::lu`].
+    pub fn new(a: &ZMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows,
+                cols: a.cols,
+            });
+        }
+        let n = a.rows;
+        let mut lu = a.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let mut pivot_row = k;
+            let mut pivot_val = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val == 0.0 {
+                return Err(LinalgError::Singular(format!(
+                    "complex lu: zero pivot at column {k}"
+                )));
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, pivot_row * n + j);
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                if factor.abs() != 0.0 {
+                    for j in (k + 1)..n {
+                        let u_kj = lu[k * n + j];
+                        lu[i * n + j] -= factor * u_kj;
+                    }
+                }
+            }
+        }
+        Ok(ZLuDecomposition { lu, perm, n })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` using the cached factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &ZVector) -> Result<ZVector> {
+        if b.len() != self.n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "complex lu solve: rhs has length {}, expected {}",
+                b.len(),
+                self.n
+            )));
+        }
+        let n = self.n;
+        let mut x: Vec<Complex> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 1..n {
+            let row = &self.lu[i * n..i * n + i];
+            let mut acc = x[i];
+            for (l, xv) in row.iter().zip(x.iter()) {
+                acc -= *l * *xv;
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let row = &self.lu[i * n..(i + 1) * n];
+            let mut acc = x[i];
+            for (l, xv) in row.iter().zip(x.iter()).skip(i + 1) {
+                acc -= *l * *xv;
+            }
+            x[i] = acc / row[i];
+        }
+        Ok(ZVector::from(x))
     }
 }
 
@@ -300,7 +436,9 @@ mod tests {
             a[(i, i)] += Complex::from_real(4.0);
         }
         let xref = ZVector::from_slice(
-            &(0..n).map(|i| Complex::new(i as f64, -(i as f64) / 2.0)).collect::<Vec<_>>(),
+            &(0..n)
+                .map(|i| Complex::new(i as f64, -(i as f64) / 2.0))
+                .collect::<Vec<_>>(),
         );
         let b = a.matvec(&xref);
         let x = a.solve(&b).unwrap();

@@ -20,7 +20,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidOptions(msg) => write!(f, "invalid simulation options: {msg}"),
             SimError::NewtonFailed { time, residual } => {
-                write!(f, "newton iteration failed at t = {time} (residual {residual:.3e})")
+                write!(
+                    f,
+                    "newton iteration failed at t = {time} (residual {residual:.3e})"
+                )
             }
             SimError::Diverged { time } => write!(f, "simulation diverged at t = {time}"),
             SimError::Linalg(e) => write!(f, "linear algebra error during simulation: {e}"),
@@ -52,7 +55,14 @@ mod tests {
         assert!(SimError::InvalidOptions("dt must be positive".into())
             .to_string()
             .contains("dt must be positive"));
-        assert!(SimError::NewtonFailed { time: 1.5, residual: 0.1 }.to_string().contains("1.5"));
-        assert!(SimError::Diverged { time: 2.0 }.to_string().contains("diverged"));
+        assert!(SimError::NewtonFailed {
+            time: 1.5,
+            residual: 0.1
+        }
+        .to_string()
+        .contains("1.5"));
+        assert!(SimError::Diverged { time: 2.0 }
+            .to_string()
+            .contains("diverged"));
     }
 }

@@ -95,12 +95,20 @@ pub struct SinePulse {
 impl SinePulse {
     /// Creates an undamped sinusoid.
     pub fn new(amplitude: f64, frequency: f64) -> Self {
-        SinePulse { amplitude, frequency, decay: 0.0 }
+        SinePulse {
+            amplitude,
+            frequency,
+            decay: 0.0,
+        }
     }
 
     /// Creates a sinusoid with an exponentially decaying envelope.
     pub fn damped(amplitude: f64, frequency: f64, decay: f64) -> Self {
-        SinePulse { amplitude, frequency, decay }
+        SinePulse {
+            amplitude,
+            frequency,
+            decay,
+        }
     }
 }
 
@@ -131,7 +139,12 @@ pub struct TwoTone {
 impl TwoTone {
     /// Creates a two-tone signal.
     pub fn new(amplitude1: f64, frequency1: f64, amplitude2: f64, frequency2: f64) -> Self {
-        TwoTone { amplitude1, frequency1, amplitude2, frequency2 }
+        TwoTone {
+            amplitude1,
+            frequency1,
+            amplitude2,
+            frequency2,
+        }
     }
 }
 
@@ -166,11 +179,19 @@ impl ExpPulse {
     ///
     /// Panics if the time constants are not positive or `tau_fall <= tau_rise`.
     pub fn new(amplitude: f64, tau_rise: f64, tau_fall: f64) -> Self {
-        assert!(tau_rise > 0.0 && tau_fall > tau_rise, "need 0 < tau_rise < tau_fall");
+        assert!(
+            tau_rise > 0.0 && tau_fall > tau_rise,
+            "need 0 < tau_rise < tau_fall"
+        );
         // Peak of e^{-t/τf} - e^{-t/τr} occurs at t* = ln(τf/τr)·τfτr/(τf-τr).
         let t_peak = (tau_fall / tau_rise).ln() * tau_fall * tau_rise / (tau_fall - tau_rise);
         let peak = (-t_peak / tau_fall).exp() - (-t_peak / tau_rise).exp();
-        ExpPulse { amplitude, tau_rise, tau_fall, norm: 1.0 / peak }
+        ExpPulse {
+            amplitude,
+            tau_rise,
+            tau_fall,
+            norm: 1.0 / peak,
+        }
     }
 
     /// Peak amplitude of the pulse.
@@ -222,7 +243,9 @@ impl InputSignal for MultiChannel {
 
 impl std::fmt::Debug for MultiChannel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MultiChannel").field("channels", &self.signals.len()).finish()
+        f.debug_struct("MultiChannel")
+            .field("channels", &self.signals.len())
+            .finish()
     }
 }
 
@@ -253,7 +276,9 @@ mod tests {
     #[test]
     fn exp_pulse_peaks_at_its_amplitude() {
         let p = ExpPulse::new(9.8e3, 0.5, 5.0);
-        let peak = (0..2000).map(|k| p.sample(k as f64 * 0.01)[0]).fold(0.0_f64, f64::max);
+        let peak = (0..2000)
+            .map(|k| p.sample(k as f64 * 0.01)[0])
+            .fold(0.0_f64, f64::max);
         assert!((peak - 9.8e3).abs() / 9.8e3 < 1e-3);
         assert_eq!(p.sample(-1.0), vec![0.0]);
         assert_eq!(p.amplitude(), 9.8e3);

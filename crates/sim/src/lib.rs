@@ -38,7 +38,9 @@ pub mod transient;
 pub use error::SimError;
 pub use input::{Constant, ExpPulse, InputSignal, MultiChannel, SinePulse, Step, TwoTone, Zero};
 pub use metrics::{max_relative_error, relative_error_series, rms_error};
-pub use transient::{simulate, IntegrationMethod, SolverStats, TransientOptions, TransientResult};
+pub use transient::{
+    simulate, IntegrationMethod, JacobianPolicy, SolverStats, TransientOptions, TransientResult,
+};
 
 /// Result alias for simulation routines.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -21,10 +21,21 @@
 /// assert!((e[1] - 0.05).abs() < 1e-12);
 /// ```
 pub fn relative_error_series(reference: &[f64], test: &[f64]) -> Vec<f64> {
-    assert_eq!(reference.len(), test.len(), "relative error: length mismatch");
+    assert_eq!(
+        reference.len(),
+        test.len(),
+        "relative error: length mismatch"
+    );
     let peak = reference.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
-    assert!(peak > 0.0, "relative error: reference signal is identically zero");
-    reference.iter().zip(test.iter()).map(|(r, t)| (t - r).abs() / peak).collect()
+    assert!(
+        peak > 0.0,
+        "relative error: reference signal is identically zero"
+    );
+    reference
+        .iter()
+        .zip(test.iter())
+        .map(|(r, t)| (t - r).abs() / peak)
+        .collect()
 }
 
 /// Maximum of [`relative_error_series`] over the whole run.
@@ -33,7 +44,9 @@ pub fn relative_error_series(reference: &[f64], test: &[f64]) -> Vec<f64> {
 ///
 /// Panics under the same conditions as [`relative_error_series`].
 pub fn max_relative_error(reference: &[f64], test: &[f64]) -> f64 {
-    relative_error_series(reference, test).into_iter().fold(0.0, f64::max)
+    relative_error_series(reference, test)
+        .into_iter()
+        .fold(0.0, f64::max)
 }
 
 /// Root-mean-square difference between two series.
@@ -44,7 +57,11 @@ pub fn max_relative_error(reference: &[f64], test: &[f64]) -> f64 {
 pub fn rms_error(reference: &[f64], test: &[f64]) -> f64 {
     assert_eq!(reference.len(), test.len(), "rms error: length mismatch");
     assert!(!reference.is_empty(), "rms error: empty series");
-    let sum: f64 = reference.iter().zip(test.iter()).map(|(r, t)| (r - t) * (r - t)).sum();
+    let sum: f64 = reference
+        .iter()
+        .zip(test.iter())
+        .map(|(r, t)| (r - t) * (r - t))
+        .sum();
     (sum / reference.len() as f64).sqrt()
 }
 

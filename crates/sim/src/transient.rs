@@ -1,6 +1,6 @@
 //! Fixed-step transient integrators for polynomial state-space systems.
 
-use vamor_linalg::{Matrix, Vector};
+use vamor_linalg::{LuDecomposition, Matrix, Vector};
 use vamor_system::PolynomialStateSpace;
 
 use crate::error::SimError;
@@ -23,6 +23,23 @@ pub enum IntegrationMethod {
     BackwardEuler,
 }
 
+/// How the implicit integrators manage the Newton iteration matrix
+/// `M = I − θh·J`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JacobianPolicy {
+    /// Re-evaluate and refactor the Jacobian at the predictor of **every**
+    /// step — the legacy behaviour, one LU factorization per step.
+    EveryStep,
+    /// Factor once and keep the LU frozen across steps (the classic modified
+    /// Newton), refreshing only when the step size changes or the iteration
+    /// fails to converge with the stale matrix. Since the Newton residual is
+    /// always evaluated with the exact right-hand side, the accepted states
+    /// agree with [`JacobianPolicy::EveryStep`] to within the Newton
+    /// tolerance; only the iteration count changes.
+    #[default]
+    FrozenReuse,
+}
+
 /// Options controlling a transient run.
 #[derive(Debug, Clone, Copy)]
 pub struct TransientOptions {
@@ -38,6 +55,8 @@ pub struct TransientOptions {
     pub newton_tol: f64,
     /// Maximum Newton iterations per step (implicit methods).
     pub newton_max_iter: usize,
+    /// Jacobian refresh policy of the implicit methods.
+    pub jacobian_policy: JacobianPolicy,
     /// Whether to retain the full state trajectory (memory heavy for large
     /// systems; outputs are always retained).
     pub store_states: bool,
@@ -45,7 +64,8 @@ pub struct TransientOptions {
 
 impl TransientOptions {
     /// Creates options for the time span `[t_start, t_end]` with step `dt`
-    /// and default solver settings (RK4, Newton tolerance `1e-10`).
+    /// and default solver settings (RK4, Newton tolerance `1e-10`, frozen
+    /// Jacobian reuse).
     pub fn new(t_start: f64, t_end: f64, dt: f64) -> Self {
         TransientOptions {
             t_start,
@@ -54,8 +74,15 @@ impl TransientOptions {
             method: IntegrationMethod::Rk4,
             newton_tol: 1e-10,
             newton_max_iter: 25,
+            jacobian_policy: JacobianPolicy::default(),
             store_states: false,
         }
+    }
+
+    /// Selects the Jacobian refresh policy of the implicit methods.
+    pub fn with_jacobian_policy(mut self, policy: JacobianPolicy) -> Self {
+        self.jacobian_policy = policy;
+        self
     }
 
     /// Selects the integration method.
@@ -78,8 +105,11 @@ impl TransientOptions {
     }
 
     fn validate(&self, system: &dyn PolynomialStateSpace, input: &dyn InputSignal) -> Result<()> {
-        if !(self.dt > 0.0) {
-            return Err(SimError::InvalidOptions(format!("dt must be positive, got {}", self.dt)));
+        if self.dt.is_nan() || self.dt <= 0.0 {
+            return Err(SimError::InvalidOptions(format!(
+                "dt must be positive, got {}",
+                self.dt
+            )));
         }
         if self.t_end <= self.t_start {
             return Err(SimError::InvalidOptions(format!(
@@ -164,7 +194,11 @@ pub fn simulate(
     let mut x = Vector::zeros(n);
     let mut times = Vec::with_capacity(steps + 1);
     let mut outputs = Vec::with_capacity(steps + 1);
-    let mut states = if opts.store_states { Some(Vec::with_capacity(steps + 1)) } else { None };
+    let mut states = if opts.store_states {
+        Some(Vec::with_capacity(steps + 1))
+    } else {
+        None
+    };
     let mut stats = SolverStats::default();
 
     times.push(opts.t_start);
@@ -173,6 +207,12 @@ pub fn simulate(
         s.push(x.clone());
     }
 
+    // The frozen iteration matrix of the modified Newton, shared across
+    // steps under `JacobianPolicy::FrozenReuse` (tagged with the step size it
+    // was factored for), and the RK4 stage buffers reused across steps.
+    let mut frozen: Option<FrozenJacobian> = None;
+    let mut rk4_ws = Rk4Workspace::new(n);
+
     for k in 0..steps {
         let t = opts.t_start + k as f64 * opts.dt;
         let t_next = (t + opts.dt).min(opts.t_end);
@@ -180,15 +220,25 @@ pub fn simulate(
         if h <= 0.0 {
             break;
         }
-        x = match opts.method {
-            IntegrationMethod::Rk4 => rk4_step(system, input, t, h, &x),
+        match opts.method {
+            IntegrationMethod::Rk4 => rk4_step(system, input, t, h, &mut x, &mut rk4_ws),
             IntegrationMethod::ImplicitTrapezoidal => {
-                implicit_step(system, input, t, h, &x, opts, &mut stats, true)?
+                x = implicit_step(system, input, t, h, &x, opts, &mut stats, true, &mut frozen)?;
             }
             IntegrationMethod::BackwardEuler => {
-                implicit_step(system, input, t, h, &x, opts, &mut stats, false)?
+                x = implicit_step(
+                    system,
+                    input,
+                    t,
+                    h,
+                    &x,
+                    opts,
+                    &mut stats,
+                    false,
+                    &mut frozen,
+                )?;
             }
-        };
+        }
         if !x.is_finite() {
             return Err(SimError::Diverged { time: t_next });
         }
@@ -200,35 +250,81 @@ pub fn simulate(
         }
     }
 
-    Ok(TransientResult { times, outputs, states, stats })
+    Ok(TransientResult {
+        times,
+        outputs,
+        states,
+        stats,
+    })
 }
 
+/// Reusable stage buffer for [`rk4_step`]: the state is advanced in place,
+/// so a step allocates only the four `rhs` evaluations.
+struct Rk4Workspace {
+    stage: Vector,
+}
+
+impl Rk4Workspace {
+    fn new(n: usize) -> Self {
+        Rk4Workspace {
+            stage: Vector::zeros(n),
+        }
+    }
+}
+
+/// Advances `x` by one classic RK4 step in place.
 fn rk4_step(
     system: &dyn PolynomialStateSpace,
     input: &dyn InputSignal,
     t: f64,
     h: f64,
-    x: &Vector,
-) -> Vector {
+    x: &mut Vector,
+    ws: &mut Rk4Workspace,
+) {
     let u1 = input.sample(t);
     let u2 = input.sample(t + 0.5 * h);
     let u3 = input.sample(t + h);
     let k1 = system.rhs(x, &u1);
-    let mut x2 = x.clone();
-    x2.axpy(0.5 * h, &k1);
-    let k2 = system.rhs(&x2, &u2);
-    let mut x3 = x.clone();
-    x3.axpy(0.5 * h, &k2);
-    let k3 = system.rhs(&x3, &u2);
-    let mut x4 = x.clone();
-    x4.axpy(h, &k3);
-    let k4 = system.rhs(&x4, &u3);
-    let mut out = x.clone();
-    out.axpy(h / 6.0, &k1);
-    out.axpy(h / 3.0, &k2);
-    out.axpy(h / 3.0, &k3);
-    out.axpy(h / 6.0, &k4);
-    out
+    ws.stage.copy_from(x);
+    ws.stage.axpy(0.5 * h, &k1);
+    let k2 = system.rhs(&ws.stage, &u2);
+    ws.stage.copy_from(x);
+    ws.stage.axpy(0.5 * h, &k2);
+    let k3 = system.rhs(&ws.stage, &u2);
+    ws.stage.copy_from(x);
+    ws.stage.axpy(h, &k3);
+    let k4 = system.rhs(&ws.stage, &u3);
+    x.axpy(h / 6.0, &k1);
+    x.axpy(h / 3.0, &k2);
+    x.axpy(h / 3.0, &k3);
+    x.axpy(h / 6.0, &k4);
+}
+
+/// A factored Newton iteration matrix `I − θh·J`, tagged with the step size
+/// it was built for so a trailing partial step triggers a refactorization.
+struct FrozenJacobian {
+    lu: LuDecomposition,
+    h: f64,
+}
+
+/// Factors the iteration matrix at the current iterate and records it.
+fn refresh_jacobian(
+    system: &dyn PolynomialStateSpace,
+    x: &Vector,
+    u: &[f64],
+    theta: f64,
+    h: f64,
+    stats: &mut SolverStats,
+    frozen: &mut Option<FrozenJacobian>,
+) -> Result<()> {
+    let n = system.order();
+    let jac = system.jacobian_x(x, u);
+    let mut iteration_matrix = Matrix::identity(n);
+    iteration_matrix.axpy(-theta * h, &jac);
+    let lu = iteration_matrix.lu().map_err(SimError::Linalg)?;
+    stats.jacobian_factorizations += 1;
+    *frozen = Some(FrozenJacobian { lu, h });
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -241,8 +337,8 @@ fn implicit_step(
     opts: &TransientOptions,
     stats: &mut SolverStats,
     trapezoidal: bool,
+    frozen: &mut Option<FrozenJacobian>,
 ) -> Result<Vector> {
-    let n = system.order();
     let u0 = input.sample(t);
     let u1 = input.sample(t + h);
     let f0 = system.rhs(x0, &u0);
@@ -253,44 +349,34 @@ fn implicit_step(
     let mut x = x0.clone();
     x.axpy(h, &f0);
 
-    // Modified Newton: factor the iteration matrix once at the predictor.
-    let jac = system.jacobian_x(&x, &u1);
-    let mut iteration_matrix = Matrix::identity(n);
-    iteration_matrix.axpy(-theta * h, &jac);
-    let lu = iteration_matrix.lu().map_err(SimError::Linalg)?;
-    stats.jacobian_factorizations += 1;
-
-    let mut converged = false;
-    let mut residual_norm = f64::INFINITY;
-    for _ in 0..opts.newton_max_iter {
-        // Residual g(x) = x - x0 - h*((1-θ) f0 + θ f(x, u1)).
-        let fx = system.rhs(&x, &u1);
-        let mut g = &x - x0;
-        g.axpy(-h * (1.0 - theta), &f0);
-        g.axpy(-h * theta, &fx);
-        residual_norm = g.norm_inf();
-        stats.newton_iterations += 1;
-        let scale = x.norm_inf().max(1.0);
-        if residual_norm <= opts.newton_tol * scale {
-            converged = true;
-            break;
-        }
-        let dx = lu.solve(&g).map_err(SimError::Linalg)?;
-        x.axpy(-1.0, &dx);
-        if !x.is_finite() {
-            return Err(SimError::Diverged { time: t + h });
-        }
+    // Modified Newton: the iteration matrix is refreshed at the predictor
+    // every step under `EveryStep`, and only on the first step / a step-size
+    // change under `FrozenReuse` (failure-triggered refreshes happen below).
+    // The step size is reconstructed from rounded time points, so successive
+    // steps jitter in the last ulp; only a genuine change of step size (the
+    // clamped final step) warrants refactorizing the iteration matrix.
+    let stale = match (opts.jacobian_policy, frozen.as_ref()) {
+        (JacobianPolicy::FrozenReuse, Some(f)) => (f.h - h).abs() > 1e-9 * h.abs(),
+        _ => true,
+    };
+    if stale {
+        refresh_jacobian(system, &x, &u1, theta, h, stats, frozen)?;
     }
-    if !converged {
-        // One more residual check with a freshly factored Jacobian before
-        // giving up: the modified Newton may stagnate on strongly nonlinear
-        // steps.
-        let jac = system.jacobian_x(&x, &u1);
-        let mut m = Matrix::identity(n);
-        m.axpy(-theta * h, &jac);
-        let lu = m.lu().map_err(SimError::Linalg)?;
-        stats.jacobian_factorizations += 1;
-        for _ in 0..opts.newton_max_iter {
+
+    let x_pred = x.clone();
+    let mut residual_norm = f64::INFINITY;
+    // Two attempts: one with the (possibly frozen) iteration matrix, and on
+    // slow contraction one more with a matrix refreshed at the current
+    // iterate. Waiting for the full iteration budget before refreshing both
+    // wastes iterations and refreshes at a worse linearization point, so the
+    // first attempt bails out as soon as the residual stops contracting
+    // geometrically — or blows up outright, which under a stale frozen
+    // matrix is a reason to refresh, not to abort.
+    for attempt in 0..2 {
+        let lu = &frozen.as_ref().expect("iteration matrix factored above").lu;
+        let mut prev_residual = f64::INFINITY;
+        for iter in 0..opts.newton_max_iter {
+            // Residual g(x) = x - x0 - h*((1-θ) f0 + θ f(x, u1)).
             let fx = system.rhs(&x, &u1);
             let mut g = &x - x0;
             g.axpy(-h * (1.0 - theta), &f0);
@@ -299,20 +385,38 @@ fn implicit_step(
             stats.newton_iterations += 1;
             let scale = x.norm_inf().max(1.0);
             if residual_norm <= opts.newton_tol * scale {
-                converged = true;
+                return Ok(x);
+            }
+            // Stagnation check on the first attempt only: a healthy modified
+            // Newton contracts by a solid factor per iteration; once it
+            // stops, a refreshed Jacobian converges far faster than grinding
+            // out the remaining budget with the stale one.
+            if attempt == 0 && iter >= 2 && residual_norm > 0.5 * prev_residual {
                 break;
             }
+            prev_residual = residual_norm;
             let dx = lu.solve(&g).map_err(SimError::Linalg)?;
             x.axpy(-1.0, &dx);
             if !x.is_finite() {
+                if attempt == 0 {
+                    // The stale matrix sent the iterate out of the finite
+                    // range; restart from the predictor with a fresh
+                    // factorization instead of declaring divergence.
+                    x.copy_from(&x_pred);
+                    break;
+                }
                 return Err(SimError::Diverged { time: t + h });
             }
         }
+        if attempt == 0 {
+            // Refresh the Jacobian at the current (finite) iterate and retry.
+            refresh_jacobian(system, &x, &u1, theta, h, stats, frozen)?;
+        }
     }
-    if !converged {
-        return Err(SimError::NewtonFailed { time: t + h, residual: residual_norm });
-    }
-    Ok(x)
+    Err(SimError::NewtonFailed {
+        time: t + h,
+        residual: residual_norm,
+    })
 }
 
 #[cfg(test)]
@@ -344,8 +448,15 @@ mod tests {
             let r = simulate(&sys, &Step::new(1.0, 0.0), &opts.with_method(method)).unwrap();
             let y_end = r.outputs.last().unwrap()[0];
             let exact = 1.0 - (-5.0_f64).exp();
-            let tol = if method == IntegrationMethod::BackwardEuler { 1e-2 } else { 1e-4 };
-            assert!((y_end - exact).abs() < tol, "{method:?}: {y_end} vs {exact}");
+            let tol = if method == IntegrationMethod::BackwardEuler {
+                1e-2
+            } else {
+                1e-4
+            };
+            assert!(
+                (y_end - exact).abs() < tol,
+                "{method:?}: {y_end} vs {exact}"
+            );
             assert_eq!(r.stats.steps, 500);
             assert_eq!(r.len(), 501);
         }
@@ -433,7 +544,10 @@ mod tests {
             .iter()
             .skip(r.len() / 2)
             .fold(0.0_f64, |m, &v| m.max(v.abs()));
-        assert!((tail_max - gain).abs() < 0.02 * gain.max(1e-6), "{tail_max} vs {gain}");
+        assert!(
+            (tail_max - gain).abs() < 0.02 * gain.max(1e-6),
+            "{tail_max} vs {gain}"
+        );
     }
 
     #[test]

@@ -48,7 +48,9 @@ impl CubicOde {
         }
         let n = g1.rows();
         if n == 0 {
-            return Err(SystemError::Invalid("cubic ODE must have at least one state".into()));
+            return Err(SystemError::Invalid(
+                "cubic ODE must have at least one state".into(),
+            ));
         }
         if let Some(ref g2m) = g2 {
             if g2m.rows() != n || g2m.cols() != n * n {
@@ -69,7 +71,10 @@ impl CubicOde {
             )));
         }
         if b.rows() != n {
-            return Err(SystemError::Dimension(format!("B has {} rows, expected {n}", b.rows())));
+            return Err(SystemError::Dimension(format!(
+                "B has {} rows, expected {n}",
+                b.rows()
+            )));
         }
         if c.cols() != n {
             return Err(SystemError::Dimension(format!(
@@ -171,7 +176,11 @@ impl PolynomialStateSpace for CubicOde {
 
     fn rhs(&self, x: &Vector, u: &[f64]) -> Vector {
         assert_eq!(x.len(), self.order(), "cubic rhs: state dimension mismatch");
-        assert_eq!(u.len(), self.num_inputs(), "cubic rhs: input dimension mismatch");
+        assert_eq!(
+            u.len(),
+            self.num_inputs(),
+            "cubic rhs: input dimension mismatch"
+        );
         let mut dx = self.g1.matvec(x);
         dx.axpy(1.0, &self.quadratic_term(x));
         dx.axpy(1.0, &self.cubic_term(x));
@@ -184,8 +193,16 @@ impl PolynomialStateSpace for CubicOde {
     }
 
     fn jacobian_x(&self, x: &Vector, u: &[f64]) -> Matrix {
-        assert_eq!(x.len(), self.order(), "cubic jacobian: state dimension mismatch");
-        assert_eq!(u.len(), self.num_inputs(), "cubic jacobian: input dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.order(),
+            "cubic jacobian: state dimension mismatch"
+        );
+        assert_eq!(
+            u.len(),
+            self.num_inputs(),
+            "cubic jacobian: input dimension mismatch"
+        );
         let n = self.order();
         let mut jac = self.g1.clone();
         if let Some(g2) = &self.g2 {
@@ -225,7 +242,7 @@ mod tests {
         let g1 = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -3.0]]).unwrap();
         let mut g3 = CooMatrix::new(n, n * n * n);
         g3.push(0, 0, -0.2); // x1*x1*x1 -> index (0,0,0)
-        g3.push(1, 0 * n * n + 1 * n + 1, 0.1); // x1*x2*x2
+        g3.push(1, n + 1, 0.1); // x1*x2*x2 -> index (0,1,1)
         let b = Matrix::from_rows(&[&[1.0], &[0.0]]).unwrap();
         let c = Matrix::from_rows(&[&[1.0, 0.0]]).unwrap();
         CubicOde::new(g1, None, g3.to_csr(), b, c).unwrap()
@@ -266,16 +283,24 @@ mod tests {
     fn shape_validation() {
         let g1 = Matrix::identity(2);
         let g3_bad = CooMatrix::new(2, 4).to_csr();
-        assert!(
-            CubicOde::new(g1.clone(), None, g3_bad, Matrix::zeros(2, 1), Matrix::zeros(1, 2))
-                .is_err()
-        );
+        assert!(CubicOde::new(
+            g1.clone(),
+            None,
+            g3_bad,
+            Matrix::zeros(2, 1),
+            Matrix::zeros(1, 2)
+        )
+        .is_err());
         let g3 = CooMatrix::new(2, 8).to_csr();
         let g2_bad = Some(CooMatrix::new(2, 3).to_csr());
-        assert!(
-            CubicOde::new(g1.clone(), g2_bad, g3.clone(), Matrix::zeros(2, 1), Matrix::zeros(1, 2))
-                .is_err()
-        );
+        assert!(CubicOde::new(
+            g1.clone(),
+            g2_bad,
+            g3.clone(),
+            Matrix::zeros(2, 1),
+            Matrix::zeros(1, 2)
+        )
+        .is_err());
         assert!(CubicOde::new(g1, None, g3, Matrix::zeros(1, 1), Matrix::zeros(1, 2)).is_err());
     }
 

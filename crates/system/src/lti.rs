@@ -48,7 +48,9 @@ impl LtiSystem {
         }
         let n = a.rows();
         if n == 0 {
-            return Err(SystemError::Invalid("LTI system must have at least one state".into()));
+            return Err(SystemError::Invalid(
+                "LTI system must have at least one state".into(),
+            ));
         }
         if b.rows() != n {
             return Err(SystemError::Dimension(format!(
@@ -125,7 +127,9 @@ impl LtiSystem {
     ///
     /// Propagates eigenvalue computation failures.
     pub fn is_stable(&self) -> Result<bool> {
-        Ok(vamor_linalg::eigenvalues(&self.a).map_err(SystemError::Linalg)?.is_hurwitz())
+        Ok(vamor_linalg::eigenvalues(&self.a)
+            .map_err(SystemError::Linalg)?
+            .is_hurwitz())
     }
 
     /// DC gain `−C A⁻¹ B`.
@@ -134,7 +138,11 @@ impl LtiSystem {
     ///
     /// Returns an error if `A` is singular (the system has a pole at zero).
     pub fn dc_gain(&self) -> Result<Matrix> {
-        let ainv_b = self.a.lu().map_err(SystemError::Linalg)?.solve_matrix(&self.b)?;
+        let ainv_b = self
+            .a
+            .lu()
+            .map_err(SystemError::Linalg)?
+            .solve_matrix(&self.b)?;
         Ok(self.c.matmul(&ainv_b).scaled(-1.0))
     }
 
@@ -172,8 +180,12 @@ mod tests {
     #[test]
     fn dimensions_are_validated() {
         let a = Matrix::identity(2);
-        assert!(LtiSystem::new(Matrix::zeros(2, 3), Matrix::zeros(2, 1), Matrix::zeros(1, 2))
-            .is_err());
+        assert!(LtiSystem::new(
+            Matrix::zeros(2, 3),
+            Matrix::zeros(2, 1),
+            Matrix::zeros(1, 2)
+        )
+        .is_err());
         assert!(LtiSystem::new(a.clone(), Matrix::zeros(3, 1), Matrix::zeros(1, 2)).is_err());
         assert!(LtiSystem::new(a, Matrix::zeros(2, 1), Matrix::zeros(1, 3)).is_err());
     }

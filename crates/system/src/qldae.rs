@@ -55,7 +55,9 @@ impl Qldae {
         }
         let n = g1.rows();
         if n == 0 {
-            return Err(SystemError::Invalid("QLDAE must have at least one state".into()));
+            return Err(SystemError::Invalid(
+                "QLDAE must have at least one state".into(),
+            ));
         }
         if g2.rows() != n || g2.cols() != n * n {
             return Err(SystemError::Dimension(format!(
@@ -223,7 +225,7 @@ fn apply_inverse_to_sparse(
             }
         }
     }
-    Ok(coo.to_csr())
+    Ok(coo.into_csr())
 }
 
 impl PolynomialStateSpace for Qldae {
@@ -241,7 +243,11 @@ impl PolynomialStateSpace for Qldae {
 
     fn rhs(&self, x: &Vector, u: &[f64]) -> Vector {
         assert_eq!(x.len(), self.order(), "qldae rhs: state dimension mismatch");
-        assert_eq!(u.len(), self.num_inputs(), "qldae rhs: input dimension mismatch");
+        assert_eq!(
+            u.len(),
+            self.num_inputs(),
+            "qldae rhs: input dimension mismatch"
+        );
         let mut dx = self.g1.matvec(x);
         dx.axpy(1.0, &self.quadratic_term(x));
         for (k, &uk) in u.iter().enumerate() {
@@ -256,8 +262,16 @@ impl PolynomialStateSpace for Qldae {
     }
 
     fn jacobian_x(&self, x: &Vector, u: &[f64]) -> Matrix {
-        assert_eq!(x.len(), self.order(), "qldae jacobian: state dimension mismatch");
-        assert_eq!(u.len(), self.num_inputs(), "qldae jacobian: input dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.order(),
+            "qldae jacobian: state dimension mismatch"
+        );
+        assert_eq!(
+            u.len(),
+            self.num_inputs(),
+            "qldae jacobian: input dimension mismatch"
+        );
         let n = self.order();
         let mut jac = self.g1.clone();
         // d/dx_j [G2 (x⊗x)]_i = Σ_{(i, p*n+q)} g * (δ_{pj} x_q + x_p δ_{qj}).
@@ -344,7 +358,10 @@ impl QldaeBuilder {
     ///
     /// Panics if an index is out of range.
     pub fn g2_entry(mut self, row: usize, p: usize, q: usize, value: f64) -> Self {
-        assert!(p < self.n && q < self.n, "g2_entry: state index out of range");
+        assert!(
+            p < self.n && q < self.n,
+            "g2_entry: state index out of range"
+        );
         self.g2.push(row, p * self.n + q, value);
         self
     }
@@ -399,13 +416,19 @@ impl QldaeBuilder {
     /// added).
     pub fn build(self) -> Result<Qldae> {
         if self.c_rows.is_empty() {
-            return Err(SystemError::Invalid("QLDAE builder: at least one output is required".into()));
+            return Err(SystemError::Invalid(
+                "QLDAE builder: at least one output is required".into(),
+            ));
         }
         let c = Matrix::from_columns(&self.c_rows)?.transpose();
-        let d1_csr: Vec<CsrMatrix> = self.d1.iter().map(|c| c.to_csr()).collect();
-        let d1 = if d1_csr.iter().all(|d| d.nnz() == 0) { Vec::new() } else { d1_csr };
+        let d1_csr: Vec<CsrMatrix> = self.d1.into_iter().map(|c| c.into_csr()).collect();
+        let d1 = if d1_csr.iter().all(|d| d.nnz() == 0) {
+            Vec::new()
+        } else {
+            d1_csr
+        };
         let _ = self.m;
-        Qldae::new(self.g1, self.g2.to_csr(), d1, self.b, c)
+        Qldae::new(self.g1, self.g2.into_csr(), d1, self.b, c)
     }
 }
 
@@ -458,7 +481,12 @@ mod tests {
             let df = &q.rhs(&xp, &u) - &q.rhs(&xm, &u);
             for i in 0..2 {
                 let fd = df[i] / (2.0 * h);
-                assert!((jac[(i, j)] - fd).abs() < 1e-6, "jac[{i},{j}] = {} vs fd {}", jac[(i, j)], fd);
+                assert!(
+                    (jac[(i, j)] - fd).abs() < 1e-6,
+                    "jac[{i},{j}] = {} vs fd {}",
+                    jac[(i, j)],
+                    fd
+                );
             }
         }
     }
@@ -503,8 +531,15 @@ mod tests {
         assert!((q.b()[(0, 0)] - 1.0).abs() < 1e-14);
         // Singular descriptors are rejected.
         let singular = Matrix::from_diagonal(&[1.0, 0.0]);
-        assert!(Qldae::from_descriptor(&singular, &g1, &CooMatrix::new(2, 4).to_csr(), &[], &b, &c)
-            .is_err());
+        assert!(Qldae::from_descriptor(
+            &singular,
+            &g1,
+            &CooMatrix::new(2, 4).to_csr(),
+            &[],
+            &b,
+            &c
+        )
+        .is_err());
     }
 
     #[test]
@@ -517,7 +552,10 @@ mod tests {
 
     #[test]
     fn builder_without_output_fails() {
-        assert!(QldaeBuilder::new(1, 1).g1_entry(0, 0, -1.0).build().is_err());
+        assert!(QldaeBuilder::new(1, 1)
+            .g1_entry(0, 0, -1.0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -30,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Simulate both models with the same excitation and compare.
     let input = SinePulse::damped(0.5, 0.4, 0.08);
-    let opts = TransientOptions::new(0.0, 30.0, 0.01)
-        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let opts =
+        TransientOptions::new(0.0, 30.0, 0.01).with_method(IntegrationMethod::ImplicitTrapezoidal);
     let y_full = simulate(full, &input, &opts)?.output_channel(0);
     let y_rom = simulate(rom.system(), &input, &opts)?.output_channel(0);
 

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(86); // 2*86 + 1 = 173 states, the paper's size
     let rx = RfReceiver::new(sections)?;
     let full = rx.qldae();
-    println!("receiver states: {}, inputs: {}", full.order(), full.num_inputs());
+    println!(
+        "receiver states: {}, inputs: {}",
+        full.order(),
+        full.num_inputs()
+    );
 
     let spec = MomentSpec::paper_default();
     let proposed = AssocReducer::new(spec).reduce(full)?;
@@ -38,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(SinePulse::damped(0.3, 0.06, 0.05)),
         Box::new(SinePulse::new(0.12, 0.11)),
     ]);
-    let opts = TransientOptions::new(0.0, 20.0, 0.01)
-        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let opts =
+        TransientOptions::new(0.0, 20.0, 0.01).with_method(IntegrationMethod::ImplicitTrapezoidal);
     let y_full = simulate(full, &excitation, &opts)?.output_channel(0);
     let y_prop = simulate(proposed.system(), &excitation, &opts)?.output_channel(0);
     let y_norm = simulate(baseline.system(), &excitation, &opts)?.output_channel(0);

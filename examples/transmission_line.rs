@@ -9,9 +9,7 @@
 
 use vamor::circuits::TransmissionLine;
 use vamor::core::{AssocReducer, MomentSpec, NormReducer};
-use vamor::sim::{
-    max_relative_error, simulate, IntegrationMethod, SinePulse, TransientOptions,
-};
+use vamor::sim::{max_relative_error, simulate, IntegrationMethod, SinePulse, TransientOptions};
 use vamor::system::PolynomialStateSpace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,13 +22,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== voltage-driven line ({voltage_stages} stages, QLDAE with D1) ==");
     let line = TransmissionLine::voltage_driven(voltage_stages)?;
     let rom = AssocReducer::new(spec).reduce(line.qldae())?;
-    println!("  reduced order: {} (paper: 13 for 100 stages)", rom.order());
+    println!(
+        "  reduced order: {} (paper: 13 for 100 stages)",
+        rom.order()
+    );
     let input = SinePulse::damped(0.02, 0.3, 0.05);
-    let opts = TransientOptions::new(0.0, 30.0, 0.01)
-        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let opts =
+        TransientOptions::new(0.0, 30.0, 0.01).with_method(IntegrationMethod::ImplicitTrapezoidal);
     let y_full = simulate(line.qldae(), &input, &opts)?.output_channel(0);
     let y_rom = simulate(rom.system(), &input, &opts)?.output_channel(0);
-    println!("  max relative error: {:.3e}", max_relative_error(&y_full, &y_rom));
+    println!(
+        "  max relative error: {:.3e}",
+        max_relative_error(&y_full, &y_rom)
+    );
 
     // --- §3.2: current-driven line, no D1, proposed vs NORM ---------------
     println!("== current-driven line ({current_stages} stages, no D1) ==");
@@ -49,7 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let y_prop = simulate(proposed.system(), &input, &opts)?.output_channel(0);
     let y_norm = simulate(baseline.system(), &input, &opts)?.output_channel(0);
     println!("  full order: {}", line.qldae().order());
-    println!("  proposed ROM max relative error: {:.3e}", max_relative_error(&y_full, &y_prop));
-    println!("  NORM ROM max relative error:     {:.3e}", max_relative_error(&y_full, &y_norm));
+    println!(
+        "  proposed ROM max relative error: {:.3e}",
+        max_relative_error(&y_full, &y_prop)
+    );
+    println!(
+        "  NORM ROM max relative error:     {:.3e}",
+        max_relative_error(&y_full, &y_norm)
+    );
     Ok(())
 }

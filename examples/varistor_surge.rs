@@ -14,8 +14,11 @@ use vamor::sim::{max_relative_error, simulate, ExpPulse, IntegrationMethod, Tran
 use vamor::system::PolynomialStateSpace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ladder_nodes: usize =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(98);
+    let ladder_nodes: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(98);
     let circuit = VaristorCircuit::new(ladder_nodes)?;
     let full = circuit.ode();
     println!("surge-protection circuit states: {}", full.order());
@@ -26,8 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("reduced order: {} (paper: 8)", rom.order());
 
     let surge = ExpPulse::new(VaristorCircuit::surge_amplitude(), 0.5, 6.0);
-    let opts = TransientOptions::new(0.0, 30.0, 0.005)
-        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let opts =
+        TransientOptions::new(0.0, 30.0, 0.005).with_method(IntegrationMethod::ImplicitTrapezoidal);
     let full_run = simulate(full, &surge, &opts)?;
     let rom_run = simulate(rom.system(), &surge, &opts)?;
     let y_full = full_run.output_channel(0);

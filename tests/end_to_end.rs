@@ -19,13 +19,19 @@ fn trapezoidal(t_end: f64, dt: f64) -> TransientOptions {
 fn voltage_driven_line_with_d1_is_reduced_accurately() {
     let line = TransmissionLine::voltage_driven(30).expect("circuit");
     let full = line.qldae();
-    let rom = AssocReducer::new(MomentSpec::paper_default()).reduce(full).expect("reduce");
+    let rom = AssocReducer::new(MomentSpec::paper_default())
+        .reduce(full)
+        .expect("reduce");
     assert!(rom.order() <= 12, "rom order {}", rom.order());
 
     let input = SinePulse::damped(0.02, 0.3, 0.05);
     let opts = trapezoidal(30.0, 0.02);
-    let y_full = simulate(full, &input, &opts).expect("full sim").output_channel(0);
-    let y_rom = simulate(rom.system(), &input, &opts).expect("rom sim").output_channel(0);
+    let y_full = simulate(full, &input, &opts)
+        .expect("full sim")
+        .output_channel(0);
+    let y_rom = simulate(rom.system(), &input, &opts)
+        .expect("rom sim")
+        .output_channel(0);
     let err = max_relative_error(&y_full, &y_rom);
     assert!(err < 0.02, "voltage-driven line error too large: {err}");
 }
@@ -43,9 +49,15 @@ fn current_driven_line_proposed_and_norm_agree_with_full_model() {
 
     let input = SinePulse::damped(0.5, 0.4, 0.08);
     let opts = trapezoidal(30.0, 0.02);
-    let y_full = simulate(full, &input, &opts).expect("full").output_channel(0);
-    let y_prop = simulate(proposed.system(), &input, &opts).expect("prop").output_channel(0);
-    let y_norm = simulate(baseline.system(), &input, &opts).expect("norm").output_channel(0);
+    let y_full = simulate(full, &input, &opts)
+        .expect("full")
+        .output_channel(0);
+    let y_prop = simulate(proposed.system(), &input, &opts)
+        .expect("prop")
+        .output_channel(0);
+    let y_norm = simulate(baseline.system(), &input, &opts)
+        .expect("norm")
+        .output_channel(0);
     assert!(max_relative_error(&y_full, &y_prop) < 0.03);
     assert!(max_relative_error(&y_full, &y_norm) < 0.03);
 }
@@ -54,7 +66,9 @@ fn current_driven_line_proposed_and_norm_agree_with_full_model() {
 fn reduced_models_match_volterra_kernels_of_the_original_near_dc() {
     let line = TransmissionLine::current_driven(25).expect("circuit");
     let full = line.qldae();
-    let rom = AssocReducer::new(MomentSpec::new(5, 3, 2)).reduce(full).expect("reduce");
+    let rom = AssocReducer::new(MomentSpec::new(5, 3, 2))
+        .reduce(full)
+        .expect("reduce");
     let kern_full = VolterraKernels::new(full, 0).expect("kernels");
     let kern_rom = VolterraKernels::new(rom.system(), 0).expect("kernels");
 
@@ -66,7 +80,10 @@ fn reduced_models_match_volterra_kernels_of_the_original_near_dc() {
     let (s1, s2) = (Complex::new(0.0, 0.03), Complex::new(0.01, 0.02));
     let a = kern_full.output_h2(s1, s2).unwrap();
     let b = kern_rom.output_h2(s1, s2).unwrap();
-    assert!((a - b).abs() < 1e-4 * (1.0 + a.abs()), "H2 mismatch: {a} vs {b}");
+    assert!(
+        (a - b).abs() < 1e-4 * (1.0 + a.abs()),
+        "H2 mismatch: {a} vs {b}"
+    );
 }
 
 #[test]
@@ -82,8 +99,12 @@ fn miso_receiver_reduction_handles_two_inputs() {
         Box::new(SinePulse::new(0.12, 0.11)),
     ]);
     let opts = trapezoidal(20.0, 0.02);
-    let y_full = simulate(full, &excitation, &opts).expect("full").output_channel(0);
-    let y_rom = simulate(rom.system(), &excitation, &opts).expect("rom").output_channel(0);
+    let y_full = simulate(full, &excitation, &opts)
+        .expect("full")
+        .output_channel(0);
+    let y_rom = simulate(rom.system(), &excitation, &opts)
+        .expect("rom")
+        .output_channel(0);
     let err = max_relative_error(&y_full, &y_rom);
     assert!(err < 0.05, "receiver ROM error {err}");
 }
@@ -92,13 +113,19 @@ fn miso_receiver_reduction_handles_two_inputs() {
 fn varistor_surge_is_clamped_and_reproduced_by_the_cubic_rom() {
     let circuit = VaristorCircuit::new(20).expect("circuit");
     let full = circuit.ode();
-    let rom = AssocReducer::new(MomentSpec::new(6, 0, 2)).reduce_cubic(full).expect("reduce");
+    let rom = AssocReducer::new(MomentSpec::new(6, 0, 2))
+        .reduce_cubic(full)
+        .expect("reduce");
     assert!(rom.order() <= 8, "rom order {}", rom.order());
 
     let surge = ExpPulse::new(VaristorCircuit::surge_amplitude(), 0.5, 6.0);
     let opts = trapezoidal(30.0, 0.01);
-    let y_full = simulate(full, &surge, &opts).expect("full").output_channel(0);
-    let y_rom = simulate(rom.system(), &surge, &opts).expect("rom").output_channel(0);
+    let y_full = simulate(full, &surge, &opts)
+        .expect("full")
+        .output_channel(0);
+    let y_rom = simulate(rom.system(), &surge, &opts)
+        .expect("rom")
+        .output_channel(0);
 
     let peak = y_full.iter().cloned().fold(0.0_f64, f64::max);
     assert!(peak > 100.0 && peak < 1500.0, "clamped peak {peak}");
@@ -114,7 +141,9 @@ fn reduction_is_deterministic() {
     let line = TransmissionLine::current_driven(20).expect("circuit");
     let spec = MomentSpec::new(4, 2, 1);
     let a = AssocReducer::new(spec).reduce(line.qldae()).expect("first");
-    let b = AssocReducer::new(spec).reduce(line.qldae()).expect("second");
+    let b = AssocReducer::new(spec)
+        .reduce(line.qldae())
+        .expect("second");
     assert_eq!(a.order(), b.order());
     let diff = (a.projection() - b.projection()).max_abs();
     assert!(diff < 1e-14, "projections differ by {diff}");
