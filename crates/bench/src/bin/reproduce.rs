@@ -9,14 +9,30 @@
 //! By default the paper-sized systems are used (100-stage line, 70-state
 //! line, 173-state receiver, 102-state varistor circuit). `--small` runs
 //! scaled-down instances for a quick smoke test.
+//!
+//! The run writes a machine-readable snapshot (`BENCH_PR<n>.json` by
+//! default, `--json <path>` to override, `--no-json` to skip) and can gate
+//! itself against a previous PR's committed snapshot:
+//!
+//! ```text
+//! cargo run --release -p vamor-bench --bin reproduce -- all --compare BENCH_PR1.json
+//! ```
+//!
+//! The comparison fails (non-zero exit) when an error field worsened beyond
+//! the headroom of [`vamor_bench::baseline`], when a reduced model lost
+//! stability, or when the solver-cache speedup collapsed.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use vamor_bench::{
-    acceptance_metrics, fig2_voltage_line, fig3_current_line, fig4_rf_receiver, fig5_varistor,
-    scaling_subspace_dims, AcceptanceMetrics, TransientComparison,
+    acceptance_metrics, compare_to_baseline, fig2_voltage_line, fig3_current_line,
+    fig4_rf_receiver, fig5_varistor, scaling_subspace_dims, AcceptanceMetrics, Baseline,
+    TransientComparison,
 };
+
+/// PR number stamped into the emitted baseline snapshot.
+const PR_NUMBER: u32 = 2;
 
 struct Sizes {
     fig2_stages: usize,
@@ -60,7 +76,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        None => "BENCH_PR1.json".to_string(),
+        None => format!("BENCH_PR{PR_NUMBER}.json"),
+    };
+    let compare_path = match args.iter().position(|a| a == "--compare") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("--compare requires a path argument");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
     let mut which: Vec<&str> = Vec::new();
     let mut skip_next = false;
@@ -69,7 +95,7 @@ fn main() -> ExitCode {
             skip_next = false;
             continue;
         }
-        if a == "--json" {
+        if a == "--json" || a == "--compare" {
             skip_next = true;
             continue;
         }
@@ -187,14 +213,39 @@ fn main() -> ExitCode {
         print_table1(&table1_rows);
     }
 
+    let json = render_json(small, &json_rows, acceptance.as_ref());
     if !no_json {
-        let json = render_json(small, &json_rows, acceptance.as_ref());
-        match std::fs::write(&json_path, json) {
+        match std::fs::write(&json_path, &json) {
             Ok(()) => println!("\nwrote {json_path}"),
             Err(e) => {
                 eprintln!("failed to write {json_path}: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+
+    if let Some(prev_path) = compare_path {
+        let prev_text = match std::fs::read_to_string(&prev_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("failed to read baseline {prev_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let prev = Baseline::parse(&prev_text);
+        let fresh = Baseline::parse(&json);
+        let violations = compare_to_baseline(&fresh, &prev);
+        if violations.is_empty() {
+            println!(
+                "baseline comparison vs {prev_path} (pr {}): OK",
+                prev.pr.map(|p| p.to_string()).unwrap_or_else(|| "?".into())
+            );
+        } else {
+            eprintln!("baseline comparison vs {prev_path} FAILED:");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS
@@ -230,7 +281,7 @@ fn render_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 1,\n");
+    let _ = writeln!(out, "  \"pr\": {PR_NUMBER},");
     out.push_str("  \"tool\": \"vamor-bench reproduce\",\n");
     let _ = writeln!(
         out,
@@ -254,6 +305,16 @@ fn render_json(
         );
         if let Some(e) = cmp.max_error_norm() {
             let _ = write!(out, "\"max_rel_error_norm\": {e:.6e}, ");
+        }
+        let _ = write!(
+            out,
+            "\"g1r_hurwitz\": {}, \"g1r_spectral_abscissa\": {:.6e}, \"guard_restarts\": {}, ",
+            cmp.proposed_hurwitz(),
+            cmp.proposed_abscissa,
+            cmp.proposed_restarts
+        );
+        if let Some(a) = cmp.norm_abscissa {
+            let _ = write!(out, "\"norm_g1r_hurwitz\": {}, ", a < 0.0);
         }
         let t = &cmp.timings;
         let _ = write!(
@@ -305,6 +366,17 @@ fn print_figure(label: &str, cmp: &TransientComparison) {
         cmp.max_error_norm()
             .map(|e| format!(", NORM {e:.3e}"))
             .unwrap_or_default()
+    );
+    println!(
+        "reduced G1r spectral abscissa {:.3e} ({}, {} guard restart{})",
+        cmp.proposed_abscissa,
+        if cmp.proposed_hurwitz() {
+            "Hurwitz"
+        } else {
+            "NOT Hurwitz"
+        },
+        cmp.proposed_restarts,
+        if cmp.proposed_restarts == 1 { "" } else { "s" }
     );
     println!("transient response (downsampled):");
     println!(

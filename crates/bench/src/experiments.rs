@@ -78,9 +78,17 @@ pub struct TransientComparison {
     pub full_order: usize,
     /// Order of the proposed reduced model.
     pub proposed_order: usize,
+    /// Spectral abscissa of the proposed reduced `G₁ᵣ` (negative = Hurwitz),
+    /// as recorded by the reducer's spectral guard.
+    pub proposed_abscissa: f64,
+    /// Spectral-guard restarts the proposed reduction needed (0 = the first
+    /// projection was already stable).
+    pub proposed_restarts: usize,
     /// Order of the NORM reduced model (when the experiment includes the
     /// baseline).
     pub norm_order: Option<usize>,
+    /// Spectral abscissa of the NORM reduced `G₁ᵣ`, when present.
+    pub norm_abscissa: Option<f64>,
     /// Sample times.
     pub times: Vec<f64>,
     /// Output of the full model.
@@ -94,6 +102,11 @@ pub struct TransientComparison {
 }
 
 impl TransientComparison {
+    /// True when the proposed reduced linear part is Hurwitz.
+    pub fn proposed_hurwitz(&self) -> bool {
+        self.proposed_abscissa < 0.0
+    }
+
     /// Relative error series of the proposed ROM (Fig. 2(c)/3(b)/4(c) style).
     pub fn relative_error_proposed(&self) -> Vec<f64> {
         relative_error_series(&self.y_full, &self.y_proposed)
@@ -126,15 +139,25 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 }
 
 /// Fig. 2 — the voltage-driven nonlinear transmission line (QLDAE *with* the
-/// `D₁` term). The paper uses 100 stages, 6/3/2 moments and reaches a
-/// 13th-order ROM whose transient response overlays the original with a
-/// relative error below 1 %.
+/// `D₁` term). The paper uses 100 stages and reaches a ~13th-order ROM whose
+/// transient response overlays the original with a relative error below 1 %.
+///
+/// The reducer runs the stabilized pipeline with two Markov vectors and a
+/// slightly deeper moment spec (8/4/2 instead of the paper's 6/3/2) at a
+/// tight deflation tolerance: moment matching about `s = 0` alone leaves the
+/// broadband onset of the response free, which at 100 stages made the seed's
+/// ROM leak an `O(10⁻⁴)` spurious signal over a `3·10⁻⁵` true response.
 pub fn fig2_voltage_line(stages: usize, dt: f64) -> Result<TransientComparison> {
     let line = TransmissionLine::voltage_driven(stages)?;
     let full = line.qldae();
-    let spec = MomentSpec::paper_default();
+    let spec = MomentSpec::new(8, 4, 2);
 
-    let (rom, t_reduce) = timed(|| AssocReducer::new(spec).reduce(full));
+    let (rom, t_reduce) = timed(|| {
+        AssocReducer::new(spec)
+            .with_markov_moments(2)
+            .with_deflation_tol(1e-12)
+            .reduce(full)
+    });
     let rom = rom?;
 
     let input = SinePulse::damped(0.02, 0.3, 0.05);
@@ -149,7 +172,10 @@ pub fn fig2_voltage_line(stages: usize, dt: f64) -> Result<TransientComparison> 
         name: "fig2: voltage-driven nonlinear transmission line (with D1)",
         full_order: full.order(),
         proposed_order: rom.order(),
+        proposed_abscissa: rom.stats().spectral_abscissa,
+        proposed_restarts: rom.stats().restarts,
         norm_order: None,
+        norm_abscissa: None,
         times: full_run.times.clone(),
         y_full: full_run.output_channel(0),
         y_proposed: rom_run.output_channel(0),
@@ -173,7 +199,15 @@ pub fn fig3_current_line(stages: usize, dt: f64) -> Result<TransientComparison> 
 
     let (rom, t_reduce) = timed(|| AssocReducer::new(spec).reduce(full));
     let rom = rom?;
-    let (norm_rom, t_norm) = timed(|| NormReducer::new(spec).reduce(full));
+    // The line's G₁ is symmetric negative definite, so plain Galerkin is
+    // already stability-preserving; the energy reweighting only perturbs the
+    // baseline's subspace selection. Keep the NORM baseline on the plain path
+    // (the spectral guard still verifies the reduced spectrum).
+    let (norm_rom, t_norm) = timed(|| {
+        NormReducer::new(spec)
+            .with_stabilized_projection(false)
+            .reduce(full)
+    });
     let norm_rom = norm_rom?;
 
     let input = SinePulse::damped(0.5, 0.4, 0.08);
@@ -190,7 +224,10 @@ pub fn fig3_current_line(stages: usize, dt: f64) -> Result<TransientComparison> 
         name: "fig3/table1: current-driven nonlinear transmission line (no D1)",
         full_order: full.order(),
         proposed_order: rom.order(),
+        proposed_abscissa: rom.stats().spectral_abscissa,
+        proposed_restarts: rom.stats().restarts,
         norm_order: Some(norm_rom.order()),
+        norm_abscissa: Some(norm_rom.stats().spectral_abscissa),
         times: full_run.times.clone(),
         y_full: full_run.output_channel(0),
         y_proposed: rom_run.output_channel(0),
@@ -210,9 +247,14 @@ pub fn fig3_current_line(stages: usize, dt: f64) -> Result<TransientComparison> 
 pub fn fig4_rf_receiver(sections: usize, dt: f64) -> Result<TransientComparison> {
     let rx = RfReceiver::new(sections)?;
     let full = rx.qldae();
-    let spec = MomentSpec::paper_default();
+    // The receiver's G₁ is strongly non-normal (an LC cascade), and plain
+    // one-sided Galerkin reliably produces an unstable reduced matrix at
+    // paper size — this experiment is the reason the stabilized
+    // (energy-inner-product) projection exists and it stays on for both
+    // reducers. Two Markov vectors pin the broadband onset, as in fig. 2.
+    let spec = MomentSpec::new(8, 4, 2);
 
-    let (rom, t_reduce) = timed(|| AssocReducer::new(spec).reduce(full));
+    let (rom, t_reduce) = timed(|| AssocReducer::new(spec).with_markov_moments(2).reduce(full));
     let rom = rom?;
     let (norm_rom, t_norm) = timed(|| NormReducer::new(spec).reduce(full));
     let norm_rom = norm_rom?;
@@ -235,7 +277,10 @@ pub fn fig4_rf_receiver(sections: usize, dt: f64) -> Result<TransientComparison>
         name: "fig4/table1: MISO RF receiver (signal + interferer)",
         full_order: full.order(),
         proposed_order: rom.order(),
+        proposed_abscissa: rom.stats().spectral_abscissa,
+        proposed_restarts: rom.stats().restarts,
         norm_order: Some(norm_rom.order()),
+        norm_abscissa: Some(norm_rom.stats().spectral_abscissa),
         times: full_run.times.clone(),
         y_full: full_run.output_channel(0),
         y_proposed: rom_run.output_channel(0),
@@ -260,7 +305,14 @@ pub fn fig5_varistor(ladder_nodes: usize, dt: f64) -> Result<TransientComparison
     // third-order moments reproduce the paper's order-8 ROM.
     let spec = MomentSpec::new(6, 0, 2);
 
-    let (rom, t_reduce) = timed(|| AssocReducer::new(spec).reduce_cubic(full));
+    // Plain Galerkin reproduces the PR-1 accuracy here and the spectral
+    // guard verifies the reduced spectrum; the energy reweighting is not
+    // needed for this ladder and costs a little accuracy on the clamp front.
+    let (rom, t_reduce) = timed(|| {
+        AssocReducer::new(spec)
+            .with_stabilized_projection(false)
+            .reduce_cubic(full)
+    });
     let rom = rom?;
 
     let input = ExpPulse::new(VaristorCircuit::surge_amplitude(), 0.5, 6.0);
@@ -275,7 +327,10 @@ pub fn fig5_varistor(ladder_nodes: usize, dt: f64) -> Result<TransientComparison
         name: "fig5: ZnO varistor surge protection (cubic ODE)",
         full_order: full.order(),
         proposed_order: rom.order(),
+        proposed_abscissa: rom.stats().spectral_abscissa,
+        proposed_restarts: rom.stats().restarts,
         norm_order: None,
+        norm_abscissa: None,
         times: full_run.times.clone(),
         y_full: full_run.output_channel(0),
         y_proposed: rom_run.output_channel(0),

@@ -14,9 +14,11 @@
 //! | Fig. 5 (ZnO varistor, cubic ODE)               | [`experiments::fig5_varistor`] |
 //! | §4 size-scaling remark                          | [`experiments::scaling_subspace_dims`] |
 
+pub mod baseline;
 pub mod experiments;
 pub mod harness;
 
+pub use baseline::{compare_to_baseline, Baseline, ExperimentBaseline};
 pub use experiments::{
     acceptance_metrics, fig2_voltage_line, fig3_current_line, fig4_rf_receiver, fig5_varistor,
     scaling_subspace_dims, AcceptanceMetrics, ExperimentError, ScalingRow, Timings,

@@ -35,6 +35,88 @@ use crate::error::MorError;
 use crate::operators::{BlockH2Op, KronSumOp2, ShiftedSolveOp};
 use crate::Result;
 
+/// A chain of moment candidates with per-candidate scaling split off.
+///
+/// The raw moment chains grow (or decay) geometrically in norm — `G₁⁻¹`
+/// applied `k` times multiplies the magnitude by up to `‖G₁⁻¹‖ᵏ` — so late
+/// candidates handed to the orthonormalization at their raw scale are either
+/// destroyed by cancellation against the deflation test or overflow outright.
+/// The scaled generators keep every candidate at unit Euclidean norm and
+/// record the discarded magnitude as `log10`, which the reducers surface via
+/// [`crate::ReductionStats::moment_log10_peak`]. Only the *span* of the
+/// candidates enters the projection, so the scaling is exact.
+#[derive(Debug, Clone)]
+pub struct ScaledMoments {
+    /// Unit-norm candidate vectors (a trailing vector may be zero or
+    /// non-finite if the chain collapsed or overflowed; the basis accumulator
+    /// deflates those).
+    pub vectors: Vec<Vector>,
+    /// `log10` of the Euclidean norm each candidate had before normalization
+    /// (`-inf` for an exactly zero candidate).
+    pub log10_magnitudes: Vec<f64>,
+}
+
+impl ScaledMoments {
+    /// Largest recorded magnitude (as `log10`), or `0.0` for an empty chain.
+    pub fn log10_peak(&self) -> f64 {
+        self.log10_magnitudes
+            .iter()
+            .copied()
+            .filter(|m| m.is_finite())
+            .fold(0.0, f64::max)
+    }
+
+    fn push(&mut self, mut v: Vector, frame_log10: f64) {
+        let mag = v.norm2();
+        if mag > 0.0 && mag.is_finite() {
+            v.scale_mut(1.0 / mag);
+            self.log10_magnitudes.push(frame_log10 + mag.log10());
+        } else {
+            // Zero or overflowed candidate: hand it through untouched so the
+            // basis accumulator can count it as deflated.
+            self.log10_magnitudes.push(if mag == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                mag.log10()
+            });
+        }
+        self.vectors.push(v);
+    }
+
+    fn with_capacity(count: usize) -> Self {
+        ScaledMoments {
+            vectors: Vec::with_capacity(count),
+            log10_magnitudes: Vec::with_capacity(count),
+        }
+    }
+}
+
+/// Rescales the recursion state of a moment chain so every stored vector
+/// stays `O(1)`; returns the `log10` of the applied factor (to be added to
+/// the running frame magnitude).
+fn rescale_state(state: &mut [&mut Vector], extra: Option<&mut Matrix>) -> f64 {
+    let mut peak = 0.0_f64;
+    for v in state.iter() {
+        peak = peak.max(v.norm_inf());
+    }
+    if let Some(m) = &extra {
+        peak = peak.max(m.max_abs());
+    }
+    if peak == 0.0 || !peak.is_finite() {
+        return 0.0;
+    }
+    let inv = 1.0 / peak;
+    for v in state.iter_mut() {
+        v.scale_mut(inv);
+    }
+    if let Some(m) = extra {
+        for x in m.as_mut_slice() {
+            *x *= inv;
+        }
+    }
+    peak.log10()
+}
+
 /// Moment-vector generator for the associated transfer functions of a QLDAE.
 #[derive(Debug)]
 pub struct AssocMomentGenerator<'a> {
@@ -98,6 +180,13 @@ impl<'a> AssocMomentGenerator<'a> {
         }
     }
 
+    /// The cached Schur form of `G₁` (present when solver caching is on), so
+    /// downstream consumers (the stabilized projection, the spectral guard)
+    /// can reuse it instead of refactorizing.
+    pub fn g1_schur(&self) -> Option<&SchurDecomposition> {
+        self.g1_schur.as_ref()
+    }
+
     /// Solves `op · X + X · G₁ᵀ = r`, reusing the cached Schur of `G₁` when
     /// available.
     fn solve_big_small(&self, op: &dyn ShiftedSolveOp, g1t: &Matrix, r: &Matrix) -> Result<Matrix> {
@@ -138,6 +227,161 @@ impl<'a> AssocMomentGenerator<'a> {
         for _ in 0..count {
             v = self.g1_lu.solve(&v).map_err(MorError::Linalg)?;
             out.push(v.clone());
+        }
+        Ok(out)
+    }
+
+    /// [`AssocMomentGenerator::h1_moments`] with per-candidate normalization:
+    /// the running Krylov iterate is rescaled to unit norm after every solve,
+    /// so arbitrarily long chains neither overflow nor poison the deflation
+    /// test, and the discarded magnitudes are reported alongside.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AssocMomentGenerator::h1_moments`].
+    pub fn h1_moments_scaled(&self, input: usize, count: usize) -> Result<ScaledMoments> {
+        let mut v = self.b_col(input)?;
+        let mut out = ScaledMoments::with_capacity(count);
+        let mut frame = 0.0;
+        for _ in 0..count {
+            v = self.g1_lu.solve(&v).map_err(MorError::Linalg)?;
+            out.push(v.clone(), frame);
+            let mag = v.norm2();
+            if mag > 0.0 && mag.is_finite() {
+                frame += mag.log10();
+                v.scale_mut(1.0 / mag);
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`AssocMomentGenerator::h2_moments`] with chain scaling: the whole
+    /// recursion state (the `w_j` Lyapunov iterate, the Cauchy accumulators
+    /// and the `D₁` chain) is rescaled by a common factor after every moment,
+    /// which is exact on the spanned subspace and keeps every intermediate
+    /// `O(1)`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AssocMomentGenerator::h2_moments`].
+    pub fn h2_moments_scaled(
+        &self,
+        input_a: usize,
+        input_b: usize,
+        count: usize,
+    ) -> Result<ScaledMoments> {
+        if count == 0 {
+            return Ok(ScaledMoments::with_capacity(0));
+        }
+        let b_a = self.b_col(input_a)?;
+        let b_b = self.b_col(input_b)?;
+        let mut d_chain = Vector::zeros(self.n());
+        if let Some(da) = self.d1(input_a) {
+            d_chain.axpy(1.0, &da.matvec(&b_b));
+        }
+        if let Some(db) = self.d1(input_b) {
+            d_chain.axpy(1.0, &db.matvec(&b_a));
+        }
+        if input_a == input_b {
+            d_chain.scale_mut(0.5);
+        }
+
+        let mut w = kron_vec(&b_a, &b_b);
+        let mut acc: Vec<Vector> = Vec::with_capacity(count);
+        let mut scratch = Vector::zeros(self.n());
+        let mut out = ScaledMoments::with_capacity(count);
+        let mut frame = 0.0;
+        for _ in 0..count {
+            w = self.kron_op.solve_shifted(0.0, &w)?;
+            let g2w_k = self.qldae.g2().matvec(&w);
+            for a in acc.iter_mut() {
+                scratch.copy_from(a);
+                self.g1_lu
+                    .solve_into(&scratch, a)
+                    .map_err(MorError::Linalg)?;
+            }
+            acc.push(self.g1_lu.solve(&g2w_k).map_err(MorError::Linalg)?);
+            scratch.copy_from(&d_chain);
+            self.g1_lu
+                .solve_into(&scratch, &mut d_chain)
+                .map_err(MorError::Linalg)?;
+            let mut m_k = Vector::zeros(self.n());
+            for a in &acc {
+                m_k.axpy(1.0, a);
+            }
+            m_k.axpy(-1.0, &d_chain);
+            out.push(m_k, frame);
+
+            let mut state: Vec<&mut Vector> = acc.iter_mut().collect();
+            state.push(&mut w);
+            state.push(&mut d_chain);
+            frame += rescale_state(&mut state, None);
+        }
+        Ok(out)
+    }
+
+    /// [`AssocMomentGenerator::h3_moments`] with chain scaling (see
+    /// [`AssocMomentGenerator::h2_moments_scaled`]; here the rescaled state
+    /// additionally includes the `Z_j` Sylvester iterate).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AssocMomentGenerator::h3_moments`].
+    pub fn h3_moments_scaled(&self, input: usize, count: usize) -> Result<ScaledMoments> {
+        if count == 0 {
+            return Ok(ScaledMoments::with_capacity(0));
+        }
+        let n = self.n();
+        let b = self.b_col(input)?;
+        let d1b = self.d1(input).map(|d| d.matvec(&b));
+        let btilde = self.block_op.btilde(&b, d1b.as_ref());
+        let m = self.block_op.dim();
+
+        let g1t = self.qldae.g1().transpose();
+        let mut z = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                z[(i, j)] = btilde[i] * b[j];
+            }
+        }
+        let mut d_chain = match (self.d1(input), &d1b) {
+            (Some(d), Some(db)) => d.matvec(db),
+            _ => Vector::zeros(n),
+        };
+
+        let mut acc: Vec<Vector> = Vec::with_capacity(count);
+        let mut scratch = Vector::zeros(n);
+        let mut out = ScaledMoments::with_capacity(count);
+        let mut frame = 0.0;
+        for _ in 0..count {
+            z = self.solve_big_small(&self.block_op, &g1t, &z)?;
+            let s = z.submatrix(0, n, 0, n);
+            let mut nu = vec_of(&s);
+            nu.axpy(1.0, &vec_of(&s.transpose()));
+            let g2nu_k = self.qldae.g2().matvec(&nu);
+            for a in acc.iter_mut() {
+                scratch.copy_from(a);
+                self.g1_lu
+                    .solve_into(&scratch, a)
+                    .map_err(MorError::Linalg)?;
+            }
+            acc.push(self.g1_lu.solve(&g2nu_k).map_err(MorError::Linalg)?);
+            scratch.copy_from(&d_chain);
+            self.g1_lu
+                .solve_into(&scratch, &mut d_chain)
+                .map_err(MorError::Linalg)?;
+            let mut m_k = Vector::zeros(n);
+            for a in &acc {
+                m_k.axpy(1.0, a);
+            }
+            m_k.axpy(-1.0, &d_chain);
+            out.push(m_k, frame);
+
+            let mut state: Vec<&mut Vector> = acc.iter_mut().collect();
+            state.push(&mut d_chain);
+            frame += rescale_state(&mut state, Some(&mut z));
         }
         Ok(out)
     }
@@ -353,6 +597,11 @@ impl<'a> CubicAssocMomentGenerator<'a> {
         })
     }
 
+    /// The cached Schur form of `G₁` (present when solver caching is on).
+    pub fn g1_schur(&self) -> Option<&SchurDecomposition> {
+        self.g1_schur.as_ref()
+    }
+
     fn n(&self) -> usize {
         self.ode.g1().rows()
     }
@@ -378,6 +627,80 @@ impl<'a> CubicAssocMomentGenerator<'a> {
         for _ in 0..count {
             v = self.g1_lu.solve(&v).map_err(MorError::Linalg)?;
             out.push(v.clone());
+        }
+        Ok(out)
+    }
+
+    /// [`CubicAssocMomentGenerator::h1_moments`] with per-candidate
+    /// normalization (see [`AssocMomentGenerator::h1_moments_scaled`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CubicAssocMomentGenerator::h1_moments`].
+    pub fn h1_moments_scaled(&self, input: usize, count: usize) -> Result<ScaledMoments> {
+        let mut v = self.b_col(input)?;
+        let mut out = ScaledMoments::with_capacity(count);
+        let mut frame = 0.0;
+        for _ in 0..count {
+            v = self.g1_lu.solve(&v).map_err(MorError::Linalg)?;
+            out.push(v.clone(), frame);
+            let mag = v.norm2();
+            if mag > 0.0 && mag.is_finite() {
+                frame += mag.log10();
+                v.scale_mut(1.0 / mag);
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`CubicAssocMomentGenerator::h3_moments`] with chain scaling (see
+    /// [`AssocMomentGenerator::h2_moments_scaled`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CubicAssocMomentGenerator::h3_moments`].
+    pub fn h3_moments_scaled(&self, input: usize, count: usize) -> Result<ScaledMoments> {
+        if count == 0 {
+            return Ok(ScaledMoments::with_capacity(0));
+        }
+        let n = self.n();
+        let b = self.b_col(input)?;
+        let g1t = self.ode.g1().transpose();
+        let bb = kron_vec(&b, &b);
+        let mut w_mat = Matrix::zeros(n * n, n);
+        for j in 0..n {
+            for i in 0..n * n {
+                w_mat[(i, j)] = b[j] * bb[i];
+            }
+        }
+        let mut acc: Vec<Vector> = Vec::with_capacity(count);
+        let mut scratch = Vector::zeros(n);
+        let mut out = ScaledMoments::with_capacity(count);
+        let mut frame = 0.0;
+        for _ in 0..count {
+            w_mat = match &self.g1_schur {
+                Some(schur) => solve_sylvester_big_small_with_schur(&self.kron_op, schur, &w_mat)?,
+                None => solve_sylvester_big_small(&self.kron_op, &g1t, &w_mat)?,
+            };
+            let w_vec = vec_of(&w_mat);
+            let g3w_k = self.ode.g3().matvec(&w_vec);
+            for a in acc.iter_mut() {
+                scratch.copy_from(a);
+                self.g1_lu
+                    .solve_into(&scratch, a)
+                    .map_err(MorError::Linalg)?;
+            }
+            acc.push(self.g1_lu.solve(&g3w_k).map_err(MorError::Linalg)?);
+            let mut m_k = Vector::zeros(n);
+            for a in &acc {
+                m_k.axpy(1.0, a);
+            }
+            out.push(m_k, frame);
+
+            let mut state: Vec<&mut Vector> = acc.iter_mut().collect();
+            frame += rescale_state(&mut state, Some(&mut w_mat));
         }
         Ok(out)
     }
@@ -648,5 +971,111 @@ mod tests {
         let generator = AssocMomentGenerator::new(&q).unwrap();
         assert!(generator.h2_moments(0, 0, 0).unwrap().is_empty());
         assert!(generator.h3_moments(0, 0).unwrap().is_empty());
+        assert!(generator
+            .h2_moments_scaled(0, 0, 0)
+            .unwrap()
+            .vectors
+            .is_empty());
+        assert!(generator
+            .h3_moments_scaled(0, 0)
+            .unwrap()
+            .vectors
+            .is_empty());
+    }
+
+    /// The scaled chain must span exactly the same directions as the raw one:
+    /// each scaled candidate is the unit-normalized raw moment, and the
+    /// recorded `log10` magnitude reconstructs the raw norm.
+    fn assert_scaled_matches_raw(raw: &[Vector], scaled: &ScaledMoments) {
+        assert_eq!(raw.len(), scaled.vectors.len());
+        for (k, (r, s)) in raw.iter().zip(scaled.vectors.iter()).enumerate() {
+            let mag = r.norm2();
+            assert!(
+                (s.norm2() - 1.0).abs() < 1e-12,
+                "scaled candidate {k} is not unit norm"
+            );
+            let unit = r.scaled(1.0 / mag);
+            assert!(
+                (&unit - s).norm_inf() < 1e-9,
+                "scaled candidate {k} is not parallel to the raw moment"
+            );
+            let rec = 10.0_f64.powf(scaled.log10_magnitudes[k]);
+            assert!(
+                (rec - mag).abs() < 1e-6 * mag,
+                "magnitude {k}: raw {mag:.6e}, reconstructed {rec:.6e}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_chains_match_raw_chains_on_small_systems() {
+        for with_d1 in [false, true] {
+            let q = small_qldae(with_d1);
+            let generator = AssocMomentGenerator::new(&q).unwrap();
+            assert_scaled_matches_raw(
+                &generator.h1_moments(0, 5).unwrap(),
+                &generator.h1_moments_scaled(0, 5).unwrap(),
+            );
+            assert_scaled_matches_raw(
+                &generator.h2_moments(0, 0, 4).unwrap(),
+                &generator.h2_moments_scaled(0, 0, 4).unwrap(),
+            );
+            assert_scaled_matches_raw(
+                &generator.h3_moments(0, 3).unwrap(),
+                &generator.h3_moments_scaled(0, 3).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_cubic_chains_match_raw_chains() {
+        let n = 2;
+        let g1 = Matrix::from_rows(&[&[-1.0, 0.2], &[0.0, -3.0]]).unwrap();
+        let mut g3 = CooMatrix::new(n, n * n * n);
+        g3.push(0, 0, 0.5);
+        g3.push(1, 7, -0.3);
+        let b = Matrix::from_rows(&[&[1.0], &[0.4]]).unwrap();
+        let c = Matrix::from_rows(&[&[1.0, 0.0]]).unwrap();
+        let ode = CubicOde::new(g1, None, g3.to_csr(), b, c).unwrap();
+        let generator = CubicAssocMomentGenerator::new(&ode).unwrap();
+        assert_scaled_matches_raw(
+            &generator.h1_moments(0, 4).unwrap(),
+            &generator.h1_moments_scaled(0, 4).unwrap(),
+        );
+        assert_scaled_matches_raw(
+            &generator.h3_moments(0, 3).unwrap(),
+            &generator.h3_moments_scaled(0, 3).unwrap(),
+        );
+    }
+
+    #[test]
+    fn long_scaled_chains_stay_finite_where_raw_chains_overflow() {
+        // G1 with an eigenvalue far inside the unit circle: G1^{-k} b grows
+        // like 5^k and the raw chain overflows past ~440 iterations, while
+        // the scaled chain keeps every candidate at unit norm.
+        let q = QldaeBuilder::new(2, 1)
+            .g1_entry(0, 0, -0.2)
+            .g1_entry(1, 1, -0.25)
+            .g2_entry(0, 0, 1, 0.1)
+            .b_entry(0, 0, 1.0)
+            .b_entry(1, 0, 1.0)
+            .output_state(1)
+            .build()
+            .unwrap();
+        let generator = AssocMomentGenerator::new(&q).unwrap();
+        let scaled = generator.h1_moments_scaled(0, 500).unwrap();
+        assert_eq!(scaled.vectors.len(), 500);
+        assert!(scaled.vectors.iter().all(|v| v.is_finite()));
+        // The discarded magnitude is astronomically large and faithfully
+        // tracked in log10 space (5^500 ≈ 10^349).
+        assert!(scaled.log10_peak() > 300.0);
+        // The raw chain cannot represent those magnitudes.
+        let raw = generator.h1_moments(0, 500).unwrap();
+        assert!(raw
+            .last()
+            .unwrap()
+            .as_slice()
+            .iter()
+            .any(|x| !x.is_finite()));
     }
 }

@@ -12,8 +12,9 @@ use vamor_linalg::{LuDecomposition, OrthoBasis, Vector};
 use vamor_system::Qldae;
 
 use crate::error::MorError;
-use crate::project::project_qldae;
-use crate::reduce::{MomentSpec, ReducedQldae, ReductionStats};
+use crate::reduce::{
+    project_guarded, reorthonormalize, MomentSpec, ReducedQldae, ReductionStats, StabilizationFrame,
+};
 use crate::Result;
 
 /// The multivariate moment-matching (NORM-style) reducer used as the paper's
@@ -36,6 +37,9 @@ use crate::Result;
 pub struct NormReducer {
     spec: MomentSpec,
     deflation_tol: f64,
+    stabilized: bool,
+    qr_condition_cap: f64,
+    spectral_guard: bool,
 }
 
 impl NormReducer {
@@ -44,12 +48,38 @@ impl NormReducer {
         NormReducer {
             spec,
             deflation_tol: OrthoBasis::DEFAULT_TOL,
+            stabilized: true,
+            qr_condition_cap: crate::AssocReducer::DEFAULT_QR_CONDITION_CAP,
+            spectral_guard: true,
         }
     }
 
     /// Overrides the deflation tolerance.
     pub fn with_deflation_tol(mut self, tol: f64) -> Self {
         self.deflation_tol = tol;
+        self
+    }
+
+    /// Enables the energy-inner-product stabilized projection (see
+    /// [`crate::AssocReducer::with_stabilized_projection`]); on by default so
+    /// the baseline is compared against the proposed method under the same
+    /// numerical safeguards.
+    pub fn with_stabilized_projection(mut self, enabled: bool) -> Self {
+        self.stabilized = enabled;
+        self
+    }
+
+    /// Condition cap of the final pivoted-QR re-orthogonalization (see
+    /// [`crate::AssocReducer::with_qr_condition_cap`]).
+    pub fn with_qr_condition_cap(mut self, cap: f64) -> Self {
+        self.qr_condition_cap = cap;
+        self
+    }
+
+    /// Enables the post-projection spectral guard (see
+    /// [`crate::AssocReducer::with_spectral_guard`]).
+    pub fn with_spectral_guard(mut self, enabled: bool) -> Self {
+        self.spectral_guard = enabled;
         self
     }
 
@@ -95,8 +125,12 @@ impl NormReducer {
         let n = qldae.g1().rows();
         let num_inputs = qldae.b().cols();
         let g1_lu = qldae.g1().lu().map_err(MorError::Linalg)?;
+        let frame = StabilizationFrame::new(self.stabilized, qldae.g1(), None);
         let mut basis = OrthoBasis::with_tolerance(n, self.deflation_tol);
-        let mut stats = ReductionStats::default();
+        let mut stats = ReductionStats {
+            energy_weighted: frame.is_active(),
+            ..ReductionStats::default()
+        };
 
         // First-order chains A_a = G1^{-(a+1)} b per input, computed on
         // worker threads (one independent chain per input).
@@ -107,10 +141,15 @@ impl NormReducer {
         }))?;
 
         for chain in &chains {
-            for v in chain.iter().take(self.spec.k1) {
-                stats.h1_candidates += 1;
-                basis.insert(v.clone()).map_err(MorError::Linalg)?;
-            }
+            stats.h1_candidates += chain.len().min(self.spec.k1);
+            basis
+                .extend_from(
+                    chain
+                        .iter()
+                        .take(self.spec.k1)
+                        .map(|v| frame.transform(v.clone())),
+                )
+                .map_err(MorError::Linalg)?;
         }
 
         // Second-order multivariate directions: seeds are cheap structured
@@ -150,7 +189,9 @@ impl NormReducer {
             for (chain, base_degree) in computed.into_iter().zip(degrees) {
                 for (p, v) in chain.into_iter().enumerate() {
                     stats.h2_candidates += 1;
-                    basis.insert(v.clone()).map_err(MorError::Linalg)?;
+                    basis
+                        .extend_from([frame.transform(v.clone())])
+                        .map_err(MorError::Linalg)?;
                     h2_directions.push((base_degree + p, v));
                 }
             }
@@ -188,10 +229,10 @@ impl NormReducer {
                 resolvent_chain(&g1_lu, seed, extra)
             }))?;
             for chain in computed {
-                for v in chain {
-                    stats.h3_candidates += 1;
-                    basis.insert(v).map_err(MorError::Linalg)?;
-                }
+                stats.h3_candidates += chain.len();
+                basis
+                    .extend_from(chain.into_iter().map(|v| frame.transform(v)))
+                    .map_err(MorError::Linalg)?;
             }
         }
 
@@ -199,21 +240,39 @@ impl NormReducer {
             return Err(MorError::EmptyProjection);
         }
         stats.deflated = basis.deflated_count();
-        stats.projection_dim = basis.len();
-        let v = basis.to_matrix().map_err(MorError::Linalg)?;
-        let system = project_qldae(qldae, &v)?;
+        stats.nonfinite_deflated = basis.nonfinite_count();
+        let accumulated = basis.to_matrix().map_err(MorError::Linalg)?;
+        let (qtil, dropped) = reorthonormalize(&accumulated, self.qr_condition_cap)?;
+        stats.qr_dropped = dropped;
+        let (system, v) = project_guarded(
+            qtil,
+            &frame,
+            self.spectral_guard,
+            qldae.g1(),
+            None,
+            &mut stats,
+            |v, w| crate::project::project_qldae_petrov(qldae, v, w),
+        )?;
+        stats.projection_dim = v.cols();
         Ok(ReducedQldae::from_parts(system, v, stats))
     }
 }
 
 /// Applies `G₁⁻¹` repeatedly (`1 + extra` times) to `seed`, returning every
-/// iterate — the expensive inner kernel of the NORM expansion, run on the
-/// worker threads.
+/// iterate at unit norm — the expensive inner kernel of the NORM expansion,
+/// run on the worker threads. Normalizing the running iterate is exact on the
+/// spanned directions (the chain is linear) and keeps deep multivariate
+/// chains from overflowing or drowning the deflation test, mirroring the
+/// moment scaling of the associated-transform generator.
 fn resolvent_chain(g1_lu: &LuDecomposition, seed: Vector, extra: usize) -> Result<Vec<Vector>> {
     let mut out = Vec::with_capacity(extra + 1);
     let mut v = seed;
     for _ in 0..=extra {
         v = g1_lu.solve(&v).map_err(MorError::Linalg)?;
+        let norm = v.norm2();
+        if norm > 0.0 && norm.is_finite() {
+            v.scale_mut(1.0 / norm);
+        }
         out.push(v.clone());
     }
     Ok(out)

@@ -1,4 +1,13 @@
-//! Galerkin projection of polynomial systems onto an orthonormal basis.
+//! Galerkin / Petrov–Galerkin projection of polynomial systems onto a
+//! reduced basis.
+//!
+//! The classic one-sided flow uses `W = V` with Euclidean-orthonormal `V`.
+//! The *stabilized* flow of [`crate::AssocReducer`] instead orthonormalizes
+//! `V` in an energy inner product `⟨u, v⟩_M` and projects with `W = M V`
+//! (so `Wᵀ V = I`); [`project_qldae_petrov`] / [`project_cubic_petrov`]
+//! implement that oblique projection. Moment matching only depends on the
+//! *column span* of `V`, so the associated-transform matching properties are
+//! unaffected by the choice of `W`.
 
 use vamor_linalg::{CooMatrix, CsrMatrix, Matrix, Vector};
 use vamor_system::{CubicOde, Qldae};
@@ -14,22 +23,38 @@ use crate::Result;
 /// Bᵣ = Vᵀ B,       Cᵣ = C V.
 /// ```
 ///
-/// The reduced quadratic coupling is assembled column-by-column through the
-/// Kronecker-structured product `G₂ (v_p ⊗ v_q)` so the `n × n²` matrix is
-/// never densified.
-///
 /// # Errors
 ///
 /// Returns [`MorError::Invalid`] if `V` has the wrong row count or more
 /// columns than rows, and propagates construction errors of the reduced
 /// system.
 pub fn project_qldae(qldae: &Qldae, v: &Matrix) -> Result<Qldae> {
+    project_qldae_petrov(qldae, v, v)
+}
+
+/// Oblique (Petrov–Galerkin) projection of a QLDAE with test basis `W`
+/// (`Wᵀ V = I` is the caller's responsibility):
+///
+/// ```text
+/// G₁ᵣ = Wᵀ G₁ V,   G₂ᵣ = Wᵀ G₂ (V ⊗ V),   D₁ᵣ = Wᵀ D₁ V,
+/// Bᵣ = Wᵀ B,       Cᵣ = C V.
+/// ```
+///
+/// The reduced quadratic coupling is assembled column-by-column through the
+/// Kronecker-structured product `G₂ (v_p ⊗ v_q)` so the `n × n²` matrix is
+/// never densified, and each reduced bilinear term `D₁ₖ` is likewise built
+/// one sparse matvec per basis column — no `O(n²)` densification.
+///
+/// # Errors
+///
+/// Same contract as [`project_qldae`], plus a shape check on `W`.
+pub fn project_qldae_petrov(qldae: &Qldae, v: &Matrix, w: &Matrix) -> Result<Qldae> {
     let n = qldae.g1().rows();
-    validate_basis(v, n)?;
+    validate_basis_pair(v, w, n)?;
     let q = v.cols();
 
-    let g1r = v.transpose().matmul(&qldae.g1().matmul(v));
-    let br = v.transpose().matmul(qldae.b());
+    let g1r = w.transpose().matmul(&qldae.g1().matmul(v));
+    let br = w.transpose().matmul(qldae.b());
     let cr = qldae.c().matmul(v);
 
     // Reduced quadratic term.
@@ -38,7 +63,7 @@ pub fn project_qldae(qldae: &Qldae, v: &Matrix) -> Result<Qldae> {
     for (p, vp) in columns.iter().enumerate() {
         for (r, vr) in columns.iter().enumerate() {
             let col = qldae.g2().matvec_kron(vp, vr);
-            let reduced = v.matvec_transpose(&col);
+            let reduced = w.matvec_transpose(&col);
             for i in 0..q {
                 if reduced[i] != 0.0 {
                     g2r.push(i, p * q + r, reduced[i]);
@@ -47,11 +72,16 @@ pub fn project_qldae(qldae: &Qldae, v: &Matrix) -> Result<Qldae> {
         }
     }
 
-    // Reduced bilinear terms.
+    // Reduced bilinear terms, column-by-column via sparse matvec (the old
+    // implementation densified every D₁ₖ into an n×n matrix first).
     let mut d1r = Vec::with_capacity(qldae.d1().len());
     for dk in qldae.d1() {
-        let dense = dk.to_dense();
-        let reduced = v.transpose().matmul(&dense.matmul(v));
+        let mut reduced = Matrix::zeros(q, q);
+        for (j, vj) in columns.iter().enumerate() {
+            let dv = dk.matvec(vj);
+            let col = w.matvec_transpose(&dv);
+            reduced.set_col(j, &col);
+        }
         d1r.push(CsrMatrix::from_dense(&reduced, 0.0));
     }
 
@@ -65,12 +95,22 @@ pub fn project_qldae(qldae: &Qldae, v: &Matrix) -> Result<Qldae> {
 ///
 /// Same contract as [`project_qldae`].
 pub fn project_cubic(ode: &CubicOde, v: &Matrix) -> Result<CubicOde> {
+    project_cubic_petrov(ode, v, v)
+}
+
+/// Oblique (Petrov–Galerkin) projection of a cubic ODE (see
+/// [`project_qldae_petrov`] for the conventions).
+///
+/// # Errors
+///
+/// Same contract as [`project_qldae_petrov`].
+pub fn project_cubic_petrov(ode: &CubicOde, v: &Matrix, w: &Matrix) -> Result<CubicOde> {
     let n = ode.g1().rows();
-    validate_basis(v, n)?;
+    validate_basis_pair(v, w, n)?;
     let q = v.cols();
 
-    let g1r = v.transpose().matmul(&ode.g1().matmul(v));
-    let br = v.transpose().matmul(ode.b());
+    let g1r = w.transpose().matmul(&ode.g1().matmul(v));
+    let br = w.transpose().matmul(ode.b());
     let cr = ode.c().matmul(v);
     let columns: Vec<Vector> = (0..q).map(|j| v.col(j)).collect();
 
@@ -80,7 +120,7 @@ pub fn project_cubic(ode: &CubicOde, v: &Matrix) -> Result<CubicOde> {
             for (p, vp) in columns.iter().enumerate() {
                 for (r, vr) in columns.iter().enumerate() {
                     let col = g2.matvec_kron(vp, vr);
-                    let reduced = v.matvec_transpose(&col);
+                    let reduced = w.matvec_transpose(&col);
                     for i in 0..q {
                         if reduced[i] != 0.0 {
                             coo.push(i, p * q + r, reduced[i]);
@@ -98,7 +138,7 @@ pub fn project_cubic(ode: &CubicOde, v: &Matrix) -> Result<CubicOde> {
         for (r, vr) in columns.iter().enumerate() {
             for (s, vs) in columns.iter().enumerate() {
                 let col = cubic_matvec_kron(ode.g3(), vp, vr, vs);
-                let reduced = v.matvec_transpose(&col);
+                let reduced = w.matvec_transpose(&col);
                 for i in 0..q {
                     if reduced[i] != 0.0 {
                         g3r.push(i, p * q * q + r * q + s, reduced[i]);
@@ -112,12 +152,32 @@ pub fn project_cubic(ode: &CubicOde, v: &Matrix) -> Result<CubicOde> {
 }
 
 /// `G₃ (x ⊗ y ⊗ z)` without materializing the Kronecker product.
+///
+/// # Panics
+///
+/// Panics if `x`, `y`, `z` do not all have the same length `n` with
+/// `g3.cols() == n³`. (This used to be a `debug_assert!`, which let release
+/// builds index out of bounds or silently fold mismatched coordinates.)
 pub fn cubic_matvec_kron(g3: &CsrMatrix, x: &Vector, y: &Vector, z: &Vector) -> Vector {
     let n = x.len();
-    debug_assert_eq!(
+    assert_eq!(
+        y.len(),
+        n,
+        "cubic_matvec_kron: x has length {n} but y has length {}",
+        y.len()
+    );
+    assert_eq!(
+        z.len(),
+        n,
+        "cubic_matvec_kron: x has length {n} but z has length {}",
+        z.len()
+    );
+    assert_eq!(
         g3.cols(),
         n * n * n,
-        "cubic_matvec_kron: dimension mismatch"
+        "cubic_matvec_kron: G3 has {} columns, expected {n}^3 = {}",
+        g3.cols(),
+        n * n * n
     );
     let mut out = Vector::zeros(g3.rows());
     for (i, col, g) in g3.iter() {
@@ -129,7 +189,7 @@ pub fn cubic_matvec_kron(g3: &CsrMatrix, x: &Vector, y: &Vector, z: &Vector) -> 
     out
 }
 
-fn validate_basis(v: &Matrix, n: usize) -> Result<()> {
+fn validate_basis_pair(v: &Matrix, w: &Matrix, n: usize) -> Result<()> {
     if v.rows() != n {
         return Err(MorError::Invalid(format!(
             "projection basis has {} rows, expected {n}",
@@ -139,6 +199,15 @@ fn validate_basis(v: &Matrix, n: usize) -> Result<()> {
     if v.cols() == 0 || v.cols() > n {
         return Err(MorError::Invalid(format!(
             "projection basis has {} columns for an order-{n} system",
+            v.cols()
+        )));
+    }
+    if w.shape() != v.shape() {
+        return Err(MorError::Invalid(format!(
+            "left projection basis is {}x{}, expected {}x{}",
+            w.rows(),
+            w.cols(),
+            v.rows(),
             v.cols()
         )));
     }
@@ -203,6 +272,29 @@ mod tests {
     }
 
     #[test]
+    fn petrov_projection_is_oblique_galerkin_consistent() {
+        // Any W with the right shape: the reduced RHS must equal Wᵀ f(V x_r).
+        let q = toy_qldae();
+        let mut basis = OrthoBasis::new(3);
+        basis.insert(Vector::from_slice(&[1.0, 0.5, 0.0])).unwrap();
+        basis.insert(Vector::from_slice(&[0.0, 0.5, 1.0])).unwrap();
+        let v = basis.to_matrix().unwrap();
+        let w = Matrix::from_fn(3, 2, |i, j| 0.3 * (i as f64 + 1.0) - 0.7 * j as f64);
+        let reduced = project_qldae_petrov(&q, &v, &w).unwrap();
+        let xr = Vector::from_slice(&[0.2, -0.4]);
+        let u = [0.3];
+        let x_full = v.matvec(&xr);
+        let expected = w.matvec_transpose(&q.rhs(&x_full, &u));
+        let got = reduced.rhs(&xr, &u);
+        assert!((&expected - &got).norm_inf() < 1e-12);
+        // The output side only involves V.
+        assert!((&q.output(&x_full) - &reduced.output(&xr)).norm_inf() < 1e-12);
+        // Shape mismatch on W is rejected.
+        assert!(project_qldae_petrov(&q, &v, &Matrix::zeros(3, 1)).is_err());
+        assert!(project_qldae_petrov(&q, &v, &Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
     fn cubic_projection_is_galerkin_consistent() {
         let n = 3;
         let g1 =
@@ -245,6 +337,46 @@ mod tests {
         let explicit = g3.matvec(&kron_vec(&x, &kron_vec(&y, &z)));
         let structured = cubic_matvec_kron(&g3, &x, &y, &z);
         assert!((&explicit - &structured).norm_inf() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "cubic_matvec_kron: G3 has")]
+    fn cubic_matvec_kron_rejects_dimension_mismatch_in_release_too() {
+        // G3 sized for n = 2 but fed n = 3 vectors: before the fix this was a
+        // debug_assert, so release builds read garbage indices.
+        let mut g3 = CooMatrix::new(2, 8);
+        g3.push(0, 3, 1.0);
+        let g3 = g3.to_csr();
+        let x = Vector::zeros(3);
+        let _ = cubic_matvec_kron(&g3, &x, &x, &x);
+    }
+
+    #[test]
+    #[should_panic(expected = "cubic_matvec_kron: x has length")]
+    fn cubic_matvec_kron_rejects_mixed_operand_lengths() {
+        let mut g3 = CooMatrix::new(2, 8);
+        g3.push(0, 3, 1.0);
+        let g3 = g3.to_csr();
+        let _ = cubic_matvec_kron(
+            &g3.clone(),
+            &Vector::zeros(2),
+            &Vector::zeros(3),
+            &Vector::zeros(2),
+        );
+    }
+
+    #[test]
+    fn reduced_d1_matches_dense_reference() {
+        // The sparse column-by-column D1 projection must agree with the old
+        // densified computation Vᵀ (D1_dense) V.
+        let q = toy_qldae();
+        let mut basis = OrthoBasis::new(3);
+        basis.insert(Vector::from_slice(&[1.0, -1.0, 0.5])).unwrap();
+        basis.insert(Vector::from_slice(&[0.2, 0.9, -0.3])).unwrap();
+        let v = basis.to_matrix().unwrap();
+        let reduced = project_qldae(&q, &v).unwrap();
+        let dense_ref = v.transpose().matmul(&q.d1()[0].to_dense().matmul(&v));
+        assert!((&reduced.d1()[0].to_dense() - &dense_ref).max_abs() < 1e-13);
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Cholesky factorization of symmetric positive definite matrices.
+//!
+//! The stabilized-projection pipeline of the MOR flow orthonormalizes its
+//! candidate vectors in an *energy* inner product `⟨u, v⟩_M = uᵀ M v`, where
+//! `M` is the Gram matrix of a Lyapunov function of the full system (see
+//! [`crate::sylvester::lyapunov_weight`]). The congruence transform that
+//! turns that weighted problem back into a Euclidean one is `v ↦ Lᵀ v` with
+//! `M = L Lᵀ` — this module provides that factor.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `L` of a symmetric positive definite
+/// matrix `A = L Lᵀ`.
+///
+/// ```
+/// use vamor_linalg::{CholeskyDecomposition, Matrix};
+/// # fn main() -> Result<(), vamor_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = CholeskyDecomposition::new(&a)?;
+/// let l = chol.l();
+/// assert!((&l.matmul(&l.transpose()) - &a).max_abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyDecomposition {
+    l: Matrix,
+}
+
+impl CholeskyDecomposition {
+    /// Factors a symmetric positive definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the input is the
+    /// caller's responsibility (use [`Matrix::symmetric_part`] when the matrix
+    /// comes from a numerical Lyapunov solve).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for a non-square input and
+    /// [`LinalgError::Singular`] if a pivot is not strictly positive (the
+    /// matrix is not positive definite to working precision).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::Singular(format!(
+                    "cholesky: non-positive pivot {diag:.3e} at column {j}"
+                )));
+            }
+            let djj = diag.sqrt();
+            l[(j, j)] = djj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(CholeskyDecomposition { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Computes `Lᵀ x` (the congruence map into the Euclidean frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the factor dimension.
+    pub fn lt_matvec(&self, x: &Vector) -> Vector {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "cholesky lt_matvec: dimension mismatch");
+        Vector::from_fn(n, |i| {
+            let mut acc = 0.0;
+            for j in i..n {
+                acc += self.l[(j, i)] * x[j];
+            }
+            acc
+        })
+    }
+
+    /// Solves `Lᵀ x = b` (the congruence map back out of the Euclidean
+    /// frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for a wrongly sized `b`.
+    pub fn solve_lt(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "cholesky solve_lt: rhs has length {}, expected {n}",
+                b.len()
+            )));
+        }
+        let mut x = b.clone();
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `Lᵀ X = B` column-by-column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for a wrongly shaped `B`.
+    pub fn solve_lt_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "cholesky solve_lt_matrix: rhs has {} rows, expected {n}",
+                b.rows()
+            )));
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve_lt(&b.col(j))?;
+            out.set_col(j, &x);
+        }
+        Ok(out)
+    }
+
+    /// Computes `L B` (maps a Euclidean-orthonormal basis to the weighted
+    /// left-projection factor `W = L Q̃` of the stabilized Galerkin flow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for a wrongly shaped `B`.
+    pub fn l_matmul(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "cholesky l_matmul: rhs has {} rows, expected {n}",
+                b.rows()
+            )));
+        }
+        Ok(self.l.matmul(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize) -> Matrix {
+        // A = B Bᵀ + n I with a deterministic B.
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_spd_matrix() {
+        let a = spd(6);
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        let l = chol.l();
+        assert!((&l.matmul(&l.transpose()) - &a).max_abs() < 1e-10);
+        // L is lower triangular with positive diagonal.
+        for i in 0..6 {
+            assert!(l[(i, i)] > 0.0);
+            for j in (i + 1)..6 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lt_solve_and_matvec_are_inverses() {
+        let a = spd(5);
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        let x = Vector::from_fn(5, |i| (i as f64) - 1.7);
+        let y = chol.lt_matvec(&x);
+        let back = chol.solve_lt(&y).unwrap();
+        assert!((&back - &x).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_solve_matches_vector_solve() {
+        let a = spd(4);
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        let b = Matrix::from_fn(4, 2, |i, j| (i + 2 * j) as f64 - 1.0);
+        let x = chol.solve_lt_matrix(&b).unwrap();
+        for j in 0..2 {
+            let xc = chol.solve_lt(&b.col(j)).unwrap();
+            assert!((&x.col(j) - &xc).norm_inf() < 1e-14);
+        }
+        // Lᵀ X recovers B.
+        let lt = chol.l().transpose();
+        assert!((&lt.matmul(&x) - &b).max_abs() < 1e-12);
+        assert_eq!(chol.l_matmul(&b).unwrap().shape(), (4, 2));
+        assert!(chol.l_matmul(&Matrix::zeros(3, 2)).is_err());
+        assert!(chol.solve_lt_matrix(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn indefinite_matrices_are_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            CholeskyDecomposition::new(&a),
+            Err(LinalgError::Singular(_))
+        ));
+        assert!(CholeskyDecomposition::new(&Matrix::zeros(2, 3)).is_err());
+    }
+}

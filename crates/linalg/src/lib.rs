@@ -6,8 +6,9 @@
 //! factorization used by the associated-transform model order reduction flow
 //! is implemented here, including the less common pieces EDA-style MOR needs:
 //!
-//! * dense [`Matrix`] / [`Vector`] arithmetic, [`LuDecomposition`] and
-//!   Householder [`QrDecomposition`],
+//! * dense [`Matrix`] / [`Vector`] arithmetic, [`LuDecomposition`],
+//!   Householder [`QrDecomposition`] (plus the column-pivoted [`PivotedQr`])
+//!   and [`CholeskyDecomposition`],
 //! * complex scalars ([`Complex`]) and complex dense solves ([`ZMatrix`]),
 //! * Hessenberg reduction and the real [`SchurDecomposition`] (Francis
 //!   double-shift QR) with eigenvalue extraction,
@@ -36,6 +37,7 @@
 //! ```
 
 pub mod arnoldi;
+pub mod cholesky;
 pub mod complex;
 pub mod eig;
 pub mod error;
@@ -54,6 +56,7 @@ pub mod vector;
 pub mod zmatrix;
 
 pub use arnoldi::{arnoldi, ArnoldiResult};
+pub use cholesky::CholeskyDecomposition;
 pub use complex::Complex;
 pub use eig::{eigenvalues, Eigenvalues};
 pub use error::LinalgError;
@@ -63,11 +66,13 @@ pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use op::{DenseOp, LinearOp, ShiftedInverseOp};
 pub use orth::OrthoBasis;
-pub use qr::QrDecomposition;
+pub use qr::{PivotedQr, QrDecomposition};
 pub use schur::SchurDecomposition;
 pub use shift_cache::ShiftedLuCache;
 pub use sparse::{CooMatrix, CsrMatrix};
-pub use sylvester::{solve_lyapunov, solve_sylvester, SylvesterSolver};
+pub use sylvester::{
+    lyapunov_weight, lyapunov_weight_with_schur, solve_lyapunov, solve_sylvester, SylvesterSolver,
+};
 pub use vector::Vector;
 pub use zmatrix::{ZLuDecomposition, ZMatrix, ZVector};
 

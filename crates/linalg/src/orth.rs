@@ -33,6 +33,7 @@ pub struct OrthoBasis {
     columns: Vec<Vector>,
     deflation_tol: f64,
     deflated: usize,
+    nonfinite: usize,
 }
 
 impl OrthoBasis {
@@ -46,6 +47,7 @@ impl OrthoBasis {
             columns: Vec::new(),
             deflation_tol: Self::DEFAULT_TOL,
             deflated: 0,
+            nonfinite: 0,
         }
     }
 
@@ -56,6 +58,7 @@ impl OrthoBasis {
             columns: Vec::new(),
             deflation_tol: tol,
             deflated: 0,
+            nonfinite: 0,
         }
     }
 
@@ -75,9 +78,17 @@ impl OrthoBasis {
     }
 
     /// Number of candidate vectors that were rejected as numerically
-    /// dependent.
+    /// dependent (including the non-finite ones counted by
+    /// [`OrthoBasis::nonfinite_count`]).
     pub fn deflated_count(&self) -> usize {
         self.deflated
+    }
+
+    /// Number of candidate vectors rejected because they carried non-finite
+    /// entries (overflowed late-chain moments, see
+    /// [`OrthoBasis::extend_from`]).
+    pub fn nonfinite_count(&self) -> usize {
+        self.nonfinite
     }
 
     /// The orthonormal vectors.
@@ -133,12 +144,24 @@ impl OrthoBasis {
 
     /// Inserts every vector of an iterator, returning how many were kept.
     ///
+    /// Unlike [`OrthoBasis::insert`], a vector with non-finite entries does
+    /// **not** abort the whole extension: moment chains can overflow in their
+    /// late iterations, and losing the entire reduction to one overflowed
+    /// trailing candidate is strictly worse than deflating it. Such vectors
+    /// are counted as deflated and tracked by
+    /// [`OrthoBasis::nonfinite_count`].
+    ///
     /// # Errors
     ///
-    /// Propagates the first insertion error.
+    /// Propagates the first dimension-mismatch error.
     pub fn extend_from<I: IntoIterator<Item = Vector>>(&mut self, vectors: I) -> Result<usize> {
         let mut kept = 0;
         for v in vectors {
+            if v.len() == self.dim && !v.is_finite() {
+                self.deflated += 1;
+                self.nonfinite += 1;
+                continue;
+            }
             if self.insert(v)? {
                 kept += 1;
             }
@@ -251,6 +274,29 @@ mod tests {
             .unwrap();
         assert_eq!(kept, 2);
         assert_eq!(basis.len(), 2);
+    }
+
+    #[test]
+    fn extend_deflates_nonfinite_candidates_instead_of_failing() {
+        let mut basis = OrthoBasis::new(3);
+        let kept = basis
+            .extend_from(vec![
+                Vector::from_slice(&[1.0, 0.0, 0.0]),
+                Vector::from_slice(&[f64::INFINITY, 0.0, 0.0]),
+                Vector::from_slice(&[f64::NAN, 1.0, 0.0]),
+                Vector::from_slice(&[0.0, 0.0, 2.0]),
+            ])
+            .unwrap();
+        assert_eq!(kept, 2);
+        assert_eq!(basis.len(), 2);
+        assert_eq!(basis.nonfinite_count(), 2);
+        assert_eq!(basis.deflated_count(), 2);
+        // Dimension mismatches still abort.
+        assert!(basis.extend_from(vec![Vector::zeros(4)]).is_err());
+        // Direct insert keeps its strict contract.
+        assert!(basis
+            .insert(Vector::from_slice(&[f64::NAN, 0.0, 0.0]))
+            .is_err());
     }
 
     #[test]

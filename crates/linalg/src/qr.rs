@@ -173,6 +173,176 @@ impl QrDecomposition {
     }
 }
 
+/// Householder QR with column pivoting, `A P = Q R`.
+///
+/// At every step the remaining column of largest norm is moved to the front,
+/// so the diagonal of `R` is non-increasing in magnitude and a trailing block
+/// of small `|r_kk|` exposes (near-)dependent columns. The MOR flow uses this
+/// to re-factor an incrementally built projection basis: columns whose pivot
+/// falls below a condition cap are dropped, restoring `QᵀQ ≈ I` to machine
+/// precision even when incremental Gram–Schmidt has drifted.
+///
+/// ```
+/// use vamor_linalg::{Matrix, PivotedQr};
+/// # fn main() -> Result<(), vamor_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1e-14], &[0.0, 0.0]])?;
+/// let qr = PivotedQr::new(&a)?;
+/// assert_eq!(qr.rank(1e-10), 1); // second independent direction is noise
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PivotedQr {
+    q: Matrix,
+    r: Matrix,
+    perm: Vec<usize>,
+}
+
+impl PivotedQr {
+    /// Factors `a` (requires `a.rows() >= a.cols()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `a.rows() < a.cols()` and
+    /// [`LinalgError::InvalidArgument`] if `a` is empty.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::InvalidArgument(
+                "pivoted qr of empty matrix".into(),
+            ));
+        }
+        if m < n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "pivoted qr requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        let mut r_full = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Running squared norms of the trailing part of each column; refreshed
+        // from scratch on each step for robustness (n is small in the MOR use).
+        let mut reflectors: Vec<Vector> = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Pivot: bring the largest remaining column to position k.
+            let mut best = k;
+            let mut best_norm = -1.0;
+            for j in k..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += r_full[(i, j)] * r_full[(i, j)];
+                }
+                if s > best_norm {
+                    best_norm = s;
+                    best = j;
+                }
+            }
+            if best != k {
+                for i in 0..m {
+                    let tmp = r_full[(i, k)];
+                    r_full[(i, k)] = r_full[(i, best)];
+                    r_full[(i, best)] = tmp;
+                }
+                perm.swap(k, best);
+            }
+
+            let norm_x = best_norm.max(0.0).sqrt();
+            let mut v = Vector::zeros(m);
+            if norm_x == 0.0 {
+                reflectors.push(v);
+                continue;
+            }
+            let alpha = if r_full[(k, k)] >= 0.0 {
+                -norm_x
+            } else {
+                norm_x
+            };
+            for i in k..m {
+                v[i] = r_full[(i, k)];
+            }
+            v[k] -= alpha;
+            let vnorm = v.norm2();
+            if vnorm == 0.0 {
+                reflectors.push(Vector::zeros(m));
+                continue;
+            }
+            v.scale_mut(1.0 / vnorm);
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r_full[(i, j)];
+                }
+                for i in k..m {
+                    r_full[(i, j)] -= 2.0 * dot * v[i];
+                }
+            }
+            reflectors.push(v);
+        }
+
+        // Thin Q from the reflectors applied in reverse to the leading columns
+        // of the identity.
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q[(j, j)] = 1.0;
+        }
+        for k in (0..n).rev() {
+            let v = &reflectors[k];
+            if v.norm2() == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * q[(i, j)];
+                }
+                for i in k..m {
+                    q[(i, j)] -= 2.0 * dot * v[i];
+                }
+            }
+        }
+
+        let r = r_full.submatrix(0, n, 0, n);
+        Ok(PivotedQr { q, r, perm })
+    }
+
+    /// The thin orthonormal factor `Q` (`m x n`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper triangular factor `R` (`n x n`, non-increasing diagonal).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// The column permutation: original column `perm[k]` of `A` landed in
+    /// pivoted position `k`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Numerical rank: the number of leading pivots with
+    /// `|r_kk| > tol * |r_00|`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let n = self.r.cols();
+        let r00 = self.r[(0, 0)].abs();
+        if r00 == 0.0 {
+            return 0;
+        }
+        (0..n)
+            .take_while(|&k| self.r[(k, k)].abs() > tol * r00)
+            .count()
+    }
+
+    /// The first `rank` pivoted columns of `Q`: an orthonormal basis (to
+    /// machine precision) of the numerically well-conditioned part of
+    /// `span(A)`. `rank` is clamped to the factor width.
+    pub fn orthonormal_prefix(&self, rank: usize) -> Matrix {
+        let k = rank.clamp(1, self.q.cols());
+        self.q.submatrix(0, self.q.rows(), 0, k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +403,53 @@ mod tests {
         assert!(qr.solve_least_squares(&Vector::zeros(3)).is_err() || qr.rank(1e-10) == 1);
         let b = Matrix::identity(3);
         assert_eq!(b.qr().unwrap().rank(1e-10), 3);
+    }
+
+    #[test]
+    fn pivoted_qr_reconstructs_with_permutation() {
+        let a = Matrix::from_rows(&[
+            &[0.01, 2.0, -1.0],
+            &[0.02, -1.0, 3.0],
+            &[0.005, 0.5, 0.5],
+            &[0.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let qr = PivotedQr::new(&a).unwrap();
+        // Q R = A P: compare column-by-column through the permutation.
+        let qr_mat = qr.q().matmul(qr.r());
+        for k in 0..3 {
+            let orig = qr.permutation()[k];
+            assert!((&qr_mat.col(k) - &a.col(orig)).norm_inf() < 1e-12);
+        }
+        // Orthonormal Q, non-increasing pivots, full rank.
+        let qtq = qr.q().transpose().matmul(qr.q());
+        assert_close(&qtq, &Matrix::identity(3), 1e-12);
+        assert!(qr.r()[(0, 0)].abs() >= qr.r()[(1, 1)].abs());
+        assert!(qr.r()[(1, 1)].abs() >= qr.r()[(2, 2)].abs());
+        assert_eq!(qr.rank(1e-12), 3);
+        // The tiny first column must have been pivoted to the back.
+        assert_eq!(qr.permutation()[2], 0);
+    }
+
+    #[test]
+    fn pivoted_qr_exposes_dependent_columns() {
+        // Third column is (almost) a combination of the first two.
+        let c0 = [1.0, 2.0, -1.0, 0.5];
+        let c1 = [0.0, 1.0, 1.0, -2.0];
+        let a = Matrix::from_fn(4, 3, |i, j| match j {
+            0 => c0[i],
+            1 => c1[i],
+            _ => 0.3 * c0[i] - 0.7 * c1[i] + 1e-13 * (i as f64),
+        });
+        let qr = PivotedQr::new(&a).unwrap();
+        assert_eq!(qr.rank(1e-10), 2);
+        let basis = qr.orthonormal_prefix(qr.rank(1e-10));
+        assert_eq!(basis.shape(), (4, 2));
+        let gram = basis.transpose().matmul(&basis);
+        assert_close(&gram, &Matrix::identity(2), 1e-12);
+        // Degenerate inputs.
+        assert!(PivotedQr::new(&Matrix::zeros(2, 3)).is_err());
+        assert_eq!(PivotedQr::new(&Matrix::zeros(3, 2)).unwrap().rank(0.5), 0);
     }
 
     #[test]

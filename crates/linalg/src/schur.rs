@@ -112,6 +112,32 @@ impl SchurDecomposition {
         out
     }
 
+    /// The Schur decomposition of `Aᵀ`, derived in `O(n²)` from this one
+    /// (no new QR iteration).
+    ///
+    /// If `A = Q T Qᵀ` then `Aᵀ = (QJ) (J Tᵀ J) (QJ)ᵀ`, where `J` is the
+    /// anti-diagonal flip: `J Tᵀ J` is again upper quasi-triangular with the
+    /// diagonal blocks in reversed order. This lets the stabilized-projection
+    /// flow solve transposed Lyapunov equations against a Schur form that was
+    /// already computed for the forward problem.
+    pub fn adjoint(&self) -> SchurDecomposition {
+        let n = self.dim();
+        // Q' = Q J (columns reversed).
+        let q = Matrix::from_fn(n, n, |i, j| self.q[(i, n - 1 - j)]);
+        // T' = J Tᵀ J.
+        let t = Matrix::from_fn(n, n, |i, j| self.t[(n - 1 - j, n - 1 - i)]);
+        let blocks = self
+            .blocks
+            .iter()
+            .rev()
+            .map(|b| SchurBlock {
+                start: n - b.start - b.size,
+                size: b.size,
+            })
+            .collect();
+        SchurDecomposition { q, t, blocks }
+    }
+
     /// Transforms a vector into Schur coordinates: `Qᵀ x`.
     pub fn to_schur_coords(&self, x: &crate::Vector) -> crate::Vector {
         self.q.matvec_transpose(x)
@@ -528,6 +554,44 @@ mod tests {
         for z in s.eigenvalues() {
             assert!((z.re - 2.0).abs() < 1e-7);
             assert!(z.im.abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn adjoint_is_a_valid_schur_form_of_the_transpose() {
+        for n in [3usize, 5, 8] {
+            let a = test_matrix(n, 77 + n as u64);
+            let s = SchurDecomposition::new(&a).unwrap();
+            let adj = s.adjoint();
+            // Q' T' Q'ᵀ reconstructs Aᵀ.
+            let back = adj.q().matmul(&adj.t().matmul(&adj.q().transpose()));
+            assert!(
+                (&back - &a.transpose()).max_abs() < 1e-8 * n as f64,
+                "adjoint reconstruction error {}",
+                (&back - &a.transpose()).max_abs()
+            );
+            // T' quasi-triangular, blocks tile the diagonal.
+            for i in 0..n {
+                for j in 0..i.saturating_sub(1) {
+                    assert!(adj.t()[(i, j)].abs() < 1e-9);
+                }
+            }
+            let total: usize = adj.blocks().iter().map(|b| b.size).sum();
+            assert_eq!(total, n);
+            // Same spectrum.
+            let mut e1: Vec<(i64, i64)> = s
+                .eigenvalues()
+                .iter()
+                .map(|z| ((z.re * 1e6) as i64, (z.im.abs() * 1e6) as i64))
+                .collect();
+            let mut e2: Vec<(i64, i64)> = adj
+                .eigenvalues()
+                .iter()
+                .map(|z| ((z.re * 1e6) as i64, (z.im.abs() * 1e6) as i64))
+                .collect();
+            e1.sort_unstable();
+            e2.sort_unstable();
+            assert_eq!(e1, e2);
         }
     }
 }

@@ -143,6 +143,30 @@ impl SylvesterSolver {
         })
     }
 
+    /// Builds a Lyapunov-structured solver (`A X + X Aᵀ = C`) from an
+    /// already computed Schur form of `A`, skipping the QR iteration entirely.
+    ///
+    /// The MOR reducers hold a cached Schur form of `G₁`; the stabilized
+    /// projection needs one extra Lyapunov solve against `G₁ᵀ`
+    /// ([`lyapunov_weight_with_schur`]), which this constructor (combined with
+    /// [`crate::SchurDecomposition::adjoint`]) makes an `O(n²)` setup instead
+    /// of a second `O(n³)` factorization.
+    pub fn new_lyapunov_from_schur(sa: &SchurDecomposition) -> Self {
+        SylvesterSolver {
+            na: sa.dim(),
+            nb: sa.dim(),
+            qa: sa.q().clone(),
+            ta: sa.t().clone(),
+            blocks_a: sa.blocks().to_vec(),
+            qb: sa.q().clone(),
+            tb: sa.t().clone(),
+            blocks_b: sa.blocks().to_vec(),
+            qat: sa.q().transpose(),
+            qbt: sa.q().transpose(),
+            fast_blocks: true,
+        }
+    }
+
     /// The Schur factorization of the `A` coefficient as a standalone
     /// decomposition (cloned), so callers can reuse it for other
     /// `A`-spectrum-driven recursions without refactorizing.
@@ -638,6 +662,49 @@ pub fn solve_lyapunov(a: &Matrix, c: &Matrix) -> Result<Matrix> {
     SylvesterSolver::new(a, &a.transpose())?.solve(c)
 }
 
+/// Gram matrix `M` of the energy inner product of a Hurwitz matrix `A`:
+/// the unique symmetric positive definite solution of
+///
+/// ```text
+/// Aᵀ M + M A = −I.
+/// ```
+///
+/// In the inner product `⟨u, v⟩_M = uᵀ M v`, `A` is *dissipative*: for any
+/// basis `V` with `Vᵀ M V = I`, the Galerkin-reduced matrix
+/// `A_r = Vᵀ M A V` satisfies `A_r + A_rᵀ = Vᵀ (M A + Aᵀ M) V = −VᵀV ≺ 0`
+/// and is therefore Hurwitz — the stability guarantee behind the stabilized
+/// projection of the MOR flow.
+///
+/// # Errors
+///
+/// Propagates Schur/Sylvester failures; returns
+/// [`LinalgError::Singular`] (from the downstream Cholesky) only indirectly —
+/// for a non-Hurwitz `A` the solution exists but is not positive definite.
+pub fn lyapunov_weight(a: &Matrix) -> Result<Matrix> {
+    let schur = SchurDecomposition::new(a)?;
+    lyapunov_weight_with_schur(&schur)
+}
+
+/// [`lyapunov_weight`] reusing an existing Schur form of `A` (the adjoint
+/// form needed for the transposed equation is derived in `O(n²)`).
+///
+/// # Errors
+///
+/// Same contract as [`lyapunov_weight`].
+pub fn lyapunov_weight_with_schur(schur_of_a: &SchurDecomposition) -> Result<Matrix> {
+    let n = schur_of_a.dim();
+    // Aᵀ M + M A = −I  is Lyapunov-structured in Aᵀ.
+    let solver = SylvesterSolver::new_lyapunov_from_schur(&schur_of_a.adjoint());
+    let mut neg_i = Matrix::zeros(n, n);
+    for i in 0..n {
+        neg_i[(i, i)] = -1.0;
+    }
+    let m = solver.solve(&neg_i)?;
+    // The analytic solution is symmetric; symmetrize away solver roundoff so
+    // downstream Cholesky sees an exactly symmetric matrix.
+    Ok(m.symmetric_part())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,6 +751,39 @@ mod tests {
         for i in 0..7 {
             assert!(x[(i, i)] > 0.0);
         }
+    }
+
+    #[test]
+    fn lyapunov_weight_is_spd_and_satisfies_the_equation() {
+        for (n, seed) in [(5usize, 11u64), (9, 12)] {
+            let a = stable_matrix(n, seed);
+            let m = lyapunov_weight(&a).unwrap();
+            // Aᵀ M + M A = -I.
+            let res = &(&a.transpose().matmul(&m) + &m.matmul(&a)) + &Matrix::identity(n);
+            assert!(res.max_abs() < 1e-9, "residual {}", res.max_abs());
+            // Exactly symmetric (post-symmetrization) and positive definite.
+            assert!((&m - &m.transpose()).max_abs() == 0.0);
+            assert!(crate::cholesky::CholeskyDecomposition::new(&m).is_ok());
+            // The cached-Schur variant agrees.
+            let schur = SchurDecomposition::new(&a).unwrap();
+            let m2 = lyapunov_weight_with_schur(&schur).unwrap();
+            assert!((&m - &m2).max_abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lyapunov_from_schur_matches_fresh_factorization() {
+        let a = stable_matrix(6, 31);
+        let c = Matrix::from_fn(6, 6, |i, j| ((i * 3 + j) % 7) as f64 - 3.0);
+        let fresh = SylvesterSolver::new_lyapunov(&a)
+            .unwrap()
+            .solve(&c)
+            .unwrap();
+        let schur = SchurDecomposition::new(&a).unwrap();
+        let reused = SylvesterSolver::new_lyapunov_from_schur(&schur)
+            .solve(&c)
+            .unwrap();
+        assert!((&fresh - &reused).max_abs() < 1e-10);
     }
 
     #[test]
