@@ -7,8 +7,12 @@
 //! ```
 //!
 //! By default the paper-sized systems are used (100-stage line, 70-state
-//! line, 173-state receiver, 102-state varistor circuit). `--small` runs
-//! scaled-down instances for a quick smoke test.
+//! line, 173-state receiver, 102-state varistor circuit, plus the
+//! 2 000/10 000-state lines of the `sparse` scaling run). `--small` runs
+//! scaled-down instances for a quick smoke test. `--sparse` / `--dense`
+//! force the linear-solver backend of every reduction and full-model
+//! transient (default: automatic, sparse from 256 states up), so the gate
+//! can exercise both backends.
 //!
 //! The run writes a machine-readable snapshot (`BENCH_PR<n>.json` by
 //! default, `--json <path>` to override, `--no-json` to skip) and can gate
@@ -26,19 +30,24 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use vamor_bench::{
-    acceptance_metrics, compare_to_baseline, fig2_voltage_line, fig3_current_line,
-    fig4_rf_receiver, fig5_varistor, scaling_subspace_dims, AcceptanceMetrics, Baseline,
-    TransientComparison,
+    acceptance_metrics, compare_to_baseline, fig2_voltage_line_with, fig3_current_line_with,
+    fig4_rf_receiver_with, fig5_varistor_with, scaling_subspace_dims, sparse_scaling,
+    AcceptanceMetrics, Baseline, SparseScalingReport, TransientComparison,
 };
+use vamor_core::SolverBackend;
 
 /// PR number stamped into the emitted baseline snapshot.
-const PR_NUMBER: u32 = 2;
+const PR_NUMBER: u32 = 3;
 
 struct Sizes {
     fig2_stages: usize,
     fig3_stages: usize,
     fig4_sections: usize,
     fig5_ladder: usize,
+    /// Mid size of the sparse-LU scaling run (dense path still measured).
+    sparse_mid: usize,
+    /// Large size of the sparse-LU scaling run (sparse only).
+    sparse_big: usize,
     dt: f64,
 }
 
@@ -49,6 +58,8 @@ impl Sizes {
             fig3_stages: 70,
             fig4_sections: 86,
             fig5_ladder: 98,
+            sparse_mid: 2_000,
+            sparse_big: 10_000,
             dt: 0.01,
         }
     }
@@ -59,6 +70,8 @@ impl Sizes {
             fig3_stages: 20,
             fig4_sections: 12,
             fig5_ladder: 16,
+            sparse_mid: 500,
+            sparse_big: 2_000,
             dt: 0.02,
         }
     }
@@ -68,6 +81,21 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
     let no_json = args.iter().any(|a| a == "--no-json");
+    // Linear-solver backend toggle for the gate: `--sparse` / `--dense`
+    // force every reduction and full-model transient onto one backend;
+    // the default `Auto` picks dense below 256 states.
+    let backend = match (
+        args.iter().any(|a| a == "--sparse"),
+        args.iter().any(|a| a == "--dense"),
+    ) {
+        (true, true) => {
+            eprintln!("--sparse and --dense are mutually exclusive");
+            return ExitCode::FAILURE;
+        }
+        (true, false) => SolverBackend::Sparse,
+        (false, true) => SolverBackend::Dense,
+        (false, false) => SolverBackend::Auto,
+    };
     let json_path = match args.iter().position(|a| a == "--json") {
         Some(i) => match args.get(i + 1) {
             Some(path) if !path.starts_with("--") => path.clone(),
@@ -104,7 +132,9 @@ fn main() -> ExitCode {
         }
     }
     if which.is_empty() || which.contains(&"all") {
-        which = vec!["fig2", "fig3", "fig4", "fig5", "table1", "scaling", "perf"];
+        which = vec![
+            "fig2", "fig3", "fig4", "fig5", "table1", "scaling", "sparse", "perf",
+        ];
     }
     let sizes = if small {
         Sizes::small()
@@ -115,28 +145,37 @@ fn main() -> ExitCode {
     let mut table1_rows: Vec<(String, TransientComparison)> = Vec::new();
     let mut json_rows: Vec<(String, TransientComparison)> = Vec::new();
     let mut acceptance: Option<AcceptanceMetrics> = None;
+    let mut sparse_report: Option<SparseScalingReport> = None;
     for experiment in &which {
         let outcome = match *experiment {
-            "fig2" => fig2_voltage_line(sizes.fig2_stages, sizes.dt).map(|c| {
+            "fig2" => fig2_voltage_line_with(sizes.fig2_stages, sizes.dt, backend).map(|c| {
                 print_figure("Fig. 2", &c);
                 json_rows.push(("fig2".into(), c));
                 None
             }),
-            "fig3" => fig3_current_line(sizes.fig3_stages, sizes.dt).map(|c| {
+            "fig3" => fig3_current_line_with(sizes.fig3_stages, sizes.dt, backend).map(|c| {
                 print_figure("Fig. 3", &c);
                 json_rows.push(("fig3".into(), c.clone()));
                 Some(("Sect 3.2 Ex. (transmission line)".to_string(), c))
             }),
-            "fig4" => fig4_rf_receiver(sizes.fig4_sections, sizes.dt).map(|c| {
+            "fig4" => fig4_rf_receiver_with(sizes.fig4_sections, sizes.dt, backend).map(|c| {
                 print_figure("Fig. 4", &c);
                 json_rows.push(("fig4".into(), c.clone()));
                 Some(("Sect 3.3 Ex. (RF receiver)".to_string(), c))
             }),
-            "fig5" => fig5_varistor(sizes.fig5_ladder, sizes.dt).map(|c| {
+            "fig5" => fig5_varistor_with(sizes.fig5_ladder, sizes.dt, backend).map(|c| {
                 print_figure("Fig. 5", &c);
                 json_rows.push(("fig5".into(), c));
                 None
             }),
+            "sparse" => match sparse_scaling(sizes.sparse_mid, sizes.sparse_big, sizes.dt) {
+                Ok(r) => {
+                    print_sparse_scaling(&r);
+                    sparse_report = Some(r);
+                    Ok(None)
+                }
+                Err(e) => Err(e),
+            },
             "perf" => match acceptance_metrics(35, if small { 16 } else { 98 }, sizes.dt) {
                 Ok(m) => {
                     print_acceptance(&m);
@@ -149,7 +188,7 @@ fn main() -> ExitCode {
                 // Table 1 is assembled from the fig3/fig4 runs; run them if the
                 // user asked only for the table.
                 if !which.contains(&"fig3") {
-                    match fig3_current_line(sizes.fig3_stages, sizes.dt) {
+                    match fig3_current_line_with(sizes.fig3_stages, sizes.dt, backend) {
                         Ok(c) => table1_rows.push(("Sect 3.2 Ex. (transmission line)".into(), c)),
                         Err(e) => {
                             eprintln!("table1: {e}");
@@ -158,7 +197,7 @@ fn main() -> ExitCode {
                     }
                 }
                 if !which.contains(&"fig4") {
-                    match fig4_rf_receiver(sizes.fig4_sections, sizes.dt) {
+                    match fig4_rf_receiver_with(sizes.fig4_sections, sizes.dt, backend) {
                         Ok(c) => table1_rows.push(("Sect 3.3 Ex. (RF receiver)".into(), c)),
                         Err(e) => {
                             eprintln!("table1: {e}");
@@ -194,7 +233,7 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "unknown experiment '{other}' (expected fig2..fig5, table1, scaling, perf, all)"
+                    "unknown experiment '{other}' (expected fig2..fig5, table1, scaling, sparse, perf, all)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -213,7 +252,12 @@ fn main() -> ExitCode {
         print_table1(&table1_rows);
     }
 
-    let json = render_json(small, &json_rows, acceptance.as_ref());
+    let json = render_json(
+        small,
+        &json_rows,
+        acceptance.as_ref(),
+        sparse_report.as_ref(),
+    );
     if !no_json {
         match std::fs::write(&json_path, &json) {
             Ok(()) => println!("\nwrote {json_path}"),
@@ -271,13 +315,54 @@ fn print_acceptance(m: &AcceptanceMetrics) {
     );
 }
 
+fn print_sparse_scaling(r: &SparseScalingReport) {
+    println!("\n== PR-3 sparse LU scaling (current-driven transmission line) ==");
+    println!(
+        "factor+solve of I-θh·J at n={}: dense {:.3} ms, sparse {:.3} ms ({:.0}x), solution diff {:.2e}",
+        r.mid_states,
+        r.dense_factor_mid.as_secs_f64() * 1e3,
+        r.sparse_factor_mid.as_secs_f64() * 1e3,
+        r.factor_speedup_mid,
+        r.factor_solution_diff
+    );
+    println!(
+        "sparse factor+solve at n={}: {:.3} ms ({:.0}x vs dense at n={}), L+U nnz {}, scaling exponent {:.2}",
+        r.big_states,
+        r.sparse_factor_big.as_secs_f64() * 1e3,
+        r.factor_speedup_big_vs_dense_mid,
+        r.mid_states,
+        r.sparse_lu_nnz_big,
+        r.factor_scaling_exponent
+    );
+    println!(
+        "implicit transient ({} steps) at n={}: dense {:.3} s, sparse {:.3} s ({:.1}x), trajectory diff {:.2e}",
+        r.transient_steps,
+        r.mid_states,
+        r.dense_transient_mid.as_secs_f64(),
+        r.sparse_transient_mid.as_secs_f64(),
+        r.transient_speedup_mid(),
+        r.trajectory_diff_mid
+    );
+    println!(
+        "sparse transient at n={}: {:.3} s (dense skipped by design)",
+        r.big_states,
+        r.sparse_transient_big.as_secs_f64()
+    );
+    println!(
+        "ROM backend check (35-stage line): dense order {}, sparse order {}, trajectory diff {:.2e}",
+        r.rom_order_dense, r.rom_order_sparse, r.rom_trajectory_diff
+    );
+}
+
 /// Hand-rolled JSON (the workspace builds without external crates): one
 /// perf-trajectory entry per reproduced experiment plus the PR acceptance
-/// metrics, so later PRs can diff machine-readable baselines.
+/// metrics and the sparse-LU scaling block, so later PRs can diff
+/// machine-readable baselines.
 fn render_json(
     small: bool,
     rows: &[(String, TransientComparison)],
     acceptance: Option<&AcceptanceMetrics>,
+    sparse: Option<&SparseScalingReport>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -344,6 +429,30 @@ fn render_json(
             m.factorizations_frozen,
             m.factorizations_every_step,
             m.trajectory_diff
+        );
+    }
+    if let Some(r) = sparse {
+        let _ = write!(
+            out,
+            ",\n  \"sparse_scaling\": {{\n    \"mid_states\": {},\n    \"big_states\": {},\n    \"dense_factor_mid_s\": {:.6},\n    \"sparse_factor_mid_s\": {:.6},\n    \"sparse_factor_big_s\": {:.6},\n    \"factor_speedup_mid\": {:.3},\n    \"factor_speedup_big_vs_dense_mid\": {:.3},\n    \"factor_solution_diff\": {:.6e},\n    \"dense_transient_mid_s\": {:.6},\n    \"sparse_transient_mid_s\": {:.6},\n    \"sparse_transient_big_s\": {:.6},\n    \"transient_steps\": {},\n    \"trajectory_diff_mid\": {:.6e},\n    \"sparse_lu_nnz_big\": {},\n    \"factor_scaling_exponent\": {:.3},\n    \"rom_order_dense\": {},\n    \"rom_order_sparse\": {},\n    \"rom_trajectory_diff\": {:.6e}\n  }}",
+            r.mid_states,
+            r.big_states,
+            r.dense_factor_mid.as_secs_f64(),
+            r.sparse_factor_mid.as_secs_f64(),
+            r.sparse_factor_big.as_secs_f64(),
+            r.factor_speedup_mid,
+            r.factor_speedup_big_vs_dense_mid,
+            r.factor_solution_diff,
+            r.dense_transient_mid.as_secs_f64(),
+            r.sparse_transient_mid.as_secs_f64(),
+            r.sparse_transient_big.as_secs_f64(),
+            r.transient_steps,
+            r.trajectory_diff_mid,
+            r.sparse_lu_nnz_big,
+            r.factor_scaling_exponent,
+            r.rom_order_dense,
+            r.rom_order_sparse,
+            r.rom_trajectory_diff
         );
     }
     out.push_str("\n}\n");

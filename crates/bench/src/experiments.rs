@@ -4,7 +4,8 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use vamor_circuits::{RfReceiver, TransmissionLine, VaristorCircuit};
-use vamor_core::{AssocReducer, MomentSpec, MorError, NormReducer};
+use vamor_core::{AssocReducer, MomentSpec, MorError, NormReducer, SolverBackend};
+use vamor_linalg::{CsrMatrix, Matrix, SparseLu, SparseLuSymbolic, Vector};
 use vamor_sim::{
     max_relative_error, relative_error_series, simulate, ExpPulse, IntegrationMethod, MultiChannel,
     SimError, SinePulse, TransientOptions,
@@ -148,6 +149,17 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 /// broadband onset of the response free, which at 100 stages made the seed's
 /// ROM leak an `O(10⁻⁴)` spurious signal over a `3·10⁻⁵` true response.
 pub fn fig2_voltage_line(stages: usize, dt: f64) -> Result<TransientComparison> {
+    fig2_voltage_line_with(stages, dt, SolverBackend::Auto)
+}
+
+/// [`fig2_voltage_line`] with an explicit linear-solver backend for the
+/// reduction and the full-model transient (the `reproduce --sparse/--dense`
+/// toggle).
+pub fn fig2_voltage_line_with(
+    stages: usize,
+    dt: f64,
+    backend: SolverBackend,
+) -> Result<TransientComparison> {
     let line = TransmissionLine::voltage_driven(stages)?;
     let full = line.qldae();
     let spec = MomentSpec::new(8, 4, 2);
@@ -156,6 +168,7 @@ pub fn fig2_voltage_line(stages: usize, dt: f64) -> Result<TransientComparison> 
         AssocReducer::new(spec)
             .with_markov_moments(2)
             .with_deflation_tol(1e-12)
+            .with_solver_backend(backend)
             .reduce(full)
     });
     let rom = rom?;
@@ -163,7 +176,7 @@ pub fn fig2_voltage_line(stages: usize, dt: f64) -> Result<TransientComparison> 
     let input = SinePulse::damped(0.02, 0.3, 0.05);
     let opts =
         TransientOptions::new(0.0, 30.0, dt).with_method(IntegrationMethod::ImplicitTrapezoidal);
-    let (full_run, t_full) = timed(|| simulate(full, &input, &opts));
+    let (full_run, t_full) = timed(|| simulate(full, &input, &opts.with_linear_solver(backend)));
     let full_run = full_run?;
     let (rom_run, t_rom) = timed(|| simulate(rom.system(), &input, &opts));
     let rom_run = rom_run?;
@@ -193,11 +206,24 @@ pub fn fig2_voltage_line(stages: usize, dt: f64) -> Result<TransientComparison> 
 /// (no `D₁` term), reduced with both the proposed method and the NORM
 /// baseline at the same moment orders.
 pub fn fig3_current_line(stages: usize, dt: f64) -> Result<TransientComparison> {
+    fig3_current_line_with(stages, dt, SolverBackend::Auto)
+}
+
+/// [`fig3_current_line`] with an explicit linear-solver backend.
+pub fn fig3_current_line_with(
+    stages: usize,
+    dt: f64,
+    backend: SolverBackend,
+) -> Result<TransientComparison> {
     let line = TransmissionLine::current_driven(stages)?;
     let full = line.qldae();
     let spec = MomentSpec::paper_default();
 
-    let (rom, t_reduce) = timed(|| AssocReducer::new(spec).reduce(full));
+    let (rom, t_reduce) = timed(|| {
+        AssocReducer::new(spec)
+            .with_solver_backend(backend)
+            .reduce(full)
+    });
     let rom = rom?;
     // The line's G₁ is symmetric negative definite, so plain Galerkin is
     // already stability-preserving; the energy reweighting only perturbs the
@@ -206,6 +232,7 @@ pub fn fig3_current_line(stages: usize, dt: f64) -> Result<TransientComparison> 
     let (norm_rom, t_norm) = timed(|| {
         NormReducer::new(spec)
             .with_stabilized_projection(false)
+            .with_solver_backend(backend)
             .reduce(full)
     });
     let norm_rom = norm_rom?;
@@ -213,7 +240,7 @@ pub fn fig3_current_line(stages: usize, dt: f64) -> Result<TransientComparison> 
     let input = SinePulse::damped(0.5, 0.4, 0.08);
     let opts =
         TransientOptions::new(0.0, 30.0, dt).with_method(IntegrationMethod::ImplicitTrapezoidal);
-    let (full_run, t_full) = timed(|| simulate(full, &input, &opts));
+    let (full_run, t_full) = timed(|| simulate(full, &input, &opts.with_linear_solver(backend)));
     let full_run = full_run?;
     let (rom_run, t_rom) = timed(|| simulate(rom.system(), &input, &opts));
     let rom_run = rom_run?;
@@ -245,6 +272,15 @@ pub fn fig3_current_line(stages: usize, dt: f64) -> Result<TransientComparison> 
 /// Fig. 4 + the "Sect 3.3 Ex." rows of Table 1 — the MISO RF receiver
 /// (signal + interferer, `D₁ = 0`), reduced with both methods.
 pub fn fig4_rf_receiver(sections: usize, dt: f64) -> Result<TransientComparison> {
+    fig4_rf_receiver_with(sections, dt, SolverBackend::Auto)
+}
+
+/// [`fig4_rf_receiver`] with an explicit linear-solver backend.
+pub fn fig4_rf_receiver_with(
+    sections: usize,
+    dt: f64,
+    backend: SolverBackend,
+) -> Result<TransientComparison> {
     let rx = RfReceiver::new(sections)?;
     let full = rx.qldae();
     // The receiver's G₁ is strongly non-normal (an LC cascade), and plain
@@ -254,9 +290,18 @@ pub fn fig4_rf_receiver(sections: usize, dt: f64) -> Result<TransientComparison>
     // reducers. Two Markov vectors pin the broadband onset, as in fig. 2.
     let spec = MomentSpec::new(8, 4, 2);
 
-    let (rom, t_reduce) = timed(|| AssocReducer::new(spec).with_markov_moments(2).reduce(full));
+    let (rom, t_reduce) = timed(|| {
+        AssocReducer::new(spec)
+            .with_markov_moments(2)
+            .with_solver_backend(backend)
+            .reduce(full)
+    });
     let rom = rom?;
-    let (norm_rom, t_norm) = timed(|| NormReducer::new(spec).reduce(full));
+    let (norm_rom, t_norm) = timed(|| {
+        NormReducer::new(spec)
+            .with_solver_backend(backend)
+            .reduce(full)
+    });
     let norm_rom = norm_rom?;
 
     // Desired signal plus an interfering tone coupled from the environment.
@@ -266,7 +311,7 @@ pub fn fig4_rf_receiver(sections: usize, dt: f64) -> Result<TransientComparison>
     ]);
     let opts =
         TransientOptions::new(0.0, 20.0, dt).with_method(IntegrationMethod::ImplicitTrapezoidal);
-    let (full_run, t_full) = timed(|| simulate(full, &input, &opts));
+    let (full_run, t_full) = timed(|| simulate(full, &input, &opts.with_linear_solver(backend)));
     let full_run = full_run?;
     let (rom_run, t_rom) = timed(|| simulate(rom.system(), &input, &opts));
     let rom_run = rom_run?;
@@ -299,6 +344,15 @@ pub fn fig4_rf_receiver(sections: usize, dt: f64) -> Result<TransientComparison>
 /// reduced to ~8). The input is a 9.8 kV double-exponential surge; the
 /// protected output clamps to a few hundred volts.
 pub fn fig5_varistor(ladder_nodes: usize, dt: f64) -> Result<TransientComparison> {
+    fig5_varistor_with(ladder_nodes, dt, SolverBackend::Auto)
+}
+
+/// [`fig5_varistor`] with an explicit linear-solver backend.
+pub fn fig5_varistor_with(
+    ladder_nodes: usize,
+    dt: f64,
+    backend: SolverBackend,
+) -> Result<TransientComparison> {
     let circuit = VaristorCircuit::new(ladder_nodes)?;
     let full = circuit.ode();
     // The varistor system has no quadratic term; 6 first-order and 2
@@ -311,6 +365,7 @@ pub fn fig5_varistor(ladder_nodes: usize, dt: f64) -> Result<TransientComparison
     let (rom, t_reduce) = timed(|| {
         AssocReducer::new(spec)
             .with_stabilized_projection(false)
+            .with_solver_backend(backend)
             .reduce_cubic(full)
     });
     let rom = rom?;
@@ -318,7 +373,7 @@ pub fn fig5_varistor(ladder_nodes: usize, dt: f64) -> Result<TransientComparison
     let input = ExpPulse::new(VaristorCircuit::surge_amplitude(), 0.5, 6.0);
     let opts =
         TransientOptions::new(0.0, 30.0, dt).with_method(IntegrationMethod::ImplicitTrapezoidal);
-    let (full_run, t_full) = timed(|| simulate(full, &input, &opts));
+    let (full_run, t_full) = timed(|| simulate(full, &input, &opts.with_linear_solver(backend)));
     let full_run = full_run?;
     let (rom_run, t_rom) = timed(|| simulate(rom.system(), &input, &opts));
     let rom_run = rom_run?;
@@ -437,6 +492,211 @@ pub fn acceptance_metrics(
         factorizations_every_step: every.stats.jacobian_factorizations,
         factorizations_frozen: frozen.stats.jacobian_factorizations,
         trajectory_diff: max_relative_error(&every.output_channel(0), &frozen.output_channel(0)),
+    })
+}
+
+/// The PR-3 sparse-solver scaling measurements on the current-driven
+/// transmission line: dense-vs-sparse factorization and transient wall
+/// times at a mid size (dense still feasible), sparse-only numbers at a
+/// large size (`10⁴` states at paper scale, where the dense `n × n` matrix
+/// would not even fit in memory), and the dense/sparse agreement checks the
+/// acceptance criteria require.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseScalingReport {
+    /// States of the mid-size line (dense path still measured).
+    pub mid_states: usize,
+    /// States of the large line (sparse only).
+    pub big_states: usize,
+    /// Dense factorization + solve of `I − θh·J` at the mid size.
+    pub dense_factor_mid: Duration,
+    /// Sparse symbolic analysis + numeric factorization + solve at the mid
+    /// size.
+    pub sparse_factor_mid: Duration,
+    /// Sparse factorization + solve at the large size.
+    pub sparse_factor_big: Duration,
+    /// `dense_factor_mid / sparse_factor_mid`.
+    pub factor_speedup_mid: f64,
+    /// `dense_factor_mid / sparse_factor_big` — the acceptance ratio: the
+    /// sparse path at the *large* size against the dense path at the mid
+    /// size.
+    pub factor_speedup_big_vs_dense_mid: f64,
+    /// Max-norm relative difference of the dense and sparse solutions of the
+    /// factor benchmark system.
+    pub factor_solution_diff: f64,
+    /// Implicit transient wall time at the mid size, dense backend.
+    pub dense_transient_mid: Duration,
+    /// Implicit transient wall time at the mid size, sparse backend.
+    pub sparse_transient_mid: Duration,
+    /// Implicit transient wall time at the large size, sparse backend.
+    pub sparse_transient_big: Duration,
+    /// Steps of the transient runs (mid and big use the same count).
+    pub transient_steps: usize,
+    /// Max relative dense-vs-sparse trajectory difference at the mid size.
+    pub trajectory_diff_mid: f64,
+    /// `L + U` nonzeros of the sparse factorization at the large size (the
+    /// fill stays `O(n)` on the line).
+    pub sparse_lu_nnz_big: usize,
+    /// Empirical exponent `p` of `t_factor ∝ n^p` fitted between the mid and
+    /// large sparse factorizations (≈ 1 for near-linear work).
+    pub factor_scaling_exponent: f64,
+    /// Reduced order of the mid-scale-free ROM check, dense backend.
+    pub rom_order_dense: usize,
+    /// Reduced order of the ROM check, sparse backend.
+    pub rom_order_sparse: usize,
+    /// Max relative transient difference of the two ROMs (must be ≤ 1e-9).
+    pub rom_trajectory_diff: f64,
+}
+
+impl SparseScalingReport {
+    /// Transient speedup of the sparse backend at the mid size.
+    pub fn transient_speedup_mid(&self) -> f64 {
+        self.dense_transient_mid.as_secs_f64() / self.sparse_transient_mid.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs the PR-3 sparse-scaling benchmark (see [`SparseScalingReport`]).
+/// `mid` must be small enough for the dense `O(n³)` factorization to be
+/// affordable (2 000 at paper scale); `big` is sparse-only (10 000).
+///
+/// # Errors
+///
+/// Propagates circuit construction, factorization and simulation failures.
+pub fn sparse_scaling(mid: usize, big: usize, dt: f64) -> Result<SparseScalingReport> {
+    let theta_h = 0.5 * dt; // trapezoidal θ·h
+    let steps = 100usize;
+    let input = SinePulse::damped(0.5, 0.4, 0.08);
+    let opts = TransientOptions::new(0.0, steps as f64 * dt, dt)
+        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+
+    // --- mid size: dense vs sparse factorization of I − θh·J. Both timed
+    // blocks cover the full pipeline symmetrically — Jacobian stamp,
+    // iteration-matrix assembly, factorization, solve — so the reported
+    // speedups compare like against like. ---
+    let line_mid = TransmissionLine::current_driven(mid)?;
+    let q_mid = line_mid.qldae();
+    let x0 = Vector::zeros(mid);
+    let rhs = Vector::from_fn(mid, |i| ((i % 11) as f64) - 5.0);
+
+    let (sparse_solution, sparse_factor_mid) = timed(|| -> Result<Vector> {
+        let jac = q_mid
+            .jacobian_csr(&x0, &[0.0])
+            .expect("transmission line provides CSR stamps");
+        let m = jac.identity_plus_scaled(-theta_h);
+        let symbolic = SparseLuSymbolic::analyze(&m).map_err(MorError::Linalg)?;
+        let lu = SparseLu::factor_with(&symbolic, &m).map_err(MorError::Linalg)?;
+        lu.solve(&rhs).map_err(MorError::Linalg).map_err(Into::into)
+    });
+    let sparse_solution = sparse_solution?;
+
+    let (dense_solution, dense_factor_mid) = timed(|| -> Result<Vector> {
+        let jac = q_mid.jacobian_x(&x0, &[0.0]);
+        let mut m = Matrix::identity(mid);
+        m.axpy(-theta_h, &jac);
+        let lu = m.lu().map_err(MorError::Linalg)?;
+        lu.solve(&rhs).map_err(MorError::Linalg).map_err(Into::into)
+    });
+    let dense_solution = dense_solution?;
+    let scale = dense_solution.norm_inf().max(1e-30);
+    let factor_solution_diff = (&sparse_solution - &dense_solution).norm_inf() / scale;
+
+    // --- mid size: dense vs sparse implicit transient ---
+    let (dense_run, dense_transient_mid) = timed(|| {
+        simulate(
+            q_mid,
+            &input,
+            &opts.with_linear_solver(SolverBackend::Dense),
+        )
+    });
+    let dense_run = dense_run?;
+    let (sparse_run, sparse_transient_mid) = timed(|| {
+        simulate(
+            q_mid,
+            &input,
+            &opts.with_linear_solver(SolverBackend::Sparse),
+        )
+    });
+    let sparse_run = sparse_run?;
+    let trajectory_diff_mid =
+        max_relative_error(&dense_run.output_channel(0), &sparse_run.output_channel(0));
+    let transient_steps = sparse_run.stats.steps;
+
+    // --- large size: sparse only (the dense n × n matrix at 10⁴ states is
+    // 800 MB and O(n³) to factor — skipped by design) ---
+    let line_big = TransmissionLine::current_driven(big)?;
+    let q_big = line_big.qldae();
+    let x0_big = Vector::zeros(big);
+    let rhs_big = Vector::from_fn(big, |i| ((i % 7) as f64) - 3.0);
+    // Timed block mirrors the mid-size sparse pipeline (stamp + assembly +
+    // analysis + factor + solve) so the scaling exponent compares equals.
+    let (big_outcome, sparse_factor_big) = timed(|| -> Result<(usize, Vector, CsrMatrix)> {
+        let jac = q_big
+            .jacobian_csr(&x0_big, &[0.0])
+            .expect("transmission line provides CSR stamps");
+        let m = jac.identity_plus_scaled(-theta_h);
+        let symbolic = SparseLuSymbolic::analyze(&m).map_err(MorError::Linalg)?;
+        let lu = SparseLu::factor_with(&symbolic, &m).map_err(MorError::Linalg)?;
+        let x = lu.solve(&rhs_big).map_err(MorError::Linalg)?;
+        Ok((lu.factor_nnz(), x, m))
+    });
+    let (sparse_lu_nnz_big, big_solution, m_big) = big_outcome?;
+    // Verify the large solve actually solved the system.
+    let mut residual = m_big.matvec(&big_solution);
+    residual.axpy(-1.0, &rhs_big);
+    assert!(
+        residual.norm_inf() <= 1e-8 * rhs_big.norm_inf(),
+        "large sparse solve residual {:.3e}",
+        residual.norm_inf()
+    );
+    let (big_run, sparse_transient_big) = timed(|| {
+        simulate(
+            q_big,
+            &input,
+            &opts.with_linear_solver(SolverBackend::Sparse),
+        )
+    });
+    let big_run = big_run?;
+    assert_eq!(big_run.stats.steps, transient_steps);
+
+    let factor_scaling_exponent =
+        (sparse_factor_big.as_secs_f64() / sparse_factor_mid.as_secs_f64().max(1e-12)).ln()
+            / (big as f64 / mid as f64).ln();
+
+    // --- dense/sparse ROM agreement (scale-free check at 35 stages) ---
+    let line35 = TransmissionLine::current_driven(35)?;
+    let spec = MomentSpec::paper_default();
+    let rom_dense = AssocReducer::new(spec)
+        .with_solver_backend(SolverBackend::Dense)
+        .reduce(line35.qldae())?;
+    let rom_sparse = AssocReducer::new(spec)
+        .with_solver_backend(SolverBackend::Sparse)
+        .reduce(line35.qldae())?;
+    let rom_opts = TransientOptions::new(0.0, 30.0, dt.max(0.01))
+        .with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let yd = simulate(rom_dense.system(), &input, &rom_opts)?;
+    let ys = simulate(rom_sparse.system(), &input, &rom_opts)?;
+    let rom_trajectory_diff = max_relative_error(&yd.output_channel(0), &ys.output_channel(0));
+
+    Ok(SparseScalingReport {
+        mid_states: mid,
+        big_states: big,
+        dense_factor_mid,
+        sparse_factor_mid,
+        sparse_factor_big,
+        factor_speedup_mid: dense_factor_mid.as_secs_f64()
+            / sparse_factor_mid.as_secs_f64().max(1e-12),
+        factor_speedup_big_vs_dense_mid: dense_factor_mid.as_secs_f64()
+            / sparse_factor_big.as_secs_f64().max(1e-12),
+        factor_solution_diff,
+        dense_transient_mid,
+        sparse_transient_mid,
+        sparse_transient_big,
+        transient_steps,
+        trajectory_diff_mid,
+        sparse_lu_nnz_big,
+        factor_scaling_exponent,
+        rom_order_dense: rom_dense.order(),
+        rom_order_sparse: rom_sparse.order(),
+        rom_trajectory_diff,
     })
 }
 

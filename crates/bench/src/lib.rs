@@ -20,7 +20,8 @@ pub mod harness;
 
 pub use baseline::{compare_to_baseline, Baseline, ExperimentBaseline};
 pub use experiments::{
-    acceptance_metrics, fig2_voltage_line, fig3_current_line, fig4_rf_receiver, fig5_varistor,
-    scaling_subspace_dims, AcceptanceMetrics, ExperimentError, ScalingRow, Timings,
-    TransientComparison,
+    acceptance_metrics, fig2_voltage_line, fig2_voltage_line_with, fig3_current_line,
+    fig3_current_line_with, fig4_rf_receiver, fig4_rf_receiver_with, fig5_varistor,
+    fig5_varistor_with, scaling_subspace_dims, sparse_scaling, AcceptanceMetrics, ExperimentError,
+    ScalingRow, SparseScalingReport, Timings, TransientComparison,
 };

@@ -27,13 +27,19 @@
 //! multivariate (NORM-style) moment matching.
 
 use vamor_linalg::kron::vec_of;
-use vamor_linalg::{kron_vec, CsrMatrix, LuDecomposition, Matrix, SchurDecomposition, Vector};
+use vamor_linalg::sparse_lu::SPARSE_AUTO_THRESHOLD;
+use vamor_linalg::{kron_vec, CsrMatrix, Matrix, SchurDecomposition, SolverBackend, Vector};
 use vamor_system::{CubicOde, Qldae};
 
 use crate::bigsmall::{solve_sylvester_big_small, solve_sylvester_big_small_with_schur};
 use crate::error::MorError;
 use crate::operators::{BlockH2Op, KronSumOp2, ShiftedSolveOp};
 use crate::Result;
+
+// The factorization of `G₁` the moment recursions solve against, in either
+// backend (dense and bit-identical to the pre-PR-3 behaviour below the
+// shared `SPARSE_AUTO_THRESHOLD`; sparse and near-linear above it).
+pub(crate) use vamor_linalg::LuFactor as G1Factor;
 
 /// A chain of moment candidates with per-candidate scaling split off.
 ///
@@ -121,7 +127,7 @@ fn rescale_state(state: &mut [&mut Vector], extra: Option<&mut Matrix>) -> f64 {
 #[derive(Debug)]
 pub struct AssocMomentGenerator<'a> {
     qldae: &'a Qldae,
-    g1_lu: LuDecomposition,
+    g1_lu: G1Factor,
     kron_op: KronSumOp2,
     block_op: BlockH2Op,
     /// Schur form of `G₁` (as the Schur of `(G₁ᵀ)ᵀ`), reused by every
@@ -153,12 +159,33 @@ impl<'a> AssocMomentGenerator<'a> {
     ///
     /// Same contract as [`AssocMomentGenerator::new`].
     pub fn with_caching(qldae: &'a Qldae, caching: bool) -> Result<Self> {
+        Self::with_options(qldae, caching, SolverBackend::Auto)
+    }
+
+    /// Prepares the generator with an explicit linear-solver backend for the
+    /// `G₁` solves (the repeated `G₁⁻¹` applications of the moment chains
+    /// and the shifted top-block solves of the `H₃` realization). `Auto`
+    /// switches to the sparse direct solver at `n ≥ 256`; the `G₁ ⊕ G₁`
+    /// Schur machinery of the bottom block is dense in every mode.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AssocMomentGenerator::new`].
+    pub fn with_options(qldae: &'a Qldae, caching: bool, backend: SolverBackend) -> Result<Self> {
         let g1 = qldae.g1();
-        let g1_lu = g1.lu().map_err(MorError::Linalg)?;
+        let sparse = backend.use_sparse(g1.rows(), SPARSE_AUTO_THRESHOLD);
+        let g1_lu = G1Factor::build(qldae.g1_csr(), g1, sparse).map_err(MorError::Linalg)?;
+        let build_block = |kron: KronSumOp2, cache: bool| -> Result<BlockH2Op> {
+            if sparse {
+                BlockH2Op::with_kron_sparse(g1, qldae.g2(), kron, cache, qldae.g1_csr())
+            } else {
+                BlockH2Op::with_kron(g1, qldae.g2(), kron, cache)
+            }
+        };
         if caching {
             let kron_op = KronSumOp2::new(g1)?;
             let g1_schur = Some(kron_op.a_schur());
-            let block_op = BlockH2Op::with_kron(g1, qldae.g2(), kron_op.clone(), true)?;
+            let block_op = build_block(kron_op.clone(), true)?;
             Ok(AssocMomentGenerator {
                 qldae,
                 g1_lu,
@@ -169,7 +196,7 @@ impl<'a> AssocMomentGenerator<'a> {
         } else {
             let kron_op = KronSumOp2::new_uncached(g1)?;
             let block_kron = KronSumOp2::new_uncached(g1)?;
-            let block_op = BlockH2Op::with_kron(g1, qldae.g2(), block_kron, false)?;
+            let block_op = build_block(block_kron, false)?;
             Ok(AssocMomentGenerator {
                 qldae,
                 g1_lu,
@@ -560,7 +587,7 @@ impl<'a> AssocMomentGenerator<'a> {
 #[derive(Debug)]
 pub struct CubicAssocMomentGenerator<'a> {
     ode: &'a CubicOde,
-    g1_lu: LuDecomposition,
+    g1_lu: G1Factor,
     kron_op: KronSumOp2,
     g1_schur: Option<SchurDecomposition>,
 }
@@ -582,7 +609,18 @@ impl<'a> CubicAssocMomentGenerator<'a> {
     ///
     /// Returns an error if `G₁` is singular.
     pub fn with_caching(ode: &'a CubicOde, caching: bool) -> Result<Self> {
-        let g1_lu = ode.g1().lu().map_err(MorError::Linalg)?;
+        Self::with_options(ode, caching, SolverBackend::Auto)
+    }
+
+    /// Prepares the generator with an explicit linear-solver backend for the
+    /// `G₁` solves (see [`AssocMomentGenerator::with_options`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `G₁` is singular.
+    pub fn with_options(ode: &'a CubicOde, caching: bool, backend: SolverBackend) -> Result<Self> {
+        let sparse = backend.use_sparse(ode.g1().rows(), SPARSE_AUTO_THRESHOLD);
+        let g1_lu = G1Factor::build(ode.g1_csr(), ode.g1(), sparse).map_err(MorError::Linalg)?;
         let kron_op = if caching {
             KronSumOp2::new(ode.g1())?
         } else {

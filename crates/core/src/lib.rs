@@ -46,12 +46,13 @@ pub use assoc::{AssocMomentGenerator, CubicAssocMomentGenerator, ScaledMoments};
 pub use bigsmall::{solve_sylvester_big_small, solve_sylvester_big_small_with_schur};
 pub use error::MorError;
 pub use norm::NormReducer;
-pub use operators::{BlockH2Op, KronSumOp2, ShiftedSolveOp};
+pub use operators::{BlockH2Op, KronSumOp2, ShiftCacheBackend, ShiftedSolveOp};
 pub use par::parallel_map;
 pub use project::{
     cubic_matvec_kron, project_cubic, project_cubic_petrov, project_qldae, project_qldae_petrov,
 };
 pub use reduce::{AssocReducer, MomentSpec, ReducedCubicOde, ReducedQldae, ReductionStats};
+pub use vamor_linalg::SolverBackend;
 pub use volterra::VolterraKernels;
 
 /// Result alias for reduction routines.

@@ -8,14 +8,16 @@
 //! transform removes. This module implements that baseline so the paper's
 //! size and runtime comparisons (Table 1, Figs. 3–4) can be reproduced.
 
-use vamor_linalg::{LuDecomposition, OrthoBasis, Vector};
+use vamor_linalg::{OrthoBasis, SolverBackend, Vector};
 use vamor_system::Qldae;
 
+use crate::assoc::G1Factor;
 use crate::error::MorError;
 use crate::reduce::{
     project_guarded, reorthonormalize, MomentSpec, ReducedQldae, ReductionStats, StabilizationFrame,
 };
 use crate::Result;
+use vamor_linalg::sparse_lu::SPARSE_AUTO_THRESHOLD;
 
 /// The multivariate moment-matching (NORM-style) reducer used as the paper's
 /// baseline.
@@ -40,6 +42,7 @@ pub struct NormReducer {
     stabilized: bool,
     qr_condition_cap: f64,
     spectral_guard: bool,
+    backend: SolverBackend,
 }
 
 impl NormReducer {
@@ -51,7 +54,15 @@ impl NormReducer {
             stabilized: true,
             qr_condition_cap: crate::AssocReducer::DEFAULT_QR_CONDITION_CAP,
             spectral_guard: true,
+            backend: SolverBackend::Auto,
         }
+    }
+
+    /// Selects the linear-solver backend of the `G₁` resolvent chains (see
+    /// [`crate::AssocReducer::with_solver_backend`]).
+    pub fn with_solver_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Overrides the deflation tolerance.
@@ -124,7 +135,9 @@ impl NormReducer {
         }
         let n = qldae.g1().rows();
         let num_inputs = qldae.b().cols();
-        let g1_lu = qldae.g1().lu().map_err(MorError::Linalg)?;
+        let sparse = self.backend.use_sparse(n, SPARSE_AUTO_THRESHOLD);
+        let g1_lu =
+            G1Factor::build(qldae.g1_csr(), qldae.g1(), sparse).map_err(MorError::Linalg)?;
         let frame = StabilizationFrame::new(self.stabilized, qldae.g1(), None);
         let mut basis = OrthoBasis::with_tolerance(n, self.deflation_tol);
         let mut stats = ReductionStats {
@@ -264,7 +277,7 @@ impl NormReducer {
 /// spanned directions (the chain is linear) and keeps deep multivariate
 /// chains from overflowing or drowning the deflation test, mirroring the
 /// moment scaling of the associated-transform generator.
-fn resolvent_chain(g1_lu: &LuDecomposition, seed: Vector, extra: usize) -> Result<Vec<Vector>> {
+fn resolvent_chain(g1_lu: &G1Factor, seed: Vector, extra: usize) -> Result<Vec<Vector>> {
     let mut out = Vec::with_capacity(extra + 1);
     let mut v = seed;
     for _ in 0..=extra {

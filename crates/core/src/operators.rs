@@ -13,11 +13,89 @@
 //! big-left/small-right Sylvester solver in [`crate::bigsmall`].
 
 use vamor_linalg::{
-    Complex, CsrMatrix, Matrix, SchurDecomposition, ShiftedLuCache, SylvesterSolver, Vector,
+    Complex, CsrMatrix, Matrix, SchurDecomposition, ShiftedLuCache, ShiftedSparseLuCache,
+    SylvesterSolver, Vector,
 };
 
 use crate::error::MorError;
 use crate::Result;
+
+/// The shifted-solve cache of a structured operator's top block, in either
+/// the dense (`O(n³)`-per-shift) or sparse (numeric-refactor-per-shift)
+/// backend. Key quantization and hit/miss accounting are identical across
+/// backends (see [`vamor_linalg::shift_cache`]), so diagnostics compare
+/// one-for-one.
+#[derive(Debug, Clone)]
+pub enum ShiftCacheBackend {
+    /// Dense `ShiftedLuCache` over a dense base matrix.
+    Dense(ShiftedLuCache),
+    /// Sparse cache: one symbolic analysis, numeric refactor per shift.
+    Sparse(ShiftedSparseLuCache),
+}
+
+impl ShiftCacheBackend {
+    /// Number of solves served from cached factors.
+    pub fn hits(&self) -> usize {
+        match self {
+            ShiftCacheBackend::Dense(c) => c.hits(),
+            ShiftCacheBackend::Sparse(c) => c.hits(),
+        }
+    }
+
+    /// Number of fresh factorizations performed.
+    pub fn misses(&self) -> usize {
+        match self {
+            ShiftCacheBackend::Dense(c) => c.misses(),
+            ShiftCacheBackend::Sparse(c) => c.misses(),
+        }
+    }
+
+    /// Number of distinct cached factorizations.
+    pub fn len(&self) -> usize {
+        match self {
+            ShiftCacheBackend::Dense(c) => c.len(),
+            ShiftCacheBackend::Sparse(c) => c.len(),
+        }
+    }
+
+    /// True if nothing has been factored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when this is the sparse backend.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, ShiftCacheBackend::Sparse(_))
+    }
+
+    fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> vamor_linalg::Result<Vector> {
+        match self {
+            ShiftCacheBackend::Dense(c) => c.solve_shifted(sigma, rhs),
+            ShiftCacheBackend::Sparse(c) => c.solve_shifted(sigma, rhs),
+        }
+    }
+
+    fn solve_shifted_complex(
+        &self,
+        lambda: Complex,
+        re: &Vector,
+        im: &Vector,
+    ) -> vamor_linalg::Result<(Vector, Vector)> {
+        match self {
+            ShiftCacheBackend::Dense(c) => c.solve_shifted_complex(lambda, re, im),
+            ShiftCacheBackend::Sparse(c) => c.solve_shifted_complex(lambda, re, im),
+        }
+    }
+
+    /// Fails fast when the unshifted base matrix is singular (the `σ = 0`
+    /// expansion point requires a regular `G₁`).
+    fn check_regular(&self) -> vamor_linalg::Result<()> {
+        match self {
+            ShiftCacheBackend::Dense(c) => c.factor(0.0).map(|_| ()),
+            ShiftCacheBackend::Sparse(c) => c.factor(0.0).map(|_| ()),
+        }
+    }
+}
 
 /// A square operator supporting application and shifted solves
 /// `(Op + σI) x = r` with real or complex shifts.
@@ -178,7 +256,7 @@ pub struct BlockH2Op {
     g1: Matrix,
     g2: CsrMatrix,
     kron: KronSumOp2,
-    g1_shifted: ShiftedLuCache,
+    g1_shifted: ShiftCacheBackend,
     n: usize,
 }
 
@@ -208,6 +286,53 @@ impl BlockH2Op {
         kron: KronSumOp2,
         cache_shifts: bool,
     ) -> Result<Self> {
+        let cache = if cache_shifts {
+            ShiftCacheBackend::Dense(ShiftedLuCache::new(g1.clone()))
+        } else {
+            ShiftCacheBackend::Dense(ShiftedLuCache::new_uncached(g1.clone()))
+        };
+        Self::with_kron_cache(g1, g2, kron, cache)
+    }
+
+    /// Builds the operator with the top-block shifted solves routed through
+    /// the *sparse* direct solver: one symbolic analysis of `g1_sparse`'s
+    /// pattern, a numeric refactorization per distinct shift. The dense `g1`
+    /// is still required for the `G₁ ⊕ G₁` Schur machinery of the bottom
+    /// block.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BlockH2Op::new`].
+    pub fn with_kron_sparse(
+        g1: &Matrix,
+        g2: &CsrMatrix,
+        kron: KronSumOp2,
+        cache_shifts: bool,
+        g1_sparse: &CsrMatrix,
+    ) -> Result<Self> {
+        if g1_sparse.rows() != g1.rows() || g1_sparse.cols() != g1.cols() {
+            return Err(MorError::Invalid(format!(
+                "sparse G1 is {}x{}, expected {}x{}",
+                g1_sparse.rows(),
+                g1_sparse.cols(),
+                g1.rows(),
+                g1.cols()
+            )));
+        }
+        let cache = if cache_shifts {
+            ShiftCacheBackend::Sparse(ShiftedSparseLuCache::new(g1_sparse.clone()))
+        } else {
+            ShiftCacheBackend::Sparse(ShiftedSparseLuCache::new_uncached(g1_sparse.clone()))
+        };
+        Self::with_kron_cache(g1, g2, kron, cache)
+    }
+
+    fn with_kron_cache(
+        g1: &Matrix,
+        g2: &CsrMatrix,
+        kron: KronSumOp2,
+        g1_shifted: ShiftCacheBackend,
+    ) -> Result<Self> {
         let n = g1.rows();
         if g2.rows() != n || g2.cols() != n * n {
             return Err(MorError::Invalid(format!(
@@ -217,14 +342,9 @@ impl BlockH2Op {
                 g2.cols()
             )));
         }
-        let g1_shifted = if cache_shifts {
-            ShiftedLuCache::new(g1.clone())
-        } else {
-            ShiftedLuCache::new_uncached(g1.clone())
-        };
         // Fail fast (as the pre-cache constructor did) if G1 itself is
         // singular: the σ = 0 expansion point requires a regular G1.
-        g1_shifted.factor(0.0).map_err(MorError::Linalg)?;
+        g1_shifted.check_regular().map_err(MorError::Linalg)?;
         Ok(BlockH2Op {
             g1: g1.clone(),
             g2: g2.clone(),
@@ -235,7 +355,7 @@ impl BlockH2Op {
     }
 
     /// The shifted-solve cache for `G₁` (exposed for diagnostics and tests).
-    pub fn shift_cache(&self) -> &ShiftedLuCache {
+    pub fn shift_cache(&self) -> &ShiftCacheBackend {
         &self.g1_shifted
     }
 
@@ -448,6 +568,48 @@ mod tests {
         res_im.axpy(-1.0, &im);
         assert!(res_re.norm_inf() < 1e-9);
         assert!(res_im.norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_backed_block_op_matches_dense_backend() {
+        let n = 4;
+        let mut g1 = stable(n, 17);
+        g1[(0, 1)] += 1.2;
+        g1[(1, 0)] -= 1.2;
+        let g2 = sparse_g2(n);
+        let g1_csr = CsrMatrix::from_dense(&g1, 0.0);
+        let dense_op = BlockH2Op::new(&g1, &g2).unwrap();
+        let sparse_op =
+            BlockH2Op::with_kron_sparse(&g1, &g2, KronSumOp2::new(&g1).unwrap(), true, &g1_csr)
+                .unwrap();
+        assert!(sparse_op.shift_cache().is_sparse());
+        assert!(!dense_op.shift_cache().is_sparse());
+
+        let x = Vector::from_fn(dense_op.dim(), |i| ((i * 5 % 7) as f64) - 3.0);
+        let lambda = Complex::new(0.3, 0.8);
+        let re = Vector::from_fn(dense_op.dim(), |i| (i as f64 * 0.13).sin());
+        let im = Vector::from_fn(dense_op.dim(), |i| (i as f64 * 0.19).cos());
+        for sigma in [0.0, 0.5, 0.0, -0.25] {
+            let a = dense_op.solve_shifted(sigma, &x).unwrap();
+            let b = sparse_op.solve_shifted(sigma, &x).unwrap();
+            assert!((&a - &b).norm_inf() < 1e-8, "sigma {sigma}");
+        }
+        let (ar, ai) = dense_op.solve_shifted_complex(lambda, &re, &im).unwrap();
+        let (br, bi) = sparse_op.solve_shifted_complex(lambda, &re, &im).unwrap();
+        assert!((&ar - &br).norm_inf() < 1e-8);
+        assert!((&ai - &bi).norm_inf() < 1e-8);
+        // Identical solve sequences must produce identical cache statistics
+        // on both backends (the constructor's regularity probe included).
+        assert_eq!(
+            dense_op.shift_cache().hits(),
+            sparse_op.shift_cache().hits()
+        );
+        assert_eq!(
+            dense_op.shift_cache().misses(),
+            sparse_op.shift_cache().misses()
+        );
+        assert_eq!(dense_op.shift_cache().len(), sparse_op.shift_cache().len());
+        assert!(!sparse_op.shift_cache().is_empty());
     }
 
     #[test]

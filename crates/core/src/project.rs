@@ -72,17 +72,25 @@ pub fn project_qldae_petrov(qldae: &Qldae, v: &Matrix, w: &Matrix) -> Result<Qld
         }
     }
 
-    // Reduced bilinear terms, column-by-column via sparse matvec (the old
-    // implementation densified every D₁ₖ into an n×n matrix first).
+    // Reduced bilinear terms, row-by-row via the allocation-free transposed
+    // sparse matvec: (D₁ᵣ)ᵢⱼ = wᵢᵀ D₁ vⱼ = (D₁ᵀ wᵢ)·vⱼ, with one shared
+    // buffer for every D₁ᵀ wᵢ product (the old implementation densified
+    // every D₁ₖ into an n×n matrix, then allocated a fresh vector per
+    // column).
     let mut d1r = Vec::with_capacity(qldae.d1().len());
-    for dk in qldae.d1() {
-        let mut reduced = Matrix::zeros(q, q);
-        for (j, vj) in columns.iter().enumerate() {
-            let dv = dk.matvec(vj);
-            let col = w.matvec_transpose(&dv);
-            reduced.set_col(j, &col);
+    if !qldae.d1().is_empty() {
+        let w_columns: Vec<Vector> = (0..q).map(|i| w.col(i)).collect();
+        let mut buf = Vector::zeros(n);
+        for dk in qldae.d1() {
+            let mut reduced = Matrix::zeros(q, q);
+            for (i, wi) in w_columns.iter().enumerate() {
+                dk.matvec_transpose_into(wi, &mut buf);
+                for (j, vj) in columns.iter().enumerate() {
+                    reduced[(i, j)] = buf.dot(vj);
+                }
+            }
+            d1r.push(CsrMatrix::from_dense(&reduced, 0.0));
         }
-        d1r.push(CsrMatrix::from_dense(&reduced, 0.0));
     }
 
     Qldae::new(g1r, g2r.into_csr(), d1r, br, cr).map_err(MorError::System)

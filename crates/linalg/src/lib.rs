@@ -19,7 +19,11 @@
 //! * Krylov machinery: modified Gram–Schmidt orthonormalization with
 //!   deflation ([`orth`]), Arnoldi iteration over abstract linear operators
 //!   ([`arnoldi`], [`op`]),
-//! * sparse CSR matrices and GMRES ([`sparse`]).
+//! * sparse CSR matrices and GMRES ([`sparse`]),
+//! * a sparse direct LU ([`sparse_lu`]): reverse Cuthill–McKee symbolic
+//!   analysis reused across shifts, Gilbert–Peierls left-looking numeric
+//!   factorization with threshold pivoting, real and complex-shift variants,
+//!   and the memoizing [`ShiftedSparseLuCache`].
 //!
 //! ## Example
 //!
@@ -51,6 +55,7 @@ pub mod qr;
 pub mod schur;
 pub mod shift_cache;
 pub mod sparse;
+pub mod sparse_lu;
 pub mod sylvester;
 pub mod vector;
 pub mod zmatrix;
@@ -68,8 +73,9 @@ pub use op::{DenseOp, LinearOp, ShiftedInverseOp};
 pub use orth::OrthoBasis;
 pub use qr::{PivotedQr, QrDecomposition};
 pub use schur::SchurDecomposition;
-pub use shift_cache::ShiftedLuCache;
+pub use shift_cache::{ShiftedLuCache, ShiftedSparseLuCache};
 pub use sparse::{CooMatrix, CsrMatrix};
+pub use sparse_lu::{LuFactor, SolverBackend, SparseLu, SparseLuSymbolic, SparseZLu};
 pub use sylvester::{
     lyapunov_weight, lyapunov_weight_with_schur, solve_lyapunov, solve_sylvester, SylvesterSolver,
 };

@@ -5,13 +5,22 @@
 //! eigenvalues of a Schur factor walked by the Bartels–Stewart
 //! back-substitution, plus `σ = 0` for the expansion point itself). Before
 //! this cache existed every such solve cloned `G₁` and refactorized it;
-//! [`ShiftedLuCache`] keys the LU factors by the shift's bit pattern so each
+//! [`ShiftedLuCache`] keys the LU factors by the shift's bit pattern (with
+//! the one normalization that both IEEE zero encodings, `+0.0` and `-0.0`,
+//! share a single entry — they denote the same shifted matrix) so each
 //! distinct shift is factored exactly once per operator lifetime.
 //!
-//! The cache is `Sync` (mutex-guarded maps, `Arc`-shared factors) so moment
-//! chains running on scoped threads can share one instance. A passthrough
-//! mode (`new_uncached`) preserves the legacy factor-per-call behaviour for
-//! A/B benchmarking and regression tests.
+//! [`ShiftedSparseLuCache`] is the structurally sparse twin: one symbolic
+//! analysis (fill-reducing ordering) is computed for the base pattern and
+//! every shift is a *numeric-only* refactorization through
+//! [`crate::sparse_lu::SparseLu`]. Key quantization and the hit/miss
+//! accounting are identical on both backends, so cache statistics can be
+//! compared across backends one-for-one.
+//!
+//! The caches are `Sync` (mutex-guarded maps, `Arc`-shared factors) so
+//! moment chains running on scoped threads can share one instance. A
+//! passthrough mode (`new_uncached`) preserves the legacy factor-per-call
+//! behaviour for A/B benchmarking and regression tests.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -21,9 +30,21 @@ use crate::complex::Complex;
 use crate::error::LinalgError;
 use crate::lu::LuDecomposition;
 use crate::matrix::Matrix;
+use crate::sparse::CsrMatrix;
+use crate::sparse_lu::{SparseLu, SparseLuSymbolic, SparseZLu};
 use crate::vector::Vector;
 use crate::zmatrix::{ZLuDecomposition, ZMatrix, ZVector};
 use crate::Result;
+
+/// Normalizes a shift component for use as a cache key: both zero encodings
+/// map to the `+0.0` bit pattern; every other value is keyed exactly.
+fn shift_key(v: f64) -> u64 {
+    if v == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
 
 /// A cache of LU factorizations of `base + shift·I`, keyed by shift.
 ///
@@ -148,12 +169,7 @@ impl ShiftedLuCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::new(self.shifted(sigma).lu()?));
         }
-        // Normalize -0.0 so both zero encodings share one entry.
-        let key = if sigma == 0.0 {
-            0.0f64.to_bits()
-        } else {
-            sigma.to_bits()
-        };
+        let key = shift_key(sigma);
         if let Some(lu) = self.real.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(lu));
@@ -188,17 +204,7 @@ impl ShiftedLuCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::new(self.shifted_complex(lambda).lu()?));
         }
-        let re_key = if lambda.re == 0.0 {
-            0.0f64.to_bits()
-        } else {
-            lambda.re.to_bits()
-        };
-        let im_key = if lambda.im == 0.0 {
-            0.0f64.to_bits()
-        } else {
-            lambda.im.to_bits()
-        };
-        let key = (re_key, im_key);
+        let key = (shift_key(lambda.re), shift_key(lambda.im));
         if let Some(lu) = self.complex.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(lu));
@@ -245,6 +251,222 @@ impl Clone for ShiftedLuCache {
     fn clone(&self) -> Self {
         ShiftedLuCache {
             base: self.base.clone(),
+            enabled: self.enabled,
+            real: Mutex::new(self.real.lock().expect("cache poisoned").clone()),
+            complex: Mutex::new(self.complex.lock().expect("cache poisoned").clone()),
+            hits: AtomicUsize::new(self.hits()),
+            misses: AtomicUsize::new(self.misses()),
+        }
+    }
+}
+
+/// The sparse twin of [`ShiftedLuCache`]: memoized [`SparseLu`] /
+/// [`SparseZLu`] factorizations of `base + σI` / `base + λI` over a CSR base
+/// matrix. One symbolic analysis (fill-reducing ordering of the base
+/// pattern) is shared by every shift — each cache miss is a numeric-only
+/// refactorization.
+///
+/// Shift-key quantization and hit/miss accounting are deliberately identical
+/// to the dense cache: running the same solve sequence against either
+/// backend produces the same `hits()` / `misses()` / `len()` trajectory.
+///
+/// ```
+/// use vamor_linalg::{CooMatrix, ShiftedSparseLuCache, Vector};
+/// # fn main() -> Result<(), vamor_linalg::LinalgError> {
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, -2.0);
+/// coo.push(0, 1, 1.0);
+/// coo.push(1, 1, -3.0);
+/// let cache = ShiftedSparseLuCache::new(coo.to_csr());
+/// let b = Vector::from_slice(&[1.0, 2.0]);
+/// let x1 = cache.solve_shifted(0.5, &b)?;
+/// let x2 = cache.solve_shifted(0.5, &b)?; // served from the cache
+/// assert_eq!(x1.as_slice(), x2.as_slice());
+/// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShiftedSparseLuCache {
+    base: CsrMatrix,
+    symbolic: Arc<SparseLuSymbolic>,
+    enabled: bool,
+    real: Mutex<HashMap<u64, Arc<SparseLu>>>,
+    complex: Mutex<HashMap<(u64, u64), Arc<SparseZLu>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ShiftedSparseLuCache {
+    /// Creates a cache over the given base matrix, running the symbolic
+    /// analysis once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not square.
+    pub fn new(base: CsrMatrix) -> Self {
+        Self::with_mode(base, true)
+    }
+
+    /// Creates a passthrough instance that refactors numerically on every
+    /// solve (the symbolic analysis is still shared — that reuse is the
+    /// point of the sparse design, not part of the memoization under test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not square.
+    pub fn new_uncached(base: CsrMatrix) -> Self {
+        Self::with_mode(base, false)
+    }
+
+    fn with_mode(base: CsrMatrix, enabled: bool) -> Self {
+        let symbolic = SparseLuSymbolic::analyze(&base)
+            .expect("ShiftedSparseLuCache requires a square base matrix");
+        ShiftedSparseLuCache {
+            base,
+            symbolic: Arc::new(symbolic),
+            enabled,
+            real: Mutex::new(HashMap::new()),
+            complex: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The base matrix `G`.
+    pub fn base(&self) -> &CsrMatrix {
+        &self.base
+    }
+
+    /// The shared symbolic analysis.
+    pub fn symbolic(&self) -> &Arc<SparseLuSymbolic> {
+        &self.symbolic
+    }
+
+    /// Dimension of the base matrix.
+    pub fn dim(&self) -> usize {
+        self.base.rows()
+    }
+
+    /// True when memoization is active (false for the passthrough mode).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of solves served from cached factors.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of fresh (numeric) factorizations performed.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cached factorizations (real + complex).
+    pub fn len(&self) -> usize {
+        self.real.lock().expect("cache poisoned").len()
+            + self.complex.lock().expect("cache poisoned").len()
+    }
+
+    /// True if nothing has been factored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sparse LU of `base + σI`, computed (numerically) at most once per
+    /// shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if the shifted matrix is singular.
+    pub fn factor(&self, sigma: f64) -> Result<Arc<SparseLu>> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(SparseLu::factor_shifted(
+                &self.symbolic,
+                &self.base,
+                sigma,
+            )?));
+        }
+        let key = shift_key(sigma);
+        if let Some(lu) = self.real.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(lu));
+        }
+        // Factor outside the lock (see `ShiftedLuCache::factor`).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let lu = Arc::new(SparseLu::factor_shifted(&self.symbolic, &self.base, sigma)?);
+        let mut map = self.real.lock().expect("cache poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(lu)))
+    }
+
+    /// Solves `(base + σI) x = rhs` through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular pencils and dimension mismatches.
+    pub fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> Result<Vector> {
+        self.factor(sigma)?.solve(rhs)
+    }
+
+    /// The sparse LU of `base + λI` for a complex shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if the shifted matrix is singular.
+    pub fn factor_complex(&self, lambda: Complex) -> Result<Arc<SparseZLu>> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(SparseZLu::factor_shifted(
+                &self.symbolic,
+                &self.base,
+                lambda,
+            )?));
+        }
+        let key = (shift_key(lambda.re), shift_key(lambda.im));
+        if let Some(lu) = self.complex.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(lu));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let lu = Arc::new(SparseZLu::factor_shifted(
+            &self.symbolic,
+            &self.base,
+            lambda,
+        )?);
+        let mut map = self.complex.lock().expect("cache poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(lu)))
+    }
+
+    /// Solves `(base + λI)(x_re + i·x_im) = re + i·im`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular pencils and dimension mismatches.
+    pub fn solve_shifted_complex(
+        &self,
+        lambda: Complex,
+        re: &Vector,
+        im: &Vector,
+    ) -> Result<(Vector, Vector)> {
+        if re.len() != self.dim() || im.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "sparse shifted complex solve: rhs lengths {}/{} for dimension {}",
+                re.len(),
+                im.len(),
+                self.dim()
+            )));
+        }
+        self.factor_complex(lambda)?.solve_parts(re, im)
+    }
+}
+
+impl Clone for ShiftedSparseLuCache {
+    fn clone(&self) -> Self {
+        ShiftedSparseLuCache {
+            base: self.base.clone(),
+            symbolic: Arc::clone(&self.symbolic),
             enabled: self.enabled,
             real: Mutex::new(self.real.lock().expect("cache poisoned").clone()),
             complex: Mutex::new(self.complex.lock().expect("cache poisoned").clone()),
@@ -336,6 +558,69 @@ mod tests {
         let rhs = Vector::from_slice(&[1.0, 1.0]);
         assert!(cache.solve_shifted(2.0, &rhs).is_err());
         assert!(cache.is_empty());
+    }
+
+    fn base_csr() -> CsrMatrix {
+        CsrMatrix::from_dense(&base(), 0.0)
+    }
+
+    /// The satellite guarantee: both backends quantize shift keys the same
+    /// way, so an identical solve sequence produces identical hit/miss/len
+    /// statistics.
+    #[test]
+    fn sparse_and_dense_caches_count_hits_and_misses_identically() {
+        let dense = ShiftedLuCache::new(base());
+        let sparse = ShiftedSparseLuCache::new(base_csr());
+        let rhs = Vector::from_slice(&[1.0, -2.0, 0.5]);
+        let re = Vector::from_slice(&[0.3, 1.0, -0.4]);
+        let im = Vector::from_slice(&[-1.0, 0.2, 0.9]);
+        let lambda = Complex::new(0.4, 1.3);
+        for sigma in [0.0, 0.3, -0.0, 0.3, -0.8, 0.0] {
+            let a = dense.solve_shifted(sigma, &rhs).unwrap();
+            let b = sparse.solve_shifted(sigma, &rhs).unwrap();
+            assert!((&a - &b).norm_inf() < 1e-10, "sigma {sigma}");
+        }
+        for _ in 0..2 {
+            let (ar, ai) = dense.solve_shifted_complex(lambda, &re, &im).unwrap();
+            let (br, bi) = sparse.solve_shifted_complex(lambda, &re, &im).unwrap();
+            assert!((&ar - &br).norm_inf() < 1e-10);
+            assert!((&ai - &bi).norm_inf() < 1e-10);
+        }
+        assert_eq!(dense.hits(), sparse.hits());
+        assert_eq!(dense.misses(), sparse.misses());
+        assert_eq!(dense.len(), sparse.len());
+        // Six real solves over three distinct shifts (with -0.0 folded into
+        // 0.0) plus two complex solves over one shift.
+        assert_eq!(sparse.misses(), 4);
+        assert_eq!(sparse.hits(), 4);
+    }
+
+    #[test]
+    fn sparse_passthrough_mode_never_caches() {
+        let cache = ShiftedSparseLuCache::new_uncached(base_csr());
+        let rhs = Vector::from_slice(&[1.0, 0.0, 0.0]);
+        cache.solve_shifted(0.5, &rhs).unwrap();
+        cache.solve_shifted(0.5, &rhs).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert!(cache.is_empty());
+        assert!(!cache.is_enabled());
+        assert_eq!(cache.dim(), 3);
+        assert_eq!(cache.base().rows(), 3);
+        assert_eq!(cache.symbolic().dim(), 3);
+    }
+
+    #[test]
+    fn sparse_singular_shift_is_reported_not_cached() {
+        let g = Matrix::from_rows(&[&[-2.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let cache = ShiftedSparseLuCache::new(CsrMatrix::from_dense(&g, 0.0));
+        let rhs = Vector::from_slice(&[1.0, 1.0]);
+        assert!(cache.solve_shifted(2.0, &rhs).is_err());
+        assert!(cache.is_empty());
+        // Cloning carries cached factors.
+        cache.solve_shifted(0.5, &rhs).unwrap();
+        let cloned = cache.clone();
+        cloned.solve_shifted(0.5, &rhs).unwrap();
+        assert_eq!(cloned.hits(), 1);
     }
 
     #[test]

@@ -150,6 +150,10 @@ fn assemble_csr(
 }
 
 /// A compressed sparse row matrix.
+///
+/// Invariant maintained by every constructor in this crate: the column
+/// indices within each row are strictly increasing (duplicates are summed on
+/// assembly), so row lookups can binary-search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     rows: usize,
@@ -212,7 +216,8 @@ impl CsrMatrix {
         self.values.len()
     }
 
-    /// Value at `(row, col)` (zero if not stored).
+    /// Value at `(row, col)` (zero if not stored). Binary-searches the row's
+    /// sorted column indices, so a lookup is `O(log nnz_row)`.
     ///
     /// # Panics
     ///
@@ -222,12 +227,22 @@ impl CsrMatrix {
             row < self.rows && col < self.cols,
             "csr get ({row},{col}) out of bounds"
         );
-        for k in self.indptr[row]..self.indptr[row + 1] {
-            if self.indices[k] == col {
-                return self.values[k];
-            }
+        let range = self.indptr[row]..self.indptr[row + 1];
+        match self.indices[range.clone()].binary_search(&col) {
+            Ok(k) => self.values[range.start + k],
+            Err(_) => 0.0,
         }
-        0.0
+    }
+
+    /// The sorted column indices and values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_entries(&self, r: usize) -> (&[usize], &[f64]) {
+        assert!(r < self.rows, "csr row_entries: row {r} out of bounds");
+        let range = self.indptr[r]..self.indptr[r + 1];
+        (&self.indices[range.clone()], &self.values[range])
     }
 
     /// Iterates over `(row, col, value)` of the stored entries.
@@ -291,6 +306,90 @@ impl CsrMatrix {
             }
         }
         y
+    }
+
+    /// Transposed sparse matrix-vector product `y = Aᵀ x` written into a
+    /// caller-provided buffer — the allocation-free kernel the
+    /// column-by-column bilinear projections loop over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()` or `y.len() != self.cols()`.
+    pub fn matvec_transpose_into(&self, x: &Vector, y: &mut Vector) {
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "csr matvec_transpose_into: dimension mismatch"
+        );
+        assert_eq!(
+            y.len(),
+            self.cols,
+            "csr matvec_transpose_into: output length mismatch"
+        );
+        // Overwrite (not scale): 0.0 * NaN/Inf would keep stale non-finite
+        // buffer contents alive across reuses.
+        y.as_mut_slice().fill(0.0);
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                y[self.indices[k]] += self.values[k] * xr;
+            }
+        }
+    }
+
+    /// Returns `I + alpha·A` as a new CSR matrix with an explicit diagonal in
+    /// every row (kept even when the sum is numerically zero, so the pattern
+    /// — and therefore a shared symbolic factorization — is stable across
+    /// step-size changes). This is the `I − θh·J` assembly of the implicit
+    /// integrators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn identity_plus_scaled(&self, alpha: f64) -> CsrMatrix {
+        assert_eq!(
+            self.rows, self.cols,
+            "identity_plus_scaled requires a square matrix"
+        );
+        let n = self.rows;
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::with_capacity(self.nnz() + n);
+        let mut values = Vec::with_capacity(self.nnz() + n);
+        indptr.push(0);
+        for r in 0..n {
+            let mut placed_diag = false;
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[k];
+                let v = alpha * self.values[k];
+                if !placed_diag && c >= r {
+                    placed_diag = true;
+                    if c == r {
+                        indices.push(r);
+                        values.push(1.0 + v);
+                        continue;
+                    }
+                    indices.push(r);
+                    values.push(1.0);
+                }
+                indices.push(c);
+                values.push(v);
+            }
+            if !placed_diag {
+                indices.push(r);
+                values.push(1.0);
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Product with a *Kronecker-structured* column `x ⊗ y` of length
@@ -608,6 +707,63 @@ mod tests {
         };
         let x = gmres(&a, &b, &opts).unwrap();
         assert!((&a.matvec(&x) - &b).norm2() < 1e-6);
+    }
+
+    #[test]
+    fn get_binary_search_matches_dense_lookup() {
+        let csr = ladder(9);
+        let dense = csr.to_dense();
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(csr.get(i, j), dense[(i, j)], "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_transpose_into_matches_allocating_variant() {
+        let mut coo = CooMatrix::new(4, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 2, -1.5);
+        coo.push(3, 1, 0.25);
+        coo.push(2, 0, 4.0);
+        let a = coo.to_csr();
+        let x = Vector::from_slice(&[1.0, -2.0, 0.5, 3.0]);
+        let mut y = Vector::filled(3, 7.0); // stale contents must be cleared
+        a.matvec_transpose_into(&x, &mut y);
+        assert!((&y - &a.matvec_transpose(&x)).norm_inf() < 1e-15);
+    }
+
+    #[test]
+    fn identity_plus_scaled_matches_dense_and_keeps_diagonal() {
+        // Matrix with one missing diagonal entry (row 1) and entries on both
+        // sides of the diagonal.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 2, 1.0);
+        coo.push(1, 0, -3.0);
+        coo.push(1, 2, 0.5);
+        coo.push(2, 1, 4.0);
+        coo.push(2, 2, -8.0);
+        let a = coo.to_csr();
+        let alpha = -0.25;
+        let m = a.identity_plus_scaled(alpha);
+        let mut expected = a.to_dense().scaled(alpha);
+        for i in 0..3 {
+            expected[(i, i)] += 1.0;
+        }
+        assert!((&m.to_dense() - &expected).max_abs() < 1e-15);
+        // Every diagonal entry is structurally present, even the one that is
+        // numerically 1 + alpha*(-8) ... and the zero-sum case below.
+        for i in 0..3 {
+            assert!(m.row_entries(i).0.contains(&i), "diag {i} missing");
+        }
+        // Exact cancellation: 1 + 1.0*(-1.0) = 0 stays stored.
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, -1.0);
+        let z = coo.to_csr().identity_plus_scaled(1.0);
+        assert_eq!(z.nnz(), 1);
+        assert_eq!(z.get(0, 0), 0.0);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub use metrics::{max_relative_error, relative_error_series, rms_error};
 pub use transient::{
     simulate, IntegrationMethod, JacobianPolicy, SolverStats, TransientOptions, TransientResult,
 };
+pub use vamor_linalg::SolverBackend;
 
 /// Result alias for simulation routines.
 pub type Result<T> = std::result::Result<T, SimError>;

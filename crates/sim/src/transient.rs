@@ -1,6 +1,9 @@
 //! Fixed-step transient integrators for polynomial state-space systems.
 
-use vamor_linalg::{LuDecomposition, Matrix, Vector};
+use std::sync::Arc;
+
+use vamor_linalg::sparse_lu::SPARSE_AUTO_THRESHOLD;
+use vamor_linalg::{LuFactor, Matrix, SolverBackend, SparseLu, SparseLuSymbolic, Vector};
 use vamor_system::PolynomialStateSpace;
 
 use crate::error::SimError;
@@ -57,6 +60,15 @@ pub struct TransientOptions {
     pub newton_max_iter: usize,
     /// Jacobian refresh policy of the implicit methods.
     pub jacobian_policy: JacobianPolicy,
+    /// Linear-solver backend for the Newton iteration matrix `I − θh·J`.
+    /// `Auto` (the default) factors sparsely once the system is large enough
+    /// (`n ≥ 256`) *and* provides a CSR Jacobian stamp
+    /// ([`vamor_system::PolynomialStateSpace::jacobian_csr`]); small reduced
+    /// models stay on the dense path where it is faster. The symbolic
+    /// analysis is computed once and reused across every refactorization of
+    /// a run, so a step-size change or convergence-triggered refresh costs
+    /// only the numeric sweep.
+    pub linear_solver: SolverBackend,
     /// Whether to retain the full state trajectory (memory heavy for large
     /// systems; outputs are always retained).
     pub store_states: bool,
@@ -75,8 +87,17 @@ impl TransientOptions {
             newton_tol: 1e-10,
             newton_max_iter: 25,
             jacobian_policy: JacobianPolicy::default(),
+            linear_solver: SolverBackend::default(),
             store_states: false,
         }
+    }
+
+    /// Selects the linear-solver backend of the implicit methods. `Sparse`
+    /// falls back to the dense path when the system does not provide a CSR
+    /// Jacobian stamp.
+    pub fn with_linear_solver(mut self, backend: SolverBackend) -> Self {
+        self.linear_solver = backend;
+        self
     }
 
     /// Selects the Jacobian refresh policy of the implicit methods.
@@ -137,6 +158,9 @@ pub struct SolverStats {
     pub newton_iterations: usize,
     /// Total linear solves (Jacobian factorizations) performed.
     pub jacobian_factorizations: usize,
+    /// How many of those factorizations went through the sparse direct
+    /// solver (0 on the dense path).
+    pub sparse_factorizations: usize,
 }
 
 /// Result of a transient simulation.
@@ -302,28 +326,64 @@ fn rk4_step(
 
 /// A factored Newton iteration matrix `I − θh·J`, tagged with the step size
 /// it was built for so a trailing partial step triggers a refactorization.
+/// On the sparse path the symbolic analysis (fill-reducing ordering) is kept
+/// alongside and reused by every refresh of the run.
 struct FrozenJacobian {
-    lu: LuDecomposition,
+    factor: LuFactor,
     h: f64,
+    symbolic: Option<Arc<SparseLuSymbolic>>,
 }
 
 /// Factors the iteration matrix at the current iterate and records it.
+#[allow(clippy::too_many_arguments)] // private helper with two call sites; a config struct would just rename the arguments
 fn refresh_jacobian(
     system: &dyn PolynomialStateSpace,
     x: &Vector,
     u: &[f64],
     theta: f64,
     h: f64,
+    opts: &TransientOptions,
     stats: &mut SolverStats,
     frozen: &mut Option<FrozenJacobian>,
 ) -> Result<()> {
     let n = system.order();
-    let jac = system.jacobian_x(x, u);
-    let mut iteration_matrix = Matrix::identity(n);
-    iteration_matrix.axpy(-theta * h, &jac);
-    let lu = iteration_matrix.lu().map_err(SimError::Linalg)?;
-    stats.jacobian_factorizations += 1;
-    *frozen = Some(FrozenJacobian { lu, h });
+    let want_sparse = opts.linear_solver.use_sparse(n, SPARSE_AUTO_THRESHOLD);
+    let sparse_jac = if want_sparse {
+        system.jacobian_csr(x, u)
+    } else {
+        None
+    };
+    match sparse_jac {
+        Some(jac) => {
+            let m = jac.identity_plus_scaled(-theta * h);
+            // Reuse the symbolic analysis from the previous factorization —
+            // an elimination ordering stays valid for any numeric pattern.
+            let symbolic = match frozen.take().and_then(|f| f.symbolic) {
+                Some(s) => s,
+                None => Arc::new(SparseLuSymbolic::analyze(&m).map_err(SimError::Linalg)?),
+            };
+            let lu = SparseLu::factor_with(&symbolic, &m).map_err(SimError::Linalg)?;
+            stats.jacobian_factorizations += 1;
+            stats.sparse_factorizations += 1;
+            *frozen = Some(FrozenJacobian {
+                factor: LuFactor::Sparse(lu),
+                h,
+                symbolic: Some(symbolic),
+            });
+        }
+        None => {
+            let jac = system.jacobian_x(x, u);
+            let mut iteration_matrix = Matrix::identity(n);
+            iteration_matrix.axpy(-theta * h, &jac);
+            let lu = iteration_matrix.lu().map_err(SimError::Linalg)?;
+            stats.jacobian_factorizations += 1;
+            *frozen = Some(FrozenJacobian {
+                factor: LuFactor::Dense(lu),
+                h,
+                symbolic: None,
+            });
+        }
+    }
     Ok(())
 }
 
@@ -360,7 +420,7 @@ fn implicit_step(
         _ => true,
     };
     if stale {
-        refresh_jacobian(system, &x, &u1, theta, h, stats, frozen)?;
+        refresh_jacobian(system, &x, &u1, theta, h, opts, stats, frozen)?;
     }
 
     let x_pred = x.clone();
@@ -373,7 +433,10 @@ fn implicit_step(
     // geometrically — or blows up outright, which under a stale frozen
     // matrix is a reason to refresh, not to abort.
     for attempt in 0..2 {
-        let lu = &frozen.as_ref().expect("iteration matrix factored above").lu;
+        let lu = &frozen
+            .as_ref()
+            .expect("iteration matrix factored above")
+            .factor;
         let mut prev_residual = f64::INFINITY;
         for iter in 0..opts.newton_max_iter {
             // Residual g(x) = x - x0 - h*((1-θ) f0 + θ f(x, u1)).
@@ -410,7 +473,7 @@ fn implicit_step(
         }
         if attempt == 0 {
             // Refresh the Jacobian at the current (finite) iterate and retry.
-            refresh_jacobian(system, &x, &u1, theta, h, stats, frozen)?;
+            refresh_jacobian(system, &x, &u1, theta, h, opts, stats, frozen)?;
         }
     }
     Err(SimError::NewtonFailed {

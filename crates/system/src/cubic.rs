@@ -1,6 +1,8 @@
 //! Cubic polynomial ODE systems (`G₃ x ⊗ x ⊗ x` nonlinearity).
 
-use vamor_linalg::{CsrMatrix, Matrix, Vector};
+use std::sync::OnceLock;
+
+use vamor_linalg::{CooMatrix, CsrMatrix, Matrix, Vector};
 
 use crate::error::SystemError;
 use crate::lti::LtiSystem;
@@ -15,10 +17,13 @@ use crate::Result;
 /// ```
 ///
 /// where the quadratic part `G₂` is optional (the varistor model only has the
-/// cubic term). `G₃` has shape `n × n³` and is stored sparsely.
+/// cubic term). `G₃` has shape `n × n³` and is stored sparsely. `G₁` is also
+/// stored sparsely with a lazily materialized dense view, mirroring
+/// [`crate::Qldae`].
 #[derive(Debug, Clone)]
 pub struct CubicOde {
-    g1: Matrix,
+    g1: CsrMatrix,
+    g1_dense: OnceLock<Matrix>,
     g2: Option<CsrMatrix>,
     g3: CsrMatrix,
     b: Matrix,
@@ -26,7 +31,7 @@ pub struct CubicOde {
 }
 
 impl CubicOde {
-    /// Creates a cubic system, validating all shapes.
+    /// Creates a cubic system from a dense `G₁`, validating all shapes.
     ///
     /// # Errors
     ///
@@ -40,6 +45,43 @@ impl CubicOde {
         c: Matrix,
     ) -> Result<Self> {
         if !g1.is_square() {
+            return Err(SystemError::Dimension(format!(
+                "G1 must be square, got {}x{}",
+                g1.rows(),
+                g1.cols()
+            )));
+        }
+        let g1_csr = CsrMatrix::from_dense(&g1, 0.0);
+        let dense = OnceLock::new();
+        let _ = dense.set(g1);
+        Self::from_parts(g1_csr, dense, g2, g3, b, c)
+    }
+
+    /// Creates a cubic system from a sparse `G₁` stamp; the dense view is
+    /// materialized only when [`CubicOde::g1`] is first called.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CubicOde::new`].
+    pub fn new_sparse(
+        g1: CsrMatrix,
+        g2: Option<CsrMatrix>,
+        g3: CsrMatrix,
+        b: Matrix,
+        c: Matrix,
+    ) -> Result<Self> {
+        Self::from_parts(g1, OnceLock::new(), g2, g3, b, c)
+    }
+
+    fn from_parts(
+        g1: CsrMatrix,
+        g1_dense: OnceLock<Matrix>,
+        g2: Option<CsrMatrix>,
+        g3: CsrMatrix,
+        b: Matrix,
+        c: Matrix,
+    ) -> Result<Self> {
+        if g1.rows() != g1.cols() {
             return Err(SystemError::Dimension(format!(
                 "G1 must be square, got {}x{}",
                 g1.rows(),
@@ -82,11 +124,24 @@ impl CubicOde {
                 c.cols()
             )));
         }
-        Ok(CubicOde { g1, g2, g3, b, c })
+        Ok(CubicOde {
+            g1,
+            g1_dense,
+            g2,
+            g3,
+            b,
+            c,
+        })
     }
 
-    /// The linear state matrix `G₁`.
+    /// The linear state matrix `G₁` as a dense matrix (lazily materialized
+    /// and cached; see [`CubicOde::g1_csr`] for the sparse stamp).
     pub fn g1(&self) -> &Matrix {
+        self.g1_dense.get_or_init(|| self.g1.to_dense())
+    }
+
+    /// The linear state matrix `G₁` as the sparse stamp it was built from.
+    pub fn g1_csr(&self) -> &CsrMatrix {
         &self.g1
     }
 
@@ -157,7 +212,7 @@ impl CubicOde {
     ///
     /// Propagates construction errors (cannot occur for a valid system).
     pub fn linearized(&self) -> Result<LtiSystem> {
-        LtiSystem::new(self.g1.clone(), self.b.clone(), self.c.clone())
+        LtiSystem::new(self.g1().clone(), self.b.clone(), self.c.clone())
     }
 }
 
@@ -204,7 +259,10 @@ impl PolynomialStateSpace for CubicOde {
             "cubic jacobian: input dimension mismatch"
         );
         let n = self.order();
-        let mut jac = self.g1.clone();
+        let mut jac = Matrix::zeros(n, n);
+        for (i, j, v) in self.g1.iter() {
+            jac[(i, j)] += v;
+        }
         if let Some(g2) = &self.g2 {
             for (i, col, g) in g2.iter() {
                 let p = col / n;
@@ -222,6 +280,41 @@ impl PolynomialStateSpace for CubicOde {
             jac[(i, r)] += g * x[p] * x[q];
         }
         jac
+    }
+
+    fn jacobian_csr(&self, x: &Vector, u: &[f64]) -> Option<CsrMatrix> {
+        assert_eq!(
+            x.len(),
+            self.order(),
+            "cubic jacobian: state dimension mismatch"
+        );
+        assert_eq!(
+            u.len(),
+            self.num_inputs(),
+            "cubic jacobian: input dimension mismatch"
+        );
+        let n = self.order();
+        let mut coo = CooMatrix::new(n, n);
+        for (i, j, v) in self.g1.iter() {
+            coo.push(i, j, v);
+        }
+        if let Some(g2) = &self.g2 {
+            for (i, col, g) in g2.iter() {
+                let p = col / n;
+                let q = col % n;
+                coo.push(i, p, g * x[q]);
+                coo.push(i, q, g * x[p]);
+            }
+        }
+        for (i, col, g) in self.g3.iter() {
+            let p = col / (n * n);
+            let q = (col / n) % n;
+            let r = col % n;
+            coo.push(i, p, g * x[q] * x[r]);
+            coo.push(i, q, g * x[p] * x[r]);
+            coo.push(i, r, g * x[p] * x[q]);
+        }
+        Some(coo.into_csr())
     }
 
     fn output(&self, x: &Vector) -> Vector {
@@ -277,6 +370,15 @@ mod tests {
                 assert!((jac[(i, j)] - fd).abs() < 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn sparse_jacobian_matches_dense_jacobian() {
+        let sys = toy();
+        let x = Vector::from_slice(&[0.9, -0.4]);
+        let u = [0.2];
+        let sparse = sys.jacobian_csr(&x, &u).expect("cubic provides CSR stamps");
+        assert!((&sparse.to_dense() - &sys.jacobian_x(&x, &u)).max_abs() < 1e-14);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Quadratic-linear differential algebraic equation (QLDAE) systems.
 
-use vamor_linalg::{CsrMatrix, Matrix, Vector};
+use std::sync::OnceLock;
+
+use vamor_linalg::{CooMatrix, CsrMatrix, Matrix, Vector};
 
 use crate::error::SystemError;
 use crate::lti::LtiSystem;
@@ -20,9 +22,17 @@ use crate::Result;
 /// A regular descriptor matrix `E` (`E ẋ = …`) can be folded in with
 /// [`Qldae::from_descriptor`], mirroring the paper's assumption of an
 /// invertible `C` matrix in Eq. (1).
+///
+/// `G₁` is stored **sparsely** (circuit MNA stamps are ~tridiagonal, and the
+/// dense `n × n` matrix of a 10⁴-state line would not even fit in memory);
+/// the dense view needed by the dense reduction machinery (Schur forms,
+/// Lyapunov weights) is materialized lazily on first use of [`Qldae::g1`]
+/// and cached, so purely sparse consumers (the implicit transient at scale)
+/// never pay for it.
 #[derive(Debug, Clone)]
 pub struct Qldae {
-    g1: Matrix,
+    g1: CsrMatrix,
+    g1_dense: OnceLock<Matrix>,
     g2: CsrMatrix,
     d1: Vec<CsrMatrix>,
     b: Matrix,
@@ -30,7 +40,7 @@ pub struct Qldae {
 }
 
 impl Qldae {
-    /// Creates a QLDAE system, validating all shapes.
+    /// Creates a QLDAE system from a dense `G₁`, validating all shapes.
     ///
     /// `d1` must either be empty (no bilinear term) or contain exactly one
     /// `n × n` matrix per input column of `b`.
@@ -47,6 +57,43 @@ impl Qldae {
         c: Matrix,
     ) -> Result<Self> {
         if !g1.is_square() {
+            return Err(SystemError::Dimension(format!(
+                "G1 must be square, got {}x{}",
+                g1.rows(),
+                g1.cols()
+            )));
+        }
+        let g1_csr = CsrMatrix::from_dense(&g1, 0.0);
+        let dense = OnceLock::new();
+        let _ = dense.set(g1);
+        Self::from_parts(g1_csr, dense, g2, d1, b, c)
+    }
+
+    /// Creates a QLDAE system from a sparse `G₁` stamp. The dense view is
+    /// only materialized if a consumer asks for it via [`Qldae::g1`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Qldae::new`].
+    pub fn new_sparse(
+        g1: CsrMatrix,
+        g2: CsrMatrix,
+        d1: Vec<CsrMatrix>,
+        b: Matrix,
+        c: Matrix,
+    ) -> Result<Self> {
+        Self::from_parts(g1, OnceLock::new(), g2, d1, b, c)
+    }
+
+    fn from_parts(
+        g1: CsrMatrix,
+        g1_dense: OnceLock<Matrix>,
+        g2: CsrMatrix,
+        d1: Vec<CsrMatrix>,
+        b: Matrix,
+        c: Matrix,
+    ) -> Result<Self> {
+        if g1.rows() != g1.cols() {
             return Err(SystemError::Dimension(format!(
                 "G1 must be square, got {}x{}",
                 g1.rows(),
@@ -95,7 +142,14 @@ impl Qldae {
                 )));
             }
         }
-        Ok(Qldae { g1, g2, d1, b, c })
+        Ok(Qldae {
+            g1,
+            g1_dense,
+            g2,
+            d1,
+            b,
+            c,
+        })
     }
 
     /// Builds a QLDAE from descriptor form `E ẋ = G₁ x + …` by folding the
@@ -140,8 +194,17 @@ impl Qldae {
         Qldae::new(g1_new, g2_new, d1_new, b_new, c.clone())
     }
 
-    /// The linear state matrix `G₁`.
+    /// The linear state matrix `G₁` as a dense matrix, materialized from the
+    /// sparse stamp on first use and cached. The dense reduction machinery
+    /// (Schur, Lyapunov weights) goes through this; `O(n²)` memory, so avoid
+    /// it for very large systems — the transient solvers use
+    /// [`Qldae::g1_csr`] instead.
     pub fn g1(&self) -> &Matrix {
+        self.g1_dense.get_or_init(|| self.g1.to_dense())
+    }
+
+    /// The linear state matrix `G₁` as the sparse stamp it was built from.
+    pub fn g1_csr(&self) -> &CsrMatrix {
         &self.g1
     }
 
@@ -196,7 +259,7 @@ impl Qldae {
     ///
     /// Propagates construction errors (which cannot occur for a valid QLDAE).
     pub fn linearized(&self) -> Result<LtiSystem> {
-        LtiSystem::new(self.g1.clone(), self.b.clone(), self.c.clone())
+        LtiSystem::new(self.g1().clone(), self.b.clone(), self.c.clone())
     }
 }
 
@@ -273,7 +336,10 @@ impl PolynomialStateSpace for Qldae {
             "qldae jacobian: input dimension mismatch"
         );
         let n = self.order();
-        let mut jac = self.g1.clone();
+        let mut jac = Matrix::zeros(n, n);
+        for (i, j, v) in self.g1.iter() {
+            jac[(i, j)] += v;
+        }
         // d/dx_j [G2 (x⊗x)]_i = Σ_{(i, p*n+q)} g * (δ_{pj} x_q + x_p δ_{qj}).
         for (i, col, g) in self.g2.iter() {
             let p = col / n;
@@ -291,6 +357,40 @@ impl PolynomialStateSpace for Qldae {
             }
         }
         jac
+    }
+
+    fn jacobian_csr(&self, x: &Vector, u: &[f64]) -> Option<CsrMatrix> {
+        assert_eq!(
+            x.len(),
+            self.order(),
+            "qldae jacobian: state dimension mismatch"
+        );
+        assert_eq!(
+            u.len(),
+            self.num_inputs(),
+            "qldae jacobian: input dimension mismatch"
+        );
+        let n = self.order();
+        let mut coo = CooMatrix::new(n, n);
+        for (i, j, v) in self.g1.iter() {
+            coo.push(i, j, v);
+        }
+        for (i, col, g) in self.g2.iter() {
+            let p = col / n;
+            let q = col % n;
+            coo.push(i, p, g * x[q]);
+            coo.push(i, q, g * x[p]);
+        }
+        for (k, &uk) in u.iter().enumerate() {
+            if uk != 0.0 {
+                if let Some(dk) = self.d1.get(k) {
+                    for (i, j, v) in dk.iter() {
+                        coo.push(i, j, uk * v);
+                    }
+                }
+            }
+        }
+        Some(coo.into_csr())
     }
 
     fn output(&self, x: &Vector) -> Vector {
@@ -321,22 +421,24 @@ impl PolynomialStateSpace for Qldae {
 pub struct QldaeBuilder {
     n: usize,
     m: usize,
-    g1: Matrix,
-    g2: vamor_linalg::CooMatrix,
-    d1: Vec<vamor_linalg::CooMatrix>,
+    g1: CooMatrix,
+    g2: CooMatrix,
+    d1: Vec<CooMatrix>,
     b: Matrix,
     c_rows: Vec<Vector>,
 }
 
 impl QldaeBuilder {
-    /// Starts a builder for an `n`-state, `m`-input system.
+    /// Starts a builder for an `n`-state, `m`-input system. All coefficient
+    /// stamps accumulate sparsely, so building a 10⁴-state circuit never
+    /// allocates an `n × n` dense matrix.
     pub fn new(n: usize, m: usize) -> Self {
         QldaeBuilder {
             n,
             m,
-            g1: Matrix::zeros(n, n),
-            g2: vamor_linalg::CooMatrix::new(n, n * n),
-            d1: vec![vamor_linalg::CooMatrix::new(n, n); m],
+            g1: CooMatrix::new(n, n),
+            g2: CooMatrix::new(n, n * n),
+            d1: vec![CooMatrix::new(n, n); m],
             b: Matrix::zeros(n, m),
             c_rows: Vec::new(),
         }
@@ -348,7 +450,7 @@ impl QldaeBuilder {
     ///
     /// Panics if an index is out of range.
     pub fn g1_entry(mut self, row: usize, col: usize, value: f64) -> Self {
-        self.g1[(row, col)] += value;
+        self.g1.push(row, col, value);
         self
     }
 
@@ -428,7 +530,7 @@ impl QldaeBuilder {
             d1_csr
         };
         let _ = self.m;
-        Qldae::new(self.g1, self.g2.into_csr(), d1, self.b, c)
+        Qldae::new_sparse(self.g1.into_csr(), self.g2.into_csr(), d1, self.b, c)
     }
 }
 
@@ -489,6 +591,27 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sparse_jacobian_matches_dense_jacobian() {
+        let q = toy();
+        let x = Vector::from_slice(&[0.7, -1.3]);
+        let u = [0.4];
+        let sparse = q.jacobian_csr(&x, &u).expect("qldae provides CSR stamps");
+        let dense = q.jacobian_x(&x, &u);
+        assert!((&sparse.to_dense() - &dense).max_abs() < 1e-14);
+        // The sparse stamp is available without ever materializing G₁ densely.
+        let sq = Qldae::new_sparse(
+            q.g1_csr().clone(),
+            q.g2().clone(),
+            q.d1().to_vec(),
+            q.b().clone(),
+            q.c().clone(),
+        )
+        .unwrap();
+        assert!((&sq.rhs(&x, &u) - &q.rhs(&x, &u)).norm_inf() < 1e-14);
+        assert!((sq.g1() - q.g1()).max_abs() < 1e-14);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The polynomial state-space interface shared by full and reduced models.
 
-use vamor_linalg::{Matrix, Vector};
+use vamor_linalg::{CsrMatrix, Matrix, Vector};
 
 /// A polynomial (linear + quadratic + cubic + bilinear-input) state-space
 /// system
@@ -38,6 +38,20 @@ pub trait PolynomialStateSpace {
     /// Implementations may panic on dimension mismatch, as for
     /// [`PolynomialStateSpace::rhs`].
     fn jacobian_x(&self, x: &Vector, u: &[f64]) -> Matrix;
+
+    /// Jacobian `∂f/∂x` as a sparse CSR stamp, for systems whose coefficient
+    /// matrices are structurally sparse (circuit MNA stamps). Implicit
+    /// integrators factor this through the sparse direct solver instead of
+    /// densifying, which is what unlocks 10⁴-state transients. The default
+    /// returns `None`, meaning "only the dense Jacobian is available".
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on dimension mismatch, as for
+    /// [`PolynomialStateSpace::rhs`].
+    fn jacobian_csr(&self, _x: &Vector, _u: &[f64]) -> Option<CsrMatrix> {
+        None
+    }
 
     /// Output map `y = C x`.
     ///
