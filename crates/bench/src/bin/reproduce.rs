@@ -31,13 +31,14 @@ use std::process::ExitCode;
 
 use vamor_bench::{
     acceptance_metrics, compare_to_baseline, fig2_voltage_line_with, fig3_current_line_with,
-    fig4_rf_receiver_with, fig5_varistor_with, scaling_subspace_dims, sparse_scaling,
-    AcceptanceMetrics, Baseline, SparseScalingReport, TransientComparison,
+    fig4_rf_receiver_with, fig5_varistor_with, lowrank_scaling, scaling_subspace_dims,
+    sparse_scaling, AcceptanceMetrics, Baseline, LowRankScalingReport, SparseScalingReport,
+    TransientComparison,
 };
-use vamor_core::SolverBackend;
+use vamor_core::{ReductionEngine, SolverBackend};
 
 /// PR number stamped into the emitted baseline snapshot.
-const PR_NUMBER: u32 = 3;
+const PR_NUMBER: u32 = 4;
 
 struct Sizes {
     fig2_stages: usize,
@@ -96,6 +97,27 @@ fn main() -> ExitCode {
         (false, true) => SolverBackend::Dense,
         (false, false) => SolverBackend::Auto,
     };
+    // Reduction-engine toggle, mirroring the PR-3 --sparse/--dense pattern:
+    // `--engine dense|lowrank|auto` forces the Schur or the rational-Krylov
+    // + LR-ADI engine on the fig2–fig5/table1 reductions (default:
+    // automatic, low-rank from 512 states). The `lowrank` experiment always
+    // runs the low-rank engine and `perf`/`scaling` always measure the
+    // dense machinery — they are engine benchmarks, not toggled consumers.
+    let engine = match args.iter().position(|a| a == "--engine") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("dense") => ReductionEngine::DenseSchur,
+            Some("lowrank") => ReductionEngine::LowRank,
+            Some("auto") => ReductionEngine::Auto,
+            other => {
+                eprintln!(
+                    "--engine requires one of dense|lowrank|auto, got {:?}",
+                    other.unwrap_or("<missing>")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        None => ReductionEngine::Auto,
+    };
     let json_path = match args.iter().position(|a| a == "--json") {
         Some(i) => match args.get(i + 1) {
             Some(path) if !path.starts_with("--") => path.clone(),
@@ -123,7 +145,7 @@ fn main() -> ExitCode {
             skip_next = false;
             continue;
         }
-        if a == "--json" || a == "--compare" {
+        if a == "--json" || a == "--compare" || a == "--engine" {
             skip_next = true;
             continue;
         }
@@ -133,7 +155,7 @@ fn main() -> ExitCode {
     }
     if which.is_empty() || which.contains(&"all") {
         which = vec![
-            "fig2", "fig3", "fig4", "fig5", "table1", "scaling", "sparse", "perf",
+            "fig2", "fig3", "fig4", "fig5", "table1", "scaling", "sparse", "lowrank", "perf",
         ];
     }
     let sizes = if small {
@@ -146,24 +168,31 @@ fn main() -> ExitCode {
     let mut json_rows: Vec<(String, TransientComparison)> = Vec::new();
     let mut acceptance: Option<AcceptanceMetrics> = None;
     let mut sparse_report: Option<SparseScalingReport> = None;
+    let mut lowrank_report: Option<LowRankScalingReport> = None;
     for experiment in &which {
         let outcome = match *experiment {
-            "fig2" => fig2_voltage_line_with(sizes.fig2_stages, sizes.dt, backend).map(|c| {
-                print_figure("Fig. 2", &c);
-                json_rows.push(("fig2".into(), c));
-                None
-            }),
-            "fig3" => fig3_current_line_with(sizes.fig3_stages, sizes.dt, backend).map(|c| {
-                print_figure("Fig. 3", &c);
-                json_rows.push(("fig3".into(), c.clone()));
-                Some(("Sect 3.2 Ex. (transmission line)".to_string(), c))
-            }),
-            "fig4" => fig4_rf_receiver_with(sizes.fig4_sections, sizes.dt, backend).map(|c| {
-                print_figure("Fig. 4", &c);
-                json_rows.push(("fig4".into(), c.clone()));
-                Some(("Sect 3.3 Ex. (RF receiver)".to_string(), c))
-            }),
-            "fig5" => fig5_varistor_with(sizes.fig5_ladder, sizes.dt, backend).map(|c| {
+            "fig2" => {
+                fig2_voltage_line_with(sizes.fig2_stages, sizes.dt, backend, engine).map(|c| {
+                    print_figure("Fig. 2", &c);
+                    json_rows.push(("fig2".into(), c));
+                    None
+                })
+            }
+            "fig3" => {
+                fig3_current_line_with(sizes.fig3_stages, sizes.dt, backend, engine).map(|c| {
+                    print_figure("Fig. 3", &c);
+                    json_rows.push(("fig3".into(), c.clone()));
+                    Some(("Sect 3.2 Ex. (transmission line)".to_string(), c))
+                })
+            }
+            "fig4" => {
+                fig4_rf_receiver_with(sizes.fig4_sections, sizes.dt, backend, engine).map(|c| {
+                    print_figure("Fig. 4", &c);
+                    json_rows.push(("fig4".into(), c.clone()));
+                    Some(("Sect 3.3 Ex. (RF receiver)".to_string(), c))
+                })
+            }
+            "fig5" => fig5_varistor_with(sizes.fig5_ladder, sizes.dt, backend, engine).map(|c| {
                 print_figure("Fig. 5", &c);
                 json_rows.push(("fig5".into(), c));
                 None
@@ -172,6 +201,20 @@ fn main() -> ExitCode {
                 Ok(r) => {
                     print_sparse_scaling(&r);
                     sparse_report = Some(r);
+                    Ok(None)
+                }
+                Err(e) => Err(e),
+            },
+            "lowrank" => match lowrank_scaling(
+                sizes.sparse_mid,
+                sizes.sparse_big,
+                sizes.fig3_stages,
+                sizes.fig5_ladder,
+                sizes.dt,
+            ) {
+                Ok(r) => {
+                    print_lowrank_scaling(&r);
+                    lowrank_report = Some(r);
                     Ok(None)
                 }
                 Err(e) => Err(e),
@@ -188,7 +231,7 @@ fn main() -> ExitCode {
                 // Table 1 is assembled from the fig3/fig4 runs; run them if the
                 // user asked only for the table.
                 if !which.contains(&"fig3") {
-                    match fig3_current_line_with(sizes.fig3_stages, sizes.dt, backend) {
+                    match fig3_current_line_with(sizes.fig3_stages, sizes.dt, backend, engine) {
                         Ok(c) => table1_rows.push(("Sect 3.2 Ex. (transmission line)".into(), c)),
                         Err(e) => {
                             eprintln!("table1: {e}");
@@ -197,7 +240,7 @@ fn main() -> ExitCode {
                     }
                 }
                 if !which.contains(&"fig4") {
-                    match fig4_rf_receiver_with(sizes.fig4_sections, sizes.dt, backend) {
+                    match fig4_rf_receiver_with(sizes.fig4_sections, sizes.dt, backend, engine) {
                         Ok(c) => table1_rows.push(("Sect 3.3 Ex. (RF receiver)".into(), c)),
                         Err(e) => {
                             eprintln!("table1: {e}");
@@ -233,7 +276,7 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "unknown experiment '{other}' (expected fig2..fig5, table1, scaling, sparse, perf, all)"
+                    "unknown experiment '{other}' (expected fig2..fig5, table1, scaling, sparse, lowrank, perf, all)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -257,6 +300,7 @@ fn main() -> ExitCode {
         &json_rows,
         acceptance.as_ref(),
         sparse_report.as_ref(),
+        lowrank_report.as_ref(),
     );
     if !no_json {
         match std::fs::write(&json_path, &json) {
@@ -363,6 +407,7 @@ fn render_json(
     rows: &[(String, TransientComparison)],
     acceptance: Option<&AcceptanceMetrics>,
     sparse: Option<&SparseScalingReport>,
+    lowrank: Option<&LowRankScalingReport>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -455,8 +500,60 @@ fn render_json(
             r.rom_trajectory_diff
         );
     }
+    if let Some(r) = lowrank {
+        let _ = write!(
+            out,
+            ",\n  \"lowrank_scaling\": {{\n    \"mid_states\": {},\n    \"big_states\": {},\n    \"reduce_mid_s\": {:.6},\n    \"reduce_big_s\": {:.6},\n    \"rom_order_mid\": {},\n    \"rom_order_big\": {},\n    \"mid_g1r_hurwitz\": {},\n    \"big_g1r_hurwitz\": {},\n    \"mid_spectral_abscissa\": {:.6e},\n    \"big_spectral_abscissa\": {:.6e},\n    \"adi_iterations_big\": {},\n    \"adi_residual_big\": {:.6e},\n    \"chain_basis_dim_big\": {},\n    \"rom_error_mid\": {:.6e},\n    \"rom_error_big\": {:.6e},\n    \"reduce_scaling_exponent\": {:.3},\n    \"fig3_kernel_diff\": {:.6e},\n    \"fig5_rom_diff\": {:.6e}\n  }}",
+            r.mid_states,
+            r.big_states,
+            r.reduce_mid.as_secs_f64(),
+            r.reduce_big.as_secs_f64(),
+            r.rom_order_mid,
+            r.rom_order_big,
+            r.mid_abscissa < 0.0,
+            r.big_abscissa < 0.0,
+            r.mid_abscissa,
+            r.big_abscissa,
+            r.adi_iterations_big,
+            r.adi_residual_big,
+            r.chain_basis_dim_big,
+            r.rom_error_mid,
+            r.rom_error_big,
+            r.reduce_scaling_exponent,
+            r.fig3_kernel_diff,
+            r.fig5_rom_diff
+        );
+    }
     out.push_str("\n}\n");
     out
+}
+
+fn print_lowrank_scaling(r: &LowRankScalingReport) {
+    println!("\n== PR-4 low-rank reduction scaling (current-driven transmission line) ==");
+    println!(
+        "end-to-end low-rank reduction at n={}: {:.3} s (order {}, abscissa {:.3e}, ROM transient err {:.2e})",
+        r.mid_states,
+        r.reduce_mid.as_secs_f64(),
+        r.rom_order_mid,
+        r.mid_abscissa,
+        r.rom_error_mid
+    );
+    println!(
+        "end-to-end low-rank reduction at n={}: {:.3} s (order {}, abscissa {:.3e}, ROM transient err {:.2e})",
+        r.big_states,
+        r.reduce_big.as_secs_f64(),
+        r.rom_order_big,
+        r.big_abscissa,
+        r.rom_error_big
+    );
+    println!(
+        "reduce-time scaling exponent {:.2}; ADI sweeps {} (weight residual {:.2e}), chain basis dim {}",
+        r.reduce_scaling_exponent, r.adi_iterations_big, r.adi_residual_big, r.chain_basis_dim_big
+    );
+    println!(
+        "paper-size dense-vs-lowrank agreement: fig3 Volterra kernels {:.2e}, fig5 ROM transients {:.2e}",
+        r.fig3_kernel_diff, r.fig5_rom_diff
+    );
 }
 
 fn print_figure(label: &str, cmp: &TransientComparison) {

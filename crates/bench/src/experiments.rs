@@ -4,8 +4,11 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use vamor_circuits::{RfReceiver, TransmissionLine, VaristorCircuit};
-use vamor_core::{AssocReducer, MomentSpec, MorError, NormReducer, SolverBackend};
-use vamor_linalg::{CsrMatrix, Matrix, SparseLu, SparseLuSymbolic, Vector};
+use vamor_core::{
+    AssocReducer, MomentSpec, MorError, NormReducer, ReductionEngine, SolverBackend,
+    VolterraKernels,
+};
+use vamor_linalg::{Complex, CsrMatrix, Matrix, SparseLu, SparseLuSymbolic, Vector};
 use vamor_sim::{
     max_relative_error, relative_error_series, simulate, ExpPulse, IntegrationMethod, MultiChannel,
     SimError, SinePulse, TransientOptions,
@@ -149,7 +152,7 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 /// broadband onset of the response free, which at 100 stages made the seed's
 /// ROM leak an `O(10⁻⁴)` spurious signal over a `3·10⁻⁵` true response.
 pub fn fig2_voltage_line(stages: usize, dt: f64) -> Result<TransientComparison> {
-    fig2_voltage_line_with(stages, dt, SolverBackend::Auto)
+    fig2_voltage_line_with(stages, dt, SolverBackend::Auto, ReductionEngine::Auto)
 }
 
 /// [`fig2_voltage_line`] with an explicit linear-solver backend for the
@@ -159,6 +162,7 @@ pub fn fig2_voltage_line_with(
     stages: usize,
     dt: f64,
     backend: SolverBackend,
+    engine: ReductionEngine,
 ) -> Result<TransientComparison> {
     let line = TransmissionLine::voltage_driven(stages)?;
     let full = line.qldae();
@@ -169,6 +173,7 @@ pub fn fig2_voltage_line_with(
             .with_markov_moments(2)
             .with_deflation_tol(1e-12)
             .with_solver_backend(backend)
+            .with_engine(engine)
             .reduce(full)
     });
     let rom = rom?;
@@ -206,7 +211,7 @@ pub fn fig2_voltage_line_with(
 /// (no `D₁` term), reduced with both the proposed method and the NORM
 /// baseline at the same moment orders.
 pub fn fig3_current_line(stages: usize, dt: f64) -> Result<TransientComparison> {
-    fig3_current_line_with(stages, dt, SolverBackend::Auto)
+    fig3_current_line_with(stages, dt, SolverBackend::Auto, ReductionEngine::Auto)
 }
 
 /// [`fig3_current_line`] with an explicit linear-solver backend.
@@ -214,6 +219,7 @@ pub fn fig3_current_line_with(
     stages: usize,
     dt: f64,
     backend: SolverBackend,
+    engine: ReductionEngine,
 ) -> Result<TransientComparison> {
     let line = TransmissionLine::current_driven(stages)?;
     let full = line.qldae();
@@ -222,6 +228,7 @@ pub fn fig3_current_line_with(
     let (rom, t_reduce) = timed(|| {
         AssocReducer::new(spec)
             .with_solver_backend(backend)
+            .with_engine(engine)
             .reduce(full)
     });
     let rom = rom?;
@@ -233,6 +240,7 @@ pub fn fig3_current_line_with(
         NormReducer::new(spec)
             .with_stabilized_projection(false)
             .with_solver_backend(backend)
+            .with_engine(engine)
             .reduce(full)
     });
     let norm_rom = norm_rom?;
@@ -272,7 +280,7 @@ pub fn fig3_current_line_with(
 /// Fig. 4 + the "Sect 3.3 Ex." rows of Table 1 — the MISO RF receiver
 /// (signal + interferer, `D₁ = 0`), reduced with both methods.
 pub fn fig4_rf_receiver(sections: usize, dt: f64) -> Result<TransientComparison> {
-    fig4_rf_receiver_with(sections, dt, SolverBackend::Auto)
+    fig4_rf_receiver_with(sections, dt, SolverBackend::Auto, ReductionEngine::Auto)
 }
 
 /// [`fig4_rf_receiver`] with an explicit linear-solver backend.
@@ -280,6 +288,7 @@ pub fn fig4_rf_receiver_with(
     sections: usize,
     dt: f64,
     backend: SolverBackend,
+    engine: ReductionEngine,
 ) -> Result<TransientComparison> {
     let rx = RfReceiver::new(sections)?;
     let full = rx.qldae();
@@ -294,12 +303,14 @@ pub fn fig4_rf_receiver_with(
         AssocReducer::new(spec)
             .with_markov_moments(2)
             .with_solver_backend(backend)
+            .with_engine(engine)
             .reduce(full)
     });
     let rom = rom?;
     let (norm_rom, t_norm) = timed(|| {
         NormReducer::new(spec)
             .with_solver_backend(backend)
+            .with_engine(engine)
             .reduce(full)
     });
     let norm_rom = norm_rom?;
@@ -344,7 +355,7 @@ pub fn fig4_rf_receiver_with(
 /// reduced to ~8). The input is a 9.8 kV double-exponential surge; the
 /// protected output clamps to a few hundred volts.
 pub fn fig5_varistor(ladder_nodes: usize, dt: f64) -> Result<TransientComparison> {
-    fig5_varistor_with(ladder_nodes, dt, SolverBackend::Auto)
+    fig5_varistor_with(ladder_nodes, dt, SolverBackend::Auto, ReductionEngine::Auto)
 }
 
 /// [`fig5_varistor`] with an explicit linear-solver backend.
@@ -352,6 +363,7 @@ pub fn fig5_varistor_with(
     ladder_nodes: usize,
     dt: f64,
     backend: SolverBackend,
+    engine: ReductionEngine,
 ) -> Result<TransientComparison> {
     let circuit = VaristorCircuit::new(ladder_nodes)?;
     let full = circuit.ode();
@@ -366,6 +378,7 @@ pub fn fig5_varistor_with(
         AssocReducer::new(spec)
             .with_stabilized_projection(false)
             .with_solver_backend(backend)
+            .with_engine(engine)
             .reduce_cubic(full)
     });
     let rom = rom?;
@@ -697,6 +710,173 @@ pub fn sparse_scaling(mid: usize, big: usize, dt: f64) -> Result<SparseScalingRe
         rom_order_dense: rom_dense.order(),
         rom_order_sparse: rom_sparse.order(),
         rom_trajectory_diff,
+    })
+}
+
+/// The PR-4 low-rank reduction scaling measurements: end-to-end *reductions*
+/// (not just transients) of the current-driven transmission line at sizes
+/// the dense Schur engine cannot reach, plus the paper-size
+/// dense-vs-low-rank agreement checks the acceptance criteria require.
+#[derive(Debug, Clone, Copy)]
+pub struct LowRankScalingReport {
+    /// States of the mid-size line.
+    pub mid_states: usize,
+    /// States of the large line (10⁴ at paper scale).
+    pub big_states: usize,
+    /// Wall time of the low-rank `AssocReducer::reduce` at the mid size.
+    pub reduce_mid: Duration,
+    /// Wall time of the low-rank reduction at the large size.
+    pub reduce_big: Duration,
+    /// Reduced order at the mid size.
+    pub rom_order_mid: usize,
+    /// Reduced order at the large size.
+    pub rom_order_big: usize,
+    /// Spectral abscissa of the mid-size reduced `G₁ᵣ`.
+    pub mid_abscissa: f64,
+    /// Spectral abscissa of the large reduced `G₁ᵣ`.
+    pub big_abscissa: f64,
+    /// Total ADI sweeps of the large reduction (weight + `H₃` top blocks).
+    pub adi_iterations_big: usize,
+    /// LR-ADI weight residual of the large reduction.
+    pub adi_residual_big: f64,
+    /// Largest rational-Krylov chain basis of the large reduction.
+    pub chain_basis_dim_big: usize,
+    /// Max relative transient error of the mid-size ROM against the full
+    /// (sparse) model.
+    pub rom_error_mid: f64,
+    /// Max relative transient error of the large ROM against the full model.
+    pub rom_error_big: f64,
+    /// Empirical exponent `p` of `t_reduce ∝ n^p` between the two sizes.
+    pub reduce_scaling_exponent: f64,
+    /// Paper-size (fig3 line) dense-vs-low-rank engine agreement: max
+    /// relative difference of the reduced Volterra kernels `H₁`/`H₂`/`H₃`
+    /// over the sample points (must be ≤ 1e-6).
+    pub fig3_kernel_diff: f64,
+    /// Paper-size (fig5 varistor) dense-vs-low-rank agreement: max relative
+    /// difference of the reduced surge transients (must be ≤ 1e-6).
+    pub fig5_rom_diff: f64,
+}
+
+/// Reduces the line end-to-end on the low-rank engine and measures the
+/// transient error of the resulting ROM against the full sparse model.
+fn lowrank_line_reduction(
+    stages: usize,
+    dt: f64,
+) -> Result<(Duration, vamor_core::ReducedQldae, f64)> {
+    let line = TransmissionLine::current_driven(stages)?;
+    let full = line.qldae();
+    // Two Markov vectors pin the broadband onset that DC moment matching
+    // leaves free — at 10⁴ states the unmatched onset dominates the ROM
+    // error exactly as it did for the paper-size fig2 line.
+    let (rom, t_reduce) = timed(|| {
+        AssocReducer::new(MomentSpec::paper_default())
+            .with_markov_moments(2)
+            .with_engine(ReductionEngine::LowRank)
+            .reduce(full)
+    });
+    let rom = rom?;
+    let input = SinePulse::damped(0.5, 0.4, 0.08);
+    let opts = TransientOptions::new(0.0, 30.0, dt)
+        .with_method(IntegrationMethod::ImplicitTrapezoidal)
+        .with_linear_solver(SolverBackend::Sparse);
+    let full_run = simulate(full, &input, &opts)?;
+    let rom_run = simulate(
+        rom.system(),
+        &input,
+        &TransientOptions::new(0.0, 30.0, dt).with_method(IntegrationMethod::ImplicitTrapezoidal),
+    )?;
+    let err = max_relative_error(&full_run.output_channel(0), &rom_run.output_channel(0));
+    Ok((t_reduce, rom, err))
+}
+
+/// Runs the PR-4 low-rank scaling benchmark (see [`LowRankScalingReport`]).
+/// `mid`/`big` are the line sizes (2 000 / 10 000 at paper scale);
+/// `fig3_stages`/`fig5_ladder` set the paper-size agreement checks.
+///
+/// # Errors
+///
+/// Propagates circuit construction, reduction and simulation failures.
+pub fn lowrank_scaling(
+    mid: usize,
+    big: usize,
+    fig3_stages: usize,
+    fig5_ladder: usize,
+    dt: f64,
+) -> Result<LowRankScalingReport> {
+    let (reduce_mid, rom_mid, rom_error_mid) = lowrank_line_reduction(mid, dt)?;
+    let (reduce_big, rom_big, rom_error_big) = lowrank_line_reduction(big, dt)?;
+    let reduce_scaling_exponent = (reduce_big.as_secs_f64() / reduce_mid.as_secs_f64().max(1e-12))
+        .ln()
+        / (big as f64 / mid as f64).ln();
+
+    // --- paper-size agreement: fig3 line, dense vs low-rank engines, at the
+    // Volterra-kernel level ---
+    let line = TransmissionLine::current_driven(fig3_stages)?;
+    let full = line.qldae();
+    let spec = MomentSpec::paper_default();
+    let dense = AssocReducer::new(spec)
+        .with_engine(ReductionEngine::DenseSchur)
+        .reduce(full)?;
+    let low = AssocReducer::new(spec)
+        .with_engine(ReductionEngine::LowRank)
+        .reduce(full)?;
+    let kd = VolterraKernels::new(dense.system(), 0)?;
+    let kl = VolterraKernels::new(low.system(), 0)?;
+    let points = [
+        Complex::new(0.0, 0.05),
+        Complex::new(0.02, 0.01),
+        Complex::new(-0.01, 0.15),
+    ];
+    let mut fig3_kernel_diff = 0.0_f64;
+    let mut track = |a: Complex, b: Complex| {
+        fig3_kernel_diff = fig3_kernel_diff.max((a - b).abs() / (1.0 + a.abs()));
+    };
+    for s in points {
+        track(kd.output_h1(s)?, kl.output_h1(s)?);
+        track(kd.output_h2(s, points[0])?, kl.output_h2(s, points[0])?);
+        track(
+            kd.output_h3(s, points[0], points[1])?,
+            kl.output_h3(s, points[0], points[1])?,
+        );
+    }
+
+    // --- paper-size agreement: fig5 varistor, dense vs low-rank reduced
+    // surge transients ---
+    let circuit = VaristorCircuit::new(fig5_ladder)?;
+    let ode = circuit.ode();
+    let vspec = MomentSpec::new(6, 0, 2);
+    let vdense = AssocReducer::new(vspec)
+        .with_stabilized_projection(false)
+        .with_engine(ReductionEngine::DenseSchur)
+        .reduce_cubic(ode)?;
+    let vlow = AssocReducer::new(vspec)
+        .with_stabilized_projection(false)
+        .with_engine(ReductionEngine::LowRank)
+        .reduce_cubic(ode)?;
+    let surge = ExpPulse::new(VaristorCircuit::surge_amplitude(), 0.5, 6.0);
+    let vopts =
+        TransientOptions::new(0.0, 30.0, dt).with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let yd = simulate(vdense.system(), &surge, &vopts)?;
+    let yl = simulate(vlow.system(), &surge, &vopts)?;
+    let fig5_rom_diff = max_relative_error(&yd.output_channel(0), &yl.output_channel(0));
+
+    Ok(LowRankScalingReport {
+        mid_states: mid,
+        big_states: big,
+        reduce_mid,
+        reduce_big,
+        rom_order_mid: rom_mid.order(),
+        rom_order_big: rom_big.order(),
+        mid_abscissa: rom_mid.stats().spectral_abscissa,
+        big_abscissa: rom_big.stats().spectral_abscissa,
+        adi_iterations_big: rom_big.stats().adi_iterations,
+        adi_residual_big: rom_big.stats().adi_residual,
+        chain_basis_dim_big: rom_big.stats().chain_basis_dim,
+        rom_error_mid,
+        rom_error_big,
+        reduce_scaling_exponent,
+        fig3_kernel_diff,
+        fig5_rom_diff,
     })
 }
 

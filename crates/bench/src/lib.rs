@@ -13,6 +13,7 @@
 //! | Fig. 4 + Table 1 rows "Sect 3.3" (MISO receiver)| [`experiments::fig4_rf_receiver`] |
 //! | Fig. 5 (ZnO varistor, cubic ODE)               | [`experiments::fig5_varistor`] |
 //! | §4 size-scaling remark                          | [`experiments::scaling_subspace_dims`] |
+//! | Low-rank engine scaling (10⁴-state reductions)  | [`experiments::lowrank_scaling`] |
 
 pub mod baseline;
 pub mod experiments;
@@ -22,6 +23,7 @@ pub use baseline::{compare_to_baseline, Baseline, ExperimentBaseline};
 pub use experiments::{
     acceptance_metrics, fig2_voltage_line, fig2_voltage_line_with, fig3_current_line,
     fig3_current_line_with, fig4_rf_receiver, fig4_rf_receiver_with, fig5_varistor,
-    fig5_varistor_with, scaling_subspace_dims, sparse_scaling, AcceptanceMetrics, ExperimentError,
-    ScalingRow, SparseScalingReport, Timings, TransientComparison,
+    fig5_varistor_with, lowrank_scaling, scaling_subspace_dims, sparse_scaling, AcceptanceMetrics,
+    ExperimentError, LowRankScalingReport, ScalingRow, SparseScalingReport, Timings,
+    TransientComparison,
 };

@@ -72,7 +72,7 @@ impl ScaledMoments {
             .fold(0.0, f64::max)
     }
 
-    fn push(&mut self, mut v: Vector, frame_log10: f64) {
+    pub(crate) fn push(&mut self, mut v: Vector, frame_log10: f64) {
         let mag = v.norm2();
         if mag > 0.0 && mag.is_finite() {
             v.scale_mut(1.0 / mag);
@@ -89,7 +89,7 @@ impl ScaledMoments {
         self.vectors.push(v);
     }
 
-    fn with_capacity(count: usize) -> Self {
+    pub(crate) fn with_capacity(count: usize) -> Self {
         ScaledMoments {
             vectors: Vec::with_capacity(count),
             log10_magnitudes: Vec::with_capacity(count),
@@ -97,10 +97,32 @@ impl ScaledMoments {
     }
 }
 
+/// The scaled `H₁` chain shared by every generator (dense and low-rank,
+/// QLDAE and cubic): repeated `G₁⁻¹` applications with the running iterate
+/// renormalized after every solve, the discarded magnitudes tracked as
+/// `log10` frames.
+pub(crate) fn h1_chain(g1_lu: &G1Factor, seed: Vector, count: usize) -> Result<ScaledMoments> {
+    let mut v = seed;
+    let mut out = ScaledMoments::with_capacity(count);
+    let mut frame = 0.0;
+    for _ in 0..count {
+        v = g1_lu.solve(&v).map_err(MorError::Linalg)?;
+        out.push(v.clone(), frame);
+        let mag = v.norm2();
+        if mag > 0.0 && mag.is_finite() {
+            frame += mag.log10();
+            v.scale_mut(1.0 / mag);
+        } else {
+            break;
+        }
+    }
+    Ok(out)
+}
+
 /// Rescales the recursion state of a moment chain so every stored vector
 /// stays `O(1)`; returns the `log10` of the applied factor (to be added to
 /// the running frame magnitude).
-fn rescale_state(state: &mut [&mut Vector], extra: Option<&mut Matrix>) -> f64 {
+pub(crate) fn rescale_state(state: &mut [&mut Vector], extra: Option<&mut Matrix>) -> f64 {
     let mut peak = 0.0_f64;
     for v in state.iter() {
         peak = peak.max(v.norm_inf());
@@ -267,21 +289,7 @@ impl<'a> AssocMomentGenerator<'a> {
     ///
     /// Same contract as [`AssocMomentGenerator::h1_moments`].
     pub fn h1_moments_scaled(&self, input: usize, count: usize) -> Result<ScaledMoments> {
-        let mut v = self.b_col(input)?;
-        let mut out = ScaledMoments::with_capacity(count);
-        let mut frame = 0.0;
-        for _ in 0..count {
-            v = self.g1_lu.solve(&v).map_err(MorError::Linalg)?;
-            out.push(v.clone(), frame);
-            let mag = v.norm2();
-            if mag > 0.0 && mag.is_finite() {
-                frame += mag.log10();
-                v.scale_mut(1.0 / mag);
-            } else {
-                break;
-            }
-        }
-        Ok(out)
+        h1_chain(&self.g1_lu, self.b_col(input)?, count)
     }
 
     /// [`AssocMomentGenerator::h2_moments`] with chain scaling: the whole
@@ -676,21 +684,7 @@ impl<'a> CubicAssocMomentGenerator<'a> {
     ///
     /// Same contract as [`CubicAssocMomentGenerator::h1_moments`].
     pub fn h1_moments_scaled(&self, input: usize, count: usize) -> Result<ScaledMoments> {
-        let mut v = self.b_col(input)?;
-        let mut out = ScaledMoments::with_capacity(count);
-        let mut frame = 0.0;
-        for _ in 0..count {
-            v = self.g1_lu.solve(&v).map_err(MorError::Linalg)?;
-            out.push(v.clone(), frame);
-            let mag = v.norm2();
-            if mag > 0.0 && mag.is_finite() {
-                frame += mag.log10();
-                v.scale_mut(1.0 / mag);
-            } else {
-                break;
-            }
-        }
-        Ok(out)
+        h1_chain(&self.g1_lu, self.b_col(input)?, count)
     }
 
     /// [`CubicAssocMomentGenerator::h3_moments`] with chain scaling (see

@@ -35,6 +35,7 @@
 pub mod assoc;
 pub mod bigsmall;
 mod error;
+pub mod lowrank;
 pub mod norm;
 pub mod operators;
 pub mod par;
@@ -45,6 +46,10 @@ pub mod volterra;
 pub use assoc::{AssocMomentGenerator, CubicAssocMomentGenerator, ScaledMoments};
 pub use bigsmall::{solve_sylvester_big_small, solve_sylvester_big_small_with_schur};
 pub use error::MorError;
+pub use lowrank::{
+    LowRankAssocMomentGenerator, LowRankCubicMomentGenerator, LowRankDiagnostics, LowRankOptions,
+    ReductionEngine, LOWRANK_AUTO_THRESHOLD,
+};
 pub use norm::NormReducer;
 pub use operators::{BlockH2Op, KronSumOp2, ShiftCacheBackend, ShiftedSolveOp};
 pub use par::parallel_map;

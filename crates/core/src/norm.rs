@@ -13,6 +13,9 @@ use vamor_system::Qldae;
 
 use crate::assoc::G1Factor;
 use crate::error::MorError;
+use crate::lowrank::{
+    g1_factor_for, lowrank_weight, project_guarded_lowrank, LowRankOptions, ReductionEngine,
+};
 use crate::reduce::{
     project_guarded, reorthonormalize, MomentSpec, ReducedQldae, ReductionStats, StabilizationFrame,
 };
@@ -43,6 +46,8 @@ pub struct NormReducer {
     qr_condition_cap: f64,
     spectral_guard: bool,
     backend: SolverBackend,
+    engine: ReductionEngine,
+    lowrank_opts: LowRankOptions,
 }
 
 impl NormReducer {
@@ -55,6 +60,8 @@ impl NormReducer {
             qr_condition_cap: crate::AssocReducer::DEFAULT_QR_CONDITION_CAP,
             spectral_guard: true,
             backend: SolverBackend::Auto,
+            engine: ReductionEngine::Auto,
+            lowrank_opts: LowRankOptions::default(),
         }
     }
 
@@ -62,6 +69,23 @@ impl NormReducer {
     /// [`crate::AssocReducer::with_solver_backend`]).
     pub fn with_solver_backend(mut self, backend: SolverBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the reduction engine (see
+    /// [`crate::AssocReducer::with_engine`]). The NORM chains are pure `G₁`
+    /// resolvent sweeps, so the low-rank engine only changes the *weight*
+    /// (LR-ADI factored Gramian instead of the dense Schur Lyapunov solve)
+    /// and keeps the dense `G₁` view unmaterialized.
+    pub fn with_engine(mut self, engine: ReductionEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the low-rank engine tuning knobs (see
+    /// [`crate::AssocReducer::with_lowrank_options`]).
+    pub fn with_lowrank_options(mut self, opts: LowRankOptions) -> Self {
+        self.lowrank_opts = opts;
         self
     }
 
@@ -133,15 +157,25 @@ impl NormReducer {
                 "at least one moment must be requested".into(),
             ));
         }
-        let n = qldae.g1().rows();
+        let n = qldae.g1_csr().rows();
         let num_inputs = qldae.b().cols();
         let sparse = self.backend.use_sparse(n, SPARSE_AUTO_THRESHOLD);
-        let g1_lu =
-            G1Factor::build(qldae.g1_csr(), qldae.g1(), sparse).map_err(MorError::Linalg)?;
-        let frame = StabilizationFrame::new(self.stabilized, qldae.g1(), None);
+        let use_lowrank = self.engine.use_lowrank(n);
+        let g1_lu: G1Factor = if use_lowrank {
+            // Never materialize the dense G₁ view on the low-rank engine.
+            g1_factor_for(qldae.g1_csr(), sparse)?
+        } else {
+            G1Factor::build(qldae.g1_csr(), qldae.g1(), sparse).map_err(MorError::Linalg)?
+        };
+        let frame = if use_lowrank {
+            StabilizationFrame::inactive()
+        } else {
+            StabilizationFrame::new(self.stabilized, qldae.g1(), None)
+        };
         let mut basis = OrthoBasis::with_tolerance(n, self.deflation_tol);
         let mut stats = ReductionStats {
             energy_weighted: frame.is_active(),
+            lowrank_engine: use_lowrank,
             ..ReductionStats::default()
         };
 
@@ -257,6 +291,31 @@ impl NormReducer {
         let accumulated = basis.to_matrix().map_err(MorError::Linalg)?;
         let (qtil, dropped) = reorthonormalize(&accumulated, self.qr_condition_cap)?;
         stats.qr_dropped = dropped;
+        if use_lowrank {
+            let weight = if self.stabilized {
+                lowrank_weight(qldae.g1_csr(), qldae.c(), sparse, &self.lowrank_opts)
+            } else {
+                crate::lowrank::LowRankWeight {
+                    z: None,
+                    adi_iterations: 0,
+                    adi_residual: f64::NAN,
+                }
+            };
+            stats.energy_weighted = weight.z.is_some();
+            stats.adi_iterations = weight.adi_iterations;
+            stats.adi_residual = weight.adi_residual;
+            let (system, v) = project_guarded_lowrank(
+                qldae.g1_csr(),
+                qtil,
+                weight.z.as_ref(),
+                self.lowrank_opts.weight_regularization,
+                self.spectral_guard,
+                &mut stats,
+                |v, w| crate::project::project_qldae_petrov(qldae, v, w),
+            )?;
+            stats.projection_dim = v.cols();
+            return Ok(ReducedQldae::from_parts(system, v, stats));
+        }
         let (system, v) = project_guarded(
             qtil,
             &frame,

@@ -49,11 +49,17 @@ pub fn project_qldae(qldae: &Qldae, v: &Matrix) -> Result<Qldae> {
 ///
 /// Same contract as [`project_qldae`], plus a shape check on `W`.
 pub fn project_qldae_petrov(qldae: &Qldae, v: &Matrix, w: &Matrix) -> Result<Qldae> {
-    let n = qldae.g1().rows();
+    let n = qldae.g1_csr().rows();
     validate_basis_pair(v, w, n)?;
     let q = v.cols();
 
-    let g1r = w.transpose().matmul(&qldae.g1().matmul(v));
+    // G₁V through the CSR stamp: sorted-row CSR adds the same nonzero terms
+    // in the same order as the dense row sweep, so the result is bit-equal
+    // to the dense product — and a 10⁴-state reduction never materializes
+    // the 800 MB dense G₁ just to project it.
+    let g1r = w
+        .transpose()
+        .matmul(&crate::lowrank::csr_matmul(qldae.g1_csr(), v));
     let br = w.transpose().matmul(qldae.b());
     let cr = qldae.c().matmul(v);
 
@@ -113,11 +119,14 @@ pub fn project_cubic(ode: &CubicOde, v: &Matrix) -> Result<CubicOde> {
 ///
 /// Same contract as [`project_qldae_petrov`].
 pub fn project_cubic_petrov(ode: &CubicOde, v: &Matrix, w: &Matrix) -> Result<CubicOde> {
-    let n = ode.g1().rows();
+    let n = ode.g1_csr().rows();
     validate_basis_pair(v, w, n)?;
     let q = v.cols();
 
-    let g1r = w.transpose().matmul(&ode.g1().matmul(v));
+    // CSR-based G₁V (see `project_qldae_petrov`).
+    let g1r = w
+        .transpose()
+        .matmul(&crate::lowrank::csr_matmul(ode.g1_csr(), v));
     let br = w.transpose().matmul(ode.b());
     let cr = ode.c().matmul(v);
     let columns: Vec<Vector> = (0..q).map(|j| v.col(j)).collect();

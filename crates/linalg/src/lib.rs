@@ -23,7 +23,13 @@
 //! * a sparse direct LU ([`sparse_lu`]): reverse Cuthill–McKee symbolic
 //!   analysis reused across shifts, Gilbert–Peierls left-looking numeric
 //!   factorization with threshold pivoting, real and complex-shift variants,
-//!   and the memoizing [`ShiftedSparseLuCache`].
+//!   and the memoizing [`ShiftedSparseLuCache`] (with an optional LRU
+//!   capacity bound for one-shot ADI shift sweeps),
+//! * low-rank Lyapunov machinery ([`lowrank`]): heuristic Penzl/Wachspress
+//!   ADI shift selection from Arnoldi + inverse-Arnoldi Ritz sweeps, the
+//!   LR-ADI solver producing `X ≈ Z Zᵀ` Cholesky-style factors, factored ADI
+//!   for indefinite right-hand sides, rational-Krylov bases and factored-rank
+//!   compression — every shifted solve served by the caches above.
 //!
 //! ## Example
 //!
@@ -47,6 +53,7 @@ pub mod eig;
 pub mod error;
 pub mod hessenberg;
 pub mod kron;
+pub mod lowrank;
 pub mod lu;
 pub mod matrix;
 pub mod op;
@@ -67,6 +74,10 @@ pub use eig::{eigenvalues, Eigenvalues};
 pub use error::LinalgError;
 pub use hessenberg::HessenbergDecomposition;
 pub use kron::{kron, kron_sum, kron_vec, KronSumOp};
+pub use lowrank::{
+    compress_factors, fadi_lyapunov, heuristic_adi_shifts, lr_adi_lyapunov, rational_krylov_basis,
+    AdiShiftOptions, FadiSolution, LrAdiOptions, LrAdiSolution, LrAdiStats, ShiftedSolve,
+};
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use op::{DenseOp, LinearOp, ShiftedInverseOp};

@@ -15,7 +15,12 @@
 //! every shift is a *numeric-only* refactorization through
 //! [`crate::sparse_lu::SparseLu`]. Key quantization and the hit/miss
 //! accounting are identical on both backends, so cache statistics can be
-//! compared across backends one-for-one.
+//! compared across backends one-for-one. The sparse cache additionally
+//! supports an LRU capacity bound
+//! ([`ShiftedSparseLuCache::with_capacity_bound`]): ADI sweeps generate many
+//! one-shot shifts, and without a bound every factor would be retained for
+//! the operator's lifetime; evictions are counted
+//! ([`ShiftedSparseLuCache::evictions`]).
 //!
 //! The caches are `Sync` (mutex-guarded maps, `Arc`-shared factors) so
 //! moment chains running on scoped threads can share one instance. A
@@ -44,6 +49,18 @@ fn shift_key(v: f64) -> u64 {
     } else {
         v.to_bits()
     }
+}
+
+/// LRU-stamped map of cached real-shift factors.
+type RealLruMap = HashMap<u64, LruEntry<Arc<SparseLu>>>;
+/// LRU-stamped map of cached complex-shift factors.
+type ComplexLruMap = HashMap<(u64, u64), LruEntry<Arc<SparseZLu>>>;
+
+/// A cached factor stamped with its last-use tick (for LRU eviction).
+#[derive(Debug, Clone)]
+struct LruEntry<T> {
+    value: T,
+    last_used: usize,
 }
 
 /// A cache of LU factorizations of `base + shift·I`, keyed by shift.
@@ -291,10 +308,16 @@ pub struct ShiftedSparseLuCache {
     base: CsrMatrix,
     symbolic: Arc<SparseLuSymbolic>,
     enabled: bool,
-    real: Mutex<HashMap<u64, Arc<SparseLu>>>,
-    complex: Mutex<HashMap<(u64, u64), Arc<SparseZLu>>>,
+    real: Mutex<RealLruMap>,
+    complex: Mutex<ComplexLruMap>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Maximum number of cached factorizations (real + complex combined).
+    /// `None` = unbounded (the historical behaviour).
+    capacity: Option<usize>,
+    /// Logical clock driving least-recently-used eviction.
+    tick: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl ShiftedSparseLuCache {
@@ -330,6 +353,65 @@ impl ShiftedSparseLuCache {
             complex: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            capacity: None,
+            tick: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Bounds the number of retained factorizations (real + complex combined)
+    /// and evicts least-recently-used entries beyond it. ADI shift sweeps
+    /// generate many one-shot shifts; without a bound the cache holds every
+    /// factor for the operator's lifetime. A capacity of 0 is clamped to 1.
+    pub fn with_capacity_bound(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// The configured capacity bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of factorizations evicted by the LRU capacity bound.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn next_tick(&self) -> usize {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Evicts least-recently-used entries until the combined map size fits
+    /// the capacity bound. Both maps must be passed locked so the combined
+    /// size is consistent.
+    fn enforce_capacity(&self, real: &mut RealLruMap, complex: &mut ComplexLruMap) {
+        let Some(cap) = self.capacity else { return };
+        while real.len() + complex.len() > cap {
+            let oldest_real = real
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (*k, e.last_used));
+            let oldest_complex = complex
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (*k, e.last_used));
+            match (oldest_real, oldest_complex) {
+                (Some((rk, rt)), Some((_, ct))) if rt <= ct => {
+                    real.remove(&rk);
+                }
+                (Some(_), Some((ck, _))) => {
+                    complex.remove(&ck);
+                }
+                (Some((rk, _)), None) => {
+                    real.remove(&rk);
+                }
+                (None, Some((ck, _))) => {
+                    complex.remove(&ck);
+                }
+                (None, None) => break,
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -390,15 +472,31 @@ impl ShiftedSparseLuCache {
             )?));
         }
         let key = shift_key(sigma);
-        if let Some(lu) = self.real.lock().expect("cache poisoned").get(&key) {
+        if let Some(entry) = self.real.lock().expect("cache poisoned").get_mut(&key) {
+            entry.last_used = self.next_tick();
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(lu));
+            return Ok(Arc::clone(&entry.value));
         }
         // Factor outside the lock (see `ShiftedLuCache::factor`).
         self.misses.fetch_add(1, Ordering::Relaxed);
         let lu = Arc::new(SparseLu::factor_shifted(&self.symbolic, &self.base, sigma)?);
-        let mut map = self.real.lock().expect("cache poisoned");
-        Ok(Arc::clone(map.entry(key).or_insert(lu)))
+        let tick = self.next_tick();
+        // Lock order real → complex everywhere capacity is enforced.
+        let mut real = self.real.lock().expect("cache poisoned");
+        let arc = Arc::clone(
+            &real
+                .entry(key)
+                .or_insert(LruEntry {
+                    value: lu,
+                    last_used: tick,
+                })
+                .value,
+        );
+        if self.capacity.is_some() {
+            let mut complex = self.complex.lock().expect("cache poisoned");
+            self.enforce_capacity(&mut real, &mut complex);
+        }
+        Ok(arc)
     }
 
     /// Solves `(base + σI) x = rhs` through the cache.
@@ -425,9 +523,10 @@ impl ShiftedSparseLuCache {
             )?));
         }
         let key = (shift_key(lambda.re), shift_key(lambda.im));
-        if let Some(lu) = self.complex.lock().expect("cache poisoned").get(&key) {
+        if let Some(entry) = self.complex.lock().expect("cache poisoned").get_mut(&key) {
+            entry.last_used = self.next_tick();
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(lu));
+            return Ok(Arc::clone(&entry.value));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let lu = Arc::new(SparseZLu::factor_shifted(
@@ -435,8 +534,32 @@ impl ShiftedSparseLuCache {
             &self.base,
             lambda,
         )?);
-        let mut map = self.complex.lock().expect("cache poisoned");
-        Ok(Arc::clone(map.entry(key).or_insert(lu)))
+        let tick = self.next_tick();
+        let insert = |complex: &mut ComplexLruMap| {
+            Arc::clone(
+                &complex
+                    .entry(key)
+                    .or_insert(LruEntry {
+                        value: lu,
+                        last_used: tick,
+                    })
+                    .value,
+            )
+        };
+        if self.capacity.is_some() {
+            // Lock order real → complex, matching `factor` — only eviction
+            // needs the combined view.
+            let mut real = self.real.lock().expect("cache poisoned");
+            let mut complex = self.complex.lock().expect("cache poisoned");
+            let arc = insert(&mut complex);
+            self.enforce_capacity(&mut real, &mut complex);
+            Ok(arc)
+        } else {
+            // Unbounded mode never touches the real map, so complex
+            // factorizations cannot contend with concurrent real-shift hits.
+            let mut complex = self.complex.lock().expect("cache poisoned");
+            Ok(insert(&mut complex))
+        }
     }
 
     /// Solves `(base + λI)(x_re + i·x_im) = re + i·im`.
@@ -472,6 +595,9 @@ impl Clone for ShiftedSparseLuCache {
             complex: Mutex::new(self.complex.lock().expect("cache poisoned").clone()),
             hits: AtomicUsize::new(self.hits()),
             misses: AtomicUsize::new(self.misses()),
+            capacity: self.capacity,
+            tick: AtomicUsize::new(self.tick.load(Ordering::Relaxed)),
+            evictions: AtomicUsize::new(self.evictions()),
         }
     }
 }
@@ -621,6 +747,52 @@ mod tests {
         let cloned = cache.clone();
         cloned.solve_shifted(0.5, &rhs).unwrap();
         assert_eq!(cloned.hits(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used_factors() {
+        let cache = ShiftedSparseLuCache::new(base_csr()).with_capacity_bound(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let rhs = Vector::from_slice(&[1.0, 1.0, 1.0]);
+        cache.solve_shifted(0.0, &rhs).unwrap(); // cache {0.0}
+        cache.solve_shifted(0.5, &rhs).unwrap(); // cache {0.0, 0.5}
+        cache.solve_shifted(0.0, &rhs).unwrap(); // hit, refreshes 0.0
+        assert_eq!(cache.evictions(), 0);
+        cache.solve_shifted(1.0, &rhs).unwrap(); // evicts 0.5 (LRU)
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // 0.0 survived the eviction (it was refreshed by the hit).
+        let hits = cache.hits();
+        cache.solve_shifted(0.0, &rhs).unwrap();
+        assert_eq!(cache.hits(), hits + 1);
+        // 0.5 was evicted: re-solving refactors (a miss) and evicts again.
+        let misses = cache.misses();
+        cache.solve_shifted(0.5, &rhs).unwrap();
+        assert_eq!(cache.misses(), misses + 1);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.len(), 2);
+        // Complex factors share the same budget.
+        cache
+            .solve_shifted_complex(Complex::new(0.2, 0.7), &rhs, &rhs)
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 3);
+        // Clones carry the bound and counters.
+        let cloned = cache.clone();
+        assert_eq!(cloned.capacity(), Some(2));
+        assert_eq!(cloned.evictions(), 3);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ShiftedSparseLuCache::new(base_csr());
+        assert_eq!(cache.capacity(), None);
+        let rhs = Vector::from_slice(&[1.0, 1.0, 1.0]);
+        for sigma in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            cache.solve_shifted(sigma, &rhs).unwrap();
+        }
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]
