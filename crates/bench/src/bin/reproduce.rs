@@ -30,15 +30,15 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use vamor_bench::{
-    acceptance_metrics, compare_to_baseline, fig2_voltage_line_with, fig3_current_line_with,
-    fig4_rf_receiver_with, fig5_varistor_with, lowrank_scaling, scaling_subspace_dims,
-    sparse_scaling, AcceptanceMetrics, Baseline, LowRankScalingReport, SparseScalingReport,
-    TransientComparison,
+    acceptance_metrics, adaptive_report, compare_to_baseline, fig2_voltage_line_with,
+    fig3_current_line_with, fig4_rf_receiver_with, fig5_varistor_with, lowrank_scaling,
+    scaling_subspace_dims, sparse_scaling, AcceptanceMetrics, AdaptiveExperimentReport,
+    AdaptiveSummary, Baseline, LowRankScalingReport, SparseScalingReport, TransientComparison,
 };
 use vamor_core::{ReductionEngine, SolverBackend};
 
 /// PR number stamped into the emitted baseline snapshot.
-const PR_NUMBER: u32 = 4;
+const PR_NUMBER: u32 = 5;
 
 struct Sizes {
     fig2_stages: usize,
@@ -82,6 +82,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
     let no_json = args.iter().any(|a| a == "--no-json");
+    // `--adaptive` replaces every hand-pinned fig2–fig5 configuration with
+    // the adaptive driver: each experiment keeps only its input band and
+    // residual tolerance (see `vamor_bench::fig2_adaptive_spec` etc.).
+    let adaptive = args.iter().any(|a| a == "--adaptive");
     // Linear-solver backend toggle for the gate: `--sparse` / `--dense`
     // force every reduction and full-model transient onto one backend;
     // the default `Auto` picks dense below 256 states.
@@ -155,7 +159,8 @@ fn main() -> ExitCode {
     }
     if which.is_empty() || which.contains(&"all") {
         which = vec![
-            "fig2", "fig3", "fig4", "fig5", "table1", "scaling", "sparse", "lowrank", "perf",
+            "fig2", "fig3", "fig4", "fig5", "table1", "scaling", "sparse", "lowrank", "adaptive",
+            "perf",
         ];
     }
     let sizes = if small {
@@ -169,34 +174,42 @@ fn main() -> ExitCode {
     let mut acceptance: Option<AcceptanceMetrics> = None;
     let mut sparse_report: Option<SparseScalingReport> = None;
     let mut lowrank_report: Option<LowRankScalingReport> = None;
+    let mut adaptive_rep: Option<AdaptiveExperimentReport> = None;
     for experiment in &which {
         let outcome = match *experiment {
             "fig2" => {
-                fig2_voltage_line_with(sizes.fig2_stages, sizes.dt, backend, engine).map(|c| {
-                    print_figure("Fig. 2", &c);
-                    json_rows.push(("fig2".into(), c));
-                    None
-                })
+                fig2_voltage_line_with(sizes.fig2_stages, sizes.dt, backend, engine, adaptive).map(
+                    |c| {
+                        print_figure("Fig. 2", &c);
+                        json_rows.push(("fig2".into(), c));
+                        None
+                    },
+                )
             }
             "fig3" => {
-                fig3_current_line_with(sizes.fig3_stages, sizes.dt, backend, engine).map(|c| {
-                    print_figure("Fig. 3", &c);
-                    json_rows.push(("fig3".into(), c.clone()));
-                    Some(("Sect 3.2 Ex. (transmission line)".to_string(), c))
-                })
+                fig3_current_line_with(sizes.fig3_stages, sizes.dt, backend, engine, adaptive).map(
+                    |c| {
+                        print_figure("Fig. 3", &c);
+                        json_rows.push(("fig3".into(), c.clone()));
+                        Some(("Sect 3.2 Ex. (transmission line)".to_string(), c))
+                    },
+                )
             }
             "fig4" => {
-                fig4_rf_receiver_with(sizes.fig4_sections, sizes.dt, backend, engine).map(|c| {
-                    print_figure("Fig. 4", &c);
-                    json_rows.push(("fig4".into(), c.clone()));
-                    Some(("Sect 3.3 Ex. (RF receiver)".to_string(), c))
-                })
+                fig4_rf_receiver_with(sizes.fig4_sections, sizes.dt, backend, engine, adaptive).map(
+                    |c| {
+                        print_figure("Fig. 4", &c);
+                        json_rows.push(("fig4".into(), c.clone()));
+                        Some(("Sect 3.3 Ex. (RF receiver)".to_string(), c))
+                    },
+                )
             }
-            "fig5" => fig5_varistor_with(sizes.fig5_ladder, sizes.dt, backend, engine).map(|c| {
-                print_figure("Fig. 5", &c);
-                json_rows.push(("fig5".into(), c));
-                None
-            }),
+            "fig5" => fig5_varistor_with(sizes.fig5_ladder, sizes.dt, backend, engine, adaptive)
+                .map(|c| {
+                    print_figure("Fig. 5", &c);
+                    json_rows.push(("fig5".into(), c));
+                    None
+                }),
             "sparse" => match sparse_scaling(sizes.sparse_mid, sizes.sparse_big, sizes.dt) {
                 Ok(r) => {
                     print_sparse_scaling(&r);
@@ -219,6 +232,19 @@ fn main() -> ExitCode {
                 }
                 Err(e) => Err(e),
             },
+            "adaptive" => match adaptive_report(
+                sizes.fig3_stages,
+                sizes.fig5_ladder,
+                sizes.sparse_mid,
+                sizes.dt,
+            ) {
+                Ok(r) => {
+                    print_adaptive_report(&r);
+                    adaptive_rep = Some(r);
+                    Ok(None)
+                }
+                Err(e) => Err(e),
+            },
             "perf" => match acceptance_metrics(35, if small { 16 } else { 98 }, sizes.dt) {
                 Ok(m) => {
                     print_acceptance(&m);
@@ -231,7 +257,13 @@ fn main() -> ExitCode {
                 // Table 1 is assembled from the fig3/fig4 runs; run them if the
                 // user asked only for the table.
                 if !which.contains(&"fig3") {
-                    match fig3_current_line_with(sizes.fig3_stages, sizes.dt, backend, engine) {
+                    match fig3_current_line_with(
+                        sizes.fig3_stages,
+                        sizes.dt,
+                        backend,
+                        engine,
+                        adaptive,
+                    ) {
                         Ok(c) => table1_rows.push(("Sect 3.2 Ex. (transmission line)".into(), c)),
                         Err(e) => {
                             eprintln!("table1: {e}");
@@ -240,7 +272,13 @@ fn main() -> ExitCode {
                     }
                 }
                 if !which.contains(&"fig4") {
-                    match fig4_rf_receiver_with(sizes.fig4_sections, sizes.dt, backend, engine) {
+                    match fig4_rf_receiver_with(
+                        sizes.fig4_sections,
+                        sizes.dt,
+                        backend,
+                        engine,
+                        adaptive,
+                    ) {
                         Ok(c) => table1_rows.push(("Sect 3.3 Ex. (RF receiver)".into(), c)),
                         Err(e) => {
                             eprintln!("table1: {e}");
@@ -276,7 +314,7 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "unknown experiment '{other}' (expected fig2..fig5, table1, scaling, sparse, lowrank, perf, all)"
+                    "unknown experiment '{other}' (expected fig2..fig5, table1, scaling, sparse, lowrank, adaptive, perf, all)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -301,6 +339,7 @@ fn main() -> ExitCode {
         acceptance.as_ref(),
         sparse_report.as_ref(),
         lowrank_report.as_ref(),
+        adaptive_rep.as_ref(),
     );
     if !no_json {
         match std::fs::write(&json_path, &json) {
@@ -408,6 +447,7 @@ fn render_json(
     acceptance: Option<&AcceptanceMetrics>,
     sparse: Option<&SparseScalingReport>,
     lowrank: Option<&LowRankScalingReport>,
+    adaptive: Option<&AdaptiveExperimentReport>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -445,6 +485,12 @@ fn render_json(
         );
         if let Some(a) = cmp.norm_abscissa {
             let _ = write!(out, "\"norm_g1r_hurwitz\": {}, ", a < 0.0);
+        }
+        if let Some(a) = &cmp.adaptive {
+            let _ = write!(out, "\"adaptive\": {}, ", adaptive_summary_json(a));
+        }
+        if let Some(a) = &cmp.adaptive_norm {
+            let _ = write!(out, "\"adaptive_norm\": {}, ", adaptive_summary_json(a));
         }
         let t = &cmp.timings;
         let _ = write!(
@@ -523,9 +569,105 @@ fn render_json(
             r.fig3_kernel_diff,
             r.fig5_rom_diff
         );
+        let _ = write!(
+            out,
+            ",\n  \"lowrank_variants\": {{\n    \"voltage_states\": {},\n    \"voltage_reduce_s\": {:.6},\n    \"voltage_order\": {},\n    \"voltage_g1r_hurwitz\": {},\n    \"voltage_band_residual\": {:.6e},\n    \"receiver_states\": {},\n    \"receiver_reduce_s\": {:.6},\n    \"receiver_order\": {},\n    \"receiver_g1r_hurwitz\": {},\n    \"receiver_band_residual\": {:.6e}\n  }}",
+            r.voltage_states,
+            r.voltage_reduce.as_secs_f64(),
+            r.voltage_order,
+            r.voltage_abscissa < 0.0,
+            r.voltage_band_residual,
+            r.receiver_states,
+            r.receiver_reduce.as_secs_f64(),
+            r.receiver_order,
+            r.receiver_abscissa < 0.0,
+            r.receiver_band_residual
+        );
+    }
+    if let Some(r) = adaptive {
+        let _ = write!(
+            out,
+            ",\n  \"adaptive\": {{\n    \"fig3_order\": {},\n    \"fig3_adaptive_error\": {:.6e},\n    \"fig3_pinned_error\": {:.6e},\n    \"fig3_g1r_hurwitz\": {},\n    \"fig3_wall_s\": {:.6},\n    \"fig3_trace\": {},\n    \"fig5_order\": {},\n    \"fig5_adaptive_error\": {:.6e},\n    \"fig5_pinned_error\": {:.6e},\n    \"fig5_g1r_hurwitz\": {},\n    \"fig5_wall_s\": {:.6},\n    \"fig5_trace\": {},\n    \"lowrank_states\": {},\n    \"lowrank_order\": {},\n    \"lowrank_rom_error\": {:.6e},\n    \"lowrank_g1r_hurwitz\": {},\n    \"lowrank_wall_s\": {:.6},\n    \"lowrank_trace\": {},\n    \"step_fixed_steps\": {},\n    \"step_adaptive_steps\": {},\n    \"step_rejected_steps\": {},\n    \"step_trajectory_diff\": {:.6e}\n  }}",
+            r.fig3.order,
+            r.fig3.adaptive_error,
+            r.fig3.pinned_error,
+            r.fig3.abscissa < 0.0,
+            r.fig3.wall.as_secs_f64(),
+            adaptive_summary_json(&r.fig3.summary),
+            r.fig5.order,
+            r.fig5.adaptive_error,
+            r.fig5.pinned_error,
+            r.fig5.abscissa < 0.0,
+            r.fig5.wall.as_secs_f64(),
+            adaptive_summary_json(&r.fig5.summary),
+            r.lowrank_states,
+            r.lowrank_order,
+            r.lowrank_rom_error,
+            r.lowrank_abscissa < 0.0,
+            r.lowrank_wall.as_secs_f64(),
+            adaptive_summary_json(&r.lowrank_summary),
+            r.step_fixed_steps,
+            r.step_adaptive_steps,
+            r.step_rejected,
+            r.step_trajectory_diff
+        );
     }
     out.push_str("\n}\n");
     out
+}
+
+/// Renders an [`AdaptiveSummary`] as a JSON object.
+fn adaptive_summary_json(a: &AdaptiveSummary) -> String {
+    format!(
+        "{{\"moves\": {}, \"evaluations\": {}, \"full_model_solves\": {}, \"initial_residual\": {:.6e}, \"final_residual\": {:.6e}, \"config\": \"{}\", \"move_list\": \"{}\", \"stop\": \"{}\"}}",
+        a.moves,
+        a.evaluations,
+        a.full_model_solves,
+        a.initial_residual,
+        a.final_residual,
+        a.config,
+        a.move_list,
+        a.stop
+    )
+}
+
+fn print_adaptive_report(r: &AdaptiveExperimentReport) {
+    println!("\n== PR-5 adaptive driver: band-residual estimator + greedy spec search ==");
+    for fig in [&r.fig3, &r.fig5] {
+        println!(
+            "{}: order {} (full {}), adaptive err {:.2e} vs pinned {:.2e}, abscissa {:.2e}, {:.2} s",
+            fig.name,
+            fig.order,
+            fig.full_order,
+            fig.adaptive_error,
+            fig.pinned_error,
+            fig.abscissa,
+            fig.wall.as_secs_f64()
+        );
+        println!(
+            "  search: {} -> {:.2e} in {} moves [{}] ({} evals, {} full solves, stop {})",
+            format_args!("{:.2e}", fig.summary.initial_residual),
+            fig.summary.final_residual,
+            fig.summary.moves,
+            fig.summary.move_list,
+            fig.summary.evaluations,
+            fig.summary.full_model_solves,
+            fig.summary.stop
+        );
+    }
+    println!(
+        "low-rank engine smoke (n={}): order {}, ROM err {:.2e}, abscissa {:.2e}, {:.2} s, spec {}",
+        r.lowrank_states,
+        r.lowrank_order,
+        r.lowrank_rom_error,
+        r.lowrank_abscissa,
+        r.lowrank_wall.as_secs_f64(),
+        r.lowrank_summary.config
+    );
+    println!(
+        "embedded-error steps on the varistor surge: {} adaptive vs {} fixed ({} rejected), trajectory diff {:.2e}",
+        r.step_adaptive_steps, r.step_fixed_steps, r.step_rejected, r.step_trajectory_diff
+    );
 }
 
 fn print_lowrank_scaling(r: &LowRankScalingReport) {
@@ -553,6 +695,22 @@ fn print_lowrank_scaling(r: &LowRankScalingReport) {
     println!(
         "paper-size dense-vs-lowrank agreement: fig3 Volterra kernels {:.2e}, fig5 ROM transients {:.2e}",
         r.fig3_kernel_diff, r.fig5_rom_diff
+    );
+    println!(
+        "voltage-line variant (D1-heavy) at n={}: {:.3} s (order {}, abscissa {:.3e}, band residual {:.2e})",
+        r.voltage_states,
+        r.voltage_reduce.as_secs_f64(),
+        r.voltage_order,
+        r.voltage_abscissa,
+        r.voltage_band_residual
+    );
+    println!(
+        "receiver variant (non-normal) at n={}: {:.3} s (order {}, abscissa {:.3e}, band residual {:.2e})",
+        r.receiver_states,
+        r.receiver_reduce.as_secs_f64(),
+        r.receiver_order,
+        r.receiver_abscissa,
+        r.receiver_band_residual
     );
 }
 
@@ -584,6 +742,18 @@ fn print_figure(label: &str, cmp: &TransientComparison) {
         cmp.proposed_restarts,
         if cmp.proposed_restarts == 1 { "" } else { "s" }
     );
+    if let Some(a) = &cmp.adaptive {
+        println!(
+            "adaptive driver: spec {} in {} moves [{}] ({} evals, residual {:.2e} -> {:.2e}, stop {})",
+            a.config, a.moves, a.move_list, a.evaluations, a.initial_residual, a.final_residual, a.stop
+        );
+    }
+    if let Some(a) = &cmp.adaptive_norm {
+        println!(
+            "adaptive NORM baseline: spec {} in {} moves ({} evals, residual {:.2e})",
+            a.config, a.moves, a.evaluations, a.final_residual
+        );
+    }
     println!("transient response (downsampled):");
     println!(
         "{:>8} {:>14} {:>14}{}",

@@ -5,7 +5,8 @@ use std::time::{Duration, Instant};
 
 use vamor_circuits::{RfReceiver, TransmissionLine, VaristorCircuit};
 use vamor_core::{
-    AssocReducer, MomentSpec, MorError, NormReducer, ReductionEngine, SolverBackend,
+    AdaptiveReducer, AdaptiveSpec, AdaptiveTrace, AssocReducer, BandSampler, BandSamplerOptions,
+    FrequencyBand, MomentSpec, MorError, NormReducer, ReducerKind, ReductionEngine, SolverBackend,
     VolterraKernels,
 };
 use vamor_linalg::{Complex, CsrMatrix, Matrix, SparseLu, SparseLuSymbolic, Vector};
@@ -73,6 +74,48 @@ pub struct Timings {
     pub sim_norm: Duration,
 }
 
+/// Condensed record of an adaptive reduction run, carried alongside the
+/// transient comparison (and into the JSON baseline) when an experiment ran
+/// with the adaptive driver instead of a pinned configuration.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSummary {
+    /// Accepted greedy moves.
+    pub moves: usize,
+    /// Candidate reductions evaluated (accepted + probes).
+    pub evaluations: usize,
+    /// Full-model factorizations of the band estimator.
+    pub full_model_solves: usize,
+    /// Band residual of the initial minimal configuration.
+    pub initial_residual: f64,
+    /// Band residual of the accepted configuration.
+    pub final_residual: f64,
+    /// The configuration the search settled on (`describe()` format).
+    pub config: String,
+    /// The accepted move sequence, e.g. `h1,h2,markov`.
+    pub move_list: String,
+    /// Why the search stopped.
+    pub stop: String,
+}
+
+impl AdaptiveSummary {
+    fn from_trace(trace: &AdaptiveTrace) -> Self {
+        AdaptiveSummary {
+            moves: trace.steps.len().saturating_sub(1),
+            evaluations: trace.evaluations,
+            full_model_solves: trace.full_model_solves,
+            initial_residual: trace.initial_residual(),
+            final_residual: trace.final_residual(),
+            config: trace
+                .steps
+                .last()
+                .map(|s| s.config.describe())
+                .unwrap_or_default(),
+            move_list: trace.move_list(),
+            stop: format!("{:?}", trace.stop),
+        }
+    }
+}
+
 /// A full-vs-reduced transient comparison, the data behind Figs. 2–5.
 #[derive(Debug, Clone)]
 pub struct TransientComparison {
@@ -103,6 +146,11 @@ pub struct TransientComparison {
     pub y_norm: Option<Vec<f64>>,
     /// Stage timings.
     pub timings: Timings,
+    /// Adaptive-driver record of the proposed reduction (present only when
+    /// the experiment ran with `--adaptive`).
+    pub adaptive: Option<AdaptiveSummary>,
+    /// Adaptive-driver record of the NORM baseline, when both apply.
+    pub adaptive_norm: Option<AdaptiveSummary>,
 }
 
 impl TransientComparison {
@@ -142,6 +190,43 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (value, start.elapsed())
 }
 
+/// The adaptive configuration of each experiment: an input band (covering
+/// the excitation spectrum with headroom on both sides) plus a residual
+/// tolerance — nothing else. Under `--adaptive` these replace the pinned
+/// moment depths, Markov counts, output-Krylov widths and deflation
+/// tolerances entirely.
+///
+/// Fig. 2 drives the line with a damped 0.3 Hz tone (ω ≈ 1.9 rad); the band
+/// covers the passband through three harmonics of the drive, and the
+/// difference-frequency `H₂`/`H₃` samples cover the rectified (near-DC)
+/// response the tone generates.
+pub fn fig2_adaptive_spec() -> AdaptiveSpec {
+    let band = FrequencyBand::new(0.05, 6.0).expect("static band");
+    AdaptiveSpec::new(band, 1.2e-3).with_max_order(40)
+}
+
+/// Fig. 3 drives the line with a damped 0.4 Hz tone (ω ≈ 2.5 rad).
+pub fn fig3_adaptive_spec() -> AdaptiveSpec {
+    let band = FrequencyBand::new(0.05, 7.5).expect("static band");
+    AdaptiveSpec::new(band, 2e-4).with_max_order(40)
+}
+
+/// Fig. 4 mixes a 0.06 Hz signal with a 0.11 Hz interferer
+/// (ω ≈ 0.38 / 0.69 rad) into the receiver cascade. The order budget must
+/// accommodate the NORM baseline's multivariate expansion (its faithful
+/// configurations live near order 60 on this 173-state system).
+pub fn fig4_adaptive_spec() -> AdaptiveSpec {
+    let band = FrequencyBand::new(0.02, 2.5).expect("static band");
+    AdaptiveSpec::new(band, 2e-4).with_max_order(72)
+}
+
+/// Fig. 5's double-exponential surge (τ_rise 0.5, τ_fall 6) concentrates
+/// below ~2 rad.
+pub fn fig5_adaptive_spec() -> AdaptiveSpec {
+    let band = FrequencyBand::new(0.02, 4.0).expect("static band");
+    AdaptiveSpec::new(band, 2e-4).with_max_order(32)
+}
+
 /// Fig. 2 — the voltage-driven nonlinear transmission line (QLDAE *with* the
 /// `D₁` term). The paper uses 100 stages and reaches a ~13th-order ROM whose
 /// transient response overlays the original with a relative error below 1 %.
@@ -152,31 +237,51 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 /// broadband onset of the response free, which at 100 stages made the seed's
 /// ROM leak an `O(10⁻⁴)` spurious signal over a `3·10⁻⁵` true response.
 pub fn fig2_voltage_line(stages: usize, dt: f64) -> Result<TransientComparison> {
-    fig2_voltage_line_with(stages, dt, SolverBackend::Auto, ReductionEngine::Auto)
+    fig2_voltage_line_with(
+        stages,
+        dt,
+        SolverBackend::Auto,
+        ReductionEngine::Auto,
+        false,
+    )
 }
 
 /// [`fig2_voltage_line`] with an explicit linear-solver backend for the
 /// reduction and the full-model transient (the `reproduce --sparse/--dense`
-/// toggle).
+/// toggle) and the adaptive-driver switch (`--adaptive`: the configuration
+/// is discovered by [`AdaptiveReducer`] from [`fig2_adaptive_spec`] alone).
 pub fn fig2_voltage_line_with(
     stages: usize,
     dt: f64,
     backend: SolverBackend,
     engine: ReductionEngine,
+    adaptive: bool,
 ) -> Result<TransientComparison> {
     let line = TransmissionLine::voltage_driven(stages)?;
     let full = line.qldae();
-    let spec = MomentSpec::new(8, 4, 2);
 
-    let (rom, t_reduce) = timed(|| {
-        AssocReducer::new(spec)
-            .with_markov_moments(2)
-            .with_deflation_tol(1e-12)
-            .with_solver_backend(backend)
-            .with_engine(engine)
-            .reduce(full)
-    });
-    let rom = rom?;
+    let (rom, t_reduce, adaptive_summary) = if adaptive {
+        let (out, t) = timed(|| {
+            AdaptiveReducer::new(fig2_adaptive_spec())
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce(full)
+        });
+        let out = out?;
+        (out.rom, t, Some(AdaptiveSummary::from_trace(&out.trace)))
+    } else {
+        // The legacy pinned configuration, kept as the reference the
+        // adaptive-vs-pinned regression compares against.
+        let (rom, t) = timed(|| {
+            AssocReducer::new(MomentSpec::new(8, 4, 2))
+                .with_markov_moments(2)
+                .with_deflation_tol(1e-12)
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce(full)
+        });
+        (rom?, t, None)
+    };
 
     let input = SinePulse::damped(0.02, 0.3, 0.05);
     let opts =
@@ -204,6 +309,8 @@ pub fn fig2_voltage_line_with(
             sim_proposed: t_rom,
             ..Timings::default()
         },
+        adaptive: adaptive_summary,
+        adaptive_norm: None,
     })
 }
 
@@ -211,39 +318,70 @@ pub fn fig2_voltage_line_with(
 /// (no `D₁` term), reduced with both the proposed method and the NORM
 /// baseline at the same moment orders.
 pub fn fig3_current_line(stages: usize, dt: f64) -> Result<TransientComparison> {
-    fig3_current_line_with(stages, dt, SolverBackend::Auto, ReductionEngine::Auto)
+    fig3_current_line_with(
+        stages,
+        dt,
+        SolverBackend::Auto,
+        ReductionEngine::Auto,
+        false,
+    )
 }
 
-/// [`fig3_current_line`] with an explicit linear-solver backend.
+/// [`fig3_current_line`] with an explicit linear-solver backend and the
+/// adaptive-driver switch (both the proposed reducer and the NORM baseline
+/// are driven from [`fig3_adaptive_spec`] under `--adaptive`).
 pub fn fig3_current_line_with(
     stages: usize,
     dt: f64,
     backend: SolverBackend,
     engine: ReductionEngine,
+    adaptive: bool,
 ) -> Result<TransientComparison> {
     let line = TransmissionLine::current_driven(stages)?;
     let full = line.qldae();
-    let spec = MomentSpec::paper_default();
 
-    let (rom, t_reduce) = timed(|| {
-        AssocReducer::new(spec)
-            .with_solver_backend(backend)
-            .with_engine(engine)
-            .reduce(full)
-    });
-    let rom = rom?;
+    let (rom, t_reduce, adaptive_summary) = if adaptive {
+        let (out, t) = timed(|| {
+            AdaptiveReducer::new(fig3_adaptive_spec())
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce(full)
+        });
+        let out = out?;
+        (out.rom, t, Some(AdaptiveSummary::from_trace(&out.trace)))
+    } else {
+        let (rom, t) = timed(|| {
+            AssocReducer::new(MomentSpec::paper_default())
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce(full)
+        });
+        (rom?, t, None)
+    };
     // The line's G₁ is symmetric negative definite, so plain Galerkin is
-    // already stability-preserving; the energy reweighting only perturbs the
-    // baseline's subspace selection. Keep the NORM baseline on the plain path
-    // (the spectral guard still verifies the reduced spectrum).
-    let (norm_rom, t_norm) = timed(|| {
-        NormReducer::new(spec)
-            .with_stabilized_projection(false)
-            .with_solver_backend(backend)
-            .with_engine(engine)
-            .reduce(full)
-    });
-    let norm_rom = norm_rom?;
+    // already stability-preserving; the pinned NORM baseline stays on the
+    // plain path (the spectral guard still verifies the reduced spectrum) —
+    // the adaptive driver discovers the stabilization choice itself.
+    let (norm_rom, t_norm, adaptive_norm) = if adaptive {
+        let (out, t) = timed(|| {
+            AdaptiveReducer::new(fig3_adaptive_spec())
+                .with_baseline(ReducerKind::Norm)
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce(full)
+        });
+        let out = out?;
+        (out.rom, t, Some(AdaptiveSummary::from_trace(&out.trace)))
+    } else {
+        let (rom, t) = timed(|| {
+            NormReducer::new(MomentSpec::paper_default())
+                .with_stabilized_projection(false)
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce(full)
+        });
+        (rom?, t, None)
+    };
 
     let input = SinePulse::damped(0.5, 0.4, 0.08);
     let opts =
@@ -274,46 +412,78 @@ pub fn fig3_current_line_with(
             sim_proposed: t_rom,
             sim_norm: t_norm_sim,
         },
+        adaptive: adaptive_summary,
+        adaptive_norm,
     })
 }
 
 /// Fig. 4 + the "Sect 3.3 Ex." rows of Table 1 — the MISO RF receiver
 /// (signal + interferer, `D₁ = 0`), reduced with both methods.
 pub fn fig4_rf_receiver(sections: usize, dt: f64) -> Result<TransientComparison> {
-    fig4_rf_receiver_with(sections, dt, SolverBackend::Auto, ReductionEngine::Auto)
+    fig4_rf_receiver_with(
+        sections,
+        dt,
+        SolverBackend::Auto,
+        ReductionEngine::Auto,
+        false,
+    )
 }
 
-/// [`fig4_rf_receiver`] with an explicit linear-solver backend.
+/// [`fig4_rf_receiver`] with an explicit linear-solver backend and the
+/// adaptive-driver switch.
 pub fn fig4_rf_receiver_with(
     sections: usize,
     dt: f64,
     backend: SolverBackend,
     engine: ReductionEngine,
+    adaptive: bool,
 ) -> Result<TransientComparison> {
     let rx = RfReceiver::new(sections)?;
     let full = rx.qldae();
     // The receiver's G₁ is strongly non-normal (an LC cascade), and plain
     // one-sided Galerkin reliably produces an unstable reduced matrix at
     // paper size — this experiment is the reason the stabilized
-    // (energy-inner-product) projection exists and it stays on for both
-    // reducers. Two Markov vectors pin the broadband onset, as in fig. 2.
-    let spec = MomentSpec::new(8, 4, 2);
-
-    let (rom, t_reduce) = timed(|| {
-        AssocReducer::new(spec)
-            .with_markov_moments(2)
-            .with_solver_backend(backend)
-            .with_engine(engine)
-            .reduce(full)
-    });
-    let rom = rom?;
-    let (norm_rom, t_norm) = timed(|| {
-        NormReducer::new(spec)
-            .with_solver_backend(backend)
-            .with_engine(engine)
-            .reduce(full)
-    });
-    let norm_rom = norm_rom?;
+    // (energy-inner-product) projection exists. The pinned reference keeps
+    // it on with spec 8/4/2 and two Markov vectors; the adaptive driver
+    // starts stabilized and discovers the rest.
+    let (rom, t_reduce, adaptive_summary) = if adaptive {
+        let (out, t) = timed(|| {
+            AdaptiveReducer::new(fig4_adaptive_spec())
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce(full)
+        });
+        let out = out?;
+        (out.rom, t, Some(AdaptiveSummary::from_trace(&out.trace)))
+    } else {
+        let (rom, t) = timed(|| {
+            AssocReducer::new(MomentSpec::new(8, 4, 2))
+                .with_markov_moments(2)
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce(full)
+        });
+        (rom?, t, None)
+    };
+    let (norm_rom, t_norm, adaptive_norm) = if adaptive {
+        let (out, t) = timed(|| {
+            AdaptiveReducer::new(fig4_adaptive_spec())
+                .with_baseline(ReducerKind::Norm)
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce(full)
+        });
+        let out = out?;
+        (out.rom, t, Some(AdaptiveSummary::from_trace(&out.trace)))
+    } else {
+        let (rom, t) = timed(|| {
+            NormReducer::new(MomentSpec::new(8, 4, 2))
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce(full)
+        });
+        (rom?, t, None)
+    };
 
     // Desired signal plus an interfering tone coupled from the environment.
     let input = MultiChannel::new(vec![
@@ -348,6 +518,8 @@ pub fn fig4_rf_receiver_with(
             sim_proposed: t_rom,
             sim_norm: t_norm_sim,
         },
+        adaptive: adaptive_summary,
+        adaptive_norm,
     })
 }
 
@@ -355,33 +527,51 @@ pub fn fig4_rf_receiver_with(
 /// reduced to ~8). The input is a 9.8 kV double-exponential surge; the
 /// protected output clamps to a few hundred volts.
 pub fn fig5_varistor(ladder_nodes: usize, dt: f64) -> Result<TransientComparison> {
-    fig5_varistor_with(ladder_nodes, dt, SolverBackend::Auto, ReductionEngine::Auto)
+    fig5_varistor_with(
+        ladder_nodes,
+        dt,
+        SolverBackend::Auto,
+        ReductionEngine::Auto,
+        false,
+    )
 }
 
-/// [`fig5_varistor`] with an explicit linear-solver backend.
+/// [`fig5_varistor`] with an explicit linear-solver backend and the
+/// adaptive-driver switch.
 pub fn fig5_varistor_with(
     ladder_nodes: usize,
     dt: f64,
     backend: SolverBackend,
     engine: ReductionEngine,
+    adaptive: bool,
 ) -> Result<TransientComparison> {
     let circuit = VaristorCircuit::new(ladder_nodes)?;
     let full = circuit.ode();
-    // The varistor system has no quadratic term; 6 first-order and 2
-    // third-order moments reproduce the paper's order-8 ROM.
-    let spec = MomentSpec::new(6, 0, 2);
 
-    // Plain Galerkin reproduces the PR-1 accuracy here and the spectral
-    // guard verifies the reduced spectrum; the energy reweighting is not
-    // needed for this ladder and costs a little accuracy on the clamp front.
-    let (rom, t_reduce) = timed(|| {
-        AssocReducer::new(spec)
-            .with_stabilized_projection(false)
-            .with_solver_backend(backend)
-            .with_engine(engine)
-            .reduce_cubic(full)
-    });
-    let rom = rom?;
+    // Pinned reference: the varistor system has no quadratic term; 6
+    // first-order and 2 third-order moments on plain Galerkin reproduce the
+    // paper's order-8 ROM (the energy reweighting costs a little accuracy on
+    // the clamp front — a trade-off the adaptive driver's stabilization
+    // toggle discovers on its own).
+    let (rom, t_reduce, adaptive_summary) = if adaptive {
+        let (out, t) = timed(|| {
+            AdaptiveReducer::new(fig5_adaptive_spec())
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce_cubic(full)
+        });
+        let out = out?;
+        (out.rom, t, Some(AdaptiveSummary::from_trace(&out.trace)))
+    } else {
+        let (rom, t) = timed(|| {
+            AssocReducer::new(MomentSpec::new(6, 0, 2))
+                .with_stabilized_projection(false)
+                .with_solver_backend(backend)
+                .with_engine(engine)
+                .reduce_cubic(full)
+        });
+        (rom?, t, None)
+    };
 
     let input = ExpPulse::new(VaristorCircuit::surge_amplitude(), 0.5, 6.0);
     let opts =
@@ -409,6 +599,8 @@ pub fn fig5_varistor_with(
             sim_proposed: t_rom,
             ..Timings::default()
         },
+        adaptive: adaptive_summary,
+        adaptive_norm: None,
     })
 }
 
@@ -755,6 +947,33 @@ pub struct LowRankScalingReport {
     /// Paper-size (fig5 varistor) dense-vs-low-rank agreement: max relative
     /// difference of the reduced surge transients (must be ≤ 1e-6).
     pub fig5_rom_diff: f64,
+    /// States of the scaled-up *voltage-driven* line variant (`D₁`-heavy:
+    /// every stage carries a bilinear input term — the fADI top-block path
+    /// runs with a dense `D₁b` right-hand side every `H₃` step).
+    pub voltage_states: usize,
+    /// Wall time of the low-rank reduction of the voltage-driven variant.
+    pub voltage_reduce: Duration,
+    /// Reduced order of the voltage-driven variant.
+    pub voltage_order: usize,
+    /// Spectral abscissa of the voltage-driven variant's reduced `G₁ᵣ`.
+    pub voltage_abscissa: f64,
+    /// Band residual of the voltage-driven variant's ROM (the far-end
+    /// transient of a 2 000-stage line is numerically zero inside any
+    /// reasonable window, so fidelity is checked in the frequency domain —
+    /// the estimator this PR introduces).
+    pub voltage_band_residual: f64,
+    /// States of the scaled-up RF-receiver variant (strongly non-normal LC
+    /// cascade, two inputs — the oscillatory spectrum the complex-conjugate
+    /// ADI shift pairs exist for).
+    pub receiver_states: usize,
+    /// Wall time of the low-rank reduction of the receiver variant.
+    pub receiver_reduce: Duration,
+    /// Reduced order of the receiver variant.
+    pub receiver_order: usize,
+    /// Spectral abscissa of the receiver variant's reduced `G₁ᵣ`.
+    pub receiver_abscissa: f64,
+    /// Band residual of the receiver variant's ROM.
+    pub receiver_band_residual: f64,
 }
 
 /// Reduces the line end-to-end on the low-rank engine and measures the
@@ -803,6 +1022,65 @@ pub fn lowrank_scaling(
     fig5_ladder: usize,
     dt: f64,
 ) -> Result<LowRankScalingReport> {
+    // --- scaled-up voltage-line variant (D₁-heavy) at the mid size: the
+    // far-end transient is numerically zero at this length, so the ROM is
+    // validated with the PR-5 band estimator instead of a transient ---
+    let vline = TransmissionLine::voltage_driven(mid)?;
+    let vfull = vline.qldae();
+    let (vrom, voltage_reduce) = timed(|| {
+        AssocReducer::new(MomentSpec::paper_default())
+            .with_markov_moments(2)
+            .with_engine(ReductionEngine::LowRank)
+            .reduce(vfull)
+    });
+    let vrom = vrom?;
+    let variant_band = FrequencyBand::new(0.05, 6.0).map_err(ExperimentError::Reduction)?;
+    let variant_points = BandSamplerOptions {
+        h1_points: 9,
+        h2_points: 3,
+        h3_points: 2,
+    };
+    let vsampler =
+        BandSampler::for_qldae(vfull, variant_band, SolverBackend::Sparse, variant_points)
+            .map_err(ExperimentError::Reduction)?;
+    let voltage_band_residual = vsampler
+        .residual_qldae(vrom.system())
+        .map_err(ExperimentError::Reduction)?
+        .max();
+
+    // --- scaled-up RF-receiver variant (non-normal, two inputs) at the mid
+    // size (sections ≈ mid/2 → ≈ mid states) ---
+    let rx = RfReceiver::new(mid / 2)?;
+    let rfull = rx.qldae();
+    // A bounded stress workload: the lightly damped LC spectrum stalls the
+    // real-shift factored-ADI top block (the open ROADMAP item on complex
+    // chain shifts), so the `H₃` depth and the per-solve ADI budget are kept
+    // small — the point is exercising the path at size, not polishing an
+    // unreachable tolerance.
+    let receiver_opts = vamor_core::lowrank::LowRankOptions {
+        adi_max_iterations: 48,
+        ..Default::default()
+    };
+    let (rrom, receiver_reduce) = timed(|| {
+        AssocReducer::new(MomentSpec::new(4, 2, 1))
+            .with_markov_moments(2)
+            .with_engine(ReductionEngine::LowRank)
+            .with_lowrank_options(receiver_opts)
+            .reduce(rfull)
+    });
+    let rrom = rrom?;
+    let rsampler = BandSampler::for_qldae(
+        rfull,
+        FrequencyBand::new(0.02, 2.5).map_err(ExperimentError::Reduction)?,
+        SolverBackend::Sparse,
+        variant_points,
+    )
+    .map_err(ExperimentError::Reduction)?;
+    let receiver_band_residual = rsampler
+        .residual_qldae(rrom.system())
+        .map_err(ExperimentError::Reduction)?
+        .max();
+
     let (reduce_mid, rom_mid, rom_error_mid) = lowrank_line_reduction(mid, dt)?;
     let (reduce_big, rom_big, rom_error_big) = lowrank_line_reduction(big, dt)?;
     let reduce_scaling_exponent = (reduce_big.as_secs_f64() / reduce_mid.as_secs_f64().max(1e-12))
@@ -877,6 +1155,220 @@ pub fn lowrank_scaling(
         reduce_scaling_exponent,
         fig3_kernel_diff,
         fig5_rom_diff,
+        voltage_states: vfull.order(),
+        voltage_reduce,
+        voltage_order: vrom.order(),
+        voltage_abscissa: vrom.stats().spectral_abscissa,
+        voltage_band_residual,
+        receiver_states: rfull.order(),
+        receiver_reduce,
+        receiver_order: rrom.order(),
+        receiver_abscissa: rrom.stats().spectral_abscissa,
+        receiver_band_residual,
+    })
+}
+
+/// Adaptive-vs-pinned record of one figure experiment inside the
+/// `adaptive` bench (the driver must reproduce or beat the hand-tuned
+/// reference from a band + tolerance alone).
+#[derive(Debug, Clone)]
+pub struct AdaptiveFigReport {
+    /// Figure label.
+    pub name: &'static str,
+    /// Full model order.
+    pub full_order: usize,
+    /// Order the adaptive driver settled on.
+    pub order: usize,
+    /// Wall time of the whole adaptive search.
+    pub wall: Duration,
+    /// Spectral abscissa of the adaptive ROM's `G₁ᵣ`.
+    pub abscissa: f64,
+    /// Max relative transient error of the adaptive ROM.
+    pub adaptive_error: f64,
+    /// Max relative transient error of the pinned reference ROM.
+    pub pinned_error: f64,
+    /// Search record.
+    pub summary: AdaptiveSummary,
+}
+
+/// The `adaptive` bench: the greedy driver against the pinned references on
+/// the fig3 line (dense engine) and the fig5 varistor, a low-rank engine
+/// smoke at ≥ 2000 states, plus the embedded-error step-controller
+/// demonstration on the varistor surge.
+#[derive(Debug, Clone)]
+pub struct AdaptiveExperimentReport {
+    /// Fig. 3 line, adaptive vs pinned (dense engine at paper size).
+    pub fig3: AdaptiveFigReport,
+    /// Fig. 5 varistor (cubic path), adaptive vs pinned.
+    pub fig5: AdaptiveFigReport,
+    /// States of the low-rank engine smoke (the current-driven line).
+    pub lowrank_states: usize,
+    /// Wall time of the low-rank adaptive search.
+    pub lowrank_wall: Duration,
+    /// Order of the low-rank adaptive ROM.
+    pub lowrank_order: usize,
+    /// Spectral abscissa of the low-rank adaptive ROM.
+    pub lowrank_abscissa: f64,
+    /// Max relative transient error of the low-rank adaptive ROM.
+    pub lowrank_rom_error: f64,
+    /// Search record of the low-rank smoke.
+    pub lowrank_summary: AdaptiveSummary,
+    /// Steps of the fixed-grid varistor surge transient.
+    pub step_fixed_steps: usize,
+    /// Steps of the embedded-error adaptive transient (same model/span).
+    pub step_adaptive_steps: usize,
+    /// Steps the controller rejected and re-took at half size.
+    pub step_rejected: usize,
+    /// Max relative difference of the adaptive trajectory against the fixed
+    /// grid (adaptive output linearly interpolated onto the fixed times).
+    pub step_trajectory_diff: f64,
+}
+
+/// Linear interpolation of `(ts, ys)` onto `t`.
+fn interp_at(ts: &[f64], ys: &[f64], t: f64) -> f64 {
+    let j = ts.partition_point(|&x| x < t);
+    if j == 0 {
+        ys[0]
+    } else if j >= ts.len() {
+        *ys.last().expect("non-empty series")
+    } else {
+        let (t0, t1) = (ts[j - 1], ts[j]);
+        let w = (t - t0) / (t1 - t0).max(1e-300);
+        ys[j - 1] * (1.0 - w) + ys[j] * w
+    }
+}
+
+/// Runs the `adaptive` bench (see [`AdaptiveExperimentReport`]).
+///
+/// # Errors
+///
+/// Propagates circuit construction, reduction and simulation failures.
+pub fn adaptive_report(
+    fig3_stages: usize,
+    fig5_ladder: usize,
+    lowrank_states: usize,
+    dt: f64,
+) -> Result<AdaptiveExperimentReport> {
+    // --- fig3 line: adaptive vs pinned, dense engine at paper size ---
+    let line = TransmissionLine::current_driven(fig3_stages)?;
+    let full = line.qldae();
+    let (out, wall) = timed(|| AdaptiveReducer::new(fig3_adaptive_spec()).reduce(full));
+    let out = out?;
+    let pinned = AssocReducer::new(MomentSpec::paper_default()).reduce(full)?;
+    let input = SinePulse::damped(0.5, 0.4, 0.08);
+    let opts =
+        TransientOptions::new(0.0, 30.0, dt).with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let full_run = simulate(full, &input, &opts)?;
+    let adaptive_run = simulate(out.rom.system(), &input, &opts)?;
+    let pinned_run = simulate(pinned.system(), &input, &opts)?;
+    let fig3 = AdaptiveFigReport {
+        name: "fig3 current-driven line",
+        full_order: full.order(),
+        order: out.rom.order(),
+        wall,
+        abscissa: out.rom.stats().spectral_abscissa,
+        adaptive_error: max_relative_error(
+            &full_run.output_channel(0),
+            &adaptive_run.output_channel(0),
+        ),
+        pinned_error: max_relative_error(
+            &full_run.output_channel(0),
+            &pinned_run.output_channel(0),
+        ),
+        summary: AdaptiveSummary::from_trace(&out.trace),
+    };
+
+    // --- fig5 varistor: adaptive vs pinned on the cubic path, plus the
+    // embedded-error step controller against the fixed grid ---
+    let circuit = VaristorCircuit::new(fig5_ladder)?;
+    let ode = circuit.ode();
+    let (vout, vwall) = timed(|| AdaptiveReducer::new(fig5_adaptive_spec()).reduce_cubic(ode));
+    let vout = vout?;
+    let vpinned = AssocReducer::new(MomentSpec::new(6, 0, 2))
+        .with_stabilized_projection(false)
+        .reduce_cubic(ode)?;
+    let surge = ExpPulse::new(VaristorCircuit::surge_amplitude(), 0.5, 6.0);
+    let vopts =
+        TransientOptions::new(0.0, 30.0, dt).with_method(IntegrationMethod::ImplicitTrapezoidal);
+    let v_full = simulate(ode, &surge, &vopts)?;
+    let v_adaptive = simulate(vout.rom.system(), &surge, &vopts)?;
+    let v_pinned = simulate(vpinned.system(), &surge, &vopts)?;
+    let fig5 = AdaptiveFigReport {
+        name: "fig5 varistor surge (cubic)",
+        full_order: ode.order(),
+        order: vout.rom.order(),
+        wall: vwall,
+        abscissa: vout.rom.stats().spectral_abscissa,
+        adaptive_error: max_relative_error(
+            &v_full.output_channel(0),
+            &v_adaptive.output_channel(0),
+        ),
+        pinned_error: max_relative_error(&v_full.output_channel(0), &v_pinned.output_channel(0)),
+        summary: AdaptiveSummary::from_trace(&vout.trace),
+    };
+
+    let v_stepped = simulate(
+        ode,
+        &surge,
+        &vopts.with_adaptive_steps(1e-4, dt / 8.0, 64.0 * dt),
+    )?;
+    let fixed_y = v_full.output_channel(0);
+    let adaptive_y = v_stepped.output_channel(0);
+    let peak = fixed_y
+        .iter()
+        .fold(0.0_f64, |m, &v| m.max(v.abs()))
+        .max(1e-30);
+    let mut step_trajectory_diff = 0.0_f64;
+    for (i, &t) in v_full.times.iter().enumerate() {
+        let y = interp_at(&v_stepped.times, &adaptive_y, t);
+        step_trajectory_diff = step_trajectory_diff.max((y - fixed_y[i]).abs() / peak);
+    }
+
+    // --- low-rank engine smoke at ≥ 2000 states: the adaptive driver on
+    // the rational-Krylov + LR-ADI machinery ---
+    let big_line = TransmissionLine::current_driven(lowrank_states)?;
+    let big_full = big_line.qldae();
+    // Smoke budgets: a handful of moves at a looser tolerance — the point
+    // is that the driver runs end-to-end on the low-rank machinery, not to
+    // polish the last digit at benchmark cost.
+    let (big_out, lowrank_wall) = timed(|| {
+        AdaptiveReducer::new(
+            fig3_adaptive_spec()
+                .with_max_iterations(4)
+                .with_min_gain(0.05),
+        )
+        .with_engine(ReductionEngine::LowRank)
+        .reduce(big_full)
+    });
+    let big_out = big_out?;
+    let big_input = SinePulse::damped(0.5, 0.4, 0.08);
+    let big_opts = TransientOptions::new(0.0, 30.0, dt)
+        .with_method(IntegrationMethod::ImplicitTrapezoidal)
+        .with_linear_solver(SolverBackend::Sparse);
+    let big_full_run = simulate(big_full, &big_input, &big_opts)?;
+    let big_rom_run = simulate(
+        big_out.rom.system(),
+        &big_input,
+        &TransientOptions::new(0.0, 30.0, dt).with_method(IntegrationMethod::ImplicitTrapezoidal),
+    )?;
+    let lowrank_rom_error = max_relative_error(
+        &big_full_run.output_channel(0),
+        &big_rom_run.output_channel(0),
+    );
+
+    Ok(AdaptiveExperimentReport {
+        fig3,
+        fig5,
+        lowrank_states: big_full.order(),
+        lowrank_wall,
+        lowrank_order: big_out.rom.order(),
+        lowrank_abscissa: big_out.rom.stats().spectral_abscissa,
+        lowrank_rom_error,
+        lowrank_summary: AdaptiveSummary::from_trace(&big_out.trace),
+        step_fixed_steps: v_full.stats.steps,
+        step_adaptive_steps: v_stepped.stats.steps,
+        step_rejected: v_stepped.stats.rejected_steps,
+        step_trajectory_diff,
     })
 }
 

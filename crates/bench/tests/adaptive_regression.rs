@@ -1,0 +1,115 @@
+//! The fig2–fig5 adaptive-vs-pinned regression (ISSUE 5): at scaled-down
+//! sizes, every experiment run with the adaptive driver (band + tolerance
+//! only) must stay within striking distance of its hand-pinned reference —
+//! stable, and no worse than a small multiple of the pinned transient error
+//! (with an absolute floor for the noise regime).
+
+use vamor_bench::{
+    fig2_voltage_line_with, fig3_current_line_with, fig4_rf_receiver_with, fig5_varistor_with,
+    TransientComparison,
+};
+use vamor_core::{ReductionEngine, SolverBackend};
+
+fn run_pair(
+    run: impl Fn(bool) -> Result<TransientComparison, vamor_bench::ExperimentError>,
+    name: &str,
+    factor: f64,
+    floor: f64,
+) {
+    let pinned = run(false).unwrap_or_else(|e| panic!("{name} pinned failed: {e}"));
+    let adaptive = run(true).unwrap_or_else(|e| panic!("{name} adaptive failed: {e}"));
+    assert!(
+        adaptive.proposed_hurwitz(),
+        "{name}: adaptive ROM lost stability (abscissa {:.3e})",
+        adaptive.proposed_abscissa
+    );
+    let bound = (pinned.max_error_proposed() * factor).max(floor);
+    assert!(
+        adaptive.max_error_proposed() <= bound,
+        "{name}: adaptive error {:.3e} exceeds bound {:.3e} (pinned {:.3e})",
+        adaptive.max_error_proposed(),
+        bound,
+        pinned.max_error_proposed()
+    );
+    let summary = adaptive
+        .adaptive
+        .as_ref()
+        .expect("adaptive summary recorded");
+    assert!(
+        summary.final_residual <= summary.initial_residual,
+        "{name}: band residual did not improve"
+    );
+    assert!(summary.evaluations >= summary.moves);
+}
+
+#[test]
+fn fig2_adaptive_tracks_the_pinned_reference() {
+    run_pair(
+        |adaptive| {
+            fig2_voltage_line_with(
+                24,
+                0.02,
+                SolverBackend::Auto,
+                ReductionEngine::Auto,
+                adaptive,
+            )
+        },
+        "fig2",
+        3.0,
+        2e-2,
+    );
+}
+
+#[test]
+fn fig3_adaptive_tracks_the_pinned_reference() {
+    run_pair(
+        |adaptive| {
+            fig3_current_line_with(
+                20,
+                0.02,
+                SolverBackend::Auto,
+                ReductionEngine::Auto,
+                adaptive,
+            )
+        },
+        "fig3",
+        3.0,
+        1e-3,
+    );
+}
+
+#[test]
+fn fig4_adaptive_tracks_the_pinned_reference() {
+    run_pair(
+        |adaptive| {
+            fig4_rf_receiver_with(
+                12,
+                0.02,
+                SolverBackend::Auto,
+                ReductionEngine::Auto,
+                adaptive,
+            )
+        },
+        "fig4",
+        3.0,
+        2e-2,
+    );
+}
+
+#[test]
+fn fig5_adaptive_tracks_the_pinned_reference() {
+    run_pair(
+        |adaptive| {
+            fig5_varistor_with(
+                16,
+                0.01,
+                SolverBackend::Auto,
+                ReductionEngine::Auto,
+                adaptive,
+            )
+        },
+        "fig5",
+        3.0,
+        2e-2,
+    );
+}

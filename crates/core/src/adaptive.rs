@@ -1,0 +1,1352 @@
+//! The adaptive reduction driver: a frequency-band residual estimator plus a
+//! greedy spec search that replaces the hand-tuned experiment configurations.
+//!
+//! Every fig2–fig5 experiment used to pin moment depths, Markov counts,
+//! output-Krylov widths and deflation tolerances found by hand. This module
+//! closes that loop with the classic greedy-MOR recipe:
+//!
+//! 1. **Estimate** — [`BandSampler`] evaluates the full-model and ROM
+//!    transfer functions `H₁(iω)` / `H₂(iω, iω)` / `H₃(iω, iω, iω)` on a
+//!    sample grid over a user-declared input [`FrequencyBand`]. Full-model
+//!    solves are routed through the existing
+//!    [`ShiftedLuCache`]/[`ShiftedSparseLuCache`] resolvent hooks
+//!    ([`ShiftedLuCache::solve_resolvent`]) so every frequency is factored
+//!    exactly once for the whole adaptive run, and the full-model samples
+//!    themselves are computed once at construction. The ROM side is the
+//!    lightweight [`ReducedVolterra`] evaluator — dense `k × k` complex
+//!    solves, negligible next to a reduction. The estimator reports per-band
+//!    relative residuals plus the argmax frequency
+//!    ([`BandResidual::worst_frequency`]).
+//! 2. **Enrich** — [`AdaptiveReducer`] wraps [`AssocReducer`] /
+//!    [`NormReducer`] and grows the configuration move-by-move
+//!    ([`AdaptiveMove`]): deepen an `H₁`/`H₂`/`H₃` chain, add a Markov
+//!    vector, add an output-Krylov dual chain, loosen/tighten the deflation
+//!    tolerance, or toggle the energy-weighted projection. Each candidate
+//!    move is scored by residual decrease per added basis column and the
+//!    best one is taken.
+//! 3. **Stop** — when the band residual reaches the tolerance, stops
+//!    improving ([`StopReason::Saturated`]), or an order/iteration budget is
+//!    hit. Every step is recorded in an [`AdaptiveTrace`].
+//!
+//! The driver runs under both reduction engines
+//! ([`crate::ReductionEngine::DenseSchur`] and
+//! [`crate::ReductionEngine::LowRank`]), so adaptivity works at 10⁴ states:
+//! the band estimator is built exclusively from shifted solves and
+//! structured Kronecker matvecs — no `n²` object is ever formed.
+
+use vamor_linalg::sparse_lu::SPARSE_AUTO_THRESHOLD;
+use vamor_linalg::{Complex, ShiftedLuCache, ShiftedSparseLuCache, SolverBackend};
+use vamor_system::{CubicOde, Qldae};
+
+use crate::error::MorError;
+use crate::lowrank::{LowRankOptions, ReductionEngine};
+use crate::norm::NormReducer;
+use crate::reduce::{AssocReducer, MomentSpec, ReducedCubicOde, ReducedQldae};
+use crate::volterra::{CubicVolterraKernels, VolterraKernels};
+use crate::Result;
+
+/// A user-declared input frequency band `[ω_min, ω_max]` (rad per unit
+/// time) — together with a tolerance, the *entire* per-experiment
+/// configuration the adaptive driver needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyBand {
+    /// Lower band edge (≥ 0).
+    pub omega_min: f64,
+    /// Upper band edge (> `omega_min`).
+    pub omega_max: f64,
+}
+
+impl FrequencyBand {
+    /// Creates a band after validating the edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorError::Invalid`] for non-finite or inverted edges.
+    pub fn new(omega_min: f64, omega_max: f64) -> Result<Self> {
+        if !omega_min.is_finite() || !omega_max.is_finite() || omega_min < 0.0 {
+            return Err(MorError::Invalid(format!(
+                "frequency band edges must be finite and non-negative, got [{omega_min}, {omega_max}]"
+            )));
+        }
+        if omega_max <= omega_min {
+            return Err(MorError::Invalid(format!(
+                "empty frequency band [{omega_min}, {omega_max}]"
+            )));
+        }
+        Ok(FrequencyBand {
+            omega_min,
+            omega_max,
+        })
+    }
+
+    /// Sample frequencies over the band: logarithmically spaced when the
+    /// band spans more than a decade ratio (and starts above zero),
+    /// linearly otherwise; the edges are always included.
+    pub fn grid(&self, points: usize) -> Vec<f64> {
+        let points = points.max(2);
+        if self.omega_min > 0.0 && self.omega_max / self.omega_min >= 16.0 {
+            let ratio = (self.omega_max / self.omega_min).ln();
+            (0..points)
+                .map(|i| self.omega_min * (ratio * i as f64 / (points - 1) as f64).exp())
+                .collect()
+        } else {
+            (0..points)
+                .map(|i| {
+                    self.omega_min
+                        + (self.omega_max - self.omega_min) * i as f64 / (points - 1) as f64
+                })
+                .collect()
+        }
+    }
+}
+
+/// Grid sizes of the band residual estimator. `H₂`/`H₃` points are sparser
+/// than `H₁` — the higher kernels cost several resolvent solves per sample.
+#[derive(Debug, Clone, Copy)]
+pub struct BandSamplerOptions {
+    /// `H₁` sample frequencies.
+    pub h1_points: usize,
+    /// `H₂(iω, iω)` sample frequencies (0 disables the kernel).
+    pub h2_points: usize,
+    /// `H₃(iω, iω, iω)` sample frequencies (0 disables the kernel).
+    pub h3_points: usize,
+}
+
+impl Default for BandSamplerOptions {
+    fn default() -> Self {
+        BandSamplerOptions {
+            h1_points: 17,
+            h2_points: 7,
+            h3_points: 3,
+        }
+    }
+}
+
+/// Per-band relative residuals of a ROM against the full model, with the
+/// frequency where the worst mismatch occurred. Each kernel's residual is
+/// the *RMS* mismatch over its sample grid — a single stubborn sample (the
+/// band edge of a stopband `H₃` is often irreducible) must not blind the
+/// greedy search to progress everywhere else, which is exactly what a
+/// max-aggregated residual does. All kernels are normalized by the *shared*
+/// peak kernel magnitude over the band, so a numerically negligible kernel
+/// (e.g. a chain whose linear response is roundoff next to its quadratic
+/// one) cannot drown the residual in its own noise.
+#[derive(Debug, Clone, Copy)]
+pub struct BandResidual {
+    /// Relative `H₁` residual over the band (`NaN`-free; 0 when the kernel
+    /// was not sampled).
+    pub h1: f64,
+    /// Relative `H₂` residual.
+    pub h2: f64,
+    /// Relative `H₃` residual.
+    pub h3: f64,
+    /// Frequency (rad) of the worst relative mismatch across all kernels.
+    pub worst_frequency: f64,
+}
+
+impl BandResidual {
+    /// The combined (worst-kernel) band residual the greedy driver descends.
+    pub fn max(&self) -> f64 {
+        self.h1.max(self.h2).max(self.h3)
+    }
+}
+
+/// One cached full-model sample. `diff` marks the mixed-sign
+/// (difference-frequency) variant of an `H₂`/`H₃` sample.
+#[derive(Debug, Clone, Copy)]
+struct FullSample {
+    input: usize,
+    omega: f64,
+    diff: bool,
+    value: Complex,
+}
+
+/// The resolvent backend of the full-model side: a memoized shift cache over
+/// `G₁` (sparse at scale — the dense view is never materialized there).
+#[derive(Debug)]
+enum SamplerCache {
+    Dense(ShiftedLuCache),
+    Sparse(ShiftedSparseLuCache),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SampledKind {
+    Qldae,
+    Cubic,
+}
+
+/// The frequency-band residual estimator (see the module docs): full-model
+/// `H₁`/`H₂`/`H₃` band samples computed once through the shift-cache
+/// resolvent hooks, compared against any candidate ROM via
+/// [`ReducedVolterra`].
+#[derive(Debug)]
+pub struct BandSampler {
+    band: FrequencyBand,
+    kind: SampledKind,
+    num_inputs: usize,
+    h1: Vec<FullSample>,
+    h2: Vec<FullSample>,
+    h3: Vec<FullSample>,
+    scale_h1: f64,
+    scale_h2: f64,
+    scale_h3: f64,
+    full_solves: usize,
+}
+
+impl BandSampler {
+    /// Builds the estimator for a QLDAE full model: one shifted cache over
+    /// `G₁`, every band frequency factored exactly once, all full-model
+    /// samples evaluated up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a resolvent is singular on the band (a Hurwitz
+    /// `G₁` never is on the imaginary axis).
+    pub fn for_qldae(
+        qldae: &Qldae,
+        band: FrequencyBand,
+        backend: SolverBackend,
+        opts: BandSamplerOptions,
+    ) -> Result<Self> {
+        let n = qldae.g1_csr().rows();
+        let cache = Self::cache_for(qldae.g1_csr(), backend, n);
+        let num_inputs = qldae.b().cols();
+        let has_quadratic = qldae.g2().nnz() > 0 || qldae.has_d1();
+        let mut sampler = BandSampler {
+            band,
+            kind: SampledKind::Qldae,
+            num_inputs,
+            h1: Vec::new(),
+            h2: Vec::new(),
+            h3: Vec::new(),
+            scale_h1: 0.0,
+            scale_h2: 0.0,
+            scale_h3: 0.0,
+            full_solves: 0,
+        };
+        for input in 0..num_inputs {
+            let kernels = match &cache {
+                SamplerCache::Dense(c) => VolterraKernels::with_dense_cache(qldae, input, c)?,
+                SamplerCache::Sparse(c) => VolterraKernels::with_sparse_cache(qldae, input, c)?,
+            };
+            for &omega in &band.grid(opts.h1_points) {
+                let s = Complex::new(0.0, omega);
+                sampler.push_h1(input, omega, kernels.output_h1(s)?);
+            }
+            if has_quadratic && opts.h2_points > 0 {
+                for &omega in &band.grid(opts.h2_points) {
+                    let s = Complex::new(0.0, omega);
+                    // Sum (2ω, second harmonic) and difference (0,
+                    // rectification/envelope) products both land back in the
+                    // response — a band-faithful ROM must match both.
+                    sampler.push_h2(input, omega, false, kernels.output_h2(s, s)?);
+                    sampler.push_h2(input, omega, true, kernels.output_h2(s, -s)?);
+                }
+            }
+            if has_quadratic && opts.h3_points > 0 {
+                for &omega in &band.grid(opts.h3_points) {
+                    let s = Complex::new(0.0, omega);
+                    // Third harmonic (3ω) and in-band compression (ω).
+                    sampler.push_h3(input, omega, false, kernels.output_h3(s, s, s)?);
+                    sampler.push_h3(input, omega, true, kernels.output_h3(s, s, -s)?);
+                }
+            }
+        }
+        sampler.full_solves = match &cache {
+            SamplerCache::Dense(c) => c.misses(),
+            SamplerCache::Sparse(c) => c.misses(),
+        };
+        Ok(sampler)
+    }
+
+    /// Builds the estimator for a cubic-ODE full model (`H₁`, the
+    /// `G₂`-mediated `H₂` when present, and the structured-Kronecker `H₃`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BandSampler::for_qldae`].
+    pub fn for_cubic(
+        ode: &CubicOde,
+        band: FrequencyBand,
+        backend: SolverBackend,
+        opts: BandSamplerOptions,
+    ) -> Result<Self> {
+        let n = ode.g1_csr().rows();
+        let cache = Self::cache_for(ode.g1_csr(), backend, n);
+        let num_inputs = ode.b().cols();
+        let has_quadratic = ode.g2().map(|m| m.nnz() > 0).unwrap_or(false);
+        let mut sampler = BandSampler {
+            band,
+            kind: SampledKind::Cubic,
+            num_inputs,
+            h1: Vec::new(),
+            h2: Vec::new(),
+            h3: Vec::new(),
+            scale_h1: 0.0,
+            scale_h2: 0.0,
+            scale_h3: 0.0,
+            full_solves: 0,
+        };
+        for input in 0..num_inputs {
+            let kernels = match &cache {
+                SamplerCache::Dense(c) => CubicVolterraKernels::with_dense_cache(ode, input, c)?,
+                SamplerCache::Sparse(c) => CubicVolterraKernels::with_sparse_cache(ode, input, c)?,
+            };
+            for &omega in &band.grid(opts.h1_points) {
+                let s = Complex::new(0.0, omega);
+                sampler.push_h1(input, omega, kernels.output_h1(s)?);
+            }
+            if has_quadratic && opts.h2_points > 0 {
+                for &omega in &band.grid(opts.h2_points) {
+                    let s = Complex::new(0.0, omega);
+                    sampler.push_h2(input, omega, false, kernels.output_h2(s, s)?);
+                    sampler.push_h2(input, omega, true, kernels.output_h2(s, -s)?);
+                }
+            }
+            if opts.h3_points > 0 {
+                for &omega in &band.grid(opts.h3_points) {
+                    let s = Complex::new(0.0, omega);
+                    sampler.push_h3(input, omega, false, kernels.output_h3(s, s, s)?);
+                    sampler.push_h3(input, omega, true, kernels.output_h3(s, s, -s)?);
+                }
+            }
+        }
+        sampler.full_solves = match &cache {
+            SamplerCache::Dense(c) => c.misses(),
+            SamplerCache::Sparse(c) => c.misses(),
+        };
+        Ok(sampler)
+    }
+
+    fn cache_for(csr: &vamor_linalg::CsrMatrix, backend: SolverBackend, n: usize) -> SamplerCache {
+        if backend.use_sparse(n, SPARSE_AUTO_THRESHOLD) {
+            SamplerCache::Sparse(ShiftedSparseLuCache::new(csr.clone()))
+        } else {
+            SamplerCache::Dense(ShiftedLuCache::new(csr.to_dense()))
+        }
+    }
+
+    fn push_h1(&mut self, input: usize, omega: f64, value: Complex) {
+        self.scale_h1 = self.scale_h1.max(value.abs());
+        self.h1.push(FullSample {
+            input,
+            omega,
+            diff: false,
+            value,
+        });
+    }
+
+    fn push_h2(&mut self, input: usize, omega: f64, diff: bool, value: Complex) {
+        self.scale_h2 = self.scale_h2.max(value.abs());
+        self.h2.push(FullSample {
+            input,
+            omega,
+            diff,
+            value,
+        });
+    }
+
+    fn push_h3(&mut self, input: usize, omega: f64, diff: bool, value: Complex) {
+        self.scale_h3 = self.scale_h3.max(value.abs());
+        self.h3.push(FullSample {
+            input,
+            omega,
+            diff,
+            value,
+        });
+    }
+
+    /// The declared band.
+    pub fn band(&self) -> FrequencyBand {
+        self.band
+    }
+
+    /// Peak full-model kernel magnitudes over the band `(H₁, H₂, H₃)` — how
+    /// much of the band-limited response each Volterra order carries.
+    pub fn kernel_scales(&self) -> (f64, f64, f64) {
+        (self.scale_h1, self.scale_h2, self.scale_h3)
+    }
+
+    /// True when the band response is carried almost entirely by `H₁`
+    /// (higher kernels below 10 % of its peak). The two-sided output-Krylov
+    /// move is only rational then: it doubles the matched `H₁` moments per
+    /// column but restricts the ROM to the dual-chain span, abandoning the
+    /// `H₂`/`H₃` subspaces.
+    pub fn h1_dominated(&self) -> bool {
+        self.scale_h2.max(self.scale_h3) <= 0.1 * self.scale_h1
+    }
+
+    /// Full-model factorizations the construction needed (each band
+    /// frequency once — the memoized cache deduplicates the `H₂`/`H₃`
+    /// sub-frequencies that coincide with `H₁` points).
+    pub fn full_solves(&self) -> usize {
+        self.full_solves
+    }
+
+    /// Band residual of a reduced QLDAE against the cached full-model
+    /// samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorError::Invalid`] when the sampler was built for a cubic
+    /// system, or a ROM resolvent is singular on the band.
+    pub fn residual_qldae(&self, rom: &Qldae) -> Result<BandResidual> {
+        if self.kind != SampledKind::Qldae {
+            return Err(MorError::Invalid(
+                "band sampler was built for a cubic system".into(),
+            ));
+        }
+        let evaluators: Vec<ReducedVolterra<'_>> = (0..self.num_inputs.min(rom.b().cols()))
+            .map(|input| ReducedVolterra::qldae(rom, input))
+            .collect::<Result<_>>()?;
+        self.residual_with(&evaluators)
+    }
+
+    /// Band residual of a reduced cubic ODE against the cached full-model
+    /// samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorError::Invalid`] when the sampler was built for a QLDAE,
+    /// or a ROM resolvent is singular on the band.
+    pub fn residual_cubic(&self, rom: &CubicOde) -> Result<BandResidual> {
+        if self.kind != SampledKind::Cubic {
+            return Err(MorError::Invalid(
+                "band sampler was built for a QLDAE system".into(),
+            ));
+        }
+        let evaluators: Vec<ReducedVolterra<'_>> = (0..self.num_inputs.min(rom.b().cols()))
+            .map(|input| ReducedVolterra::cubic(rom, input))
+            .collect::<Result<_>>()?;
+        self.residual_with(&evaluators)
+    }
+
+    fn residual_with(&self, evaluators: &[ReducedVolterra<'_>]) -> Result<BandResidual> {
+        let mut out = BandResidual {
+            h1: 0.0,
+            h2: 0.0,
+            h3: 0.0,
+            worst_frequency: self.band.omega_min,
+        };
+        // One shared normalization across kernels: mismatches are weighed by
+        // how much they can move the band-limited output, not by the (possibly
+        // vanishing) magnitude of their own kernel.
+        let scale = self
+            .scale_h1
+            .max(self.scale_h2)
+            .max(self.scale_h3)
+            .max(1e-300);
+        let mut worst = 0.0_f64;
+        let mut track = |acc: &mut (f64, usize), sample: &FullSample, rom_value: Complex| {
+            let err = (sample.value - rom_value).abs() / scale;
+            acc.0 += err * err;
+            acc.1 += 1;
+            if err > worst {
+                worst = err;
+                out.worst_frequency = sample.omega;
+            }
+        };
+        let mut acc1 = (0.0, 0usize);
+        let mut acc2 = (0.0, 0usize);
+        let mut acc3 = (0.0, 0usize);
+        for sample in &self.h1 {
+            let Some(eval) = evaluators.get(sample.input) else {
+                continue;
+            };
+            let s = Complex::new(0.0, sample.omega);
+            track(&mut acc1, sample, eval.output_h1(s)?);
+        }
+        for sample in &self.h2 {
+            let Some(eval) = evaluators.get(sample.input) else {
+                continue;
+            };
+            let s = Complex::new(0.0, sample.omega);
+            let s2 = if sample.diff { -s } else { s };
+            track(&mut acc2, sample, eval.output_h2(s, s2)?);
+        }
+        for sample in &self.h3 {
+            let Some(eval) = evaluators.get(sample.input) else {
+                continue;
+            };
+            let s = Complex::new(0.0, sample.omega);
+            let s3 = if sample.diff { -s } else { s };
+            track(&mut acc3, sample, eval.output_h3(s, s, s3)?);
+        }
+        let rms = |(sq, count): (f64, usize)| {
+            if count == 0 {
+                0.0
+            } else {
+                (sq / count as f64).sqrt()
+            }
+        };
+        out.h1 = rms(acc1);
+        out.h2 = rms(acc2);
+        out.h3 = rms(acc3);
+        Ok(out)
+    }
+}
+
+/// The lightweight ROM-side kernel evaluator: dense `k × k` complex solves
+/// over a reduced QLDAE or cubic ODE — the cost of an evaluation is
+/// negligible next to a reduction, so the greedy driver can afford one per
+/// candidate move.
+#[derive(Debug)]
+pub struct ReducedVolterra<'a> {
+    inner: ReducedKernels<'a>,
+}
+
+#[derive(Debug)]
+enum ReducedKernels<'a> {
+    Qldae(VolterraKernels<'a>),
+    Cubic(CubicVolterraKernels<'a>),
+}
+
+impl<'a> ReducedVolterra<'a> {
+    /// Creates an evaluator over a reduced QLDAE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorError::Invalid`] for an out-of-range input.
+    pub fn qldae(rom: &'a Qldae, input: usize) -> Result<Self> {
+        Ok(ReducedVolterra {
+            inner: ReducedKernels::Qldae(VolterraKernels::new(rom, input)?),
+        })
+    }
+
+    /// Creates an evaluator over a reduced cubic ODE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorError::Invalid`] for an out-of-range input.
+    pub fn cubic(rom: &'a CubicOde, input: usize) -> Result<Self> {
+        Ok(ReducedVolterra {
+            inner: ReducedKernels::Cubic(CubicVolterraKernels::new(rom, input)?),
+        })
+    }
+
+    /// Output-level `H₁(s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the ROM resolvent is singular at `s`.
+    pub fn output_h1(&self, s: Complex) -> Result<Complex> {
+        match &self.inner {
+            ReducedKernels::Qldae(k) => k.output_h1(s),
+            ReducedKernels::Cubic(k) => k.output_h1(s),
+        }
+    }
+
+    /// Output-level `H₂(s₁, s₂)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when an involved ROM resolvent is singular.
+    pub fn output_h2(&self, s1: Complex, s2: Complex) -> Result<Complex> {
+        match &self.inner {
+            ReducedKernels::Qldae(k) => k.output_h2(s1, s2),
+            ReducedKernels::Cubic(k) => k.output_h2(s1, s2),
+        }
+    }
+
+    /// Output-level `H₃(s₁, s₂, s₃)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when an involved ROM resolvent is singular.
+    pub fn output_h3(&self, s1: Complex, s2: Complex, s3: Complex) -> Result<Complex> {
+        match &self.inner {
+            ReducedKernels::Qldae(k) => k.output_h3(s1, s2, s3),
+            ReducedKernels::Cubic(k) => k.output_h3(s1, s2, s3),
+        }
+    }
+}
+
+/// The whole per-experiment configuration of the adaptive driver — a band
+/// plus a tolerance (and safety budgets).
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveSpec {
+    /// The input band the ROM must be faithful on.
+    pub band: FrequencyBand,
+    /// Target combined band residual.
+    pub tol: f64,
+    /// Hard cap on the reduced order.
+    pub max_order: usize,
+    /// Hard cap on accepted greedy moves.
+    pub max_iterations: usize,
+    /// Minimum relative residual improvement an accepted move must deliver;
+    /// below it the search reports [`StopReason::Saturated`].
+    pub min_gain: f64,
+}
+
+impl AdaptiveSpec {
+    /// Creates a spec with the default budgets (order ≤ 64, ≤ 24 moves,
+    /// 2 % minimum relative improvement).
+    pub fn new(band: FrequencyBand, tol: f64) -> Self {
+        AdaptiveSpec {
+            band,
+            tol,
+            max_order: 64,
+            max_iterations: 24,
+            min_gain: 0.02,
+        }
+    }
+
+    /// Overrides the order budget.
+    pub fn with_max_order(mut self, max_order: usize) -> Self {
+        self.max_order = max_order.max(1);
+        self
+    }
+
+    /// Overrides the move budget.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Overrides the saturation threshold.
+    pub fn with_min_gain(mut self, min_gain: f64) -> Self {
+        self.min_gain = min_gain.max(0.0);
+        self
+    }
+}
+
+/// The moves of the greedy spec search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveMove {
+    /// Starting configuration (the head entry of every trace).
+    Initial,
+    /// Two more `H₁` moments.
+    DeepenH1,
+    /// Two more `H₂` moments. The jump matters: on the `D₁`-carrying line
+    /// the intermediate `k₂ = 2` basis is a residual *valley* (the lone
+    /// extra chain direction perturbs the oblique projection before the
+    /// deeper moments stabilize it again), and a one-step move strands the
+    /// greedy search in front of it.
+    DeepenH2,
+    /// One more `H₃` moment.
+    DeepenH3,
+    /// One more Markov (high-frequency) vector per input.
+    AddMarkov,
+    /// One more output-Krylov dual chain per output (two-sided mode; dense
+    /// engine, QLDAE, [`ReducerKind::Assoc`] only).
+    AddOutputKrylov,
+    /// Deflation tolerance × 100 (smaller basis, cheaper ROM).
+    LoosenDeflation,
+    /// Deflation tolerance ÷ 100 (richer basis — deep chains deflate long
+    /// before they stop carrying band information, so the useful jumps are
+    /// decades, not notches).
+    TightenDeflation,
+    /// Flip the energy-weighted (stabilized) projection.
+    ToggleStabilization,
+    /// Composite plateau escape: deepen every active chain at once (`k₁+2`,
+    /// `k₂+1`, `k₃+1` where legal) and add a Markov vector. Narrow bands
+    /// (stopband leaks) often need a *combined* enrichment before any single
+    /// chain shows measurable progress — without this move the greedy search
+    /// saturates on the first plateau.
+    Boost,
+}
+
+impl AdaptiveMove {
+    /// Short human-readable name (used in trace summaries).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdaptiveMove::Initial => "init",
+            AdaptiveMove::DeepenH1 => "h1",
+            AdaptiveMove::DeepenH2 => "h2",
+            AdaptiveMove::DeepenH3 => "h3",
+            AdaptiveMove::AddMarkov => "markov",
+            AdaptiveMove::AddOutputKrylov => "okrylov",
+            AdaptiveMove::LoosenDeflation => "loosen",
+            AdaptiveMove::TightenDeflation => "tighten",
+            AdaptiveMove::ToggleStabilization => "stab",
+            AdaptiveMove::Boost => "boost",
+        }
+    }
+}
+
+/// Markov (high-frequency) enrichment cap of the greedy search, per input.
+/// A couple of Markov vectors pin the broadband onset that DC moment
+/// matching leaves free (the PR-2 finding this knob encodes); past that the
+/// `G₁ᵏb` chains add ever-stiffer, weakly controlled directions whose band
+/// residual keeps creeping down while the transient fidelity *degrades* —
+/// the one divergence between the frequency-domain estimator and the time
+/// domain observed on the fig2 line. The cap keeps the search out of that
+/// regime; `Boost` ignores it deliberately (it adds at most one per plateau
+/// escape alongside real chain deepening).
+const MARKOV_CAP: usize = 3;
+
+const ALL_MOVES: [AdaptiveMove; 9] = [
+    AdaptiveMove::DeepenH1,
+    AdaptiveMove::DeepenH2,
+    AdaptiveMove::DeepenH3,
+    AdaptiveMove::AddMarkov,
+    AdaptiveMove::AddOutputKrylov,
+    AdaptiveMove::LoosenDeflation,
+    AdaptiveMove::TightenDeflation,
+    AdaptiveMove::ToggleStabilization,
+    AdaptiveMove::Boost,
+];
+
+/// Which reducer family the driver wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReducerKind {
+    /// The paper's associated-transform reducer ([`AssocReducer`]).
+    Assoc,
+    /// The multivariate NORM baseline ([`NormReducer`]; QLDAE only, no
+    /// Markov/output-Krylov moves).
+    Norm,
+}
+
+/// One reducer configuration the greedy search can hold — everything the
+/// hand-tuned experiment configs used to pin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Moment depths.
+    pub spec: MomentSpec,
+    /// Markov vectors per input.
+    pub markov: usize,
+    /// Output-Krylov dual chains per output (two-sided mode when > 0).
+    pub output_krylov: usize,
+    /// Deflation tolerance of the candidate orthonormalization.
+    pub deflation_tol: f64,
+    /// Energy-weighted (stabilized) projection on/off.
+    pub stabilized: bool,
+}
+
+impl AdaptiveConfig {
+    /// Total requested candidate directions per input — the "matched-moment
+    /// budget" the property tests track (never decreased by a greedy move).
+    pub fn requested_candidates(&self) -> usize {
+        self.spec.total() + self.markov + self.output_krylov
+    }
+
+    fn apply(mut self, mv: AdaptiveMove) -> Self {
+        match mv {
+            AdaptiveMove::Initial => {}
+            AdaptiveMove::DeepenH1 => self.spec.k1 += 2,
+            AdaptiveMove::DeepenH2 => self.spec.k2 += 2,
+            AdaptiveMove::DeepenH3 => self.spec.k3 += 1,
+            AdaptiveMove::AddMarkov => self.markov += 1,
+            AdaptiveMove::AddOutputKrylov => self.output_krylov += 1,
+            AdaptiveMove::LoosenDeflation => self.deflation_tol *= 100.0,
+            AdaptiveMove::TightenDeflation => self.deflation_tol /= 100.0,
+            AdaptiveMove::ToggleStabilization => self.stabilized = !self.stabilized,
+            AdaptiveMove::Boost => {
+                self.spec.k1 += 2;
+                // Only chains the system actually has (k = 0 marks an
+                // absent nonlinear order in the initial config).
+                if self.spec.k2 > 0 {
+                    self.spec.k2 += 1;
+                }
+                if self.spec.k3 > 0 {
+                    self.spec.k3 += 1;
+                }
+                self.markov += 1;
+            }
+        }
+        self
+    }
+
+    /// Compact description, e.g. `6/3/2 +2mk ok1 defl 1e-10 stab`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}/{}/{}{}{} defl {:.0e}{}",
+            self.spec.k1,
+            self.spec.k2,
+            self.spec.k3,
+            if self.markov > 0 {
+                format!(" +{}mk", self.markov)
+            } else {
+                String::new()
+            },
+            if self.output_krylov > 0 {
+                format!(" ok{}", self.output_krylov)
+            } else {
+                String::new()
+            },
+            self.deflation_tol,
+            if self.stabilized { " stab" } else { " plain" }
+        )
+    }
+}
+
+/// Why the greedy search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The band residual reached the tolerance.
+    ToleranceReached,
+    /// No legal move improved the residual by at least
+    /// [`AdaptiveSpec::min_gain`].
+    Saturated,
+    /// Every improving move would exceed the order budget.
+    OrderBudget,
+    /// The accepted-move budget ran out.
+    IterationBudget,
+}
+
+/// One accepted step of the greedy search (the first entry is the initial
+/// configuration).
+#[derive(Debug, Clone)]
+pub struct AdaptiveStep {
+    /// The move taken ([`AdaptiveMove::Initial`] for the head entry).
+    pub mv: AdaptiveMove,
+    /// Configuration after the move.
+    pub config: AdaptiveConfig,
+    /// Reduced order reached.
+    pub order: usize,
+    /// Band residual of the ROM.
+    pub residual: BandResidual,
+    /// Residual decrease per added basis column that earned the move its
+    /// acceptance (0 for the head entry).
+    pub gain_per_column: f64,
+}
+
+/// Record of a whole adaptive reduction run.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTrace {
+    /// Accepted steps, head entry first.
+    pub steps: Vec<AdaptiveStep>,
+    /// Total candidate reductions evaluated (accepted + rejected probes).
+    pub evaluations: usize,
+    /// Full-model solves of the band estimator (each band frequency factored
+    /// once).
+    pub full_model_solves: usize,
+    /// Why the search stopped.
+    pub stop: StopReason,
+}
+
+impl AdaptiveTrace {
+    /// Band residual of the initial configuration.
+    pub fn initial_residual(&self) -> f64 {
+        self.steps.first().map(|s| s.residual.max()).unwrap_or(0.0)
+    }
+
+    /// Band residual of the final (best) configuration.
+    pub fn final_residual(&self) -> f64 {
+        self.steps.last().map(|s| s.residual.max()).unwrap_or(0.0)
+    }
+
+    /// Accepted moves, e.g. `h1,h1,markov,h2`.
+    pub fn move_list(&self) -> String {
+        self.steps
+            .iter()
+            .skip(1)
+            .map(|s| s.mv.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// One-line summary for logs and the bench JSON.
+    pub fn summary(&self) -> String {
+        let cfg = self
+            .steps
+            .last()
+            .map(|s| s.config.describe())
+            .unwrap_or_default();
+        format!(
+            "spec {cfg}; residual {:.2e} -> {:.2e} in {} moves ({} evals, {:?})",
+            self.initial_residual(),
+            self.final_residual(),
+            self.steps.len().saturating_sub(1),
+            self.evaluations,
+            self.stop
+        )
+    }
+}
+
+/// A reduced model together with the trace that produced it.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome<R> {
+    /// The best ROM found (lowest band residual seen).
+    pub rom: R,
+    /// The search record.
+    pub trace: AdaptiveTrace,
+}
+
+/// The greedy driver (see the module docs). Wraps [`AssocReducer`] /
+/// [`NormReducer`] behind an [`AdaptiveSpec`] — band plus tolerance — and
+/// grows the configuration until the band residual saturates or a budget is
+/// hit.
+///
+/// ```
+/// use vamor_circuits::TransmissionLine;
+/// use vamor_core::{AdaptiveReducer, AdaptiveSpec, FrequencyBand};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let line = TransmissionLine::current_driven(24)?;
+/// let spec = AdaptiveSpec::new(FrequencyBand::new(0.1, 4.0)?, 1e-4);
+/// let outcome = AdaptiveReducer::new(spec).reduce(line.qldae())?;
+/// assert!(outcome.rom.order() < 24);
+/// assert!(outcome.trace.final_residual() <= outcome.trace.initial_residual());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveReducer {
+    spec: AdaptiveSpec,
+    sampler_opts: BandSamplerOptions,
+    kind: ReducerKind,
+    engine: ReductionEngine,
+    backend: SolverBackend,
+    lowrank_opts: LowRankOptions,
+}
+
+impl AdaptiveReducer {
+    /// Creates a driver for the given band/tolerance spec (associated
+    /// reducer, automatic engine and backend).
+    pub fn new(spec: AdaptiveSpec) -> Self {
+        AdaptiveReducer {
+            spec,
+            sampler_opts: BandSamplerOptions::default(),
+            kind: ReducerKind::Assoc,
+            engine: ReductionEngine::Auto,
+            backend: SolverBackend::Auto,
+            lowrank_opts: LowRankOptions::default(),
+        }
+    }
+
+    /// Selects the wrapped reducer family.
+    pub fn with_baseline(mut self, kind: ReducerKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Selects the reduction engine (see [`AssocReducer::with_engine`]).
+    pub fn with_engine(mut self, engine: ReductionEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the linear-solver backend (see
+    /// [`AssocReducer::with_solver_backend`]).
+    pub fn with_solver_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the low-rank engine knobs.
+    pub fn with_lowrank_options(mut self, opts: LowRankOptions) -> Self {
+        self.lowrank_opts = opts;
+        self
+    }
+
+    /// Overrides the band-sampling grid sizes.
+    pub fn with_sampler_options(mut self, opts: BandSamplerOptions) -> Self {
+        self.sampler_opts = opts;
+        self
+    }
+
+    /// The driver's spec.
+    pub fn spec(&self) -> AdaptiveSpec {
+        self.spec
+    }
+
+    /// Adaptively reduces a QLDAE (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when even the initial minimal reduction fails, or
+    /// the band estimator hits a singular resolvent.
+    pub fn reduce(&self, qldae: &Qldae) -> Result<AdaptiveOutcome<ReducedQldae>> {
+        let n = qldae.g1_csr().rows();
+        let has_quadratic = qldae.g2().nnz() > 0 || qldae.has_d1();
+        let sampler =
+            BandSampler::for_qldae(qldae, self.spec.band, self.backend, self.sampler_opts)?;
+        let initial = AdaptiveConfig {
+            spec: MomentSpec::new(2, usize::from(has_quadratic), usize::from(has_quadratic)),
+            markov: 0,
+            output_krylov: 0,
+            deflation_tol: vamor_linalg::OrthoBasis::DEFAULT_TOL,
+            stabilized: true,
+        };
+        let legal = |mv: AdaptiveMove, cfg: &AdaptiveConfig| match mv {
+            AdaptiveMove::Initial => false,
+            AdaptiveMove::DeepenH1 => true,
+            AdaptiveMove::DeepenH2 | AdaptiveMove::DeepenH3 => has_quadratic,
+            AdaptiveMove::AddMarkov => cfg.markov < MARKOV_CAP,
+            AdaptiveMove::AddOutputKrylov => {
+                // The two-sided mode needs the dense machinery, and it only
+                // makes sense on an H₁-dominated band response: the dual
+                // chains double the matched H₁ moments per column but the
+                // ROM is restricted to their span, so on a
+                // nonlinearity-dominated response the move is a dead end the
+                // greedy search cannot leave.
+                self.kind == ReducerKind::Assoc
+                    && !self.engine.use_lowrank(n)
+                    && sampler.h1_dominated()
+            }
+            AdaptiveMove::LoosenDeflation => cfg.deflation_tol < 1e-8,
+            AdaptiveMove::TightenDeflation => cfg.deflation_tol > 1e-14,
+            AdaptiveMove::ToggleStabilization => cfg.output_krylov == 0,
+            AdaptiveMove::Boost => true,
+        };
+        let reduce = |cfg: &AdaptiveConfig| -> Result<ReducedQldae> {
+            match self.kind {
+                ReducerKind::Assoc => AssocReducer::new(cfg.spec)
+                    .with_markov_moments(cfg.markov)
+                    .with_output_krylov(cfg.output_krylov)
+                    .with_deflation_tol(cfg.deflation_tol)
+                    .with_stabilized_projection(cfg.stabilized)
+                    .with_engine(self.engine)
+                    .with_solver_backend(self.backend)
+                    .with_lowrank_options(self.lowrank_opts)
+                    .reduce(qldae),
+                ReducerKind::Norm => NormReducer::new(cfg.spec)
+                    .with_deflation_tol(cfg.deflation_tol)
+                    .with_stabilized_projection(cfg.stabilized)
+                    .with_engine(self.engine)
+                    .with_solver_backend(self.backend)
+                    .with_lowrank_options(self.lowrank_opts)
+                    .reduce(qldae),
+            }
+        };
+        // The NORM baseline has no Markov or output-Krylov knobs. `Boost`
+        // stays legal: its Markov component is inert there, but the combined
+        // chain deepening is exactly the plateau escape the fast-growing
+        // multivariate expansion needs.
+        let legal_norm = |mv: AdaptiveMove, cfg: &AdaptiveConfig| {
+            legal(mv, cfg)
+                && !(self.kind == ReducerKind::Norm
+                    && matches!(mv, AdaptiveMove::AddMarkov | AdaptiveMove::AddOutputKrylov))
+        };
+        self.run(
+            initial,
+            &legal_norm,
+            &reduce,
+            &|rom| rom.order(),
+            &|rom| rom.stats().is_stable(),
+            &|rom| sampler.residual_qldae(rom.system()),
+            sampler.full_solves(),
+        )
+    }
+
+    /// Adaptively reduces a cubic ODE (associated reducer only —
+    /// [`NormReducer`] has no cubic path).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AdaptiveReducer::reduce`]; additionally rejects
+    /// the NORM baseline.
+    pub fn reduce_cubic(&self, ode: &CubicOde) -> Result<AdaptiveOutcome<ReducedCubicOde>> {
+        if self.kind == ReducerKind::Norm {
+            return Err(MorError::Invalid(
+                "the NORM baseline is implemented for QLDAE reductions only".into(),
+            ));
+        }
+        let sampler = BandSampler::for_cubic(ode, self.spec.band, self.backend, self.sampler_opts)?;
+        let initial = AdaptiveConfig {
+            spec: MomentSpec::new(2, 0, 1),
+            markov: 0,
+            output_krylov: 0,
+            deflation_tol: vamor_linalg::OrthoBasis::DEFAULT_TOL,
+            stabilized: true,
+        };
+        let legal = |mv: AdaptiveMove, cfg: &AdaptiveConfig| match mv {
+            AdaptiveMove::DeepenH1 | AdaptiveMove::DeepenH3 | AdaptiveMove::Boost => true,
+            AdaptiveMove::AddMarkov => cfg.markov < MARKOV_CAP,
+            AdaptiveMove::LoosenDeflation => cfg.deflation_tol < 1e-8,
+            AdaptiveMove::TightenDeflation => cfg.deflation_tol > 1e-14,
+            AdaptiveMove::ToggleStabilization => true,
+            _ => false,
+        };
+        let reduce = |cfg: &AdaptiveConfig| -> Result<ReducedCubicOde> {
+            AssocReducer::new(cfg.spec)
+                .with_markov_moments(cfg.markov)
+                .with_deflation_tol(cfg.deflation_tol)
+                .with_stabilized_projection(cfg.stabilized)
+                .with_engine(self.engine)
+                .with_solver_backend(self.backend)
+                .with_lowrank_options(self.lowrank_opts)
+                .reduce_cubic(ode)
+        };
+        self.run(
+            initial,
+            &legal,
+            &reduce,
+            &|rom| rom.order(),
+            &|rom| rom.stats().is_stable(),
+            &|rom| sampler.residual_cubic(rom.system()),
+            sampler.full_solves(),
+        )
+    }
+
+    /// The shared greedy loop: estimate, probe every legal move, accept the
+    /// best residual-decrease-per-added-column, stop on
+    /// tolerance/saturation/budget. Returns the best ROM *seen* (which is
+    /// the final one — moves are only accepted when they improve).
+    #[allow(clippy::too_many_arguments)] // two call sites; the closures *are* the type dispatch
+    fn run<R>(
+        &self,
+        initial: AdaptiveConfig,
+        legal: &dyn Fn(AdaptiveMove, &AdaptiveConfig) -> bool,
+        reduce: &dyn Fn(&AdaptiveConfig) -> Result<R>,
+        order_of: &dyn Fn(&R) -> usize,
+        stable_of: &dyn Fn(&R) -> bool,
+        residual_of: &dyn Fn(&R) -> Result<BandResidual>,
+        full_model_solves: usize,
+    ) -> Result<AdaptiveOutcome<R>> {
+        let mut cfg = initial;
+        let mut rom = reduce(&cfg)?;
+        let mut res = residual_of(&rom)?;
+        let mut trace = AdaptiveTrace {
+            steps: vec![AdaptiveStep {
+                mv: AdaptiveMove::Initial,
+                config: cfg,
+                order: order_of(&rom),
+                residual: res,
+                gain_per_column: 0.0,
+            }],
+            evaluations: 1,
+            full_model_solves,
+            stop: StopReason::IterationBudget,
+        };
+        for _ in 0..self.spec.max_iterations {
+            if res.max() <= self.spec.tol {
+                trace.stop = StopReason::ToleranceReached;
+                break;
+            }
+            let order = order_of(&rom);
+            let mut best: Option<(AdaptiveMove, AdaptiveConfig, R, BandResidual, f64)> = None;
+            let mut saw_over_budget = false;
+            let mut saw_valid_probe = false;
+            for mv in ALL_MOVES {
+                if !legal(mv, &cfg) {
+                    continue;
+                }
+                let cfg2 = cfg.apply(mv);
+                // A failing probe (e.g. every extra candidate deflated, or an
+                // illegal engine combination) is simply not taken.
+                let Ok(rom2) = reduce(&cfg2) else {
+                    trace.evaluations += 1;
+                    continue;
+                };
+                trace.evaluations += 1;
+                let order2 = order_of(&rom2);
+                if order2 > self.spec.max_order {
+                    saw_over_budget = true;
+                    continue;
+                }
+                // Hurwitz is enforced along the whole accepted path: a probe
+                // whose reduced spectrum the guard could not clean (e.g. a
+                // two-sided pairing collapsing to a marginal 1-dim ROM) is
+                // never taken, however good its band residual looks.
+                if !stable_of(&rom2) {
+                    continue;
+                }
+                saw_valid_probe = true;
+                let res2 = residual_of(&rom2)?;
+                let added = order2.saturating_sub(order).max(1);
+                let gain = (res.max() - res2.max()) / added as f64;
+                let better = match &best {
+                    None => true,
+                    Some((_, _, _, best_res, best_gain)) => {
+                        gain > *best_gain || (gain == *best_gain && res2.max() < best_res.max())
+                    }
+                };
+                if better {
+                    best = Some((mv, cfg2, rom2, res2, gain));
+                }
+            }
+            let Some((mv, cfg2, rom2, res2, gain)) = best else {
+                // Only blame the order budget when it actually pruned probes
+                // and nothing else survived — failed reductions or unstable
+                // probes are a saturation verdict, not a budget one.
+                trace.stop = if saw_over_budget && !saw_valid_probe {
+                    StopReason::OrderBudget
+                } else {
+                    StopReason::Saturated
+                };
+                break;
+            };
+            if res2.max() >= res.max() * (1.0 - self.spec.min_gain) {
+                trace.stop = StopReason::Saturated;
+                break;
+            }
+            cfg = cfg2;
+            rom = rom2;
+            res = res2;
+            trace.steps.push(AdaptiveStep {
+                mv,
+                config: cfg,
+                order: order_of(&rom),
+                residual: res,
+                gain_per_column: gain,
+            });
+        }
+        if res.max() <= self.spec.tol {
+            trace.stop = StopReason::ToleranceReached;
+        }
+        Ok(AdaptiveOutcome { rom, trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vamor_system::QldaeBuilder;
+
+    fn chain_qldae(n: usize) -> Qldae {
+        let mut b = QldaeBuilder::new(n, 1);
+        for i in 0..n {
+            b = b.g1_entry(i, i, -(1.0 + 0.15 * i as f64));
+            if i + 1 < n {
+                b = b.g1_entry(i, i + 1, 0.4).g1_entry(i + 1, i, 0.3);
+            }
+        }
+        b = b
+            .g2_entry(0, 0, 1, 0.3)
+            .g2_entry(n - 1, 0, 0, -0.2)
+            .g2_entry(1, 2, 2, 0.1);
+        b.b_entry(0, 0, 1.0)
+            .b_entry(2, 0, 0.4)
+            .output_state(n - 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn band_validation_rejects_bad_edges() {
+        assert!(FrequencyBand::new(1.0, 0.5).is_err());
+        assert!(FrequencyBand::new(-1.0, 2.0).is_err());
+        assert!(FrequencyBand::new(0.0, f64::NAN).is_err());
+        let band = FrequencyBand::new(0.01, 10.0).unwrap();
+        let grid = band.grid(9);
+        assert_eq!(grid.len(), 9);
+        assert!((grid[0] - 0.01).abs() < 1e-12);
+        assert!((grid[8] - 10.0).abs() < 1e-9);
+        assert!(grid.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn a_faithful_rom_has_a_small_band_residual_and_a_poor_one_does_not() {
+        let q = chain_qldae(16);
+        let band = FrequencyBand::new(0.05, 2.0).unwrap();
+        let sampler =
+            BandSampler::for_qldae(&q, band, SolverBackend::Auto, BandSamplerOptions::default())
+                .unwrap();
+        let good = AssocReducer::new(MomentSpec::new(6, 3, 2))
+            .with_markov_moments(2)
+            .reduce(&q)
+            .unwrap();
+        let poor = AssocReducer::new(MomentSpec::new(1, 0, 0))
+            .reduce(&q)
+            .unwrap();
+        let res_good = sampler.residual_qldae(good.system()).unwrap();
+        let res_poor = sampler.residual_qldae(poor.system()).unwrap();
+        assert!(
+            res_good.max() < 1e-3,
+            "faithful ROM residual {:.3e}",
+            res_good.max()
+        );
+        assert!(res_poor.max() > 10.0 * res_good.max());
+        assert!(res_poor.worst_frequency >= band.omega_min);
+        assert!(res_poor.worst_frequency <= band.omega_max);
+    }
+
+    #[test]
+    fn greedy_driver_descends_the_band_residual() {
+        let q = chain_qldae(20);
+        let spec = AdaptiveSpec::new(FrequencyBand::new(0.05, 2.0).unwrap(), 1e-6);
+        let outcome = AdaptiveReducer::new(spec).reduce(&q).unwrap();
+        let trace = &outcome.trace;
+        assert!(trace.steps.len() > 1, "no moves accepted");
+        // Residuals are strictly decreasing along accepted steps.
+        for w in trace.steps.windows(2) {
+            assert!(
+                w[1].residual.max() < w[0].residual.max(),
+                "accepted move did not improve: {:.3e} -> {:.3e}",
+                w[0].residual.max(),
+                w[1].residual.max()
+            );
+        }
+        assert!(trace.final_residual() < trace.initial_residual() / 10.0);
+        assert!(outcome.rom.stats().is_stable());
+        assert!(trace.evaluations >= trace.steps.len());
+    }
+
+    /// The issue's property test: no greedy move ever *decreases* the
+    /// requested moment budget — the matched-moment count deficit is
+    /// non-increasing along the accepted path.
+    #[test]
+    fn greedy_moves_never_shrink_the_requested_moment_budget() {
+        for n in [12usize, 18, 24] {
+            let q = chain_qldae(n);
+            let spec = AdaptiveSpec::new(FrequencyBand::new(0.1, 3.0).unwrap(), 1e-8)
+                .with_max_iterations(10);
+            let outcome = AdaptiveReducer::new(spec).reduce(&q).unwrap();
+            for w in outcome.trace.steps.windows(2) {
+                let before = w[0].config;
+                let after = w[1].config;
+                assert!(
+                    after.requested_candidates() >= before.requested_candidates(),
+                    "move {:?} shrank the budget: {} -> {}",
+                    w[1].mv,
+                    before.requested_candidates(),
+                    after.requested_candidates()
+                );
+                assert!(after.spec.k1 >= before.spec.k1);
+                assert!(after.spec.k2 >= before.spec.k2);
+                assert!(after.spec.k3 >= before.spec.k3);
+                assert!(after.markov >= before.markov);
+                assert!(after.output_krylov >= before.output_krylov);
+            }
+        }
+    }
+
+    #[test]
+    fn order_budget_is_respected() {
+        let q = chain_qldae(24);
+        let spec = AdaptiveSpec::new(FrequencyBand::new(0.05, 2.0).unwrap(), 1e-12)
+            .with_max_order(6)
+            .with_max_iterations(12);
+        let outcome = AdaptiveReducer::new(spec).reduce(&q).unwrap();
+        assert!(outcome.rom.order() <= 6);
+        for step in &outcome.trace.steps {
+            assert!(step.order <= 6);
+        }
+    }
+
+    #[test]
+    fn norm_baseline_driver_works_and_skips_assoc_only_moves() {
+        let q = chain_qldae(16);
+        let spec =
+            AdaptiveSpec::new(FrequencyBand::new(0.1, 2.0).unwrap(), 1e-5).with_max_iterations(6);
+        let outcome = AdaptiveReducer::new(spec)
+            .with_baseline(ReducerKind::Norm)
+            .reduce(&q)
+            .unwrap();
+        assert!(outcome.trace.final_residual() <= outcome.trace.initial_residual());
+        for step in &outcome.trace.steps {
+            assert_eq!(step.config.markov, 0);
+            assert_eq!(step.config.output_krylov, 0);
+        }
+    }
+
+    #[test]
+    fn cubic_driver_rejects_norm_and_reduces_with_assoc() {
+        use vamor_linalg::{CooMatrix, Matrix};
+        let n = 12;
+        let mut g1 = Matrix::zeros(n, n);
+        for i in 0..n {
+            g1[(i, i)] = -(1.0 + 0.2 * i as f64);
+            if i + 1 < n {
+                g1[(i, i + 1)] = 0.3;
+                g1[(i + 1, i)] = 0.2;
+            }
+        }
+        let mut g3 = CooMatrix::new(n, n * n * n);
+        g3.push(0, 0, 0.4);
+        g3.push(1, n * n + n + 1, -0.2);
+        let b = Matrix::from_fn(n, 1, |i, _| if i == 0 { 1.0 } else { 0.1 });
+        let c = Matrix::from_fn(1, n, |_, j| if j == n - 1 { 1.0 } else { 0.0 });
+        let ode = CubicOde::new(g1, None, g3.to_csr(), b, c).unwrap();
+        let spec =
+            AdaptiveSpec::new(FrequencyBand::new(0.1, 2.0).unwrap(), 1e-6).with_max_iterations(8);
+        assert!(AdaptiveReducer::new(spec)
+            .with_baseline(ReducerKind::Norm)
+            .reduce_cubic(&ode)
+            .is_err());
+        let outcome = AdaptiveReducer::new(spec).reduce_cubic(&ode).unwrap();
+        assert!(outcome.rom.order() < n);
+        assert!(outcome.trace.final_residual() <= outcome.trace.initial_residual());
+    }
+}

@@ -32,6 +32,7 @@
 //! # }
 //! ```
 
+pub mod adaptive;
 pub mod assoc;
 pub mod bigsmall;
 mod error;
@@ -43,6 +44,11 @@ pub mod project;
 pub mod reduce;
 pub mod volterra;
 
+pub use adaptive::{
+    AdaptiveConfig, AdaptiveMove, AdaptiveOutcome, AdaptiveReducer, AdaptiveSpec, AdaptiveStep,
+    AdaptiveTrace, BandResidual, BandSampler, BandSamplerOptions, FrequencyBand, ReducedVolterra,
+    ReducerKind, StopReason,
+};
 pub use assoc::{AssocMomentGenerator, CubicAssocMomentGenerator, ScaledMoments};
 pub use bigsmall::{solve_sylvester_big_small, solve_sylvester_big_small_with_schur};
 pub use error::MorError;
@@ -58,7 +64,7 @@ pub use project::{
 };
 pub use reduce::{AssocReducer, MomentSpec, ReducedCubicOde, ReducedQldae, ReductionStats};
 pub use vamor_linalg::SolverBackend;
-pub use volterra::VolterraKernels;
+pub use volterra::{CubicVolterraKernels, VolterraKernels};
 
 /// Result alias for reduction routines.
 pub type Result<T> = std::result::Result<T, MorError>;

@@ -51,8 +51,9 @@ use std::sync::Mutex;
 
 use vamor_linalg::kron::unvec;
 use vamor_linalg::lowrank::{
-    compress_factors, fadi_lyapunov, heuristic_adi_shifts, lr_adi_lyapunov, rational_krylov_basis,
-    AdiShiftOptions, LrAdiOptions, ShiftedSolve,
+    compress_factors, fadi_lyapunov, heuristic_adi_shift_pairs, heuristic_adi_shifts,
+    lr_adi_lyapunov_pairs, rational_krylov_basis, AdiShift, AdiShiftOptions, LrAdiOptions,
+    ShiftedSolve,
 };
 use vamor_linalg::sparse_lu::SPARSE_AUTO_THRESHOLD;
 use vamor_linalg::{
@@ -117,6 +118,12 @@ pub struct LowRankOptions {
     /// (keeps the factored `Z Zᵀ` inner product invertible on directions the
     /// low-rank Gramian barely observes).
     pub weight_regularization: f64,
+    /// Allow complex-conjugate ADI shift pairs for the energy-weight solve
+    /// (served through the shifted cache's `SparseZLu` entries). On strongly
+    /// oscillatory spectra (the LC receiver cascade) pairs converge in far
+    /// fewer sweeps; on near-real spectra the selection degrades to the
+    /// classic real shifts, so this is on by default.
+    pub complex_weight_shifts: bool,
 }
 
 impl Default for LowRankOptions {
@@ -128,6 +135,7 @@ impl Default for LowRankOptions {
             chain_basis_cap: 96,
             compress_tol: 1e-13,
             weight_regularization: 1e-10,
+            complex_weight_shifts: true,
         }
     }
 }
@@ -212,7 +220,43 @@ fn g1_factor(csr: &CsrMatrix, sparse: bool) -> Result<G1Factor> {
 /// Shared construction of the shift pool: one Ritz sweep over the `G₁`
 /// solver, seeded from the input matrix.
 fn shift_pool(solver: &dyn ShiftedSolve, b: &Matrix, opts: &LowRankOptions) -> Result<Vec<f64>> {
-    let n = solver.dim();
+    heuristic_adi_shifts(
+        solver,
+        &pool_seed(solver.dim(), b),
+        &AdiShiftOptions {
+            count: opts.shift_count,
+            ..AdiShiftOptions::default()
+        },
+    )
+    .map_err(MorError::Linalg)
+}
+
+/// Pair-aware shift pool of the energy-weight LR-ADI solve: keeps the
+/// imaginary Ritz parts when [`LowRankOptions::complex_weight_shifts`] is on
+/// (oscillatory receiver spectra), real magnitudes otherwise.
+fn shift_pool_pairs(
+    solver: &dyn ShiftedSolve,
+    b: &Matrix,
+    opts: &LowRankOptions,
+) -> Result<Vec<AdiShift>> {
+    if !opts.complex_weight_shifts {
+        return Ok(shift_pool(solver, b, opts)?
+            .into_iter()
+            .map(AdiShift::Real)
+            .collect());
+    }
+    heuristic_adi_shift_pairs(
+        solver,
+        &pool_seed(solver.dim(), b),
+        &AdiShiftOptions {
+            count: opts.shift_count,
+            ..AdiShiftOptions::default()
+        },
+    )
+    .map_err(MorError::Linalg)
+}
+
+fn pool_seed(n: usize, b: &Matrix) -> Vector {
     let mut seed = Vector::zeros(n);
     for j in 0..b.cols() {
         seed.axpy(1.0, &b.col(j));
@@ -220,15 +264,7 @@ fn shift_pool(solver: &dyn ShiftedSolve, b: &Matrix, opts: &LowRankOptions) -> R
     if seed.norm2() == 0.0 || !seed.is_finite() {
         seed = Vector::from_fn(n, |i| 1.0 + (i % 5) as f64);
     }
-    heuristic_adi_shifts(
-        solver,
-        &seed,
-        &AdiShiftOptions {
-            count: opts.shift_count,
-            ..AdiShiftOptions::default()
-        },
-    )
-    .map_err(MorError::Linalg)
+    seed
 }
 
 /// Rational-Krylov moment-vector generator for the associated transfer
@@ -706,8 +742,8 @@ pub(crate) fn lowrank_weight(
 ) -> LowRankWeight {
     let solver = ShiftedSolverBackend::over_csr(&g1_csr.transpose(), sparse);
     let b = c.transpose();
-    let built = shift_pool(solver.as_dyn(), &b, opts).and_then(|shifts| {
-        lr_adi_lyapunov(
+    let built = shift_pool_pairs(solver.as_dyn(), &b, opts).and_then(|shifts| {
+        lr_adi_lyapunov_pairs(
             solver.as_dyn(),
             &b,
             &shifts,

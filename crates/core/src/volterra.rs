@@ -14,38 +14,151 @@
 //! machinery and the reduced-order models: a correct reduction reproduces the
 //! output-level values of these kernels near the expansion point.
 
-use vamor_linalg::{Complex, CsrMatrix, Matrix, Vector, ZMatrix, ZVector};
-use vamor_system::Qldae;
+use vamor_linalg::{
+    Complex, CsrMatrix, Matrix, ShiftedLuCache, ShiftedSparseLuCache, Vector, ZMatrix, ZVector,
+};
+use vamor_system::{CubicOde, Qldae};
 
 use crate::error::MorError;
 use crate::Result;
 
+/// How the kernel evaluators solve the resolvent systems `(sI − G₁) x = r`.
+///
+/// `Dense` rebuilds and factors the shifted complex matrix per call — the
+/// brute-force reference. The cached variants route every solve through a
+/// [`ShiftedLuCache`] / [`ShiftedSparseLuCache`] over `G₁`
+/// ([`ShiftedLuCache::solve_resolvent`]), so a band sweep hitting the same
+/// frequencies over and over factors each one exactly once — and shares the
+/// complex `(G₁ + λI)` entries with any moment machinery holding the same
+/// cache.
+#[derive(Debug)]
+enum Resolvent<'a> {
+    Dense(&'a Matrix),
+    CachedDense(&'a ShiftedLuCache),
+    CachedSparse(&'a ShiftedSparseLuCache),
+}
+
+impl Resolvent<'_> {
+    fn solve(&self, s: Complex, rhs: &ZVector) -> Result<ZVector> {
+        match self {
+            Resolvent::Dense(g1) => {
+                let m = ZMatrix::shifted_identity_minus(s, g1);
+                m.solve(rhs).map_err(MorError::Linalg)
+            }
+            Resolvent::CachedDense(cache) => {
+                let (re, im) = cache
+                    .solve_resolvent(s, &rhs.real(), &rhs.imag())
+                    .map_err(MorError::Linalg)?;
+                Ok(zvector_from_parts(&re, &im))
+            }
+            Resolvent::CachedSparse(cache) => {
+                let (re, im) = cache
+                    .solve_resolvent(s, &rhs.real(), &rhs.imag())
+                    .map_err(MorError::Linalg)?;
+                Ok(zvector_from_parts(&re, &im))
+            }
+        }
+    }
+}
+
+/// Shared guard of the cache-backed constructors: the memoized cache must be
+/// built over this system's `G₁`.
+fn check_cache_dim(cache_dim: usize, n: usize) -> Result<()> {
+    if cache_dim != n {
+        return Err(MorError::Invalid(format!(
+            "resolvent cache of dimension {cache_dim} for a {n}-state system"
+        )));
+    }
+    Ok(())
+}
+
+fn zvector_from_parts(re: &Vector, im: &Vector) -> ZVector {
+    ZVector::from(
+        (0..re.len())
+            .map(|i| Complex::new(re[i], im[i]))
+            .collect::<Vec<_>>(),
+    )
+}
+
 /// Evaluator for the first three Volterra transfer functions of a QLDAE
 /// system, with all frequencies referring to a single chosen input channel.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct VolterraKernels<'a> {
     qldae: &'a Qldae,
     input: usize,
+    resolvent: Resolvent<'a>,
 }
 
 impl<'a> VolterraKernels<'a> {
-    /// Creates an evaluator for input channel `input`.
+    /// Creates an evaluator for input channel `input` (dense per-call
+    /// resolvent factorizations — the brute-force reference).
     ///
     /// # Errors
     ///
     /// Returns [`MorError::Invalid`] if the input index is out of range.
     pub fn new(qldae: &'a Qldae, input: usize) -> Result<Self> {
+        Self::check_input(qldae, input)?;
+        Ok(VolterraKernels {
+            qldae,
+            input,
+            resolvent: Resolvent::Dense(qldae.g1()),
+        })
+    }
+
+    /// Creates an evaluator whose resolvent solves go through a memoized
+    /// dense shift cache over `G₁` (must be built on this system's `G₁`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorError::Invalid`] for an out-of-range input or a cache of
+    /// the wrong dimension.
+    pub fn with_dense_cache(
+        qldae: &'a Qldae,
+        input: usize,
+        cache: &'a ShiftedLuCache,
+    ) -> Result<Self> {
+        Self::check_input(qldae, input)?;
+        check_cache_dim(cache.dim(), qldae.g1_csr().rows())?;
+        Ok(VolterraKernels {
+            qldae,
+            input,
+            resolvent: Resolvent::CachedDense(cache),
+        })
+    }
+
+    /// Creates an evaluator whose resolvent solves go through a memoized
+    /// sparse shift cache over the CSR stamp of `G₁` (the 10⁴-state path:
+    /// the dense `G₁` view is never touched).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`VolterraKernels::with_dense_cache`].
+    pub fn with_sparse_cache(
+        qldae: &'a Qldae,
+        input: usize,
+        cache: &'a ShiftedSparseLuCache,
+    ) -> Result<Self> {
+        Self::check_input(qldae, input)?;
+        check_cache_dim(cache.dim(), qldae.g1_csr().rows())?;
+        Ok(VolterraKernels {
+            qldae,
+            input,
+            resolvent: Resolvent::CachedSparse(cache),
+        })
+    }
+
+    fn check_input(qldae: &Qldae, input: usize) -> Result<()> {
         if input >= qldae.b().cols() {
             return Err(MorError::Invalid(format!(
                 "input index {input} out of range for a {}-input system",
                 qldae.b().cols()
             )));
         }
-        Ok(VolterraKernels { qldae, input })
+        Ok(())
     }
 
     fn n(&self) -> usize {
-        self.qldae.g1().rows()
+        self.qldae.g1_csr().rows()
     }
 
     fn b(&self) -> Vector {
@@ -57,8 +170,7 @@ impl<'a> VolterraKernels<'a> {
     }
 
     fn resolvent_solve(&self, s: Complex, rhs: &ZVector) -> Result<ZVector> {
-        let m = ZMatrix::shifted_identity_minus(s, self.qldae.g1());
-        m.solve(rhs).map_err(MorError::Linalg)
+        self.resolvent.solve(s, rhs)
     }
 
     /// First-order kernel `H₁(s)` (an `n`-vector).
@@ -70,7 +182,10 @@ impl<'a> VolterraKernels<'a> {
         self.resolvent_solve(s, &ZVector::from_real(&self.b()))
     }
 
-    /// Second-order kernel `H₂(s₁, s₂)` (an `n`-vector).
+    /// Second-order kernel `H₂(s₁, s₂)` (an `n`-vector). The Kronecker
+    /// products are applied through the structured `G₂ (x ⊗ y)` matvec — the
+    /// `n²` vector is never formed, so band sweeps stay affordable at
+    /// 10⁴ states.
     ///
     /// # Errors
     ///
@@ -78,11 +193,11 @@ impl<'a> VolterraKernels<'a> {
     pub fn h2(&self, s1: Complex, s2: Complex) -> Result<ZVector> {
         let h1_a = self.h1(s1)?;
         let h1_b = self.h1(s2)?;
-        let mut rhs = sparse_times_complex(self.qldae.g2(), &zkron(&h1_a, &h1_b));
+        let mut rhs = g2_kron_complex(self.qldae.g2(), &h1_a, &h1_b);
         zaxpy(
             &mut rhs,
             Complex::ONE,
-            &sparse_times_complex(self.qldae.g2(), &zkron(&h1_b, &h1_a)),
+            &g2_kron_complex(self.qldae.g2(), &h1_b, &h1_a),
         );
         if let Some(d1) = self.d1() {
             let mut sum = h1_a.clone();
@@ -111,9 +226,9 @@ impl<'a> VolterraKernels<'a> {
         let n = self.n();
         let mut rhs = ZVector::zeros(n);
         for k in 0..3 {
-            let g2_term = sparse_times_complex(self.qldae.g2(), &zkron(&h1[k], &h2[k]));
+            let g2_term = g2_kron_complex(self.qldae.g2(), &h1[k], &h2[k]);
             zaxpy(&mut rhs, Complex::ONE, &g2_term);
-            let g2_term_rev = sparse_times_complex(self.qldae.g2(), &zkron(&h2[k], &h1[k]));
+            let g2_term_rev = g2_kron_complex(self.qldae.g2(), &h2[k], &h1[k]);
             zaxpy(&mut rhs, Complex::ONE, &g2_term_rev);
         }
         if let Some(d1) = self.d1() {
@@ -156,15 +271,218 @@ impl<'a> VolterraKernels<'a> {
     }
 }
 
-/// Kronecker product of two complex vectors.
-pub(crate) fn zkron(a: &ZVector, b: &ZVector) -> ZVector {
-    let mut out = ZVector::zeros(a.len() * b.len());
-    for i in 0..a.len() {
-        for j in 0..b.len() {
-            out[i * b.len() + j] = a[i] * b[j];
-        }
+/// Evaluator for the Volterra transfer functions of a cubic polynomial ODE
+/// (the varistor-style systems of §3.4): `H₁`, the `G₂`-mediated `H₂` (zero
+/// when the system has no quadratic term) and `H₃`, which combines the
+/// `G₂`-mediated `H₁⊗H₂` terms with the direct cubic contribution
+/// `G₃ Σ_perms H₁(s_{σ1})⊗H₁(s_{σ2})⊗H₁(s_{σ3})`. The triple Kronecker
+/// products are applied through the structured
+/// [`crate::project::cubic_matvec_kron`] (real/imaginary split — the `n³`
+/// vector is never formed).
+#[derive(Debug)]
+pub struct CubicVolterraKernels<'a> {
+    ode: &'a CubicOde,
+    input: usize,
+    resolvent: Resolvent<'a>,
+}
+
+impl<'a> CubicVolterraKernels<'a> {
+    /// Creates an evaluator for input channel `input` (dense per-call
+    /// resolvent factorizations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorError::Invalid`] if the input index is out of range.
+    pub fn new(ode: &'a CubicOde, input: usize) -> Result<Self> {
+        Self::check_input(ode, input)?;
+        Ok(CubicVolterraKernels {
+            ode,
+            input,
+            resolvent: Resolvent::Dense(ode.g1()),
+        })
     }
-    out
+
+    /// Creates an evaluator over a memoized dense shift cache (see
+    /// [`VolterraKernels::with_dense_cache`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorError::Invalid`] for an out-of-range input or a cache of
+    /// the wrong dimension.
+    pub fn with_dense_cache(
+        ode: &'a CubicOde,
+        input: usize,
+        cache: &'a ShiftedLuCache,
+    ) -> Result<Self> {
+        Self::check_input(ode, input)?;
+        check_cache_dim(cache.dim(), ode.g1_csr().rows())?;
+        Ok(CubicVolterraKernels {
+            ode,
+            input,
+            resolvent: Resolvent::CachedDense(cache),
+        })
+    }
+
+    /// Creates an evaluator over a memoized sparse shift cache (see
+    /// [`VolterraKernels::with_sparse_cache`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CubicVolterraKernels::with_dense_cache`].
+    pub fn with_sparse_cache(
+        ode: &'a CubicOde,
+        input: usize,
+        cache: &'a ShiftedSparseLuCache,
+    ) -> Result<Self> {
+        Self::check_input(ode, input)?;
+        check_cache_dim(cache.dim(), ode.g1_csr().rows())?;
+        Ok(CubicVolterraKernels {
+            ode,
+            input,
+            resolvent: Resolvent::CachedSparse(cache),
+        })
+    }
+
+    fn check_input(ode: &CubicOde, input: usize) -> Result<()> {
+        if input >= ode.b().cols() {
+            return Err(MorError::Invalid(format!(
+                "input index {input} out of range for a {}-input system",
+                ode.b().cols()
+            )));
+        }
+        Ok(())
+    }
+
+    fn n(&self) -> usize {
+        self.ode.g1_csr().rows()
+    }
+
+    /// First-order kernel `H₁(s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `sI − G₁` is singular at the requested frequency.
+    pub fn h1(&self, s: Complex) -> Result<ZVector> {
+        self.resolvent
+            .solve(s, &ZVector::from_real(&self.ode.b().col(self.input)))
+    }
+
+    /// Second-order kernel `H₂(s₁, s₂)` — identically zero when the system
+    /// has no quadratic term.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any involved resolvent is singular.
+    pub fn h2(&self, s1: Complex, s2: Complex) -> Result<ZVector> {
+        let Some(g2) = self.ode.g2() else {
+            return Ok(ZVector::zeros(self.n()));
+        };
+        let h1_a = self.h1(s1)?;
+        let h1_b = self.h1(s2)?;
+        let mut rhs = g2_kron_complex(g2, &h1_a, &h1_b);
+        zaxpy(&mut rhs, Complex::ONE, &g2_kron_complex(g2, &h1_b, &h1_a));
+        let mut h2 = self.resolvent.solve(s1 + s2, &rhs)?;
+        h2.scale_mut(Complex::from_real(0.5));
+        Ok(h2)
+    }
+
+    /// Third-order kernel `H₃(s₁, s₂, s₃)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any involved resolvent is singular.
+    pub fn h3(&self, s1: Complex, s2: Complex, s3: Complex) -> Result<ZVector> {
+        let n = self.n();
+        let h1 = [self.h1(s1)?, self.h1(s2)?, self.h1(s3)?];
+        let mut rhs = ZVector::zeros(n);
+        if let Some(g2) = self.ode.g2() {
+            let h2 = [
+                self.h2(s2, s3)?, // partner of s1
+                self.h2(s1, s3)?, // partner of s2
+                self.h2(s1, s2)?, // partner of s3
+            ];
+            for k in 0..3 {
+                zaxpy(&mut rhs, Complex::ONE, &g2_kron_complex(g2, &h1[k], &h2[k]));
+                zaxpy(&mut rhs, Complex::ONE, &g2_kron_complex(g2, &h2[k], &h1[k]));
+            }
+        }
+        // Direct cubic contribution: all six orderings of H₁(s₁)⊗H₁(s₂)⊗H₁(s₃).
+        for (a, b, c) in [
+            (0usize, 1usize, 2usize),
+            (0, 2, 1),
+            (1, 0, 2),
+            (1, 2, 0),
+            (2, 0, 1),
+            (2, 1, 0),
+        ] {
+            zaxpy(
+                &mut rhs,
+                Complex::ONE,
+                &cubic_times_complex(self.ode.g3(), &h1[a], &h1[b], &h1[c]),
+            );
+        }
+        let mut h3 = self.resolvent.solve(s1 + s2 + s3, &rhs)?;
+        h3.scale_mut(Complex::from_real(1.0 / 3.0));
+        Ok(h3)
+    }
+
+    /// Output-level first-order response `C H₁(s)` (first output channel).
+    ///
+    /// # Errors
+    ///
+    /// See [`CubicVolterraKernels::h1`].
+    pub fn output_h1(&self, s: Complex) -> Result<Complex> {
+        Ok(output_row(self.ode.c(), &self.h1(s)?))
+    }
+
+    /// Output-level second-order response `C H₂(s₁, s₂)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CubicVolterraKernels::h2`].
+    pub fn output_h2(&self, s1: Complex, s2: Complex) -> Result<Complex> {
+        Ok(output_row(self.ode.c(), &self.h2(s1, s2)?))
+    }
+
+    /// Output-level third-order response `C H₃(s₁, s₂, s₃)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CubicVolterraKernels::h3`].
+    pub fn output_h3(&self, s1: Complex, s2: Complex, s3: Complex) -> Result<Complex> {
+        Ok(output_row(self.ode.c(), &self.h3(s1, s2, s3)?))
+    }
+}
+
+/// `G₂ (a ⊗ b)` for complex vectors through the structured real kernel
+/// (four real Kronecker matvecs, never forming the `n²` vector).
+fn g2_kron_complex(g2: &CsrMatrix, a: &ZVector, b: &ZVector) -> ZVector {
+    let (ar, ai) = (a.real(), a.imag());
+    let (br, bi) = (b.real(), b.imag());
+    let mut re = g2.matvec_kron(&ar, &br);
+    re.axpy(-1.0, &g2.matvec_kron(&ai, &bi));
+    let mut im = g2.matvec_kron(&ar, &bi);
+    im.axpy(1.0, &g2.matvec_kron(&ai, &br));
+    zvector_from_parts(&re, &im)
+}
+
+/// `G₃ (a ⊗ b ⊗ c)` for complex vectors through the structured real kernel:
+/// the multilinear expansion over real/imaginary parts (eight real
+/// triple-Kronecker matvecs, never forming the `n³` vector).
+fn cubic_times_complex(g3: &CsrMatrix, a: &ZVector, b: &ZVector, c: &ZVector) -> ZVector {
+    use crate::project::cubic_matvec_kron as k;
+    let (ar, ai) = (a.real(), a.imag());
+    let (br, bi) = (b.real(), b.imag());
+    let (cr, ci) = (c.real(), c.imag());
+    let mut re = k(g3, &ar, &br, &cr);
+    re.axpy(-1.0, &k(g3, &ar, &bi, &ci));
+    re.axpy(-1.0, &k(g3, &ai, &br, &ci));
+    re.axpy(-1.0, &k(g3, &ai, &bi, &cr));
+    let mut im = k(g3, &ar, &br, &ci);
+    im.axpy(1.0, &k(g3, &ar, &bi, &cr));
+    im.axpy(1.0, &k(g3, &ai, &br, &cr));
+    im.axpy(-1.0, &k(g3, &ai, &bi, &ci));
+    zvector_from_parts(&re, &im)
 }
 
 /// Real sparse matrix times complex vector.
@@ -253,6 +571,53 @@ mod tests {
             expect,
             1e-12
         ));
+    }
+
+    #[test]
+    fn scalar_cubic_h3_matches_analytic_formula() {
+        use super::CubicVolterraKernels;
+        use vamor_system::CubicOde;
+        // x' = a x + g x³ + b u:  H₃ = 2 g H₁(s₁)H₁(s₂)H₁(s₃)/(s₁+s₂+s₃ − a).
+        let (a, g, b) = (-1.1, 0.6, 1.4);
+        let mut g3 = CooMatrix::new(1, 1);
+        g3.push(0, 0, g);
+        let ode = CubicOde::new(
+            Matrix::from_rows(&[&[a]]).unwrap(),
+            None,
+            g3.to_csr(),
+            Matrix::from_rows(&[&[b]]).unwrap(),
+            Matrix::from_rows(&[&[1.0]]).unwrap(),
+        )
+        .unwrap();
+        let kern = CubicVolterraKernels::new(&ode, 0).unwrap();
+        let s = [
+            Complex::new(0.1, 0.3),
+            Complex::new(-0.05, 0.2),
+            Complex::new(0.02, -0.15),
+        ];
+        let h1 = |s: Complex| Complex::from_real(b) / (s - Complex::from_real(a));
+        assert!(close(kern.output_h1(s[0]).unwrap(), h1(s[0]), 1e-12));
+        assert!(close(
+            kern.output_h2(s[0], s[1]).unwrap(),
+            Complex::ZERO,
+            1e-15
+        ));
+        let expect = Complex::from_real(2.0 * g) * h1(s[0]) * h1(s[1]) * h1(s[2])
+            / (s[0] + s[1] + s[2] - Complex::from_real(a));
+        assert!(close(
+            kern.output_h3(s[0], s[1], s[2]).unwrap(),
+            expect,
+            1e-12
+        ));
+        // Cached resolvent variant agrees with the brute-force path.
+        let cache = vamor_linalg::ShiftedLuCache::new(ode.g1().clone());
+        let cached = CubicVolterraKernels::with_dense_cache(&ode, 0, &cache).unwrap();
+        assert!(close(
+            cached.output_h3(s[0], s[1], s[2]).unwrap(),
+            expect,
+            1e-12
+        ));
+        assert!(cache.misses() > 0);
     }
 
     #[test]

@@ -75,8 +75,9 @@ pub use error::LinalgError;
 pub use hessenberg::HessenbergDecomposition;
 pub use kron::{kron, kron_sum, kron_vec, KronSumOp};
 pub use lowrank::{
-    compress_factors, fadi_lyapunov, heuristic_adi_shifts, lr_adi_lyapunov, rational_krylov_basis,
-    AdiShiftOptions, FadiSolution, LrAdiOptions, LrAdiSolution, LrAdiStats, ShiftedSolve,
+    compress_factors, fadi_lyapunov, heuristic_adi_shift_pairs, heuristic_adi_shifts,
+    lr_adi_lyapunov, lr_adi_lyapunov_pairs, rational_krylov_basis, AdiShift, AdiShiftOptions,
+    FadiSolution, LrAdiOptions, LrAdiSolution, LrAdiStats, ShiftedSolve,
 };
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;

@@ -46,8 +46,8 @@ use crate::vector::Vector;
 use crate::Result;
 
 /// A square operator offering applications of the base matrix and memoized
-/// solves against real shifts of it — the contract every ADI/rational-Krylov
-/// routine in this module is written against.
+/// solves against real or complex shifts of it — the contract every
+/// ADI/rational-Krylov routine in this module is written against.
 pub trait ShiftedSolve: Sync {
     /// Operator dimension.
     fn dim(&self) -> usize;
@@ -62,6 +62,21 @@ pub trait ShiftedSolve: Sync {
     /// Returns an error when the shifted matrix is singular or the dimensions
     /// mismatch.
     fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> Result<Vector>;
+
+    /// Solves `(A + λ I)(x_re + i·x_im) = re + i·im` for a complex shift —
+    /// the kernel of the complex-conjugate ADI double-steps. Both cache
+    /// backends serve it from their memoized `ZLu`/`SparseZLu` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shifted matrix is singular or the dimensions
+    /// mismatch.
+    fn solve_shifted_complex(
+        &self,
+        lambda: crate::Complex,
+        re: &Vector,
+        im: &Vector,
+    ) -> Result<(Vector, Vector)>;
 }
 
 impl ShiftedSolve for ShiftedLuCache {
@@ -76,6 +91,15 @@ impl ShiftedSolve for ShiftedLuCache {
     fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> Result<Vector> {
         ShiftedLuCache::solve_shifted(self, sigma, rhs)
     }
+
+    fn solve_shifted_complex(
+        &self,
+        lambda: crate::Complex,
+        re: &Vector,
+        im: &Vector,
+    ) -> Result<(Vector, Vector)> {
+        ShiftedLuCache::solve_shifted_complex(self, lambda, re, im)
+    }
 }
 
 impl ShiftedSolve for ShiftedSparseLuCache {
@@ -89,6 +113,59 @@ impl ShiftedSolve for ShiftedSparseLuCache {
 
     fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> Result<Vector> {
         ShiftedSparseLuCache::solve_shifted(self, sigma, rhs)
+    }
+
+    fn solve_shifted_complex(
+        &self,
+        lambda: crate::Complex,
+        re: &Vector,
+        im: &Vector,
+    ) -> Result<(Vector, Vector)> {
+        ShiftedSparseLuCache::solve_shifted_complex(self, lambda, re, im)
+    }
+}
+
+/// An ADI shift: a positive real magnitude `p` (driving a `(A − pI)⁻¹`
+/// solve), or a complex-conjugate *pair* `μ, μ̄` represented by its
+/// upper-half-plane member (`Re μ > 0`, `Im μ > 0`). Pairs are processed as
+/// a single real-arithmetic double-step (Benner–Kürschner–Saak), so the
+/// low-rank factors stay real; the one complex solve per double-step is
+/// served from the shifted cache's `SparseZLu`/`ZLu` entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdiShift {
+    /// A real shift magnitude `p > 0`.
+    Real(f64),
+    /// A conjugate pair `μ, μ̄` with `Re μ > 0`, `Im μ > 0`.
+    ComplexPair(crate::Complex),
+}
+
+impl AdiShift {
+    /// Magnitude of the shift (used when a consumer needs a real-only pool,
+    /// e.g. the factored-ADI chain right-hand sides).
+    pub fn magnitude(&self) -> f64 {
+        match self {
+            AdiShift::Real(p) => *p,
+            AdiShift::ComplexPair(mu) => mu.abs(),
+        }
+    }
+
+    /// True for a well-formed shift (finite, positive real part, and for
+    /// pairs a strictly positive imaginary part).
+    pub fn is_valid(&self) -> bool {
+        match self {
+            AdiShift::Real(p) => p.is_finite() && *p > 0.0,
+            AdiShift::ComplexPair(mu) => {
+                mu.re.is_finite() && mu.im.is_finite() && mu.re > 0.0 && mu.im > 0.0
+            }
+        }
+    }
+
+    /// ADI sweeps this shift accounts for (a pair is two classical steps).
+    fn steps(&self) -> usize {
+        match self {
+            AdiShift::Real(_) => 1,
+            AdiShift::ComplexPair(_) => 2,
+        }
     }
 }
 
@@ -275,6 +352,156 @@ pub fn heuristic_adi_shifts(
     Ok(shifts)
 }
 
+/// The complex ADI rational factor `∏ᵢ |t − pᵢ| / |t + p̄ᵢ|` over a
+/// (right-half-plane-mirrored) complex sample `t`, with conjugate pairs
+/// contributing both members.
+fn penzl_factor_complex(t: crate::Complex, shifts: &[AdiShift]) -> f64 {
+    let term = |t: crate::Complex, mu: crate::Complex| {
+        let num = (t - mu).abs();
+        let den = (t + crate::Complex::new(mu.re, -mu.im)).abs();
+        if den == 0.0 {
+            return 1.0;
+        }
+        num / den
+    };
+    shifts
+        .iter()
+        .map(|s| match s {
+            AdiShift::Real(p) => term(t, crate::Complex::from_real(*p)),
+            AdiShift::ComplexPair(mu) => term(t, *mu) * term(t, crate::Complex::new(mu.re, -mu.im)),
+        })
+        .product()
+}
+
+/// Penzl's greedy selection over complex (mirrored) spectrum samples: same
+/// strategy as [`penzl_select`], with each strongly complex candidate placed
+/// as a conjugate pair.
+fn penzl_select_pairs(candidates: &[crate::Complex], count: usize) -> Vec<AdiShift> {
+    /// Relative imaginary part above which a candidate becomes a pair: below
+    /// it the real shift already damps the mode at essentially the pair rate.
+    const PAIR_THRESHOLD: f64 = 0.1;
+    let as_shift = |t: crate::Complex| {
+        if t.im > PAIR_THRESHOLD * t.re {
+            AdiShift::ComplexPair(t)
+        } else {
+            AdiShift::Real(t.re.max(t.abs() * 1e-2))
+        }
+    };
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let worst = |shifts: &[AdiShift]| {
+        candidates
+            .iter()
+            .map(|&t| penzl_factor_complex(t, shifts))
+            .fold(0.0_f64, f64::max)
+    };
+    let first = candidates
+        .iter()
+        .copied()
+        .min_by(|&a, &b| worst(&[as_shift(a)]).total_cmp(&worst(&[as_shift(b)])))
+        .expect("non-empty candidate set");
+    let mut shifts = vec![as_shift(first)];
+    while shifts.len() < count.min(candidates.len()) {
+        let next = candidates
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                penzl_factor_complex(a, &shifts).total_cmp(&penzl_factor_complex(b, &shifts))
+            })
+            .expect("non-empty candidate set");
+        let cand = as_shift(next);
+        // A repeated shift means the rational function is already minimal on
+        // the sample set.
+        let dup = shifts.iter().any(|s| match (s, &cand) {
+            (AdiShift::Real(p), AdiShift::Real(q)) => (p - q).abs() <= 1e-12 * q.abs(),
+            (AdiShift::ComplexPair(a), AdiShift::ComplexPair(b)) => {
+                (*a - *b).abs() <= 1e-12 * b.abs()
+            }
+            _ => false,
+        });
+        if dup {
+            break;
+        }
+        shifts.push(cand);
+    }
+    shifts
+}
+
+/// Heuristic ADI shifts that keep the *imaginary parts* of the Ritz sweep:
+/// strongly oscillatory spectra (lightly damped LC cascades) yield
+/// complex-conjugate [`AdiShift::ComplexPair`]s, which converge in far fewer
+/// sweeps than their real-magnitude projections; near-real spectra degrade
+/// to the classic real selection of [`heuristic_adi_shifts`].
+///
+/// # Errors
+///
+/// Same contract as [`heuristic_adi_shifts`].
+pub fn heuristic_adi_shift_pairs(
+    op: &dyn ShiftedSolve,
+    seed: &Vector,
+    opts: &AdiShiftOptions,
+) -> Result<Vec<AdiShift>> {
+    let n = op.dim();
+    if seed.len() != n {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "adi shift pairs: seed of length {} for operator of dimension {n}",
+            seed.len()
+        )));
+    }
+    op.solve_shifted(0.0, seed)?;
+    let mut start = seed.clone();
+    if start.norm2() == 0.0 || !start.is_finite() {
+        start = Vector::from_fn(n, |i| 1.0 + (i % 7) as f64);
+    }
+    let direct = ritz_values(&ApplyOp(op), &start, opts.arnoldi_steps.max(1))?;
+    let inverse = ritz_values(&InverseOp(op), &start, opts.inverse_steps.max(1))?;
+
+    // Mirror every Ritz value into the right half-plane: t = (|Re λ|, |Im λ|).
+    let mut candidates: Vec<crate::Complex> = Vec::new();
+    for z in &direct {
+        let re = z.re.abs().max(z.abs() * 1e-2);
+        if re.is_finite() && re > 0.0 && z.im.is_finite() {
+            candidates.push(crate::Complex::new(re, z.im.abs()));
+        }
+    }
+    for z in &inverse {
+        // Ritz values of A⁻¹ approximate 1/λ near the origin: λ = z̄ / |z|².
+        let m2 = z.abs() * z.abs();
+        if m2 > 0.0 && m2.is_finite() {
+            let re = (z.re / m2).abs().max(1e-2 / m2.sqrt());
+            let im = (z.im / m2).abs();
+            if re.is_finite() && re > 0.0 && im.is_finite() {
+                candidates.push(crate::Complex::new(re, im));
+            }
+        }
+    }
+    candidates.retain(|t| t.re.is_finite() && t.re > 0.0 && t.im.is_finite());
+    if candidates.is_empty() {
+        candidates.push(crate::Complex::from_real(1.0));
+    }
+    candidates.sort_by(|a, b| a.re.total_cmp(&b.re));
+    // The same Wachspress-style geometric fill-in as the real selection,
+    // added on the real axis between the sampled magnitude extremes.
+    let lo = candidates[0].re;
+    let hi = candidates.last().expect("non-empty").re;
+    if hi > lo * 1e2 {
+        let fill = 24;
+        let ratio = (hi / lo).ln();
+        for i in 1..fill {
+            candidates.push(crate::Complex::from_real(
+                lo * ((i as f64 / fill as f64) * ratio).exp(),
+            ));
+        }
+        candidates.sort_by(|a, b| a.re.total_cmp(&b.re));
+    }
+    candidates.dedup_by(|a, b| (*a - *b).abs() <= 1e-10 * b.abs());
+
+    let mut shifts = penzl_select_pairs(&candidates, opts.count.max(1));
+    shifts.sort_by(|a, b| b.magnitude().total_cmp(&a.magnitude()));
+    Ok(shifts)
+}
+
 /// Convergence controls of the ADI iterations.
 #[derive(Debug, Clone, Copy)]
 pub struct LrAdiOptions {
@@ -371,6 +598,49 @@ pub fn lr_adi_lyapunov(
     shifts: &[f64],
     opts: &LrAdiOptions,
 ) -> Result<LrAdiSolution> {
+    let shifts: Vec<AdiShift> = shifts.iter().map(|&p| AdiShift::Real(p)).collect();
+    lr_adi_lyapunov_pairs(op, b, &shifts, opts)
+}
+
+/// Solves the complex double-step columns `V = (A − μI)⁻¹ M` of a conjugate
+/// pair, returning the real and imaginary parts.
+fn solve_columns_complex(
+    op: &dyn ShiftedSolve,
+    mu: crate::Complex,
+    m: &Matrix,
+) -> Result<(Matrix, Matrix)> {
+    let mut re = Matrix::zeros(m.rows(), m.cols());
+    let mut im = Matrix::zeros(m.rows(), m.cols());
+    let zero = Vector::zeros(m.rows());
+    for j in 0..m.cols() {
+        let (xr, xi) =
+            op.solve_shifted_complex(crate::Complex::new(-mu.re, -mu.im), &m.col(j), &zero)?;
+        re.set_col(j, &xr);
+        im.set_col(j, &xi);
+    }
+    Ok((re, im))
+}
+
+/// [`lr_adi_lyapunov`] over a mixed real/complex-conjugate shift pool.
+///
+/// Real shifts run the classic one-solve step. A [`AdiShift::ComplexPair`]
+/// `μ, μ̄` runs the Benner–Kürschner–Saak real-arithmetic double-step: one
+/// complex solve `V = (A − μI)⁻¹ W` (served from the shifted cache's
+/// `SparseZLu`/`ZLu` entries), then with `δ = Re μ / Im μ` the two *real*
+/// factor blocks `√(2 Re μ)·(Re V + δ·Im V)` and
+/// `√(2 Re μ (δ²+1))·Im V` are appended and the residual factor is updated
+/// as `W ← W + 4 Re μ·(Re V + δ·Im V)` — the iterate `Z Zᵀ` stays real and
+/// the exact low-rank residual tracking carries over unchanged.
+///
+/// # Errors
+///
+/// Same contract as [`lr_adi_lyapunov`].
+pub fn lr_adi_lyapunov_pairs(
+    op: &dyn ShiftedSolve,
+    b: &Matrix,
+    shifts: &[AdiShift],
+    opts: &LrAdiOptions,
+) -> Result<LrAdiSolution> {
     let n = op.dim();
     if b.rows() != n {
         return Err(LinalgError::DimensionMismatch(format!(
@@ -378,9 +648,11 @@ pub fn lr_adi_lyapunov(
             b.rows()
         )));
     }
-    if shifts.is_empty() || shifts.iter().any(|&p| !p.is_finite() || p <= 0.0) {
+    if shifts.is_empty() || shifts.iter().any(|s| !s.is_valid()) {
         return Err(LinalgError::InvalidArgument(
-            "lr-adi: shifts must be a non-empty list of positive magnitudes".into(),
+            "lr-adi: shifts must be a non-empty list of positive magnitudes or \
+             upper-half-plane conjugate pairs"
+                .into(),
         ));
     }
     let rhs_norm = gram_sq_norm(b).sqrt().max(f64::MIN_POSITIVE);
@@ -388,16 +660,51 @@ pub fn lr_adi_lyapunov(
     let mut blocks: Vec<Matrix> = Vec::new();
     let mut iterations = 0;
     let mut residual = 1.0;
-    for i in 0..opts.max_iterations {
-        let p = shifts[i % shifts.len()];
-        let zi = solve_columns(op, -p, &w)?;
-        let mut scaled = zi.clone();
-        for x in scaled.as_mut_slice() {
-            *x *= (2.0 * p).sqrt();
+    let mut cursor = 0usize;
+    while iterations < opts.max_iterations {
+        let shift = shifts[cursor % shifts.len()];
+        // A conjugate pair counts as two sweeps: respect the cap exactly
+        // (the first step always runs so a cap of 1 still makes progress).
+        if iterations > 0 && iterations + shift.steps() > opts.max_iterations {
+            break;
         }
-        blocks.push(scaled);
-        w.axpy(2.0 * p, &zi);
-        iterations = i + 1;
+        cursor += 1;
+        match shift {
+            AdiShift::Real(p) => {
+                let zi = solve_columns(op, -p, &w)?;
+                let mut scaled = zi.clone();
+                for x in scaled.as_mut_slice() {
+                    *x *= (2.0 * p).sqrt();
+                }
+                blocks.push(scaled);
+                w.axpy(2.0 * p, &zi);
+            }
+            AdiShift::ComplexPair(mu) => {
+                let (vr, vi) = solve_columns_complex(op, mu, &w)?;
+                let delta = mu.re / mu.im;
+                // y = Re V + δ·Im V carries both the factor block and the
+                // residual update of the conjugate double-step.
+                let mut y = vr;
+                y.axpy(delta, &vi);
+                // Pair blocks scale with γ = 2√(Re μ): the two real blocks
+                // must carry the contribution of *both* conjugate steps,
+                // −2 Re μ (VᵢVᵢᴴ + Vᵢ₊₁Vᵢ₊₁ᴴ) = γ²[(ReV+δImV)(·)ᵀ + (δ²+1)ImV(·)ᵀ].
+                let gamma = 2.0 * mu.re.sqrt();
+                let mut z1 = y.clone();
+                for x in z1.as_mut_slice() {
+                    *x *= gamma;
+                }
+                let mut z2 = vi;
+                let g2 = gamma * (delta * delta + 1.0).sqrt();
+                for x in z2.as_mut_slice() {
+                    *x *= g2;
+                }
+                blocks.push(z1);
+                blocks.push(z2);
+                w.axpy(4.0 * mu.re, &y);
+            }
+        }
+        iterations += shift.steps();
         residual = gram_sq_norm(&w).sqrt() / rhs_norm;
         if residual <= opts.tol {
             break;
@@ -873,6 +1180,118 @@ mod tests {
         }
     }
 
+    /// Block-diagonal lightly damped oscillator cascade — an LC-receiver-like
+    /// spectrum with eigenvalues `−aₖ ± i·wₖ`, `wₖ ≫ aₖ`.
+    fn oscillatory_matrix(blocks: usize) -> Matrix {
+        let n = 2 * blocks;
+        let mut m = Matrix::zeros(n, n);
+        for k in 0..blocks {
+            let a = 0.05 + 0.02 * k as f64;
+            let w = 2.0 + 3.0 * k as f64;
+            m[(2 * k, 2 * k)] = -a;
+            m[(2 * k + 1, 2 * k + 1)] = -a;
+            m[(2 * k, 2 * k + 1)] = w;
+            m[(2 * k + 1, 2 * k)] = -w;
+            if 2 * k + 2 < n {
+                m[(2 * k, 2 * k + 2)] = 0.1;
+            }
+        }
+        m
+    }
+
+    /// The conjugate-pair satellite: on a strongly oscillatory spectrum the
+    /// pair selection produces complex shifts, the BKS double-step keeps the
+    /// factor real, the Lyapunov residual meets the dense reference, and the
+    /// complex solves were served from the sparse cache's `SparseZLu`
+    /// entries.
+    #[test]
+    fn complex_pair_adi_matches_dense_weight_on_oscillatory_spectra() {
+        let a = oscillatory_matrix(5);
+        let at = a.transpose();
+        let sparse = ShiftedSparseLuCache::new(CsrMatrix::from_dense(&at, 0.0));
+        let seed = Vector::filled(10, 1.0);
+        let shifts =
+            heuristic_adi_shift_pairs(&sparse, &seed, &AdiShiftOptions::default()).unwrap();
+        assert!(
+            shifts.iter().any(|s| matches!(s, AdiShift::ComplexPair(_))),
+            "no pairs selected for an LC-like spectrum: {shifts:?}"
+        );
+        let sol = lr_adi_lyapunov_pairs(
+            &sparse,
+            &Matrix::identity(10),
+            &shifts,
+            &LrAdiOptions {
+                tol: 1e-11,
+                max_iterations: 240,
+            },
+        )
+        .unwrap();
+        assert!(
+            sol.stats.residual <= 1e-9,
+            "pair ADI residual {:.3e}",
+            sol.stats.residual
+        );
+        let m = sol.z.matmul(&sol.z.transpose());
+        let dense = lyapunov_weight(&a).unwrap();
+        assert!(
+            (&m - &dense).max_abs() <= 1e-7 * (1.0 + dense.max_abs()),
+            "pair ZZᵀ vs dense weight diff {:.3e}",
+            (&m - &dense).max_abs()
+        );
+        // The double-steps hit the complex factor path of the sparse cache.
+        assert!(!sparse.is_empty());
+        assert!(sparse.misses() > 0);
+    }
+
+    /// Pairs converge no slower than their real-magnitude projections on the
+    /// oscillatory spectrum (the reason the satellite exists).
+    #[test]
+    fn complex_pairs_beat_real_magnitudes_on_oscillatory_spectra() {
+        let a = oscillatory_matrix(6).transpose();
+        let cache = dense_cache(&a);
+        let seed = Vector::filled(12, 1.0);
+        let opts = LrAdiOptions {
+            tol: 1e-10,
+            max_iterations: 200,
+        };
+        let pairs = heuristic_adi_shift_pairs(&cache, &seed, &AdiShiftOptions::default()).unwrap();
+        let reals: Vec<f64> = pairs.iter().map(AdiShift::magnitude).collect();
+        let with_pairs =
+            lr_adi_lyapunov_pairs(&cache, &Matrix::identity(12), &pairs, &opts).unwrap();
+        let with_reals = lr_adi_lyapunov(&cache, &Matrix::identity(12), &reals, &opts).unwrap();
+        assert!(
+            with_pairs.stats.residual <= with_reals.stats.residual * 1.01
+                || with_pairs.stats.iterations <= with_reals.stats.iterations,
+            "pairs: {:.3e} in {} sweeps, reals: {:.3e} in {} sweeps",
+            with_pairs.stats.residual,
+            with_pairs.stats.iterations,
+            with_reals.stats.residual,
+            with_reals.stats.iterations
+        );
+    }
+
+    #[test]
+    fn pair_selection_degrades_to_real_shifts_on_symmetric_spectra() {
+        let a = Matrix::from_diagonal(&[-0.2, -1.0, -4.0, -20.0, -90.0, -400.0]);
+        let cache = dense_cache(&a);
+        let seed = Vector::filled(6, 1.0);
+        let shifts = heuristic_adi_shift_pairs(&cache, &seed, &AdiShiftOptions::default()).unwrap();
+        assert!(!shifts.is_empty());
+        assert!(
+            shifts.iter().all(|s| matches!(s, AdiShift::Real(_))),
+            "spurious pairs on a real spectrum: {shifts:?}"
+        );
+        // And the pair API with all-real shifts reproduces the real API.
+        let reals: Vec<f64> = shifts.iter().map(AdiShift::magnitude).collect();
+        let b = Matrix::identity(6);
+        let opts = LrAdiOptions::default();
+        let zp = lr_adi_lyapunov_pairs(&cache, &b, &shifts, &opts).unwrap();
+        let zr = lr_adi_lyapunov(&cache, &b, &reals, &opts).unwrap();
+        let mp = zp.z.matmul(&zp.z.transpose());
+        let mr = zr.z.matmul(&zr.z.transpose());
+        assert!((&mp - &mr).max_abs() <= 1e-12 * (1.0 + mr.max_abs()));
+    }
+
     #[test]
     fn invalid_inputs_are_rejected() {
         let a = stable_matrix(4, 61);
@@ -897,5 +1316,12 @@ mod tests {
         .is_err());
         let seed = Vector::zeros(3);
         assert!(heuristic_adi_shifts(&cache, &seed, &AdiShiftOptions::default()).is_err());
+        assert!(lr_adi_lyapunov_pairs(
+            &cache,
+            &b,
+            &[AdiShift::ComplexPair(crate::Complex::new(1.0, -0.5))],
+            &LrAdiOptions::default()
+        )
+        .is_err());
     }
 }

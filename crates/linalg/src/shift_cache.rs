@@ -262,6 +262,29 @@ impl ShiftedLuCache {
         let x = lu.solve(&rhs)?;
         Ok((x.real(), x.imag()))
     }
+
+    /// Solves the *resolvent* system `(sI − base) x = re + i·im`.
+    ///
+    /// The factorization is the cached `(base + λI)` entry with `λ = −s`, so
+    /// transfer-function samplers hitting the same frequencies as the
+    /// Bartels–Stewart eigenvalue walks share their factors — and every
+    /// repeated frequency of a band sweep is factored exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular pencils and dimension mismatches.
+    pub fn solve_resolvent(
+        &self,
+        s: Complex,
+        re: &Vector,
+        im: &Vector,
+    ) -> Result<(Vector, Vector)> {
+        let (mut xr, mut xi) = self.solve_shifted_complex(-s, re, im)?;
+        // (sI − G) = −(G − sI): negate the shifted solution.
+        xr.scale_mut(-1.0);
+        xi.scale_mut(-1.0);
+        Ok((xr, xi))
+    }
 }
 
 impl Clone for ShiftedLuCache {
@@ -583,6 +606,25 @@ impl ShiftedSparseLuCache {
         }
         self.factor_complex(lambda)?.solve_parts(re, im)
     }
+
+    /// Solves the resolvent system `(sI − base) x = re + i·im` through the
+    /// cached `(base − sI)` factor (see [`ShiftedLuCache::solve_resolvent`] —
+    /// key quantization is identical on both backends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular pencils and dimension mismatches.
+    pub fn solve_resolvent(
+        &self,
+        s: Complex,
+        re: &Vector,
+        im: &Vector,
+    ) -> Result<(Vector, Vector)> {
+        let (mut xr, mut xi) = self.solve_shifted_complex(-s, re, im)?;
+        xr.scale_mut(-1.0);
+        xi.scale_mut(-1.0);
+        Ok((xr, xi))
+    }
 }
 
 impl Clone for ShiftedSparseLuCache {
@@ -793,6 +835,49 @@ mod tests {
         }
         assert_eq!(cache.len(), 5);
         assert_eq!(cache.evictions(), 0);
+    }
+
+    /// The PR-5 reuse hook: resolvent solves go through the same complex
+    /// `(G + λI)` entries (keyed at `λ = −s`), on both backends.
+    #[test]
+    fn resolvent_solves_share_the_shifted_complex_entries() {
+        let g = base();
+        let dense = ShiftedLuCache::new(g.clone());
+        let sparse = ShiftedSparseLuCache::new(base_csr());
+        let re = Vector::from_slice(&[1.0, 0.5, -0.25]);
+        let im = Vector::from_slice(&[0.0, -0.3, 0.1]);
+        let s = Complex::new(0.2, 0.7);
+        for cache_solve in [
+            dense.solve_resolvent(s, &re, &im).unwrap(),
+            sparse.solve_resolvent(s, &re, &im).unwrap(),
+        ] {
+            let (xr, xi) = cache_solve;
+            // Residual of (sI − G)(xr + i·xi) = re + i·im.
+            let mut res_re = g.matvec(&xr);
+            res_re.scale_mut(-1.0);
+            res_re.axpy(s.re, &xr);
+            res_re.axpy(-s.im, &xi);
+            res_re.axpy(-1.0, &re);
+            let mut res_im = g.matvec(&xi);
+            res_im.scale_mut(-1.0);
+            res_im.axpy(s.re, &xi);
+            res_im.axpy(s.im, &xr);
+            res_im.axpy(-1.0, &im);
+            assert!(
+                res_re.norm_inf() < 1e-10 && res_im.norm_inf() < 1e-10,
+                "resolvent residual {:.3e}/{:.3e}",
+                res_re.norm_inf(),
+                res_im.norm_inf()
+            );
+        }
+        // A direct complex solve at λ = −s is a cache *hit*: the factor is
+        // shared with the resolvent entry.
+        let hits = dense.hits();
+        dense.solve_shifted_complex(-s, &re, &im).unwrap();
+        assert_eq!(dense.hits(), hits + 1);
+        let hits = sparse.hits();
+        sparse.solve_resolvent(s, &re, &im).unwrap();
+        assert_eq!(sparse.hits(), hits + 1);
     }
 
     #[test]

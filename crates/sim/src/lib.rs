@@ -39,7 +39,8 @@ pub use error::SimError;
 pub use input::{Constant, ExpPulse, InputSignal, MultiChannel, SinePulse, Step, TwoTone, Zero};
 pub use metrics::{max_relative_error, relative_error_series, rms_error};
 pub use transient::{
-    simulate, IntegrationMethod, JacobianPolicy, SolverStats, TransientOptions, TransientResult,
+    simulate, AdaptiveStepOptions, IntegrationMethod, JacobianPolicy, SolverStats,
+    TransientOptions, TransientResult,
 };
 pub use vamor_linalg::SolverBackend;
 

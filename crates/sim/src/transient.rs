@@ -72,6 +72,31 @@ pub struct TransientOptions {
     /// Whether to retain the full state trajectory (memory heavy for large
     /// systems; outputs are always retained).
     pub store_states: bool,
+    /// Embedded-error step control of the implicit methods (`None` = the
+    /// fixed-step behaviour). See [`TransientOptions::with_adaptive_steps`].
+    pub adaptive: Option<AdaptiveStepOptions>,
+}
+
+/// Controls of the embedded-error step controller of the implicit methods.
+///
+/// The local error is estimated from the predictor–corrector gap
+/// `‖x⁺ − x_pred‖∞` (explicit-Euler predictor against the implicit
+/// corrector — the Milne device with the lower-order member, an `O(h²)`
+/// curvature estimate that bounds the trapezoidal LTE conservatively). The
+/// controller works in **doubling/halving** steps only: a rejected step
+/// halves `h` and retries, a comfortably accepted step (estimate below a
+/// quarter of the tolerance, twice in a row) doubles it. Power-of-two moves
+/// keep the frozen-Jacobian policy effective — the iteration matrix is
+/// refactored only on an actual `h` change, a handful of times per
+/// transient instead of every step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveStepOptions {
+    /// Relative local-error tolerance per step.
+    pub tol: f64,
+    /// Smallest step the controller may halve down to.
+    pub dt_min: f64,
+    /// Largest step the controller may double up to.
+    pub dt_max: f64,
 }
 
 impl TransientOptions {
@@ -89,7 +114,22 @@ impl TransientOptions {
             jacobian_policy: JacobianPolicy::default(),
             linear_solver: SolverBackend::default(),
             store_states: false,
+            adaptive: None,
         }
+    }
+
+    /// Enables the embedded-error step controller for the implicit methods:
+    /// `dt` becomes the *initial* step, halved down to `dt_min` while the
+    /// predictor–corrector error estimate exceeds `tol` and doubled up to
+    /// `dt_max` once it stays comfortably below (see
+    /// [`AdaptiveStepOptions`]). Ignored by the explicit RK4 method.
+    pub fn with_adaptive_steps(mut self, tol: f64, dt_min: f64, dt_max: f64) -> Self {
+        self.adaptive = Some(AdaptiveStepOptions {
+            tol,
+            dt_min,
+            dt_max,
+        });
+        self
     }
 
     /// Selects the linear-solver backend of the implicit methods. `Sparse`
@@ -145,6 +185,21 @@ impl TransientOptions {
                 system.num_inputs()
             )));
         }
+        if let Some(a) = &self.adaptive {
+            if a.tol <= 0.0 || !a.tol.is_finite() {
+                return Err(SimError::InvalidOptions(format!(
+                    "adaptive step tolerance must be positive, got {}",
+                    a.tol
+                )));
+            }
+            if a.dt_min <= 0.0 || a.dt_min > self.dt || a.dt_max < self.dt {
+                return Err(SimError::InvalidOptions(format!(
+                    "adaptive step bounds must satisfy 0 < dt_min <= dt <= dt_max, \
+                     got dt_min {} dt {} dt_max {}",
+                    a.dt_min, self.dt, a.dt_max
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -161,6 +216,9 @@ pub struct SolverStats {
     /// How many of those factorizations went through the sparse direct
     /// solver (0 on the dense path).
     pub sparse_factorizations: usize,
+    /// Steps rejected (and re-taken at half the size) by the embedded-error
+    /// controller (0 on fixed-step runs).
+    pub rejected_steps: usize,
 }
 
 /// Result of a transient simulation.
@@ -213,6 +271,15 @@ pub fn simulate(
     opts: &TransientOptions,
 ) -> Result<TransientResult> {
     opts.validate(system, input)?;
+    let implicit = matches!(
+        opts.method,
+        IntegrationMethod::ImplicitTrapezoidal | IntegrationMethod::BackwardEuler
+    );
+    if implicit {
+        if let Some(adaptive) = opts.adaptive {
+            return simulate_adaptive(system, input, opts, adaptive);
+        }
+    }
     let n = system.order();
     let steps = ((opts.t_end - opts.t_start) / opts.dt).ceil() as usize;
     let mut x = Vector::zeros(n);
@@ -247,7 +314,7 @@ pub fn simulate(
         match opts.method {
             IntegrationMethod::Rk4 => rk4_step(system, input, t, h, &mut x, &mut rk4_ws),
             IntegrationMethod::ImplicitTrapezoidal => {
-                x = implicit_step(system, input, t, h, &x, opts, &mut stats, true, &mut frozen)?;
+                x = implicit_step(system, input, t, h, &x, opts, &mut stats, true, &mut frozen)?.0;
             }
             IntegrationMethod::BackwardEuler => {
                 x = implicit_step(
@@ -260,7 +327,8 @@ pub fn simulate(
                     &mut stats,
                     false,
                     &mut frozen,
-                )?;
+                )?
+                .0;
             }
         }
         if !x.is_finite() {
@@ -274,6 +342,92 @@ pub fn simulate(
         }
     }
 
+    Ok(TransientResult {
+        times,
+        outputs,
+        states,
+        stats,
+    })
+}
+
+/// The embedded-error driver of the implicit methods: step doubling/halving
+/// on the predictor–corrector gap (see [`AdaptiveStepOptions`]). The fixed
+/// grid path above is untouched — bit-identical trajectories when the
+/// controller is off.
+fn simulate_adaptive(
+    system: &dyn PolynomialStateSpace,
+    input: &dyn InputSignal,
+    opts: &TransientOptions,
+    adaptive: AdaptiveStepOptions,
+) -> Result<TransientResult> {
+    let n = system.order();
+    let trapezoidal = opts.method == IntegrationMethod::ImplicitTrapezoidal;
+    let mut x = Vector::zeros(n);
+    let mut times = Vec::new();
+    let mut outputs = Vec::new();
+    let mut states = if opts.store_states {
+        Some(Vec::new())
+    } else {
+        None
+    };
+    let mut stats = SolverStats::default();
+    times.push(opts.t_start);
+    outputs.push(system.output(&x));
+    if let Some(s) = states.as_mut() {
+        s.push(x.clone());
+    }
+
+    let mut frozen: Option<FrozenJacobian> = None;
+    let mut t = opts.t_start;
+    let mut h = opts.dt;
+    // Consecutive comfortably-small error estimates before a doubling: one
+    // quiet step right after a front is not yet a trend.
+    let mut calm_streak = 0usize;
+    while t < opts.t_end - 1e-12 * opts.dt {
+        let h_step = h.min(opts.t_end - t);
+        let (x_next, gap) = implicit_step(
+            system,
+            input,
+            t,
+            h_step,
+            &x,
+            opts,
+            &mut stats,
+            trapezoidal,
+            &mut frozen,
+        )?;
+        if !x_next.is_finite() {
+            return Err(SimError::Diverged { time: t + h_step });
+        }
+        let scale = x_next.norm_inf().max(1.0);
+        let estimate = gap / scale;
+        if estimate > adaptive.tol && h_step * 0.5 >= adaptive.dt_min {
+            // Reject: halve and retake from the same state. The halved step
+            // is remembered, so a sharp front settles at its own step size
+            // instead of re-probing every step.
+            stats.rejected_steps += 1;
+            h = h_step * 0.5;
+            calm_streak = 0;
+            continue;
+        }
+        t += h_step;
+        x = x_next;
+        stats.steps += 1;
+        times.push(t);
+        outputs.push(system.output(&x));
+        if let Some(s) = states.as_mut() {
+            s.push(x.clone());
+        }
+        if estimate <= 0.25 * adaptive.tol {
+            calm_streak += 1;
+            if calm_streak >= 2 && h * 2.0 <= adaptive.dt_max {
+                h *= 2.0;
+                calm_streak = 0;
+            }
+        } else {
+            calm_streak = 0;
+        }
+    }
     Ok(TransientResult {
         times,
         outputs,
@@ -387,6 +541,9 @@ fn refresh_jacobian(
     Ok(())
 }
 
+/// Advances one implicit step, returning the accepted state together with
+/// the predictor–corrector gap `‖x⁺ − x_pred‖∞` (the raw embedded error
+/// estimate consumed by the adaptive controller; ignored on fixed grids).
 #[allow(clippy::too_many_arguments)]
 fn implicit_step(
     system: &dyn PolynomialStateSpace,
@@ -398,7 +555,7 @@ fn implicit_step(
     stats: &mut SolverStats,
     trapezoidal: bool,
     frozen: &mut Option<FrozenJacobian>,
-) -> Result<Vector> {
+) -> Result<(Vector, f64)> {
     let u0 = input.sample(t);
     let u1 = input.sample(t + h);
     let f0 = system.rhs(x0, &u0);
@@ -448,7 +605,8 @@ fn implicit_step(
             stats.newton_iterations += 1;
             let scale = x.norm_inf().max(1.0);
             if residual_norm <= opts.newton_tol * scale {
-                return Ok(x);
+                let gap = (&x - &x_pred).norm_inf();
+                return Ok((x, gap));
             }
             // Stagnation check on the first attempt only: a healthy modified
             // Newton contracts by a solid factor per iteration; once it
@@ -640,6 +798,101 @@ mod tests {
         for (x, y) in states.iter().zip(r.outputs.iter()) {
             assert!((x[0] - y[0]).abs() < 1e-15);
         }
+    }
+
+    /// The adaptive controller tracks a surge-like front accurately and then
+    /// coarsens: far fewer steps than the fixed grid at matched accuracy.
+    #[test]
+    fn adaptive_steps_cut_post_front_work_on_a_surge() {
+        use crate::input::ExpPulse;
+        // x' = -x + u with a fast-rise/slow-fall double-exponential surge.
+        let sys = decay_system(-1.0);
+        let surge = ExpPulse::new(1.0, 0.05, 5.0);
+        let dt = 0.005;
+        let fixed_opts = TransientOptions::new(0.0, 30.0, dt)
+            .with_method(IntegrationMethod::ImplicitTrapezoidal);
+        let fixed = simulate(&sys, &surge, &fixed_opts).unwrap();
+        let adaptive = simulate(
+            &sys,
+            &surge,
+            &fixed_opts.with_adaptive_steps(1e-5, dt / 8.0, 64.0 * dt),
+        )
+        .unwrap();
+        assert!(
+            adaptive.stats.steps < fixed.stats.steps / 4,
+            "adaptive took {} steps vs fixed {}",
+            adaptive.stats.steps,
+            fixed.stats.steps
+        );
+        // The non-uniform trajectory still matches the fixed reference:
+        // compare by linear interpolation of the adaptive output onto the
+        // fixed sample times.
+        let ya = adaptive.output_channel(0);
+        let yf = fixed.output_channel(0);
+        let peak = yf.iter().fold(0.0_f64, |m, &v| m.max(v.abs())).max(1e-30);
+        let mut worst = 0.0_f64;
+        for (i, &tf) in fixed.times.iter().enumerate() {
+            let j = adaptive.times.partition_point(|&ta| ta < tf);
+            let interp = if j == 0 {
+                ya[0]
+            } else if j >= adaptive.times.len() {
+                *ya.last().unwrap()
+            } else {
+                let (t0, t1) = (adaptive.times[j - 1], adaptive.times[j]);
+                let w = (tf - t0) / (t1 - t0).max(1e-300);
+                ya[j - 1] * (1.0 - w) + ya[j] * w
+            };
+            worst = worst.max((interp - yf[i]).abs() / peak);
+        }
+        assert!(
+            worst < 2e-3,
+            "adaptive-vs-fixed trajectory diff {worst:.3e}"
+        );
+        // The final time is hit exactly.
+        assert!((adaptive.times.last().unwrap() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_controller_rejects_and_halves_on_a_sharp_front() {
+        use crate::input::ExpPulse;
+        let sys = decay_system(-1.0);
+        // Start with a deliberately coarse step so the surge front forces
+        // rejections.
+        let surge = ExpPulse::new(1.0, 0.02, 4.0);
+        let opts = TransientOptions::new(0.0, 10.0, 0.5)
+            .with_method(IntegrationMethod::ImplicitTrapezoidal)
+            .with_adaptive_steps(1e-5, 1e-4, 1.0);
+        let r = simulate(&sys, &surge, &opts).unwrap();
+        assert!(r.stats.rejected_steps > 0, "no rejections on a sharp front");
+        // Step sizes vary by at least three doublings between the front and
+        // the tail: the controller both halved and recovered.
+        let mut hs: Vec<f64> = r.times.windows(2).map(|w| w[1] - w[0]).collect();
+        hs.sort_by(f64::total_cmp);
+        assert!(
+            *hs.last().unwrap() >= 8.0 * hs[0],
+            "step sizes did not spread: {:.3e} .. {:.3e}",
+            hs[0],
+            hs.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn adaptive_options_are_validated() {
+        let sys = decay_system(-1.0);
+        let bad_tol = TransientOptions::new(0.0, 1.0, 0.1)
+            .with_method(IntegrationMethod::ImplicitTrapezoidal)
+            .with_adaptive_steps(0.0, 0.01, 1.0);
+        assert!(matches!(
+            simulate(&sys, &Step::new(1.0, 0.0), &bad_tol),
+            Err(SimError::InvalidOptions(_))
+        ));
+        let bad_bounds = TransientOptions::new(0.0, 1.0, 0.1)
+            .with_method(IntegrationMethod::ImplicitTrapezoidal)
+            .with_adaptive_steps(1e-6, 0.5, 1.0);
+        assert!(matches!(
+            simulate(&sys, &Step::new(1.0, 0.0), &bad_bounds),
+            Err(SimError::InvalidOptions(_))
+        ));
     }
 
     #[test]
