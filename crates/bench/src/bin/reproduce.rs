@@ -25,20 +25,30 @@
 //! The comparison fails (non-zero exit) when an error field worsened beyond
 //! the headroom of [`vamor_bench::baseline`], when a reduced model lost
 //! stability, or when the solver-cache speedup collapsed.
+//!
+//! Robustness controls: `--timeout-secs <v>` bounds the `adaptive`
+//! experiment with a wall-clock deadline — once the initial ROM exists the
+//! search returns its best configuration so far instead of erroring. The
+//! `chaos` experiment (requires building with `--features fault-injection`)
+//! sweeps seeded fault plans over fig2–fig5 at the small sizes and fails if
+//! any injected fault escapes the degradation ladder (a panic or a silently
+//! non-finite result).
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use vamor_bench::{
-    acceptance_metrics, adaptive_report, compare_to_baseline, fig2_voltage_line_with,
-    fig3_current_line_with, fig4_rf_receiver_with, fig5_varistor_with, lowrank_scaling,
-    scaling_subspace_dims, sparse_scaling, AcceptanceMetrics, AdaptiveExperimentReport,
-    AdaptiveSummary, Baseline, LowRankScalingReport, SparseScalingReport, TransientComparison,
+    acceptance_metrics, adaptive_deadline_run, adaptive_report, compare_to_baseline,
+    fig2_voltage_line_with, fig3_current_line_with, fig4_rf_receiver_with, fig5_varistor_with,
+    lowrank_scaling, scaling_subspace_dims, sparse_scaling, AcceptanceMetrics,
+    AdaptiveExperimentReport, AdaptiveSummary, Baseline, DeadlineRunReport, LowRankScalingReport,
+    SparseScalingReport, TransientComparison,
 };
 use vamor_core::{ReductionEngine, SolverBackend};
 
 /// PR number stamped into the emitted baseline snapshot.
-const PR_NUMBER: u32 = 5;
+const PR_NUMBER: u32 = 6;
 
 struct Sizes {
     fig2_stages: usize,
@@ -132,6 +142,18 @@ fn main() -> ExitCode {
         },
         None => format!("BENCH_PR{PR_NUMBER}.json"),
     };
+    // `--timeout-secs <v>`: wall-clock deadline for the adaptive experiment,
+    // exercising the preemption contract (best-so-far ROM on expiry).
+    let timeout = match args.iter().position(|a| a == "--timeout-secs") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+            Some(v) if v >= 0.0 && v.is_finite() => Some(Duration::from_secs_f64(v)),
+            _ => {
+                eprintln!("--timeout-secs requires a non-negative number of seconds");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let compare_path = match args.iter().position(|a| a == "--compare") {
         Some(i) => match args.get(i + 1) {
             Some(path) if !path.starts_with("--") => Some(path.clone()),
@@ -149,7 +171,7 @@ fn main() -> ExitCode {
             skip_next = false;
             continue;
         }
-        if a == "--json" || a == "--compare" || a == "--engine" {
+        if a == "--json" || a == "--compare" || a == "--engine" || a == "--timeout-secs" {
             skip_next = true;
             continue;
         }
@@ -232,18 +254,46 @@ fn main() -> ExitCode {
                 }
                 Err(e) => Err(e),
             },
-            "adaptive" => match adaptive_report(
-                sizes.fig3_stages,
-                sizes.fig5_ladder,
-                sizes.sparse_mid,
-                sizes.dt,
-            ) {
-                Ok(r) => {
-                    print_adaptive_report(&r);
-                    adaptive_rep = Some(r);
-                    Ok(None)
+            // Under `--timeout-secs` the adaptive experiment becomes the
+            // preemption demonstration: the fig3-band search runs against a
+            // wall-clock deadline and reports its best-so-far outcome. With
+            // `--engine lowrank` it runs on the large (10⁴-state at paper
+            // sizes) line instead of the fig3 line.
+            "adaptive" => match timeout {
+                Some(t) => {
+                    let stages = if engine == ReductionEngine::LowRank {
+                        sizes.sparse_big
+                    } else {
+                        sizes.fig3_stages
+                    };
+                    match adaptive_deadline_run(stages, engine, t) {
+                        Ok(r) => {
+                            print_deadline_run(&r);
+                            Ok(None)
+                        }
+                        Err(e) => Err(e),
+                    }
                 }
-                Err(e) => Err(e),
+                None => match adaptive_report(
+                    sizes.fig3_stages,
+                    sizes.fig5_ladder,
+                    sizes.sparse_mid,
+                    sizes.dt,
+                ) {
+                    Ok(r) => {
+                        print_adaptive_report(&r);
+                        adaptive_rep = Some(r);
+                        Ok(None)
+                    }
+                    Err(e) => Err(e),
+                },
+            },
+            "chaos" => match run_chaos() {
+                Ok(()) => Ok(None),
+                Err(msg) => {
+                    eprintln!("chaos: {msg}");
+                    return ExitCode::FAILURE;
+                }
             },
             "perf" => match acceptance_metrics(35, if small { 16 } else { 98 }, sizes.dt) {
                 Ok(m) => {
@@ -314,7 +364,7 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "unknown experiment '{other}' (expected fig2..fig5, table1, scaling, sparse, lowrank, adaptive, perf, all)"
+                    "unknown experiment '{other}' (expected fig2..fig5, table1, scaling, sparse, lowrank, adaptive, perf, chaos, all)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -376,6 +426,79 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn print_deadline_run(r: &DeadlineRunReport) {
+    println!("\n== Deadline-bounded adaptive run (--timeout-secs) ==");
+    println!(
+        "fig3 line (n={}): best-so-far ROM order {}, abscissa {:.3e} ({}), stop {}, wall {:.2} s",
+        r.states,
+        r.order,
+        r.abscissa,
+        if r.hurwitz { "Hurwitz" } else { "NOT Hurwitz" },
+        r.stop,
+        r.wall.as_secs_f64()
+    );
+    println!(
+        "  search: {:.2e} -> {:.2e} in {} moves [{}] ({} evals, {} full solves){}",
+        r.summary.initial_residual,
+        r.summary.final_residual,
+        r.summary.moves,
+        r.summary.move_list,
+        r.summary.evaluations,
+        r.summary.full_model_solves,
+        if r.deadline_hit {
+            " — preempted by the deadline"
+        } else {
+            " — finished within the deadline"
+        }
+    );
+}
+
+/// The `chaos` experiment: seeded fault plans swept over fig2–fig5 at the
+/// small sizes (chaos probes the degradation ladder, not paper fidelity, so
+/// the paper sizes would only add wall time). Errors with a usage hint when
+/// fault injection is not compiled in.
+#[cfg(feature = "fault-injection")]
+fn run_chaos() -> Result<(), String> {
+    let sizes = Sizes::small();
+    println!("\n== Chaos suite: seeded fault injection over fig2-fig5 (small sizes) ==");
+    let report = vamor_bench::chaos_sweep(
+        sizes.fig2_stages,
+        sizes.fig3_stages,
+        sizes.fig4_sections,
+        sizes.fig5_ladder,
+        sizes.dt,
+    );
+    for c in &report.cases {
+        println!(
+            "{:<5} {:<16} seed {:>3}: {} injected -> {}{}",
+            c.experiment,
+            c.kind,
+            c.seed,
+            c.injected,
+            if c.ok { "" } else { "VIOLATION: " },
+            c.outcome
+        );
+    }
+    println!(
+        "{} cases, {} faults injected, {} violations",
+        report.cases.len(),
+        report.total_injected(),
+        report.violations().len()
+    );
+    if report.all_ok() {
+        Ok(())
+    } else {
+        Err("injected faults escaped the degradation ladder (see VIOLATION lines)".into())
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn run_chaos() -> Result<(), String> {
+    Err("fault injection is not compiled in; rerun with \
+         `cargo run --release -p vamor-bench --features fault-injection --bin reproduce -- chaos`"
+        .into())
 }
 
 fn print_acceptance(m: &AcceptanceMetrics) {

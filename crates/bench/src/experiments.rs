@@ -6,8 +6,8 @@ use std::time::{Duration, Instant};
 use vamor_circuits::{RfReceiver, TransmissionLine, VaristorCircuit};
 use vamor_core::{
     AdaptiveReducer, AdaptiveSpec, AdaptiveTrace, AssocReducer, BandSampler, BandSamplerOptions,
-    FrequencyBand, MomentSpec, MorError, NormReducer, ReducerKind, ReductionEngine, SolverBackend,
-    VolterraKernels,
+    FrequencyBand, MomentSpec, MorError, NormReducer, ReducerKind, ReductionEngine, RunControl,
+    SolverBackend, StopReason, VolterraKernels,
 };
 use vamor_linalg::{Complex, CsrMatrix, Matrix, SparseLu, SparseLuSymbolic, Vector};
 use vamor_sim::{
@@ -1408,6 +1408,213 @@ pub fn scaling_subspace_dims(stages: usize, orders: &[usize]) -> Result<Vec<Scal
     Ok(rows)
 }
 
+/// Record of a deadline-bounded adaptive run (`reproduce --timeout-secs`).
+///
+/// The preemption contract under test: once the initial ROM exists, an
+/// expiring wall-clock deadline degrades the greedy search to its best
+/// configuration so far (with [`vamor_core::StopReason::DeadlineExceeded`]
+/// in the trace) instead of erroring; a deadline that expires *before* any
+/// ROM exists surfaces as a typed reduction error.
+#[derive(Debug, Clone)]
+pub struct DeadlineRunReport {
+    /// Full model order.
+    pub states: usize,
+    /// Order of the returned best-so-far ROM.
+    pub order: usize,
+    /// Spectral abscissa of the returned ROM's `G₁ᵣ`.
+    pub abscissa: f64,
+    /// Whether the returned ROM is Hurwitz-stable.
+    pub hurwitz: bool,
+    /// Why the search stopped (`Debug` form of `StopReason`).
+    pub stop: String,
+    /// True iff the wall-clock deadline cut the search short.
+    pub deadline_hit: bool,
+    /// Search record.
+    pub summary: AdaptiveSummary,
+    /// Wall time actually spent in the search.
+    pub wall: Duration,
+}
+
+/// Runs the fig3-band adaptive search on a `stages`-state current-driven
+/// line under a wall-clock deadline ([`RunControl::with_deadline`]) — the
+/// `--timeout-secs` path of the `reproduce` binary. With
+/// [`ReductionEngine::LowRank`] this exercises the preemption contract at
+/// the 10⁴-state scale of the acceptance criteria.
+///
+/// # Errors
+///
+/// Propagates circuit construction failures, and
+/// [`MorError::Linalg`]/`Interrupted` when the deadline expires before the
+/// first ROM exists (there is no best-so-far result to degrade to yet).
+pub fn adaptive_deadline_run(
+    stages: usize,
+    engine: ReductionEngine,
+    timeout: Duration,
+) -> Result<DeadlineRunReport> {
+    let line = TransmissionLine::current_driven(stages)?;
+    let full = line.qldae();
+    let control = RunControl::new().with_deadline(timeout);
+    let (out, wall) = timed(|| {
+        AdaptiveReducer::new(fig3_adaptive_spec())
+            .with_engine(engine)
+            .reduce_controlled(full, &control)
+    });
+    let out = out?;
+    let abscissa = out.rom.stats().spectral_abscissa;
+    Ok(DeadlineRunReport {
+        states: full.order(),
+        order: out.rom.order(),
+        abscissa,
+        hurwitz: abscissa < 0.0,
+        stop: format!("{:?}", out.trace.stop),
+        deadline_hit: out.trace.stop == StopReason::DeadlineExceeded,
+        summary: AdaptiveSummary::from_trace(&out.trace),
+        wall,
+    })
+}
+
+/// One run of the chaos sweep: a figure experiment executed under an armed
+/// [`vamor_linalg::fault::FaultPlan`].
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone)]
+pub struct ChaosCase {
+    /// Experiment label (`fig2`..`fig5`).
+    pub experiment: &'static str,
+    /// Injected failure mode.
+    pub kind: &'static str,
+    /// Seed of the injection schedule.
+    pub seed: u64,
+    /// Faults actually injected during the run.
+    pub injected: usize,
+    /// What happened: recovery, typed error text, or a contract violation.
+    pub outcome: String,
+    /// True iff the run honored the degradation contract — a recovered ROM
+    /// with finite trajectories, or a typed error; never a panic, never a
+    /// silently non-finite output.
+    pub ok: bool,
+}
+
+/// Outcome of [`chaos_sweep`].
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Every (experiment, fault kind, seed) combination run.
+    pub cases: Vec<ChaosCase>,
+}
+
+#[cfg(feature = "fault-injection")]
+impl ChaosReport {
+    /// True iff every case honored the degradation contract.
+    pub fn all_ok(&self) -> bool {
+        self.cases.iter().all(|c| c.ok)
+    }
+
+    /// The cases that violated the contract.
+    pub fn violations(&self) -> Vec<&ChaosCase> {
+        self.cases.iter().filter(|c| !c.ok).collect()
+    }
+
+    /// Total faults injected across the sweep.
+    pub fn total_injected(&self) -> usize {
+        self.cases.iter().map(|c| c.injected).sum()
+    }
+}
+
+/// The chaos suite: sweeps seeded [`vamor_linalg::fault::FaultPlan`]s
+/// (every [`vamor_linalg::fault::FaultKind`] × several seeds) over the
+/// fig2–fig5 experiments at the given sizes and records, for each run,
+/// whether the degradation ladder held — a recovered ROM with finite
+/// trajectories or a typed error, never a panic and never a silently
+/// non-finite result.
+///
+/// The fault plan is process-global; callers running concurrently with
+/// other fault-injection users must serialize externally.
+#[cfg(feature = "fault-injection")]
+pub fn chaos_sweep(
+    fig2_stages: usize,
+    fig3_stages: usize,
+    fig4_sections: usize,
+    fig5_ladder: usize,
+    dt: f64,
+) -> ChaosReport {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use vamor_linalg::fault::{arm, disarm, injected, FaultKind, FaultPlan};
+
+    type Run = Box<dyn Fn() -> Result<TransientComparison>>;
+    let experiments: Vec<(&'static str, Run)> = vec![
+        ("fig2", Box::new(move || fig2_voltage_line(fig2_stages, dt))),
+        ("fig3", Box::new(move || fig3_current_line(fig3_stages, dt))),
+        (
+            "fig4",
+            Box::new(move || fig4_rf_receiver(fig4_sections, dt)),
+        ),
+        ("fig5", Box::new(move || fig5_varistor(fig5_ladder, dt))),
+    ];
+    let kinds = [
+        ("singular-factor", FaultKind::SingularFactor),
+        ("nan-solve", FaultKind::NanSolve),
+        ("adi-stall", FaultKind::AdiStall),
+    ];
+    let seeds = [1_u64, 7, 42];
+    let mut cases = Vec::new();
+    for (name, run) in &experiments {
+        for (kind_name, kind) in kinds {
+            for seed in seeds {
+                arm(FaultPlan::new(seed, kind));
+                let result = catch_unwind(AssertUnwindSafe(run));
+                let fired = injected();
+                disarm();
+                let (ok, outcome) = match result {
+                    Err(panic) => (false, format!("PANIC: {}", panic_message(panic.as_ref()))),
+                    Ok(Ok(cmp)) => match first_non_finite(&cmp) {
+                        Some(series) => (false, format!("silently non-finite {series}")),
+                        None => (true, "recovered: finite trajectories".to_string()),
+                    },
+                    Ok(Err(e)) => (true, format!("typed error: {e}")),
+                };
+                cases.push(ChaosCase {
+                    experiment: name,
+                    kind: kind_name,
+                    seed,
+                    injected: fired,
+                    outcome,
+                    ok,
+                });
+            }
+        }
+    }
+    ChaosReport { cases }
+}
+
+/// Names the first non-finite series of a comparison, if any.
+#[cfg(feature = "fault-injection")]
+fn first_non_finite(cmp: &TransientComparison) -> Option<&'static str> {
+    if !cmp.y_full.iter().all(|v| v.is_finite()) {
+        return Some("full-model trajectory");
+    }
+    if !cmp.y_proposed.iter().all(|v| v.is_finite()) {
+        return Some("proposed-ROM trajectory");
+    }
+    if let Some(y) = &cmp.y_norm {
+        if !y.iter().all(|v| v.is_finite()) {
+            return Some("NORM-ROM trajectory");
+        }
+    }
+    if !cmp.proposed_abscissa.is_finite() {
+        return Some("spectral abscissa");
+    }
+    None
+}
+
+#[cfg(feature = "fault-injection")]
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1441,6 +1648,22 @@ mod tests {
             "error {}",
             cmp.max_error_proposed()
         );
+    }
+
+    #[test]
+    fn deadline_run_with_a_generous_budget_completes_unpreempted() {
+        let r = adaptive_deadline_run(14, ReductionEngine::Auto, Duration::from_secs(600)).unwrap();
+        assert!(r.hurwitz, "abscissa {}", r.abscissa);
+        assert!(!r.deadline_hit, "stop {}", r.stop);
+        assert!(r.order < r.states);
+    }
+
+    #[test]
+    fn an_already_expired_deadline_is_a_typed_error_not_a_panic() {
+        // Duration::ZERO expires before the band sampler finishes — no ROM
+        // exists yet, so the contract is a typed error, not best-so-far.
+        let err = adaptive_deadline_run(14, ReductionEngine::Auto, Duration::ZERO).unwrap_err();
+        assert!(matches!(err, ExperimentError::Reduction(_)), "{err}");
     }
 
     #[test]

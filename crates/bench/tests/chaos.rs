@@ -1,0 +1,33 @@
+//! Chaos suite: seeded fault plans swept over the fig2–fig5 experiments.
+//!
+//! The contract under test is the PR-6 degradation ladder: every injected
+//! fault — singular factorizations, NaN-poisoned solves, stalled ADI-style
+//! solves — ends in a recovered ROM with finite trajectories or a typed
+//! error. Never a panic, never a silently non-finite result.
+//!
+//! Run with `cargo test -p vamor-bench --features fault-injection`.
+
+#![cfg(feature = "fault-injection")]
+
+use vamor_bench::chaos_sweep;
+
+/// One test drives the whole sweep: the fault plan is process-global, so a
+/// single sequential driver sidesteps test-thread interleaving entirely.
+#[test]
+fn injected_faults_never_panic_and_never_leak_non_finite_output() {
+    let report = chaos_sweep(16, 14, 8, 12, 0.05);
+    assert_eq!(
+        report.cases.len(),
+        4 * 3 * 3,
+        "four experiments x three fault kinds x three seeds"
+    );
+    assert!(
+        report.total_injected() > 0,
+        "no faults fired — the instrumented seams were not exercised"
+    );
+    let violations = report.violations();
+    assert!(
+        violations.is_empty(),
+        "faults escaped the degradation ladder: {violations:#?}"
+    );
+}

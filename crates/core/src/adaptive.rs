@@ -35,7 +35,10 @@
 //! structured Kronecker matvecs — no `n²` object is ever formed.
 
 use vamor_linalg::sparse_lu::SPARSE_AUTO_THRESHOLD;
-use vamor_linalg::{Complex, ShiftedLuCache, ShiftedSparseLuCache, SolverBackend};
+use vamor_linalg::{
+    Complex, LinalgError, RunControl, ShiftedLuCache, ShiftedSparseLuCache, SolverBackend,
+    StopCause,
+};
 use vamor_system::{CubicOde, Qldae};
 
 use crate::error::MorError;
@@ -208,6 +211,37 @@ impl BandSampler {
         backend: SolverBackend,
         opts: BandSamplerOptions,
     ) -> Result<Self> {
+        Self::for_qldae_impl(qldae, band, backend, opts, None)
+    }
+
+    /// [`BandSampler::for_qldae`] under a [`RunControl`] token: the
+    /// per-frequency full-model solves checkpoint as `band-sample`, so a
+    /// cancellation or deadline interrupts the (potentially expensive)
+    /// estimator construction with a typed
+    /// [`LinalgError::Interrupted`] error — no ROM exists yet at this stage,
+    /// so there is no best-so-far result to degrade to.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BandSampler::for_qldae`], plus
+    /// [`LinalgError::Interrupted`] when the token stops the build.
+    pub fn for_qldae_controlled(
+        qldae: &Qldae,
+        band: FrequencyBand,
+        backend: SolverBackend,
+        opts: BandSamplerOptions,
+        control: &RunControl,
+    ) -> Result<Self> {
+        Self::for_qldae_impl(qldae, band, backend, opts, Some(control))
+    }
+
+    fn for_qldae_impl(
+        qldae: &Qldae,
+        band: FrequencyBand,
+        backend: SolverBackend,
+        opts: BandSamplerOptions,
+        control: Option<&RunControl>,
+    ) -> Result<Self> {
         let n = qldae.g1_csr().rows();
         let cache = Self::cache_for(qldae.g1_csr(), backend, n);
         let num_inputs = qldae.b().cols();
@@ -230,11 +264,13 @@ impl BandSampler {
                 SamplerCache::Sparse(c) => VolterraKernels::with_sparse_cache(qldae, input, c)?,
             };
             for &omega in &band.grid(opts.h1_points) {
+                Self::tick(control)?;
                 let s = Complex::new(0.0, omega);
                 sampler.push_h1(input, omega, kernels.output_h1(s)?);
             }
             if has_quadratic && opts.h2_points > 0 {
                 for &omega in &band.grid(opts.h2_points) {
+                    Self::tick(control)?;
                     let s = Complex::new(0.0, omega);
                     // Sum (2ω, second harmonic) and difference (0,
                     // rectification/envelope) products both land back in the
@@ -245,6 +281,7 @@ impl BandSampler {
             }
             if has_quadratic && opts.h3_points > 0 {
                 for &omega in &band.grid(opts.h3_points) {
+                    Self::tick(control)?;
                     let s = Complex::new(0.0, omega);
                     // Third harmonic (3ω) and in-band compression (ω).
                     sampler.push_h3(input, omega, false, kernels.output_h3(s, s, s)?);
@@ -271,6 +308,33 @@ impl BandSampler {
         backend: SolverBackend,
         opts: BandSamplerOptions,
     ) -> Result<Self> {
+        Self::for_cubic_impl(ode, band, backend, opts, None)
+    }
+
+    /// [`BandSampler::for_cubic`] under a [`RunControl`] token (see
+    /// [`BandSampler::for_qldae_controlled`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BandSampler::for_cubic`], plus
+    /// [`LinalgError::Interrupted`] when the token stops the build.
+    pub fn for_cubic_controlled(
+        ode: &CubicOde,
+        band: FrequencyBand,
+        backend: SolverBackend,
+        opts: BandSamplerOptions,
+        control: &RunControl,
+    ) -> Result<Self> {
+        Self::for_cubic_impl(ode, band, backend, opts, Some(control))
+    }
+
+    fn for_cubic_impl(
+        ode: &CubicOde,
+        band: FrequencyBand,
+        backend: SolverBackend,
+        opts: BandSamplerOptions,
+        control: Option<&RunControl>,
+    ) -> Result<Self> {
         let n = ode.g1_csr().rows();
         let cache = Self::cache_for(ode.g1_csr(), backend, n);
         let num_inputs = ode.b().cols();
@@ -293,11 +357,13 @@ impl BandSampler {
                 SamplerCache::Sparse(c) => CubicVolterraKernels::with_sparse_cache(ode, input, c)?,
             };
             for &omega in &band.grid(opts.h1_points) {
+                Self::tick(control)?;
                 let s = Complex::new(0.0, omega);
                 sampler.push_h1(input, omega, kernels.output_h1(s)?);
             }
             if has_quadratic && opts.h2_points > 0 {
                 for &omega in &band.grid(opts.h2_points) {
+                    Self::tick(control)?;
                     let s = Complex::new(0.0, omega);
                     sampler.push_h2(input, omega, false, kernels.output_h2(s, s)?);
                     sampler.push_h2(input, omega, true, kernels.output_h2(s, -s)?);
@@ -305,6 +371,7 @@ impl BandSampler {
             }
             if opts.h3_points > 0 {
                 for &omega in &band.grid(opts.h3_points) {
+                    Self::tick(control)?;
                     let s = Complex::new(0.0, omega);
                     sampler.push_h3(input, omega, false, kernels.output_h3(s, s, s)?);
                     sampler.push_h3(input, omega, true, kernels.output_h3(s, s, -s)?);
@@ -316,6 +383,13 @@ impl BandSampler {
             SamplerCache::Sparse(c) => c.misses(),
         };
         Ok(sampler)
+    }
+
+    fn tick(control: Option<&RunControl>) -> Result<()> {
+        if let Some(c) = control {
+            c.checkpoint("band-sample").map_err(MorError::Linalg)?;
+        }
+        Ok(())
     }
 
     fn cache_for(csr: &vamor_linalg::CsrMatrix, backend: SolverBackend, n: usize) -> SamplerCache {
@@ -782,6 +856,21 @@ pub enum StopReason {
     OrderBudget,
     /// The accepted-move budget ran out.
     IterationBudget,
+    /// A [`RunControl`] token was cancelled mid-search; the outcome carries
+    /// the best ROM seen up to that point.
+    Cancelled,
+    /// A [`RunControl`] wall-clock deadline passed mid-search; the outcome
+    /// carries the best ROM seen up to that point.
+    DeadlineExceeded,
+}
+
+impl StopReason {
+    fn from_cause(cause: Option<StopCause>) -> Self {
+        match cause {
+            Some(StopCause::DeadlineExceeded) => StopReason::DeadlineExceeded,
+            _ => StopReason::Cancelled,
+        }
+    }
 }
 
 /// One accepted step of the greedy search (the first entry is the initial
@@ -947,10 +1036,49 @@ impl AdaptiveReducer {
     /// Returns an error when even the initial minimal reduction fails, or
     /// the band estimator hits a singular resolvent.
     pub fn reduce(&self, qldae: &Qldae) -> Result<AdaptiveOutcome<ReducedQldae>> {
+        self.reduce_impl(qldae, None)
+    }
+
+    /// [`AdaptiveReducer::reduce`] under a [`RunControl`] token.
+    ///
+    /// Cancellation/deadline semantics are *best-so-far*, never an error
+    /// once a first ROM exists: the token is checked before the estimator's
+    /// full-model solves (`band-sample`), before every moment chain inside
+    /// the wrapped reducers, and at the head of every greedy iteration
+    /// (`adaptive-move`). A stop during the estimator build or the initial
+    /// reduction — before any ROM exists — returns the typed
+    /// [`LinalgError::Interrupted`] error; any later stop returns
+    /// `Ok` with the best ROM seen and
+    /// [`StopReason::Cancelled`]/[`StopReason::DeadlineExceeded`] in the
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AdaptiveReducer::reduce`], plus
+    /// [`LinalgError::Interrupted`] when the token stops the run before the
+    /// first ROM is available.
+    pub fn reduce_controlled(
+        &self,
+        qldae: &Qldae,
+        control: &RunControl,
+    ) -> Result<AdaptiveOutcome<ReducedQldae>> {
+        self.reduce_impl(qldae, Some(control))
+    }
+
+    fn reduce_impl(
+        &self,
+        qldae: &Qldae,
+        control: Option<&RunControl>,
+    ) -> Result<AdaptiveOutcome<ReducedQldae>> {
         let n = qldae.g1_csr().rows();
         let has_quadratic = qldae.g2().nnz() > 0 || qldae.has_d1();
-        let sampler =
-            BandSampler::for_qldae(qldae, self.spec.band, self.backend, self.sampler_opts)?;
+        let sampler = BandSampler::for_qldae_impl(
+            qldae,
+            self.spec.band,
+            self.backend,
+            self.sampler_opts,
+            control,
+        )?;
         let initial = AdaptiveConfig {
             spec: MomentSpec::new(2, usize::from(has_quadratic), usize::from(has_quadratic)),
             markov: 0,
@@ -981,22 +1109,32 @@ impl AdaptiveReducer {
         };
         let reduce = |cfg: &AdaptiveConfig| -> Result<ReducedQldae> {
             match self.kind {
-                ReducerKind::Assoc => AssocReducer::new(cfg.spec)
-                    .with_markov_moments(cfg.markov)
-                    .with_output_krylov(cfg.output_krylov)
-                    .with_deflation_tol(cfg.deflation_tol)
-                    .with_stabilized_projection(cfg.stabilized)
-                    .with_engine(self.engine)
-                    .with_solver_backend(self.backend)
-                    .with_lowrank_options(self.lowrank_opts)
-                    .reduce(qldae),
-                ReducerKind::Norm => NormReducer::new(cfg.spec)
-                    .with_deflation_tol(cfg.deflation_tol)
-                    .with_stabilized_projection(cfg.stabilized)
-                    .with_engine(self.engine)
-                    .with_solver_backend(self.backend)
-                    .with_lowrank_options(self.lowrank_opts)
-                    .reduce(qldae),
+                ReducerKind::Assoc => {
+                    let reducer = AssocReducer::new(cfg.spec)
+                        .with_markov_moments(cfg.markov)
+                        .with_output_krylov(cfg.output_krylov)
+                        .with_deflation_tol(cfg.deflation_tol)
+                        .with_stabilized_projection(cfg.stabilized)
+                        .with_engine(self.engine)
+                        .with_solver_backend(self.backend)
+                        .with_lowrank_options(self.lowrank_opts);
+                    match control {
+                        Some(c) => reducer.reduce_controlled(qldae, c),
+                        None => reducer.reduce(qldae),
+                    }
+                }
+                ReducerKind::Norm => {
+                    let reducer = NormReducer::new(cfg.spec)
+                        .with_deflation_tol(cfg.deflation_tol)
+                        .with_stabilized_projection(cfg.stabilized)
+                        .with_engine(self.engine)
+                        .with_solver_backend(self.backend)
+                        .with_lowrank_options(self.lowrank_opts);
+                    match control {
+                        Some(c) => reducer.reduce_controlled(qldae, c),
+                        None => reducer.reduce(qldae),
+                    }
+                }
             }
         };
         // The NORM baseline has no Markov or output-Krylov knobs. `Boost`
@@ -1016,6 +1154,7 @@ impl AdaptiveReducer {
             &|rom| rom.stats().is_stable(),
             &|rom| sampler.residual_qldae(rom.system()),
             sampler.full_solves(),
+            control,
         )
     }
 
@@ -1027,12 +1166,43 @@ impl AdaptiveReducer {
     /// Same contract as [`AdaptiveReducer::reduce`]; additionally rejects
     /// the NORM baseline.
     pub fn reduce_cubic(&self, ode: &CubicOde) -> Result<AdaptiveOutcome<ReducedCubicOde>> {
+        self.reduce_cubic_impl(ode, None)
+    }
+
+    /// [`AdaptiveReducer::reduce_cubic`] under a [`RunControl`] token (see
+    /// [`AdaptiveReducer::reduce_controlled`] for the best-so-far
+    /// cancellation semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AdaptiveReducer::reduce_cubic`], plus
+    /// [`LinalgError::Interrupted`] when the token stops the run before the
+    /// first ROM is available.
+    pub fn reduce_cubic_controlled(
+        &self,
+        ode: &CubicOde,
+        control: &RunControl,
+    ) -> Result<AdaptiveOutcome<ReducedCubicOde>> {
+        self.reduce_cubic_impl(ode, Some(control))
+    }
+
+    fn reduce_cubic_impl(
+        &self,
+        ode: &CubicOde,
+        control: Option<&RunControl>,
+    ) -> Result<AdaptiveOutcome<ReducedCubicOde>> {
         if self.kind == ReducerKind::Norm {
             return Err(MorError::Invalid(
                 "the NORM baseline is implemented for QLDAE reductions only".into(),
             ));
         }
-        let sampler = BandSampler::for_cubic(ode, self.spec.band, self.backend, self.sampler_opts)?;
+        let sampler = BandSampler::for_cubic_impl(
+            ode,
+            self.spec.band,
+            self.backend,
+            self.sampler_opts,
+            control,
+        )?;
         let initial = AdaptiveConfig {
             spec: MomentSpec::new(2, 0, 1),
             markov: 0,
@@ -1049,14 +1219,17 @@ impl AdaptiveReducer {
             _ => false,
         };
         let reduce = |cfg: &AdaptiveConfig| -> Result<ReducedCubicOde> {
-            AssocReducer::new(cfg.spec)
+            let reducer = AssocReducer::new(cfg.spec)
                 .with_markov_moments(cfg.markov)
                 .with_deflation_tol(cfg.deflation_tol)
                 .with_stabilized_projection(cfg.stabilized)
                 .with_engine(self.engine)
                 .with_solver_backend(self.backend)
-                .with_lowrank_options(self.lowrank_opts)
-                .reduce_cubic(ode)
+                .with_lowrank_options(self.lowrank_opts);
+            match control {
+                Some(c) => reducer.reduce_cubic_controlled(ode, c),
+                None => reducer.reduce_cubic(ode),
+            }
         };
         self.run(
             initial,
@@ -1066,6 +1239,7 @@ impl AdaptiveReducer {
             &|rom| rom.stats().is_stable(),
             &|rom| sampler.residual_cubic(rom.system()),
             sampler.full_solves(),
+            control,
         )
     }
 
@@ -1083,6 +1257,7 @@ impl AdaptiveReducer {
         stable_of: &dyn Fn(&R) -> bool,
         residual_of: &dyn Fn(&R) -> Result<BandResidual>,
         full_model_solves: usize,
+        control: Option<&RunControl>,
     ) -> Result<AdaptiveOutcome<R>> {
         let mut cfg = initial;
         let mut rom = reduce(&cfg)?;
@@ -1104,6 +1279,15 @@ impl AdaptiveReducer {
                 trace.stop = StopReason::ToleranceReached;
                 break;
             }
+            // Preemption point of the greedy search: from here on a ROM
+            // always exists, so a stop degrades to best-so-far instead of
+            // erroring.
+            if let Some(c) = control {
+                if c.checkpoint_with("adaptive-move", res.max()).is_err() {
+                    trace.stop = StopReason::from_cause(c.stop_cause());
+                    return Ok(AdaptiveOutcome { rom, trace });
+                }
+            }
             let order = order_of(&rom);
             let mut best: Option<(AdaptiveMove, AdaptiveConfig, R, BandResidual, f64)> = None;
             let mut saw_over_budget = false;
@@ -1114,10 +1298,20 @@ impl AdaptiveReducer {
                 }
                 let cfg2 = cfg.apply(mv);
                 // A failing probe (e.g. every extra candidate deflated, or an
-                // illegal engine combination) is simply not taken.
-                let Ok(rom2) = reduce(&cfg2) else {
-                    trace.evaluations += 1;
-                    continue;
+                // illegal engine combination) is simply not taken — but an
+                // *interrupted* probe means the whole run was told to stop,
+                // and the current `rom` is the best seen.
+                let rom2 = match reduce(&cfg2) {
+                    Ok(rom2) => rom2,
+                    Err(MorError::Linalg(LinalgError::Interrupted(cause))) => {
+                        trace.evaluations += 1;
+                        trace.stop = StopReason::from_cause(Some(cause));
+                        return Ok(AdaptiveOutcome { rom, trace });
+                    }
+                    Err(_) => {
+                        trace.evaluations += 1;
+                        continue;
+                    }
                 };
                 trace.evaluations += 1;
                 let order2 = order_of(&rom2);
@@ -1348,5 +1542,94 @@ mod tests {
         let outcome = AdaptiveReducer::new(spec).reduce_cubic(&ode).unwrap();
         assert!(outcome.rom.order() < n);
         assert!(outcome.trace.final_residual() <= outcome.trace.initial_residual());
+    }
+
+    #[test]
+    fn zero_deadline_interrupts_before_the_first_rom_with_a_typed_error() {
+        let q = chain_qldae(16);
+        let spec = AdaptiveSpec::new(FrequencyBand::new(0.05, 2.0).unwrap(), 1e-6);
+        let control = RunControl::new().with_deadline(std::time::Duration::ZERO);
+        let err = AdaptiveReducer::new(spec)
+            .reduce_controlled(&q, &control)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MorError::Linalg(LinalgError::Interrupted(StopCause::DeadlineExceeded))
+            ),
+            "expected a typed deadline interrupt, got {err}"
+        );
+    }
+
+    /// The issue's cancellation property test: cancelling the token at an
+    /// arbitrary checkpoint yields either the typed interrupt (stop landed
+    /// before the first ROM existed) or a best-so-far outcome whose ROM is
+    /// Hurwitz and whose trace says [`StopReason::Cancelled`] — never a
+    /// panic, never a silent non-finite result.
+    #[test]
+    fn cancelling_at_any_checkpoint_yields_best_so_far_or_a_typed_error() {
+        let q = chain_qldae(18);
+        let spec =
+            AdaptiveSpec::new(FrequencyBand::new(0.05, 2.0).unwrap(), 1e-9).with_max_iterations(8);
+        // Deterministic pseudo-random cancellation points spanning "inside
+        // the sampler build" through "deep in the greedy search".
+        for cancel_at in [1usize, 3, 7, 19, 41, 97, 211, 463] {
+            let control = RunControl::new();
+            let handle = control.clone();
+            let probe = control.clone();
+            let control = control.with_progress(move |event| {
+                if event.sequence >= cancel_at {
+                    handle.cancel();
+                }
+            });
+            match AdaptiveReducer::new(spec).reduce_controlled(&q, &control) {
+                Ok(outcome) => {
+                    // A cancellation point past the run's total checkpoint
+                    // count never fires — the search is allowed to finish
+                    // for its own reasons then.
+                    if probe.is_cancelled() {
+                        assert_eq!(
+                            outcome.trace.stop,
+                            StopReason::Cancelled,
+                            "cancel_at={cancel_at}"
+                        );
+                    }
+                    assert!(
+                        outcome.rom.stats().is_stable(),
+                        "best-so-far ROM not Hurwitz at cancel_at={cancel_at}"
+                    );
+                    assert!(outcome.trace.final_residual().is_finite());
+                }
+                Err(MorError::Linalg(LinalgError::Interrupted(StopCause::Cancelled))) => {}
+                Err(other) => panic!("unexpected error at cancel_at={cancel_at}: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancelling_after_the_initial_rom_returns_it_with_a_cancelled_stop() {
+        let q = chain_qldae(18);
+        let spec =
+            AdaptiveSpec::new(FrequencyBand::new(0.05, 2.0).unwrap(), 1e-9).with_max_iterations(8);
+        let control = RunControl::new();
+        let handle = control.clone();
+        // Cancel the moment the greedy loop announces its first move — the
+        // initial reduction and residual are already in hand then.
+        let control = control.with_progress(move |event| {
+            if event.stage == "adaptive-move" {
+                handle.cancel();
+            }
+        });
+        let outcome = AdaptiveReducer::new(spec)
+            .reduce_controlled(&q, &control)
+            .unwrap();
+        assert_eq!(outcome.trace.stop, StopReason::Cancelled);
+        assert_eq!(outcome.trace.steps.len(), 1, "no move can have been taken");
+        assert!(outcome.rom.stats().is_stable());
+        let uncancelled = AdaptiveReducer::new(spec).reduce(&q).unwrap();
+        assert!(
+            outcome.trace.final_residual() >= uncancelled.trace.final_residual(),
+            "the full run must do at least as well as the preempted one"
+        );
     }
 }

@@ -28,7 +28,9 @@
 
 use vamor_linalg::kron::vec_of;
 use vamor_linalg::sparse_lu::SPARSE_AUTO_THRESHOLD;
-use vamor_linalg::{kron_vec, CsrMatrix, Matrix, SchurDecomposition, SolverBackend, Vector};
+use vamor_linalg::{
+    kron_vec, CsrMatrix, Matrix, PivotRecovery, SchurDecomposition, SolverBackend, Vector,
+};
 use vamor_system::{CubicOde, Qldae};
 
 use crate::bigsmall::{solve_sylvester_big_small, solve_sylvester_big_small_with_schur};
@@ -150,6 +152,7 @@ pub(crate) fn rescale_state(state: &mut [&mut Vector], extra: Option<&mut Matrix
 pub struct AssocMomentGenerator<'a> {
     qldae: &'a Qldae,
     g1_lu: G1Factor,
+    recovery: PivotRecovery,
     kron_op: KronSumOp2,
     block_op: BlockH2Op,
     /// Schur form of `G₁` (as the Schur of `(G₁ᵀ)ᵀ`), reused by every
@@ -196,7 +199,8 @@ impl<'a> AssocMomentGenerator<'a> {
     pub fn with_options(qldae: &'a Qldae, caching: bool, backend: SolverBackend) -> Result<Self> {
         let g1 = qldae.g1();
         let sparse = backend.use_sparse(g1.rows(), SPARSE_AUTO_THRESHOLD);
-        let g1_lu = G1Factor::build(qldae.g1_csr(), g1, sparse).map_err(MorError::Linalg)?;
+        let (g1_lu, recovery) =
+            G1Factor::build_with_recovery(qldae.g1_csr(), g1, sparse).map_err(MorError::Linalg)?;
         let build_block = |kron: KronSumOp2, cache: bool| -> Result<BlockH2Op> {
             if sparse {
                 BlockH2Op::with_kron_sparse(g1, qldae.g2(), kron, cache, qldae.g1_csr())
@@ -211,6 +215,7 @@ impl<'a> AssocMomentGenerator<'a> {
             Ok(AssocMomentGenerator {
                 qldae,
                 g1_lu,
+                recovery,
                 kron_op,
                 block_op,
                 g1_schur,
@@ -222,11 +227,18 @@ impl<'a> AssocMomentGenerator<'a> {
             Ok(AssocMomentGenerator {
                 qldae,
                 g1_lu,
+                recovery,
                 kron_op,
                 block_op,
                 g1_schur: None,
             })
         }
+    }
+
+    /// What the pivot degradation ladder did while factoring `G₁`
+    /// (`PivotRecovery::default()` = healthy first try).
+    pub fn pivot_recovery(&self) -> PivotRecovery {
+        self.recovery
     }
 
     /// The cached Schur form of `G₁` (present when solver caching is on), so
@@ -596,6 +608,7 @@ impl<'a> AssocMomentGenerator<'a> {
 pub struct CubicAssocMomentGenerator<'a> {
     ode: &'a CubicOde,
     g1_lu: G1Factor,
+    recovery: PivotRecovery,
     kron_op: KronSumOp2,
     g1_schur: Option<SchurDecomposition>,
 }
@@ -628,7 +641,8 @@ impl<'a> CubicAssocMomentGenerator<'a> {
     /// Returns an error if `G₁` is singular.
     pub fn with_options(ode: &'a CubicOde, caching: bool, backend: SolverBackend) -> Result<Self> {
         let sparse = backend.use_sparse(ode.g1().rows(), SPARSE_AUTO_THRESHOLD);
-        let g1_lu = G1Factor::build(ode.g1_csr(), ode.g1(), sparse).map_err(MorError::Linalg)?;
+        let (g1_lu, recovery) = G1Factor::build_with_recovery(ode.g1_csr(), ode.g1(), sparse)
+            .map_err(MorError::Linalg)?;
         let kron_op = if caching {
             KronSumOp2::new(ode.g1())?
         } else {
@@ -638,9 +652,15 @@ impl<'a> CubicAssocMomentGenerator<'a> {
         Ok(CubicAssocMomentGenerator {
             ode,
             g1_lu,
+            recovery,
             kron_op,
             g1_schur,
         })
+    }
+
+    /// What the pivot degradation ladder did while factoring `G₁`.
+    pub fn pivot_recovery(&self) -> PivotRecovery {
+        self.recovery
     }
 
     /// The cached Schur form of `G₁` (present when solver caching is on).

@@ -18,6 +18,9 @@ pub enum MorError {
     Linalg(LinalgError),
     /// Construction of the reduced system failed.
     System(SystemError),
+    /// A moment-chain worker panicked; the payload message is preserved so
+    /// the failing chain can be identified without aborting the process.
+    ChainPanicked(String),
 }
 
 impl fmt::Display for MorError {
@@ -27,6 +30,9 @@ impl fmt::Display for MorError {
             MorError::EmptyProjection => write!(f, "projection basis is empty after deflation"),
             MorError::Linalg(e) => write!(f, "linear algebra error during reduction: {e}"),
             MorError::System(e) => write!(f, "system construction error during reduction: {e}"),
+            MorError::ChainPanicked(msg) => {
+                write!(f, "moment-chain worker panicked during reduction: {msg}")
+            }
         }
     }
 }
@@ -65,5 +71,8 @@ mod tests {
         assert!(e.to_string().contains("bad"));
         assert!(MorError::EmptyProjection.to_string().contains("empty"));
         assert!(std::error::Error::source(&MorError::Invalid("x".into())).is_none());
+        let e = MorError::ChainPanicked("index out of bounds".into());
+        assert!(e.to_string().contains("panicked"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

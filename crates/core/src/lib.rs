@@ -35,6 +35,7 @@
 pub mod adaptive;
 pub mod assoc;
 pub mod bigsmall;
+pub mod control;
 mod error;
 pub mod lowrank;
 pub mod norm;
@@ -51,6 +52,7 @@ pub use adaptive::{
 };
 pub use assoc::{AssocMomentGenerator, CubicAssocMomentGenerator, ScaledMoments};
 pub use bigsmall::{solve_sylvester_big_small, solve_sylvester_big_small_with_schur};
+pub use control::{ProgressEvent, RunControl, StopCause};
 pub use error::MorError;
 pub use lowrank::{
     LowRankAssocMomentGenerator, LowRankCubicMomentGenerator, LowRankDiagnostics, LowRankOptions,
@@ -58,11 +60,13 @@ pub use lowrank::{
 };
 pub use norm::NormReducer;
 pub use operators::{BlockH2Op, KronSumOp2, ShiftCacheBackend, ShiftedSolveOp};
-pub use par::parallel_map;
+pub use par::{parallel_map, try_parallel_map};
 pub use project::{
     cubic_matvec_kron, project_cubic, project_cubic_petrov, project_qldae, project_qldae_petrov,
 };
-pub use reduce::{AssocReducer, MomentSpec, ReducedCubicOde, ReducedQldae, ReductionStats};
+pub use reduce::{
+    AssocReducer, DegradationReport, MomentSpec, ReducedCubicOde, ReducedQldae, ReductionStats,
+};
 pub use vamor_linalg::SolverBackend;
 pub use volterra::{CubicVolterraKernels, VolterraKernels};
 

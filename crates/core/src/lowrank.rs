@@ -51,14 +51,15 @@ use std::sync::Mutex;
 
 use vamor_linalg::kron::unvec;
 use vamor_linalg::lowrank::{
-    compress_factors, fadi_lyapunov, heuristic_adi_shift_pairs, heuristic_adi_shifts,
-    lr_adi_lyapunov_pairs, rational_krylov_basis, AdiShift, AdiShiftOptions, LrAdiOptions,
-    ShiftedSolve,
+    compress_factors, fadi_lyapunov_controlled, heuristic_adi_shift_pairs, heuristic_adi_shifts,
+    lr_adi_lyapunov_pairs_controlled, rational_krylov_basis_controlled, AdiShift, AdiShiftOptions,
+    LrAdiOptions, LrAdiStats, ShiftedSolve,
 };
 use vamor_linalg::sparse_lu::SPARSE_AUTO_THRESHOLD;
 use vamor_linalg::{
-    kron_vec, CholeskyDecomposition, CsrMatrix, Matrix, ShiftedLuCache, ShiftedSparseLuCache,
-    SolverBackend, SparseLu, SylvesterSolver, Vector,
+    kron_vec, CholeskyDecomposition, CsrMatrix, LinalgError, Matrix, PivotRecovery, RunControl,
+    ShiftedLuCache, ShiftedSparseLuCache, SolverBackend, SparseLu, SparseLuSymbolic,
+    SylvesterSolver, Vector,
 };
 use vamor_system::{CubicOde, Qldae};
 
@@ -149,6 +150,12 @@ pub struct LowRankDiagnostics {
     pub adi_peak_residual: f64,
     /// Largest rational-Krylov chain basis dimension.
     pub chain_basis_dim: usize,
+    /// Stall-ladder shift perturbation/reselection rounds across all ADI
+    /// solves (0 = every sweep healthy).
+    pub adi_shift_reselections: usize,
+    /// ADI solves that finished above their residual target (the chains
+    /// still complete; the weight degrades to plain Galerkin).
+    pub adi_nonconverged: usize,
 }
 
 impl LowRankDiagnostics {
@@ -158,6 +165,14 @@ impl LowRankDiagnostics {
             self.adi_peak_residual = self.adi_peak_residual.max(residual);
         }
         self.chain_basis_dim = self.chain_basis_dim.max(basis_dim);
+    }
+
+    fn absorb_adi(&mut self, stats: &LrAdiStats, tol: f64, basis_dim: usize) {
+        self.absorb(stats.iterations, stats.residual, basis_dim);
+        self.adi_shift_reselections += stats.shift_reselections;
+        if !(stats.residual.is_finite() && stats.residual <= tol) {
+            self.adi_nonconverged += 1;
+        }
     }
 }
 
@@ -204,17 +219,29 @@ pub(crate) fn csr_matmul(a: &CsrMatrix, m: &Matrix) -> Matrix {
 }
 
 /// Builds the `G₁` factorization without touching the dense view in sparse
-/// mode.
-fn g1_factor(csr: &CsrMatrix, sparse: bool) -> Result<G1Factor> {
+/// mode, walking the pivot degradation ladder: threshold escalation inside
+/// the sparse backend first, then — only if every rung reports `Singular` —
+/// a dense fallback (which does materialize the dense view, as the last
+/// resort of the ladder).
+fn g1_factor(csr: &CsrMatrix, sparse: bool) -> Result<(G1Factor, PivotRecovery)> {
+    let mut recovery = PivotRecovery::default();
     if sparse {
-        Ok(G1Factor::Sparse(
-            SparseLu::factor(csr).map_err(MorError::Linalg)?,
-        ))
-    } else {
-        Ok(G1Factor::Dense(
-            csr.to_dense().lu().map_err(MorError::Linalg)?,
-        ))
+        match SparseLuSymbolic::analyze(csr)
+            .and_then(|symbolic| SparseLu::factor_shifted_with_recovery(&symbolic, csr, 0.0))
+        {
+            Ok((lu, escalations)) => {
+                recovery.escalations = escalations;
+                return Ok((G1Factor::Sparse(lu), recovery));
+            }
+            Err(LinalgError::Singular(_)) => {
+                recovery.escalations = 2;
+                recovery.dense_fallback = true;
+            }
+            Err(e) => return Err(MorError::Linalg(e)),
+        }
     }
+    let lu = csr.to_dense().lu().map_err(MorError::Linalg)?;
+    Ok((G1Factor::Dense(lu), recovery))
 }
 
 /// Shared construction of the shift pool: one Ritz sweep over the `G₁`
@@ -276,9 +303,11 @@ fn pool_seed(n: usize, b: &Matrix) -> Vector {
 pub struct LowRankAssocMomentGenerator<'a> {
     qldae: &'a Qldae,
     g1_lu: G1Factor,
+    recovery: PivotRecovery,
     solver: ShiftedSolverBackend,
     shifts: Vec<f64>,
     opts: LowRankOptions,
+    control: RunControl,
     diagnostics: Mutex<LowRankDiagnostics>,
 }
 
@@ -293,17 +322,36 @@ impl<'a> LowRankAssocMomentGenerator<'a> {
     pub fn new(qldae: &'a Qldae, backend: SolverBackend, opts: LowRankOptions) -> Result<Self> {
         let csr = qldae.g1_csr();
         let sparse = backend.use_sparse(csr.rows(), SPARSE_AUTO_THRESHOLD);
-        let g1_lu = g1_factor(csr, sparse)?;
+        let (g1_lu, recovery) = g1_factor(csr, sparse)?;
         let solver = ShiftedSolverBackend::over_csr(csr, sparse);
         let shifts = shift_pool(solver.as_dyn(), qldae.b(), &opts)?;
         Ok(LowRankAssocMomentGenerator {
             qldae,
             g1_lu,
+            recovery,
             solver,
             shifts,
             opts,
+            control: RunControl::new(),
             diagnostics: Mutex::new(LowRankDiagnostics::default()),
         })
+    }
+
+    /// Attaches a cooperative [`RunControl`]: every chain step and every ADI
+    /// sweep of this generator then runs a checkpoint, so a cancellation or
+    /// a passed deadline surfaces as a typed
+    /// [`LinalgError::Interrupted`](vamor_linalg::LinalgError::Interrupted)
+    /// from the moment routines.
+    #[must_use]
+    pub fn with_control(mut self, control: RunControl) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// What the pivot degradation ladder did while factoring `G₁`
+    /// (`PivotRecovery::default()` = healthy first try).
+    pub fn pivot_recovery(&self) -> PivotRecovery {
+        self.recovery
     }
 
     /// The heuristic ADI shift pool (positive magnitudes, large to small).
@@ -353,12 +401,13 @@ impl<'a> LowRankAssocMomentGenerator<'a> {
 
     /// A chain basis plus its reduced matrix `H = Qᵀ G₁ Q`.
     fn chain_frame(&self, seeds: &[Vector], depth: usize) -> Result<(Matrix, Vec<Vector>, Matrix)> {
-        let q = rational_krylov_basis(
+        let q = rational_krylov_basis_controlled(
             self.solver.as_dyn(),
             seeds,
             &self.shifts,
             depth,
             self.opts.chain_basis_cap,
+            &self.control,
         )
         .map_err(MorError::Linalg)?;
         let f = csr_matmul(self.qldae.g1_csr(), &q);
@@ -416,6 +465,9 @@ impl<'a> LowRankAssocMomentGenerator<'a> {
         let mut out = ScaledMoments::with_capacity(count);
         let mut frame = 0.0;
         for _ in 0..count {
+            self.control
+                .checkpoint("lowrank-chain-step")
+                .map_err(MorError::Linalg)?;
             what = lyap.solve(&what).map_err(MorError::Linalg)?;
             // G₂ vec(Q Ŵ Qᵀ) assembled one basis column at a time:
             // W = Σ_j (Q Ŵ e_j) q_jᵀ and vec(c q_jᵀ) = q_j ⊗ c.
@@ -487,9 +539,14 @@ impl<'a> LowRankAssocMomentGenerator<'a> {
             (Some(d), Some(db)) => d.matvec(db),
             _ => Vector::zeros(n),
         };
+        // Non-strict: the chain tolerates a residual above `adi_tol` (the
+        // stall ladder still perturbs shifts), and the nonconvergence is
+        // recorded in the diagnostics instead of aborting the chain.
         let adi = LrAdiOptions {
             tol: self.opts.adi_tol,
             max_iterations: self.opts.adi_max_iterations,
+            strict: false,
+            ..LrAdiOptions::default()
         };
 
         let mut acc: Vec<Vector> = Vec::with_capacity(count);
@@ -497,6 +554,9 @@ impl<'a> LowRankAssocMomentGenerator<'a> {
         let mut out = ScaledMoments::with_capacity(count);
         let mut frame = 0.0;
         for _ in 0..count {
+            self.control
+                .checkpoint("lowrank-chain-step")
+                .map_err(MorError::Linalg)?;
             // Bottom block: (H ⊕ H) Ĉ + Ĉ Hᵀ = Ĉ_prev in the small frame.
             core = solve_sylvester_big_small_with_schur(&kron_small, &schur_small, &core)?;
             // M = G₂ ∘ ((Q ⊗ Q) Ĉ): column l is G₂ vec(Q Ĉ_l Qᵀ).
@@ -525,9 +585,19 @@ impl<'a> LowRankAssocMomentGenerator<'a> {
                 u_rhs.set_col(tu.cols() + j, &m.col(j).scaled(-1.0));
                 v_rhs.set_col(tu.cols() + j, qj);
             }
-            let sol = fadi_lyapunov(self.solver.as_dyn(), &u_rhs, &v_rhs, &self.shifts, &adi)
-                .map_err(MorError::Linalg)?;
-            self.record(sol.stats.iterations, sol.stats.residual, k);
+            let sol = fadi_lyapunov_controlled(
+                self.solver.as_dyn(),
+                &u_rhs,
+                &v_rhs,
+                &self.shifts,
+                &adi,
+                &self.control,
+            )
+            .map_err(MorError::Linalg)?;
+            self.diagnostics
+                .lock()
+                .expect("diagnostics poisoned")
+                .absorb_adi(&sol.stats, adi.tol, k);
             let (cu, cv) = compress_factors(&sol.u, &sol.v, self.opts.compress_tol)
                 .map_err(MorError::Linalg)?;
             tu = cu;
@@ -593,9 +663,11 @@ impl<'a> LowRankAssocMomentGenerator<'a> {
 pub struct LowRankCubicMomentGenerator<'a> {
     ode: &'a CubicOde,
     g1_lu: G1Factor,
+    recovery: PivotRecovery,
     solver: ShiftedSolverBackend,
     shifts: Vec<f64>,
     opts: LowRankOptions,
+    control: RunControl,
     diagnostics: Mutex<LowRankDiagnostics>,
 }
 
@@ -608,17 +680,32 @@ impl<'a> LowRankCubicMomentGenerator<'a> {
     pub fn new(ode: &'a CubicOde, backend: SolverBackend, opts: LowRankOptions) -> Result<Self> {
         let csr = ode.g1_csr();
         let sparse = backend.use_sparse(csr.rows(), SPARSE_AUTO_THRESHOLD);
-        let g1_lu = g1_factor(csr, sparse)?;
+        let (g1_lu, recovery) = g1_factor(csr, sparse)?;
         let solver = ShiftedSolverBackend::over_csr(csr, sparse);
         let shifts = shift_pool(solver.as_dyn(), ode.b(), &opts)?;
         Ok(LowRankCubicMomentGenerator {
             ode,
             g1_lu,
+            recovery,
             solver,
             shifts,
             opts,
+            control: RunControl::new(),
             diagnostics: Mutex::new(LowRankDiagnostics::default()),
         })
+    }
+
+    /// Attaches a cooperative [`RunControl`] (see
+    /// [`LowRankAssocMomentGenerator::with_control`]).
+    #[must_use]
+    pub fn with_control(mut self, control: RunControl) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// What the pivot degradation ladder did while factoring `G₁`.
+    pub fn pivot_recovery(&self) -> PivotRecovery {
+        self.recovery
     }
 
     /// Aggregated ADI/basis diagnostics.
@@ -662,12 +749,13 @@ impl<'a> LowRankCubicMomentGenerator<'a> {
         }
         let n = self.n();
         let b = self.b_col(input)?;
-        let q = rational_krylov_basis(
+        let q = rational_krylov_basis_controlled(
             self.solver.as_dyn(),
             std::slice::from_ref(&b),
             &self.shifts,
             count + 2,
             self.opts.chain_basis_cap,
+            &self.control,
         )
         .map_err(MorError::Linalg)?;
         let k = q.cols();
@@ -689,6 +777,9 @@ impl<'a> LowRankCubicMomentGenerator<'a> {
         let mut out = ScaledMoments::with_capacity(count);
         let mut frame = 0.0;
         for _ in 0..count {
+            self.control
+                .checkpoint("lowrank-chain-step")
+                .map_err(MorError::Linalg)?;
             core = solve_sylvester_big_small_with_schur(&kron_small, &schur_small, &core)?;
             // G₃ vec(W) with vec(W) = Σ_{l,j} q_l ⊗ q_j ⊗ (Q Ĉ_l e_j).
             let mut g3w_k = Vector::zeros(n);
@@ -730,46 +821,75 @@ pub(crate) struct LowRankWeight {
     pub z: Option<Matrix>,
     pub adi_iterations: usize,
     pub adi_residual: f64,
+    /// Stall-ladder shift reselections the weight solve took.
+    pub shift_reselections: usize,
+    /// True when the weight solve finished above its acceptance gate and the
+    /// projection degrades to plain Galerkin.
+    pub nonconverged: bool,
+}
+
+impl LowRankWeight {
+    fn degraded() -> Self {
+        LowRankWeight {
+            z: None,
+            adi_iterations: 0,
+            adi_residual: f64::NAN,
+            shift_reselections: 0,
+            nonconverged: true,
+        }
+    }
 }
 
 /// Builds the factored observability weight from the CSR stamp of `G₁` and
 /// the output matrix, using a transposed shifted cache (`A = G₁ᵀ`).
+///
+/// The weight is best-effort: any numerical failure degrades to `z: None`
+/// (plain Galerkin with the spectral guard). Only a cooperative stop of the
+/// `control` token is propagated as an error.
+///
+/// # Errors
+///
+/// [`LinalgError::Interrupted`] (wrapped in [`MorError::Linalg`]) when
+/// `control` is cancelled or past its deadline mid-sweep.
 pub(crate) fn lowrank_weight(
     g1_csr: &CsrMatrix,
     c: &Matrix,
     sparse: bool,
     opts: &LowRankOptions,
-) -> LowRankWeight {
+    control: &RunControl,
+) -> Result<LowRankWeight> {
     let solver = ShiftedSolverBackend::over_csr(&g1_csr.transpose(), sparse);
     let b = c.transpose();
     let built = shift_pool_pairs(solver.as_dyn(), &b, opts).and_then(|shifts| {
-        lr_adi_lyapunov_pairs(
+        lr_adi_lyapunov_pairs_controlled(
             solver.as_dyn(),
             &b,
             &shifts,
+            // Non-strict: the 1e-4 acceptance gate below decides whether the
+            // factor is usable; a stalled run degrades instead of erroring.
             &LrAdiOptions {
                 tol: opts.adi_tol,
                 max_iterations: opts.adi_max_iterations,
+                strict: false,
+                ..LrAdiOptions::default()
             },
+            control,
         )
         .map_err(MorError::Linalg)
     });
     match built {
-        Ok(sol) if sol.stats.residual.is_finite() && sol.stats.residual <= 1e-4 => LowRankWeight {
-            adi_iterations: sol.stats.iterations,
-            adi_residual: sol.stats.residual,
-            z: Some(sol.z),
-        },
-        Ok(sol) => LowRankWeight {
-            adi_iterations: sol.stats.iterations,
-            adi_residual: sol.stats.residual,
-            z: None,
-        },
-        Err(_) => LowRankWeight {
-            adi_iterations: 0,
-            adi_residual: f64::NAN,
-            z: None,
-        },
+        Ok(sol) => {
+            let converged = sol.stats.residual.is_finite() && sol.stats.residual <= 1e-4;
+            Ok(LowRankWeight {
+                adi_iterations: sol.stats.iterations,
+                adi_residual: sol.stats.residual,
+                shift_reselections: sol.stats.shift_reselections,
+                nonconverged: !converged,
+                z: converged.then_some(sol.z),
+            })
+        }
+        Err(MorError::Linalg(e @ LinalgError::Interrupted(_))) => Err(MorError::Linalg(e)),
+        Err(_) => Ok(LowRankWeight::degraded()),
     }
 }
 
@@ -864,8 +984,9 @@ pub(crate) fn project_guarded_lowrank<T>(
 }
 
 /// Builds the `G₁` factorization for a backend choice without materializing
-/// the dense view in sparse mode (shared with [`crate::NormReducer`]).
-pub(crate) fn g1_factor_for(csr: &CsrMatrix, sparse: bool) -> Result<G1Factor> {
+/// the dense view in sparse mode (shared with [`crate::NormReducer`]),
+/// reporting what the pivot degradation ladder did.
+pub(crate) fn g1_factor_for(csr: &CsrMatrix, sparse: bool) -> Result<(G1Factor, PivotRecovery)> {
     g1_factor(csr, sparse)
 }
 
@@ -992,8 +1113,16 @@ mod tests {
     #[test]
     fn lowrank_weight_produces_biorthonormal_projection_pair() {
         let q = chain_qldae(12, false);
-        let weight = lowrank_weight(q.g1_csr(), q.c(), false, &LowRankOptions::default());
+        let weight = lowrank_weight(
+            q.g1_csr(),
+            q.c(),
+            false,
+            &LowRankOptions::default(),
+            &RunControl::new(),
+        )
+        .unwrap();
         assert!(weight.z.is_some());
+        assert!(!weight.nonconverged);
         assert!(weight.adi_residual <= 1e-8);
         // A Euclidean-orthonormal 3-column basis.
         let mut basis = vamor_linalg::OrthoBasis::new(12);

@@ -8,7 +8,7 @@
 //! transform removes. This module implements that baseline so the paper's
 //! size and runtime comparisons (Table 1, Figs. 3–4) can be reproduced.
 
-use vamor_linalg::{OrthoBasis, SolverBackend, Vector};
+use vamor_linalg::{OrthoBasis, RunControl, SolverBackend, Vector};
 use vamor_system::Qldae;
 
 use crate::assoc::G1Factor;
@@ -152,6 +152,23 @@ impl NormReducer {
     ///
     /// Returns an error if `G₁` is singular or every candidate deflates.
     pub fn reduce(&self, qldae: &Qldae) -> Result<ReducedQldae> {
+        self.reduce_impl(qldae, None)
+    }
+
+    /// [`NormReducer::reduce`] under a cooperative [`RunControl`], checked
+    /// once per resolvent chain. A cancellation or passed deadline surfaces
+    /// as a typed
+    /// [`LinalgError::Interrupted`](vamor_linalg::LinalgError::Interrupted).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NormReducer::reduce`], plus `Interrupted` on a
+    /// stop.
+    pub fn reduce_controlled(&self, qldae: &Qldae, control: &RunControl) -> Result<ReducedQldae> {
+        self.reduce_impl(qldae, Some(control))
+    }
+
+    fn reduce_impl(&self, qldae: &Qldae, control: Option<&RunControl>) -> Result<ReducedQldae> {
         if self.spec.total() == 0 {
             return Err(MorError::Invalid(
                 "at least one moment must be requested".into(),
@@ -161,11 +178,12 @@ impl NormReducer {
         let num_inputs = qldae.b().cols();
         let sparse = self.backend.use_sparse(n, SPARSE_AUTO_THRESHOLD);
         let use_lowrank = self.engine.use_lowrank(n);
-        let g1_lu: G1Factor = if use_lowrank {
+        let (g1_lu, recovery): (G1Factor, _) = if use_lowrank {
             // Never materialize the dense G₁ view on the low-rank engine.
             g1_factor_for(qldae.g1_csr(), sparse)?
         } else {
-            G1Factor::build(qldae.g1_csr(), qldae.g1(), sparse).map_err(MorError::Linalg)?
+            G1Factor::build_with_recovery(qldae.g1_csr(), qldae.g1(), sparse)
+                .map_err(MorError::Linalg)?
         };
         let frame = if use_lowrank {
             StabilizationFrame::inactive()
@@ -178,14 +196,15 @@ impl NormReducer {
             lowrank_engine: use_lowrank,
             ..ReductionStats::default()
         };
+        stats.degradation.absorb_pivot(recovery);
 
         // First-order chains A_a = G1^{-(a+1)} b per input, computed on
         // worker threads (one independent chain per input).
         let max_chain = self.spec.k1.max(self.spec.k2).max(self.spec.k3).max(1);
         let input_columns: Vec<Vector> = (0..num_inputs).map(|i| qldae.b().col(i)).collect();
-        let chains: Vec<Vec<Vector>> = fallible(crate::par::parallel_map(input_columns, |b| {
+        let chains: Vec<Vec<Vector>> = run_chains(input_columns, control, |b| {
             resolvent_chain(&g1_lu, b, max_chain - 1)
-        }))?;
+        })?;
 
         for chain in &chains {
             stats.h1_candidates += chain.len().min(self.spec.k1);
@@ -230,9 +249,9 @@ impl NormReducer {
                 }
             }
             let degrees: Vec<usize> = seeds.iter().map(|(_, _, degree)| *degree).collect();
-            let computed = fallible(crate::par::parallel_map(seeds, |(seed, extra, _)| {
+            let computed = run_chains(seeds, control, |(seed, extra, _)| {
                 resolvent_chain(&g1_lu, seed, extra)
-            }))?;
+            })?;
             for (chain, base_degree) in computed.into_iter().zip(degrees) {
                 for (p, v) in chain.into_iter().enumerate() {
                     stats.h2_candidates += 1;
@@ -272,9 +291,9 @@ impl NormReducer {
                     }
                 }
             }
-            let computed = fallible(crate::par::parallel_map(seeds, |(seed, extra, _)| {
+            let computed = run_chains(seeds, control, |(seed, extra, _)| {
                 resolvent_chain(&g1_lu, seed, extra)
-            }))?;
+            })?;
             for chain in computed {
                 stats.h3_candidates += chain.len();
                 basis
@@ -293,17 +312,28 @@ impl NormReducer {
         stats.qr_dropped = dropped;
         if use_lowrank {
             let weight = if self.stabilized {
-                lowrank_weight(qldae.g1_csr(), qldae.c(), sparse, &self.lowrank_opts)
+                let weight_control = control.cloned().unwrap_or_default();
+                lowrank_weight(
+                    qldae.g1_csr(),
+                    qldae.c(),
+                    sparse,
+                    &self.lowrank_opts,
+                    &weight_control,
+                )?
             } else {
                 crate::lowrank::LowRankWeight {
                     z: None,
                     adi_iterations: 0,
                     adi_residual: f64::NAN,
+                    shift_reselections: 0,
+                    nonconverged: false,
                 }
             };
             stats.energy_weighted = weight.z.is_some();
             stats.adi_iterations = weight.adi_iterations;
             stats.adi_residual = weight.adi_residual;
+            stats.degradation.adi_shift_reselections += weight.shift_reselections;
+            stats.degradation.adi_nonconverged += usize::from(weight.nonconverged);
             let (system, v) = project_guarded_lowrank(
                 qldae.g1_csr(),
                 qtil,
@@ -350,9 +380,24 @@ fn resolvent_chain(g1_lu: &G1Factor, seed: Vector, extra: usize) -> Result<Vec<V
     Ok(out)
 }
 
-/// Collects a list of per-chain results, propagating the first error.
-fn fallible<T>(results: Vec<Result<T>>) -> Result<Vec<T>> {
-    results.into_iter().collect()
+/// Runs the independent resolvent chains on the scoped worker threads: a
+/// panicking worker surfaces as a typed [`MorError::ChainPanicked`] for this
+/// reduction only, and the cooperative `control` token is checked once per
+/// chain so a stop interrupts the fan-out with a typed error.
+fn run_chains<T, F>(items: Vec<T>, control: Option<&RunControl>, f: F) -> Result<Vec<Vec<Vector>>>
+where
+    T: Send,
+    F: Fn(T) -> Result<Vec<Vector>> + Sync,
+{
+    crate::par::try_parallel_map(items, |item| {
+        if let Some(c) = control {
+            c.checkpoint("norm-chain").map_err(MorError::Linalg)?;
+        }
+        f(item)
+    })
+    .into_iter()
+    .map(|task| task.map_err(MorError::ChainPanicked).and_then(|r| r))
+    .collect()
 }
 
 /// Number of tuples of `k` non-negative integers with sum at most `max_sum`

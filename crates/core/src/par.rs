@@ -6,30 +6,52 @@
 //! without any external dependency. Results are written slot-by-slot and
 //! consumed in task order, so the projection basis is assembled in exactly
 //! the same deterministic order as the sequential code.
+//!
+//! Every task runs under `catch_unwind`: a panicking chain worker no longer
+//! poisons the slot mutexes and takes the whole process down — the panic is
+//! captured per task ([`try_parallel_map`]) so the reducers can convert it
+//! into a typed [`crate::MorError`] for that reduction only.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Renders a captured panic payload as a message (the `&str`/`String` shapes
+/// `panic!` produces, with a fallback for exotic payloads).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
 /// Applies `f` to every item, in parallel when the machine has more than one
-/// core and there is more than one item, returning results in item order.
+/// core and there is more than one item, returning per-item results in item
+/// order — `Err(panic message)` for a task whose closure panicked, without
+/// aborting the sibling tasks or the process.
 ///
 /// Worker threads pull items off a shared atomic counter, so load imbalance
 /// between heavy (H₃) and light (H₁) chains is absorbed automatically.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+pub fn try_parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<std::result::Result<R, String>>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    let run = |item: T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(panic_message);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let workers = workers.min(items.len());
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        return items.into_iter().map(run).collect();
     }
 
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<std::result::Result<R, String>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     let queue: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
 
@@ -42,7 +64,7 @@ where
                 }
                 let item = queue[i].lock().expect("task slot poisoned").take();
                 let item = item.expect("task consumed twice");
-                let result = f(item);
+                let result = run(item);
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -54,6 +76,25 @@ where
             slot.into_inner()
                 .expect("result slot poisoned")
                 .expect("worker dropped a task")
+        })
+        .collect()
+}
+
+/// [`try_parallel_map`] for infallible closures: a panicking task is
+/// re-raised once, deterministically, on the caller's thread after every
+/// sibling task has finished (instead of a poisoned-mutex `expect` cascade
+/// mid-scope).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    try_parallel_map(items, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(msg) => panic!("parallel_map worker panicked: {msg}"),
         })
         .collect()
 }
@@ -88,5 +129,39 @@ mod tests {
             },
         );
         assert_eq!(out, vec![Ok(10), Err("zero"), Ok(3)]);
+    }
+
+    #[test]
+    fn a_panicking_task_is_a_typed_result_not_an_abort() {
+        let out = try_parallel_map(vec![1, 2, 3, 4], |i| {
+            if i == 3 {
+                panic!("chain {i} poisoned");
+            }
+            i * 10
+        });
+        assert_eq!(out[0], Ok(10));
+        assert_eq!(out[1], Ok(20));
+        assert!(out[2].as_ref().is_err_and(|m| m.contains("chain 3")));
+        assert_eq!(out[3], Ok(40));
+    }
+
+    #[test]
+    fn sequential_path_catches_panics_too() {
+        let out = try_parallel_map(vec![5], |_| -> i32 { panic!("solo") });
+        assert!(out[0].as_ref().is_err_and(|m| m.contains("solo")));
+    }
+
+    #[test]
+    fn parallel_map_reraises_on_the_caller_thread() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(vec![1, 2, 3], |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        let msg = panic_message(caught.expect_err("must re-raise"));
+        assert!(msg.contains("boom"), "{msg}");
     }
 }

@@ -1,0 +1,296 @@
+//! Cooperative run control: cancellation tokens, wall-clock deadlines and
+//! progress callbacks for the long-running iterations of the reduction stack.
+//!
+//! A [`RunControl`] is a cheaply clonable handle shared between the caller
+//! (who may [`cancel`](RunControl::cancel) it from another thread) and the
+//! iterative kernels (which call [`checkpoint`](RunControl::checkpoint) at
+//! every unit of work: one ADI sweep, one moment chain, one band-grid point,
+//! one greedy move, one transient step). A checkpoint that observes a stop
+//! request returns [`LinalgError::Interrupted`] carrying the typed
+//! [`StopCause`]; drivers translate that into "return the best result seen so
+//! far" rather than an error — cancellation is a *graceful* exit, never a
+//! panic.
+//!
+//! The default token ([`RunControl::new`]) never stops and its checkpoints
+//! are a few atomic operations, so uncontrolled call paths pay nothing.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::LinalgError;
+
+/// Why a controlled run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// [`RunControl::cancel`] was called.
+    Cancelled,
+    /// The wall-clock deadline of the token passed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for StopCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopCause::Cancelled => write!(f, "cancelled"),
+            StopCause::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// One progress record, emitted at every checkpoint of a controlled run —
+/// the run-control analogue of an `AdaptiveTrace` event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressEvent {
+    /// The stage that reached the checkpoint (e.g. `"adi-sweep"`,
+    /// `"greedy-move"`, `"transient-step"`).
+    pub stage: &'static str,
+    /// Global checkpoint sequence number of the token (1-based).
+    pub sequence: usize,
+    /// Stage-specific scalar (residual, time, ...); `NaN` when the stage has
+    /// none.
+    pub value: f64,
+}
+
+type ProgressCallback = dyn Fn(ProgressEvent) + Send + Sync;
+
+struct Inner {
+    // Shared (not rebuilt) across the `with_*` builder stages, so a handle
+    // cloned before `with_progress`/`with_deadline` still cancels — and
+    // counts checkpoints of — the final token.
+    cancelled: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+    checkpoints: Arc<AtomicUsize>,
+    progress: Option<Arc<ProgressCallback>>,
+}
+
+/// Cooperative cancellation token with an optional wall-clock deadline and
+/// progress callback. Clones share state: cancelling any clone stops them
+/// all.
+#[derive(Clone)]
+pub struct RunControl {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for RunControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunControl")
+            .field("cancelled", &self.is_cancelled())
+            .field("deadline", &self.inner.deadline)
+            .field("checkpoints", &self.checkpoints())
+            .field("has_progress", &self.inner.progress.is_some())
+            .finish()
+    }
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        RunControl::new()
+    }
+}
+
+impl RunControl {
+    /// An unbounded token: never cancelled, no deadline, no callback.
+    pub fn new() -> Self {
+        RunControl {
+            inner: Arc::new(Inner {
+                cancelled: Arc::new(AtomicBool::new(false)),
+                deadline: None,
+                checkpoints: Arc::new(AtomicUsize::new(0)),
+                progress: None,
+            }),
+        }
+    }
+
+    /// Returns a token that additionally stops once `timeout` of wall-clock
+    /// time has elapsed (measured from this call). The cancellation flag and
+    /// checkpoint counter stay shared with `self` and its earlier clones.
+    #[must_use]
+    pub fn with_deadline(self, timeout: Duration) -> Self {
+        RunControl {
+            inner: Arc::new(Inner {
+                cancelled: self.inner.cancelled.clone(),
+                deadline: Some(Instant::now() + timeout),
+                checkpoints: self.inner.checkpoints.clone(),
+                progress: self.inner.progress.clone(),
+            }),
+        }
+    }
+
+    /// Returns a token that additionally invokes `callback` at every
+    /// checkpoint. The cancellation flag and checkpoint counter stay shared
+    /// with `self` and its earlier clones, so a pre-existing handle can
+    /// cancel the returned token.
+    #[must_use]
+    pub fn with_progress<F>(self, callback: F) -> Self
+    where
+        F: Fn(ProgressEvent) + Send + Sync + 'static,
+    {
+        RunControl {
+            inner: Arc::new(Inner {
+                cancelled: self.inner.cancelled.clone(),
+                deadline: self.inner.deadline,
+                checkpoints: self.inner.checkpoints.clone(),
+                progress: Some(Arc::new(callback)),
+            }),
+        }
+    }
+
+    /// Requests cooperative cancellation: the next checkpoint on any clone
+    /// observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// True once the wall-clock deadline (if any) has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.inner
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// The stop request currently in effect, if any. Cancellation takes
+    /// precedence over the deadline so an explicit `cancel()` is always
+    /// reported as such.
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        if self.is_cancelled() {
+            Some(StopCause::Cancelled)
+        } else if self.deadline_exceeded() {
+            Some(StopCause::DeadlineExceeded)
+        } else {
+            None
+        }
+    }
+
+    /// Total checkpoints observed by this token (across all clones).
+    pub fn checkpoints(&self) -> usize {
+        self.inner.checkpoints.load(Ordering::SeqCst)
+    }
+
+    /// Records one unit of work with a stage-specific scalar, invokes the
+    /// progress callback, and returns [`LinalgError::Interrupted`] when a
+    /// stop (cancellation or deadline) is in effect.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Interrupted`] carrying the [`StopCause`].
+    pub fn checkpoint_with(&self, stage: &'static str, value: f64) -> Result<(), LinalgError> {
+        let sequence = self.inner.checkpoints.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(callback) = &self.inner.progress {
+            callback(ProgressEvent {
+                stage,
+                sequence,
+                value,
+            });
+        }
+        match self.stop_cause() {
+            Some(cause) => Err(LinalgError::Interrupted(cause)),
+            None => Ok(()),
+        }
+    }
+
+    /// [`checkpoint_with`](Self::checkpoint_with) without a stage scalar.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Interrupted`] carrying the [`StopCause`].
+    pub fn checkpoint(&self, stage: &'static str) -> Result<(), LinalgError> {
+        self.checkpoint_with(stage, f64::NAN)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn unbounded_token_never_stops() {
+        let control = RunControl::new();
+        for _ in 0..100 {
+            control.checkpoint("work").unwrap();
+        }
+        assert_eq!(control.checkpoints(), 100);
+        assert_eq!(control.stop_cause(), None);
+    }
+
+    #[test]
+    fn cancellation_is_observed_by_clones() {
+        let control = RunControl::new();
+        let worker = control.clone();
+        assert!(worker.checkpoint("work").is_ok());
+        control.cancel();
+        let err = worker.checkpoint("work").unwrap_err();
+        assert_eq!(err, LinalgError::Interrupted(StopCause::Cancelled));
+        assert_eq!(worker.stop_cause(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_interrupts() {
+        let control = RunControl::new().with_deadline(Duration::ZERO);
+        let err = control.checkpoint("work").unwrap_err();
+        assert_eq!(err, LinalgError::Interrupted(StopCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancellation_outranks_the_deadline() {
+        let control = RunControl::new().with_deadline(Duration::ZERO);
+        control.cancel();
+        assert_eq!(control.stop_cause(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn progress_events_carry_stage_and_sequence() {
+        let seen: Arc<Mutex<Vec<ProgressEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let control = RunControl::new().with_progress(move |event| {
+            sink.lock().unwrap().push(event);
+        });
+        control.checkpoint_with("adi-sweep", 0.5).unwrap();
+        control.checkpoint("greedy-move").unwrap();
+        let events = seen.lock().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].stage, "adi-sweep");
+        assert_eq!(events[0].sequence, 1);
+        assert_eq!(events[0].value, 0.5);
+        assert_eq!(events[1].stage, "greedy-move");
+        assert_eq!(events[1].sequence, 2);
+        assert!(events[1].value.is_nan());
+    }
+
+    #[test]
+    fn progress_callback_may_cancel_the_run() {
+        let handle = RunControl::new();
+        let trigger = handle.clone();
+        let control = handle.with_progress(move |event| {
+            if event.sequence >= 3 {
+                trigger.cancel();
+            }
+        });
+        let mut stopped_at = None;
+        for i in 0..10 {
+            if control.checkpoint("work").is_err() {
+                stopped_at = Some(i);
+                break;
+            }
+        }
+        // The cancellation fires at the very checkpoint whose callback
+        // requested it — zero extra checkpoints slip through.
+        assert_eq!(stopped_at, Some(2));
+        assert_eq!(control.checkpoints(), 3);
+    }
+
+    #[test]
+    fn stop_cause_displays_lowercase() {
+        assert_eq!(StopCause::Cancelled.to_string(), "cancelled");
+        assert_eq!(StopCause::DeadlineExceeded.to_string(), "deadline exceeded");
+    }
+}

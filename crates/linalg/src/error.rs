@@ -20,6 +20,19 @@ pub enum LinalgError {
     },
     /// Invalid argument (empty matrix, non-positive tolerance, ...).
     InvalidArgument(String),
+    /// A controlled run was stopped cooperatively (cancellation token or
+    /// wall-clock deadline). Drivers catch this and return the best result
+    /// seen so far; it only surfaces to a caller when there is nothing to
+    /// return yet.
+    Interrupted(crate::control::StopCause),
+    /// A strict ADI run hit its iteration cap without meeting tolerance,
+    /// after exhausting the stall-recovery ladder. Carries the full
+    /// convergence report so the caller can decide whether the achieved
+    /// residual is usable.
+    AdiNonConvergence {
+        /// Convergence report of the failed run.
+        stats: crate::lowrank::LrAdiStats,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -37,6 +50,15 @@ impl fmt::Display for LinalgError {
                 write!(f, "{algorithm} did not converge in {iterations} iterations")
             }
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            LinalgError::Interrupted(cause) => write!(f, "run interrupted: {cause}"),
+            LinalgError::AdiNonConvergence { stats } => {
+                write!(
+                    f,
+                    "adi iteration stalled at residual {:.3e} after {} sweeps \
+                     ({} shifts, {} reselections)",
+                    stats.residual, stats.iterations, stats.shift_count, stats.shift_reselections
+                )
+            }
         }
     }
 }

@@ -49,8 +49,11 @@
 pub mod arnoldi;
 pub mod cholesky;
 pub mod complex;
+pub mod control;
 pub mod eig;
 pub mod error;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod hessenberg;
 pub mod kron;
 pub mod lowrank;
@@ -70,13 +73,15 @@ pub mod zmatrix;
 pub use arnoldi::{arnoldi, ArnoldiResult};
 pub use cholesky::CholeskyDecomposition;
 pub use complex::Complex;
+pub use control::{ProgressEvent, RunControl, StopCause};
 pub use eig::{eigenvalues, Eigenvalues};
 pub use error::LinalgError;
 pub use hessenberg::HessenbergDecomposition;
 pub use kron::{kron, kron_sum, kron_vec, KronSumOp};
 pub use lowrank::{
-    compress_factors, fadi_lyapunov, heuristic_adi_shift_pairs, heuristic_adi_shifts,
-    lr_adi_lyapunov, lr_adi_lyapunov_pairs, rational_krylov_basis, AdiShift, AdiShiftOptions,
+    compress_factors, fadi_lyapunov, fadi_lyapunov_controlled, heuristic_adi_shift_pairs,
+    heuristic_adi_shifts, lr_adi_lyapunov, lr_adi_lyapunov_pairs, lr_adi_lyapunov_pairs_controlled,
+    rational_krylov_basis, rational_krylov_basis_controlled, AdiShift, AdiShiftOptions,
     FadiSolution, LrAdiOptions, LrAdiSolution, LrAdiStats, ShiftedSolve,
 };
 pub use lu::LuDecomposition;
@@ -87,7 +92,9 @@ pub use qr::{PivotedQr, QrDecomposition};
 pub use schur::SchurDecomposition;
 pub use shift_cache::{ShiftedLuCache, ShiftedSparseLuCache};
 pub use sparse::{CooMatrix, CsrMatrix};
-pub use sparse_lu::{LuFactor, SolverBackend, SparseLu, SparseLuSymbolic, SparseZLu};
+pub use sparse_lu::{
+    LuFactor, PivotRecovery, SolverBackend, SparseLu, SparseLuSymbolic, SparseZLu,
+};
 pub use sylvester::{
     lyapunov_weight, lyapunov_weight_with_schur, solve_lyapunov, solve_sylvester, SylvesterSolver,
 };

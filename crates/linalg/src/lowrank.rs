@@ -205,18 +205,46 @@ impl LinearOp for ApplyOp<'_> {
 }
 
 /// Wraps the zero-shift solve of a [`ShiftedSolve`] as a [`LinearOp`] (the
-/// inverse-Arnoldi operator).
-struct InverseOp<'a>(&'a dyn ShiftedSolve);
+/// inverse-Arnoldi operator). [`LinearOp::apply`] is infallible, so a failed
+/// solve is recorded in the flag and a zero direction returned — the sweep
+/// driver converts the flag into a typed error instead of panicking.
+struct InverseOp<'a> {
+    op: &'a dyn ShiftedSolve,
+    failed: std::sync::atomic::AtomicBool,
+}
+
+impl<'a> InverseOp<'a> {
+    fn new(op: &'a dyn ShiftedSolve) -> Self {
+        InverseOp {
+            op,
+            failed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    fn check(&self) -> Result<()> {
+        if self.failed.load(std::sync::atomic::Ordering::SeqCst) {
+            Err(LinalgError::Singular(
+                "inverse arnoldi sweep: zero-shift solve failed on the base matrix".into(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
 
 impl LinearOp for InverseOp<'_> {
     fn dim(&self) -> usize {
-        self.0.dim()
+        self.op.dim()
     }
 
     fn apply(&self, x: &Vector) -> Vector {
-        self.0
-            .solve_shifted(0.0, x)
-            .expect("inverse Arnoldi sweep hit a singular base matrix")
+        match self.op.solve_shifted(0.0, x) {
+            Ok(v) => v,
+            Err(_) => {
+                self.failed.store(true, std::sync::atomic::Ordering::SeqCst);
+                Vector::zeros(self.op.dim())
+            }
+        }
     }
 }
 
@@ -306,7 +334,9 @@ pub fn heuristic_adi_shifts(
         start = Vector::from_fn(n, |i| 1.0 + (i % 7) as f64);
     }
     let direct = ritz_values(&ApplyOp(op), &start, opts.arnoldi_steps.max(1))?;
-    let inverse = ritz_values(&InverseOp(op), &start, opts.inverse_steps.max(1))?;
+    let inverse_op = InverseOp::new(op);
+    let inverse = ritz_values(&inverse_op, &start, opts.inverse_steps.max(1))?;
+    inverse_op.check()?;
 
     let mut candidates: Vec<f64> = Vec::new();
     for z in &direct {
@@ -455,7 +485,9 @@ pub fn heuristic_adi_shift_pairs(
         start = Vector::from_fn(n, |i| 1.0 + (i % 7) as f64);
     }
     let direct = ritz_values(&ApplyOp(op), &start, opts.arnoldi_steps.max(1))?;
-    let inverse = ritz_values(&InverseOp(op), &start, opts.inverse_steps.max(1))?;
+    let inverse_op = InverseOp::new(op);
+    let inverse = ritz_values(&inverse_op, &start, opts.inverse_steps.max(1))?;
+    inverse_op.check()?;
 
     // Mirror every Ritz value into the right half-plane: t = (|Re λ|, |Im λ|).
     let mut candidates: Vec<crate::Complex> = Vec::new();
@@ -509,6 +541,20 @@ pub struct LrAdiOptions {
     pub tol: f64,
     /// Hard iteration cap (shifts are cycled past their count).
     pub max_iterations: usize,
+    /// Sweeps without residual improvement before the stall ladder fires
+    /// (the effective window never drops below one full cycle of the shift
+    /// pool, so slow-but-live cycles are not mistaken for stalls). `0`
+    /// disables stall detection.
+    pub stall_sweeps: usize,
+    /// Shift-pool perturbation/reselection rounds the stall ladder may take
+    /// before giving up on the run.
+    pub stall_recoveries: usize,
+    /// When `true` (the default), finishing above `tol` — cap hit or stall
+    /// ladder exhausted — returns [`LinalgError::AdiNonConvergence`] carrying
+    /// the stats instead of a factor that merely *looks* converged. Callers
+    /// with their own acceptance gate (e.g. the reduction weight solves) opt
+    /// out and read [`LrAdiStats::residual`] themselves.
+    pub strict: bool,
 }
 
 impl Default for LrAdiOptions {
@@ -516,6 +562,9 @@ impl Default for LrAdiOptions {
         LrAdiOptions {
             tol: 1e-10,
             max_iterations: 160,
+            stall_sweeps: 8,
+            stall_recoveries: 2,
+            strict: true,
         }
     }
 }
@@ -531,6 +580,8 @@ pub struct LrAdiStats {
     pub rank: usize,
     /// Distinct shifts in the cycled pool.
     pub shift_count: usize,
+    /// Stall-ladder shift perturbation rounds taken (0 = healthy run).
+    pub shift_reselections: usize,
 }
 
 /// A factored solution `X ≈ Z Zᵀ` of a stable Lyapunov equation.
@@ -590,8 +641,11 @@ fn solve_columns(op: &dyn ShiftedSolve, sigma: f64, m: &Matrix) -> Result<Matrix
 /// # Errors
 ///
 /// Returns an error when a shifted solve fails or the dimensions mismatch.
-/// Non-convergence within the iteration cap is *not* an error: the achieved
-/// residual is reported via [`LrAdiStats::residual`] and the caller decides.
+/// With [`LrAdiOptions::strict`] (the default), finishing above tolerance —
+/// after the stall ladder has perturbed and reselected shifts up to its
+/// recovery budget — returns [`LinalgError::AdiNonConvergence`] carrying the
+/// [`LrAdiStats`]; with `strict: false` the achieved residual is reported
+/// via [`LrAdiStats::residual`] and the caller decides.
 pub fn lr_adi_lyapunov(
     op: &dyn ShiftedSolve,
     b: &Matrix,
@@ -600,6 +654,23 @@ pub fn lr_adi_lyapunov(
 ) -> Result<LrAdiSolution> {
     let shifts: Vec<AdiShift> = shifts.iter().map(|&p| AdiShift::Real(p)).collect();
     lr_adi_lyapunov_pairs(op, b, &shifts, opts)
+}
+
+/// Deterministic stall-recovery perturbation: spread the pool geometrically
+/// by a factor growing with the recovery round (alternating expansion and
+/// contraction across the pool), re-covering a spectrum the stalled rational
+/// function missed.
+fn perturb_shift_pool(pool: &mut [AdiShift], round: usize) {
+    let f = 1.0 + 0.5 * round as f64;
+    for (k, s) in pool.iter_mut().enumerate() {
+        let scale = if k % 2 == 0 { f } else { 1.0 / f };
+        *s = match *s {
+            AdiShift::Real(p) => AdiShift::Real(p * scale),
+            AdiShift::ComplexPair(mu) => {
+                AdiShift::ComplexPair(crate::Complex::new(mu.re * scale, mu.im * scale))
+            }
+        };
+    }
 }
 
 /// Solves the complex double-step columns `V = (A − μI)⁻¹ M` of a conjugate
@@ -641,6 +712,33 @@ pub fn lr_adi_lyapunov_pairs(
     shifts: &[AdiShift],
     opts: &LrAdiOptions,
 ) -> Result<LrAdiSolution> {
+    lr_adi_pairs_impl(op, b, shifts, opts, None)
+}
+
+/// [`lr_adi_lyapunov_pairs`] with a cooperative [`RunControl`] checked once
+/// per ADI sweep.
+///
+/// # Errors
+///
+/// Same contract as [`lr_adi_lyapunov_pairs`], plus
+/// [`LinalgError::Interrupted`] when the token stops the run.
+pub fn lr_adi_lyapunov_pairs_controlled(
+    op: &dyn ShiftedSolve,
+    b: &Matrix,
+    shifts: &[AdiShift],
+    opts: &LrAdiOptions,
+    control: &crate::control::RunControl,
+) -> Result<LrAdiSolution> {
+    lr_adi_pairs_impl(op, b, shifts, opts, Some(control))
+}
+
+fn lr_adi_pairs_impl(
+    op: &dyn ShiftedSolve,
+    b: &Matrix,
+    shifts: &[AdiShift],
+    opts: &LrAdiOptions,
+    control: Option<&crate::control::RunControl>,
+) -> Result<LrAdiSolution> {
     let n = op.dim();
     if b.rows() != n {
         return Err(LinalgError::DimensionMismatch(format!(
@@ -656,13 +754,28 @@ pub fn lr_adi_lyapunov_pairs(
         ));
     }
     let rhs_norm = gram_sq_norm(b).sqrt().max(f64::MIN_POSITIVE);
+    let mut pool: Vec<AdiShift> = shifts.to_vec();
+    // A stall only counts after a full cycle of the pool went by without
+    // improvement — a cycle parked on its large shifts is not yet stalled.
+    let cycle_sweeps: usize = pool.iter().map(AdiShift::steps).sum();
+    let stall_window = if opts.stall_sweeps == 0 {
+        usize::MAX
+    } else {
+        opts.stall_sweeps.max(cycle_sweeps)
+    };
     let mut w = b.clone();
     let mut blocks: Vec<Matrix> = Vec::new();
     let mut iterations = 0;
     let mut residual = 1.0;
     let mut cursor = 0usize;
+    let mut best_residual = f64::INFINITY;
+    let mut stalled_for = 0usize;
+    let mut reselections = 0usize;
     while iterations < opts.max_iterations {
-        let shift = shifts[cursor % shifts.len()];
+        if let Some(c) = control {
+            c.checkpoint_with("lr-adi-sweep", residual)?;
+        }
+        let shift = pool[cursor % pool.len()];
         // A conjugate pair counts as two sweeps: respect the cap exactly
         // (the first step always runs so a cap of 1 still makes progress).
         if iterations > 0 && iterations + shift.steps() > opts.max_iterations {
@@ -709,6 +822,25 @@ pub fn lr_adi_lyapunov_pairs(
         if residual <= opts.tol {
             break;
         }
+        // Stall ladder: residual non-decrease across a full window perturbs
+        // and reselects the shift pool; an exhausted recovery budget ends
+        // the run (strict mode turns that into a typed error below).
+        if residual.is_finite() && residual < best_residual * (1.0 - 1e-9) {
+            best_residual = residual;
+            stalled_for = 0;
+        } else {
+            stalled_for += shift.steps();
+            if stalled_for >= stall_window {
+                if reselections < opts.stall_recoveries {
+                    reselections += 1;
+                    stalled_for = 0;
+                    perturb_shift_pool(&mut pool, reselections);
+                    cursor = 0;
+                } else {
+                    break;
+                }
+            }
+        }
     }
     let rank = blocks.iter().map(Matrix::cols).sum::<usize>();
     let mut z = Matrix::zeros(n, rank);
@@ -719,15 +851,17 @@ pub fn lr_adi_lyapunov_pairs(
             at += 1;
         }
     }
-    Ok(LrAdiSolution {
-        z,
-        stats: LrAdiStats {
-            iterations,
-            residual,
-            rank,
-            shift_count: shifts.len(),
-        },
-    })
+    let stats = LrAdiStats {
+        iterations,
+        residual,
+        rank,
+        shift_count: shifts.len(),
+        shift_reselections: reselections,
+    };
+    if opts.strict && (!residual.is_finite() || residual > opts.tol) {
+        return Err(LinalgError::AdiNonConvergence { stats });
+    }
+    Ok(LrAdiSolution { z, stats })
 }
 
 /// A factored (possibly indefinite, possibly nonsymmetric-rank) matrix
@@ -765,6 +899,35 @@ pub fn fadi_lyapunov(
     shifts: &[f64],
     opts: &LrAdiOptions,
 ) -> Result<FadiSolution> {
+    fadi_impl(op, u0, v0, shifts, opts, None)
+}
+
+/// [`fadi_lyapunov`] with a cooperative [`RunControl`] checked once per
+/// sweep.
+///
+/// # Errors
+///
+/// Same contract as [`fadi_lyapunov`], plus [`LinalgError::Interrupted`]
+/// when the token stops the run.
+pub fn fadi_lyapunov_controlled(
+    op: &dyn ShiftedSolve,
+    u0: &Matrix,
+    v0: &Matrix,
+    shifts: &[f64],
+    opts: &LrAdiOptions,
+    control: &crate::control::RunControl,
+) -> Result<FadiSolution> {
+    fadi_impl(op, u0, v0, shifts, opts, Some(control))
+}
+
+fn fadi_impl(
+    op: &dyn ShiftedSolve,
+    u0: &Matrix,
+    v0: &Matrix,
+    shifts: &[f64],
+    opts: &LrAdiOptions,
+    control: Option<&crate::control::RunControl>,
+) -> Result<FadiSolution> {
     let n = op.dim();
     if u0.rows() != n || v0.rows() != n || u0.cols() != v0.cols() {
         return Err(LinalgError::DimensionMismatch(format!(
@@ -801,10 +964,24 @@ pub fn fadi_lyapunov(
         }
         m
     };
+    let mut pool: Vec<f64> = shifts.to_vec();
+    let stall_window = if opts.stall_sweeps == 0 {
+        usize::MAX
+    } else {
+        opts.stall_sweeps.max(pool.len())
+    };
     let mut iterations = 0;
     let mut residual = 1.0;
-    for i in 0..opts.max_iterations {
-        let p = shifts[i % shifts.len()];
+    let mut cursor = 0usize;
+    let mut best_residual = f64::INFINITY;
+    let mut stalled_for = 0usize;
+    let mut reselections = 0usize;
+    while iterations < opts.max_iterations {
+        if let Some(c) = control {
+            c.checkpoint_with("fadi-sweep", residual)?;
+        }
+        let p = pool[cursor % pool.len()];
+        cursor += 1;
         let zi = solve_columns(op, -p, &wu)?;
         let yi = solve_columns(op, -p, &wv)?;
         let s = (2.0 * p).sqrt();
@@ -821,10 +998,29 @@ pub fn fadi_lyapunov(
         vblocks.push(yb);
         wu.axpy(2.0 * p, &zi);
         wv.axpy(2.0 * p, &yi);
-        iterations = i + 1;
+        iterations += 1;
         residual = product_sq_norm(&wu, &wv).sqrt() / rhs_norm;
         if residual <= opts.tol {
             break;
+        }
+        if residual.is_finite() && residual < best_residual * (1.0 - 1e-9) {
+            best_residual = residual;
+            stalled_for = 0;
+        } else {
+            stalled_for += 1;
+            if stalled_for >= stall_window {
+                if reselections < opts.stall_recoveries {
+                    reselections += 1;
+                    stalled_for = 0;
+                    let f = 1.0 + 0.5 * reselections as f64;
+                    for (k, q) in pool.iter_mut().enumerate() {
+                        *q *= if k % 2 == 0 { f } else { 1.0 / f };
+                    }
+                    cursor = 0;
+                } else {
+                    break;
+                }
+            }
         }
         if ublocks.iter().map(Matrix::cols).sum::<usize>() > compress_threshold {
             let (cu, cv) = compress_factors(&concat(&ublocks), &concat(&vblocks), 1e-15)?;
@@ -835,16 +1031,17 @@ pub fn fadi_lyapunov(
     let u = concat(&ublocks);
     let v = concat(&vblocks);
     let rank = u.cols();
-    Ok(FadiSolution {
-        u,
-        v,
-        stats: LrAdiStats {
-            iterations,
-            residual,
-            rank,
-            shift_count: shifts.len(),
-        },
-    })
+    let stats = LrAdiStats {
+        iterations,
+        residual,
+        rank,
+        shift_count: shifts.len(),
+        shift_reselections: reselections,
+    };
+    if opts.strict && (!residual.is_finite() || residual > opts.tol) {
+        return Err(LinalgError::AdiNonConvergence { stats });
+    }
+    Ok(FadiSolution { u, v, stats })
 }
 
 /// Orthonormalizes the columns of `m` by modified Gram–Schmidt with
@@ -938,6 +1135,35 @@ pub fn rational_krylov_basis(
     inverse_powers: usize,
     cap: usize,
 ) -> Result<Matrix> {
+    rational_krylov_impl(op, seeds, shifts, inverse_powers, cap, None)
+}
+
+/// [`rational_krylov_basis`] with a cooperative [`RunControl`] checked once
+/// per shifted solve.
+///
+/// # Errors
+///
+/// Same contract as [`rational_krylov_basis`], plus
+/// [`LinalgError::Interrupted`] when the token stops the run.
+pub fn rational_krylov_basis_controlled(
+    op: &dyn ShiftedSolve,
+    seeds: &[Vector],
+    shifts: &[f64],
+    inverse_powers: usize,
+    cap: usize,
+    control: &crate::control::RunControl,
+) -> Result<Matrix> {
+    rational_krylov_impl(op, seeds, shifts, inverse_powers, cap, Some(control))
+}
+
+fn rational_krylov_impl(
+    op: &dyn ShiftedSolve,
+    seeds: &[Vector],
+    shifts: &[f64],
+    inverse_powers: usize,
+    cap: usize,
+    control: Option<&crate::control::RunControl>,
+) -> Result<Matrix> {
     let n = op.dim();
     let cap = cap.min(n).max(1);
     let mut basis = OrthoBasis::new(n);
@@ -953,6 +1179,9 @@ pub fn rational_krylov_basis(
             if basis.len() >= cap {
                 break;
             }
+            if let Some(c) = control {
+                c.checkpoint("rk-basis-solve")?;
+            }
             w = op.solve_shifted(0.0, &w)?;
             let norm = w.norm2();
             if norm <= 0.0 || !norm.is_finite() {
@@ -966,6 +1195,9 @@ pub fn rational_krylov_basis(
         for &p in shifts {
             if basis.len() >= cap {
                 break;
+            }
+            if let Some(c) = control {
+                c.checkpoint("rk-basis-solve")?;
             }
             w = op.solve_shifted(-p, &w)?;
             let norm = w.norm2();
@@ -1051,6 +1283,7 @@ mod tests {
                 &LrAdiOptions {
                     tol: 1e-10,
                     max_iterations: 200,
+                    ..LrAdiOptions::default()
                 },
             )
             .unwrap();
@@ -1124,6 +1357,10 @@ mod tests {
         let opts = LrAdiOptions {
             tol: 1e-12,
             max_iterations: 60,
+            // Legacy loose-exit contract: this test compares backends, not
+            // convergence to the (aggressive) tolerance.
+            strict: false,
+            ..LrAdiOptions::default()
         };
         let zd = lr_adi_lyapunov(&dense, &b, &shifts, &opts).unwrap();
         let zs = lr_adi_lyapunov(&sparse, &b, &shifts, &opts).unwrap();
@@ -1223,6 +1460,8 @@ mod tests {
             &LrAdiOptions {
                 tol: 1e-11,
                 max_iterations: 240,
+                strict: false,
+                ..LrAdiOptions::default()
             },
         )
         .unwrap();
@@ -1253,6 +1492,9 @@ mod tests {
         let opts = LrAdiOptions {
             tol: 1e-10,
             max_iterations: 200,
+            // The real-magnitude run is *expected* to converge worse here.
+            strict: false,
+            ..LrAdiOptions::default()
         };
         let pairs = heuristic_adi_shift_pairs(&cache, &seed, &AdiShiftOptions::default()).unwrap();
         let reals: Vec<f64> = pairs.iter().map(AdiShift::magnitude).collect();
@@ -1290,6 +1532,122 @@ mod tests {
         let mp = zp.z.matmul(&zp.z.transpose());
         let mr = zr.z.matmul(&zr.z.transpose());
         assert!((&mp - &mr).max_abs() <= 1e-12 * (1.0 + mr.max_abs()));
+    }
+
+    /// A solve that makes no progress (returns the right-hand side
+    /// unchanged) — the shape of the injected `AdiStall` fault.
+    struct StallOp<'a>(&'a ShiftedLuCache);
+
+    impl ShiftedSolve for StallOp<'_> {
+        fn dim(&self) -> usize {
+            ShiftedLuCache::dim(self.0)
+        }
+
+        fn apply(&self, x: &Vector) -> Vector {
+            self.0.base().matvec(x)
+        }
+
+        fn solve_shifted(&self, _sigma: f64, rhs: &Vector) -> Result<Vector> {
+            Ok(rhs.clone())
+        }
+
+        fn solve_shifted_complex(
+            &self,
+            _lambda: crate::Complex,
+            re: &Vector,
+            im: &Vector,
+        ) -> Result<(Vector, Vector)> {
+            Ok((re.clone(), im.clone()))
+        }
+    }
+
+    /// The non-convergence satellite: a stalled iteration walks the
+    /// perturb-and-reselect ladder, then surfaces a typed error carrying the
+    /// stats — it neither loops to the cap nor returns a factor that looks
+    /// converged.
+    #[test]
+    fn stalled_adi_perturbs_shifts_then_surfaces_a_typed_error() {
+        let a = stable_matrix(8, 71);
+        let cache = dense_cache(&a);
+        let op = StallOp(&cache);
+        let opts = LrAdiOptions {
+            tol: 1e-10,
+            max_iterations: 400,
+            ..LrAdiOptions::default()
+        };
+        let err = lr_adi_lyapunov(&op, &Matrix::identity(8), &[1.0, 4.0], &opts).unwrap_err();
+        match err {
+            LinalgError::AdiNonConvergence { stats } => {
+                assert!(stats.residual > opts.tol);
+                assert_eq!(stats.shift_reselections, opts.stall_recoveries);
+                assert!(
+                    stats.iterations < opts.max_iterations,
+                    "exhausted ladder ends the run early ({} sweeps)",
+                    stats.iterations
+                );
+            }
+            other => panic!("expected AdiNonConvergence, got {other:?}"),
+        }
+        let err = fadi_lyapunov(
+            &op,
+            &Matrix::identity(8),
+            &Matrix::identity(8),
+            &[1.0, 4.0],
+            &opts,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LinalgError::AdiNonConvergence { .. }));
+    }
+
+    /// Opting out of strict mode preserves the legacy loose-exit contract,
+    /// with the ladder's work reported in the stats.
+    #[test]
+    fn non_strict_stalled_adi_reports_instead_of_erroring() {
+        let a = stable_matrix(8, 73);
+        let cache = dense_cache(&a);
+        let op = StallOp(&cache);
+        let sol = lr_adi_lyapunov(
+            &op,
+            &Matrix::identity(8),
+            &[1.0, 4.0],
+            &LrAdiOptions {
+                tol: 1e-10,
+                max_iterations: 400,
+                strict: false,
+                ..LrAdiOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(sol.stats.residual > 1e-10);
+        assert_eq!(sol.stats.shift_reselections, 2);
+    }
+
+    #[test]
+    fn cancelled_adi_run_is_interrupted_not_panicked() {
+        use crate::control::{RunControl, StopCause};
+        let a = stable_matrix(10, 81);
+        let cache = dense_cache(&a);
+        let control = RunControl::new();
+        control.cancel();
+        let err = lr_adi_lyapunov_pairs_controlled(
+            &cache,
+            &Matrix::identity(10),
+            &[AdiShift::Real(1.0)],
+            &LrAdiOptions::default(),
+            &control,
+        )
+        .unwrap_err();
+        assert_eq!(err, LinalgError::Interrupted(StopCause::Cancelled));
+        let err = rational_krylov_basis_controlled(
+            &cache,
+            &[Vector::filled(10, 1.0)],
+            &[1.0],
+            2,
+            8,
+            &control,
+        )
+        .unwrap_err();
+        assert_eq!(err, LinalgError::Interrupted(StopCause::Cancelled));
     }
 
     #[test]

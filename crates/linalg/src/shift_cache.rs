@@ -41,6 +41,37 @@ use crate::vector::Vector;
 use crate::zmatrix::{ZLuDecomposition, ZMatrix, ZVector};
 use crate::Result;
 
+/// Consults the armed fault plan at the shifted-solve seam: maps the planned
+/// [`crate::fault::FaultKind`] onto this seam's failure shapes (typed
+/// singular error, NaN-poisoned solution, or a no-progress "stall" solve).
+#[cfg(feature = "fault-injection")]
+fn injected_real_solve(rhs: &Vector) -> Option<Result<Vector>> {
+    use crate::fault::{maybe, FaultKind, FaultSite};
+    Some(match maybe(FaultSite::ShiftedSolve)? {
+        FaultKind::SingularFactor => Err(LinalgError::Singular(
+            "fault injection: forced singular shifted factor".into(),
+        )),
+        FaultKind::NanSolve => Ok(Vector::from_fn(rhs.len(), |_| f64::NAN)),
+        FaultKind::AdiStall => Ok(rhs.clone()),
+    })
+}
+
+/// Complex-solve twin of [`injected_real_solve`].
+#[cfg(feature = "fault-injection")]
+fn injected_complex_solve(re: &Vector, im: &Vector) -> Option<Result<(Vector, Vector)>> {
+    use crate::fault::{maybe, FaultKind, FaultSite};
+    Some(match maybe(FaultSite::ShiftedSolve)? {
+        FaultKind::SingularFactor => Err(LinalgError::Singular(
+            "fault injection: forced singular shifted factor".into(),
+        )),
+        FaultKind::NanSolve => Ok((
+            Vector::from_fn(re.len(), |_| f64::NAN),
+            Vector::from_fn(im.len(), |_| f64::NAN),
+        )),
+        FaultKind::AdiStall => Ok((re.clone(), im.clone())),
+    })
+}
+
 /// Normalizes a shift component for use as a cache key: both zero encodings
 /// map to the `+0.0` bit pattern; every other value is keyed exactly.
 fn shift_key(v: f64) -> u64 {
@@ -208,6 +239,10 @@ impl ShiftedLuCache {
     ///
     /// Propagates singular pencils and dimension mismatches.
     pub fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> Result<Vector> {
+        #[cfg(feature = "fault-injection")]
+        if let Some(injected) = injected_real_solve(rhs) {
+            return injected;
+        }
         self.factor(sigma)?.solve(rhs)
     }
 
@@ -252,6 +287,10 @@ impl ShiftedLuCache {
                 im.len(),
                 self.dim()
             )));
+        }
+        #[cfg(feature = "fault-injection")]
+        if let Some(injected) = injected_complex_solve(re, im) {
+            return injected;
         }
         let lu = self.factor_complex(lambda)?;
         let rhs = ZVector::from(
@@ -349,9 +388,22 @@ impl ShiftedSparseLuCache {
     ///
     /// # Panics
     ///
-    /// Panics if `base` is not square.
+    /// Panics if `base` is not square (use [`ShiftedSparseLuCache::try_new`]
+    /// for a typed error instead).
     pub fn new(base: CsrMatrix) -> Self {
         Self::with_mode(base, true)
+    }
+
+    /// Fallible twin of [`ShiftedSparseLuCache::new`] for callers handling
+    /// user-supplied systems: a non-square base is a typed error, not a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] if `base` is not square.
+    pub fn try_new(base: CsrMatrix) -> Result<Self> {
+        let symbolic = SparseLuSymbolic::analyze(&base)?;
+        Ok(Self::from_parts(base, Arc::new(symbolic), true))
     }
 
     /// Creates a passthrough instance that refactors numerically on every
@@ -368,9 +420,13 @@ impl ShiftedSparseLuCache {
     fn with_mode(base: CsrMatrix, enabled: bool) -> Self {
         let symbolic = SparseLuSymbolic::analyze(&base)
             .expect("ShiftedSparseLuCache requires a square base matrix");
+        Self::from_parts(base, Arc::new(symbolic), enabled)
+    }
+
+    fn from_parts(base: CsrMatrix, symbolic: Arc<SparseLuSymbolic>, enabled: bool) -> Self {
         ShiftedSparseLuCache {
             base,
-            symbolic: Arc::new(symbolic),
+            symbolic,
             enabled,
             real: Mutex::new(HashMap::new()),
             complex: Mutex::new(HashMap::new()),
@@ -528,6 +584,10 @@ impl ShiftedSparseLuCache {
     ///
     /// Propagates singular pencils and dimension mismatches.
     pub fn solve_shifted(&self, sigma: f64, rhs: &Vector) -> Result<Vector> {
+        #[cfg(feature = "fault-injection")]
+        if let Some(injected) = injected_real_solve(rhs) {
+            return injected;
+        }
         self.factor(sigma)?.solve(rhs)
     }
 
@@ -603,6 +663,10 @@ impl ShiftedSparseLuCache {
                 im.len(),
                 self.dim()
             )));
+        }
+        #[cfg(feature = "fault-injection")]
+        if let Some(injected) = injected_complex_solve(re, im) {
+            return injected;
         }
         self.factor_complex(lambda)?.solve_parts(re, im)
     }

@@ -612,17 +612,60 @@ impl SparseLu {
     ///
     /// Same contract as [`SparseLu::factor_with`].
     pub fn factor_shifted(symbolic: &SparseLuSymbolic, a: &CsrMatrix, sigma: f64) -> Result<Self> {
+        Self::factor_shifted_with_threshold(symbolic, a, sigma, PIVOT_TAU)
+    }
+
+    /// [`SparseLu::factor_shifted`] with an explicit relative pivot
+    /// threshold `tau ∈ (0, 1]`: the structural diagonal is kept as pivot
+    /// only while `|diag| ≥ tau · |best|`. `tau = 1` is full partial
+    /// pivoting (maximum stability, maximum fill) — the upper rung of the
+    /// degradation ladder for near-singular pivots.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SparseLu::factor_shifted`].
+    pub fn factor_shifted_with_threshold(
+        symbolic: &SparseLuSymbolic,
+        a: &CsrMatrix,
+        sigma: f64,
+        tau: f64,
+    ) -> Result<Self> {
         check_shape(symbolic, a)?;
         let (colptr, rowind, vals) = csc_with_shift(a, sigma);
-        let f = factor_core(
-            a.rows(),
-            &colptr,
-            &rowind,
-            &vals,
-            symbolic.order(),
-            PIVOT_TAU,
-        )?;
+        let f = factor_core(a.rows(), &colptr, &rowind, &vals, symbolic.order(), tau)?;
         Ok(SparseLu { f })
+    }
+
+    /// Factors `A + σI` walking the pivot-threshold escalation ladder: the
+    /// default threshold first, then progressively stricter (more
+    /// partial-pivoting-like) thresholds on a `Singular` failure. Returns
+    /// the factor together with the number of escalations taken (0 =
+    /// healthy first try).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SparseLu::factor_shifted`] when every rung fails;
+    /// non-`Singular` errors are returned immediately.
+    pub fn factor_shifted_with_recovery(
+        symbolic: &SparseLuSymbolic,
+        a: &CsrMatrix,
+        sigma: f64,
+    ) -> Result<(Self, usize)> {
+        let mut escalations = 0usize;
+        let mut last = None;
+        for &tau in &[PIVOT_TAU, 0.5, 1.0] {
+            match Self::factor_shifted_with_threshold(symbolic, a, sigma, tau) {
+                Ok(f) => return Ok((f, escalations)),
+                Err(e @ LinalgError::Singular(_)) => {
+                    escalations += 1;
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            LinalgError::Singular("sparse lu: pivot escalation ladder exhausted".into())
+        }))
     }
 
     /// Dimension of the factored matrix.
@@ -750,6 +793,22 @@ fn check_shape(symbolic: &SparseLuSymbolic, a: &CsrMatrix) -> Result<()> {
 /// Convenience alias used by callers that share one analysis across threads.
 pub type SharedSymbolic = Arc<SparseLuSymbolic>;
 
+/// What the pivot-degradation ladder did to produce a factorization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PivotRecovery {
+    /// Pivot-threshold escalations taken in the sparse backend.
+    pub escalations: usize,
+    /// True when the sparse backend was abandoned for the dense one.
+    pub dense_fallback: bool,
+}
+
+impl PivotRecovery {
+    /// True when any recovery action was taken.
+    pub fn any(&self) -> bool {
+        self.escalations > 0 || self.dense_fallback
+    }
+}
+
 /// A factorization of a square matrix in either the dense or the sparse
 /// backend, with uniform solves. This is the dispatch point shared by the
 /// reducers' `G₁` chains and the implicit integrators' iteration matrices —
@@ -776,6 +835,38 @@ impl LuFactor {
         } else {
             Ok(LuFactor::Dense(LuDecomposition::new(a_dense)?))
         }
+    }
+
+    /// [`LuFactor::build`] walking the degradation ladder: a sparse request
+    /// escalates the pivot threshold on singular pivots and finally falls
+    /// back to the dense backend, reporting every rung in the returned
+    /// [`PivotRecovery`].
+    ///
+    /// # Errors
+    ///
+    /// Only when every rung — including the dense fallback — fails.
+    pub fn build_with_recovery(
+        a_csr: &CsrMatrix,
+        a_dense: &Matrix,
+        sparse: bool,
+    ) -> Result<(Self, PivotRecovery)> {
+        let mut recovery = PivotRecovery::default();
+        if sparse {
+            match SparseLuSymbolic::analyze(a_csr)
+                .and_then(|sym| SparseLu::factor_shifted_with_recovery(&sym, a_csr, 0.0))
+            {
+                Ok((lu, escalations)) => {
+                    recovery.escalations = escalations;
+                    return Ok((LuFactor::Sparse(lu), recovery));
+                }
+                Err(LinalgError::Singular(_)) => {
+                    recovery.escalations = 2;
+                    recovery.dense_fallback = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((LuFactor::Dense(LuDecomposition::new(a_dense)?), recovery))
     }
 
     /// Solves `A x = b`.

@@ -39,10 +39,10 @@ pub use error::SimError;
 pub use input::{Constant, ExpPulse, InputSignal, MultiChannel, SinePulse, Step, TwoTone, Zero};
 pub use metrics::{max_relative_error, relative_error_series, rms_error};
 pub use transient::{
-    simulate, AdaptiveStepOptions, IntegrationMethod, JacobianPolicy, SolverStats,
-    TransientOptions, TransientResult,
+    simulate, simulate_controlled, AdaptiveStepOptions, IntegrationMethod, JacobianPolicy,
+    SolverStats, TransientOptions, TransientResult,
 };
-pub use vamor_linalg::SolverBackend;
+pub use vamor_linalg::{ProgressEvent, RunControl, SolverBackend, StopCause};
 
 /// Result alias for simulation routines.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -3,7 +3,10 @@
 use std::sync::Arc;
 
 use vamor_linalg::sparse_lu::SPARSE_AUTO_THRESHOLD;
-use vamor_linalg::{LuFactor, Matrix, SolverBackend, SparseLu, SparseLuSymbolic, Vector};
+use vamor_linalg::{
+    CsrMatrix, LinalgError, LuFactor, Matrix, RunControl, SolverBackend, SparseLu,
+    SparseLuSymbolic, StopCause, Vector,
+};
 use vamor_system::PolynomialStateSpace;
 
 use crate::error::SimError;
@@ -219,6 +222,10 @@ pub struct SolverStats {
     /// Steps rejected (and re-taken at half the size) by the embedded-error
     /// controller (0 on fixed-step runs).
     pub rejected_steps: usize,
+    /// Degraded-mode recoveries of the Jacobian factorization path: pivot
+    /// threshold escalations plus dense fallbacks taken after a singular
+    /// sparse factorization (0 on a healthy run).
+    pub pivot_recoveries: usize,
 }
 
 /// Result of a transient simulation.
@@ -233,6 +240,10 @@ pub struct TransientResult {
     pub states: Option<Vec<Vector>>,
     /// Solver statistics.
     pub stats: SolverStats,
+    /// `Some` when a [`RunControl`] token stopped the run early (see
+    /// [`simulate_controlled`]): the trajectory is the valid prefix computed
+    /// before the stop. `None` for a run that reached `t_end`.
+    pub interrupted: Option<StopCause>,
 }
 
 impl TransientResult {
@@ -270,6 +281,33 @@ pub fn simulate(
     input: &dyn InputSignal,
     opts: &TransientOptions,
 ) -> Result<TransientResult> {
+    simulate_impl(system, input, opts, None)
+}
+
+/// [`simulate`] under a [`RunControl`] token: the stepper checkpoints as
+/// `transient-step` before every accepted step. A cancellation or deadline
+/// never errors — the run stops cleanly and returns the valid trajectory
+/// prefix with [`TransientResult::interrupted`] carrying the [`StopCause`]
+/// (at minimum the initial sample is always present).
+///
+/// # Errors
+///
+/// Same contract as [`simulate`] — interruption itself is not an error.
+pub fn simulate_controlled(
+    system: &dyn PolynomialStateSpace,
+    input: &dyn InputSignal,
+    opts: &TransientOptions,
+    control: &RunControl,
+) -> Result<TransientResult> {
+    simulate_impl(system, input, opts, Some(control))
+}
+
+fn simulate_impl(
+    system: &dyn PolynomialStateSpace,
+    input: &dyn InputSignal,
+    opts: &TransientOptions,
+    control: Option<&RunControl>,
+) -> Result<TransientResult> {
     opts.validate(system, input)?;
     let implicit = matches!(
         opts.method,
@@ -277,7 +315,7 @@ pub fn simulate(
     );
     if implicit {
         if let Some(adaptive) = opts.adaptive {
-            return simulate_adaptive(system, input, opts, adaptive);
+            return simulate_adaptive(system, input, opts, adaptive, control);
         }
     }
     let n = system.order();
@@ -303,6 +341,7 @@ pub fn simulate(
     // was factored for), and the RK4 stage buffers reused across steps.
     let mut frozen: Option<FrozenJacobian> = None;
     let mut rk4_ws = Rk4Workspace::new(n);
+    let mut interrupted = None;
 
     for k in 0..steps {
         let t = opts.t_start + k as f64 * opts.dt;
@@ -310,6 +349,12 @@ pub fn simulate(
         let h = t_next - t;
         if h <= 0.0 {
             break;
+        }
+        if let Some(c) = control {
+            if c.checkpoint_with("transient-step", t).is_err() {
+                interrupted = c.stop_cause();
+                break;
+            }
         }
         match opts.method {
             IntegrationMethod::Rk4 => rk4_step(system, input, t, h, &mut x, &mut rk4_ws),
@@ -347,6 +392,7 @@ pub fn simulate(
         outputs,
         states,
         stats,
+        interrupted,
     })
 }
 
@@ -359,6 +405,7 @@ fn simulate_adaptive(
     input: &dyn InputSignal,
     opts: &TransientOptions,
     adaptive: AdaptiveStepOptions,
+    control: Option<&RunControl>,
 ) -> Result<TransientResult> {
     let n = system.order();
     let trapezoidal = opts.method == IntegrationMethod::ImplicitTrapezoidal;
@@ -380,10 +427,17 @@ fn simulate_adaptive(
     let mut frozen: Option<FrozenJacobian> = None;
     let mut t = opts.t_start;
     let mut h = opts.dt;
+    let mut interrupted = None;
     // Consecutive comfortably-small error estimates before a doubling: one
     // quiet step right after a front is not yet a trend.
     let mut calm_streak = 0usize;
     while t < opts.t_end - 1e-12 * opts.dt {
+        if let Some(c) = control {
+            if c.checkpoint_with("transient-step", t).is_err() {
+                interrupted = c.stop_cause();
+                break;
+            }
+        }
         let h_step = h.min(opts.t_end - t);
         let (x_next, gap) = implicit_step(
             system,
@@ -433,6 +487,7 @@ fn simulate_adaptive(
         outputs,
         states,
         stats,
+        interrupted,
     })
 }
 
@@ -516,11 +571,14 @@ fn refresh_jacobian(
                 Some(s) => s,
                 None => Arc::new(SparseLuSymbolic::analyze(&m).map_err(SimError::Linalg)?),
             };
-            let lu = SparseLu::factor_with(&symbolic, &m).map_err(SimError::Linalg)?;
+            let (factor, recoveries) = factor_sparse_with_ladder(&symbolic, &m)?;
             stats.jacobian_factorizations += 1;
-            stats.sparse_factorizations += 1;
+            stats.pivot_recoveries += recoveries;
+            if matches!(factor, LuFactor::Sparse(_)) {
+                stats.sparse_factorizations += 1;
+            }
             *frozen = Some(FrozenJacobian {
-                factor: LuFactor::Sparse(lu),
+                factor,
                 h,
                 symbolic: Some(symbolic),
             });
@@ -529,6 +587,14 @@ fn refresh_jacobian(
             let jac = system.jacobian_x(x, u);
             let mut iteration_matrix = Matrix::identity(n);
             iteration_matrix.axpy(-theta * h, &jac);
+            #[cfg(feature = "fault-injection")]
+            if injected_factor_fault().is_some() {
+                // An injected singular first attempt on the dense path:
+                // the recovery is a straight refactorization (dense partial
+                // pivoting has no threshold to escalate), which is exactly
+                // the genuine factorization below.
+                stats.pivot_recoveries += 1;
+            }
             let lu = iteration_matrix.lu().map_err(SimError::Linalg)?;
             stats.jacobian_factorizations += 1;
             *frozen = Some(FrozenJacobian {
@@ -539,6 +605,66 @@ fn refresh_jacobian(
         }
     }
     Ok(())
+}
+
+/// Consults the armed fault plan at the integrator's factorization seam; any
+/// planned fault kind maps onto this seam's one failure shape, a singular
+/// iteration matrix.
+#[cfg(feature = "fault-injection")]
+fn injected_factor_fault() -> Option<LinalgError> {
+    use vamor_linalg::fault::{maybe, FaultSite};
+    maybe(FaultSite::IntegratorFactor).map(|_| {
+        LinalgError::Singular("fault injection: forced singular integrator iteration matrix".into())
+    })
+}
+
+/// Consults the armed fault plan at the integrator's Newton-update solve
+/// seam: a planned singular factor becomes a typed error, a NaN solve
+/// poisons the update (caught by the stepper's finite guard), a stall
+/// returns a zero update — a solve that makes no progress.
+#[cfg(feature = "fault-injection")]
+fn injected_newton_solve(rhs: &Vector) -> Option<std::result::Result<Vector, LinalgError>> {
+    use vamor_linalg::fault::{maybe, FaultKind, FaultSite};
+    Some(match maybe(FaultSite::IntegratorSolve)? {
+        FaultKind::SingularFactor => Err(LinalgError::Singular(
+            "fault injection: forced singular newton solve".into(),
+        )),
+        FaultKind::NanSolve => Ok(Vector::from_fn(rhs.len(), |_| f64::NAN)),
+        FaultKind::AdiStall => Ok(Vector::zeros(rhs.len())),
+    })
+}
+
+/// The degradation ladder of the sparse factorization path: a healthy
+/// factorization first; on a singular pivot, escalated (more
+/// partial-pivoting-like) thresholds; when the ladder is exhausted, a dense
+/// fallback factorization. Returns the factor with the number of recovery
+/// rungs taken (0 = healthy).
+fn factor_sparse_with_ladder(
+    symbolic: &SparseLuSymbolic,
+    m: &CsrMatrix,
+) -> Result<(LuFactor, usize)> {
+    #[cfg(feature = "fault-injection")]
+    let first = match injected_factor_fault() {
+        Some(e) => Err(e),
+        None => SparseLu::factor_with(symbolic, m),
+    };
+    #[cfg(not(feature = "fault-injection"))]
+    let first = SparseLu::factor_with(symbolic, m);
+    match first {
+        Ok(lu) => Ok((LuFactor::Sparse(lu), 0)),
+        Err(LinalgError::Singular(_)) => {
+            match SparseLu::factor_shifted_with_recovery(symbolic, m, 0.0) {
+                Ok((lu, escalations)) => Ok((LuFactor::Sparse(lu), escalations.max(1))),
+                Err(LinalgError::Singular(_)) => {
+                    let lu = m.to_dense().lu().map_err(SimError::Linalg)?;
+                    // All three threshold rungs failed plus the dense rung.
+                    Ok((LuFactor::Dense(lu), 4))
+                }
+                Err(e) => Err(SimError::Linalg(e)),
+            }
+        }
+        Err(e) => Err(SimError::Linalg(e)),
+    }
 }
 
 /// Advances one implicit step, returning the accepted state together with
@@ -616,6 +742,12 @@ fn implicit_step(
                 break;
             }
             prev_residual = residual_norm;
+            #[cfg(feature = "fault-injection")]
+            let dx = match injected_newton_solve(&g) {
+                Some(injected) => injected.map_err(SimError::Linalg)?,
+                None => lu.solve(&g).map_err(SimError::Linalg)?,
+            };
+            #[cfg(not(feature = "fault-injection"))]
             let dx = lu.solve(&g).map_err(SimError::Linalg)?;
             x.axpy(-1.0, &dx);
             if !x.is_finite() {
@@ -900,5 +1032,129 @@ mod tests {
         let sys = decay_system(-1.0);
         let r = simulate(&sys, &Zero::new(1), &TransientOptions::new(0.0, 2.0, 0.05)).unwrap();
         assert!(r.output_channel(0).iter().all(|&v| v.abs() < 1e-15));
+        assert_eq!(r.interrupted, None);
+    }
+
+    #[test]
+    fn cancelled_run_returns_the_valid_prefix_not_an_error() {
+        let sys = decay_system(-1.0);
+        let opts = TransientOptions::new(0.0, 5.0, 0.01);
+        let control = RunControl::new();
+        let handle = control.clone();
+        // Cancel after 50 accepted steps.
+        let control = control.with_progress(move |event| {
+            if event.sequence >= 50 {
+                handle.cancel();
+            }
+        });
+        let r = simulate_controlled(&sys, &Step::new(1.0, 0.0), &opts, &control).unwrap();
+        assert_eq!(r.interrupted, Some(StopCause::Cancelled));
+        assert_eq!(r.stats.steps, 49, "50th checkpoint fails before its step");
+        assert_eq!(r.len(), 50);
+        assert!(r.output_channel(0).iter().all(|v| v.is_finite()));
+        // The prefix agrees with the uncontrolled run sample-for-sample.
+        let full = simulate(&sys, &Step::new(1.0, 0.0), &opts).unwrap();
+        for (a, b) in r.outputs.iter().zip(full.outputs.iter()) {
+            assert_eq!(a[0], b[0]);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_yields_only_the_initial_sample() {
+        let sys = decay_system(-1.0);
+        let opts = TransientOptions::new(0.0, 1.0, 0.1)
+            .with_method(IntegrationMethod::ImplicitTrapezoidal);
+        let control = RunControl::new().with_deadline(std::time::Duration::ZERO);
+        let r = simulate_controlled(&sys, &Step::new(1.0, 0.0), &opts, &control).unwrap();
+        assert_eq!(r.interrupted, Some(StopCause::DeadlineExceeded));
+        assert_eq!(r.len(), 1, "only the initial sample");
+        assert_eq!(r.stats.steps, 0);
+    }
+
+    #[test]
+    fn adaptive_run_is_cancellable_too() {
+        use crate::input::ExpPulse;
+        let sys = decay_system(-1.0);
+        let opts = TransientOptions::new(0.0, 30.0, 0.005)
+            .with_method(IntegrationMethod::ImplicitTrapezoidal)
+            .with_adaptive_steps(1e-5, 0.005 / 8.0, 0.32);
+        let control = RunControl::new();
+        let handle = control.clone();
+        let control = control.with_progress(move |event| {
+            if event.sequence >= 20 {
+                handle.cancel();
+            }
+        });
+        let r = simulate_controlled(&sys, &ExpPulse::new(1.0, 0.05, 5.0), &opts, &control).unwrap();
+        assert_eq!(r.interrupted, Some(StopCause::Cancelled));
+        assert!(*r.times.last().unwrap() < 30.0);
+        assert!(r.output_channel(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn an_unbounded_token_changes_nothing() {
+        let sys = decay_system(-1.0);
+        let opts = TransientOptions::new(0.0, 2.0, 0.01)
+            .with_method(IntegrationMethod::ImplicitTrapezoidal);
+        let plain = simulate(&sys, &Step::new(1.0, 0.0), &opts).unwrap();
+        let controlled =
+            simulate_controlled(&sys, &Step::new(1.0, 0.0), &opts, &RunControl::new()).unwrap();
+        assert_eq!(controlled.interrupted, None);
+        assert_eq!(plain.times, controlled.times);
+        for (a, b) in plain.outputs.iter().zip(controlled.outputs.iter()) {
+            assert_eq!(a[0], b[0]);
+        }
+    }
+
+    /// Chaos coverage of the integrator seams: injected factorization and
+    /// solve faults must end in a finite trajectory plus a recovery count,
+    /// or a typed error — never a panic, never silent NaN output.
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_integrator_faults_recover_or_fail_typed() {
+        use vamor_linalg::fault::{arm, disarm, injected, FaultKind, FaultPlan};
+        // The armed plan is process-global; serialize against any other
+        // fault test in this binary.
+        static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+
+        let sys = decay_system(-1000.0);
+        let opts = TransientOptions::new(0.0, 1.0, 0.01)
+            .with_method(IntegrationMethod::ImplicitTrapezoidal)
+            .with_jacobian_policy(JacobianPolicy::EveryStep);
+        for kind in [
+            FaultKind::SingularFactor,
+            FaultKind::NanSolve,
+            FaultKind::AdiStall,
+        ] {
+            for seed in [1u64, 7, 42] {
+                arm(FaultPlan::new(seed, kind));
+                let outcome = simulate(&sys, &Step::new(1.0, 0.0), &opts);
+                let fired = injected();
+                disarm();
+                match outcome {
+                    Ok(r) => {
+                        assert!(
+                            r.output_channel(0).iter().all(|v| v.is_finite()),
+                            "{kind:?}/{seed}: non-finite output leaked through"
+                        );
+                        // Factor faults land on the dense path here (1-state
+                        // system), each one a counted recovery.
+                        if kind == FaultKind::SingularFactor && fired > 0 {
+                            assert!(
+                                r.stats.pivot_recoveries > 0,
+                                "{kind:?}/{seed}: recovery went uncounted"
+                            );
+                        }
+                    }
+                    Err(
+                        SimError::NewtonFailed { .. }
+                        | SimError::Diverged { .. }
+                        | SimError::Linalg(_),
+                    ) => {}
+                    Err(e) => panic!("{kind:?}/{seed}: unexpected error shape {e}"),
+                }
+            }
+        }
     }
 }
