@@ -48,7 +48,7 @@ use vamor_bench::{
 use vamor_core::{ReductionEngine, SolverBackend};
 
 /// PR number stamped into the emitted baseline snapshot.
-const PR_NUMBER: u32 = 6;
+const PR_NUMBER: u32 = 7;
 
 struct Sizes {
     fig2_stages: usize,

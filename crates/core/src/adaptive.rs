@@ -264,13 +264,13 @@ impl BandSampler {
                 SamplerCache::Sparse(c) => VolterraKernels::with_sparse_cache(qldae, input, c)?,
             };
             for &omega in &band.grid(opts.h1_points) {
-                Self::tick(control)?;
+                Self::checkpoint_tick(control)?;
                 let s = Complex::new(0.0, omega);
                 sampler.push_h1(input, omega, kernels.output_h1(s)?);
             }
             if has_quadratic && opts.h2_points > 0 {
                 for &omega in &band.grid(opts.h2_points) {
-                    Self::tick(control)?;
+                    Self::checkpoint_tick(control)?;
                     let s = Complex::new(0.0, omega);
                     // Sum (2ω, second harmonic) and difference (0,
                     // rectification/envelope) products both land back in the
@@ -281,7 +281,7 @@ impl BandSampler {
             }
             if has_quadratic && opts.h3_points > 0 {
                 for &omega in &band.grid(opts.h3_points) {
-                    Self::tick(control)?;
+                    Self::checkpoint_tick(control)?;
                     let s = Complex::new(0.0, omega);
                     // Third harmonic (3ω) and in-band compression (ω).
                     sampler.push_h3(input, omega, false, kernels.output_h3(s, s, s)?);
@@ -357,13 +357,13 @@ impl BandSampler {
                 SamplerCache::Sparse(c) => CubicVolterraKernels::with_sparse_cache(ode, input, c)?,
             };
             for &omega in &band.grid(opts.h1_points) {
-                Self::tick(control)?;
+                Self::checkpoint_tick(control)?;
                 let s = Complex::new(0.0, omega);
                 sampler.push_h1(input, omega, kernels.output_h1(s)?);
             }
             if has_quadratic && opts.h2_points > 0 {
                 for &omega in &band.grid(opts.h2_points) {
-                    Self::tick(control)?;
+                    Self::checkpoint_tick(control)?;
                     let s = Complex::new(0.0, omega);
                     sampler.push_h2(input, omega, false, kernels.output_h2(s, s)?);
                     sampler.push_h2(input, omega, true, kernels.output_h2(s, -s)?);
@@ -371,7 +371,7 @@ impl BandSampler {
             }
             if opts.h3_points > 0 {
                 for &omega in &band.grid(opts.h3_points) {
-                    Self::tick(control)?;
+                    Self::checkpoint_tick(control)?;
                     let s = Complex::new(0.0, omega);
                     sampler.push_h3(input, omega, false, kernels.output_h3(s, s, s)?);
                     sampler.push_h3(input, omega, true, kernels.output_h3(s, s, -s)?);
@@ -385,7 +385,7 @@ impl BandSampler {
         Ok(sampler)
     }
 
-    fn tick(control: Option<&RunControl>) -> Result<()> {
+    fn checkpoint_tick(control: Option<&RunControl>) -> Result<()> {
         if let Some(c) = control {
             c.checkpoint("band-sample").map_err(MorError::Linalg)?;
         }

@@ -9,7 +9,8 @@
 //! engines check the token at chain, band-point, ADI-sweep and greedy-move
 //! granularity; the adaptive driver answers a stop with the **best ROM seen
 //! so far** and a typed [`StopCause`] in its trace, never a panic.
-
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+//!
+//! Panic-freedom here is enforced by the `cargo xtask analyze`
+//! `panic-freedom` lint, which replaced the per-module clippy attributes.
 
 pub use vamor_linalg::control::{ProgressEvent, RunControl, StopCause};

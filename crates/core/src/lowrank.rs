@@ -361,7 +361,7 @@ impl<'a> LowRankAssocMomentGenerator<'a> {
 
     /// Aggregated ADI/basis diagnostics of every chain generated so far.
     pub fn diagnostics(&self) -> LowRankDiagnostics {
-        *self.diagnostics.lock().expect("diagnostics poisoned")
+        *self.diagnostics.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn n(&self) -> usize {
@@ -385,7 +385,7 @@ impl<'a> LowRankAssocMomentGenerator<'a> {
     fn record(&self, iterations: usize, residual: f64, basis_dim: usize) {
         self.diagnostics
             .lock()
-            .expect("diagnostics poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .absorb(iterations, residual, basis_dim);
     }
 
@@ -596,7 +596,7 @@ impl<'a> LowRankAssocMomentGenerator<'a> {
             .map_err(MorError::Linalg)?;
             self.diagnostics
                 .lock()
-                .expect("diagnostics poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .absorb_adi(&sol.stats, adi.tol, k);
             let (cu, cv) = compress_factors(&sol.u, &sol.v, self.opts.compress_tol)
                 .map_err(MorError::Linalg)?;
@@ -710,7 +710,7 @@ impl<'a> LowRankCubicMomentGenerator<'a> {
 
     /// Aggregated ADI/basis diagnostics.
     pub fn diagnostics(&self) -> LowRankDiagnostics {
-        *self.diagnostics.lock().expect("diagnostics poisoned")
+        *self.diagnostics.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn n(&self) -> usize {
@@ -764,7 +764,7 @@ impl<'a> LowRankCubicMomentGenerator<'a> {
         let h = q.transpose().matmul(&f);
         self.diagnostics
             .lock()
-            .expect("diagnostics poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .absorb(0, 0.0, k);
         let kron_small = KronSumOp2::new(&h)?;
         let schur_small = kron_small.a_schur();

@@ -207,6 +207,7 @@ impl NormReducer {
         })?;
 
         for chain in &chains {
+            checkpoint_stage(control, "norm-basis")?;
             stats.h1_candidates += chain.len().min(self.spec.k1);
             basis
                 .extend_from(
@@ -227,6 +228,7 @@ impl NormReducer {
             let k2 = self.spec.k2;
             let mut seeds: Vec<(Vector, usize, usize)> = Vec::new();
             for (ia, chain_a) in chains.iter().enumerate() {
+                checkpoint_stage(control, "norm-seeds")?;
                 for chain_b in chains.iter() {
                     for (a, dir_a) in chain_a.iter().enumerate().take(k2) {
                         for (b, dir_b) in chain_b.iter().enumerate().take(k2) {
@@ -253,6 +255,7 @@ impl NormReducer {
                 resolvent_chain(&g1_lu, seed, extra)
             })?;
             for (chain, base_degree) in computed.into_iter().zip(degrees) {
+                checkpoint_stage(control, "norm-basis")?;
                 for (p, v) in chain.into_iter().enumerate() {
                     stats.h2_candidates += 1;
                     basis
@@ -270,6 +273,7 @@ impl NormReducer {
             let k3 = self.spec.k3;
             let mut seeds: Vec<(Vector, usize, usize)> = Vec::new();
             for (ia, chain_a) in chains.iter().enumerate() {
+                checkpoint_stage(control, "norm-seeds")?;
                 for (a, dir_a) in chain_a.iter().enumerate().take(k3) {
                     for (deg2, dir2) in &h2_directions {
                         if a + deg2 + 1 > k3 {
@@ -295,6 +299,7 @@ impl NormReducer {
                 resolvent_chain(&g1_lu, seed, extra)
             })?;
             for chain in computed {
+                checkpoint_stage(control, "norm-basis")?;
                 stats.h3_candidates += chain.len();
                 basis
                     .extend_from(chain.into_iter().map(|v| frame.transform(v)))
@@ -378,6 +383,16 @@ fn resolvent_chain(g1_lu: &G1Factor, seed: Vector, extra: usize) -> Result<Vec<V
         out.push(v.clone());
     }
     Ok(out)
+}
+
+/// Cooperative checkpoint for the serial stages of the reduction (seed
+/// gathering, basis insertion): polls the `control` token once so a stop or
+/// passed deadline interrupts the loop with a typed error.
+fn checkpoint_stage(control: Option<&RunControl>, stage: &'static str) -> Result<()> {
+    if let Some(c) = control {
+        c.checkpoint(stage).map_err(MorError::Linalg)?;
+    }
+    Ok(())
 }
 
 /// Runs the independent resolvent chains on the scoped worker threads: a

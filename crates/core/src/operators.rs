@@ -132,6 +132,7 @@ pub trait ShiftedSolveOp {
 /// Reshapes a length-`rows*cols` vector into a `rows x cols` matrix
 /// (column-major), panicking on mismatch. Internal helper.
 fn unvec(x: &Vector, rows: usize, cols: usize) -> Matrix {
+    // vamor: allow(panic-freedom, reason = "doc-stated panic contract of an internal helper; every caller passes rows*cols == x.len() by construction")
     vamor_linalg::kron::unvec(x, rows, cols).expect("internal reshape mismatch")
 }
 

@@ -55,17 +55,26 @@ where
     let queue: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
 
+    // Poison recovery (`into_inner` on a poisoned lock) is sound here: the
+    // closures run under `catch_unwind`, so a poisoned slot can only mean a
+    // panic *between* the guarded regions, and each cell holds a plain
+    // `Option` with no intermediate states to observe.
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= queue.len() {
+                let (Some(cell), Some(slot)) = (queue.get(i), slots.get(i)) else {
                     break;
-                }
-                let item = queue[i].lock().expect("task slot poisoned").take();
-                let item = item.expect("task consumed twice");
+                };
+                // The atomic counter hands each index to exactly one worker,
+                // so the cell always holds the item; an empty cell would only
+                // mean a scheduler bug, and skipping it degrades into a typed
+                // per-task error below instead of a process abort.
+                let Some(item) = cell.lock().unwrap_or_else(|e| e.into_inner()).take() else {
+                    continue;
+                };
                 let result = run(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
             });
         }
     });
@@ -74,8 +83,10 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker dropped a task")
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| {
+                    Err("task slot never filled (scheduler invariant violated)".to_string())
+                })
         })
         .collect()
 }
@@ -94,6 +105,7 @@ where
         .into_iter()
         .map(|r| match r {
             Ok(v) => v,
+            // vamor: allow(panic-freedom, reason = "documented contract: parallel_map re-raises a worker panic once, deterministically, on the caller thread; fallible callers use try_parallel_map")
             Err(msg) => panic!("parallel_map worker panicked: {msg}"),
         })
         .collect()

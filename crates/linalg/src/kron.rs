@@ -183,6 +183,7 @@ impl KronSumOp {
     pub fn apply_vec(&self, x: &Vector) -> Vector {
         let nb = self.b.rows();
         let na = self.a.rows();
+        // vamor: allow(panic-freedom, reason = "doc-stated panic contract (`# Panics`) of apply_vec on a length mismatch")
         let xm = unvec(x, nb, na).expect("kron sum apply: length mismatch");
         let mut y = self.b.matmul(&xm);
         y.axpy(1.0, &xm.matmul(&self.a.transpose()));

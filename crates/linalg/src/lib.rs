@@ -55,6 +55,8 @@ pub mod error;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 pub mod hessenberg;
+#[cfg(loom)]
+pub mod interleave;
 pub mod kron;
 pub mod lowrank;
 pub mod lu;

@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::complex::Complex;
 use crate::error::LinalgError;
@@ -155,6 +155,24 @@ impl ShiftedLuCache {
         }
     }
 
+    /// Locks the real-shift map, recovering from mutex poisoning: factors
+    /// are built *outside* the lock and entries are only ever inserted
+    /// whole, so a map observed after a sibling worker's panic is still
+    /// internally consistent — discarding it would only throw away valid
+    /// factorizations.
+    ///
+    /// This is also the single sanctioned real-map acquisition point for the
+    /// `lock-discipline` lint (lock order: real before complex).
+    fn lock_real(&self) -> MutexGuard<'_, HashMap<u64, Arc<LuDecomposition>>> {
+        self.real.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Complex-map twin of [`ShiftedLuCache::lock_real`]; must never be held
+    /// when `lock_real` is called (lock order: real before complex).
+    fn lock_complex(&self) -> MutexGuard<'_, HashMap<(u64, u64), Arc<ZLuDecomposition>>> {
+        self.complex.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// The base matrix `G`.
     pub fn base(&self) -> &Matrix {
         &self.base
@@ -182,8 +200,7 @@ impl ShiftedLuCache {
 
     /// Number of distinct cached factorizations (real + complex).
     pub fn len(&self) -> usize {
-        self.real.lock().expect("cache poisoned").len()
-            + self.complex.lock().expect("cache poisoned").len()
+        self.lock_real().len() + self.lock_complex().len()
     }
 
     /// True if nothing has been factored yet.
@@ -218,7 +235,7 @@ impl ShiftedLuCache {
             return Ok(Arc::new(self.shifted(sigma).lu()?));
         }
         let key = shift_key(sigma);
-        if let Some(lu) = self.real.lock().expect("cache poisoned").get(&key) {
+        if let Some(lu) = self.lock_real().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(lu));
         }
@@ -229,7 +246,7 @@ impl ShiftedLuCache {
         // first insert wins.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let lu = Arc::new(self.shifted(sigma).lu()?);
-        let mut map = self.real.lock().expect("cache poisoned");
+        let mut map = self.lock_real();
         Ok(Arc::clone(map.entry(key).or_insert(lu)))
     }
 
@@ -257,14 +274,14 @@ impl ShiftedLuCache {
             return Ok(Arc::new(self.shifted_complex(lambda).lu()?));
         }
         let key = (shift_key(lambda.re), shift_key(lambda.im));
-        if let Some(lu) = self.complex.lock().expect("cache poisoned").get(&key) {
+        if let Some(lu) = self.lock_complex().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(lu));
         }
         // Factor outside the lock (see `factor` for the rationale).
         self.misses.fetch_add(1, Ordering::Relaxed);
         let lu = Arc::new(self.shifted_complex(lambda).lu()?);
-        let mut map = self.complex.lock().expect("cache poisoned");
+        let mut map = self.lock_complex();
         Ok(Arc::clone(map.entry(key).or_insert(lu)))
     }
 
@@ -294,8 +311,10 @@ impl ShiftedLuCache {
         }
         let lu = self.factor_complex(lambda)?;
         let rhs = ZVector::from(
-            (0..re.len())
-                .map(|i| Complex::new(re[i], im[i]))
+            re.as_slice()
+                .iter()
+                .zip(im.as_slice())
+                .map(|(&r, &i)| Complex::new(r, i))
                 .collect::<Vec<_>>(),
         );
         let x = lu.solve(&rhs)?;
@@ -327,12 +346,16 @@ impl ShiftedLuCache {
 }
 
 impl Clone for ShiftedLuCache {
+    /// Snapshots the cached factors. Cloning recovers from a poisoned map
+    /// (a sibling worker panicked while holding a guard) instead of
+    /// propagating the panic: entries are only ever inserted whole, so the
+    /// snapshot is always a consistent — if possibly slightly stale — view.
     fn clone(&self) -> Self {
         ShiftedLuCache {
             base: self.base.clone(),
             enabled: self.enabled,
-            real: Mutex::new(self.real.lock().expect("cache poisoned").clone()),
-            complex: Mutex::new(self.complex.lock().expect("cache poisoned").clone()),
+            real: Mutex::new(self.lock_real().clone()),
+            complex: Mutex::new(self.lock_complex().clone()),
             hits: AtomicUsize::new(self.hits()),
             misses: AtomicUsize::new(self.misses()),
         }
@@ -419,6 +442,7 @@ impl ShiftedSparseLuCache {
 
     fn with_mode(base: CsrMatrix, enabled: bool) -> Self {
         let symbolic = SparseLuSymbolic::analyze(&base)
+            // vamor: allow(panic-freedom, reason = "doc-stated panic contract of `new`/`new_uncached` on a non-square base; `try_new` is the typed-error path")
             .expect("ShiftedSparseLuCache requires a square base matrix");
         Self::from_parts(base, Arc::new(symbolic), enabled)
     }
@@ -494,6 +518,21 @@ impl ShiftedSparseLuCache {
         }
     }
 
+    /// Locks the real-shift map, recovering from mutex poisoning (see
+    /// [`ShiftedLuCache::lock_real`]: factors are built outside the lock and
+    /// inserted whole, so a post-panic map is still consistent). The single
+    /// sanctioned real-map acquisition point for the `lock-discipline` lint;
+    /// lock order is real before complex.
+    fn lock_real(&self) -> MutexGuard<'_, RealLruMap> {
+        self.real.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Complex-map twin of [`ShiftedSparseLuCache::lock_real`]; must never
+    /// be held when `lock_real` is called (lock order: real before complex).
+    fn lock_complex(&self) -> MutexGuard<'_, ComplexLruMap> {
+        self.complex.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// The base matrix `G`.
     pub fn base(&self) -> &CsrMatrix {
         &self.base
@@ -526,8 +565,7 @@ impl ShiftedSparseLuCache {
 
     /// Number of distinct cached factorizations (real + complex).
     pub fn len(&self) -> usize {
-        self.real.lock().expect("cache poisoned").len()
-            + self.complex.lock().expect("cache poisoned").len()
+        self.lock_real().len() + self.lock_complex().len()
     }
 
     /// True if nothing has been factored yet.
@@ -551,7 +589,7 @@ impl ShiftedSparseLuCache {
             )?));
         }
         let key = shift_key(sigma);
-        if let Some(entry) = self.real.lock().expect("cache poisoned").get_mut(&key) {
+        if let Some(entry) = self.lock_real().get_mut(&key) {
             entry.last_used = self.next_tick();
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(&entry.value));
@@ -561,7 +599,7 @@ impl ShiftedSparseLuCache {
         let lu = Arc::new(SparseLu::factor_shifted(&self.symbolic, &self.base, sigma)?);
         let tick = self.next_tick();
         // Lock order real → complex everywhere capacity is enforced.
-        let mut real = self.real.lock().expect("cache poisoned");
+        let mut real = self.lock_real();
         let arc = Arc::clone(
             &real
                 .entry(key)
@@ -572,7 +610,7 @@ impl ShiftedSparseLuCache {
                 .value,
         );
         if self.capacity.is_some() {
-            let mut complex = self.complex.lock().expect("cache poisoned");
+            let mut complex = self.lock_complex();
             self.enforce_capacity(&mut real, &mut complex);
         }
         Ok(arc)
@@ -606,7 +644,7 @@ impl ShiftedSparseLuCache {
             )?));
         }
         let key = (shift_key(lambda.re), shift_key(lambda.im));
-        if let Some(entry) = self.complex.lock().expect("cache poisoned").get_mut(&key) {
+        if let Some(entry) = self.lock_complex().get_mut(&key) {
             entry.last_used = self.next_tick();
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(&entry.value));
@@ -632,15 +670,15 @@ impl ShiftedSparseLuCache {
         if self.capacity.is_some() {
             // Lock order real → complex, matching `factor` — only eviction
             // needs the combined view.
-            let mut real = self.real.lock().expect("cache poisoned");
-            let mut complex = self.complex.lock().expect("cache poisoned");
+            let mut real = self.lock_real();
+            let mut complex = self.lock_complex();
             let arc = insert(&mut complex);
             self.enforce_capacity(&mut real, &mut complex);
             Ok(arc)
         } else {
             // Unbounded mode never touches the real map, so complex
             // factorizations cannot contend with concurrent real-shift hits.
-            let mut complex = self.complex.lock().expect("cache poisoned");
+            let mut complex = self.lock_complex();
             Ok(insert(&mut complex))
         }
     }
@@ -692,13 +730,16 @@ impl ShiftedSparseLuCache {
 }
 
 impl Clone for ShiftedSparseLuCache {
+    /// Snapshots the cached factors, recovering from a poisoned map instead
+    /// of propagating a sibling worker's panic (see
+    /// [`ShiftedLuCache::clone`]).
     fn clone(&self) -> Self {
         ShiftedSparseLuCache {
             base: self.base.clone(),
             symbolic: Arc::clone(&self.symbolic),
             enabled: self.enabled,
-            real: Mutex::new(self.real.lock().expect("cache poisoned").clone()),
-            complex: Mutex::new(self.complex.lock().expect("cache poisoned").clone()),
+            real: Mutex::new(self.lock_real().clone()),
+            complex: Mutex::new(self.lock_complex().clone()),
             hits: AtomicUsize::new(self.hits()),
             misses: AtomicUsize::new(self.misses()),
             capacity: self.capacity,

@@ -379,6 +379,7 @@ fn factor_core<T: LuScalar>(
                 } else {
                     (lp[jpos] + 1, lp[jpos + 1])
                 };
+                // vamor: allow(panic-freedom, reason = "lockstep invariant: ptr_stack is pushed and popped in step with node_stack in this DFS, and the while-let guard proves node_stack is non-empty")
                 let p = ptr_stack.last_mut().expect("stacks stay in lockstep");
                 let mut descended = false;
                 while astart + *p < aend {

@@ -718,6 +718,7 @@ fn implicit_step(
     for attempt in 0..2 {
         let lu = &frozen
             .as_ref()
+            // vamor: allow(panic-freedom, reason = "every path into this loop either found `frozen` fresh or ran refresh_jacobian, which assigns Some; attempt 2 refreshes again before re-entering")
             .expect("iteration matrix factored above")
             .factor;
         let mut prev_residual = f64::INFINITY;

@@ -1,0 +1,498 @@
+//! A minimal, self-contained Rust lexer with line/column spans.
+//!
+//! The workspace has no third-party dependencies (see PR 1: criterion and
+//! proptest were replaced by self-contained equivalents), so the analyze
+//! lints run on this hand-rolled token scanner instead of `syn`. It is not a
+//! full Rust lexer — it does not classify keywords, split multi-character
+//! operators, or parse numeric suffixes precisely — but it is exact about
+//! the two things the lints depend on: *token boundaries with spans* and
+//! *what is code versus comment/string text*. Comments are captured
+//! separately (the `// vamor: allow(...)` annotation grammar lives in
+//! them); string, raw-string, byte-string and char literals are consumed as
+//! single `Literal` tokens so their contents can never fake a finding.
+
+/// Token categories — deliberately coarse; the lints match on identifier
+/// text plus single-character punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `while`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `!`, ...).
+    Punct,
+    /// String / raw-string / byte-string / char / numeric literal.
+    Literal,
+    /// A lifetime such as `'a` (kept distinct so `'a` is never confused
+    /// with a char literal or an identifier).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for a punctuation token equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for an identifier token equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// One comment (line or block) with the position of its opening delimiter.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` delimiters.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// Line of the comment's last character (equal to `line` for `//`).
+    pub end_line: u32,
+}
+
+/// Lexer output: the code tokens and the comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    rest: std::str::Chars<'a>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            rest: src.chars(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest.clone().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.rest.clone();
+        it.next();
+        it.next()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        let mut it = self.rest.clone();
+        it.next();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.rest.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// literals or comments are consumed to end of input (the compiler, not the
+/// linter, is the arbiter of well-formedness).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek2() == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                end_line: line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek2() == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            loop {
+                match (cur.peek(), cur.peek2()) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push('/');
+                        text.push('*');
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        text.push('*');
+                        text.push('/');
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Some(ch), _) => {
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                end_line: cur.line,
+            });
+            continue;
+        }
+        // Raw / byte strings: r"..", r#".."#, br".." , b"..", b'.'.
+        if (c == 'r' || c == 'b') && matches!(cur.peek2(), Some('"') | Some('#') | Some('\''))
+            || (c == 'b'
+                && cur.peek2() == Some('r')
+                && matches!(cur.peek3(), Some('"') | Some('#')))
+        {
+            if let Some(tok) = try_lex_prefixed_literal(&mut cur, line, col) {
+                out.tokens.push(tok);
+                continue;
+            }
+            // `r#raw_ident` or an identifier starting with r/b: fall through.
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.tokens.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        if c == '"' {
+            out.tokens.push(lex_string(&mut cur, line, col));
+            continue;
+        }
+        if c == '\'' {
+            out.tokens.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+        // Everything else: one punctuation character per token.
+        cur.bump();
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'`; returns `None` when
+/// the `r`/`b` actually starts an identifier (e.g. `r#match` raw idents are
+/// returned as identifiers by the caller's fallthrough).
+fn try_lex_prefixed_literal(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    let mut probe = cur.rest.clone();
+    let mut text = String::new();
+    let first = probe.next()?;
+    text.push(first);
+    let mut next = probe.next()?;
+    if first == 'b' && next == 'r' {
+        text.push('r');
+        next = probe.next()?;
+    }
+    if first == 'b' && next == '\'' {
+        // Byte char literal b'x'.
+        for _ in 0..text.len() + 1 {
+            cur.bump();
+        }
+        let mut lit = text;
+        lit.push('\'');
+        let mut escaped = false;
+        while let Some(ch) = cur.peek() {
+            lit.push(ch);
+            cur.bump();
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '\'' {
+                break;
+            }
+        }
+        return Some(Tok {
+            kind: TokKind::Literal,
+            text: lit,
+            line,
+            col,
+        });
+    }
+    let mut hashes = 0usize;
+    while next == '#' {
+        hashes += 1;
+        text.push('#');
+        next = probe.next()?;
+    }
+    if next != '"' {
+        return None; // raw identifier like r#match, or plain ident.
+    }
+    text.push('"');
+    // Commit: consume prefix + opening quote.
+    for _ in 0..text.chars().count() {
+        cur.bump();
+    }
+    // Raw strings have no escapes: scan for `"` followed by `hashes` hashes.
+    loop {
+        match cur.peek() {
+            None => break,
+            Some('"') => {
+                text.push('"');
+                cur.bump();
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    text.push('#');
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(ch) => {
+                text.push(ch);
+                cur.bump();
+            }
+        }
+    }
+    Some(Tok {
+        kind: TokKind::Literal,
+        text,
+        line,
+        col,
+    })
+}
+
+fn lex_string(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    text.push('"');
+    cur.bump();
+    let mut escaped = false;
+    while let Some(ch) = cur.peek() {
+        text.push(ch);
+        cur.bump();
+        if escaped {
+            escaped = false;
+        } else if ch == '\\' {
+            escaped = true;
+        } else if ch == '"' {
+            break;
+        }
+    }
+    Tok {
+        kind: TokKind::Literal,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let second = cur.peek2();
+    let third = cur.peek3();
+    let is_lifetime = match (second, third) {
+        (Some(c2), Some('\'')) if is_ident_start(c2) => false, // 'x'
+        (Some(c2), _) if is_ident_start(c2) => true,           // 'a, 'static
+        _ => false,
+    };
+    let mut text = String::new();
+    text.push('\'');
+    cur.bump();
+    if is_lifetime {
+        while let Some(ch) = cur.peek() {
+            if !is_ident_continue(ch) {
+                break;
+            }
+            text.push(ch);
+            cur.bump();
+        }
+        return Tok {
+            kind: TokKind::Lifetime,
+            text,
+            line,
+            col,
+        };
+    }
+    let mut escaped = false;
+    while let Some(ch) = cur.peek() {
+        text.push(ch);
+        cur.bump();
+        if escaped {
+            escaped = false;
+        } else if ch == '\\' {
+            escaped = true;
+        } else if ch == '\'' {
+            break;
+        }
+    }
+    Tok {
+        kind: TokKind::Literal,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            text.push(ch);
+            cur.bump();
+            // `1e-3` / `0x1p+2`: sign glued to an exponent marker.
+            if (ch == 'e' || ch == 'E' || ch == 'p' || ch == 'P')
+                && text.chars().next().is_some_and(|c| c.is_ascii_digit())
+                && matches!(cur.peek(), Some('+') | Some('-'))
+                && cur.peek2().is_some_and(|c| c.is_ascii_digit())
+            {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+        } else if ch == '.' && cur.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            // `1.5` continues the number; `1..n` does not.
+            text.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    Tok {
+        kind: TokKind::Literal,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code_like_text() {
+        let src = r#"
+            // x.unwrap() in a comment
+            let s = "y.unwrap()"; /* panic!("no") */
+            let c = '\''; let l: &'static str = s;
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"static".to_string()) || !ids.contains(&"staticc".to_string()));
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_hashes_and_quotes() {
+        let src = r###"let s = r#"a "quoted" .unwrap()"#; s.len();"###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn spans_are_one_based_line_col() {
+        let src = "fn f() {\n    x.unwrap();\n}\n";
+        let lx = lex(src);
+        let unwrap = lx
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lx = lex(src);
+        let lifetimes: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_eat_dots() {
+        let src = "for i in 0..n { a[i] = 1.5e-3; }";
+        let lx = lex(src);
+        assert!(lx.tokens.iter().any(|t| t.text == "1.5e-3"));
+        let dots = lx.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! `xtask` — workspace static analysis for the vamor solver crates.
+//!
+//! Run as `cargo xtask analyze` (the alias lives in `.cargo/config.toml`).
+//! Four project-specific lints are implemented over a self-contained Rust
+//! lexer (the workspace carries no third-party dependencies, so there is no
+//! `syn` here — same precedent as the criterion/proptest replacements of
+//! PR 1):
+//!
+//! - **panic-freedom** — no `unwrap`/`expect`/panic macros in non-test
+//!   solver code; `[]`-indexing additionally flagged in Result-returning
+//!   functions of the orchestration modules.
+//! - **checkpoint-coverage** — every outermost loop of a function taking
+//!   `&RunControl` must call `checkpoint*`.
+//! - **lock-discipline** — the shift-cache `real`/`complex` mutex pair is
+//!   only ever acquired in the order real → complex, never re-entrantly,
+//!   and never around calls into caller-supplied code.
+//! - **hot-path-alloc** — `*_into` kernels never allocate
+//!   (`Vec::new`/`vec!`/`.clone()`/`.to_vec()`).
+//!
+//! Justified residue is annotated in-source as
+//! `// vamor: allow(<lint>, reason = "...")`; the analyzer fails on any
+//! unannotated finding, on malformed annotations, and on stale (unused)
+//! allows.
+
+pub mod lexer;
+pub mod lints;
+pub mod model;
+pub mod report;
+pub mod workspace;

@@ -1,0 +1,607 @@
+//! The four project-specific lints.
+//!
+//! All passes work on the [`FileModel`] token stream; none of them look at
+//! comment or string contents, and all of them skip `#[cfg(test)]` /
+//! `#[test]` code and attribute interiors. See the README "Static analysis"
+//! section for the rule statements and the annotation grammar.
+
+use std::path::Path;
+
+use crate::lexer::{Tok, TokKind};
+use crate::model::{FileModel, FnItem};
+use crate::report::Finding;
+
+pub const PANIC_FREEDOM: &str = "panic-freedom";
+pub const CHECKPOINT_COVERAGE: &str = "checkpoint-coverage";
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`let [a, b] = ...`, `return [x]`, `in [1, 2]`, ...).
+const NON_POSTFIX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "if", "else", "match", "move", "box", "dyn", "impl", "as",
+    "break", "continue", "where", "unsafe", "loop", "while", "for", "use", "pub", "const",
+    "static", "await", "yield",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// L1 — panic-freedom. Flags `.unwrap()`, `.expect(...)` and the panic
+/// macro family anywhere in non-test code; flags `[]`-indexing inside
+/// `Result`-returning functions when `check_indexing` is set for the module
+/// (the orchestration surface, where a slice panic would bypass the typed
+/// error contract — dense numeric kernels access elements through
+/// bounds-checked `Index` impls as their documented contract and are
+/// covered by `hot-path-alloc` instead).
+pub fn panic_freedom(model: &FileModel, file: &Path, check_indexing: bool) -> Vec<Finding> {
+    let toks = model.tokens();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if model.in_test(i) || model.in_attr(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap(` / `.expect(`
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Finding::new(
+                PANIC_FREEDOM,
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "`.{}()` on a solver path — return a typed error (`?` / `ok_or_else` / \
+                     `unwrap_or_else(|e| e.into_inner())` for mutex poison) instead",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // panic!/unreachable!/todo!/unimplemented!
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Finding::new(
+                PANIC_FREEDOM,
+                file,
+                t.line,
+                t.col,
+                format!("`{}!` on a solver path — use the error taxonomy", t.text),
+            ));
+            continue;
+        }
+        // Postfix `[` — index expressions in Result-returning functions.
+        if check_indexing && t.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let postfix = match prev.kind {
+                TokKind::Ident => !NON_POSTFIX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                _ => false,
+            };
+            if !postfix {
+                continue;
+            }
+            let Some(f) = model.enclosing_fn(i) else {
+                continue;
+            };
+            if f.in_test || !returns_result(toks, f) {
+                continue;
+            }
+            out.push(Finding::new(
+                PANIC_FREEDOM,
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "`[]`-indexing in `{}`, a Result-returning solver path — use `.get()` with a \
+                     typed error, or iterate",
+                    f.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn returns_result(toks: &[Tok], f: &FnItem) -> bool {
+    toks[f.ret.0..f.ret.1].iter().any(|t| t.is_ident("Result"))
+}
+
+/// L2 — checkpoint coverage. In any non-test function taking `&RunControl`
+/// (or `Option<&RunControl>`), every *outermost* `for`/`while`/`loop` body
+/// must contain a `checkpoint*` call somewhere inside it (nested positions
+/// count: the contract is one cooperative stop-test per outer iteration).
+pub fn checkpoint_coverage(model: &FileModel, file: &Path) -> Vec<Finding> {
+    let toks = model.tokens();
+    let mut out = Vec::new();
+    for f in &model.fns {
+        if f.in_test {
+            continue;
+        }
+        if !toks[f.params.0..f.params.1]
+            .iter()
+            .any(|t| t.is_ident("RunControl"))
+        {
+            continue;
+        }
+        let Some((body_open, body_close)) = f.body else {
+            continue;
+        };
+        // Collect loops (keyword index + body range) inside this fn only —
+        // nested fns get their own pass (they only matter if they also take
+        // `&RunControl`).
+        let nested_fn_bodies: Vec<(usize, usize)> = model
+            .fns
+            .iter()
+            .filter(|g| g.kw_idx != f.kw_idx)
+            .filter_map(|g| g.body)
+            .filter(|&(s, e)| s > body_open && e <= body_close)
+            .collect();
+        let mut loops: Vec<(usize, (usize, usize))> = Vec::new();
+        let mut i = body_open + 1;
+        while i < body_close {
+            if nested_fn_bodies.iter().any(|&(s, e)| i >= s && i < e) {
+                i += 1;
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind == TokKind::Ident
+                && (t.text == "for" || t.text == "while" || t.text == "loop")
+            {
+                if let Some(body) = loop_body(toks, &model.matching, i, body_close) {
+                    loops.push((i, body));
+                }
+            }
+            i += 1;
+        }
+        for &(kw, (open, close)) in &loops {
+            let covered = toks[open..close]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text.starts_with("checkpoint"));
+            if covered {
+                continue;
+            }
+            let outermost = !loops
+                .iter()
+                .any(|&(other_kw, (s, e))| other_kw != kw && kw > s && kw < e);
+            if !outermost {
+                continue; // the enclosing loop carries the finding
+            }
+            out.push(Finding::new(
+                CHECKPOINT_COVERAGE,
+                file,
+                toks[kw].line,
+                toks[kw].col,
+                format!(
+                    "`{}` loop in `{}` (takes &RunControl) never calls `checkpoint`: \
+                     cancellation/deadline would not be observed here",
+                    toks[kw].text, f.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Finds the `{` opening a loop body, skipping parenthesized/bracketed
+/// groups in the header (closures, `vec![..]`, tuple patterns). Struct
+/// literals are illegal in loop headers, so the first brace at group depth
+/// zero is the body.
+fn loop_body(
+    toks: &[Tok],
+    matching: &std::collections::HashMap<usize, usize>,
+    kw: usize,
+    limit: usize,
+) -> Option<(usize, usize)> {
+    let mut i = kw + 1;
+    while i < limit {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            let close = *matching.get(&i)?;
+            return Some((i, close + 1));
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            i = *matching.get(&i)? + 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// L3 — lock discipline over the `real`/`complex` mutex pair. The single
+/// sanctioned acquisition order is `real` → `complex` (the PR 4
+/// "lock-order-safe" claim); while a guard is held:
+/// - acquiring `real` while holding `complex` is a violation (order
+///   inversion — deadlocks against the sanctioned order),
+/// - re-acquiring the held mutex is a violation (self-deadlock),
+/// - calling a *caller-supplied* callback (any parameter of the enclosing
+///   function) is a violation (user code must never run under a cache
+///   lock).
+///
+/// Acquisitions are recognized as `<field>.lock(` and as the
+/// `lock_real(`/`lock_complex(` poison-recovering helpers.
+pub fn lock_discipline(model: &FileModel, file: &Path) -> Vec<Finding> {
+    let toks = model.tokens();
+    let mut out = Vec::new();
+    let acquisitions: Vec<(usize, &'static str)> = (0..toks.len())
+        .filter(|&i| !model.in_test(i))
+        .filter_map(|i| acquisition_at(toks, i).map(|f| (i, f)))
+        .collect();
+    for &(i, field) in &acquisitions {
+        let Some(f) = model.enclosing_fn(i) else {
+            continue;
+        };
+        let end = guard_live_end(model, i, f);
+        for &(j, other) in &acquisitions {
+            if j <= i || j >= end {
+                continue;
+            }
+            if other == field {
+                out.push(Finding::new(
+                    LOCK_DISCIPLINE,
+                    file,
+                    toks[j].line,
+                    toks[j].col,
+                    format!(
+                        "`{other}` mutex re-acquired while its guard is still held (self-deadlock)"
+                    ),
+                ));
+            } else if field == "complex" && other == "real" {
+                out.push(Finding::new(
+                    LOCK_DISCIPLINE,
+                    file,
+                    toks[j].line,
+                    toks[j].col,
+                    "`real` acquired while holding `complex`: inverts the sanctioned real → complex \
+                     lock order"
+                        .to_string(),
+                ));
+            }
+        }
+        // Calls into caller-supplied code while the guard is held.
+        let params = callable_params(toks, f);
+        let mut j = i + 1;
+        while j < end {
+            let t = &toks[j];
+            if t.kind == TokKind::Ident
+                && params.contains(&t.text.as_str())
+                && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+                && !toks.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct('.'))
+            {
+                out.push(Finding::new(
+                    LOCK_DISCIPLINE,
+                    file,
+                    t.line,
+                    t.col,
+                    format!(
+                        "caller-supplied `{}` invoked while the `{}` guard is held: user code must \
+                         never run under a cache lock",
+                        t.text, field
+                    ),
+                ));
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Recognizes a mutex acquisition at token `i`, returning the field name.
+fn acquisition_at(toks: &[Tok], i: usize) -> Option<&'static str> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    match t.text.as_str() {
+        "lock_real" if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) => Some("real"),
+        "lock_complex" if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) => Some("complex"),
+        "lock"
+            if toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && i >= 2
+                && toks[i - 1].is_punct('.') =>
+        {
+            match toks[i - 2].text.as_str() {
+                "real" => Some("real"),
+                "complex" => Some("complex"),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Methods that return the guard itself (or it, recovered from poison) —
+/// a chain that continues past these with any *other* method projects out
+/// of the guard, so the guard is a statement-scoped temporary.
+const GUARD_PASSTHROUGH: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Token index one past the end of the guard's live range: end of the
+/// enclosing statement for a temporary guard, end of the enclosing block
+/// (or an explicit `drop(name)`) for a `let`-bound guard.
+fn guard_live_end(model: &FileModel, acq: usize, f: &FnItem) -> usize {
+    let toks = model.tokens();
+    let (body_open, body_close) = f.body.unwrap_or((0, toks.len()));
+    // Statement start: walk back to the nearest `;`, `{` or `}`.
+    let mut s = acq;
+    while s > body_open {
+        let t = &toks[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    let let_bound = toks.get(s).is_some_and(|t| t.is_ident("let"));
+    // Does the binding hold the guard, or a projection out of it? Walk the
+    // method chain after `lock(...)`: passthrough methods keep the guard,
+    // anything further (`.len()`, `.get(..)`) consumes it within the
+    // statement.
+    let mut chain = model
+        .matching
+        .get(&(acq + 1))
+        .map(|&close| close + 1)
+        .unwrap_or(acq + 1);
+    while toks.get(chain).is_some_and(|t| t.is_punct('.'))
+        && toks
+            .get(chain + 1)
+            .is_some_and(|t| GUARD_PASSTHROUGH.contains(&t.text.as_str()))
+        && toks.get(chain + 2).is_some_and(|t| t.is_punct('('))
+    {
+        chain = model
+            .matching
+            .get(&(chain + 2))
+            .map(|&close| close + 1)
+            .unwrap_or(chain + 3);
+    }
+    let projected = toks.get(chain).is_some_and(|t| t.is_punct('.'));
+    if !let_bound || projected {
+        // Temporary: dies at the end of this statement.
+        let mut j = acq;
+        while j < body_close {
+            if toks[j].is_punct(';') {
+                return j;
+            }
+            if toks[j].is_punct('{') || toks[j].is_punct('(') || toks[j].is_punct('[') {
+                if let Some(&close) = model.matching.get(&j) {
+                    j = close + 1;
+                    continue;
+                }
+            }
+            j += 1;
+        }
+        return body_close;
+    }
+    // `let [mut] name = ...`: guard name is the identifier before `=`.
+    let name: Option<String> = toks[s..acq]
+        .iter()
+        .take_while(|t| !t.is_punct('='))
+        .filter(|t| t.kind == TokKind::Ident && t.text != "let" && t.text != "mut")
+        .last()
+        .map(|t| t.text.clone());
+    // Enclosing block: innermost `{` containing the statement.
+    let mut block_close = body_close;
+    let mut best = usize::MAX;
+    for (&open, &close) in &model.matching {
+        if toks[open].is_punct('{') && open < s && close > acq && close - open < best {
+            best = close - open;
+            block_close = close;
+        }
+    }
+    // An explicit `drop(name)` ends the range early.
+    if let Some(name) = name {
+        let mut j = acq;
+        while j + 2 < block_close {
+            if toks[j].is_ident("drop") && toks[j + 1].is_punct('(') && toks[j + 2].is_ident(&name)
+            {
+                return j;
+            }
+            j += 1;
+        }
+    }
+    block_close
+}
+
+/// Parameter names of `f` (candidate caller-supplied callbacks).
+fn callable_params<'a>(toks: &'a [Tok], f: &FnItem) -> Vec<&'a str> {
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_name = true;
+    for i in f.params.0..f.params.1 {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(',') {
+            expect_name = true;
+        } else if depth == 0 && expect_name && t.kind == TokKind::Ident {
+            if t.text == "mut" || t.text == "self" {
+                continue;
+            }
+            if toks.get(i + 1).is_some_and(|n| n.is_punct(':')) {
+                names.push(t.text.as_str());
+            }
+            expect_name = false;
+        }
+    }
+    names
+}
+
+/// L4 — hot-path allocation. Inside `*_into` kernels (the allocation-free
+/// contract surface), flags `Vec::new`/`Vec::with_capacity`, `vec![...]`,
+/// `.clone()` and `.to_vec()`.
+pub fn hot_path_alloc(model: &FileModel, file: &Path) -> Vec<Finding> {
+    let toks = model.tokens();
+    let mut out = Vec::new();
+    for f in &model.fns {
+        if f.in_test || !f.name.ends_with("_into") {
+            continue;
+        }
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        for i in open..close {
+            if model.in_test(i) || model.in_attr(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let msg = match t.text.as_str() {
+                "Vec"
+                    if toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                        && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                        && toks
+                            .get(i + 3)
+                            .is_some_and(|n| n.is_ident("new") || n.is_ident("with_capacity")) =>
+                {
+                    Some(format!(
+                        "`Vec::{}` allocates inside `{}` — `*_into` kernels must write through \
+                         their caller-provided buffers",
+                        toks[i + 3].text,
+                        f.name
+                    ))
+                }
+                "vec" if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) => Some(format!(
+                    "`vec![...]` allocates inside `{}` — `*_into` kernels must write through \
+                     their caller-provided buffers",
+                    f.name
+                )),
+                "clone" | "to_vec"
+                    if i > 0
+                        && toks[i - 1].is_punct('.')
+                        && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+                {
+                    Some(format!(
+                        "`.{}()` allocates inside `{}` — borrow or reuse the caller's buffer",
+                        t.text, f.name
+                    ))
+                }
+                _ => None,
+            };
+            if let Some(message) = msg {
+                out.push(Finding::new(HOT_PATH_ALLOC, file, t.line, t.col, message));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+    use std::path::Path;
+
+    fn run<F: Fn(&FileModel, &Path) -> Vec<Finding>>(src: &str, f: F) -> Vec<Finding> {
+        let model = FileModel::parse(src);
+        f(&model, Path::new("t.rs"))
+    }
+
+    #[test]
+    fn panic_freedom_skips_tests_and_flags_code() {
+        let src = r#"
+            fn bad() { x.unwrap(); y.expect("no"); panic!("boom"); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn ok() { x.unwrap(); }
+            }
+        "#;
+        let f = run(src, |m, p| panic_freedom(m, p, false));
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|x| x.line == 2));
+    }
+
+    #[test]
+    fn indexing_only_in_result_fns() {
+        let src = r#"
+            fn infallible(v: &[f64]) -> f64 { v[0] }
+            fn fallible(v: &[f64]) -> Result<f64> { Ok(v[0]) }
+        "#;
+        let f = run(src, |m, p| panic_freedom(m, p, true));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("fallible"));
+    }
+
+    #[test]
+    fn checkpoint_coverage_outermost_rule() {
+        let src = r#"
+            fn sweep(control: &RunControl) -> Result<()> {
+                for i in 0..n {
+                    control.checkpoint("sweep")?;
+                    for j in 0..m { work(i, j); }
+                }
+                while busy() { spin(); }
+                Ok(())
+            }
+            fn uncontrolled() { for i in 0..n { work(i); } }
+        "#;
+        let f = run(src, checkpoint_coverage);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 7);
+        assert!(f[0].message.contains("while"));
+    }
+
+    #[test]
+    fn lock_discipline_order_and_callbacks() {
+        let src = r#"
+            fn good(&self) {
+                let mut real = self.real.lock().unwrap_or_else(|e| e.into_inner());
+                let mut complex = self.complex.lock().unwrap_or_else(|e| e.into_inner());
+                evict(&mut real, &mut complex);
+            }
+            fn inverted(&self) {
+                let c = self.complex.lock().unwrap_or_else(|e| e.into_inner());
+                let r = self.real.lock().unwrap_or_else(|e| e.into_inner());
+            }
+            fn callback<F: Fn()>(&self, factor: F) {
+                let g = self.real.lock().unwrap_or_else(|e| e.into_inner());
+                factor();
+            }
+            fn temporary_guard_dies_at_statement_end<F: Fn()>(&self, factor: F) {
+                let n = self.real.lock().unwrap_or_else(|e| e.into_inner()).len();
+                factor();
+            }
+        "#;
+        let f = run(src, lock_discipline);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("inverts"));
+        assert_eq!(f[0].line, 9);
+        assert!(f[1].message.contains("factor"));
+        assert_eq!(f[1].line, 13);
+    }
+
+    #[test]
+    fn lock_discipline_drop_ends_liveness() {
+        let src = r#"
+            fn ok(&self) {
+                let c = self.complex.lock().unwrap_or_else(|e| e.into_inner());
+                drop(c);
+                let r = self.real.lock().unwrap_or_else(|e| e.into_inner());
+            }
+        "#;
+        assert!(run(src, lock_discipline).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_flags_into_kernels_only() {
+        let src = r#"
+            fn matvec_into(&self, x: &V, y: &mut V) { let t = x.clone(); let v = vec![0.0; 4]; }
+            fn matvec(&self, x: &V) -> V { x.clone() }
+        "#;
+        let f = run(src, hot_path_alloc);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.line == 2));
+    }
+}

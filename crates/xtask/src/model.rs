@@ -1,0 +1,469 @@
+//! Structural model of one source file: matched delimiter ranges, test-code
+//! spans, function items with signature/body token ranges, and the parsed
+//! `// vamor: allow(...)` annotations.
+//!
+//! The model is built once per file and shared by all lints. Token ranges
+//! are half-open `[start, end)` indices into `Lexed::tokens`.
+
+use std::collections::HashMap;
+
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+
+/// A parsed `// vamor: allow(<lint>, reason = "...")` annotation.
+#[derive(Debug, Clone)]
+pub struct AllowAnnotation {
+    /// The lint the annotation silences (e.g. `panic-freedom`).
+    pub lint: String,
+    /// The mandatory justification. Empty when the author omitted it — the
+    /// analyzer reports that as its own finding instead of honoring the
+    /// allow.
+    pub reason: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    pub col: u32,
+    /// The code line this annotation covers: the comment's own line (for a
+    /// trailing annotation) plus the next line holding any token (for a
+    /// stand-alone annotation line).
+    pub covered_lines: Vec<u32>,
+}
+
+/// A comment that *looks like* a vamor annotation but does not parse — the
+/// gate must fail loudly on these rather than silently ignoring a typo.
+#[derive(Debug, Clone)]
+pub struct MalformedAnnotation {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// One `fn` item (free function, inherent/trait method, or nested fn).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub kw_idx: usize,
+    /// Token range of the parameter list, *excluding* the parentheses.
+    pub params: (usize, usize),
+    /// Token range of the return type (between `->` and the body/`;`);
+    /// empty range when the function returns `()`.
+    pub ret: (usize, usize),
+    /// Token range of the body *including* the braces; `None` for a
+    /// body-less trait method declaration.
+    pub body: Option<(usize, usize)>,
+    /// True when the item sits inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// Structural model of one lexed file.
+pub struct FileModel {
+    pub lexed: Lexed,
+    /// `open index -> close index` for `{}`, `[]`, `()` pairs.
+    pub matching: HashMap<usize, usize>,
+    /// Token ranges (incl. delimiters) of `#[cfg(test)] mod`/`#[test] fn`
+    /// items — everything the lints must ignore.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Token ranges (incl. `#` and brackets) of attributes — `#[...]`
+    /// contents are configuration, not executable code.
+    pub attr_ranges: Vec<(usize, usize)>,
+    pub fns: Vec<FnItem>,
+    pub allows: Vec<AllowAnnotation>,
+    pub malformed: Vec<MalformedAnnotation>,
+}
+
+impl FileModel {
+    /// Lexes and models `src`.
+    pub fn parse(src: &str) -> FileModel {
+        let lexed = lex(src);
+        let matching = match_delimiters(&lexed.tokens);
+        let attr_ranges = attribute_ranges(&lexed.tokens, &matching);
+        let test_ranges = test_code_ranges(&lexed.tokens, &matching, &attr_ranges);
+        let fns = collect_fns(&lexed.tokens, &matching, &test_ranges);
+        let (allows, malformed) = parse_annotations(&lexed.comments, &lexed.tokens);
+        FileModel {
+            lexed,
+            matching,
+            test_ranges,
+            attr_ranges,
+            fns,
+            allows,
+            malformed,
+        }
+    }
+
+    pub fn tokens(&self) -> &[Tok] {
+        &self.lexed.tokens
+    }
+
+    /// True when token `i` is inside test-only code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// True when token `i` is inside an attribute `#[...]`.
+    pub fn in_attr(&self, i: usize) -> bool {
+        self.attr_ranges.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// The innermost function whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| i > s && i < e))
+            .min_by_key(|f| {
+                let (s, e) = f.body.unwrap_or((0, usize::MAX));
+                e - s
+            })
+    }
+}
+
+fn match_delimiters(tokens: &[Tok]) -> HashMap<usize, usize> {
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    let mut map = HashMap::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" | "[" | "(" => stack.push((t.text.chars().next().unwrap_or('{'), i)),
+            "}" | "]" | ")" => {
+                let want = match t.text.as_str() {
+                    "}" => '{',
+                    "]" => '[',
+                    _ => '(',
+                };
+                // Pop until the matching opener kind: tolerate unbalanced
+                // inputs (the compiler rejects them; the linter must not
+                // panic or hang on them).
+                while let Some((kind, open)) = stack.pop() {
+                    if kind == want {
+                        map.insert(open, i);
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// `#[...]` and `#![...]` ranges (token indices of `#` through `]`).
+fn attribute_ranges(tokens: &[Tok], matching: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_punct('!') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('[') {
+                if let Some(&close) = matching.get(&j) {
+                    out.push((i, close + 1));
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Finds `#[cfg(test)] mod ... { ... }` and `#[test] fn ... { ... }` spans.
+fn test_code_ranges(
+    tokens: &[Tok],
+    matching: &HashMap<usize, usize>,
+    attrs: &[(usize, usize)],
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for &(start, end) in attrs {
+        // `#[cfg(test)]`, `#[cfg(all(test, ...))]`, `#[test]` all mark the
+        // next item as test code; `#[cfg(...)]` without `test` is ordinary
+        // conditional code.
+        if !tokens[start..end].iter().any(|t| t.is_ident("test")) {
+            continue;
+        }
+        // The attribute applies to the next item; find its body braces.
+        let mut j = end;
+        // Skip stacked attributes and modifiers (pub, unsafe, async, ...).
+        while j < tokens.len() {
+            if tokens[j].is_punct('#') {
+                let mut k = j + 1;
+                if k < tokens.len() && tokens[k].is_punct('[') {
+                    if let Some(&close) = matching.get(&k) {
+                        j = close + 1;
+                        continue;
+                    }
+                }
+                k += 1;
+                j = k;
+                continue;
+            }
+            break;
+        }
+        // Walk to the item's opening brace at nesting depth 0 relative to
+        // the item header (skipping parenthesized/bracketed groups).
+        let mut k = j;
+        let mut found = None;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('{') {
+                found = matching.get(&k).map(|&close| (start, close + 1));
+                break;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                if let Some(&close) = matching.get(&k) {
+                    k = close + 1;
+                    continue;
+                }
+            }
+            if t.is_punct(';') {
+                break; // `#[cfg(test)] mod tests;` — file-scoped, skip.
+            }
+            k += 1;
+        }
+        if let Some(range) = found {
+            out.push(range);
+        }
+    }
+    out
+}
+
+/// Collects `fn` items with signature and body ranges.
+fn collect_fns(
+    tokens: &[Tok],
+    matching: &HashMap<usize, usize>,
+    test_ranges: &[(usize, usize)],
+) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        // `fn(` is a function-pointer type, not an item.
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        let name = name_tok.text.clone();
+        // Skip generics `<...>` between name and `(` (angle depth count;
+        // `->`/`>>` are single-char puncts here, so plain counting works
+        // as long as the signature's generics are balanced).
+        let mut j = i + 2;
+        if j < tokens.len() && tokens[j].is_punct('<') {
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct('<') {
+                    depth += 1;
+                } else if tokens[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if j >= tokens.len() || !tokens[j].is_punct('(') {
+            continue;
+        }
+        let Some(&params_close) = matching.get(&j) else {
+            continue;
+        };
+        let params = (j + 1, params_close);
+        // Return type: tokens between `->` and the body `{` / `;`,
+        // stopping at a `where` clause.
+        let mut k = params_close + 1;
+        let mut ret = (k, k);
+        if k + 1 < tokens.len() && tokens[k].is_punct('-') && tokens[k + 1].is_punct('>') {
+            let ret_start = k + 2;
+            let mut m = ret_start;
+            while m < tokens.len() {
+                let t = &tokens[m];
+                if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+                    break;
+                }
+                if t.is_punct('(') || t.is_punct('[') {
+                    if let Some(&close) = matching.get(&m) {
+                        m = close + 1;
+                        continue;
+                    }
+                }
+                m += 1;
+            }
+            ret = (ret_start, m);
+            k = m;
+        }
+        // Body: first `{` before a `;` (skipping the where clause's bounds,
+        // which contain no braces).
+        let mut body = None;
+        let mut m = k;
+        while m < tokens.len() {
+            let t = &tokens[m];
+            if t.is_punct('{') {
+                if let Some(&close) = matching.get(&m) {
+                    body = Some((m, close + 1));
+                }
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            m += 1;
+        }
+        let in_test = test_ranges.iter().any(|&(s, e)| i >= s && i < e);
+        out.push(FnItem {
+            name,
+            kw_idx: i,
+            params,
+            ret,
+            body,
+            in_test,
+        });
+    }
+    out
+}
+
+/// Parses `vamor:` annotations out of the comment stream.
+///
+/// Grammar (one annotation per comment):
+///
+/// ```text
+/// // vamor: allow(<lint-name>, reason = "<non-empty justification>")
+/// ```
+///
+/// An annotation covers findings on its own line (trailing form) and on the
+/// next line that holds any code token (stand-alone form; consecutive
+/// annotation lines stack onto the same code line).
+fn parse_annotations(
+    comments: &[Comment],
+    tokens: &[Tok],
+) -> (Vec<AllowAnnotation>, Vec<MalformedAnnotation>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for c in comments {
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("vamor:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        match parse_allow(rest) {
+            Ok((lint, reason)) => {
+                let next_code_line = tokens
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > c.end_line)
+                    .unwrap_or(c.end_line);
+                allows.push(AllowAnnotation {
+                    lint,
+                    reason,
+                    line: c.line,
+                    col: c.col,
+                    covered_lines: vec![c.line, next_code_line],
+                });
+            }
+            Err(msg) => malformed.push(MalformedAnnotation {
+                line: c.line,
+                col: c.col,
+                message: msg,
+            }),
+        }
+    }
+    (allows, malformed)
+}
+
+fn parse_allow(s: &str) -> Result<(String, String), String> {
+    let Some(inner) = s.strip_prefix("allow") else {
+        return Err(format!(
+            "unknown vamor directive `{s}`; expected `allow(...)`"
+        ));
+    };
+    let inner = inner.trim();
+    let inner = inner
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| "malformed allow: expected `allow(<lint>, reason = \"...\")`".to_string())?;
+    let (lint, rest) = inner
+        .split_once(',')
+        .ok_or_else(|| "malformed allow: missing `, reason = \"...\"`".to_string())?;
+    let lint = lint.trim().to_string();
+    if lint.is_empty() {
+        return Err("malformed allow: empty lint name".to_string());
+    }
+    let rest = rest.trim();
+    let reason = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim)
+        .and_then(|t| t.strip_prefix('"'))
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| "malformed allow: reason must be `reason = \"...\"`".to_string())?;
+    Ok((lint, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_fns_and_test_ranges() {
+        let src = r#"
+            pub fn solve(x: &V) -> Result<V> { x.go() }
+            fn helper<T: Clone>(t: T) {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { solve().unwrap(); }
+            }
+        "#;
+        let m = FileModel::parse(src);
+        let names: Vec<_> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["solve", "helper", "t"]);
+        assert!(!m.fns[0].in_test);
+        assert!(m.fns[2].in_test);
+        let ret_text: Vec<_> = m.tokens()[m.fns[0].ret.0..m.fns[0].ret.1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ret_text, vec!["Result", "<", "V", ">"]);
+    }
+
+    #[test]
+    fn annotation_covers_trailing_and_next_line() {
+        let src = "fn f() {\n    // vamor: allow(panic-freedom, reason = \"contract\")\n    x.unwrap();\n    y.unwrap(); // vamor: allow(panic-freedom, reason = \"other\")\n}\n";
+        let m = FileModel::parse(src);
+        assert_eq!(m.allows.len(), 2);
+        assert!(m.allows[0].covered_lines.contains(&3));
+        assert!(m.allows[1].covered_lines.contains(&4));
+        assert!(m.malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_annotations_are_reported() {
+        let src = "// vamor: allow(panic-freedom)\n// vamor: deny(x)\nfn f() {}\n";
+        let m = FileModel::parse(src);
+        assert!(m.allows.is_empty());
+        assert_eq!(m.malformed.len(), 2);
+    }
+
+    #[test]
+    fn where_clause_and_nested_fn_bodies() {
+        let src = "fn outer<F>(f: F) -> usize where F: Fn() { fn inner() {} f(); 3 }";
+        let m = FileModel::parse(src);
+        assert_eq!(m.fns.len(), 2);
+        assert!(m.fns.iter().all(|f| f.body.is_some()));
+        let inner = &m.fns[1];
+        let outer = &m.fns[0];
+        let (os, oe) = outer.body.unwrap();
+        assert!(inner.kw_idx > os && inner.kw_idx < oe);
+    }
+}

@@ -1,0 +1,202 @@
+//! Findings, annotation application, and human/JSON rendering.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::model::FileModel;
+
+/// One diagnostic produced by a lint pass.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Lint slug (`panic-freedom`, `checkpoint-coverage`, `lock-discipline`,
+    /// `hot-path-alloc`, or the meta lint `annotation`).
+    pub lint: &'static str,
+    /// Workspace-relative path.
+    pub file: PathBuf,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    /// `Some(reason)` when a well-formed `vamor: allow` covers this finding.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    pub fn new(
+        lint: &'static str,
+        file: &Path,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            lint,
+            file: file.to_path_buf(),
+            line,
+            col,
+            message: message.into(),
+            allowed: None,
+        }
+    }
+}
+
+/// Applies the file's `vamor: allow` annotations to raw lint findings and
+/// appends the annotation meta-findings (malformed annotations, unused
+/// allows) so the gate surfaces stale or typo'd suppressions.
+pub fn apply_annotations(model: &FileModel, file: &Path, findings: &mut Vec<Finding>) {
+    let mut used = vec![false; model.allows.len()];
+    for f in findings.iter_mut() {
+        if f.allowed.is_some() {
+            continue;
+        }
+        for (i, a) in model.allows.iter().enumerate() {
+            if a.lint == f.lint && a.covered_lines.contains(&f.line) {
+                used[i] = true;
+                f.allowed = Some(a.reason.clone());
+                break;
+            }
+        }
+    }
+    for m in &model.malformed {
+        findings.push(Finding::new(
+            "annotation",
+            file,
+            m.line,
+            m.col,
+            format!("malformed vamor annotation: {}", m.message),
+        ));
+    }
+    for (i, a) in model.allows.iter().enumerate() {
+        if !used[i] {
+            findings.push(Finding::new(
+                "annotation",
+                file,
+                a.line,
+                a.col,
+                format!(
+                    "unused `vamor: allow({})` — the finding it silenced is gone; remove it",
+                    a.lint
+                ),
+            ));
+        }
+    }
+}
+
+/// `file:line:col: lint: message` — one line per finding, allowed findings
+/// marked as such.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let status = match &f.allowed {
+            Some(reason) => format!(" [allowed: {reason}]"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {}: {}{}",
+            f.file.display(),
+            f.line,
+            f.col,
+            f.lint,
+            f.message,
+            status
+        );
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable report: a findings array plus per-lint totals, in the
+/// same hand-rolled JSON style as `vamor-bench`'s reproduce output.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let allowed = match &f.allowed {
+            Some(r) => format!("\"{}\"", json_escape(r)),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\", \"allowed\": {}}}",
+            f.lint,
+            json_escape(&f.file.display().to_string()),
+            f.line,
+            f.col,
+            json_escape(&f.message),
+            allowed
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let total = findings.len();
+    let blocking = findings.iter().filter(|f| f.allowed.is_none()).count();
+    let _ = write!(
+        out,
+        "  \"total\": {},\n  \"blocking\": {},\n  \"allowed\": {}\n}}\n",
+        total,
+        blocking,
+        total - blocking
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "// vamor: allow(panic-freedom, reason = \"stale\")\nfn f() {}\n";
+        let model = FileModel::parse(src);
+        let mut findings = Vec::new();
+        apply_annotations(&model, Path::new("x.rs"), &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "annotation");
+        assert!(findings[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn allow_matches_lint_and_line() {
+        let src = "// vamor: allow(panic-freedom, reason = \"ok\")\nfn f() {}\n";
+        let model = FileModel::parse(src);
+        let mut findings = vec![
+            Finding::new("panic-freedom", Path::new("x.rs"), 2, 1, "a"),
+            Finding::new("hot-path-alloc", Path::new("x.rs"), 2, 1, "b"),
+        ];
+        apply_annotations(&model, Path::new("x.rs"), &mut findings);
+        assert_eq!(findings[0].allowed.as_deref(), Some("ok"));
+        assert!(findings[1].allowed.is_none());
+    }
+
+    #[test]
+    fn json_is_escaped() {
+        let findings = vec![Finding::new(
+            "panic-freedom",
+            Path::new("a\\b.rs"),
+            1,
+            2,
+            "quote \" here",
+        )];
+        let j = render_json(&findings);
+        assert!(j.contains("a\\\\b.rs"));
+        assert!(j.contains("quote \\\" here"));
+        assert!(j.contains("\"blocking\": 1"));
+    }
+}

@@ -1,0 +1,9 @@
+//! Known-bad hot-path-alloc fixture: a `*_into` kernel that allocates.
+
+fn axpy_into(y: &mut Vec<f64>, x: &[f64], alpha: f64) {
+    let mut scratch = Vec::new();
+    let mirror = x.to_vec();
+    let copied = mirror.clone();
+    let staged = vec![0.0; 4];
+    let sized = Vec::with_capacity(8);
+}

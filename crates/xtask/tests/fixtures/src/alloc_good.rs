@@ -1,0 +1,19 @@
+//! Known-good hot-path-alloc fixture: allocation-free kernels, allocation
+//! outside the contract surface, and an allowed one-time setup.
+
+fn axpy_into(y: &mut [f64], x: &[f64], alpha: f64) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * *xi;
+    }
+}
+
+fn gather(x: &[f64]) -> Vec<f64> {
+    // Allocation outside the `*_into` contract surface is fine.
+    x.to_vec()
+}
+
+fn staged_into(dst: &mut [f64]) {
+    // vamor: allow(hot-path-alloc, reason = "fixture: one-time setup table")
+    let table = vec![0.0; 4];
+    dst[0] = table[0];
+}

@@ -1,0 +1,13 @@
+//! Annotation-grammar fixture: a malformed allow (no reason) and a
+//! well-formed but unused allow are both `annotation` meta-findings — the
+//! gate fails loudly instead of silently accepting a stale audit trail.
+
+// vamor: allow(panic-freedom)
+fn missing_reason() -> usize {
+    0
+}
+
+// vamor: allow(panic-freedom, reason = "nothing here to silence")
+fn unused_allow() -> usize {
+    1
+}

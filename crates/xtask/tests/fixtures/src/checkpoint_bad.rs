@@ -1,0 +1,19 @@
+//! Known-bad checkpoint-coverage fixture.
+
+fn sweep(control: &RunControl, items: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in items {
+        acc += x;
+    }
+    acc
+}
+
+fn nested(control: &RunControl, grid: &[Vec<f64>]) -> f64 {
+    let mut acc = 0.0;
+    for row in grid {
+        for x in row {
+            acc += x;
+        }
+    }
+    acc
+}

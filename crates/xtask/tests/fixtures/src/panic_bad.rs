@@ -1,0 +1,17 @@
+//! Known-bad panic-freedom fixture: each marked line carries one finding.
+
+fn chain_step(values: &[f64]) -> Result<f64, String> {
+    let first = values.first().unwrap();
+    let second = values.get(1).expect("second");
+    if *first > *second {
+        panic!("disorder");
+    }
+    let third = values[2];
+    Ok(first + second + third)
+}
+
+fn infallible_helper(values: &[f64]) -> f64 {
+    // Indexing outside a Result-returning fn is the bounds-checked Index
+    // contract — not flagged.
+    values[0]
+}

@@ -1,0 +1,20 @@
+//! Known-good panic-freedom fixture: typed errors, a covered allow, and the
+//! test-code exemption.
+
+fn typed(values: &[f64]) -> Result<f64, String> {
+    values.first().copied().ok_or_else(|| "empty".to_string())
+}
+
+fn recovered() -> Result<usize, String> {
+    let xs = [1usize, 2];
+    // vamor: allow(panic-freedom, reason = "fixture: in-bounds by construction")
+    Ok(xs[0])
+}
+
+#[test]
+fn unwraps_are_fine_in_tests() {
+    let v = [1, 2, 3];
+    assert_eq!(*v.first().unwrap(), 1);
+    let w = v[0];
+    assert_eq!(w, 1);
+}
