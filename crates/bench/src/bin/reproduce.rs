@@ -32,23 +32,35 @@
 //! `chaos` experiment (requires building with `--features fault-injection`)
 //! sweeps seeded fault plans over fig2–fig5 at the small sizes and fails if
 //! any injected fault escapes the degradation ladder (a panic or a silently
-//! non-finite result).
+//! non-finite result); `chaos --concurrent` additionally drives every fault
+//! kind through one shared, byte-budgeted reduction session from three
+//! threads at once.
+//!
+//! Checkpoint/resume: `--checkpoint-dir <dir>` makes the adaptive run write
+//! a versioned, checksummed checkpoint after every accepted move, so a
+//! deadline-killed run (`--timeout-secs 0.5`) leaves its progress on disk;
+//! `--resume <path>` continues from such a checkpoint (a missing, torn, or
+//! mismatched file is a typed error, never a silent restart). The `resume`
+//! experiment demonstrates the full contract in one invocation: an
+//! uninterrupted reference, a deadline-killed run, and a resume that must
+//! reach the same accepted-move list and final band residual.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use vamor_bench::{
-    acceptance_metrics, adaptive_deadline_run, adaptive_report, compare_to_baseline,
-    fig2_voltage_line_with, fig3_current_line_with, fig4_rf_receiver_with, fig5_varistor_with,
-    lowrank_scaling, scaling_subspace_dims, sparse_scaling, AcceptanceMetrics,
+    acceptance_metrics, adaptive_deadline_run, adaptive_report, adaptive_resume_run,
+    compare_to_baseline, fig2_voltage_line_with, fig3_current_line_with, fig4_rf_receiver_with,
+    fig5_varistor_with, lowrank_scaling, scaling_subspace_dims, sparse_scaling, AcceptanceMetrics,
     AdaptiveExperimentReport, AdaptiveSummary, Baseline, DeadlineRunReport, LowRankScalingReport,
-    SparseScalingReport, TransientComparison,
+    ResumeReport, SparseScalingReport, TransientComparison,
 };
 use vamor_core::{ReductionEngine, SolverBackend};
 
 /// PR number stamped into the emitted baseline snapshot.
-const PR_NUMBER: u32 = 7;
+const PR_NUMBER: u32 = 8;
 
 struct Sizes {
     fig2_stages: usize,
@@ -154,6 +166,29 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    // `--resume <path>`: continue a killed adaptive run from its checkpoint;
+    // `--checkpoint-dir <dir>`: where the adaptive run writes checkpoints.
+    let resume_path = match args.iter().position(|a| a == "--resume") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(PathBuf::from(path)),
+            _ => {
+                eprintln!("--resume requires a checkpoint path argument");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let checkpoint_dir = match args.iter().position(|a| a == "--checkpoint-dir") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(PathBuf::from(path)),
+            _ => {
+                eprintln!("--checkpoint-dir requires a directory argument");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let concurrent = args.iter().any(|a| a == "--concurrent");
     let compare_path = match args.iter().position(|a| a == "--compare") {
         Some(i) => match args.get(i + 1) {
             Some(path) if !path.starts_with("--") => Some(path.clone()),
@@ -171,7 +206,13 @@ fn main() -> ExitCode {
             skip_next = false;
             continue;
         }
-        if a == "--json" || a == "--compare" || a == "--engine" || a == "--timeout-secs" {
+        if a == "--json"
+            || a == "--compare"
+            || a == "--engine"
+            || a == "--timeout-secs"
+            || a == "--resume"
+            || a == "--checkpoint-dir"
+        {
             skip_next = true;
             continue;
         }
@@ -259,6 +300,20 @@ fn main() -> ExitCode {
             // wall-clock deadline and reports its best-so-far outcome. With
             // `--engine lowrank` it runs on the large (10⁴-state at paper
             // sizes) line instead of the fig3 line.
+            "adaptive" if resume_path.is_some() || checkpoint_dir.is_some() => {
+                match run_adaptive_session(
+                    sizes.fig3_stages,
+                    timeout,
+                    resume_path.as_deref(),
+                    checkpoint_dir.as_deref(),
+                ) {
+                    Ok(()) => Ok(None),
+                    Err(msg) => {
+                        eprintln!("adaptive: {msg}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "adaptive" => match timeout {
                 Some(t) => {
                     let stages = if engine == ReductionEngine::LowRank {
@@ -288,13 +343,43 @@ fn main() -> ExitCode {
                     Err(e) => Err(e),
                 },
             },
-            "chaos" => match run_chaos() {
+            "chaos" => match run_chaos(concurrent, checkpoint_dir.as_deref()) {
                 Ok(()) => Ok(None),
                 Err(msg) => {
                     eprintln!("chaos: {msg}");
                     return ExitCode::FAILURE;
                 }
             },
+            // The kill-and-resume demonstration: reference run, deadline-
+            // killed run leaving a checkpoint, resume from it — the resumed
+            // search must reach the reference's move list and residual.
+            "resume" => {
+                let dir = checkpoint_dir
+                    .clone()
+                    .unwrap_or_else(|| std::env::temp_dir().join("vamor-resume"));
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("resume: cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                let path = dir.join("resume-demo.ckpt");
+                // Remove any stale checkpoint so "no file yet" detection is
+                // about THIS run's kill point.
+                let _ = std::fs::remove_file(&path);
+                let kill = timeout.unwrap_or(Duration::from_millis(300));
+                match adaptive_resume_run(sizes.fig3_stages, kill, &path) {
+                    Ok(r) => {
+                        print_resume_report(&r);
+                        if !r.moves_match || r.residual_delta > 1e-10 {
+                            eprintln!(
+                                "resume: resumed run diverged from the uninterrupted reference"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                        Ok(None)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
             "perf" => match acceptance_metrics(35, if small { 16 } else { 98 }, sizes.dt) {
                 Ok(m) => {
                     print_acceptance(&m);
@@ -364,7 +449,7 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "unknown experiment '{other}' (expected fig2..fig5, table1, scaling, sparse, lowrank, adaptive, perf, chaos, all)"
+                    "unknown experiment '{other}' (expected fig2..fig5, table1, scaling, sparse, lowrank, adaptive, perf, chaos, resume, all)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -455,24 +540,141 @@ fn print_deadline_run(r: &DeadlineRunReport) {
     );
 }
 
+/// The checkpointed adaptive session run behind `--checkpoint-dir` /
+/// `--resume`: one fig3-band adaptive search through a [`ReductionSession`],
+/// writing a checkpoint after every accepted move. With `--timeout-secs` a
+/// deadline interrupt before the first ROM is the *expected* shape of a kill
+/// smoke (the checkpoint written so far is retained), not a failure; on a
+/// resume, every error — including a torn or mismatched checkpoint — fails
+/// the run with its typed message.
+fn run_adaptive_session(
+    stages: usize,
+    timeout: Option<Duration>,
+    resume: Option<&std::path::Path>,
+    checkpoint_dir: Option<&std::path::Path>,
+) -> Result<(), String> {
+    use vamor_core::{AdaptiveReducer, CheckpointPlan, ReductionSession, RunControl, StopReason};
+
+    let plan = match (resume, checkpoint_dir) {
+        (Some(path), _) => CheckpointPlan::resume_from(path),
+        (None, Some(dir)) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create --checkpoint-dir {}: {e}", dir.display()))?;
+            CheckpointPlan::write_to(dir.join("adaptive-fig3.ckpt"))
+        }
+        (None, None) => unreachable!("caller checked that one flag is present"),
+    };
+    let line =
+        vamor_circuits::TransmissionLine::current_driven(stages).map_err(|e| e.to_string())?;
+    let reducer = AdaptiveReducer::new(vamor_bench::fig3_adaptive_spec());
+    let session = ReductionSession::unbounded();
+    let mut control = RunControl::new();
+    if let Some(t) = timeout {
+        control = control.with_deadline(t);
+    }
+    println!(
+        "\n== Checkpointed adaptive session run ({} from {}) ==",
+        if plan.resume { "resuming" } else { "fresh" },
+        plan.path.display()
+    );
+    match session.reduce_adaptive(line.qldae(), &reducer, &control, Some(&plan)) {
+        Ok(out) => {
+            let stats = session.stats();
+            println!(
+                "fig3 line (n={stages}): ROM order {}, residual {:.2e}, stop {:?}{}",
+                out.rom.order(),
+                out.trace.final_residual(),
+                out.trace.stop,
+                if out.trace.stop == StopReason::DeadlineExceeded {
+                    " — preempted; checkpoint retained for --resume"
+                } else {
+                    ""
+                }
+            );
+            println!(
+                "  moves [{}] ({} evals, {} full solves); session: {} stamp build(s), {} hit(s)",
+                out.trace.move_list(),
+                out.trace.evaluations,
+                out.trace.full_model_solves,
+                stats.stamp_builds,
+                stats.stamp_hits
+            );
+            Ok(())
+        }
+        Err(e) if timeout.is_some() && !plan.resume => {
+            println!(
+                "run interrupted before the first ROM: {e} (checkpoint, if any, retained at {})",
+                plan.path.display()
+            );
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn print_resume_report(r: &ResumeReport) {
+    println!("\n== Kill-and-resume adaptive session (fig3 band) ==");
+    println!(
+        "fig3 line (n={}): deadline {}, checkpoint {} with {} accepted move(s)",
+        r.states,
+        if r.deadline_hit {
+            "killed the run"
+        } else {
+            "did not fire (run completed)"
+        },
+        if r.resumed_from_checkpoint {
+            "found"
+        } else {
+            "absent (killed before the first accepted move)"
+        },
+        r.checkpoint_moves
+    );
+    println!(
+        "reference: moves [{}], residual {:.3e}",
+        r.reference_moves, r.reference_residual
+    );
+    println!(
+        "resumed:   moves [{}], residual {:.3e} (delta {:.1e}), order {}, {} full solves",
+        r.resumed_moves, r.resumed_residual, r.residual_delta, r.order, r.resumed_full_solves
+    );
+    println!(
+        "session: {} stamp build(s), {} hit(s) across reference+killed+resumed — move lists {}",
+        r.stamp_builds,
+        r.stamp_hits,
+        if r.moves_match { "MATCH" } else { "DIVERGED" }
+    );
+}
+
 /// The `chaos` experiment: seeded fault plans swept over fig2–fig5 at the
 /// small sizes (chaos probes the degradation ladder, not paper fidelity, so
-/// the paper sizes would only add wall time). Errors with a usage hint when
-/// fault injection is not compiled in.
+/// the paper sizes would only add wall time). With `--concurrent` it instead
+/// drives every fault kind — solver-seam and session-era — through one
+/// shared, byte-budgeted reduction session from three threads at once.
+/// Errors with a usage hint when fault injection is not compiled in.
 #[cfg(feature = "fault-injection")]
-fn run_chaos() -> Result<(), String> {
-    let sizes = Sizes::small();
-    println!("\n== Chaos suite: seeded fault injection over fig2-fig5 (small sizes) ==");
-    let report = vamor_bench::chaos_sweep(
-        sizes.fig2_stages,
-        sizes.fig3_stages,
-        sizes.fig4_sections,
-        sizes.fig5_ladder,
-        sizes.dt,
-    );
+fn run_chaos(concurrent: bool, checkpoint_dir: Option<&std::path::Path>) -> Result<(), String> {
+    let report = if concurrent {
+        println!(
+            "\n== Concurrent chaos suite: all fault kinds x 3 threads through one shared session =="
+        );
+        let dir = checkpoint_dir
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("vamor-chaos-ckpt"));
+        vamor_bench::chaos_sweep_concurrent(&dir).map_err(|e| e.to_string())?
+    } else {
+        let sizes = Sizes::small();
+        println!("\n== Chaos suite: seeded fault injection over fig2-fig5 (small sizes) ==");
+        vamor_bench::chaos_sweep(
+            sizes.fig2_stages,
+            sizes.fig3_stages,
+            sizes.fig4_sections,
+            sizes.fig5_ladder,
+            sizes.dt,
+        )
+    };
     for c in &report.cases {
         println!(
-            "{:<5} {:<16} seed {:>3}: {} injected -> {}{}",
+            "{:<6} {:<16} seed {:>3}: {} injected -> {}{}",
             c.experiment,
             c.kind,
             c.seed,
@@ -495,7 +697,7 @@ fn run_chaos() -> Result<(), String> {
 }
 
 #[cfg(not(feature = "fault-injection"))]
-fn run_chaos() -> Result<(), String> {
+fn run_chaos(_concurrent: bool, _checkpoint_dir: Option<&std::path::Path>) -> Result<(), String> {
     Err("fault injection is not compiled in; rerun with \
          `cargo run --release -p vamor-bench --features fault-injection --bin reproduce -- chaos`"
         .into())

@@ -1,13 +1,15 @@
 //! Experiment drivers, one per table/figure of the paper.
 
 use std::fmt;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use vamor_circuits::{RfReceiver, TransmissionLine, VaristorCircuit};
 use vamor_core::{
-    AdaptiveReducer, AdaptiveSpec, AdaptiveTrace, AssocReducer, BandSampler, BandSamplerOptions,
-    FrequencyBand, MomentSpec, MorError, NormReducer, ReducerKind, ReductionEngine, RunControl,
-    SolverBackend, StopReason, VolterraKernels,
+    AdaptiveCheckpoint, AdaptiveReducer, AdaptiveSpec, AdaptiveTrace, AssocReducer, BandSampler,
+    BandSamplerOptions, CheckpointPlan, FrequencyBand, MomentSpec, MorError, NormReducer,
+    ReducerKind, ReductionEngine, ReductionSession, RunControl, SessionError, SolverBackend,
+    StopReason, VolterraKernels,
 };
 use vamor_linalg::{Complex, CsrMatrix, Matrix, SparseLu, SparseLuSymbolic, Vector};
 use vamor_sim::{
@@ -25,6 +27,9 @@ pub enum ExperimentError {
     Reduction(MorError),
     /// Transient simulation failed.
     Simulation(SimError),
+    /// A session request failed (budget backpressure, contained panic,
+    /// quarantined corruption, checkpoint trouble).
+    Session(SessionError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -33,6 +38,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Circuit(e) => write!(f, "circuit construction failed: {e}"),
             ExperimentError::Reduction(e) => write!(f, "model order reduction failed: {e}"),
             ExperimentError::Simulation(e) => write!(f, "transient simulation failed: {e}"),
+            ExperimentError::Session(e) => write!(f, "session request failed: {e}"),
         }
     }
 }
@@ -52,6 +58,11 @@ impl From<MorError> for ExperimentError {
 impl From<SimError> for ExperimentError {
     fn from(e: SimError) -> Self {
         ExperimentError::Simulation(e)
+    }
+}
+impl From<SessionError> for ExperimentError {
+    fn from(e: SessionError) -> Self {
+        ExperimentError::Session(e)
     }
 }
 
@@ -1473,6 +1484,129 @@ pub fn adaptive_deadline_run(
     })
 }
 
+/// Record of a kill-and-resume adaptive run (`reproduce --resume`): a
+/// deadline-killed search left a checkpoint behind; resuming from it must
+/// converge to the same accepted-move list and final band residual as an
+/// uninterrupted run, without re-factoring the shared stamp.
+#[derive(Debug, Clone)]
+pub struct ResumeReport {
+    /// Full model order.
+    pub states: usize,
+    /// True iff the deadline actually cut the first attempt short (a
+    /// generous deadline lets it complete; the resume then replays the whole
+    /// move list, which must still reproduce the reference).
+    pub deadline_hit: bool,
+    /// True iff a checkpoint existed on disk when the resume started. False
+    /// means the kill landed before the first accepted move — the resumed
+    /// run starts fresh, which is the `--resume` contract for a run killed
+    /// at `t ≈ 0`.
+    pub resumed_from_checkpoint: bool,
+    /// Accepted moves recorded in the on-disk checkpoint at resume time.
+    pub checkpoint_moves: usize,
+    /// Move list of the uninterrupted reference run.
+    pub reference_moves: String,
+    /// Move list of the resumed run.
+    pub resumed_moves: String,
+    /// True iff the two move lists are identical.
+    pub moves_match: bool,
+    /// Final band residual of the reference run.
+    pub reference_residual: f64,
+    /// Final band residual of the resumed run.
+    pub resumed_residual: f64,
+    /// `|reference − resumed|` residual difference.
+    pub residual_delta: f64,
+    /// Full-model band-estimator solves spent by the resumed run (0 when the
+    /// session's shared sampler cache is warm).
+    pub resumed_full_solves: usize,
+    /// Order of the resumed ROM.
+    pub order: usize,
+    /// Stamp factorizations across all three runs (reference, killed,
+    /// resumed) — 1 when the session shares as designed.
+    pub stamp_builds: usize,
+    /// Stamp-cache hits across the three runs.
+    pub stamp_hits: usize,
+}
+
+/// Runs the fig3-band adaptive search three times through one
+/// [`ReductionSession`]: an uninterrupted reference, a deadline-killed
+/// attempt checkpointing to `checkpoint`, and a resume from that checkpoint —
+/// the `reproduce --timeout-secs … --checkpoint-dir …` / `--resume` path.
+/// The resumed run must reach the reference's accepted-move list and final
+/// residual, and the session must have factored the shared stamp exactly
+/// once across all three runs.
+///
+/// # Errors
+///
+/// Propagates circuit construction failures and [`SessionError`]s from the
+/// reference or resumed runs (a torn or mismatched checkpoint surfaces as
+/// the typed [`SessionError::Checkpoint`], never a silent restart). The
+/// killed attempt's interrupt is expected, not an error.
+pub fn adaptive_resume_run(
+    stages: usize,
+    timeout: Duration,
+    checkpoint: &Path,
+) -> Result<ResumeReport> {
+    let line = TransmissionLine::current_driven(stages)?;
+    let full = line.qldae();
+    let session = ReductionSession::unbounded();
+    let reducer = AdaptiveReducer::new(fig3_adaptive_spec());
+
+    // Uninterrupted reference (factors the stamp; later runs share it).
+    let reference = session.reduce_adaptive(full, &reducer, &RunControl::new(), None)?;
+
+    // Deadline-killed attempt: only its checkpoint side effect matters.
+    // Both a degraded best-so-far outcome and a typed interrupt honor the
+    // run-control contract.
+    let killed_control = RunControl::new().with_deadline(timeout);
+    let killed = session.reduce_adaptive(
+        full,
+        &reducer,
+        &killed_control,
+        Some(&CheckpointPlan::write_to(checkpoint)),
+    );
+    let deadline_hit = match &killed {
+        Ok(out) => out.trace.stop == StopReason::DeadlineExceeded,
+        Err(_) => true,
+    };
+
+    let resumed_from_checkpoint = checkpoint.exists();
+    let checkpoint_moves = if resumed_from_checkpoint {
+        AdaptiveCheckpoint::load(checkpoint)
+            .map(|ck| ck.moves.len())
+            .unwrap_or(0)
+    } else {
+        0
+    };
+    let plan = if resumed_from_checkpoint {
+        CheckpointPlan::resume_from(checkpoint)
+    } else {
+        CheckpointPlan::write_to(checkpoint)
+    };
+    let resumed = session.reduce_adaptive(full, &reducer, &RunControl::new(), Some(&plan))?;
+
+    let reference_moves = reference.trace.move_list();
+    let resumed_moves = resumed.trace.move_list();
+    let reference_residual = reference.trace.final_residual();
+    let resumed_residual = resumed.trace.final_residual();
+    let stats = session.stats();
+    Ok(ResumeReport {
+        states: full.order(),
+        deadline_hit,
+        resumed_from_checkpoint,
+        checkpoint_moves,
+        moves_match: reference_moves == resumed_moves,
+        reference_moves,
+        resumed_moves,
+        reference_residual,
+        resumed_residual,
+        residual_delta: (reference_residual - resumed_residual).abs(),
+        resumed_full_solves: resumed.trace.full_model_solves,
+        order: resumed.rom.order(),
+        stamp_builds: stats.stamp_builds,
+        stamp_hits: stats.stamp_hits,
+    })
+}
+
 /// One run of the chaos sweep: a figure experiment executed under an armed
 /// [`vamor_linalg::fault::FaultPlan`].
 #[cfg(feature = "fault-injection")]
@@ -1584,6 +1718,153 @@ pub fn chaos_sweep(
         }
     }
     ChaosReport { cases }
+}
+
+/// The concurrent chaos suite: every [`vamor_linalg::fault::FaultKind`]
+/// (solver-seam *and* session-era kinds) × three seeds, each armed cycle
+/// driving three threads — distinct transmission-line stamps — through ONE
+/// shared, byte-budgeted [`ReductionSession`] running checkpointed adaptive
+/// reductions (6 kinds × 3 seeds × 3 threads = 54 cases). The budget is
+/// sized from measured stamp footprints to hold two of the three stamps, so
+/// every cycle also churns the cross-cache LRU eviction path.
+///
+/// Contract per case: a recovered outcome with a finite band residual or a
+/// typed [`SessionError`] — never a panic, never a silently non-finite
+/// result. After each cycle a fault-free probe per stamp through the *same*
+/// session must reproduce the fault-free reference ROM bit for bit; any
+/// divergence is recorded as a cross-request contamination violation.
+///
+/// The fault plan is process-global; callers running concurrently with
+/// other fault-injection users must serialize externally.
+#[cfg(feature = "fault-injection")]
+pub fn chaos_sweep_concurrent(checkpoint_dir: &Path) -> Result<ChaosReport> {
+    use vamor_linalg::fault::{arm, disarm, injected, FaultKind, FaultPlan};
+
+    let sizes = [12_usize, 14, 16];
+    let labels = ["line12", "line14", "line16"];
+    let lines = sizes
+        .iter()
+        .map(|&s| TransmissionLine::current_driven(s))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    let spec = AdaptiveSpec::new(FrequencyBand::new(0.05, 6.0).expect("static band"), 1e-6)
+        .with_max_order(24)
+        .with_max_iterations(2);
+    let reducer = AdaptiveReducer::new(spec);
+
+    // Fault-free reference ROMs, one per stamp, computed through a measuring
+    // session that also reveals each stamp's byte footprint. The adaptive
+    // search is deterministic, so clean probes must reproduce these bits.
+    let measure = ReductionSession::unbounded();
+    let mut reference = Vec::new();
+    let mut stamp_bytes = Vec::new();
+    for line in &lines {
+        let before = measure.budget().used();
+        let out = measure.reduce_adaptive(line.qldae(), &reducer, &RunControl::new(), None)?;
+        reference.push(out.rom.system().g1().as_slice().to_vec());
+        stamp_bytes.push(measure.budget().used().saturating_sub(before));
+    }
+    let max_stamp = stamp_bytes.iter().copied().max().unwrap_or(0).max(1);
+    // Two-and-a-half stamps: concurrent requests contend and evict, while a
+    // serial clean probe (everything else unpinned) always fits.
+    let capacity = max_stamp * 5 / 2;
+    let session = ReductionSession::new(capacity);
+
+    std::fs::create_dir_all(checkpoint_dir)
+        .map_err(|e| SessionError::Checkpoint(vamor_core::CheckpointError::Io(e.to_string())))?;
+
+    let kinds = [
+        ("singular-factor", FaultKind::SingularFactor),
+        ("nan-solve", FaultKind::NanSolve),
+        ("adi-stall", FaultKind::AdiStall),
+        ("cache-corrupt", FaultKind::CacheCorrupt),
+        ("budget-pressure", FaultKind::BudgetPressure),
+        ("checkpoint-torn", FaultKind::CheckpointTorn),
+    ];
+    let seeds = [1_u64, 7, 42];
+    let mut cases = Vec::new();
+    for (kind_name, kind) in kinds {
+        for seed in seeds {
+            arm(FaultPlan::new(seed, kind));
+            let mut outcomes = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = lines
+                    .iter()
+                    .enumerate()
+                    .map(|(t, line)| {
+                        let session = &session;
+                        let reducer = &reducer;
+                        let path =
+                            checkpoint_dir.join(format!("chaos-{kind_name}-{seed}-{t}.ckpt"));
+                        scope.spawn(move || {
+                            session
+                                .reduce_adaptive(
+                                    line.qldae(),
+                                    reducer,
+                                    &RunControl::new(),
+                                    Some(&CheckpointPlan::write_to(path)),
+                                )
+                                .map(|out| out.trace.final_residual())
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    outcomes.push(handle.join());
+                }
+            });
+            let fired = injected();
+            disarm();
+            for (t, result) in outcomes.into_iter().enumerate() {
+                let (ok, outcome) = match result {
+                    Err(p) => (false, format!("PANIC: {}", panic_message(p.as_ref()))),
+                    Ok(Ok(residual)) if residual.is_finite() => {
+                        (true, "recovered: finite band residual".to_string())
+                    }
+                    Ok(Ok(residual)) => (false, format!("silently non-finite residual {residual}")),
+                    Ok(Err(e)) => (true, format!("typed error: {e}")),
+                };
+                cases.push(ChaosCase {
+                    experiment: labels[t],
+                    kind: kind_name,
+                    seed,
+                    injected: fired,
+                    outcome,
+                    ok,
+                });
+            }
+            // Cross-request contamination probe: with faults disarmed, a
+            // clean request through the *same* session must reproduce the
+            // fault-free reference exactly; anything else means the faulted
+            // cycle leaked corrupted shared state.
+            for (t, line) in lines.iter().enumerate() {
+                let probe =
+                    session.reduce_adaptive(line.qldae(), &reducer, &RunControl::new(), None);
+                let contaminated = match &probe {
+                    Ok(out) => {
+                        if out.rom.system().g1().as_slice() == reference[t].as_slice() {
+                            None
+                        } else {
+                            Some(
+                                "CONTAMINATED: clean probe diverged from fault-free reference"
+                                    .to_string(),
+                            )
+                        }
+                    }
+                    Err(e) => Some(format!("CONTAMINATED: clean probe failed: {e}")),
+                };
+                if let Some(outcome) = contaminated {
+                    cases.push(ChaosCase {
+                        experiment: labels[t],
+                        kind: kind_name,
+                        seed,
+                        injected: fired,
+                        outcome,
+                        ok: false,
+                    });
+                }
+            }
+        }
+    }
+    Ok(ChaosReport { cases })
 }
 
 /// Names the first non-finite series of a comparison, if any.

@@ -21,14 +21,14 @@ pub mod harness;
 
 pub use baseline::{compare_to_baseline, Baseline, ExperimentBaseline};
 pub use experiments::{
-    acceptance_metrics, adaptive_deadline_run, adaptive_report, fig2_adaptive_spec,
-    fig2_voltage_line, fig2_voltage_line_with, fig3_adaptive_spec, fig3_current_line,
-    fig3_current_line_with, fig4_adaptive_spec, fig4_rf_receiver, fig4_rf_receiver_with,
-    fig5_adaptive_spec, fig5_varistor, fig5_varistor_with, lowrank_scaling, scaling_subspace_dims,
-    sparse_scaling, AcceptanceMetrics, AdaptiveExperimentReport, AdaptiveFigReport,
-    AdaptiveSummary, DeadlineRunReport, ExperimentError, LowRankScalingReport, ScalingRow,
-    SparseScalingReport, Timings, TransientComparison,
+    acceptance_metrics, adaptive_deadline_run, adaptive_report, adaptive_resume_run,
+    fig2_adaptive_spec, fig2_voltage_line, fig2_voltage_line_with, fig3_adaptive_spec,
+    fig3_current_line, fig3_current_line_with, fig4_adaptive_spec, fig4_rf_receiver,
+    fig4_rf_receiver_with, fig5_adaptive_spec, fig5_varistor, fig5_varistor_with, lowrank_scaling,
+    scaling_subspace_dims, sparse_scaling, AcceptanceMetrics, AdaptiveExperimentReport,
+    AdaptiveFigReport, AdaptiveSummary, DeadlineRunReport, ExperimentError, LowRankScalingReport,
+    ResumeReport, ScalingRow, SparseScalingReport, Timings, TransientComparison,
 };
 
 #[cfg(feature = "fault-injection")]
-pub use experiments::{chaos_sweep, ChaosCase, ChaosReport};
+pub use experiments::{chaos_sweep, chaos_sweep_concurrent, ChaosCase, ChaosReport};

@@ -9,12 +9,16 @@
 
 #![cfg(feature = "fault-injection")]
 
-use vamor_bench::chaos_sweep;
+use vamor_bench::{chaos_sweep, chaos_sweep_concurrent};
 
-/// One test drives the whole sweep: the fault plan is process-global, so a
-/// single sequential driver sidesteps test-thread interleaving entirely.
+/// Serializes the two sweeps: the fault plan is process-global, so a single
+/// mutex-free sequential driver per test binary would still interleave
+/// across tests — take a lock instead.
+static CHAOS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn injected_faults_never_panic_and_never_leak_non_finite_output() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
     let report = chaos_sweep(16, 14, 8, 12, 0.05);
     assert_eq!(
         report.cases.len(),
@@ -29,5 +33,43 @@ fn injected_faults_never_panic_and_never_leak_non_finite_output() {
     assert!(
         violations.is_empty(),
         "faults escaped the degradation ladder: {violations:#?}"
+    );
+}
+
+/// The PR-8 concurrent sweep: every fault kind (solver-seam and session-era)
+/// x three seeds, each cycle running three threads through ONE shared,
+/// byte-budgeted reduction session. Zero panics, zero silent non-finite
+/// results, zero cross-request contamination — and the session-era kinds
+/// must actually fire.
+#[test]
+fn concurrent_session_chaos_recovers_every_case_with_no_contamination() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = std::env::temp_dir().join(format!("vamor-chaos-test-{}", std::process::id()));
+    let report = chaos_sweep_concurrent(&dir).expect("sweep setup");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        report.cases.len() >= 48,
+        "acceptance floor: at least 48 concurrent cases, got {}",
+        report.cases.len()
+    );
+    assert!(
+        report.total_injected() > 0,
+        "no faults fired — the session seams were not exercised"
+    );
+    // Each session-era kind must have fired somewhere in the sweep
+    // (relevance gating means they only spend injections at their own seam).
+    for kind in ["cache-corrupt", "budget-pressure", "checkpoint-torn"] {
+        assert!(
+            report
+                .cases
+                .iter()
+                .any(|c| c.kind == kind && c.injected > 0),
+            "{kind} never fired"
+        );
+    }
+    let violations = report.violations();
+    assert!(
+        violations.is_empty(),
+        "concurrent faults escaped the ladder or contaminated shared state: {violations:#?}"
     );
 }

@@ -1,0 +1,38 @@
+//! Kill-and-resume contract of the checkpointed adaptive session
+//! (`reproduce --timeout-secs … --checkpoint-dir …` then `--resume`): a
+//! deadline-killed run leaves a versioned, checksummed checkpoint behind,
+//! and resuming from it converges to the same accepted-move list and final
+//! band residual as an uninterrupted run — with the shared stamp factored
+//! exactly once across all three runs.
+
+use std::time::Duration;
+
+use vamor_bench::adaptive_resume_run;
+
+#[test]
+fn resumed_run_matches_uninterrupted_reference() {
+    let dir = std::env::temp_dir().join(format!("vamor-resume-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("resume.ckpt");
+    let r = adaptive_resume_run(20, Duration::from_millis(60), &path).expect("resume run");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        r.moves_match,
+        "resumed moves [{}] != reference [{}]",
+        r.resumed_moves, r.reference_moves
+    );
+    assert!(
+        r.residual_delta <= 1e-10,
+        "resumed residual drifted by {:.3e} from the reference",
+        r.residual_delta
+    );
+    // One session served all three runs: the stamp (G1 factorization, shift
+    // caches, symbolic analysis) was factored once, and the resumed run's
+    // band estimator ran entirely off the warm shared sampler cache.
+    assert_eq!(r.stamp_builds, 1, "stamp factored more than once");
+    assert_eq!(
+        r.resumed_full_solves, 0,
+        "resumed run re-solved the full model despite the shared cache"
+    );
+}

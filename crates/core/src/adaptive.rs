@@ -166,10 +166,31 @@ struct FullSample {
 
 /// The resolvent backend of the full-model side: a memoized shift cache over
 /// `G₁` (sparse at scale — the dense view is never materialized there).
+/// A [`ReductionSession`](crate::session) holds one per stamp, so repeated
+/// estimator builds over the same system add zero factorizations — the
+/// band shifts are factored exactly once per session.
 #[derive(Debug)]
-enum SamplerCache {
+pub(crate) enum SamplerCache {
     Dense(ShiftedLuCache),
     Sparse(ShiftedSparseLuCache),
+}
+
+impl SamplerCache {
+    /// Factorizations the cache has performed (both backends).
+    pub(crate) fn misses(&self) -> usize {
+        match self {
+            SamplerCache::Dense(c) => c.misses(),
+            SamplerCache::Sparse(c) => c.misses(),
+        }
+    }
+
+    /// Approximate resident bytes, for the session memory-budget governor.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        match self {
+            SamplerCache::Dense(c) => c.approx_bytes(),
+            SamplerCache::Sparse(c) => c.approx_bytes(),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,6 +265,20 @@ impl BandSampler {
     ) -> Result<Self> {
         let n = qldae.g1_csr().rows();
         let cache = Self::cache_for(qldae.g1_csr(), backend, n);
+        Self::for_qldae_with_cache(qldae, band, opts, &cache, control)
+    }
+
+    /// The estimator build against a borrowed (possibly session-shared)
+    /// shift cache: `full_solves` reports only the factorizations *this*
+    /// build added, so a second build over a warm cache reports zero.
+    pub(crate) fn for_qldae_with_cache(
+        qldae: &Qldae,
+        band: FrequencyBand,
+        opts: BandSamplerOptions,
+        cache: &SamplerCache,
+        control: Option<&RunControl>,
+    ) -> Result<Self> {
+        let misses_before = cache.misses();
         let num_inputs = qldae.b().cols();
         let has_quadratic = qldae.g2().nnz() > 0 || qldae.has_d1();
         let mut sampler = BandSampler {
@@ -259,7 +294,7 @@ impl BandSampler {
             full_solves: 0,
         };
         for input in 0..num_inputs {
-            let kernels = match &cache {
+            let kernels = match cache {
                 SamplerCache::Dense(c) => VolterraKernels::with_dense_cache(qldae, input, c)?,
                 SamplerCache::Sparse(c) => VolterraKernels::with_sparse_cache(qldae, input, c)?,
             };
@@ -289,10 +324,7 @@ impl BandSampler {
                 }
             }
         }
-        sampler.full_solves = match &cache {
-            SamplerCache::Dense(c) => c.misses(),
-            SamplerCache::Sparse(c) => c.misses(),
-        };
+        sampler.full_solves = cache.misses() - misses_before;
         Ok(sampler)
     }
 
@@ -392,7 +424,11 @@ impl BandSampler {
         Ok(())
     }
 
-    fn cache_for(csr: &vamor_linalg::CsrMatrix, backend: SolverBackend, n: usize) -> SamplerCache {
+    pub(crate) fn cache_for(
+        csr: &vamor_linalg::CsrMatrix,
+        backend: SolverBackend,
+        n: usize,
+    ) -> SamplerCache {
         if backend.use_sparse(n, SPARSE_AUTO_THRESHOLD) {
             SamplerCache::Sparse(ShiftedSparseLuCache::new(csr.clone()))
         } else {
@@ -736,6 +772,24 @@ impl AdaptiveMove {
             AdaptiveMove::Boost => "boost",
         }
     }
+
+    /// Inverse of [`AdaptiveMove::name`] — the checkpoint parser of
+    /// [`crate::session`] round-trips moves through their names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "init" => AdaptiveMove::Initial,
+            "h1" => AdaptiveMove::DeepenH1,
+            "h2" => AdaptiveMove::DeepenH2,
+            "h3" => AdaptiveMove::DeepenH3,
+            "markov" => AdaptiveMove::AddMarkov,
+            "okrylov" => AdaptiveMove::AddOutputKrylov,
+            "loosen" => AdaptiveMove::LoosenDeflation,
+            "tighten" => AdaptiveMove::TightenDeflation,
+            "stab" => AdaptiveMove::ToggleStabilization,
+            "boost" => AdaptiveMove::Boost,
+            _ => return None,
+        })
+    }
 }
 
 /// Markov (high-frequency) enrichment cap of the greedy search, per input.
@@ -943,6 +997,44 @@ impl AdaptiveTrace {
     }
 }
 
+/// Checkpoint/resume plumbing of the greedy loop (see [`crate::session`]
+/// for the on-disk format). `replay` re-applies the accepted moves of a
+/// prior run deterministically — [`AdaptiveConfig::apply`] transitions plus
+/// one reduction per move — before the greedy loop continues, so a resumed
+/// run converges to exactly the configuration an uninterrupted run reaches.
+/// `on_accept` fires after the initial reduction and after every accepted
+/// move with the trace so far; a checkpoint writer hangs off it.
+#[derive(Default)]
+pub struct AdaptiveHooks<'a> {
+    /// Accepted moves of a prior run, each with the gain-per-column it had
+    /// earned (restored verbatim into the replayed trace).
+    pub replay: &'a [(AdaptiveMove, f64)],
+    /// Probe evaluations the prior run had spent (restored into the trace —
+    /// replayed moves cost one evaluation each on top of this).
+    pub resume_evaluations: usize,
+    /// Accepted-move callback (initial reduction included).
+    pub on_accept: Option<&'a dyn Fn(&AdaptiveTrace)>,
+}
+
+impl std::fmt::Debug for AdaptiveHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveHooks")
+            .field("replay", &self.replay.len())
+            .field("resume_evaluations", &self.resume_evaluations)
+            .field("on_accept", &self.on_accept.is_some())
+            .finish()
+    }
+}
+
+/// The session-shared solver state an adaptive run can borrow: the stamp's
+/// band shift cache (so estimator builds after the first add zero
+/// factorizations) and the shared `s = 0` chain artifacts.
+#[derive(Debug)]
+pub(crate) struct SharedAdaptiveContext<'a> {
+    pub(crate) sampler_cache: &'a SamplerCache,
+    pub(crate) artifacts: &'a crate::assoc::SharedAssocArtifacts,
+}
+
 /// A reduced model together with the trace that produced it.
 #[derive(Debug, Clone)]
 pub struct AdaptiveOutcome<R> {
@@ -1036,7 +1128,7 @@ impl AdaptiveReducer {
     /// Returns an error when even the initial minimal reduction fails, or
     /// the band estimator hits a singular resolvent.
     pub fn reduce(&self, qldae: &Qldae) -> Result<AdaptiveOutcome<ReducedQldae>> {
-        self.reduce_impl(qldae, None)
+        self.reduce_impl(qldae, None, None, None)
     }
 
     /// [`AdaptiveReducer::reduce`] under a [`RunControl`] token.
@@ -1062,23 +1154,65 @@ impl AdaptiveReducer {
         qldae: &Qldae,
         control: &RunControl,
     ) -> Result<AdaptiveOutcome<ReducedQldae>> {
-        self.reduce_impl(qldae, Some(control))
+        self.reduce_impl(qldae, Some(control), None, None)
+    }
+
+    /// [`AdaptiveReducer::reduce`] with checkpoint/resume hooks: the
+    /// `replay` moves are re-applied deterministically before the greedy
+    /// loop continues (counting against the iteration budget), and
+    /// `on_accept` fires after every accepted move — see [`AdaptiveHooks`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AdaptiveReducer::reduce_controlled`]; a replayed
+    /// move whose reduction fails (a checkpoint from a different system or
+    /// spec) surfaces the underlying error.
+    pub fn reduce_with_hooks(
+        &self,
+        qldae: &Qldae,
+        control: Option<&RunControl>,
+        hooks: &AdaptiveHooks<'_>,
+    ) -> Result<AdaptiveOutcome<ReducedQldae>> {
+        self.reduce_impl(qldae, control, None, Some(hooks))
+    }
+
+    /// The session entry: shared sampler cache + shared chain artifacts,
+    /// optional checkpoint hooks.
+    pub(crate) fn reduce_session(
+        &self,
+        qldae: &Qldae,
+        control: Option<&RunControl>,
+        shared: &SharedAdaptiveContext<'_>,
+        hooks: Option<&AdaptiveHooks<'_>>,
+    ) -> Result<AdaptiveOutcome<ReducedQldae>> {
+        self.reduce_impl(qldae, control, Some(shared), hooks)
     }
 
     fn reduce_impl(
         &self,
         qldae: &Qldae,
         control: Option<&RunControl>,
+        shared: Option<&SharedAdaptiveContext<'_>>,
+        hooks: Option<&AdaptiveHooks<'_>>,
     ) -> Result<AdaptiveOutcome<ReducedQldae>> {
         let n = qldae.g1_csr().rows();
         let has_quadratic = qldae.g2().nnz() > 0 || qldae.has_d1();
-        let sampler = BandSampler::for_qldae_impl(
-            qldae,
-            self.spec.band,
-            self.backend,
-            self.sampler_opts,
-            control,
-        )?;
+        let sampler = match shared {
+            Some(sh) => BandSampler::for_qldae_with_cache(
+                qldae,
+                self.spec.band,
+                self.sampler_opts,
+                sh.sampler_cache,
+                control,
+            )?,
+            None => BandSampler::for_qldae_impl(
+                qldae,
+                self.spec.band,
+                self.backend,
+                self.sampler_opts,
+                control,
+            )?,
+        };
         let initial = AdaptiveConfig {
             spec: MomentSpec::new(2, usize::from(has_quadratic), usize::from(has_quadratic)),
             markov: 0,
@@ -1118,9 +1252,13 @@ impl AdaptiveReducer {
                         .with_engine(self.engine)
                         .with_solver_backend(self.backend)
                         .with_lowrank_options(self.lowrank_opts);
-                    match control {
-                        Some(c) => reducer.reduce_controlled(qldae, c),
-                        None => reducer.reduce(qldae),
+                    match (shared, control) {
+                        // Every probe of a session run solves against the
+                        // session's shared `s = 0` artifacts — the duplicate
+                        // G₁/Schur factorization per probe is gone.
+                        (Some(sh), c) => reducer.reduce_with_shared(qldae, sh.artifacts, c),
+                        (None, Some(c)) => reducer.reduce_controlled(qldae, c),
+                        (None, None) => reducer.reduce(qldae),
                     }
                 }
                 ReducerKind::Norm => {
@@ -1155,6 +1293,7 @@ impl AdaptiveReducer {
             &|rom| sampler.residual_qldae(rom.system()),
             sampler.full_solves(),
             control,
+            hooks,
         )
     }
 
@@ -1240,6 +1379,7 @@ impl AdaptiveReducer {
             &|rom| sampler.residual_cubic(rom.system()),
             sampler.full_solves(),
             control,
+            None,
         )
     }
 
@@ -1258,10 +1398,12 @@ impl AdaptiveReducer {
         residual_of: &dyn Fn(&R) -> Result<BandResidual>,
         full_model_solves: usize,
         control: Option<&RunControl>,
+        hooks: Option<&AdaptiveHooks<'_>>,
     ) -> Result<AdaptiveOutcome<R>> {
         let mut cfg = initial;
         let mut rom = reduce(&cfg)?;
         let mut res = residual_of(&rom)?;
+        let replay: &[(AdaptiveMove, f64)] = hooks.map_or(&[], |h| h.replay);
         let mut trace = AdaptiveTrace {
             steps: vec![AdaptiveStep {
                 mv: AdaptiveMove::Initial,
@@ -1270,11 +1412,54 @@ impl AdaptiveReducer {
                 residual: res,
                 gain_per_column: 0.0,
             }],
-            evaluations: 1,
+            // A resumed run restores the prior run's probe count (the
+            // replayed re-reductions are resume overhead, not new probes).
+            evaluations: match hooks.map_or(0, |h| h.resume_evaluations) {
+                0 => 1,
+                prior => prior,
+            },
             full_model_solves,
             stop: StopReason::IterationBudget,
         };
-        for _ in 0..self.spec.max_iterations {
+        let on_accept = hooks.and_then(|h| h.on_accept);
+        // Resume-by-replay: the accepted moves of the checkpointed run are
+        // pure `apply` transitions plus one deterministic reduction each, so
+        // the replayed state is exactly what the uninterrupted run held
+        // after its last checkpoint. Replayed moves consume the iteration
+        // budget like freshly accepted ones.
+        // vamor: allow(checkpoint-coverage, reason = "each replayed move runs one reduce(), which checkpoints internally and surfaces Interrupted as a best-so-far return two lines below")
+        for &(mv, gain) in replay {
+            if mv == AdaptiveMove::Initial {
+                continue;
+            }
+            cfg = cfg.apply(mv);
+            rom = match reduce(&cfg) {
+                Ok(rom2) => rom2,
+                Err(MorError::Linalg(LinalgError::Interrupted(cause))) => {
+                    trace.stop = StopReason::from_cause(Some(cause));
+                    return Ok(AdaptiveOutcome { rom, trace });
+                }
+                Err(e) => return Err(e),
+            };
+            res = residual_of(&rom)?;
+            trace.steps.push(AdaptiveStep {
+                mv,
+                config: cfg,
+                order: order_of(&rom),
+                residual: res,
+                gain_per_column: gain,
+            });
+        }
+        if let Some(f) = on_accept {
+            f(&trace);
+        }
+        let remaining = self.spec.max_iterations.saturating_sub(
+            replay
+                .iter()
+                .filter(|(m, _)| *m != AdaptiveMove::Initial)
+                .count(),
+        );
+        for _ in 0..remaining {
             if res.max() <= self.spec.tol {
                 trace.stop = StopReason::ToleranceReached;
                 break;
@@ -1365,6 +1550,11 @@ impl AdaptiveReducer {
                 residual: res,
                 gain_per_column: gain,
             });
+            // Greedy-move checkpoint: the accepted path so far is durable
+            // before the next (expensive, killable) probe round starts.
+            if let Some(f) = on_accept {
+                f(&trace);
+            }
         }
         if res.max() <= self.spec.tol {
             trace.stop = StopReason::ToleranceReached;

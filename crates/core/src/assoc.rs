@@ -26,6 +26,8 @@
 //! dimension growing as `O(k₁+k₂+k₃)` instead of the `O(k₁+k₂³+k₃⁴)` of
 //! multivariate (NORM-style) moment matching.
 
+use std::sync::Arc;
+
 use vamor_linalg::kron::vec_of;
 use vamor_linalg::sparse_lu::SPARSE_AUTO_THRESHOLD;
 use vamor_linalg::{
@@ -147,17 +149,84 @@ pub(crate) fn rescale_state(state: &mut [&mut Vector], extra: Option<&mut Matrix
     peak.log10()
 }
 
+/// The stamp-keyed solver artifacts a [`ReductionSession`](crate::session)
+/// shares across requests: the `s = 0` factorization of `G₁`, its Schur
+/// form, and the structured `H₂`/`H₃` block operators with their embedded
+/// shifted-solve caches. Cheap to clone (all `Arc`s); every artifact is
+/// immutable or internally synchronized, so one set serves concurrent
+/// requests.
+#[derive(Debug, Clone)]
+pub struct SharedAssocArtifacts {
+    pub(crate) g1_lu: Arc<G1Factor>,
+    pub(crate) recovery: PivotRecovery,
+    pub(crate) kron_op: Arc<KronSumOp2>,
+    pub(crate) block_op: Arc<BlockH2Op>,
+    pub(crate) g1_schur: Arc<SchurDecomposition>,
+    pub(crate) n: usize,
+}
+
+impl SharedAssocArtifacts {
+    /// Factors the shared artifacts for `qldae` once (the caching
+    /// configuration of [`AssocMomentGenerator::with_options`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AssocMomentGenerator::new`] — a singular `G₁` is
+    /// reported as a typed error.
+    pub fn build(qldae: &Qldae, backend: SolverBackend) -> Result<Self> {
+        let g1 = qldae.g1();
+        let n = g1.rows();
+        let sparse = backend.use_sparse(n, SPARSE_AUTO_THRESHOLD);
+        let (g1_lu, recovery) =
+            G1Factor::build_with_recovery(qldae.g1_csr(), g1, sparse).map_err(MorError::Linalg)?;
+        let kron_op = KronSumOp2::new(g1)?;
+        let g1_schur = Arc::new(kron_op.a_schur());
+        let block_op = if sparse {
+            BlockH2Op::with_kron_sparse(g1, qldae.g2(), kron_op.clone(), true, qldae.g1_csr())?
+        } else {
+            BlockH2Op::with_kron(g1, qldae.g2(), kron_op.clone(), true)?
+        };
+        Ok(SharedAssocArtifacts {
+            g1_lu: Arc::new(g1_lu),
+            recovery,
+            kron_op: Arc::new(kron_op),
+            block_op: Arc::new(block_op),
+            g1_schur,
+            n,
+        })
+    }
+
+    /// System order the artifacts were factored for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The shared `s = 0` factorization of `G₁`.
+    pub(crate) fn g1_factor(&self) -> &G1Factor {
+        &self.g1_lu
+    }
+
+    /// Approximate heap footprint for the session memory-budget governor:
+    /// the `G₁` factor, the dense Schur pair, and the block operator's
+    /// resident structure (its shifted-solve cache grows beyond this as
+    /// shifts accumulate — the estimate covers the fixed part).
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.n;
+        self.g1_lu.approx_bytes() + 2 * n * n * 8 + 3 * n * n * 8
+    }
+}
+
 /// Moment-vector generator for the associated transfer functions of a QLDAE.
 #[derive(Debug)]
 pub struct AssocMomentGenerator<'a> {
     qldae: &'a Qldae,
-    g1_lu: G1Factor,
+    g1_lu: Arc<G1Factor>,
     recovery: PivotRecovery,
-    kron_op: KronSumOp2,
-    block_op: BlockH2Op,
+    kron_op: Arc<KronSumOp2>,
+    block_op: Arc<BlockH2Op>,
     /// Schur form of `G₁` (as the Schur of `(G₁ᵀ)ᵀ`), reused by every
     /// big-left/small-right Sylvester solve when caching is on.
-    g1_schur: Option<SchurDecomposition>,
+    g1_schur: Option<Arc<SchurDecomposition>>,
 }
 
 impl<'a> AssocMomentGenerator<'a> {
@@ -197,41 +266,60 @@ impl<'a> AssocMomentGenerator<'a> {
     ///
     /// Same contract as [`AssocMomentGenerator::new`].
     pub fn with_options(qldae: &'a Qldae, caching: bool, backend: SolverBackend) -> Result<Self> {
+        if caching {
+            let shared = SharedAssocArtifacts::build(qldae, backend)?;
+            return Ok(Self::from_shared(qldae, &shared));
+        }
         let g1 = qldae.g1();
         let sparse = backend.use_sparse(g1.rows(), SPARSE_AUTO_THRESHOLD);
         let (g1_lu, recovery) =
             G1Factor::build_with_recovery(qldae.g1_csr(), g1, sparse).map_err(MorError::Linalg)?;
-        let build_block = |kron: KronSumOp2, cache: bool| -> Result<BlockH2Op> {
-            if sparse {
-                BlockH2Op::with_kron_sparse(g1, qldae.g2(), kron, cache, qldae.g1_csr())
-            } else {
-                BlockH2Op::with_kron(g1, qldae.g2(), kron, cache)
-            }
-        };
-        if caching {
-            let kron_op = KronSumOp2::new(g1)?;
-            let g1_schur = Some(kron_op.a_schur());
-            let block_op = build_block(kron_op.clone(), true)?;
-            Ok(AssocMomentGenerator {
-                qldae,
-                g1_lu,
-                recovery,
-                kron_op,
-                block_op,
-                g1_schur,
-            })
+        let kron_op = KronSumOp2::new_uncached(g1)?;
+        let block_kron = KronSumOp2::new_uncached(g1)?;
+        let block_op = if sparse {
+            BlockH2Op::with_kron_sparse(g1, qldae.g2(), block_kron, false, qldae.g1_csr())?
         } else {
-            let kron_op = KronSumOp2::new_uncached(g1)?;
-            let block_kron = KronSumOp2::new_uncached(g1)?;
-            let block_op = build_block(block_kron, false)?;
-            Ok(AssocMomentGenerator {
-                qldae,
-                g1_lu,
-                recovery,
-                kron_op,
-                block_op,
-                g1_schur: None,
-            })
+            BlockH2Op::with_kron(g1, qldae.g2(), block_kron, false)?
+        };
+        Ok(AssocMomentGenerator {
+            qldae,
+            g1_lu: Arc::new(g1_lu),
+            recovery,
+            kron_op: Arc::new(kron_op),
+            block_op: Arc::new(block_op),
+            g1_schur: None,
+        })
+    }
+
+    /// Builds a generator on top of session-shared artifacts: no
+    /// factorization happens here — the `G₁` LU, the Schur form and the
+    /// block operator (with its shifted-solve cache) are the shared ones,
+    /// so every request of a session amortizes the same `s = 0` and
+    /// eigenvalue-shift factorizations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorError::Invalid`] when the artifacts were factored for a
+    /// different system order than `qldae`.
+    pub fn with_shared(qldae: &'a Qldae, shared: &SharedAssocArtifacts) -> Result<Self> {
+        if shared.n != qldae.g1().rows() {
+            return Err(MorError::Invalid(format!(
+                "shared artifacts were factored for order {} but the system has order {}",
+                shared.n,
+                qldae.g1().rows()
+            )));
+        }
+        Ok(Self::from_shared(qldae, shared))
+    }
+
+    fn from_shared(qldae: &'a Qldae, shared: &SharedAssocArtifacts) -> Self {
+        AssocMomentGenerator {
+            qldae,
+            g1_lu: shared.g1_lu.clone(),
+            recovery: shared.recovery,
+            kron_op: shared.kron_op.clone(),
+            block_op: shared.block_op.clone(),
+            g1_schur: Some(shared.g1_schur.clone()),
         }
     }
 
@@ -245,7 +333,7 @@ impl<'a> AssocMomentGenerator<'a> {
     /// downstream consumers (the stabilized projection, the spectral guard)
     /// can reuse it instead of refactorizing.
     pub fn g1_schur(&self) -> Option<&SchurDecomposition> {
-        self.g1_schur.as_ref()
+        self.g1_schur.as_deref()
     }
 
     /// Solves `op · X + X · G₁ᵀ = r`, reusing the cached Schur of `G₁` when
@@ -403,7 +491,7 @@ impl<'a> AssocMomentGenerator<'a> {
         let mut out = ScaledMoments::with_capacity(count);
         let mut frame = 0.0;
         for _ in 0..count {
-            z = self.solve_big_small(&self.block_op, &g1t, &z)?;
+            z = self.solve_big_small(&*self.block_op, &g1t, &z)?;
             let s = z.submatrix(0, n, 0, n);
             let mut nu = vec_of(&s);
             nu.axpy(1.0, &vec_of(&s.transpose()));
@@ -531,7 +619,7 @@ impl<'a> AssocMomentGenerator<'a> {
         let mut g2nu: Vec<Vector> = Vec::with_capacity(count);
         let mut z = rhs;
         for _ in 0..count {
-            z = self.solve_big_small(&self.block_op, &g1t, &z)?;
+            z = self.solve_big_small(&*self.block_op, &g1t, &z)?;
             let s = z.submatrix(0, n, 0, n); // c̃₂ Z_j  (n×n)
             let mut nu = vec_of(&s);
             nu.axpy(1.0, &vec_of(&s.transpose()));

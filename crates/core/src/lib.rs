@@ -43,14 +43,17 @@ pub mod operators;
 pub mod par;
 pub mod project;
 pub mod reduce;
+pub mod session;
 pub mod volterra;
 
 pub use adaptive::{
-    AdaptiveConfig, AdaptiveMove, AdaptiveOutcome, AdaptiveReducer, AdaptiveSpec, AdaptiveStep,
-    AdaptiveTrace, BandResidual, BandSampler, BandSamplerOptions, FrequencyBand, ReducedVolterra,
-    ReducerKind, StopReason,
+    AdaptiveConfig, AdaptiveHooks, AdaptiveMove, AdaptiveOutcome, AdaptiveReducer, AdaptiveSpec,
+    AdaptiveStep, AdaptiveTrace, BandResidual, BandSampler, BandSamplerOptions, FrequencyBand,
+    ReducedVolterra, ReducerKind, StopReason,
 };
-pub use assoc::{AssocMomentGenerator, CubicAssocMomentGenerator, ScaledMoments};
+pub use assoc::{
+    AssocMomentGenerator, CubicAssocMomentGenerator, ScaledMoments, SharedAssocArtifacts,
+};
 pub use bigsmall::{solve_sylvester_big_small, solve_sylvester_big_small_with_schur};
 pub use control::{ProgressEvent, RunControl, StopCause};
 pub use error::MorError;
@@ -67,7 +70,11 @@ pub use project::{
 pub use reduce::{
     AssocReducer, DegradationReport, MomentSpec, ReducedCubicOde, ReducedQldae, ReductionStats,
 };
-pub use vamor_linalg::SolverBackend;
+pub use session::{
+    AdaptiveCheckpoint, CheckpointError, CheckpointPlan, ReductionSession, SessionError,
+    SessionStats, STAMP_BUDGET_OWNER,
+};
+pub use vamor_linalg::{MemoryBudget, SolverBackend};
 pub use volterra::{CubicVolterraKernels, VolterraKernels};
 
 /// Result alias for reduction routines.

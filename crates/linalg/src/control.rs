@@ -64,6 +64,9 @@ struct Inner {
     // cloned before `with_progress`/`with_deadline` still cancels — and
     // counts checkpoints of — the final token.
     cancelled: Arc<AtomicBool>,
+    // Cancellation flags of the ancestor scopes (see `RunControl::child`):
+    // observed, never written — cancelling a child must not leak upward.
+    parents: Vec<Arc<AtomicBool>>,
     deadline: Option<Instant>,
     checkpoints: Arc<AtomicUsize>,
     progress: Option<Arc<ProgressCallback>>,
@@ -100,7 +103,28 @@ impl RunControl {
         RunControl {
             inner: Arc::new(Inner {
                 cancelled: Arc::new(AtomicBool::new(false)),
+                parents: Vec::new(),
                 deadline: None,
+                checkpoints: Arc::new(AtomicUsize::new(0)),
+                progress: None,
+            }),
+        }
+    }
+
+    /// A child scope for one isolated request: the child observes this
+    /// token's cancellation (and deadline), but cancelling the *child* never
+    /// propagates back — one request aborted inside a session cannot stop
+    /// its siblings. The child gets its own checkpoint counter and no
+    /// progress callback.
+    #[must_use]
+    pub fn child(&self) -> Self {
+        let mut parents = self.inner.parents.clone();
+        parents.push(self.inner.cancelled.clone());
+        RunControl {
+            inner: Arc::new(Inner {
+                cancelled: Arc::new(AtomicBool::new(false)),
+                parents,
+                deadline: self.inner.deadline,
                 checkpoints: Arc::new(AtomicUsize::new(0)),
                 progress: None,
             }),
@@ -115,6 +139,7 @@ impl RunControl {
         RunControl {
             inner: Arc::new(Inner {
                 cancelled: self.inner.cancelled.clone(),
+                parents: self.inner.parents.clone(),
                 deadline: Some(Instant::now() + timeout),
                 checkpoints: self.inner.checkpoints.clone(),
                 progress: self.inner.progress.clone(),
@@ -134,6 +159,7 @@ impl RunControl {
         RunControl {
             inner: Arc::new(Inner {
                 cancelled: self.inner.cancelled.clone(),
+                parents: self.inner.parents.clone(),
                 deadline: self.inner.deadline,
                 checkpoints: self.inner.checkpoints.clone(),
                 progress: Some(Arc::new(callback)),
@@ -147,9 +173,11 @@ impl RunControl {
         self.inner.cancelled.store(true, Ordering::SeqCst);
     }
 
-    /// True once [`cancel`](Self::cancel) has been called on any clone.
+    /// True once [`cancel`](Self::cancel) has been called on any clone, or
+    /// on any ancestor scope this token was [`child`](Self::child)-ed from.
     pub fn is_cancelled(&self) -> bool {
         self.inner.cancelled.load(Ordering::SeqCst)
+            || self.inner.parents.iter().any(|p| p.load(Ordering::SeqCst))
     }
 
     /// True once the wall-clock deadline (if any) has passed.
@@ -288,6 +316,28 @@ mod tests {
         // requested it — zero extra checkpoints slip through.
         assert_eq!(stopped_at, Some(2));
         assert_eq!(control.checkpoints(), 3);
+    }
+
+    #[test]
+    fn child_scopes_isolate_cancellation_downward_only() {
+        let parent = RunControl::new();
+        let child_a = parent.child();
+        let child_b = parent.child();
+        // Cancelling one child stops it alone.
+        child_a.cancel();
+        assert!(child_a.is_cancelled());
+        assert!(!parent.is_cancelled());
+        assert!(!child_b.is_cancelled());
+        assert!(child_b.checkpoint("work").is_ok());
+        // Cancelling the parent stops every child — including grandchildren.
+        let grandchild = child_b.child();
+        parent.cancel();
+        assert!(child_b.is_cancelled());
+        assert!(grandchild.is_cancelled());
+        assert_eq!(
+            grandchild.checkpoint("work").unwrap_err(),
+            LinalgError::Interrupted(StopCause::Cancelled)
+        );
     }
 
     #[test]

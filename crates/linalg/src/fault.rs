@@ -26,6 +26,16 @@ pub enum FaultKind {
     /// The seam returns the right-hand side unchanged — a solve that makes
     /// no progress, stalling ADI-style iterations.
     AdiStall,
+    /// A shared session-cache entry is corrupted in place (bit-rot model):
+    /// the session's checksum validation must quarantine exactly that entry
+    /// and retry with a fresh factorization.
+    CacheCorrupt,
+    /// A budget charge is inflated, forcing the cross-cache eviction path
+    /// and, under a tight budget, typed `BudgetExhausted` backpressure.
+    BudgetPressure,
+    /// A checkpoint write is torn (truncated mid-record): resume must detect
+    /// it by checksum and report a typed error, never restart silently.
+    CheckpointTorn,
 }
 
 /// The instrumented seams a plan can fire at.
@@ -38,6 +48,31 @@ pub enum FaultSite {
     IntegratorFactor,
     /// The transient integrator's Newton-update solve.
     IntegratorSolve,
+    /// A session shared-cache fetch (stamp artifacts, sampler caches).
+    SessionCache,
+    /// A session memory-budget charge.
+    SessionBudget,
+    /// An adaptive-driver checkpoint write.
+    Checkpoint,
+}
+
+impl FaultKind {
+    /// The seams where this failure mode is physically meaningful. A plan is
+    /// only consulted — and only spends its bounded injections — at sites
+    /// that can express its kind: a `CacheCorrupt` plan must not burn its
+    /// budget on the hundreds of `ShiftedSolve` consultations a reduction
+    /// makes before the first session-cache fetch.
+    pub fn targets(self, site: FaultSite) -> bool {
+        match self {
+            FaultKind::SingularFactor | FaultKind::NanSolve | FaultKind::AdiStall => matches!(
+                site,
+                FaultSite::ShiftedSolve | FaultSite::IntegratorFactor | FaultSite::IntegratorSolve
+            ),
+            FaultKind::CacheCorrupt => site == FaultSite::SessionCache,
+            FaultKind::BudgetPressure => site == FaultSite::SessionBudget,
+            FaultKind::CheckpointTorn => site == FaultSite::Checkpoint,
+        }
+    }
 }
 
 impl FaultSite {
@@ -46,6 +81,9 @@ impl FaultSite {
             FaultSite::ShiftedSolve => 0x9e37_79b9_7f4a_7c15,
             FaultSite::IntegratorFactor => 0xbf58_476d_1ce4_e5b9,
             FaultSite::IntegratorSolve => 0x94d0_49bb_1331_11eb,
+            FaultSite::SessionCache => 0xd6e8_feb8_6659_fd93,
+            FaultSite::SessionBudget => 0xa5a5_3576_9d1e_8b47,
+            FaultSite::Checkpoint => 0xc2b2_ae3d_27d4_eb4f,
         }
     }
 }
@@ -81,7 +119,7 @@ impl FaultPlan {
 struct Armed {
     plan: FaultPlan,
     injected: usize,
-    counters: [usize; 3],
+    counters: [usize; 6],
 }
 
 static ACTIVE: Mutex<Option<Armed>> = Mutex::new(None);
@@ -92,6 +130,9 @@ fn site_index(site: FaultSite) -> usize {
         FaultSite::ShiftedSolve => 0,
         FaultSite::IntegratorFactor => 1,
         FaultSite::IntegratorSolve => 2,
+        FaultSite::SessionCache => 3,
+        FaultSite::SessionBudget => 4,
+        FaultSite::Checkpoint => 5,
     }
 }
 
@@ -117,7 +158,7 @@ pub fn arm(plan: FaultPlan) {
     *lock() = Some(Armed {
         plan,
         injected: 0,
-        counters: [0; 3],
+        counters: [0; 6],
     });
     INJECTED_TOTAL.store(0, Ordering::SeqCst);
 }
@@ -138,6 +179,11 @@ pub fn injected() -> usize {
 pub fn maybe(site: FaultSite) -> Option<FaultKind> {
     let mut guard = lock();
     let armed = guard.as_mut()?;
+    // Sites the planned kind cannot express neither advance the schedule
+    // nor spend injections (see `FaultKind::targets`).
+    if !armed.plan.kind.targets(site) {
+        return None;
+    }
     let idx = site_index(site);
     let n = armed.counters[idx];
     armed.counters[idx] += 1;

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod arnoldi;
+pub mod budget;
 pub mod cholesky;
 pub mod complex;
 pub mod control;
@@ -73,6 +74,7 @@ pub mod vector;
 pub mod zmatrix;
 
 pub use arnoldi::{arnoldi, ArnoldiResult};
+pub use budget::{BudgetError, EvictionRecord, MemoryBudget, PinGuard};
 pub use cholesky::CholeskyDecomposition;
 pub use complex::Complex;
 pub use control::{ProgressEvent, RunControl, StopCause};

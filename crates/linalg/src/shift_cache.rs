@@ -53,6 +53,10 @@ fn injected_real_solve(rhs: &Vector) -> Option<Result<Vector>> {
         )),
         FaultKind::NanSolve => Ok(Vector::from_fn(rhs.len(), |_| f64::NAN)),
         FaultKind::AdiStall => Ok(rhs.clone()),
+        // Session-level kinds fire at the session seams, not here.
+        FaultKind::CacheCorrupt | FaultKind::BudgetPressure | FaultKind::CheckpointTorn => {
+            return None
+        }
     })
 }
 
@@ -69,6 +73,10 @@ fn injected_complex_solve(re: &Vector, im: &Vector) -> Option<Result<(Vector, Ve
             Vector::from_fn(im.len(), |_| f64::NAN),
         )),
         FaultKind::AdiStall => Ok((re.clone(), im.clone())),
+        // Session-level kinds fire at the session seams, not here.
+        FaultKind::CacheCorrupt | FaultKind::BudgetPressure | FaultKind::CheckpointTorn => {
+            return None
+        }
     })
 }
 
@@ -206,6 +214,18 @@ impl ShiftedLuCache {
     /// True if nothing has been factored yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate resident bytes of the cache (base matrix plus every
+    /// retained factorization) — the unit the session memory-budget governor
+    /// accounts in. Dense factors are exact up to bookkeeping; this is a
+    /// sizing estimate, not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.dim();
+        let dense = n * n * std::mem::size_of::<f64>();
+        let real_entries = self.lock_real().len();
+        let complex_entries = self.lock_complex().len();
+        dense + real_entries * dense + complex_entries * 2 * dense
     }
 
     fn shifted(&self, sigma: f64) -> Matrix {
@@ -571,6 +591,21 @@ impl ShiftedSparseLuCache {
     /// True if nothing has been factored yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate resident bytes of the cache (base + symbolic analysis +
+    /// retained numeric factors, sized from the base sparsity with a nominal
+    /// 4× fill factor) — the unit the session memory-budget governor
+    /// accounts in. An estimate for eviction ordering, not an allocator
+    /// measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.dim();
+        let per_factor = (self.base.nnz() * 4 + 2 * n)
+            * (std::mem::size_of::<f64>() + std::mem::size_of::<usize>());
+        let base = self.base.nnz() * (std::mem::size_of::<f64>() + std::mem::size_of::<usize>());
+        let real_entries = self.lock_real().len();
+        let complex_entries = self.lock_complex().len();
+        base + per_factor + real_entries * per_factor + complex_entries * 2 * per_factor
     }
 
     /// The sparse LU of `base + σI`, computed (numerically) at most once per

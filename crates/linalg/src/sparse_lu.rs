@@ -898,6 +898,20 @@ impl LuFactor {
     pub fn is_sparse(&self) -> bool {
         matches!(self, LuFactor::Sparse(_))
     }
+
+    /// Approximate heap footprint of the factor in bytes, for the session
+    /// memory-budget governor: `n²` coefficients plus the pivot vector on
+    /// the dense backend, the stored L/U nonzeros with their column indices
+    /// plus the permutation vectors on the sparse one.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            LuFactor::Dense(lu) => {
+                let n = lu.dim();
+                n * n * 8 + n * 8
+            }
+            LuFactor::Sparse(lu) => lu.factor_nnz() * (8 + 8) + lu.dim() * 16,
+        }
+    }
 }
 
 #[cfg(test)]

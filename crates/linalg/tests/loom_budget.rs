@@ -1,0 +1,167 @@
+//! Exhaustive-interleaving models of the session budget ledger
+//! (`RUSTFLAGS="--cfg loom" cargo test -p vamor-linalg --test loom_budget`).
+//!
+//! [`MemoryBudget`] synchronizes through one coarse ledger mutex, so every
+//! concurrent outcome of session get/insert/evict traffic is a
+//! linearization of complete API calls; see [`vamor_linalg::interleave`]
+//! for why enumerating those merges covers the same schedule space loom
+//! would at lock granularity. Each model replays every order-preserving
+//! merge against a fresh budget while mirroring the ledger in a
+//! reference map, and checks the invariants that must hold in *every*
+//! schedule:
+//!
+//! 1. `used() <= capacity` after every operation (eviction is never
+//!    deferred past a charge);
+//! 2. a pinned entry is never evicted — only an explicit `release` removes
+//!    it while its pin is held;
+//! 3. `used()` always equals the byte sum of the live entries (charges,
+//!    re-prices, evictions, and releases keep the ledger balanced);
+//! 4. a refused charge rolls back completely: the requesting key is not
+//!    accounted and `used()` is unchanged.
+#![cfg(loom)]
+
+use std::collections::BTreeMap;
+
+use vamor_linalg::interleave::explore_named;
+use vamor_linalg::{MemoryBudget, PinGuard};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    /// `charge(owner, key, bytes)` — get-or-insert with LRU eviction.
+    Charge(&'static str, u64, usize),
+    /// `pin(owner, key)` — exempt from eviction until the guard drops
+    /// (guards are held to the end of the schedule).
+    Pin(&'static str, u64),
+    /// `release(owner, key)` — explicit removal (works even on pinned).
+    Release(&'static str, u64),
+    /// `touch(owner, key)` — LRU freshness bump.
+    Touch(&'static str, u64),
+}
+
+/// Replays one linearization against a fresh budget, mirroring the expected
+/// entry set, and checks the four invariants after every step.
+fn run_schedule(ops: &[Op], capacity: usize) -> Result<(), String> {
+    let budget = MemoryBudget::new(capacity);
+    // (owner, key) -> bytes currently accounted, per the model.
+    let mut live: BTreeMap<(&'static str, u64), usize> = BTreeMap::new();
+    let mut pins: Vec<(PinGuard<'_>, &'static str, u64)> = Vec::new();
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Charge(owner, key, bytes) => match budget.charge(owner, key, bytes) {
+                Ok(evicted) => {
+                    for rec in &evicted {
+                        if pins
+                            .iter()
+                            .any(|(_, o, k)| *o == rec.owner && *k == rec.key)
+                        {
+                            return Err(format!(
+                                "step {step}: pinned ({}, {}) evicted",
+                                rec.owner, rec.key
+                            ));
+                        }
+                        live.remove(&(rec.owner, rec.key));
+                    }
+                    live.insert((owner, key), bytes);
+                }
+                Err(e) => {
+                    // Refused charges must roll back: the key is not
+                    // accounted unless an earlier charge already admitted it
+                    // (a failed re-price demotes, handled by the caller).
+                    if budget.contains(owner, key) != live.contains_key(&(owner, key)) {
+                        return Err(format!("step {step}: partial rollback after {e}"));
+                    }
+                }
+            },
+            Op::Pin(owner, key) => {
+                if let Some(guard) = budget.pin(owner, key) {
+                    if !live.contains_key(&(owner, key)) {
+                        return Err(format!("step {step}: pinned a ghost ({owner}, {key})"));
+                    }
+                    pins.push((guard, owner, key));
+                }
+            }
+            Op::Release(owner, key) => {
+                let freed = budget.release(owner, key);
+                let expected = live.remove(&(owner, key));
+                if freed != expected {
+                    return Err(format!(
+                        "step {step}: release returned {freed:?}, model had {expected:?}"
+                    ));
+                }
+                pins.retain(|(_, o, k)| !(*o == owner && *k == key));
+            }
+            Op::Touch(owner, key) => budget.touch(owner, key),
+        }
+        if budget.used() > capacity {
+            return Err(format!(
+                "step {step}: used {} exceeds capacity {capacity}",
+                budget.used()
+            ));
+        }
+        let model_used: usize = live.values().sum();
+        if budget.used() != model_used {
+            return Err(format!(
+                "step {step}: ledger used {} != model {model_used}",
+                budget.used()
+            ));
+        }
+        if budget.entries() != live.len() {
+            return Err(format!(
+                "step {step}: {} ledger entries, model has {}",
+                budget.entries(),
+                live.len()
+            ));
+        }
+        for (_, owner, key) in &pins {
+            if !budget.contains(owner, *key) {
+                return Err(format!("step {step}: pinned ({owner}, {key}) vanished"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Two session workers charge three same-size stamps through a budget that
+/// holds two: every merge stays under capacity, the pinned stamp survives
+/// every eviction decision, and the ledger byte sum balances.
+#[test]
+fn model_charge_evicts_lru_never_pinned() {
+    let t0 = vec![
+        Op::Charge("stamp", 1, 40),
+        Op::Pin("stamp", 1),
+        Op::Charge("stamp", 2, 40),
+    ];
+    let t1 = vec![Op::Charge("stamp", 3, 40), Op::Touch("stamp", 1)];
+    explore_named("charge-evicts-lru-never-pinned", &[t0, t1], |ops| {
+        run_schedule(ops, 100)
+    });
+}
+
+/// A pinned working set can refuse a charge: whichever thread pins first
+/// wins the budget, the loser gets typed backpressure with a full rollback
+/// — in no merge does `used` exceed capacity or the refused key linger.
+#[test]
+fn model_exhaustion_rolls_back_cleanly() {
+    let t0 = vec![Op::Charge("stamp", 1, 30), Op::Pin("stamp", 1)];
+    let t1 = vec![Op::Charge("stamp", 2, 30), Op::Pin("stamp", 2)];
+    explore_named("exhaustion-rolls-back-cleanly", &[t0, t1], |ops| {
+        run_schedule(ops, 50)
+    });
+}
+
+/// Re-pricing (same owner+key charged with new bytes) races a release and a
+/// cross-owner charge — the integrator and the stamp registry sharing one
+/// ledger: the byte sum balances after every merge and the released key is
+/// gone exactly when the model says so.
+#[test]
+fn model_reprice_release_cross_owner() {
+    let t0 = vec![
+        Op::Charge("stamp", 1, 20),
+        Op::Charge("stamp", 1, 35),
+        Op::Release("stamp", 1),
+    ];
+    let t1 = vec![Op::Charge("integrator", 9, 20), Op::Touch("integrator", 9)];
+    explore_named("reprice-release-cross-owner", &[t0, t1], |ops| {
+        run_schedule(ops, 60)
+    });
+}

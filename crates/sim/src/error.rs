@@ -13,6 +13,12 @@ pub enum SimError {
     Diverged { time: f64 },
     /// An underlying linear-algebra operation failed.
     Linalg(vamor_linalg::LinalgError),
+    /// A budgeted run could not account its frozen iteration matrix: the
+    /// shared session [`MemoryBudget`](vamor_linalg::MemoryBudget) refused
+    /// the charge even after evicting every unpinned entry. Typed
+    /// backpressure — the run stops cleanly instead of growing past the
+    /// budget.
+    Budget(vamor_linalg::BudgetError),
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +33,7 @@ impl fmt::Display for SimError {
             }
             SimError::Diverged { time } => write!(f, "simulation diverged at t = {time}"),
             SimError::Linalg(e) => write!(f, "linear algebra error during simulation: {e}"),
+            SimError::Budget(e) => write!(f, "simulation budget backpressure: {e}"),
         }
     }
 }
@@ -35,6 +42,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Linalg(e) => Some(e),
+            SimError::Budget(e) => Some(e),
             _ => None,
         }
     }

@@ -1,10 +1,11 @@
 //! Fixed-step transient integrators for polynomial state-space systems.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vamor_linalg::sparse_lu::SPARSE_AUTO_THRESHOLD;
 use vamor_linalg::{
-    CsrMatrix, LinalgError, LuFactor, Matrix, RunControl, SolverBackend, SparseLu,
+    CsrMatrix, LinalgError, LuFactor, Matrix, MemoryBudget, RunControl, SolverBackend, SparseLu,
     SparseLuSymbolic, StopCause, Vector,
 };
 use vamor_system::PolynomialStateSpace;
@@ -281,7 +282,7 @@ pub fn simulate(
     input: &dyn InputSignal,
     opts: &TransientOptions,
 ) -> Result<TransientResult> {
-    simulate_impl(system, input, opts, None)
+    simulate_impl(system, input, opts, None, None)
 }
 
 /// [`simulate`] under a [`RunControl`] token: the stepper checkpoints as
@@ -299,7 +300,79 @@ pub fn simulate_controlled(
     opts: &TransientOptions,
     control: &RunControl,
 ) -> Result<TransientResult> {
-    simulate_impl(system, input, opts, Some(control))
+    simulate_impl(system, input, opts, Some(control), None)
+}
+
+/// The budget owner string under which a run's frozen iteration matrix is
+/// accounted in a shared session [`MemoryBudget`].
+pub const INTEGRATOR_BUDGET_OWNER: &str = "integrator";
+
+/// Monotone run keys so concurrent budgeted runs sharing one ledger never
+/// collide on an entry.
+static RUN_KEY: AtomicU64 = AtomicU64::new(0);
+
+/// Run-scoped handle charging the frozen iteration matrix against a shared
+/// session [`MemoryBudget`] under the [`INTEGRATOR_BUDGET_OWNER`] owner.
+/// Each budgeted run owns a unique ledger key; the entry is re-priced on
+/// every refactorization, touched on every reuse, and released when the run
+/// returns (success or error). If another owner's charge evicts the entry,
+/// the integrator honors the eviction cooperatively: the next implicit step
+/// drops the frozen factor and refactorizes (re-charging the ledger).
+struct BudgetHook<'a> {
+    budget: &'a MemoryBudget,
+    key: u64,
+}
+
+/// [`simulate`] with the frozen-Jacobian factor of the implicit methods
+/// accounted against a shared session [`MemoryBudget`]. Explicit (RK4) runs
+/// never charge the ledger.
+///
+/// # Errors
+///
+/// Same contract as [`simulate`], plus [`SimError::Budget`] when the factor
+/// cannot be accounted even after the ledger evicted every unpinned entry —
+/// typed backpressure instead of unbudgeted growth.
+pub fn simulate_budgeted(
+    system: &dyn PolynomialStateSpace,
+    input: &dyn InputSignal,
+    opts: &TransientOptions,
+    budget: &MemoryBudget,
+) -> Result<TransientResult> {
+    run_budgeted(system, input, opts, None, budget)
+}
+
+/// [`simulate_budgeted`] under a [`RunControl`] token (the
+/// [`simulate_controlled`] checkpoint contract applies unchanged).
+///
+/// # Errors
+///
+/// Same contract as [`simulate_budgeted`].
+pub fn simulate_budgeted_controlled(
+    system: &dyn PolynomialStateSpace,
+    input: &dyn InputSignal,
+    opts: &TransientOptions,
+    control: &RunControl,
+    budget: &MemoryBudget,
+) -> Result<TransientResult> {
+    run_budgeted(system, input, opts, Some(control), budget)
+}
+
+fn run_budgeted(
+    system: &dyn PolynomialStateSpace,
+    input: &dyn InputSignal,
+    opts: &TransientOptions,
+    control: Option<&RunControl>,
+    budget: &MemoryBudget,
+) -> Result<TransientResult> {
+    let hook = BudgetHook {
+        budget,
+        key: RUN_KEY.fetch_add(1, Ordering::Relaxed),
+    };
+    let out = simulate_impl(system, input, opts, control, Some(&hook));
+    // Whatever happened, this run's factor is gone now — release its entry
+    // (a no-op if it was never charged or already evicted).
+    budget.release(INTEGRATOR_BUDGET_OWNER, hook.key);
+    out
 }
 
 fn simulate_impl(
@@ -307,6 +380,7 @@ fn simulate_impl(
     input: &dyn InputSignal,
     opts: &TransientOptions,
     control: Option<&RunControl>,
+    hook: Option<&BudgetHook<'_>>,
 ) -> Result<TransientResult> {
     opts.validate(system, input)?;
     let implicit = matches!(
@@ -315,7 +389,7 @@ fn simulate_impl(
     );
     if implicit {
         if let Some(adaptive) = opts.adaptive {
-            return simulate_adaptive(system, input, opts, adaptive, control);
+            return simulate_adaptive(system, input, opts, adaptive, control, hook);
         }
     }
     let n = system.order();
@@ -359,7 +433,19 @@ fn simulate_impl(
         match opts.method {
             IntegrationMethod::Rk4 => rk4_step(system, input, t, h, &mut x, &mut rk4_ws),
             IntegrationMethod::ImplicitTrapezoidal => {
-                x = implicit_step(system, input, t, h, &x, opts, &mut stats, true, &mut frozen)?.0;
+                x = implicit_step(
+                    system,
+                    input,
+                    t,
+                    h,
+                    &x,
+                    opts,
+                    &mut stats,
+                    true,
+                    &mut frozen,
+                    hook,
+                )?
+                .0;
             }
             IntegrationMethod::BackwardEuler => {
                 x = implicit_step(
@@ -372,6 +458,7 @@ fn simulate_impl(
                     &mut stats,
                     false,
                     &mut frozen,
+                    hook,
                 )?
                 .0;
             }
@@ -406,6 +493,7 @@ fn simulate_adaptive(
     opts: &TransientOptions,
     adaptive: AdaptiveStepOptions,
     control: Option<&RunControl>,
+    hook: Option<&BudgetHook<'_>>,
 ) -> Result<TransientResult> {
     let n = system.order();
     let trapezoidal = opts.method == IntegrationMethod::ImplicitTrapezoidal;
@@ -449,6 +537,7 @@ fn simulate_adaptive(
             &mut stats,
             trapezoidal,
             &mut frozen,
+            hook,
         )?;
         if !x_next.is_finite() {
             return Err(SimError::Diverged { time: t + h_step });
@@ -554,6 +643,7 @@ fn refresh_jacobian(
     opts: &TransientOptions,
     stats: &mut SolverStats,
     frozen: &mut Option<FrozenJacobian>,
+    hook: Option<&BudgetHook<'_>>,
 ) -> Result<()> {
     let n = system.order();
     let want_sparse = opts.linear_solver.use_sparse(n, SPARSE_AUTO_THRESHOLD);
@@ -604,6 +694,15 @@ fn refresh_jacobian(
             });
         }
     }
+    if let Some(hook) = hook {
+        let bytes = frozen.as_ref().map_or(0, |f| f.factor.approx_bytes());
+        if let Err(e) = hook.budget.charge(INTEGRATOR_BUDGET_OWNER, hook.key, bytes) {
+            // Typed backpressure: drop the factor the ledger refused to
+            // account, so the run never holds unbudgeted memory.
+            *frozen = None;
+            return Err(SimError::Budget(e));
+        }
+    }
     Ok(())
 }
 
@@ -631,6 +730,10 @@ fn injected_newton_solve(rhs: &Vector) -> Option<std::result::Result<Vector, Lin
         )),
         FaultKind::NanSolve => Ok(Vector::from_fn(rhs.len(), |_| f64::NAN)),
         FaultKind::AdiStall => Ok(Vector::zeros(rhs.len())),
+        // Session-level kinds fire at the session seams, not here.
+        FaultKind::CacheCorrupt | FaultKind::BudgetPressure | FaultKind::CheckpointTorn => {
+            return None
+        }
     })
 }
 
@@ -681,6 +784,7 @@ fn implicit_step(
     stats: &mut SolverStats,
     trapezoidal: bool,
     frozen: &mut Option<FrozenJacobian>,
+    hook: Option<&BudgetHook<'_>>,
 ) -> Result<(Vector, f64)> {
     let u0 = input.sample(t);
     let u1 = input.sample(t + h);
@@ -698,12 +802,24 @@ fn implicit_step(
     // The step size is reconstructed from rounded time points, so successive
     // steps jitter in the last ulp; only a genuine change of step size (the
     // clamped final step) warrants refactorizing the iteration matrix.
+    // Cooperative eviction: a budgeted run honors another owner's eviction
+    // of its ledger entry by dropping the frozen factor and refactorizing
+    // (which re-charges).
+    let evicted = match (hook, frozen.as_ref()) {
+        (Some(hook), Some(_)) => !hook.budget.contains(INTEGRATOR_BUDGET_OWNER, hook.key),
+        _ => false,
+    };
+    if evicted {
+        *frozen = None;
+    }
     let stale = match (opts.jacobian_policy, frozen.as_ref()) {
         (JacobianPolicy::FrozenReuse, Some(f)) => (f.h - h).abs() > 1e-9 * h.abs(),
         _ => true,
     };
     if stale {
-        refresh_jacobian(system, &x, &u1, theta, h, opts, stats, frozen)?;
+        refresh_jacobian(system, &x, &u1, theta, h, opts, stats, frozen, hook)?;
+    } else if let Some(hook) = hook {
+        hook.budget.touch(INTEGRATOR_BUDGET_OWNER, hook.key);
     }
 
     let x_pred = x.clone();
@@ -764,7 +880,7 @@ fn implicit_step(
         }
         if attempt == 0 {
             // Refresh the Jacobian at the current (finite) iterate and retry.
-            refresh_jacobian(system, &x, &u1, theta, h, opts, stats, frozen)?;
+            refresh_jacobian(system, &x, &u1, theta, h, opts, stats, frozen, hook)?;
         }
     }
     Err(SimError::NewtonFailed {
@@ -836,6 +952,44 @@ mod tests {
         let y_end = r.outputs.last().unwrap()[0];
         assert!((y_end - 2.0_f64.tanh()).abs() < 1e-5);
         assert!(r.stats.newton_iterations > 0);
+    }
+
+    #[test]
+    fn budgeted_run_accounts_then_releases_the_frozen_factor() {
+        let sys = decay_system(-1.0);
+        let opts = TransientOptions::new(0.0, 1.0, 0.01)
+            .with_method(IntegrationMethod::ImplicitTrapezoidal);
+        let budget = MemoryBudget::new(1 << 20);
+        let budgeted = simulate_budgeted(&sys, &Step::new(1.0, 0.0), &opts, &budget).unwrap();
+        let plain = simulate(&sys, &Step::new(1.0, 0.0), &opts).unwrap();
+        assert_eq!(
+            budgeted.outputs, plain.outputs,
+            "accounting never perturbs the trajectory"
+        );
+        assert_eq!(budget.used(), 0, "the run releases its ledger entry");
+        assert_eq!(budget.evictions(), 0);
+    }
+
+    #[test]
+    fn exhausted_integrator_budget_is_typed_backpressure() {
+        let sys = decay_system(-1.0);
+        let opts =
+            TransientOptions::new(0.0, 1.0, 0.01).with_method(IntegrationMethod::BackwardEuler);
+        // A 1-state dense factor needs 16 B; a 4 B budget with nothing to
+        // evict must refuse with the typed error, never panic.
+        let budget = MemoryBudget::new(4);
+        match simulate_budgeted(&sys, &Step::new(1.0, 0.0), &opts, &budget) {
+            Err(SimError::Budget(vamor_linalg::BudgetError::Exhausted {
+                requested,
+                capacity,
+                ..
+            })) => {
+                assert!(requested > capacity);
+                assert_eq!(capacity, 4);
+            }
+            other => panic!("expected budget backpressure, got {other:?}"),
+        }
+        assert_eq!(budget.used(), 0, "the refused run leaves no trace");
     }
 
     #[test]

@@ -217,18 +217,27 @@ fn loop_body(
     None
 }
 
-/// L3 — lock discipline over the `real`/`complex` mutex pair. The single
-/// sanctioned acquisition order is `real` → `complex` (the PR 4
-/// "lock-order-safe" claim); while a guard is held:
-/// - acquiring `real` while holding `complex` is a violation (order
-///   inversion — deadlocks against the sanctioned order),
-/// - re-acquiring the held mutex is a violation (self-deadlock),
-/// - calling a *caller-supplied* callback (any parameter of the enclosing
-///   function) is a violation (user code must never run under a cache
-///   lock).
+/// L3 — lock discipline over the cache mutexes. Two lock families are
+/// covered:
+///
+/// - the shift-cache `real`/`complex` pair, whose single sanctioned
+///   acquisition order is `real` → `complex` (the PR 4 "lock-order-safe"
+///   claim) — acquiring `real` while holding `complex` is an order
+///   inversion;
+/// - the session shared state: the budget `ledger` and the session
+///   `registry` are *leaf* locks — holding either while acquiring the other
+///   (in any order) is a violation, because the budget's eviction callbacks
+///   and the session's quarantine path each take one lock and must never be
+///   entered under the other.
+///
+/// For every family: re-acquiring the held mutex is a violation
+/// (self-deadlock), and calling a *caller-supplied* callback (any parameter
+/// of the enclosing function) while a guard is held is a violation (user
+/// code must never run under a cache lock).
 ///
 /// Acquisitions are recognized as `<field>.lock(` and as the
-/// `lock_real(`/`lock_complex(` poison-recovering helpers.
+/// `lock_real(`/`lock_complex(`/`lock_ledger(`/`lock_registry(`
+/// poison-recovering helpers.
 pub fn lock_discipline(model: &FileModel, file: &Path) -> Vec<Finding> {
     let toks = model.tokens();
     let mut out = Vec::new();
@@ -264,6 +273,17 @@ pub fn lock_discipline(model: &FileModel, file: &Path) -> Vec<Finding> {
                     "`real` acquired while holding `complex`: inverts the sanctioned real → complex \
                      lock order"
                         .to_string(),
+                ));
+            } else if is_leaf_lock(field) && is_leaf_lock(other) {
+                out.push(Finding::new(
+                    LOCK_DISCIPLINE,
+                    file,
+                    toks[j].line,
+                    toks[j].col,
+                    format!(
+                        "`{other}` acquired while holding `{field}`: the session `registry` and \
+                         budget `ledger` are leaf locks and must never nest"
+                    ),
                 ));
             }
         }
@@ -304,6 +324,8 @@ fn acquisition_at(toks: &[Tok], i: usize) -> Option<&'static str> {
     match t.text.as_str() {
         "lock_real" if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) => Some("real"),
         "lock_complex" if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) => Some("complex"),
+        "lock_ledger" if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) => Some("ledger"),
+        "lock_registry" if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) => Some("registry"),
         "lock"
             if toks.get(i + 1).is_some_and(|n| n.is_punct('('))
                 && i >= 2
@@ -312,11 +334,18 @@ fn acquisition_at(toks: &[Tok], i: usize) -> Option<&'static str> {
             match toks[i - 2].text.as_str() {
                 "real" => Some("real"),
                 "complex" => Some("complex"),
+                "ledger" => Some("ledger"),
+                "registry" => Some("registry"),
                 _ => None,
             }
         }
         _ => None,
     }
+}
+
+/// The session-era leaf locks: any nesting among them is a violation.
+fn is_leaf_lock(field: &str) -> bool {
+    matches!(field, "ledger" | "registry")
 }
 
 /// Methods that return the guard itself (or it, recovered from poison) —

@@ -26,8 +26,9 @@ pub struct AnalyzeConfig {
 impl AnalyzeConfig {
     /// The vamor solver surface (see ISSUE/README): linalg + core + sim
     /// sources, indexing checks on the cache/control/par orchestration
-    /// modules, lock discipline on `shift_cache.rs`, allocation checks on
-    /// the four kernel files.
+    /// modules, lock discipline on `shift_cache.rs` and the session shared
+    /// state (`budget.rs`, `session.rs`), allocation checks on the four
+    /// kernel files.
     pub fn vamor() -> Self {
         AnalyzeConfig {
             panic_dirs: ["crates/linalg/src", "crates/core/src", "crates/sim/src"]
@@ -38,7 +39,14 @@ impl AnalyzeConfig {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
-            lock_files: vec![PathBuf::from("crates/linalg/src/shift_cache.rs")],
+            lock_files: [
+                "crates/linalg/src/shift_cache.rs",
+                "crates/linalg/src/budget.rs",
+                "crates/core/src/session.rs",
+            ]
+            .iter()
+            .map(PathBuf::from)
+            .collect(),
             alloc_files: [
                 "crates/linalg/src/matrix.rs",
                 "crates/linalg/src/vector.rs",
@@ -182,9 +190,16 @@ mod tests {
     fn vamor_config_names_the_solver_surface() {
         let cfg = AnalyzeConfig::vamor();
         assert_eq!(cfg.panic_dirs.len(), 3);
+        assert_eq!(cfg.lock_files.len(), 3);
         assert!(cfg
             .lock_files
             .contains(&PathBuf::from("crates/linalg/src/shift_cache.rs")));
+        assert!(cfg
+            .lock_files
+            .contains(&PathBuf::from("crates/linalg/src/budget.rs")));
+        assert!(cfg
+            .lock_files
+            .contains(&PathBuf::from("crates/core/src/session.rs")));
         assert_eq!(cfg.alloc_files.len(), 4);
     }
 }
