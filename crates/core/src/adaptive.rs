@@ -278,6 +278,7 @@ impl BandSampler {
         cache: &SamplerCache,
         control: Option<&RunControl>,
     ) -> Result<Self> {
+        let _span = vamor_obs::span!("band_solve");
         let misses_before = cache.misses();
         let num_inputs = qldae.b().cols();
         let has_quadratic = qldae.g2().nnz() > 0 || qldae.has_d1();
@@ -367,6 +368,7 @@ impl BandSampler {
         opts: BandSamplerOptions,
         control: Option<&RunControl>,
     ) -> Result<Self> {
+        let _span = vamor_obs::span!("band_solve");
         let n = ode.g1_csr().rows();
         let cache = Self::cache_for(ode.g1_csr(), backend, n);
         let num_inputs = ode.b().cols();
@@ -1400,6 +1402,7 @@ impl AdaptiveReducer {
         control: Option<&RunControl>,
         hooks: Option<&AdaptiveHooks<'_>>,
     ) -> Result<AdaptiveOutcome<R>> {
+        let _span = vamor_obs::span!("adaptive_reduce");
         let mut cfg = initial;
         let mut rom = reduce(&cfg)?;
         let mut res = residual_of(&rom)?;
@@ -1481,6 +1484,7 @@ impl AdaptiveReducer {
                 if !legal(mv, &cfg) {
                     continue;
                 }
+                let _probe = vamor_obs::span!("greedy_move_eval");
                 let cfg2 = cfg.apply(mv);
                 // A failing probe (e.g. every extra candidate deflated, or an
                 // illegal engine combination) is simply not taken — but an
@@ -1559,6 +1563,10 @@ impl AdaptiveReducer {
         if res.max() <= self.spec.tol {
             trace.stop = StopReason::ToleranceReached;
         }
+        vamor_obs::counter("adaptive.runs").inc();
+        vamor_obs::counter("adaptive.evaluations").add(trace.evaluations as u64);
+        vamor_obs::counter("adaptive.moves_accepted")
+            .add(trace.steps.len().saturating_sub(1) as u64);
         Ok(AdaptiveOutcome { rom, trace })
     }
 }

@@ -169,6 +169,7 @@ impl NormReducer {
     }
 
     fn reduce_impl(&self, qldae: &Qldae, control: Option<&RunControl>) -> Result<ReducedQldae> {
+        let _span = vamor_obs::span!("norm_reduce");
         if self.spec.total() == 0 {
             return Err(MorError::Invalid(
                 "at least one moment must be requested".into(),

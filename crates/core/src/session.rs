@@ -445,6 +445,35 @@ pub struct SessionStats {
     pub panics_contained: usize,
 }
 
+/// Workspace-metrics twins of the session's atomic counters, resolved once
+/// at construction so request paths never touch the registry mutex.
+#[derive(Clone)]
+struct SessionCounters {
+    requests: vamor_obs::CounterHandle,
+    stamp_hits: vamor_obs::CounterHandle,
+    stamp_builds: vamor_obs::CounterHandle,
+    quarantined: vamor_obs::CounterHandle,
+    panics_contained: vamor_obs::CounterHandle,
+}
+
+impl SessionCounters {
+    fn new() -> Self {
+        SessionCounters {
+            requests: vamor_obs::counter("session.requests"),
+            stamp_hits: vamor_obs::counter("session.stamp_hits"),
+            stamp_builds: vamor_obs::counter("session.stamp_builds"),
+            quarantined: vamor_obs::counter("session.quarantined"),
+            panics_contained: vamor_obs::counter("session.panics_contained"),
+        }
+    }
+}
+
+impl fmt::Debug for SessionCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionCounters").finish_non_exhaustive()
+    }
+}
+
 #[derive(Debug, Clone)]
 struct StampEntry {
     artifacts: SharedAssocArtifacts,
@@ -490,6 +519,7 @@ pub struct ReductionSession {
     stamp_builds: AtomicUsize,
     quarantined: AtomicUsize,
     panics_contained: AtomicUsize,
+    metrics: SessionCounters,
 }
 
 impl ReductionSession {
@@ -515,6 +545,7 @@ impl ReductionSession {
             stamp_builds: AtomicUsize::new(0),
             quarantined: AtomicUsize::new(0),
             panics_contained: AtomicUsize::new(0),
+            metrics: SessionCounters::new(),
         }
     }
 
@@ -689,13 +720,17 @@ impl ReductionSession {
         control: &RunControl,
         f: impl FnOnce(&RunControl) -> Result<T, SessionError>,
     ) -> Result<T, SessionError> {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        let child = control.child();
+        let seq = self.requests.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+        self.metrics.requests.inc();
+        // Every progress event a request emits carries the session-unique
+        // request number, so multiplexed callbacks can demux by origin.
+        let child = control.child().with_request_id(seq);
         match catch_unwind(AssertUnwindSafe(|| f(&child))) {
             Ok(result) => result,
             Err(payload) => {
                 child.cancel();
                 self.panics_contained.fetch_add(1, Ordering::Relaxed);
+                self.metrics.panics_contained.inc();
                 let msg = payload
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_string())
@@ -726,8 +761,10 @@ impl ReductionSession {
             if stored == derived {
                 if fresh_build {
                     self.stamp_builds.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.stamp_builds.inc();
                 } else {
                     self.stamp_hits.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.stamp_hits.inc();
                 }
                 self.budget.touch(STAMP_BUDGET_OWNER, fp);
                 return Ok(entry);
@@ -740,6 +777,7 @@ impl ReductionSession {
     /// Factors a fresh stamp entry, charges the budget (dropping any
     /// LRU-evicted sibling stamps), and publishes it in the registry.
     fn build_entry(&self, fp: u64, qldae: &Qldae) -> Result<StampEntry, SessionError> {
+        let _span = vamor_obs::span!("stamp_build");
         let artifacts = SharedAssocArtifacts::build(qldae, self.backend)?;
         let n = artifacts.n();
         let sampler = Arc::new(BandSampler::cache_for(qldae.g1_csr(), self.backend, n));
@@ -779,6 +817,7 @@ impl ReductionSession {
     /// the entry are unaffected — the artifacts are `Arc`-backed.
     fn quarantine(&self, fp: u64) {
         self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.metrics.quarantined.inc();
         self.lock_registry().remove(&fp);
         self.budget.release(STAMP_BUDGET_OWNER, fp);
     }

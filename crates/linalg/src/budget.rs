@@ -125,6 +125,21 @@ impl Ledger {
 #[derive(Debug)]
 pub struct MemoryBudget {
     ledger: Mutex<Ledger>,
+    metrics: BudgetCounters,
+}
+
+/// Registry handles mirroring the governor's activity into the process-wide
+/// metrics registry (`budget.*`). Resolved once at construction.
+struct BudgetCounters {
+    charges: vamor_obs::CounterHandle,
+    evictions: vamor_obs::CounterHandle,
+    resident_bytes: vamor_obs::GaugeHandle,
+}
+
+impl fmt::Debug for BudgetCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BudgetCounters").finish_non_exhaustive()
+    }
 }
 
 impl MemoryBudget {
@@ -139,6 +154,11 @@ impl MemoryBudget {
                 history: Vec::new(),
                 evicted_total: 0,
             }),
+            metrics: BudgetCounters {
+                charges: vamor_obs::counter("budget.charges"),
+                evictions: vamor_obs::counter("budget.evictions"),
+                resident_bytes: vamor_obs::gauge("budget.resident_bytes"),
+            },
         }
     }
 
@@ -240,6 +260,9 @@ impl MemoryBudget {
                     ledger.record_eviction(rec.clone());
                 }
                 let ledger_out = ledger.history.clone();
+                self.metrics.charges.inc();
+                self.metrics.evictions.add(evicted.len() as u64);
+                self.metrics.resident_bytes.set(ledger.used as f64);
                 return Err(BudgetError::Exhausted {
                     requested: bytes,
                     capacity: ledger.capacity,
@@ -258,6 +281,9 @@ impl MemoryBudget {
         for rec in &evicted {
             ledger.record_eviction(rec.clone());
         }
+        self.metrics.charges.inc();
+        self.metrics.evictions.add(evicted.len() as u64);
+        self.metrics.resident_bytes.set(ledger.used as f64);
         Ok(evicted)
     }
 
@@ -307,6 +333,7 @@ impl MemoryBudget {
             .position(|e| e.owner == owner && e.key == key)?;
         let entry = ledger.entries.remove(i);
         ledger.used -= entry.bytes;
+        self.metrics.resident_bytes.set(ledger.used as f64);
         Some(entry.bytes)
     }
 

@@ -55,6 +55,15 @@ pub struct ProgressEvent {
     /// Stage-specific scalar (residual, time, ...); `NaN` when the stage has
     /// none.
     pub value: f64,
+    /// Monotonic wall-clock time since the root token was created
+    /// ([`RunControl::new`]); [`RunControl::child`] scopes inherit the
+    /// parent's clock, so events multiplexed from one session share a
+    /// timeline.
+    pub elapsed: Duration,
+    /// Request id of the token's scope ([`RunControl::with_request_id`]),
+    /// so session-routed events stay attributable when several requests
+    /// stream through one callback. `None` outside a tagged scope.
+    pub request_id: Option<u64>,
 }
 
 type ProgressCallback = dyn Fn(ProgressEvent) + Send + Sync;
@@ -70,6 +79,10 @@ struct Inner {
     deadline: Option<Instant>,
     checkpoints: Arc<AtomicUsize>,
     progress: Option<Arc<ProgressCallback>>,
+    // Epoch of `ProgressEvent::elapsed`: fixed at `RunControl::new`, shared
+    // by every clone and child scope of the token.
+    started: Instant,
+    request_id: Option<u64>,
 }
 
 /// Cooperative cancellation token with an optional wall-clock deadline and
@@ -107,6 +120,8 @@ impl RunControl {
                 deadline: None,
                 checkpoints: Arc::new(AtomicUsize::new(0)),
                 progress: None,
+                started: Instant::now(),
+                request_id: None,
             }),
         }
     }
@@ -127,6 +142,11 @@ impl RunControl {
                 deadline: self.inner.deadline,
                 checkpoints: Arc::new(AtomicUsize::new(0)),
                 progress: None,
+                // The child shares the parent's progress timeline but not
+                // its request tag — the session stamps each request scope
+                // with `with_request_id`.
+                started: self.inner.started,
+                request_id: None,
             }),
         }
     }
@@ -143,6 +163,8 @@ impl RunControl {
                 deadline: Some(Instant::now() + timeout),
                 checkpoints: self.inner.checkpoints.clone(),
                 progress: self.inner.progress.clone(),
+                started: self.inner.started,
+                request_id: self.inner.request_id,
             }),
         }
     }
@@ -163,8 +185,42 @@ impl RunControl {
                 deadline: self.inner.deadline,
                 checkpoints: self.inner.checkpoints.clone(),
                 progress: Some(Arc::new(callback)),
+                started: self.inner.started,
+                request_id: self.inner.request_id,
             }),
         }
+    }
+
+    /// Returns a token whose progress events carry `id` as their
+    /// [`ProgressEvent::request_id`] — the attribution tag for events
+    /// multiplexed through one session-level callback. All other state
+    /// (cancellation, deadline, checkpoint counter, progress callback,
+    /// elapsed-time epoch) stays shared with `self`.
+    #[must_use]
+    pub fn with_request_id(self, id: u64) -> Self {
+        RunControl {
+            inner: Arc::new(Inner {
+                cancelled: self.inner.cancelled.clone(),
+                parents: self.inner.parents.clone(),
+                deadline: self.inner.deadline,
+                checkpoints: self.inner.checkpoints.clone(),
+                progress: self.inner.progress.clone(),
+                started: self.inner.started,
+                request_id: Some(id),
+            }),
+        }
+    }
+
+    /// The request id stamped by [`with_request_id`](Self::with_request_id),
+    /// if any.
+    pub fn request_id(&self) -> Option<u64> {
+        self.inner.request_id
+    }
+
+    /// Monotonic wall-clock time since the root token was created — the
+    /// same clock reported in [`ProgressEvent::elapsed`].
+    pub fn elapsed(&self) -> Duration {
+        self.inner.started.elapsed()
     }
 
     /// Requests cooperative cancellation: the next checkpoint on any clone
@@ -219,6 +275,8 @@ impl RunControl {
                 stage,
                 sequence,
                 value,
+                elapsed: self.inner.started.elapsed(),
+                request_id: self.inner.request_id,
             });
         }
         match self.stop_cause() {
@@ -294,6 +352,48 @@ mod tests {
         assert_eq!(events[1].stage, "greedy-move");
         assert_eq!(events[1].sequence, 2);
         assert!(events[1].value.is_nan());
+        // Untagged tokens emit unattributed events on a monotonic clock.
+        assert_eq!(events[0].request_id, None);
+        assert!(events[1].elapsed >= events[0].elapsed);
+    }
+
+    #[test]
+    fn request_ids_attribute_multiplexed_events() {
+        let seen: Arc<Mutex<Vec<ProgressEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let session = RunControl::new().with_progress(move |event| {
+            sink.lock().unwrap().push(event);
+        });
+        // Two request scopes stream through the one session callback.
+        let req_a = session.clone().with_request_id(7);
+        let req_b = session.clone().with_request_id(8);
+        req_a.checkpoint("work-a").unwrap();
+        req_b.checkpoint("work-b").unwrap();
+        session.checkpoint("session").unwrap();
+        assert_eq!(req_a.request_id(), Some(7));
+        assert_eq!(session.request_id(), None);
+        let events = seen.lock().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].request_id, Some(7));
+        assert_eq!(events[1].request_id, Some(8));
+        assert_eq!(events[2].request_id, None);
+        // Tagging keeps cancellation and the checkpoint counter shared.
+        assert_eq!(session.checkpoints(), 3);
+        session.cancel();
+        assert!(req_a.is_cancelled());
+    }
+
+    #[test]
+    fn elapsed_shares_the_root_clock_across_scopes() {
+        let root = RunControl::new();
+        // Test-only wall-clock advance; no solver worker is blocked here.
+        #[allow(clippy::disallowed_methods)]
+        std::thread::sleep(Duration::from_millis(2));
+        let child = root.child().with_request_id(1);
+        // The child inherits the root epoch rather than restarting at zero.
+        let child_elapsed = child.elapsed();
+        assert!(child_elapsed >= Duration::from_millis(2));
+        assert!(root.elapsed() >= child_elapsed, "scopes share one clock");
     }
 
     #[test]

@@ -590,6 +590,19 @@ pub struct LrAdiStats {
     pub shift_reselections: usize,
 }
 
+impl LrAdiStats {
+    /// Publishes the run into the process-wide metrics registry (`adi.*`),
+    /// called once per completed ADI/FADI run — including non-converged runs,
+    /// whose stats ride the typed error.
+    pub fn publish(&self) {
+        vamor_obs::counter("adi.runs").inc();
+        vamor_obs::counter("adi.iterations").add(self.iterations as u64);
+        vamor_obs::counter("adi.shift_reselections").add(self.shift_reselections as u64);
+        vamor_obs::gauge("adi.residual").set(self.residual);
+        vamor_obs::gauge("adi.rank").set(self.rank as f64);
+    }
+}
+
 /// A factored solution `X ≈ Z Zᵀ` of a stable Lyapunov equation.
 #[derive(Debug, Clone)]
 pub struct LrAdiSolution {
@@ -778,6 +791,7 @@ fn lr_adi_pairs_impl(
     let mut stalled_for = 0usize;
     let mut reselections = 0usize;
     while iterations < opts.max_iterations {
+        let _sweep = vamor_obs::span!("adi_sweep");
         if let Some(c) = control {
             c.checkpoint_with("lr-adi-sweep", residual)?;
         }
@@ -865,6 +879,7 @@ fn lr_adi_pairs_impl(
         shift_count: shifts.len(),
         shift_reselections: reselections,
     };
+    stats.publish();
     if opts.strict && (!residual.is_finite() || residual > opts.tol) {
         return Err(LinalgError::AdiNonConvergence { stats });
     }
@@ -985,6 +1000,7 @@ fn fadi_impl(
     let mut stalled_for = 0usize;
     let mut reselections = 0usize;
     while iterations < opts.max_iterations {
+        let _sweep = vamor_obs::span!("fadi_sweep");
         if let Some(c) = control {
             c.checkpoint_with("fadi-sweep", residual)?;
         }
@@ -1046,6 +1062,7 @@ fn fadi_impl(
         shift_count: shifts.len(),
         shift_reselections: reselections,
     };
+    stats.publish();
     if opts.strict && (!residual.is_finite() || residual > opts.tol) {
         return Err(LinalgError::AdiNonConvergence { stats });
     }
@@ -1172,6 +1189,7 @@ fn rational_krylov_impl(
     cap: usize,
     control: Option<&crate::control::RunControl>,
 ) -> Result<Matrix> {
+    let _span = vamor_obs::span!("rk_basis");
     let n = op.dim();
     let cap = cap.min(n).max(1);
     let mut basis = OrthoBasis::new(n);

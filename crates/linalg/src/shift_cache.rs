@@ -28,8 +28,11 @@
 //! behaviour for A/B benchmarking and regression tests.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+use vamor_obs::{span, CounterHandle};
 
 use crate::complex::Complex;
 use crate::error::LinalgError;
@@ -126,6 +129,42 @@ pub struct ShiftedLuCache {
     complex: Mutex<HashMap<(u64, u64), Arc<ZLuDecomposition>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    metrics: CacheCounters,
+}
+
+/// Registry handles mirroring the per-instance hit/miss counters into the
+/// process-wide metrics registry (`shift_cache.dense.*` /
+/// `shift_cache.sparse.*`). Resolved once at cache construction so the hot
+/// paths pay one relaxed atomic add, never a registry lookup.
+#[derive(Clone)]
+struct CacheCounters {
+    hits: CounterHandle,
+    misses: CounterHandle,
+    evictions: CounterHandle,
+}
+
+impl CacheCounters {
+    fn dense() -> Self {
+        CacheCounters {
+            hits: vamor_obs::counter("shift_cache.dense.hits"),
+            misses: vamor_obs::counter("shift_cache.dense.misses"),
+            evictions: vamor_obs::counter("shift_cache.dense.evictions"),
+        }
+    }
+
+    fn sparse() -> Self {
+        CacheCounters {
+            hits: vamor_obs::counter("shift_cache.sparse.hits"),
+            misses: vamor_obs::counter("shift_cache.sparse.misses"),
+            evictions: vamor_obs::counter("shift_cache.sparse.evictions"),
+        }
+    }
+}
+
+impl fmt::Debug for CacheCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CacheCounters").finish_non_exhaustive()
+    }
 }
 
 impl ShiftedLuCache {
@@ -160,6 +199,7 @@ impl ShiftedLuCache {
             complex: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            metrics: CacheCounters::dense(),
         }
     }
 
@@ -252,11 +292,14 @@ impl ShiftedLuCache {
     pub fn factor(&self, sigma: f64) -> Result<Arc<LuDecomposition>> {
         if !self.enabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.metrics.misses.inc();
+            let _span = span!("shift_factor_dense");
             return Ok(Arc::new(self.shifted(sigma).lu()?));
         }
         let key = shift_key(sigma);
         if let Some(lu) = self.lock_real().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.hits.inc();
             return Ok(Arc::clone(lu));
         }
         // Factor OUTSIDE the lock: holding the map mutex across an O(n³)
@@ -265,7 +308,11 @@ impl ShiftedLuCache {
         // the same shift concurrently; both produce identical factors and the
         // first insert wins.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let lu = Arc::new(self.shifted(sigma).lu()?);
+        self.metrics.misses.inc();
+        let lu = {
+            let _span = span!("shift_factor_dense");
+            Arc::new(self.shifted(sigma).lu()?)
+        };
         let mut map = self.lock_real();
         Ok(Arc::clone(map.entry(key).or_insert(lu)))
     }
@@ -291,16 +338,23 @@ impl ShiftedLuCache {
     pub fn factor_complex(&self, lambda: Complex) -> Result<Arc<ZLuDecomposition>> {
         if !self.enabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.metrics.misses.inc();
+            let _span = span!("shift_factor_dense");
             return Ok(Arc::new(self.shifted_complex(lambda).lu()?));
         }
         let key = (shift_key(lambda.re), shift_key(lambda.im));
         if let Some(lu) = self.lock_complex().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.hits.inc();
             return Ok(Arc::clone(lu));
         }
         // Factor outside the lock (see `factor` for the rationale).
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let lu = Arc::new(self.shifted_complex(lambda).lu()?);
+        self.metrics.misses.inc();
+        let lu = {
+            let _span = span!("shift_factor_dense");
+            Arc::new(self.shifted_complex(lambda).lu()?)
+        };
         let mut map = self.lock_complex();
         Ok(Arc::clone(map.entry(key).or_insert(lu)))
     }
@@ -378,6 +432,7 @@ impl Clone for ShiftedLuCache {
             complex: Mutex::new(self.lock_complex().clone()),
             hits: AtomicUsize::new(self.hits()),
             misses: AtomicUsize::new(self.misses()),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -423,6 +478,7 @@ pub struct ShiftedSparseLuCache {
     /// Logical clock driving least-recently-used eviction.
     tick: AtomicUsize,
     evictions: AtomicUsize,
+    metrics: CacheCounters,
 }
 
 impl ShiftedSparseLuCache {
@@ -479,6 +535,7 @@ impl ShiftedSparseLuCache {
             capacity: None,
             tick: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            metrics: CacheCounters::sparse(),
         }
     }
 
@@ -535,6 +592,7 @@ impl ShiftedSparseLuCache {
                 (None, None) => break,
             }
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.metrics.evictions.inc();
         }
     }
 
@@ -617,6 +675,8 @@ impl ShiftedSparseLuCache {
     pub fn factor(&self, sigma: f64) -> Result<Arc<SparseLu>> {
         if !self.enabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.metrics.misses.inc();
+            let _span = span!("shift_factor_sparse");
             return Ok(Arc::new(SparseLu::factor_shifted(
                 &self.symbolic,
                 &self.base,
@@ -627,11 +687,16 @@ impl ShiftedSparseLuCache {
         if let Some(entry) = self.lock_real().get_mut(&key) {
             entry.last_used = self.next_tick();
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.hits.inc();
             return Ok(Arc::clone(&entry.value));
         }
         // Factor outside the lock (see `ShiftedLuCache::factor`).
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let lu = Arc::new(SparseLu::factor_shifted(&self.symbolic, &self.base, sigma)?);
+        self.metrics.misses.inc();
+        let lu = {
+            let _span = span!("shift_factor_sparse");
+            Arc::new(SparseLu::factor_shifted(&self.symbolic, &self.base, sigma)?)
+        };
         let tick = self.next_tick();
         // Lock order real → complex everywhere capacity is enforced.
         let mut real = self.lock_real();
@@ -672,6 +737,8 @@ impl ShiftedSparseLuCache {
     pub fn factor_complex(&self, lambda: Complex) -> Result<Arc<SparseZLu>> {
         if !self.enabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.metrics.misses.inc();
+            let _span = span!("shift_factor_sparse");
             return Ok(Arc::new(SparseZLu::factor_shifted(
                 &self.symbolic,
                 &self.base,
@@ -682,14 +749,19 @@ impl ShiftedSparseLuCache {
         if let Some(entry) = self.lock_complex().get_mut(&key) {
             entry.last_used = self.next_tick();
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.hits.inc();
             return Ok(Arc::clone(&entry.value));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let lu = Arc::new(SparseZLu::factor_shifted(
-            &self.symbolic,
-            &self.base,
-            lambda,
-        )?);
+        self.metrics.misses.inc();
+        let lu = {
+            let _span = span!("shift_factor_sparse");
+            Arc::new(SparseZLu::factor_shifted(
+                &self.symbolic,
+                &self.base,
+                lambda,
+            )?)
+        };
         let tick = self.next_tick();
         let insert = |complex: &mut ComplexLruMap| {
             Arc::clone(
@@ -780,6 +852,7 @@ impl Clone for ShiftedSparseLuCache {
             capacity: self.capacity,
             tick: AtomicUsize::new(self.tick.load(Ordering::Relaxed)),
             evictions: AtomicUsize::new(self.evictions()),
+            metrics: self.metrics.clone(),
         }
     }
 }

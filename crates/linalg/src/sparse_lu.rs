@@ -343,6 +343,7 @@ fn factor_core<T: LuScalar>(
     order: &[usize],
     tau: f64,
 ) -> Result<Factors<T>> {
+    let _span = vamor_obs::span!("sparse_lu_factor");
     let mut lp = Vec::with_capacity(n + 1);
     lp.push(0usize);
     let mut li: Vec<usize> = Vec::new();

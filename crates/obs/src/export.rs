@@ -1,0 +1,314 @@
+//! Trace exporters: self-time summary, Chrome `trace_event` JSON and
+//! folded flamegraph stacks — all over the drained [`SpanRecord`] list.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::span::SpanRecord;
+
+/// Aggregate of one span name across the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Span name (leaf of the folded path).
+    pub name: String,
+    /// Times a span with this name closed.
+    pub count: u64,
+    /// Total (inclusive) nanoseconds.
+    pub total_ns: u64,
+    /// Self (exclusive) nanoseconds: total minus the total of direct
+    /// children, aggregated over every distinct path ending in this name.
+    pub self_ns: u64,
+}
+
+/// Per-path totals: `path -> (count, total_ns)`.
+fn path_totals(records: &[SpanRecord]) -> BTreeMap<&str, (u64, u64)> {
+    let mut totals: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for r in records {
+        let e = totals.entry(r.path.as_str()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += r.dur_ns;
+    }
+    totals
+}
+
+fn parent_of(path: &str) -> Option<&str> {
+    path.rfind(';').map(|i| &path[..i])
+}
+
+fn leaf_of(path: &str) -> &str {
+    path.rfind(';').map_or(path, |i| &path[i + 1..])
+}
+
+/// Self (exclusive) nanoseconds per distinct path: the path's total minus
+/// the totals of its direct children. Concurrent children (worker threads
+/// running under one parent) can sum past the parent's inclusive time; the
+/// result saturates at zero rather than going negative.
+pub fn self_times(records: &[SpanRecord]) -> BTreeMap<String, u64> {
+    let totals = path_totals(records);
+    let mut child_sum: BTreeMap<&str, u64> = BTreeMap::new();
+    for (path, (_, total)) in &totals {
+        if let Some(parent) = parent_of(path) {
+            *child_sum.entry(parent).or_insert(0) += total;
+        }
+    }
+    totals
+        .iter()
+        .map(|(path, (_, total))| {
+            let children = child_sum.get(path).copied().unwrap_or(0);
+            (path.to_string(), total.saturating_sub(children))
+        })
+        .collect()
+}
+
+/// Aggregates the trace by span name, sorted by self time, largest first.
+pub fn summary(records: &[SpanRecord]) -> Vec<SummaryRow> {
+    let totals = path_totals(records);
+    let selfs = self_times(records);
+    let mut by_name: BTreeMap<&str, SummaryRow> = BTreeMap::new();
+    for (path, (count, total)) in &totals {
+        let name = leaf_of(path);
+        let row = by_name.entry(name).or_insert_with(|| SummaryRow {
+            name: name.to_string(),
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+        });
+        row.count += count;
+        row.total_ns += total;
+        row.self_ns += selfs.get(*path).copied().unwrap_or(0);
+    }
+    let mut rows: Vec<SummaryRow> = by_name.into_values().collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    rows
+}
+
+/// Renders the summary as a fixed-width table. Percentages are of the
+/// summed self time (= the wall time the trace accounts for, single-thread;
+/// parallel sections can push the sum past wall).
+pub fn render_summary_table(rows: &[SummaryRow]) -> String {
+    let total_self: u64 = rows.iter().map(|r| r.self_ns).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>12} {:>12} {:>7}",
+        "span", "count", "total ms", "self ms", "self %"
+    );
+    for r in rows {
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            100.0 * r.self_ns as f64 / total_self as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12.3} {:>12.3} {:>6.1}%",
+            r.name,
+            r.count,
+            r.total_ns as f64 / 1e6,
+            r.self_ns as f64 / 1e6,
+            pct
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>12} {:>12.3} {:>6.1}%",
+        "(accounted self time)",
+        "",
+        "",
+        total_self as f64 / 1e6,
+        100.0
+    );
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the trace as Chrome `trace_event` JSON (the "JSON Array
+/// Format" wrapped in `traceEvents`, complete `"X"` duration events,
+/// microsecond timestamps) — loadable in `chrome://tracing` and Perfetto.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{}\", \"cat\": \"vamor\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"path\": \"{}\"}}}}",
+            json_escape(r.name),
+            r.start_ns as f64 / 1e3,
+            r.dur_ns as f64 / 1e3,
+            r.thread,
+            json_escape(&r.path)
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+/// Renders the trace as folded stacks (`path;leaf <self µs>` per line),
+/// the input format of `flamegraph.pl` / `inferno-flamegraph`.
+pub fn folded_stacks(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for (path, self_ns) in self_times(records) {
+        let us = self_ns / 1_000;
+        if us == 0 {
+            continue;
+        }
+        let _ = writeln!(out, "{path} {us}");
+    }
+    out
+}
+
+/// Minimal structural check of a Chrome trace produced by
+/// [`chrome_trace_json`] (used by the schema test and the CI trace lane):
+/// balanced braces/brackets, a `traceEvents` array, and every event
+/// carrying the required keys. Returns the event count.
+///
+/// # Errors
+///
+/// A human-readable description of the first structural violation.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let trimmed = text.trim();
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return Err("trace is not a JSON object".into());
+    }
+    let mut depth = 0i64;
+    let mut bracket = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in trimmed.chars() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            '[' => bracket += 1,
+            ']' => bracket -= 1,
+            _ => {}
+        }
+        if depth < 0 || bracket < 0 {
+            return Err("unbalanced braces/brackets".into());
+        }
+    }
+    if depth != 0 || bracket != 0 || in_string {
+        return Err("unterminated object, array or string".into());
+    }
+    let Some(events_at) = trimmed.find("\"traceEvents\"") else {
+        return Err("missing \"traceEvents\" key".into());
+    };
+    let body = &trimmed[events_at..];
+    let mut count = 0usize;
+    for part in body.split("{\"name\"").skip(1) {
+        for key in ["\"ph\"", "\"ts\"", "\"dur\"", "\"tid\"", "\"pid\""] {
+            if !part.split('}').next().unwrap_or("").contains(key) {
+                return Err(format!("event {count} is missing {key}"));
+            }
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &'static str, path: &str, thread: u32, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            path: path.to_string(),
+            thread,
+            depth: path.matches(';').count() as u16,
+            start_ns: start,
+            dur_ns: dur,
+        }
+    }
+
+    fn sample() -> Vec<SpanRecord> {
+        vec![
+            rec("chain", "reduce;chain", 0, 10, 300),
+            rec("chain", "reduce;chain", 1, 20, 500),
+            rec("project", "reduce;project", 0, 400, 100),
+            rec("reduce", "reduce", 0, 0, 1000),
+        ]
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let selfs = self_times(&sample());
+        assert_eq!(selfs["reduce"], 1000 - (300 + 500) - 100);
+        assert_eq!(selfs["reduce;chain"], 800);
+        assert_eq!(selfs["reduce;project"], 100);
+    }
+
+    #[test]
+    fn summary_merges_threads_and_sorts_by_self_time() {
+        let rows = summary(&sample());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "chain");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total_ns, 800);
+        let table = render_summary_table(&rows);
+        assert!(table.contains("chain"));
+        assert!(table.contains("accounted self time"));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_validation() {
+        let json = chrome_trace_json(&sample());
+        let n = validate_chrome_trace(&json).unwrap();
+        assert_eq!(n, 4);
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"tid\": 1"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_chrome_json() {
+        let json = chrome_trace_json(&[]);
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_torn_json() {
+        assert!(validate_chrome_trace("{\"traceEvents\": [").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+        let missing = "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"X\"}]}";
+        assert!(validate_chrome_trace(missing)
+            .unwrap_err()
+            .contains("missing"));
+    }
+
+    #[test]
+    fn folded_stacks_emit_self_microseconds() {
+        let records = vec![
+            rec("a", "a", 0, 0, 5_000_000),
+            rec("b", "a;b", 0, 0, 2_000_000),
+        ];
+        let folded = folded_stacks(&records);
+        assert!(folded.contains("a 3000"));
+        assert!(folded.contains("a;b 2000"));
+    }
+}

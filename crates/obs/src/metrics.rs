@@ -1,0 +1,411 @@
+//! Process-wide metrics registry: named counters, gauges and log₂-bucket
+//! histograms, snapshotted as a [`MetricsSnapshot`].
+//!
+//! The registry is the single home for workspace telemetry — the four
+//! per-run stats structs (`ReductionStats`, `SessionStats`, `SolverStats`,
+//! `LrAdiStats`) publish into it, event-level sites (shift-cache hits,
+//! budget evictions, band solves) increment counters directly, and the
+//! bench harness embeds a per-experiment snapshot into its JSON baseline.
+//!
+//! Hot paths must resolve their handle once (`counter(...)` takes the
+//! registry mutex) and keep it — an increment through a held handle is one
+//! atomic add. [`reset`] zeroes every value while keeping registrations, so
+//! long-lived handles stay valid across per-experiment windows.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// A monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`. Unset (or [`reset`]) gauges
+/// read `NaN` and are omitted from snapshots.
+#[derive(Clone)]
+pub struct GaugeHandle(Arc<AtomicU64>);
+
+impl GaugeHandle {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (`NaN` when never set since the last reset).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` holds values with
+/// `floor(log2(v)) + 1 == i` (bucket 0 holds zero).
+const BUCKETS: usize = 64;
+
+/// A log₂-bucket histogram over `u64` samples (typically nanoseconds).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    fn record(&self, value: u64) {
+        let b = Self::bucket_of(value).min(BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Per-bucket counts (log₂ buckets; see [`Histogram`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0 when empty).
+    /// Bucket resolution is a factor of two — good enough for "where did
+    /// the time go", not for SLO math.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+}
+
+/// Returns (registering on first use) the counter named `name`. Resolve
+/// once per hot path and keep the handle.
+pub fn counter(name: &'static str) -> CounterHandle {
+    let mut map = registry()
+        .counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    CounterHandle(
+        map.entry(name)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone(),
+    )
+}
+
+/// Returns (registering on first use) the gauge named `name`.
+pub fn gauge(name: &'static str) -> GaugeHandle {
+    let mut map = registry().gauges.lock().unwrap_or_else(|e| e.into_inner());
+    GaugeHandle(
+        map.entry(name)
+            .or_insert_with(|| Arc::new(AtomicU64::new(f64::NAN.to_bits())))
+            .clone(),
+    )
+}
+
+/// A histogram recorder. Cloning shares the underlying buckets.
+#[derive(Clone)]
+pub struct HistogramHandle(Arc<Histogram>);
+
+impl HistogramHandle {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.record(value);
+    }
+}
+
+/// Returns (registering on first use) the histogram named `name`.
+pub fn histogram(name: &'static str) -> HistogramHandle {
+    let mut map = registry()
+        .histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    HistogramHandle(
+        map.entry(name)
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone(),
+    )
+}
+
+/// Zeroes every registered metric (counters to 0, gauges to unset,
+/// histograms emptied) while keeping registrations — held handles stay
+/// valid. The bench harness calls this between experiments so each
+/// snapshot covers exactly one experiment window.
+pub fn reset() {
+    let reg = registry();
+    for c in reg
+        .counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
+        c.store(0, Ordering::Relaxed);
+    }
+    for g in reg
+        .gauges
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
+        g.store(f64::NAN.to_bits(), Ordering::Relaxed);
+    }
+    for h in reg
+        .histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
+        h.reset();
+    }
+}
+
+/// A point-in-time copy of the whole registry. Zero counters, unset gauges
+/// and empty histograms are omitted — a snapshot shows what the window
+/// actually touched.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter with a non-zero value.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge set since the last reset.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` for every histogram with samples.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Captures the current registry state.
+    pub fn capture() -> MetricsSnapshot {
+        let reg = registry();
+        let counters = reg
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, c)| (name.to_string(), c.load(Ordering::Relaxed)))
+            .filter(|(_, v)| *v != 0)
+            .collect();
+        let gauges = reg
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, g)| (name.to_string(), f64::from_bits(g.load(Ordering::Relaxed))))
+            .filter(|(_, v)| !v.is_nan())
+            .collect();
+        let histograms = reg
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, h)| (name.to_string(), h.snapshot()))
+            .filter(|(_, s)| s.count > 0)
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Value of a counter, when present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge, when present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Renders the snapshot as a JSON object (hand-rolled, like the rest of
+    /// the workspace). `indent` is prepended to every inner line; the
+    /// opening brace is not indented so the object can sit after a key.
+    pub fn to_json(&self, indent: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let mut first_section = true;
+        if !self.counters.is_empty() {
+            first_section = false;
+            let _ = write!(out, "\n{indent}  \"counters\": {{");
+            for (i, (name, v)) in self.counters.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(out, "{sep}\n{indent}    \"{name}\": {v}");
+            }
+            let _ = write!(out, "\n{indent}  }}");
+        }
+        if !self.gauges.is_empty() {
+            let sep = if first_section { "" } else { "," };
+            first_section = false;
+            let _ = write!(out, "{sep}\n{indent}  \"gauges\": {{");
+            for (i, (name, v)) in self.gauges.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(out, "{sep}\n{indent}    \"{name}\": {v:.6e}");
+            }
+            let _ = write!(out, "\n{indent}  }}");
+        }
+        if !self.histograms.is_empty() {
+            let sep = if first_section { "" } else { "," };
+            first_section = false;
+            let _ = write!(out, "{sep}\n{indent}  \"histograms\": {{");
+            for (i, (name, h)) in self.histograms.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(
+                    out,
+                    "{sep}\n{indent}    \"{name}\": {{\"count\": {}, \"mean\": {:.3e}, \"p50\": {}, \"p90\": {}, \"max\": {}}}",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.9),
+                    h.max
+                );
+            }
+            let _ = write!(out, "\n{indent}  }}");
+        }
+        if first_section {
+            out.push('}');
+        } else {
+            let _ = write!(out, "\n{indent}}}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Registry-global tests live in `tests/obs.rs` behind one serializing
+    // mutex; here only the pure bucket/quantile math is covered.
+
+    #[test]
+    fn bucket_of_is_floor_log2_plus_one() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = Histogram::new();
+        for v in [1u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max, 1000);
+        assert!(s.quantile(0.0) >= 1);
+        assert!(s.quantile(0.5) <= 4);
+        assert!(s.quantile(1.0) >= 1000);
+        assert!((s.mean() - (1.0 + 1.0 + 2.0 + 3.0 + 100.0 + 1000.0) / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_inert() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

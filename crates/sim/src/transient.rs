@@ -229,6 +229,23 @@ pub struct SolverStats {
     pub pivot_recoveries: usize,
 }
 
+impl SolverStats {
+    /// Folds this run's counters into the workspace metrics registry under
+    /// the `transient.*` names (called once per simulation, so the registry
+    /// lookups here are off any hot path).
+    pub fn publish(&self) {
+        vamor_obs::counter("transient.runs").inc();
+        vamor_obs::counter("transient.steps").add(self.steps as u64);
+        vamor_obs::counter("transient.newton_iterations").add(self.newton_iterations as u64);
+        vamor_obs::counter("transient.jacobian_factorizations")
+            .add(self.jacobian_factorizations as u64);
+        vamor_obs::counter("transient.sparse_factorizations")
+            .add(self.sparse_factorizations as u64);
+        vamor_obs::counter("transient.rejected_steps").add(self.rejected_steps as u64);
+        vamor_obs::counter("transient.pivot_recoveries").add(self.pivot_recoveries as u64);
+    }
+}
+
 /// Result of a transient simulation.
 #[derive(Debug, Clone)]
 pub struct TransientResult {
@@ -382,6 +399,7 @@ fn simulate_impl(
     control: Option<&RunControl>,
     hook: Option<&BudgetHook<'_>>,
 ) -> Result<TransientResult> {
+    let _span = vamor_obs::span!("transient_sim");
     opts.validate(system, input)?;
     let implicit = matches!(
         opts.method,
@@ -474,6 +492,7 @@ fn simulate_impl(
         }
     }
 
+    stats.publish();
     Ok(TransientResult {
         times,
         outputs,
@@ -519,6 +538,7 @@ fn simulate_adaptive(
     // Consecutive comfortably-small error estimates before a doubling: one
     // quiet step right after a front is not yet a trend.
     let mut calm_streak = 0usize;
+    // vamor: allow(span-coverage, reason = "runs under the transient_sim span opened by simulate_impl, its only caller")
     while t < opts.t_end - 1e-12 * opts.dt {
         if let Some(c) = control {
             if c.checkpoint_with("transient-step", t).is_err() {
@@ -571,6 +591,7 @@ fn simulate_adaptive(
             calm_streak = 0;
         }
     }
+    stats.publish();
     Ok(TransientResult {
         times,
         outputs,

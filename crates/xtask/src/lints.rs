@@ -1,4 +1,4 @@
-//! The four project-specific lints.
+//! The five project-specific lints.
 //!
 //! All passes work on the [`FileModel`] token stream; none of them look at
 //! comment or string contents, and all of them skip `#[cfg(test)]` /
@@ -15,6 +15,7 @@ pub const PANIC_FREEDOM: &str = "panic-freedom";
 pub const CHECKPOINT_COVERAGE: &str = "checkpoint-coverage";
 pub const LOCK_DISCIPLINE: &str = "lock-discipline";
 pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+pub const SPAN_COVERAGE: &str = "span-coverage";
 
 /// Keywords that can directly precede `[` without forming an index
 /// expression (`let [a, b] = ...`, `return [x]`, `in [1, 2]`, ...).
@@ -186,6 +187,96 @@ pub fn checkpoint_coverage(model: &FileModel, file: &Path) -> Vec<Finding> {
         }
     }
     out
+}
+
+/// L5 — span coverage. A checkpoint-carrying loop is by definition a solver
+/// hot path (it opted into the cooperative stop protocol), so it must also
+/// run under an observability span or `--trace` silently loses its wall
+/// time. In any non-test function taking `RunControl`, every *outermost*
+/// `for`/`while`/`loop` whose body calls `checkpoint*` must have a
+/// `span!(...)` open — either inside the loop body or anywhere in the
+/// enclosing function body (entry spans cover all their loops).
+pub fn span_coverage(model: &FileModel, file: &Path) -> Vec<Finding> {
+    let toks = model.tokens();
+    let mut out = Vec::new();
+    for f in &model.fns {
+        if f.in_test {
+            continue;
+        }
+        if !toks[f.params.0..f.params.1]
+            .iter()
+            .any(|t| t.is_ident("RunControl"))
+        {
+            continue;
+        }
+        let Some((body_open, body_close)) = f.body else {
+            continue;
+        };
+        let nested_fn_bodies: Vec<(usize, usize)> = model
+            .fns
+            .iter()
+            .filter(|g| g.kw_idx != f.kw_idx)
+            .filter_map(|g| g.body)
+            .filter(|&(s, e)| s > body_open && e <= body_close)
+            .collect();
+        let fn_has_span = (body_open..body_close)
+            .filter(|&i| !nested_fn_bodies.iter().any(|&(s, e)| i >= s && i < e))
+            .any(|i| is_span_open(toks, i));
+        if fn_has_span {
+            continue;
+        }
+        let mut loops: Vec<(usize, (usize, usize))> = Vec::new();
+        let mut i = body_open + 1;
+        while i < body_close {
+            if nested_fn_bodies.iter().any(|&(s, e)| i >= s && i < e) {
+                i += 1;
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind == TokKind::Ident
+                && (t.text == "for" || t.text == "while" || t.text == "loop")
+            {
+                if let Some(body) = loop_body(toks, &model.matching, i, body_close) {
+                    loops.push((i, body));
+                }
+            }
+            i += 1;
+        }
+        for &(kw, (open, close)) in &loops {
+            let checkpoints = toks[open..close]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text.starts_with("checkpoint"));
+            if !checkpoints {
+                continue;
+            }
+            let outermost = !loops
+                .iter()
+                .any(|&(other_kw, (s, e))| other_kw != kw && kw > s && kw < e);
+            if !outermost {
+                continue; // the enclosing loop carries the finding
+            }
+            out.push(Finding::new(
+                SPAN_COVERAGE,
+                file,
+                toks[kw].line,
+                toks[kw].col,
+                format!(
+                    "checkpoint-carrying `{}` loop in `{}` runs outside any span: open a \
+                     `vamor_obs::span!` here (or at the function entry) so `--trace` accounts \
+                     for this hot path",
+                    toks[kw].text, f.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Recognizes a span opening at token `i`: the `span` ident of a `span!`
+/// macro invocation (bare or path-qualified — the macro name is the last
+/// path segment either way).
+fn is_span_open(toks: &[Tok], i: usize) -> bool {
+    toks[i].is_ident("span") && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
 }
 
 /// Finds the `{` opening a loop body, skipping parenthesized/bracketed
@@ -580,6 +671,58 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 7);
         assert!(f[0].message.contains("while"));
+    }
+
+    #[test]
+    fn span_coverage_flags_unspanned_checkpoint_loops() {
+        let src = r#"
+            fn sweep(control: &RunControl) -> Result<()> {
+                for i in 0..n {
+                    control.checkpoint("sweep")?;
+                }
+                for j in 0..m { work(j); }
+                Ok(())
+            }
+            fn plain(v: &[f64]) { for x in v { checkpoint_free(x); } }
+        "#;
+        let f = run(src, span_coverage);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("sweep"));
+        assert!(f[0].message.contains("span"));
+    }
+
+    #[test]
+    fn span_coverage_entry_or_loop_span_covers() {
+        let src = r#"
+            fn entry_span(control: &RunControl) -> Result<()> {
+                let _s = vamor_obs::span!("sweep");
+                for i in 0..n { control.checkpoint("sweep")?; }
+                Ok(())
+            }
+            fn loop_span(control: &RunControl) -> Result<()> {
+                for i in 0..n {
+                    let _s = span!("step");
+                    control.checkpoint("step")?;
+                }
+                Ok(())
+            }
+        "#;
+        assert!(run(src, span_coverage).is_empty());
+    }
+
+    #[test]
+    fn span_coverage_ignores_nested_fn_spans() {
+        let src = r#"
+            fn outer(control: &RunControl) -> Result<()> {
+                fn helper() { let _s = span!("inner"); }
+                while running() { control.checkpoint("outer")?; }
+                Ok(())
+            }
+        "#;
+        let f = run(src, span_coverage);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("outer"));
     }
 
     #[test]

@@ -24,17 +24,22 @@ pub struct AnalyzeConfig {
 }
 
 impl AnalyzeConfig {
-    /// The vamor solver surface (see ISSUE/README): linalg + core + sim
-    /// sources, indexing checks on the cache/control/par orchestration
+    /// The vamor solver surface (see ISSUE/README): linalg + core + sim +
+    /// obs sources, indexing checks on the cache/control/par orchestration
     /// modules, lock discipline on `shift_cache.rs` and the session shared
     /// state (`budget.rs`, `session.rs`), allocation checks on the four
     /// kernel files.
     pub fn vamor() -> Self {
         AnalyzeConfig {
-            panic_dirs: ["crates/linalg/src", "crates/core/src", "crates/sim/src"]
-                .iter()
-                .map(PathBuf::from)
-                .collect(),
+            panic_dirs: [
+                "crates/linalg/src",
+                "crates/core/src",
+                "crates/sim/src",
+                "crates/obs/src",
+            ]
+            .iter()
+            .map(PathBuf::from)
+            .collect(),
             index_file_names: ["shift_cache.rs", "control.rs", "fault.rs", "par.rs"]
                 .iter()
                 .map(|s| s.to_string())
@@ -114,6 +119,7 @@ pub fn analyze(root: &Path, cfg: &AnalyzeConfig) -> std::io::Result<Vec<Finding>
         let check_indexing = cfg.index_file_names.contains(&file_name);
         let mut file_findings = lints::panic_freedom(&model, &rel, check_indexing);
         file_findings.extend(lints::checkpoint_coverage(&model, &rel));
+        file_findings.extend(lints::span_coverage(&model, &rel));
         if cfg.lock_files.contains(&rel) {
             file_findings.extend(lints::lock_discipline(&model, &rel));
         }
@@ -189,7 +195,8 @@ mod tests {
     #[test]
     fn vamor_config_names_the_solver_surface() {
         let cfg = AnalyzeConfig::vamor();
-        assert_eq!(cfg.panic_dirs.len(), 3);
+        assert_eq!(cfg.panic_dirs.len(), 4);
+        assert!(cfg.panic_dirs.contains(&PathBuf::from("crates/obs/src")));
         assert_eq!(cfg.lock_files.len(), 3);
         assert!(cfg
             .lock_files

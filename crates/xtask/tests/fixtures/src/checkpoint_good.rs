@@ -3,6 +3,7 @@
 //! an allowed bookkeeping loop.
 
 fn covered(control: &RunControl, items: &[f64]) -> Result<f64, String> {
+    let _span = vamor_obs::span!("stage");
     let mut acc = 0.0;
     for x in items {
         control.checkpoint("stage")?;
@@ -12,6 +13,7 @@ fn covered(control: &RunControl, items: &[f64]) -> Result<f64, String> {
 }
 
 fn helper_covered(control: Option<&RunControl>, items: &[f64]) -> Result<f64, String> {
+    let _span = vamor_obs::span!("stage");
     let mut acc = 0.0;
     for x in items {
         checkpoint_stage(control, "stage")?;

@@ -1,0 +1,20 @@
+//! Known-bad span-coverage fixture: a checkpoint-carrying loop with no
+//! span anywhere in its function, next to a checkpoint-free loop the
+//! lint must skip.
+
+fn sweep(control: &RunControl, items: &[f64]) -> Result<f64, String> {
+    let mut acc = 0.0;
+    for x in items {
+        control.checkpoint("sweep")?;
+        acc += x;
+    }
+    Ok(acc)
+}
+
+fn bookkeeping(items: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in items {
+        acc += x;
+    }
+    acc
+}

@@ -1,0 +1,32 @@
+//! Known-good span-coverage fixture: an entry span covering a whole
+//! function, a span opened inside the loop body, and an allowed
+//! delegation case where the caller owns the span.
+
+fn entry_span(control: &RunControl, items: &[f64]) -> Result<f64, String> {
+    let _span = vamor_obs::span!("sweep");
+    let mut acc = 0.0;
+    for x in items {
+        control.checkpoint("sweep")?;
+        acc += x;
+    }
+    Ok(acc)
+}
+
+fn loop_span(control: &RunControl, items: &[f64]) -> Result<f64, String> {
+    let mut acc = 0.0;
+    for x in items {
+        let _span = span!("step");
+        control.checkpoint("step")?;
+        acc += x;
+    }
+    Ok(acc)
+}
+
+fn allowed_delegation(control: &RunControl) -> Result<(), String> {
+    // vamor: allow(span-coverage, reason = "fixture: caller opens the span")
+    loop {
+        control.checkpoint("spin")?;
+        break;
+    }
+    Ok(())
+}

@@ -83,8 +83,33 @@ fn checkpoint_coverage_accepts_checkpoints_helpers_and_allows() {
     // `covered` (direct checkpoint), `helper_covered` (checkpoint_stage),
     // and `no_control` are clean; only the allowed bookkeeping loop shows.
     assert_eq!(f.len(), 1);
-    assert_eq!((f[0].line, f[0].col), (34, 5));
+    assert_eq!((f[0].line, f[0].col), (36, 5));
     assert_eq!(f[0].allowed.as_deref(), Some("fixture: bookkeeping loop"));
+}
+
+#[test]
+fn span_coverage_flags_unspanned_hot_loops() {
+    let f = findings_for("span_bad.rs");
+    assert!(f.iter().all(|x| x.lint == "span-coverage"));
+    // Only the checkpoint-carrying loop in `sweep` fires; `bookkeeping`
+    // has no checkpoint (and no RunControl) so it is not a hot path.
+    assert_eq!(spans(&f), vec![(7, 5)]);
+    assert!(f[0].message.contains("`sweep`"));
+    assert!(f[0].message.contains("span"));
+    assert!(f[0].allowed.is_none());
+}
+
+#[test]
+fn span_coverage_accepts_spans_and_allows() {
+    let f = findings_for("span_good.rs");
+    // Entry spans and loop-body spans silence the lint; the delegation
+    // case surfaces as an allowed finding with its audit reason.
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!((f[0].line, f[0].col), (27, 5));
+    assert_eq!(
+        f[0].allowed.as_deref(),
+        Some("fixture: caller opens the span")
+    );
 }
 
 #[test]
