@@ -38,13 +38,23 @@
 //!
 //! Observability: `--trace` turns the workspace span subsystem on for the
 //! whole run and prints a per-span self-time table (plus the share of the
-//! reduction wall time the reduce spans account for). `--trace-out <path>`
-//! additionally writes the full span tree as Chrome `trace_event` JSON
-//! (loadable in `chrome://tracing` / Perfetto) and `--flame-out <path>`
-//! writes folded stacks for `flamegraph.pl` / `inferno-flamegraph`; both
-//! imply `--trace`. Independently of tracing, every experiment runs inside
-//! its own metrics window and the snapshot lands in the JSON under a
-//! top-level `"metrics"` object keyed by experiment name.
+//! reduction and transient-simulation wall time the top-level spans
+//! account for). `--trace-out <path>` additionally writes the full span
+//! tree as Chrome `trace_event` JSON (loadable in `chrome://tracing` /
+//! Perfetto) and `--flame-out <path>` writes folded stacks for
+//! `flamegraph.pl` / `inferno-flamegraph`; both imply `--trace`.
+//! Independently of tracing, every experiment runs inside its own metrics
+//! window and the snapshot lands in the JSON under a top-level `"metrics"`
+//! object keyed by experiment name.
+//!
+//! Numerical health: `--report <dir>` captures the convergence event
+//! stream (ADI sweeps, greedy probes, degradations, Newton steps, …) per
+//! experiment and writes a `RunReport` as `<dir>/<experiment>.json` plus a
+//! self-contained `<dir>/<experiment>.html` with inline-SVG convergence
+//! curves, a degradation timeline, and health gauges. Because the report
+//! exists to explain the production low-rank solve path, `--report`
+//! implies the adaptive driver and defaults the figure reductions to the
+//! low-rank engine unless `--engine` is given explicitly.
 //!
 //! Checkpoint/resume: `--checkpoint-dir <dir>` makes the adaptive run write
 //! a versioned, checksummed checkpoint after every accepted move, so a
@@ -70,7 +80,7 @@ use vamor_bench::{
 use vamor_core::{ReductionEngine, SolverBackend};
 
 /// PR number stamped into the emitted baseline snapshot.
-const PR_NUMBER: u32 = 9;
+const PR_NUMBER: u32 = 10;
 
 struct Sizes {
     fig2_stages: usize,
@@ -117,7 +127,7 @@ fn main() -> ExitCode {
     // `--adaptive` replaces every hand-pinned fig2–fig5 configuration with
     // the adaptive driver: each experiment keeps only its input band and
     // residual tolerance (see `vamor_bench::fig2_adaptive_spec` etc.).
-    let adaptive = args.iter().any(|a| a == "--adaptive");
+    let mut adaptive = args.iter().any(|a| a == "--adaptive");
     // Linear-solver backend toggle for the gate: `--sparse` / `--dense`
     // force every reduction and full-model transient onto one backend;
     // the default `Auto` picks dense below 256 states.
@@ -139,7 +149,8 @@ fn main() -> ExitCode {
     // automatic, low-rank from 512 states). The `lowrank` experiment always
     // runs the low-rank engine and `perf`/`scaling` always measure the
     // dense machinery — they are engine benchmarks, not toggled consumers.
-    let engine = match args.iter().position(|a| a == "--engine") {
+    let engine_forced = args.iter().any(|a| a == "--engine");
+    let mut engine = match args.iter().position(|a| a == "--engine") {
         Some(i) => match args.get(i + 1).map(String::as_str) {
             Some("dense") => ReductionEngine::DenseSchur,
             Some("lowrank") => ReductionEngine::LowRank,
@@ -232,6 +243,28 @@ fn main() -> ExitCode {
         None => None,
     };
     let trace = args.iter().any(|a| a == "--trace") || trace_out.is_some() || flame_out.is_some();
+    // `--report <dir>`: per-experiment numerical-health run reports (JSON +
+    // self-contained HTML) assembled from the event stream, the metrics
+    // snapshot, and the span trace. The report documents the production
+    // low-rank solve path, so it implies the adaptive driver and — unless
+    // the user forced one — the low-rank reduction engine; a dense Schur
+    // solve has no ADI sweeps or greedy moves to plot.
+    let report_dir = match args.iter().position(|a| a == "--report") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(PathBuf::from(path)),
+            _ => {
+                eprintln!("--report requires a directory argument");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if report_dir.is_some() {
+        adaptive = true;
+        if !engine_forced {
+            engine = ReductionEngine::LowRank;
+        }
+    }
     let mut which: Vec<&str> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -247,6 +280,7 @@ fn main() -> ExitCode {
             || a == "--checkpoint-dir"
             || a == "--trace-out"
             || a == "--flame-out"
+            || a == "--report"
         {
             skip_next = true;
             continue;
@@ -267,9 +301,19 @@ fn main() -> ExitCode {
         Sizes::paper()
     };
 
-    if trace {
+    // Both `--trace` and `--report` need the span subsystem; reports drain
+    // it per experiment, so the footer sums over the accumulated records.
+    let capture_spans = trace || report_dir.is_some();
+    if capture_spans {
         vamor_obs::install();
     }
+    if let Some(dir) = &report_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("--report: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut all_spans: Vec<vamor_obs::SpanRecord> = Vec::new();
 
     let mut table1_rows: Vec<(String, TransientComparison)> = Vec::new();
     let mut metrics_blocks: Vec<(String, String)> = Vec::new();
@@ -282,6 +326,9 @@ fn main() -> ExitCode {
         // Each experiment gets its own metrics window; the snapshot taken
         // after the run lands in the JSON under `"metrics".<experiment>`.
         vamor_obs::metrics::reset();
+        if report_dir.is_some() {
+            vamor_obs::event::install();
+        }
         let outcome = match *experiment {
             "fig2" => {
                 fig2_voltage_line_with(sizes.fig2_stages, sizes.dt, backend, engine, adaptive).map(
@@ -516,6 +563,37 @@ fn main() -> ExitCode {
             }
         }
         let snap = vamor_obs::MetricsSnapshot::capture();
+        if capture_spans {
+            // Drain per experiment so each run report only sees its own
+            // spans, then re-arm the tracer for the next experiment.
+            let mut spans = vamor_obs::take_trace();
+            vamor_obs::install();
+            if let Some(dir) = &report_dir {
+                let log = vamor_obs::event::take();
+                let report = vamor_obs::report::RunReport::build(experiment, &log, &snap, &spans);
+                let json_file = dir.join(format!("{experiment}.json"));
+                let html_file = dir.join(format!("{experiment}.html"));
+                if let Err(e) = std::fs::write(&json_file, report.to_json()) {
+                    eprintln!("--report: failed to write {}: {e}", json_file.display());
+                    return ExitCode::FAILURE;
+                }
+                if let Err(e) = std::fs::write(&html_file, report.to_html()) {
+                    eprintln!("--report: failed to write {}: {e}", html_file.display());
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "wrote {} + .html ({} events{})",
+                    json_file.display(),
+                    log.records.len(),
+                    if log.dropped > 0 {
+                        format!(", {} dropped", log.dropped)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            all_spans.append(&mut spans);
+        }
         if !(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty()) {
             metrics_blocks.push(((*experiment).to_string(), snap.to_json("    ")));
         }
@@ -526,7 +604,7 @@ fn main() -> ExitCode {
     }
 
     if trace {
-        let records = vamor_obs::take_trace();
+        let records = all_spans;
         let rows = vamor_obs::export::summary(&records);
         println!("\n== Span self-time summary (--trace) ==");
         print!("{}", vamor_obs::export::render_summary_table(&rows));
@@ -561,6 +639,35 @@ fn main() -> ExitCode {
                 "reduce spans carry {:.3} s inclusive (run mixes figure and non-figure \
                  experiments, so no wall-coverage ratio is reported)",
                 accounted as f64 / 1e9
+            );
+        }
+        // Same attribution for the transient-simulation wall: the
+        // externally-timed sim_full/sim_proposed/sim_norm walls must be
+        // covered by the top-level `transient_sim` spans.
+        let sim_accounted: u64 = records
+            .iter()
+            .filter(|r| r.depth == 0 && r.name == "transient_sim")
+            .map(|r| r.dur_ns)
+            .sum();
+        let sim_wall: f64 = json_rows
+            .iter()
+            .map(|(_, c)| {
+                c.timings.sim_full.as_secs_f64()
+                    + c.timings.sim_proposed.as_secs_f64()
+                    + c.timings.sim_norm.as_secs_f64()
+            })
+            .sum();
+        if sim_wall > 0.0 && figures_only {
+            println!(
+                "transient spans account for {:.1}% of the {:.3} s simulation wall time",
+                100.0 * sim_accounted as f64 / 1e9 / sim_wall,
+                sim_wall
+            );
+        } else if sim_accounted > 0 {
+            println!(
+                "transient spans carry {:.3} s inclusive (run mixes figure and non-figure \
+                 experiments, so no wall-coverage ratio is reported)",
+                sim_accounted as f64 / 1e9
             );
         }
         if let Some(path) = &trace_out {
@@ -636,10 +743,11 @@ fn run_overhead_guard() -> Result<(), String> {
         let r = vamor_bench::trace_overhead(5).map_err(|e| e.to_string())?;
         println!("\n== Tracing overhead guard (tline35 reduce, best of 5) ==");
         println!(
-            "uninstrumented {:.3} ms, instrumented {:.3} ms ({} spans): ratio {:.3}{}",
+            "uninstrumented {:.3} ms, instrumented {:.3} ms ({} spans, {} events): ratio {:.3}{}",
             r.uninstrumented.as_secs_f64() * 1e3,
             r.instrumented.as_secs_f64() * 1e3,
             r.spans_recorded,
+            r.events_recorded,
             r.ratio(),
             if attempt > 0 { " (retry)" } else { "" }
         );

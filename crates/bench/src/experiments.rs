@@ -722,6 +722,10 @@ pub struct TraceOverheadReport {
     /// Spans recorded during the instrumented repeats (sanity: must be > 0,
     /// otherwise the "instrumented" phase measured nothing).
     pub spans_recorded: usize,
+    /// Numerical-health events recorded during the instrumented repeats —
+    /// the event subscriber is armed alongside the span subscriber, so the
+    /// overhead ratio bounds both layers at once.
+    pub events_recorded: usize,
 }
 
 impl TraceOverheadReport {
@@ -731,11 +735,12 @@ impl TraceOverheadReport {
     }
 }
 
-/// Measures the span-subsystem overhead on the tline35 acceptance reduce:
-/// best-of-`repeats` wall with tracing disabled, then with the subscriber
-/// installed. Toggles the process-global tracer — the previous trace buffer
-/// is drained before and after, so callers running under `--trace` lose
-/// their subscriber (the reproduce driver runs this standalone).
+/// Measures the observability overhead on the tline35 acceptance reduce:
+/// best-of-`repeats` wall with tracing disabled, then with both the span
+/// subscriber and the numerical-health event subscriber installed and
+/// recording. Toggles the process-global tracer — the previous trace
+/// buffer is drained before and after, so callers running under `--trace`
+/// lose their subscriber (the reproduce driver runs this standalone).
 ///
 /// # Errors
 ///
@@ -758,12 +763,15 @@ pub fn trace_overhead(repeats: usize) -> Result<TraceOverheadReport> {
     let _ = vamor_obs::take_trace();
     let uninstrumented = run_best()?;
     vamor_obs::install();
+    vamor_obs::event::install();
     let instrumented = run_best()?;
     let spans_recorded = vamor_obs::take_trace().len();
+    let events_recorded = vamor_obs::event::take().records.len();
     Ok(TraceOverheadReport {
         uninstrumented,
         instrumented,
         spans_recorded,
+        events_recorded,
     })
 }
 

@@ -1,0 +1,102 @@
+//! End-to-end smoke of the `--report` pipeline: run one figure experiment
+//! the way `reproduce --report` does (adaptive driver, low-rank engine,
+//! events + spans + metrics armed), build the [`RunReport`], and validate
+//! the artifact contract CI's report lane depends on — non-empty ADI and
+//! greedy convergence curves, a degradation timeline consistent with the
+//! event stream, well-formed JSON, and a self-contained HTML document.
+//!
+//! The subscribers are process-global, so everything lives in one `#[test]`.
+
+use vamor_bench::fig3_current_line_with;
+use vamor_core::{ReductionEngine, SolverBackend};
+use vamor_obs::report::RunReport;
+use vamor_obs::Event;
+
+#[test]
+fn run_report_over_a_lowrank_adaptive_figure_is_well_formed() {
+    vamor_obs::metrics::reset();
+    vamor_obs::install();
+    vamor_obs::event::install();
+    let comparison = fig3_current_line_with(
+        20,
+        0.02,
+        SolverBackend::Auto,
+        ReductionEngine::LowRank,
+        true,
+    )
+    .expect("small fig3 runs");
+    let spans = vamor_obs::take_trace();
+    let log = vamor_obs::event::take();
+    let snap = vamor_obs::MetricsSnapshot::capture();
+    let report = RunReport::build("fig3", &log, &snap, &spans);
+
+    // The curves the acceptance criterion names must be non-empty: the
+    // low-rank engine ran LR-ADI sweeps and the adaptive driver ran a
+    // greedy search.
+    assert!(
+        !report.adi.is_empty(),
+        "low-rank fig3 must produce ADI residual points"
+    );
+    assert!(
+        !report.greedy.is_empty(),
+        "adaptive fig3 must produce greedy evaluations"
+    );
+    assert!(
+        !report.greedy_descent().is_empty(),
+        "at least the initial reduction is an accepted move"
+    );
+    assert!(report.events_total > 0 && report.events_dropped == 0);
+    assert!(report.spans_total > 0, "span subsystem was armed");
+
+    // Degradation timeline ↔ event stream consistency by construction.
+    let event_degradations = log
+        .records
+        .iter()
+        .filter(|r| matches!(r.event, Event::Degradation { .. }))
+        .count();
+    assert_eq!(report.degradation.len(), event_degradations);
+
+    // The adaptive summaries of the comparison and the report describe the
+    // same searches: every accepted move (proposed and NORM variant alike)
+    // is a greedy point, plus one initial reduction per search.
+    let accepted = report.greedy_descent().len();
+    let summary = comparison
+        .adaptive
+        .as_ref()
+        .expect("adaptive run carries a summary");
+    let expected = (summary.moves + 1)
+        + comparison
+            .adaptive_norm
+            .as_ref()
+            .map(|s| s.moves + 1)
+            .unwrap_or(0);
+    assert_eq!(
+        accepted, expected,
+        "accepted greedy events = accepted moves + one initial per search"
+    );
+
+    // JSON artifact: schema-stamped, balanced, and numeric where CI probes.
+    let json = report.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"schema\": \"vamor.run_report.v1\""));
+    assert!(json.contains("\"adi_residual\""));
+    assert!(json.contains("\"greedy\""));
+    assert!(json.contains("\"degradation\""));
+    assert!(json.contains("\"health\""));
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes, "balanced JSON object braces");
+
+    // HTML artifact: one self-contained document, inline SVG, no external
+    // references.
+    let html = report.to_html();
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.contains("<svg"), "charts are inline SVG");
+    // Self-contained: the only URL-shaped string is the SVG namespace
+    // identifier, which no browser fetches.
+    let externals = html
+        .match_indices("http")
+        .filter(|(i, _)| !html[*i..].starts_with("http://www.w3.org/2000/svg"))
+        .count();
+    assert_eq!(externals, 0, "no external references in the HTML");
+}

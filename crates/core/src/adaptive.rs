@@ -1424,6 +1424,12 @@ impl AdaptiveReducer {
             full_model_solves,
             stop: StopReason::IterationBudget,
         };
+        vamor_obs::event!(vamor_obs::Event::GreedyAccept {
+            mv: AdaptiveMove::Initial.name(),
+            order: order_of(&rom) as u32,
+            residual: res.max(),
+            gain: 0.0,
+        });
         let on_accept = hooks.and_then(|h| h.on_accept);
         // Resume-by-replay: the accepted moves of the checkpointed run are
         // pure `apply` transitions plus one deterministic reduction each, so
@@ -1451,6 +1457,12 @@ impl AdaptiveReducer {
                 order: order_of(&rom),
                 residual: res,
                 gain_per_column: gain,
+            });
+            vamor_obs::event!(vamor_obs::Event::GreedyAccept {
+                mv: mv.name(),
+                order: order_of(&rom) as u32,
+                residual: res.max(),
+                gain,
             });
         }
         if let Some(f) = on_accept {
@@ -1494,11 +1506,25 @@ impl AdaptiveReducer {
                     Ok(rom2) => rom2,
                     Err(MorError::Linalg(LinalgError::Interrupted(cause))) => {
                         trace.evaluations += 1;
+                        vamor_obs::event!(vamor_obs::Event::GreedyProbe {
+                            mv: mv.name(),
+                            order: 0,
+                            residual: f64::INFINITY,
+                            gain: 0.0,
+                            outcome: vamor_obs::event::ProbeOutcome::Interrupted,
+                        });
                         trace.stop = StopReason::from_cause(Some(cause));
                         return Ok(AdaptiveOutcome { rom, trace });
                     }
                     Err(_) => {
                         trace.evaluations += 1;
+                        vamor_obs::event!(vamor_obs::Event::GreedyProbe {
+                            mv: mv.name(),
+                            order: 0,
+                            residual: f64::INFINITY,
+                            gain: 0.0,
+                            outcome: vamor_obs::event::ProbeOutcome::Failed,
+                        });
                         continue;
                     }
                 };
@@ -1506,6 +1532,13 @@ impl AdaptiveReducer {
                 let order2 = order_of(&rom2);
                 if order2 > self.spec.max_order {
                     saw_over_budget = true;
+                    vamor_obs::event!(vamor_obs::Event::GreedyProbe {
+                        mv: mv.name(),
+                        order: order2 as u32,
+                        residual: f64::INFINITY,
+                        gain: 0.0,
+                        outcome: vamor_obs::event::ProbeOutcome::OverBudget,
+                    });
                     continue;
                 }
                 // Hurwitz is enforced along the whole accepted path: a probe
@@ -1513,12 +1546,26 @@ impl AdaptiveReducer {
                 // two-sided pairing collapsing to a marginal 1-dim ROM) is
                 // never taken, however good its band residual looks.
                 if !stable_of(&rom2) {
+                    vamor_obs::event!(vamor_obs::Event::GreedyProbe {
+                        mv: mv.name(),
+                        order: order2 as u32,
+                        residual: f64::INFINITY,
+                        gain: 0.0,
+                        outcome: vamor_obs::event::ProbeOutcome::Unstable,
+                    });
                     continue;
                 }
                 saw_valid_probe = true;
                 let res2 = residual_of(&rom2)?;
                 let added = order2.saturating_sub(order).max(1);
                 let gain = (res.max() - res2.max()) / added as f64;
+                vamor_obs::event!(vamor_obs::Event::GreedyProbe {
+                    mv: mv.name(),
+                    order: order2 as u32,
+                    residual: res2.max(),
+                    gain,
+                    outcome: vamor_obs::event::ProbeOutcome::Viable,
+                });
                 let better = match &best {
                     None => true,
                     Some((_, _, _, best_res, best_gain)) => {
@@ -1553,6 +1600,12 @@ impl AdaptiveReducer {
                 order: order_of(&rom),
                 residual: res,
                 gain_per_column: gain,
+            });
+            vamor_obs::event!(vamor_obs::Event::GreedyAccept {
+                mv: mv.name(),
+                order: order_of(&rom) as u32,
+                residual: res.max(),
+                gain,
             });
             // Greedy-move checkpoint: the accepted path so far is durable
             // before the next (expensive, killable) probe round starts.

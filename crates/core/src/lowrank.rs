@@ -171,6 +171,7 @@ impl LowRankDiagnostics {
         self.absorb(stats.iterations, stats.residual, basis_dim);
         self.adi_shift_reselections += stats.shift_reselections;
         if !(stats.residual.is_finite() && stats.residual <= tol) {
+            // vamor: allow(degradation-events, reason = "aggregation, not detection: the LR-ADI solver already emitted `adi_nonconverged` at its own tail; this re-derives the count from its published stats")
             self.adi_nonconverged += 1;
         }
     }
@@ -236,6 +237,10 @@ fn g1_factor(csr: &CsrMatrix, sparse: bool) -> Result<(G1Factor, PivotRecovery)>
             Err(LinalgError::Singular(_)) => {
                 recovery.escalations = 2;
                 recovery.dense_fallback = true;
+                vamor_obs::event!(vamor_obs::Event::Degradation {
+                    rung: vamor_obs::event::DegradationRung::DenseFallback,
+                    detail: recovery.escalations as f64,
+                });
             }
             Err(e) => return Err(MorError::Linalg(e)),
         }

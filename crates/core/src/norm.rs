@@ -313,6 +313,13 @@ impl NormReducer {
         }
         stats.deflated = basis.deflated_count();
         stats.nonfinite_deflated = basis.nonfinite_count();
+        if stats.deflated > 0 {
+            vamor_obs::event!(vamor_obs::Event::Deflation {
+                context: "basis",
+                dropped: stats.deflated as u32,
+                tol: self.deflation_tol,
+            });
+        }
         let accumulated = basis.to_matrix().map_err(MorError::Linalg)?;
         let (qtil, dropped) = reorthonormalize(&accumulated, self.qr_condition_cap)?;
         stats.qr_dropped = dropped;

@@ -818,6 +818,10 @@ impl ReductionSession {
     fn quarantine(&self, fp: u64) {
         self.quarantined.fetch_add(1, Ordering::Relaxed);
         self.metrics.quarantined.inc();
+        vamor_obs::event!(vamor_obs::Event::CacheQuarantine {
+            context: "session",
+            entries: 1,
+        });
         self.lock_registry().remove(&fp);
         self.budget.release(STAMP_BUDGET_OWNER, fp);
     }

@@ -1,0 +1,80 @@
+//! Event↔trace consistency (ISSUE 10): the adaptive driver's
+//! `AdaptiveTrace` and the numerical-health event stream describe the same
+//! run — every accepted move in the trace appears as a `greedy_accept`
+//! event (same move name, same order), in the same order, and the probe
+//! events account for every evaluation the trace counted.
+//!
+//! The event subscriber is process-global; this file keeps all
+//! event-installing assertions inside one `#[test]` so the harness's test
+//! threads cannot interleave two capture windows.
+
+use vamor_circuits::TransmissionLine;
+use vamor_core::{AdaptiveReducer, AdaptiveSpec, FrequencyBand};
+use vamor_obs::Event;
+
+#[test]
+fn accepted_moves_appear_in_the_event_stream() {
+    let line = TransmissionLine::current_driven(35).unwrap();
+    let band = FrequencyBand::new(0.05, 6.0).unwrap();
+    let spec = AdaptiveSpec::new(band, 1e-3).with_max_order(30);
+
+    vamor_obs::event::install();
+    let outcome = AdaptiveReducer::new(spec).reduce(line.qldae()).unwrap();
+    let log = vamor_obs::event::take();
+    assert_eq!(log.dropped, 0, "default sink bound must fit a tline35 run");
+
+    let accepts: Vec<(&str, u32)> = log
+        .records
+        .iter()
+        .filter_map(|r| match &r.event {
+            Event::GreedyAccept { mv, order, .. } => Some((*mv, *order)),
+            _ => None,
+        })
+        .collect();
+    let probes = log
+        .records
+        .iter()
+        .filter(|r| matches!(r.event, Event::GreedyProbe { .. }))
+        .count();
+
+    // Every trace step (including the Initial head entry) has its accept
+    // event, in the same order with the same move names and orders.
+    let trace = &outcome.trace;
+    assert_eq!(
+        accepts.len(),
+        trace.steps.len(),
+        "trace has {} steps but the stream carries {} greedy_accept events",
+        trace.steps.len(),
+        accepts.len()
+    );
+    for (step, (mv, order)) in trace.steps.iter().zip(&accepts) {
+        assert_eq!(step.mv.name(), *mv, "move-name mismatch");
+        assert_eq!(step.order as u32, *order, "order mismatch for {mv}");
+    }
+
+    // The trace counts the initial reduction plus every probe as an
+    // evaluation; probe events cover exactly the probes.
+    assert_eq!(
+        probes + 1,
+        trace.evaluations,
+        "probe events must account for every evaluation"
+    );
+
+    // Residuals on the accept events reproduce the trace's descent.
+    let accept_residuals: Vec<f64> = log
+        .records
+        .iter()
+        .filter_map(|r| match &r.event {
+            Event::GreedyAccept { residual, .. } => Some(*residual),
+            _ => None,
+        })
+        .collect();
+    for (step, res) in trace.steps.iter().zip(&accept_residuals) {
+        assert!(
+            (step.residual.max() - res).abs() <= 1e-12 * step.residual.max().abs().max(1.0),
+            "residual mismatch: trace {:.6e} vs event {:.6e}",
+            step.residual.max(),
+            res
+        );
+    }
+}

@@ -263,6 +263,12 @@ impl MemoryBudget {
                 self.metrics.charges.inc();
                 self.metrics.evictions.add(evicted.len() as u64);
                 self.metrics.resident_bytes.set(ledger.used as f64);
+                if !evicted.is_empty() {
+                    vamor_obs::event!(vamor_obs::Event::BudgetEviction {
+                        evicted: evicted.len() as u32,
+                        bytes: evicted.iter().map(|r| r.bytes as u64).sum(),
+                    });
+                }
                 return Err(BudgetError::Exhausted {
                     requested: bytes,
                     capacity: ledger.capacity,
@@ -284,6 +290,12 @@ impl MemoryBudget {
         self.metrics.charges.inc();
         self.metrics.evictions.add(evicted.len() as u64);
         self.metrics.resident_bytes.set(ledger.used as f64);
+        if !evicted.is_empty() {
+            vamor_obs::event!(vamor_obs::Event::BudgetEviction {
+                evicted: evicted.len() as u32,
+                bytes: evicted.iter().map(|r| r.bytes as u64).sum(),
+            });
+        }
         Ok(evicted)
     }
 

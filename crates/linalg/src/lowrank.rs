@@ -790,6 +790,8 @@ fn lr_adi_pairs_impl(
     let mut best_residual = f64::INFINITY;
     let mut stalled_for = 0usize;
     let mut reselections = 0usize;
+    let mut sweep_no = 0u32;
+    let mut cols_so_far = 0usize;
     while iterations < opts.max_iterations {
         let _sweep = vamor_obs::span!("adi_sweep");
         if let Some(c) = control {
@@ -838,7 +840,21 @@ fn lr_adi_pairs_impl(
             }
         }
         iterations += shift.steps();
+        cols_so_far += shift.steps() * b.cols();
         residual = gram_sq_norm(&w).sqrt() / rhs_norm;
+        let (shift_re, shift_im) = match shift {
+            AdiShift::Real(p) => (p, 0.0),
+            AdiShift::ComplexPair(mu) => (mu.re, mu.im),
+        };
+        vamor_obs::event!(vamor_obs::Event::AdiSweep {
+            solver: "lr_adi",
+            sweep: sweep_no,
+            rank: cols_so_far as u32,
+            residual,
+            shift_re,
+            shift_im,
+        });
+        sweep_no += 1;
         if residual <= opts.tol {
             break;
         }
@@ -853,6 +869,10 @@ fn lr_adi_pairs_impl(
             if stalled_for >= stall_window {
                 if reselections < opts.stall_recoveries {
                     reselections += 1;
+                    vamor_obs::event!(vamor_obs::Event::Degradation {
+                        rung: vamor_obs::event::DegradationRung::AdiShiftReselection,
+                        detail: residual,
+                    });
                     stalled_for = 0;
                     perturb_shift_pool(&mut pool, reselections);
                     cursor = 0;
@@ -880,8 +900,14 @@ fn lr_adi_pairs_impl(
         shift_reselections: reselections,
     };
     stats.publish();
-    if opts.strict && (!residual.is_finite() || residual > opts.tol) {
-        return Err(LinalgError::AdiNonConvergence { stats });
+    if !residual.is_finite() || residual > opts.tol {
+        vamor_obs::event!(vamor_obs::Event::Degradation {
+            rung: vamor_obs::event::DegradationRung::AdiNonConverged,
+            detail: residual,
+        });
+        if opts.strict {
+            return Err(LinalgError::AdiNonConvergence { stats });
+        }
     }
     Ok(LrAdiSolution { z, stats })
 }
@@ -1024,6 +1050,14 @@ fn fadi_impl(
         wv.axpy(2.0 * p, &yi);
         iterations += 1;
         residual = product_sq_norm(&wu, &wv).sqrt() / rhs_norm;
+        vamor_obs::event!(vamor_obs::Event::AdiSweep {
+            solver: "fadi",
+            sweep: (iterations - 1) as u32,
+            rank: ublocks.iter().map(Matrix::cols).sum::<usize>() as u32,
+            residual,
+            shift_re: p,
+            shift_im: 0.0,
+        });
         if residual <= opts.tol {
             break;
         }
@@ -1035,6 +1069,10 @@ fn fadi_impl(
             if stalled_for >= stall_window {
                 if reselections < opts.stall_recoveries {
                     reselections += 1;
+                    vamor_obs::event!(vamor_obs::Event::Degradation {
+                        rung: vamor_obs::event::DegradationRung::AdiShiftReselection,
+                        detail: residual,
+                    });
                     stalled_for = 0;
                     let f = 1.0 + 0.5 * reselections as f64;
                     for (k, q) in pool.iter_mut().enumerate() {
@@ -1063,8 +1101,14 @@ fn fadi_impl(
         shift_reselections: reselections,
     };
     stats.publish();
-    if opts.strict && (!residual.is_finite() || residual > opts.tol) {
-        return Err(LinalgError::AdiNonConvergence { stats });
+    if !residual.is_finite() || residual > opts.tol {
+        vamor_obs::event!(vamor_obs::Event::Degradation {
+            rung: vamor_obs::event::DegradationRung::AdiNonConverged,
+            detail: residual,
+        });
+        if opts.strict {
+            return Err(LinalgError::AdiNonConvergence { stats });
+        }
     }
     Ok(FadiSolution { u, v, stats })
 }

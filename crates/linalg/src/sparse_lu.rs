@@ -660,6 +660,10 @@ impl SparseLu {
                 Ok(f) => return Ok((f, escalations)),
                 Err(e @ LinalgError::Singular(_)) => {
                     escalations += 1;
+                    vamor_obs::event!(vamor_obs::Event::Degradation {
+                        rung: vamor_obs::event::DegradationRung::PivotEscalation,
+                        detail: tau,
+                    });
                     last = Some(e);
                 }
                 Err(e) => return Err(e),
@@ -864,6 +868,10 @@ impl LuFactor {
                 Err(LinalgError::Singular(_)) => {
                     recovery.escalations = 2;
                     recovery.dense_fallback = true;
+                    vamor_obs::event!(vamor_obs::Event::Degradation {
+                        rung: vamor_obs::event::DegradationRung::DenseFallback,
+                        detail: recovery.escalations as f64,
+                    });
                 }
                 Err(e) => return Err(e),
             }

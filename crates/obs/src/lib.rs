@@ -22,18 +22,32 @@
 //!   [`metrics::CounterHandle`] once (registry lookup takes a mutex) and
 //!   then increment a bare atomic.
 //!
+//! - **Events** ([`event`]): `event!(Event::AdiSweep { .. })`-style typed
+//!   numerical-health records — per-sweep ADI residuals, greedy move
+//!   scores, degradation rungs, Newton accept/reject decisions. Same
+//!   no-subscriber design as spans (one relaxed load, payload never built),
+//!   per-thread buffers, and a *bounded* sink with dropped-event
+//!   accounting. [`report`] folds a drained event log, a metrics snapshot
+//!   and a span trace into a per-experiment [`report::RunReport`] rendered
+//!   as JSON or a self-contained HTML page with inline SVG charts.
+//!
 //! [`export`] renders a drained trace as a self-time summary table, Chrome
 //! `trace_event` JSON (load in `chrome://tracing` / Perfetto) or folded
 //! flamegraph stacks (`inferno` / `flamegraph.pl` compatible).
 //!
 //! Instrumentation across the workspace rides the existing `RunControl`
 //! checkpoint seams: every `*_controlled` loop that checkpoints also opens a
-//! span (enforced by the `cargo xtask analyze` `span-coverage` lint).
+//! span (enforced by the `cargo xtask analyze` `span-coverage` lint), and
+//! every degradation-ladder rung also emits its event (the
+//! `degradation-events` lint).
 
+pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod report;
 pub mod span;
 
+pub use event::{Event, EventLog, EventRecord};
 pub use metrics::{
     counter, gauge, histogram, CounterHandle, GaugeHandle, HistogramHandle, MetricsSnapshot,
 };
@@ -52,5 +66,27 @@ pub use span::{install, take_trace, tracing_enabled, SpanGuard, SpanRecord};
 macro_rules! span {
     ($name:expr) => {
         $crate::span::SpanGuard::enter($name)
+    };
+}
+
+/// Records a typed numerical-health event when an event subscriber is
+/// installed.
+///
+/// ```
+/// vamor_obs::event!(vamor_obs::Event::Degradation {
+///     rung: vamor_obs::event::DegradationRung::DenseFallback,
+///     detail: 0.0,
+/// });
+/// ```
+///
+/// The payload expression is evaluated only when a subscriber is installed
+/// — with events off, a site costs one relaxed atomic load and never
+/// constructs the event.
+#[macro_export]
+macro_rules! event {
+    ($event:expr) => {
+        if $crate::event::events_enabled() {
+            $crate::event::emit($event);
+        }
     };
 }

@@ -122,12 +122,19 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let count: u64 = buckets.iter().sum();
-        HistogramSnapshot {
+        let mut snap = HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
             buckets,
-        }
+            p50: 0,
+            p90: 0,
+            p99: 0,
+        };
+        snap.p50 = snap.quantile(0.5);
+        snap.p90 = snap.quantile(0.9);
+        snap.p99 = snap.quantile(0.99);
+        snap
     }
 }
 
@@ -142,6 +149,12 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Per-bucket counts (log₂ buckets; see [`Histogram`]).
     pub buckets: Vec<u64>,
+    /// Median, to bucket resolution ([`HistogramSnapshot::quantile`]).
+    pub p50: u64,
+    /// 90th percentile, to bucket resolution.
+    pub p90: u64,
+    /// 99th percentile, to bucket resolution.
+    pub p99: u64,
 }
 
 impl HistogramSnapshot {
@@ -349,11 +362,13 @@ impl MetricsSnapshot {
                 let sep = if i == 0 { "" } else { "," };
                 let _ = write!(
                     out,
-                    "{sep}\n{indent}    \"{name}\": {{\"count\": {}, \"mean\": {:.3e}, \"p50\": {}, \"p90\": {}, \"max\": {}}}",
+                    "{sep}\n{indent}    \"{name}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.3e}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
                     h.count,
+                    h.sum,
                     h.mean(),
-                    h.quantile(0.5),
-                    h.quantile(0.9),
+                    h.p50,
+                    h.p90,
+                    h.p99,
                     h.max
                 );
             }
@@ -397,6 +412,10 @@ mod tests {
         assert!(s.quantile(0.0) >= 1);
         assert!(s.quantile(0.5) <= 4);
         assert!(s.quantile(1.0) >= 1000);
+        assert_eq!(s.p50, s.quantile(0.5));
+        assert_eq!(s.p90, s.quantile(0.9));
+        assert_eq!(s.p99, s.quantile(0.99));
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
         assert!((s.mean() - (1.0 + 1.0 + 2.0 + 3.0 + 100.0 + 1000.0) / 6.0).abs() < 1e-9);
     }
 

@@ -1,0 +1,980 @@
+//! The per-experiment run report: event stream + metrics snapshot + span
+//! trace folded into one "explain this run" artifact.
+//!
+//! [`RunReport::build`] walks a drained [`EventLog`] once and sorts the
+//! typed events into convergence curves (ADI residual vs sweep, band
+//! residual vs greedy move, step-size trajectory), a degradation timeline,
+//! and cache/restart tallies; the metrics snapshot contributes the health
+//! gauges (spectral abscissa, final ADI residual, moment-magnitude peak)
+//! and the span trace contributes wall attribution. Rendering is
+//! hand-rolled like everything else in this workspace: [`RunReport::to_json`]
+//! emits a stable `vamor.run_report.v1` document and [`RunReport::to_html`]
+//! a self-contained single-file page with inline SVG charts — no scripts,
+//! no external assets, openable from a CI artifact.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventLog};
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRecord;
+
+/// Schema tag stamped into the JSON document; bump on breaking change.
+pub const SCHEMA: &str = "vamor.run_report.v1";
+
+/// One ADI sweep on a residual-vs-sweep curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdiPoint {
+    /// `"lr_adi"` or `"fadi"`.
+    pub solver: &'static str,
+    /// Cumulative sweep index across every solve of this run (curve x).
+    pub index: u32,
+    /// Sweep index within its own solve.
+    pub sweep: u32,
+    /// Factor columns after the sweep.
+    pub rank: u32,
+    /// Relative residual after the sweep (curve y).
+    pub residual: f64,
+    /// Shift consumed by the sweep.
+    pub shift_re: f64,
+    /// Imaginary part of the shift.
+    pub shift_im: f64,
+}
+
+/// One greedy evaluation on the descent curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyPoint {
+    /// `AdaptiveMove` name.
+    pub mv: &'static str,
+    /// Candidate reduced order.
+    pub order: u32,
+    /// Band residual of the candidate.
+    pub residual: f64,
+    /// Residual gain per added column.
+    pub gain: f64,
+    /// Probe outcome name (accepted steps are `"accepted"`).
+    pub outcome: &'static str,
+    /// True for the accepted descent steps, false for probes.
+    pub accepted: bool,
+}
+
+/// One transient integrator step on the step-size trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepPoint {
+    /// Simulation time at the start of the step.
+    pub t: f64,
+    /// Step size attempted.
+    pub dt: f64,
+    /// Newton iterations consumed.
+    pub iterations: u32,
+    /// Whether the step was accepted.
+    pub accepted: bool,
+}
+
+/// One rung on the degradation timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationPoint {
+    /// Offset from the trace epoch, milliseconds.
+    pub time_ms: f64,
+    /// Rung name ([`crate::event::DegradationRung::name`]).
+    pub rung: &'static str,
+    /// Rung-specific scalar detail.
+    pub detail: f64,
+}
+
+/// One spectral-guard restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartPoint {
+    /// Offset from the trace epoch, milliseconds.
+    pub time_ms: f64,
+    /// Restart ordinal within its reduction.
+    pub restart: u32,
+    /// Offending spectral abscissa.
+    pub abscissa: f64,
+    /// Projection dimension after the drop.
+    pub dim: u32,
+}
+
+/// A named health gauge with a pass/attention verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthGauge {
+    /// Gauge name (metrics-registry key).
+    pub name: String,
+    /// Last recorded value.
+    pub value: f64,
+    /// False when the value signals trouble (e.g. non-Hurwitz abscissa).
+    pub healthy: bool,
+}
+
+/// The folded per-experiment report. See the module docs for provenance.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Experiment name (`fig4`, `tline35`, ...).
+    pub experiment: String,
+    /// ADI residual vs sweep, in emission order.
+    pub adi: Vec<AdiPoint>,
+    /// Every greedy evaluation (probes and accepted steps), emission order.
+    pub greedy: Vec<GreedyPoint>,
+    /// Step-size trajectory of the transient stepper.
+    pub steps: Vec<StepPoint>,
+    /// Degradation-ladder rungs in time order.
+    pub degradation: Vec<DegradationPoint>,
+    /// Spectral-guard restarts in time order.
+    pub restarts: Vec<RestartPoint>,
+    /// Directions deflated across the run (summed over deflation events).
+    pub deflated: u64,
+    /// Budget-eviction events (count, bytes reclaimed).
+    pub evictions: (u64, u64),
+    /// Cache entries quarantined.
+    pub quarantined: u64,
+    /// Health gauges pulled from the metrics snapshot.
+    pub health: Vec<HealthGauge>,
+    /// Events folded into the report.
+    pub events_total: usize,
+    /// Events lost to the bounded sink — non-zero means truncated curves.
+    pub events_dropped: u64,
+    /// Spans in the trace slice handed to the builder.
+    pub spans_total: usize,
+    /// Total wall of depth-0 spans, nanoseconds (the attributed run wall).
+    pub span_wall_ns: u64,
+    /// The metrics snapshot, re-emitted verbatim in the JSON document.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+impl RunReport {
+    /// Folds one experiment's event log, metrics snapshot and span trace
+    /// into a report. Events arrive sorted by sequence number (the
+    /// [`crate::event::take`] contract); curves preserve that order.
+    pub fn build(
+        experiment: &str,
+        events: &EventLog,
+        metrics: &MetricsSnapshot,
+        spans: &[SpanRecord],
+    ) -> RunReport {
+        let mut report = RunReport {
+            experiment: experiment.to_string(),
+            events_total: events.records.len(),
+            events_dropped: events.dropped,
+            spans_total: spans.len(),
+            span_wall_ns: spans
+                .iter()
+                .filter(|s| s.depth == 0)
+                .map(|s| s.dur_ns)
+                .sum(),
+            ..RunReport::default()
+        };
+        let mut adi_index = 0u32;
+        for record in &events.records {
+            let time_ms = record.time_ns as f64 / 1e6;
+            match record.event {
+                Event::AdiSweep {
+                    solver,
+                    sweep,
+                    rank,
+                    residual,
+                    shift_re,
+                    shift_im,
+                } => {
+                    report.adi.push(AdiPoint {
+                        solver,
+                        index: adi_index,
+                        sweep,
+                        rank,
+                        residual,
+                        shift_re,
+                        shift_im,
+                    });
+                    adi_index += 1;
+                }
+                Event::GreedyProbe {
+                    mv,
+                    order,
+                    residual,
+                    gain,
+                    outcome,
+                } => report.greedy.push(GreedyPoint {
+                    mv,
+                    order,
+                    residual,
+                    gain,
+                    outcome: outcome.name(),
+                    accepted: false,
+                }),
+                Event::GreedyAccept {
+                    mv,
+                    order,
+                    residual,
+                    gain,
+                } => report.greedy.push(GreedyPoint {
+                    mv,
+                    order,
+                    residual,
+                    gain,
+                    outcome: "accepted",
+                    accepted: true,
+                }),
+                Event::NewtonStep {
+                    t,
+                    dt,
+                    iterations,
+                    accepted,
+                    ..
+                } => report.steps.push(StepPoint {
+                    t,
+                    dt,
+                    iterations,
+                    accepted,
+                }),
+                Event::Degradation { rung, detail } => report.degradation.push(DegradationPoint {
+                    time_ms,
+                    rung: rung.name(),
+                    detail,
+                }),
+                Event::SpectralRestart {
+                    restart,
+                    abscissa,
+                    dim,
+                } => report.restarts.push(RestartPoint {
+                    time_ms,
+                    restart,
+                    abscissa,
+                    dim,
+                }),
+                Event::Deflation { dropped, .. } => report.deflated += dropped as u64,
+                Event::BudgetEviction { evicted, bytes } => {
+                    report.evictions.0 += evicted as u64;
+                    report.evictions.1 += bytes;
+                }
+                Event::CacheQuarantine { entries, .. } => report.quarantined += entries as u64,
+            }
+        }
+        report.health = health_gauges(metrics);
+        report.metrics = Some(metrics.clone());
+        report
+    }
+
+    /// The accepted-move descent (the subset of [`RunReport::greedy`] that
+    /// forms the residual-vs-move convergence curve).
+    pub fn greedy_descent(&self) -> Vec<&GreedyPoint> {
+        self.greedy.iter().filter(|p| p.accepted).collect()
+    }
+
+    /// Rung-name → count totals of the degradation timeline, for
+    /// consistency checks against `ReductionStats::degradation`.
+    pub fn degradation_totals(&self) -> Vec<(&'static str, usize)> {
+        let mut totals: Vec<(&'static str, usize)> = Vec::new();
+        for point in &self.degradation {
+            match totals.iter_mut().find(|(name, _)| *name == point.rung) {
+                Some((_, n)) => *n += 1,
+                None => totals.push((point.rung, 1)),
+            }
+        }
+        totals
+    }
+
+    /// The stable JSON document (`vamor.run_report.v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(
+            out,
+            "  \"experiment\": \"{}\",",
+            json_escape(&self.experiment)
+        );
+        let _ = writeln!(
+            out,
+            "  \"events\": {{\"total\": {}, \"dropped\": {}}},",
+            self.events_total, self.events_dropped
+        );
+        let _ = writeln!(
+            out,
+            "  \"spans\": {{\"total\": {}, \"wall_ns\": {}}},",
+            self.spans_total, self.span_wall_ns
+        );
+        out.push_str("  \"curves\": {\n");
+        out.push_str("    \"adi_residual\": [");
+        for (i, p) in self.adi.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n      {{\"solver\": \"{}\", \"index\": {}, \"sweep\": {}, \"rank\": {}, \
+                 \"residual\": {}, \"shift_re\": {}, \"shift_im\": {}}}",
+                p.solver,
+                p.index,
+                p.sweep,
+                p.rank,
+                json_f64(p.residual),
+                json_f64(p.shift_re),
+                json_f64(p.shift_im)
+            );
+        }
+        out.push_str(if self.adi.is_empty() {
+            "],\n"
+        } else {
+            "\n    ],\n"
+        });
+        out.push_str("    \"greedy\": [");
+        for (i, p) in self.greedy.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n      {{\"move\": \"{}\", \"order\": {}, \"residual\": {}, \"gain\": {}, \
+                 \"outcome\": \"{}\", \"accepted\": {}}}",
+                p.mv,
+                p.order,
+                json_f64(p.residual),
+                json_f64(p.gain),
+                p.outcome,
+                p.accepted
+            );
+        }
+        out.push_str(if self.greedy.is_empty() {
+            "],\n"
+        } else {
+            "\n    ],\n"
+        });
+        out.push_str("    \"step_size\": [");
+        for (i, p) in self.steps.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n      {{\"t\": {}, \"dt\": {}, \"iterations\": {}, \"accepted\": {}}}",
+                json_f64(p.t),
+                json_f64(p.dt),
+                p.iterations,
+                p.accepted
+            );
+        }
+        out.push_str(if self.steps.is_empty() {
+            "]\n"
+        } else {
+            "\n    ]\n"
+        });
+        out.push_str("  },\n");
+        out.push_str("  \"degradation\": [");
+        for (i, p) in self.degradation.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"time_ms\": {}, \"rung\": \"{}\", \"detail\": {}}}",
+                json_f64(p.time_ms),
+                p.rung,
+                json_f64(p.detail)
+            );
+        }
+        out.push_str(if self.degradation.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"restarts\": [");
+        for (i, p) in self.restarts.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"time_ms\": {}, \"restart\": {}, \"abscissa\": {}, \"dim\": {}}}",
+                json_f64(p.time_ms),
+                p.restart,
+                json_f64(p.abscissa),
+                p.dim
+            );
+        }
+        out.push_str(if self.restarts.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        let _ = writeln!(
+            out,
+            "  \"cache\": {{\"deflated\": {}, \"evictions\": {}, \"evicted_bytes\": {}, \
+             \"quarantined\": {}}},",
+            self.deflated, self.evictions.0, self.evictions.1, self.quarantined
+        );
+        out.push_str("  \"health\": {");
+        for (i, g) in self.health.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"value\": {}, \"healthy\": {}}}",
+                g.name,
+                json_f64(g.value),
+                g.healthy
+            );
+        }
+        out.push_str(if self.health.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        match &self.metrics {
+            Some(snapshot) => {
+                let _ = writeln!(out, "  \"metrics\": {}", snapshot.to_json("  "));
+            }
+            None => out.push_str("  \"metrics\": {}\n"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// The self-contained HTML page: inline SVG charts, inline CSS, no
+    /// scripts.
+    pub fn to_html(&self) -> String {
+        let mut body = String::new();
+        let _ = writeln!(
+            body,
+            "<h1>Run report · {}</h1>",
+            html_escape(&self.experiment)
+        );
+        let _ = writeln!(
+            body,
+            "<p class=\"meta\">{} events ({} dropped) · {} spans · attributed wall {:.3} s</p>",
+            self.events_total,
+            self.events_dropped,
+            self.spans_total,
+            self.span_wall_ns as f64 / 1e9
+        );
+        if self.events_dropped > 0 {
+            body.push_str(
+                "<p class=\"warn\">⚠ the event sink overflowed — curves below are truncated</p>\n",
+            );
+        }
+
+        // Health gauges first: the verdict panel.
+        body.push_str("<h2>Health</h2>\n<table><tr><th>gauge</th><th>value</th><th></th></tr>\n");
+        for g in &self.health {
+            let _ = writeln!(
+                body,
+                "<tr><td>{}</td><td>{:.6e}</td><td class=\"{}\">{}</td></tr>",
+                html_escape(&g.name),
+                g.value,
+                if g.healthy { "ok" } else { "bad" },
+                if g.healthy { "ok" } else { "attention" }
+            );
+        }
+        body.push_str("</table>\n");
+
+        body.push_str("<h2>ADI residual vs sweep</h2>\n");
+        if self.adi.is_empty() {
+            body.push_str("<p class=\"meta\">no low-rank solves in this run</p>\n");
+        } else {
+            let series: Vec<(String, Vec<(f64, f64)>)> = ["lr_adi", "fadi"]
+                .iter()
+                .filter_map(|solver| {
+                    let pts: Vec<(f64, f64)> = self
+                        .adi
+                        .iter()
+                        .filter(|p| p.solver == *solver)
+                        .map(|p| (p.index as f64, p.residual))
+                        .collect();
+                    (!pts.is_empty()).then(|| (solver.to_string(), pts))
+                })
+                .collect();
+            body.push_str(&svg_chart(&series, "sweep", "residual", true));
+        }
+
+        body.push_str("<h2>Greedy descent (band residual vs move)</h2>\n");
+        let descent = self.greedy_descent();
+        if descent.is_empty() {
+            body.push_str("<p class=\"meta\">no adaptive search in this run</p>\n");
+        } else {
+            let pts: Vec<(f64, f64)> = descent
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as f64, p.residual))
+                .collect();
+            body.push_str(&svg_chart(
+                &[("accepted".to_string(), pts)],
+                "accepted move",
+                "band residual",
+                true,
+            ));
+            body.push_str("<table><tr><th>#</th><th>move</th><th>order</th><th>residual</th><th>gain/col</th></tr>\n");
+            for (i, p) in descent.iter().enumerate() {
+                let _ = writeln!(
+                    body,
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{:.3e}</td><td>{:.3e}</td></tr>",
+                    i, p.mv, p.order, p.residual, p.gain
+                );
+            }
+            body.push_str("</table>\n");
+        }
+
+        body.push_str("<h2>Step-size trajectory</h2>\n");
+        if self.steps.is_empty() {
+            body.push_str("<p class=\"meta\">no transient steps in this run</p>\n");
+        } else {
+            let accepted: Vec<(f64, f64)> = self
+                .steps
+                .iter()
+                .filter(|p| p.accepted)
+                .map(|p| (p.t, p.dt))
+                .collect();
+            let rejected: Vec<(f64, f64)> = self
+                .steps
+                .iter()
+                .filter(|p| !p.accepted)
+                .map(|p| (p.t, p.dt))
+                .collect();
+            let mut series = vec![("dt (accepted)".to_string(), accepted)];
+            if !rejected.is_empty() {
+                series.push(("dt (rejected)".to_string(), rejected));
+            }
+            body.push_str(&svg_chart(&series, "t", "dt", true));
+            let rejections = self.steps.iter().filter(|p| !p.accepted).count();
+            let newton: u64 = self.steps.iter().map(|p| p.iterations as u64).sum();
+            let _ = writeln!(
+                body,
+                "<p class=\"meta\">{} steps recorded · {} rejected · {} Newton iterations</p>",
+                self.steps.len(),
+                rejections,
+                newton
+            );
+        }
+
+        body.push_str("<h2>Degradation timeline</h2>\n");
+        if self.degradation.is_empty() && self.restarts.is_empty() {
+            body.push_str(
+                "<p class=\"meta\">clean run — no degradation rungs, no spectral restarts</p>\n",
+            );
+        } else {
+            body.push_str("<table><tr><th>t (ms)</th><th>event</th><th>detail</th></tr>\n");
+            let mut rows: Vec<(f64, String, String)> = self
+                .degradation
+                .iter()
+                .map(|p| (p.time_ms, p.rung.to_string(), format!("{:.3e}", p.detail)))
+                .chain(self.restarts.iter().map(|p| {
+                    (
+                        p.time_ms,
+                        format!("spectral_restart #{}", p.restart),
+                        format!("abscissa {:.3e}, dim {}", p.abscissa, p.dim),
+                    )
+                }))
+                .collect();
+            rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            for (t, what, detail) in rows {
+                let _ = writeln!(
+                    body,
+                    "<tr><td>{t:.1}</td><td>{}</td><td>{}</td></tr>",
+                    html_escape(&what),
+                    html_escape(&detail)
+                );
+            }
+            body.push_str("</table>\n");
+        }
+
+        let _ = writeln!(
+            body,
+            "<h2>Caches</h2>\n<p class=\"meta\">{} directions deflated · {} budget evictions \
+             ({} bytes) · {} entries quarantined</p>",
+            self.deflated, self.evictions.0, self.evictions.1, self.quarantined
+        );
+
+        format!(
+            "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+             <title>Run report · {}</title>\n<style>\n{}\n</style></head>\n<body>\n{}</body></html>\n",
+            html_escape(&self.experiment),
+            CSS,
+            body
+        )
+    }
+}
+
+const CSS: &str = "body{font-family:system-ui,sans-serif;margin:2em auto;max-width:60em;\
+color:#222}h1,h2{font-weight:600}table{border-collapse:collapse;margin:0.5em 0}\
+td,th{border:1px solid #ccc;padding:0.25em 0.6em;text-align:right}th{background:#f2f2f2}\
+.meta{color:#666}.warn{color:#a40000;font-weight:600}.ok{color:#1a7f37}.bad{color:#a40000}\
+svg{background:#fafafa;border:1px solid #ddd;margin:0.5em 0}.legend{font-size:12px}";
+
+/// Gauges worth a verdict, with their health predicates. A gauge absent
+/// from the snapshot is skipped (the stage never ran).
+fn health_gauges(metrics: &MetricsSnapshot) -> Vec<HealthGauge> {
+    let mut out = Vec::new();
+    if let Some(v) = metrics.gauge("reduce.spectral_abscissa") {
+        // Negative abscissa = Hurwitz reduced model.
+        out.push(HealthGauge {
+            name: "reduce.spectral_abscissa".into(),
+            value: v,
+            healthy: v < 0.0,
+        });
+    }
+    if let Some(v) = metrics.gauge("adi.residual") {
+        out.push(HealthGauge {
+            name: "adi.residual".into(),
+            value: v,
+            healthy: v.is_finite() && v < 1.0,
+        });
+    }
+    if let Some(v) = metrics.gauge("reduce.moment_log10_peak") {
+        // Moment magnitudes beyond ~1e12 forecast ill-conditioned chains.
+        out.push(HealthGauge {
+            name: "reduce.moment_log10_peak".into(),
+            value: v,
+            healthy: v < 12.0,
+        });
+    }
+    if let Some(v) = metrics.gauge("reduce.projection_dim") {
+        out.push(HealthGauge {
+            name: "reduce.projection_dim".into(),
+            value: v,
+            healthy: v >= 1.0,
+        });
+    }
+    out
+}
+
+/// Renders one inline-SVG line chart. `series` is (label, points); with
+/// `logy` the y axis is log₁₀ (non-positive values clamped to the smallest
+/// positive point). Hand-rolled: polylines in a fixed 640×280 viewBox with
+/// min/max tick labels.
+fn svg_chart(
+    series: &[(String, Vec<(f64, f64)>)],
+    xlabel: &str,
+    ylabel: &str,
+    logy: bool,
+) -> String {
+    const W: f64 = 640.0;
+    const H: f64 = 280.0;
+    const ML: f64 = 70.0; // left margin for y labels
+    const MR: f64 = 15.0;
+    const MT: f64 = 15.0;
+    const MB: f64 = 40.0;
+    let colors = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd"];
+
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    let floor = all
+        .iter()
+        .map(|&(_, y)| y)
+        .filter(|y| *y > 0.0 && y.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let floor = if floor.is_finite() { floor } else { 1e-300 };
+    let ty = |y: f64| -> f64 {
+        if logy {
+            y.max(floor).log10()
+        } else {
+            y
+        }
+    };
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        if x.is_finite() {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+        }
+        let y = ty(y);
+        if y.is_finite() {
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if !(xmin.is_finite() && ymin.is_finite()) {
+        return String::new();
+    }
+    if xmax - xmin < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if ymax - ymin < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    let px = |x: f64| ML + (x - xmin) / (xmax - xmin) * (W - ML - MR);
+    let py = |y: f64| H - MB - (ty(y) - ymin) / (ymax - ymin) * (H - MT - MB);
+
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">\n"
+    );
+    // Axes.
+    let _ = writeln!(
+        svg,
+        "<line x1=\"{ML}\" y1=\"{MT}\" x2=\"{ML}\" y2=\"{}\" stroke=\"#999\"/>\
+         <line x1=\"{ML}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#999\"/>",
+        H - MB,
+        H - MB,
+        W - MR,
+        H - MB
+    );
+    let ylo = if logy {
+        format!("1e{:.0}", ymin.floor())
+    } else {
+        format!("{ymin:.3}")
+    };
+    let yhi = if logy {
+        format!("1e{:.0}", ymax.ceil())
+    } else {
+        format!("{ymax:.3}")
+    };
+    let _ = writeln!(
+        svg,
+        "<text x=\"{}\" y=\"{}\" font-size=\"11\" text-anchor=\"end\">{yhi}</text>\
+         <text x=\"{}\" y=\"{}\" font-size=\"11\" text-anchor=\"end\">{ylo}</text>",
+        ML - 4.0,
+        MT + 10.0,
+        ML - 4.0,
+        H - MB
+    );
+    let _ = writeln!(
+        svg,
+        "<text x=\"{}\" y=\"{}\" font-size=\"11\" text-anchor=\"start\">{:.3}</text>\
+         <text x=\"{}\" y=\"{}\" font-size=\"11\" text-anchor=\"end\">{:.3}</text>\
+         <text x=\"{}\" y=\"{}\" font-size=\"11\" text-anchor=\"middle\">{}</text>\
+         <text x=\"14\" y=\"{}\" font-size=\"11\" text-anchor=\"middle\" \
+         transform=\"rotate(-90 14 {})\">{}</text>",
+        ML,
+        H - MB + 14.0,
+        W - MR,
+        H - MB + 14.0,
+        xmin,
+        xmax,
+        (ML + W - MR) / 2.0,
+        H - 8.0,
+        html_escape(xlabel),
+        H / 2.0,
+        H / 2.0,
+        html_escape(ylabel)
+    );
+    for (si, (label, pts)) in series.iter().enumerate() {
+        let color = colors[si % colors.len()];
+        if pts.len() == 1 {
+            let (x, y) = pts[0];
+            let _ = writeln!(
+                svg,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>",
+                px(x),
+                py(y)
+            );
+        } else {
+            let mut d = String::new();
+            for (x, y) in pts {
+                let _ = write!(d, "{:.1},{:.1} ", px(*x), py(*y));
+            }
+            let _ = writeln!(
+                svg,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>",
+                d.trim_end()
+            );
+        }
+        let _ = writeln!(
+            svg,
+            "<text class=\"legend\" x=\"{}\" y=\"{}\" font-size=\"12\" fill=\"{color}\">{}</text>",
+            ML + 8.0,
+            MT + 14.0 + 14.0 * si as f64,
+            html_escape(label)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6e}")
+    } else if v.is_nan() {
+        "\"nan\"".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DegradationRung, EventRecord, ProbeOutcome};
+
+    fn record(seq: u64, time_ns: u64, event: Event) -> EventRecord {
+        EventRecord {
+            seq,
+            thread: 0,
+            time_ns,
+            event,
+        }
+    }
+
+    fn sample_log() -> EventLog {
+        EventLog {
+            records: vec![
+                record(
+                    0,
+                    1_000_000,
+                    Event::AdiSweep {
+                        solver: "lr_adi",
+                        sweep: 0,
+                        rank: 2,
+                        residual: 0.5,
+                        shift_re: -1.0,
+                        shift_im: 0.0,
+                    },
+                ),
+                record(
+                    1,
+                    2_000_000,
+                    Event::AdiSweep {
+                        solver: "lr_adi",
+                        sweep: 1,
+                        rank: 4,
+                        residual: 0.05,
+                        shift_re: -2.0,
+                        shift_im: 0.5,
+                    },
+                ),
+                record(
+                    2,
+                    3_000_000,
+                    Event::GreedyProbe {
+                        mv: "h1",
+                        order: 10,
+                        residual: 0.2,
+                        gain: 0.01,
+                        outcome: ProbeOutcome::Viable,
+                    },
+                ),
+                record(
+                    3,
+                    4_000_000,
+                    Event::GreedyAccept {
+                        mv: "h1",
+                        order: 10,
+                        residual: 0.2,
+                        gain: 0.01,
+                    },
+                ),
+                record(
+                    4,
+                    5_000_000,
+                    Event::Degradation {
+                        rung: DegradationRung::AdiShiftReselection,
+                        detail: 0.3,
+                    },
+                ),
+                record(
+                    5,
+                    6_000_000,
+                    Event::NewtonStep {
+                        step: 0,
+                        t: 0.0,
+                        dt: 0.01,
+                        iterations: 3,
+                        accepted: true,
+                    },
+                ),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn build_sorts_events_into_curves() {
+        let log = sample_log();
+        let snapshot = MetricsSnapshot::default();
+        let report = RunReport::build("unit", &log, &snapshot, &[]);
+        assert_eq!(report.adi.len(), 2);
+        assert_eq!(report.adi[1].index, 1);
+        assert_eq!(report.greedy.len(), 2);
+        assert_eq!(report.greedy_descent().len(), 1);
+        assert_eq!(report.steps.len(), 1);
+        assert_eq!(report.degradation.len(), 1);
+        assert_eq!(
+            report.degradation_totals(),
+            vec![("adi_shift_reselection", 1)]
+        );
+        assert_eq!(report.events_total, 6);
+    }
+
+    #[test]
+    fn json_document_carries_schema_and_curves() {
+        let log = sample_log();
+        let snapshot = MetricsSnapshot::default();
+        let report = RunReport::build("fig-unit", &log, &snapshot, &[]);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"schema\": \"vamor.run_report.v1\""));
+        assert!(json.contains("\"adi_residual\""));
+        assert!(json.contains("\"greedy\""));
+        assert!(json.contains("\"step_size\""));
+        assert!(json.contains("\"degradation\""));
+        assert!(json.contains("\"adi_shift_reselection\""));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // parser (the bench smoke test does the real parse).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn html_is_self_contained() {
+        let log = sample_log();
+        let snapshot = MetricsSnapshot::default();
+        let report = RunReport::build("fig-unit", &log, &snapshot, &[]);
+        let html = report.to_html();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("ADI residual"));
+        assert!(html.contains("Greedy descent"));
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http://") || html.contains("www.w3.org"));
+    }
+
+    #[test]
+    fn empty_run_renders_placeholders() {
+        let log = EventLog::default();
+        let snapshot = MetricsSnapshot::default();
+        let report = RunReport::build("empty", &log, &snapshot, &[]);
+        let json = report.to_json();
+        assert!(json.contains("\"adi_residual\": []"));
+        let html = report.to_html();
+        assert!(html.contains("no low-rank solves"));
+        assert!(html.contains("no adaptive search"));
+    }
+
+    #[test]
+    fn dropped_events_flagged_in_html() {
+        let log = EventLog {
+            records: Vec::new(),
+            dropped: 7,
+        };
+        let snapshot = MetricsSnapshot::default();
+        let report = RunReport::build("drop", &log, &snapshot, &[]);
+        assert!(report.to_html().contains("truncated"));
+        assert!(report.to_json().contains("\"dropped\": 7"));
+    }
+}

@@ -95,6 +95,13 @@ pub fn tracing_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// The shared trace epoch, initialized on first use. The event layer
+/// ([`crate::event`]) stamps its records against the same instant, so span
+/// and event timelines line up in a run report without clock translation.
+pub(crate) fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
 /// Installs the subscriber: spans opened from now on are recorded. The
 /// trace epoch (time zero of [`SpanRecord::start_ns`]) is fixed at the
 /// *first* install of the process, so traces drained across several

@@ -1,0 +1,205 @@
+//! Integration tests over the process-global event sink: concurrent
+//! emitters, bounded-sink overflow with dropped-event accounting, and
+//! panic-unwind flushing. Every test takes `GLOBAL` first — the harness
+//! runs tests on worker threads concurrently, and these tests
+//! install/drain one shared subscriber.
+
+use std::sync::{Mutex, MutexGuard};
+
+use vamor_obs::event::{self, DegradationRung, EventScope, ProbeOutcome};
+use vamor_obs::Event;
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn serialized() -> MutexGuard<'static, ()> {
+    let guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    // Drain anything a previous test (or a panicking one) left behind.
+    let _ = event::take();
+    guard
+}
+
+fn probe(order: u32) -> Event {
+    Event::GreedyProbe {
+        mv: "h1",
+        order,
+        residual: 0.5,
+        gain: 0.1,
+        outcome: ProbeOutcome::Viable,
+    }
+}
+
+#[test]
+fn disabled_events_record_nothing() {
+    let _guard = serialized();
+    assert!(!event::events_enabled());
+    vamor_obs::event!(probe(1));
+    let log = event::take();
+    assert!(log.records.is_empty());
+    assert_eq!(log.dropped, 0);
+}
+
+#[test]
+fn disabled_sites_never_build_the_payload() {
+    let _guard = serialized();
+    let mut built = false;
+    vamor_obs::event!({
+        built = true;
+        probe(1)
+    });
+    assert!(
+        !built,
+        "payload expression ran with no subscriber installed"
+    );
+}
+
+#[test]
+fn concurrent_emitters_merge_with_total_order() {
+    let _guard = serialized();
+    event::install();
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 1500; // above the per-thread flush threshold
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for i in 0..PER_THREAD {
+                    vamor_obs::event!(probe(i as u32));
+                }
+                // Tail records below the flush threshold reach the sink
+                // here; the thread-local destructor is the backstop.
+                event::flush_thread();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("emitter thread");
+    }
+    let log = event::take();
+    assert_eq!(log.records.len(), THREADS * PER_THREAD);
+    assert_eq!(log.dropped, 0);
+    // Drained records are sorted by the process-wide sequence number.
+    for pair in log.records.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "seq order violated");
+    }
+    // All emitting threads are represented.
+    let mut threads: Vec<u32> = log.records.iter().map(|r| r.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    assert_eq!(threads.len(), THREADS);
+}
+
+#[test]
+fn bounded_sink_drops_and_accounts_under_concurrency() {
+    let _guard = serialized();
+    const CAPACITY: usize = 64;
+    const THREADS: usize = 3;
+    const PER_THREAD: usize = 2000;
+    event::install_with_capacity(CAPACITY);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for i in 0..PER_THREAD {
+                    vamor_obs::event!(probe(i as u32));
+                }
+                event::flush_thread();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("emitter thread");
+    }
+    let log = event::take();
+    assert!(
+        log.records.len() <= CAPACITY,
+        "sink exceeded its bound: {} > {CAPACITY}",
+        log.records.len()
+    );
+    assert_eq!(
+        log.records.len() + log.dropped as usize,
+        THREADS * PER_THREAD,
+        "dropped accounting must make the totals add up"
+    );
+    assert!(log.dropped > 0, "this workload must overflow the sink");
+}
+
+#[test]
+fn panic_unwind_keeps_events_from_the_panicking_scope() {
+    let _guard = serialized();
+    event::install();
+    // Same-thread contained panic: events emitted before the unwind stay
+    // in the thread buffer and surface on the next drain.
+    let unwound = std::panic::catch_unwind(|| {
+        vamor_obs::event!(Event::Degradation {
+            rung: DegradationRung::DenseFallback,
+            detail: 1.0,
+        });
+        panic!("contained");
+    });
+    assert!(unwound.is_err());
+    // Panicking *thread*: the thread-local buffer flushes from its
+    // destructor during teardown, so nothing is lost either.
+    let handle = std::thread::spawn(|| {
+        vamor_obs::event!(Event::Degradation {
+            rung: DegradationRung::PivotEscalation,
+            detail: 2.0,
+        });
+        panic!("thread boom");
+    });
+    assert!(handle.join().is_err());
+    let log = event::take();
+    let rungs: Vec<&str> = log
+        .records
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::Degradation { rung, .. } => Some(rung.name()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        rungs.contains(&"dense_fallback"),
+        "lost the contained-panic event"
+    );
+    assert!(
+        rungs.contains(&"pivot_escalation"),
+        "lost the panicking-thread event"
+    );
+    assert_eq!(log.dropped, 0);
+}
+
+#[test]
+fn event_scope_captures_a_window() {
+    let _guard = serialized();
+    let scope = EventScope::begin();
+    vamor_obs::event!(probe(3));
+    let log = scope.finish();
+    assert_eq!(log.records.len(), 1);
+    assert!(!event::events_enabled());
+    // A fresh scope starts a clean window.
+    let scope = EventScope::begin();
+    let log = scope.finish();
+    assert!(log.records.is_empty());
+}
+
+#[test]
+fn timestamps_share_the_span_epoch() {
+    let _guard = serialized();
+    vamor_obs::install();
+    event::install();
+    let t0;
+    {
+        let _span = vamor_obs::span!("window");
+        vamor_obs::event!(probe(9));
+        t0 = std::time::Instant::now();
+        while t0.elapsed().as_micros() < 50 {}
+    }
+    let spans = vamor_obs::take_trace();
+    let log = event::take();
+    let span = spans.iter().find(|s| s.name == "window").expect("span");
+    let ev = log.records.first().expect("event");
+    assert!(
+        ev.time_ns >= span.start_ns && ev.time_ns <= span.start_ns + span.dur_ns,
+        "event at {} outside its enclosing span [{}, {}]",
+        ev.time_ns,
+        span.start_ns,
+        span.start_ns + span.dur_ns
+    );
+}

@@ -448,6 +448,7 @@ fn simulate_impl(
                 break;
             }
         }
+        let newton_before = stats.newton_iterations;
         match opts.method {
             IntegrationMethod::Rk4 => rk4_step(system, input, t, h, &mut x, &mut rk4_ws),
             IntegrationMethod::ImplicitTrapezoidal => {
@@ -485,6 +486,13 @@ fn simulate_impl(
             return Err(SimError::Diverged { time: t_next });
         }
         stats.steps += 1;
+        vamor_obs::event!(vamor_obs::Event::NewtonStep {
+            step: stats.steps as u64,
+            t,
+            dt: h,
+            iterations: (stats.newton_iterations - newton_before) as u32,
+            accepted: true,
+        });
         times.push(t_next);
         outputs.push(system.output(&x));
         if let Some(s) = states.as_mut() {
@@ -547,6 +555,7 @@ fn simulate_adaptive(
             }
         }
         let h_step = h.min(opts.t_end - t);
+        let newton_before = stats.newton_iterations;
         let (x_next, gap) = implicit_step(
             system,
             input,
@@ -569,6 +578,13 @@ fn simulate_adaptive(
             // is remembered, so a sharp front settles at its own step size
             // instead of re-probing every step.
             stats.rejected_steps += 1;
+            vamor_obs::event!(vamor_obs::Event::NewtonStep {
+                step: stats.steps as u64,
+                t,
+                dt: h_step,
+                iterations: (stats.newton_iterations - newton_before) as u32,
+                accepted: false,
+            });
             h = h_step * 0.5;
             calm_streak = 0;
             continue;
@@ -576,6 +592,13 @@ fn simulate_adaptive(
         t += h_step;
         x = x_next;
         stats.steps += 1;
+        vamor_obs::event!(vamor_obs::Event::NewtonStep {
+            step: stats.steps as u64,
+            t,
+            dt: h_step,
+            iterations: (stats.newton_iterations - newton_before) as u32,
+            accepted: true,
+        });
         times.push(t);
         outputs.push(system.output(&x));
         if let Some(s) = states.as_mut() {

@@ -26,4 +26,5 @@ pub mod lexer;
 pub mod lints;
 pub mod model;
 pub mod report;
+pub mod trend;
 pub mod workspace;

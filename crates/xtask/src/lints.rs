@@ -1,4 +1,4 @@
-//! The five project-specific lints.
+//! The six project-specific lints.
 //!
 //! All passes work on the [`FileModel`] token stream; none of them look at
 //! comment or string contents, and all of them skip `#[cfg(test)]` /
@@ -16,6 +16,7 @@ pub const CHECKPOINT_COVERAGE: &str = "checkpoint-coverage";
 pub const LOCK_DISCIPLINE: &str = "lock-discipline";
 pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
 pub const SPAN_COVERAGE: &str = "span-coverage";
+pub const DEGRADATION_EVENTS: &str = "degradation-events";
 
 /// Keywords that can directly precede `[` without forming an index
 /// expression (`let [a, b] = ...`, `return [x]`, `in [1, 2]`, ...).
@@ -616,6 +617,105 @@ pub fn hot_path_alloc(model: &FileModel, file: &Path) -> Vec<Finding> {
     out
 }
 
+/// Counter names of the degradation-ladder vocabulary. An increment of one
+/// of these is where a degradation is first *detected* — the place the
+/// numerical-health event stream must hear about it.
+const DEGRADATION_COUNTERS: &[&str] = &[
+    "escalations",
+    "reselections",
+    "dense_fallback",
+    "pivot_escalations",
+    "dense_fallbacks",
+    "adi_shift_reselections",
+    "adi_nonconverged",
+];
+
+/// L6 — degradation-events. Every degradation *construction* site (a
+/// statement bumping a degradation counter by a literal, e.g.
+/// `escalations += 1` or `recovery.dense_fallback = true`) must emit the
+/// matching `vamor_obs::Event::Degradation` in the same enclosing block,
+/// so the run-report degradation timeline can never silently diverge from
+/// `ReductionStats::degradation`. Aggregation sites that *copy* counters
+/// already evented at their source (`stats.degradation.x += diag.x`) have
+/// a non-literal right-hand side and are skipped by construction;
+/// zero-initializations (`= 0`) and `let` bindings are not degradations.
+pub fn degradation_events(model: &FileModel, file: &Path) -> Vec<Finding> {
+    let toks = model.tokens();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if model.in_test(i) || model.in_attr(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !DEGRADATION_COUNTERS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // The counter must be the assignment target: `counter += <lit>`,
+        // or `counter = true` / `counter = <nonzero int lit>`.
+        let bumped = match (toks.get(i + 1), toks.get(i + 2)) {
+            (Some(plus), Some(eq)) if plus.is_punct('+') && eq.is_punct('=') => toks
+                .get(i + 3)
+                .is_some_and(|v| v.kind == TokKind::Literal || v.is_ident("true")),
+            (Some(eq), Some(v)) if eq.is_punct('=') && !v.is_punct('=') => {
+                v.is_ident("true")
+                    || (v.kind == TokKind::Literal
+                        && v.text.starts_with(|c: char| c.is_ascii_digit())
+                        && !v.text.starts_with('0'))
+            }
+            _ => false,
+        };
+        if !bumped {
+            continue;
+        }
+        // `let mut escalations = 1;` binds, it does not degrade: walk back
+        // to the statement head and skip bindings.
+        let mut j = i;
+        let mut is_binding = false;
+        while j > 0 {
+            j -= 1;
+            let p = &toks[j];
+            if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+                break;
+            }
+            if p.is_ident("let") {
+                is_binding = true;
+                break;
+            }
+        }
+        if is_binding {
+            continue;
+        }
+        // The matching event emission must live in the same innermost
+        // block as the bump — "somewhere in the function" would let one
+        // event cover two distinct rungs.
+        let block = model
+            .matching
+            .iter()
+            .filter(|&(&open, &close)| toks[open].is_punct('{') && open < i && i < close)
+            .max_by_key(|&(&open, _)| open);
+        let covered = match block {
+            Some((&open, &close)) => (open..close).any(|k| toks[k].is_ident("Degradation")),
+            None => false,
+        };
+        if !covered {
+            out.push(Finding::new(
+                DEGRADATION_EVENTS,
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "degradation counter `{}` is bumped without an `Event::Degradation` \
+                     emission in the same block — emit \
+                     `vamor_obs::event!(vamor_obs::Event::Degradation {{ .. }})` next to the \
+                     bump so the run-report timeline matches `ReductionStats::degradation`",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,5 +875,55 @@ mod tests {
         let f = run(src, hot_path_alloc);
         assert_eq!(f.len(), 2);
         assert!(f.iter().all(|x| x.line == 2));
+    }
+
+    #[test]
+    fn degradation_events_pairs_bumps_with_emissions() {
+        // Evented bump, aggregation copy, binding, and zero-reset: clean.
+        let clean = r#"
+            fn recover() {
+                let mut escalations = 0usize;
+                if singular {
+                    escalations += 1;
+                    vamor_obs::event!(vamor_obs::Event::Degradation {
+                        rung: vamor_obs::event::DegradationRung::PivotEscalation,
+                        detail: tau,
+                    });
+                }
+                stats.pivot_escalations += recovery.escalations;
+                recovery.escalations = other.escalations;
+            }
+        "#;
+        assert!(run(clean, degradation_events).is_empty());
+
+        // Silent bumps must flag — including `= true` and `= 2`.
+        let dirty = r#"
+            fn recover() {
+                if singular { escalations += 1; }
+                recovery.dense_fallback = true;
+                recovery.escalations = 2;
+            }
+        "#;
+        let f = run(dirty, degradation_events);
+        assert_eq!(f.len(), 3, "{f:?}");
+
+        // One event cannot cover a bump in a *different* block.
+        let sibling = r#"
+            fn recover() {
+                if a { escalations += 1; }
+                if b { vamor_obs::event!(vamor_obs::Event::Degradation { rung, detail }); }
+            }
+        "#;
+        assert_eq!(run(sibling, degradation_events).len(), 1);
+
+        // Test code is exempt.
+        let test_only = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { escalations += 1; }
+            }
+        "#;
+        assert!(run(test_only, degradation_events).is_empty());
     }
 }

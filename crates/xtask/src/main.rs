@@ -1,27 +1,40 @@
 //! CLI entry point: `cargo xtask analyze [--json <path>] [--fix-allow]
-//! [--root <dir>]`.
+//! [--root <dir>]` and `cargo xtask bench-trend [--dir <dir>]
+//! [--out <path>] [--expect-regression]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xtask::report::{render_human, render_json};
+use xtask::trend::{analyze_trends, load_history, render_markdown, TrendConfig};
 use xtask::workspace::{analyze, find_workspace_root, fix_allow, AnalyzeConfig};
 
 const USAGE: &str = "\
-xtask — vamor workspace static analysis
+xtask — vamor workspace static analysis and bench-history tooling
 
 USAGE:
     cargo xtask analyze [OPTIONS]
+    cargo xtask bench-trend [OPTIONS]
 
-OPTIONS:
+ANALYZE OPTIONS:
     --json <path>   Also write the findings as machine-readable JSON
     --fix-allow     Insert `// vamor: allow(...)` stubs above every blocking
                     finding (audit trail mode), then exit 0
     --root <dir>    Workspace root (default: discovered from the cwd)
 
+BENCH-TREND OPTIONS:
+    --dir <dir>     Directory holding BENCH_PR*.json (default: the
+                    workspace root)
+    --out <path>    Write the markdown report to a file (default: stdout)
+    --expect-regression
+                    Invert the exit status: succeed only when at least one
+                    regression is flagged (CI fixture self-test)
+
 EXIT STATUS:
-    0 when every finding is covered by a well-formed allow annotation,
-    1 when blocking findings remain, 2 on usage errors.
+    analyze: 0 when every finding is covered by a well-formed allow
+    annotation, 1 when blocking findings remain, 2 on usage errors.
+    bench-trend: 0 when the newest snapshot is clean, 1 when a regression
+    is flagged (inverted under --expect-regression), 2 on usage errors.
 ";
 
 fn main() -> ExitCode {
@@ -30,6 +43,9 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::from(2);
     };
+    if cmd == "bench-trend" {
+        return bench_trend(args);
+    }
     if cmd != "analyze" {
         eprintln!("unknown subcommand `{cmd}`\n");
         eprint!("{USAGE}");
@@ -113,6 +129,89 @@ fn main() -> ExitCode {
     }
 
     if blocking > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `cargo xtask bench-trend`: regression detection over the committed
+/// `BENCH_PR*.json` history (see [`xtask::trend`]).
+fn bench_trend(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut dir_arg: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut expect_regression = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => match args.next() {
+                Some(p) => dir_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--dir requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--expect-regression" => expect_regression = true,
+            other => {
+                eprintln!("unknown option `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(dir) = dir_arg.or_else(|| find_workspace_root(&cwd)) else {
+        eprintln!(
+            "error: could not find a workspace root above {} (pass --dir)",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let history = match load_history(&dir) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rows = analyze_trends(&history, &TrendConfig::default());
+    let markdown = render_markdown(&history, &rows);
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &markdown) {
+                eprintln!("error writing {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!("bench-trend: wrote {}", path.display());
+        }
+        None => print!("{markdown}"),
+    }
+    let regressions = rows.iter().filter(|r| r.regressed).count();
+    let newest = history.last().map(|s| s.pr).unwrap_or(0);
+    println!(
+        "bench-trend: {} snapshot(s), {} metric(s), {} regression(s) in PR{}",
+        history.len(),
+        rows.len(),
+        regressions,
+        newest
+    );
+    if expect_regression {
+        if regressions > 0 {
+            println!("bench-trend: --expect-regression satisfied");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("bench-trend: --expect-regression but the history is clean");
+            ExitCode::FAILURE
+        }
+    } else if regressions > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -120,6 +120,7 @@ pub fn analyze(root: &Path, cfg: &AnalyzeConfig) -> std::io::Result<Vec<Finding>
         let mut file_findings = lints::panic_freedom(&model, &rel, check_indexing);
         file_findings.extend(lints::checkpoint_coverage(&model, &rel));
         file_findings.extend(lints::span_coverage(&model, &rel));
+        file_findings.extend(lints::degradation_events(&model, &rel));
         if cfg.lock_files.contains(&rel) {
             file_findings.extend(lints::lock_discipline(&model, &rel));
         }

@@ -1,0 +1,78 @@
+//! Pins the bench-trend detector against two histories:
+//!
+//! - the repo's own committed `BENCH_PR*.json` snapshots must analyze
+//!   *clean* — a flag on real history means the thresholds drifted and CI
+//!   would start crying wolf;
+//! - the injected-regression fixtures in `tests/trend_fixtures/` (stable
+//!   four-snapshot history, then a 60× error jump plus a solver-cache
+//!   speedup collapse in PR5) must *flag*, and must flag those two metrics
+//!   specifically — the detector's whole value is that it still fires.
+
+use std::path::{Path, PathBuf};
+
+use xtask::trend::{analyze_trends, load_history, render_markdown, TrendConfig};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn committed_history_analyzes_clean() {
+    let history = load_history(&repo_root()).expect("repo root holds BENCH_PR*.json");
+    assert!(
+        history.len() >= 9,
+        "expected at least the PR1–PR9 snapshots, found {}",
+        history.len()
+    );
+    let rows = analyze_trends(&history, &TrendConfig::default());
+    let flagged: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.regressed)
+        .map(|r| r.path.as_str())
+        .collect();
+    assert!(
+        flagged.is_empty(),
+        "real history must not flag, got: {flagged:?}"
+    );
+    // The history is rich enough that the detector is actually armed.
+    assert!(
+        rows.len() > 100,
+        "expected >100 tracked metrics, got {}",
+        rows.len()
+    );
+}
+
+#[test]
+fn injected_regression_fixture_flags() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/trend_fixtures");
+    let history = load_history(&dir).expect("fixture snapshots parse");
+    assert_eq!(history.len(), 5);
+    let rows = analyze_trends(&history, &TrendConfig::default());
+    let flagged: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.regressed)
+        .map(|r| r.path.as_str())
+        .collect();
+    assert!(
+        flagged.contains(&"experiments.fig3.max_rel_error_proposed"),
+        "the injected error jump must flag, got: {flagged:?}"
+    );
+    assert!(
+        flagged.contains(&"acceptance.assoc_reduce_speedup"),
+        "the injected speedup collapse must flag, got: {flagged:?}"
+    );
+    // Nothing else in the fixture moved, so nothing else may flag.
+    assert_eq!(
+        flagged.len(),
+        2,
+        "exactly the injected metrics flag: {flagged:?}"
+    );
+
+    let md = render_markdown(&history, &rows);
+    assert!(md.contains("## Regressions: 2 flagged"));
+    assert!(md.contains("experiments.fig3.max_rel_error_proposed"));
+}

@@ -1,0 +1,23 @@
+//! degradation-events fixture: silent counter bumps the lint must flag.
+
+fn pivot_ladder(singular: bool) -> usize {
+    let mut escalations = 0usize;
+    if singular {
+        escalations += 1;
+    }
+    escalations
+}
+
+fn fallback(recovery: &mut Recovery) {
+    recovery.escalations = 2;
+    recovery.dense_fallback = true;
+}
+
+fn sibling_event_does_not_cover(a: bool, b: bool, stats: &mut Stats) {
+    if a {
+        stats.adi_shift_reselections += 1;
+    }
+    if b {
+        vamor_obs::event!(vamor_obs::Event::Degradation { rung, detail });
+    }
+}

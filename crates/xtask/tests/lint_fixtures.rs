@@ -205,3 +205,28 @@ fn fix_allow_round_trips_to_a_clean_gate() {
         .iter()
         .all(|f| f.allowed.as_deref().is_some_and(|r| r.contains("audit"))));
 }
+
+#[test]
+fn degradation_events_fires_on_silent_bumps_with_exact_spans() {
+    let f = findings_for("degradation_bad.rs");
+    assert!(f.iter().all(|x| x.lint == "degradation-events"));
+    // `escalations += 1` in its `if` block, the two fallback assignments,
+    // and the bump whose event lives in a *sibling* block. The `let`
+    // binding and the bare read on the return line stay silent.
+    assert_eq!(spans(&f), vec![(6, 9), (12, 14), (13, 14), (18, 15)]);
+    assert!(f[0].message.contains("`escalations`"));
+    assert!(f[1].message.contains("`escalations`"));
+    assert!(f[2].message.contains("`dense_fallback`"));
+    assert!(f[3].message.contains("`adi_shift_reselections`"));
+    assert!(f.iter().all(|x| x.allowed.is_none()));
+}
+
+#[test]
+fn degradation_events_accepts_evented_aggregated_and_allowed_sites() {
+    let f = findings_for("degradation_good.rs");
+    // Exactly one finding — the annotated derived recount. The evented
+    // bump, the aggregation copies, and the #[test] bump produce nothing.
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].lint, "degradation-events");
+    assert!(f[0].allowed.is_some());
+}
